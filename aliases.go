@@ -1,0 +1,245 @@
+package svc
+
+import (
+	"github.com/sampleclean/svc/internal/algebra"
+	"github.com/sampleclean/svc/internal/clean"
+	"github.com/sampleclean/svc/internal/db"
+	"github.com/sampleclean/svc/internal/estimator"
+	"github.com/sampleclean/svc/internal/expr"
+	"github.com/sampleclean/svc/internal/hashing"
+	"github.com/sampleclean/svc/internal/relation"
+	"github.com/sampleclean/svc/internal/view"
+)
+
+// This file re-exports the engine's vocabulary so applications need a
+// single import. The functional core lives in internal/ packages; see
+// DESIGN.md for the module map.
+
+// ---------------------------------------------------------------- data
+
+type (
+	// Database is a catalog of primary-keyed tables with staged delta
+	// relations (the paper's D and ∂D).
+	Database = db.Database
+	// Table is one base relation plus its staged insertions ΔR and
+	// deletions ∇R.
+	Table = db.Table
+	// Schema describes a relation's columns and primary key.
+	Schema = relation.Schema
+	// Column is one attribute of a schema.
+	Column = relation.Column
+	// Row is one tuple.
+	Row = relation.Row
+	// Value is a dynamically typed scalar (NULL, int, float, string,
+	// bool).
+	Value = relation.Value
+	// Kind enumerates value types.
+	Kind = relation.Kind
+	// Relation is an in-memory table.
+	Relation = relation.Relation
+)
+
+// Value kinds.
+const (
+	KindNull   = relation.KindNull
+	KindInt    = relation.KindInt
+	KindFloat  = relation.KindFloat
+	KindString = relation.KindString
+	KindBool   = relation.KindBool
+)
+
+// NewDatabase creates an empty database.
+func NewDatabase() *Database { return db.New() }
+
+// NewSchema builds a schema from columns and primary-key names.
+func NewSchema(cols []Column, key ...string) Schema { return relation.NewSchema(cols, key...) }
+
+// Col builds a column.
+func Col(name string, kind Kind) Column { return Column{Name: name, Type: kind} }
+
+// Scalar constructors.
+var (
+	// Null returns the NULL value.
+	Null = relation.Null
+	// Int returns an integer value.
+	Int = relation.Int
+	// Float returns a floating-point value.
+	Float = relation.Float
+	// Str returns a string value.
+	Str = relation.String
+	// Bool returns a boolean value.
+	Bool = relation.Bool
+)
+
+// ---------------------------------------------------------------- plans
+
+type (
+	// Node is one operator of a view-definition plan.
+	Node = algebra.Node
+	// JoinSpec configures a join.
+	JoinSpec = algebra.JoinSpec
+	// EqPair equates a left and a right join column.
+	EqPair = algebra.EqPair
+	// JoinType selects inner/left/right/full.
+	JoinType = algebra.JoinType
+	// AggSpec is one aggregate output of a group-by.
+	AggSpec = algebra.AggSpec
+	// Output is one column of a generalized projection.
+	Output = algebra.Output
+)
+
+// Join types.
+const (
+	Inner      = algebra.Inner
+	LeftOuter  = algebra.LeftOuter
+	RightOuter = algebra.RightOuter
+	FullOuter  = algebra.FullOuter
+)
+
+// Plan constructors (see package algebra for the error-returning forms).
+var (
+	// Scan reads a named base table.
+	Scan = algebra.Scan
+	// SelectWhere filters rows (σ).
+	SelectWhere = algebra.MustSelect
+	// Project computes a generalized projection (Π), deriving the key by
+	// Definition 2.
+	Project = algebra.MustProject
+	// ProjectKeyed is Project with an explicitly asserted output key.
+	ProjectKeyed = algebra.MustProjectKeyed
+	// Join joins two plans (⋈).
+	Join = algebra.MustJoin
+	// GroupByAgg aggregates grouped rows (γ).
+	GroupByAgg = algebra.MustGroupBy
+	// UnionAll unions two plans (set semantics when keyed, bag
+	// otherwise).
+	UnionAll = algebra.MustUnion
+	// IntersectOp intersects two plans.
+	IntersectOp = algebra.MustIntersect
+	// DifferenceOp subtracts one plan from another.
+	DifferenceOp = algebra.MustDifference
+	// AliasAs prefixes all column names (disambiguation before joins).
+	AliasAs = algebra.Alias
+	// On is shorthand for a single-pair join condition.
+	On = algebra.On
+	// OutCol is a pass-through projection column.
+	OutCol = algebra.OutCol
+	// Out names a computed projection column.
+	Out = algebra.Out
+	// CountAs / SumAs / AvgAs / MinAs / MaxAs build aggregate specs.
+	CountAs = algebra.CountAs
+	SumAs   = algebra.SumAs
+	AvgAs   = algebra.AvgAs
+	MinAs   = algebra.MinAs
+	MaxAs   = algebra.MaxAs
+	// FormatPlan renders an expression tree for inspection.
+	FormatPlan = algebra.Format
+)
+
+// ---------------------------------------------------------------- exprs
+
+// Expr is a scalar expression over rows (predicates, projections).
+type Expr = expr.Expr
+
+// Expression constructors.
+var (
+	ColRef    = expr.Col
+	Lit       = expr.Lit
+	IntLit    = expr.IntLit
+	FloatLit  = expr.FloatLit
+	StringLit = expr.StringLit
+	Add       = expr.Add
+	SubE      = expr.Sub
+	MulE      = expr.Mul
+	DivE      = expr.Div
+	Eq        = expr.Eq
+	Ne        = expr.Ne
+	Lt        = expr.Lt
+	Le        = expr.Le
+	Gt        = expr.Gt
+	Ge        = expr.Ge
+	And       = expr.And
+	Or        = expr.Or
+	Not       = expr.Not
+	Coalesce  = expr.Coalesce
+	IsNull    = expr.IsNull
+	If        = expr.If
+	FuncE     = expr.Func
+	Between   = expr.Between
+)
+
+// ---------------------------------------------------------------- views
+
+type (
+	// ViewDefinition names a view and its defining plan.
+	ViewDefinition = view.Definition
+	// View is a materialized view.
+	View = view.View
+	// ViewMaintainer owns a view's maintenance strategy M(S, D, ∂D).
+	ViewMaintainer = view.Maintainer
+	// ViewCleaner owns the sampled cleaning expression and the
+	// persistent sample view.
+	ViewCleaner = clean.Cleaner
+	// Samples is the corresponding sample pair (Ŝ, Ŝ′).
+	Samples = clean.Samples
+)
+
+// Materialize evaluates a view definition over the database.
+var Materialize = view.Materialize
+
+// NewMaintainer builds the maintenance strategy for a view.
+var NewMaintainer = view.NewMaintainer
+
+// NewCleaner builds a sampled cleaner at ratio m (nil hasher = default).
+var NewCleaner = clean.New
+
+// ---------------------------------------------------------------- queries
+
+type (
+	// Query is an aggregate query over the view.
+	Query = estimator.Query
+	// Estimate is an approximate answer with uncertainty.
+	Estimate = estimator.Estimate
+	// GroupResult holds per-group estimates.
+	GroupResult = estimator.GroupResult
+	// SelectResult is a cleaned SELECT answer (Appendix 12.1.2).
+	SelectResult = estimator.SelectResult
+)
+
+// Query constructors.
+var (
+	SumQ        = estimator.Sum
+	CountQ      = estimator.Count
+	AvgQ        = estimator.Avg
+	MedianQ     = estimator.Median
+	PercentileQ = estimator.Percentile
+	MinQ        = estimator.Min
+	MaxQ        = estimator.Max
+	// RelativeError is the evaluation metric |est−truth|/|truth|.
+	RelativeError = estimator.RelativeError
+)
+
+// Sum returns SELECT sum(attr) WHERE pred (pred may be nil).
+func Sum(attr string, pred Expr) Query { return estimator.Sum(attr, pred) }
+
+// Count returns SELECT count(1) WHERE pred.
+func Count(pred Expr) Query { return estimator.Count(pred) }
+
+// Avg returns SELECT avg(attr) WHERE pred.
+func Avg(attr string, pred Expr) Query { return estimator.Avg(attr, pred) }
+
+// Median returns SELECT median(attr) WHERE pred.
+func Median(attr string, pred Expr) Query { return estimator.Median(attr, pred) }
+
+// ---------------------------------------------------------------- hashing
+
+// Hasher maps encoded keys to [0,1) deterministically.
+type Hasher = hashing.Hasher
+
+// Available hashers.
+var (
+	// FNVHasher is the default: FNV-64 with a SplitMix64 finalizer.
+	FNVHasher Hasher = hashing.FNV{}
+	// SHA1Hasher is the cryptographic option.
+	SHA1Hasher Hasher = hashing.SHA1{}
+)

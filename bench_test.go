@@ -1,0 +1,159 @@
+// Benchmarks: one testing.B benchmark per paper table/figure, wrapping the
+// experiment runners in internal/bench, plus micro-benchmarks for the
+// engine's hot paths. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each figure benchmark reports how long regenerating that figure takes at
+// a reduced scale; `go run ./cmd/svcbench -run all -scale 1` produces the
+// full-size tables.
+package svc_test
+
+import (
+	"math/rand"
+	"testing"
+
+	svc "github.com/sampleclean/svc"
+	"github.com/sampleclean/svc/internal/bench"
+)
+
+// benchScale keeps figure regeneration fast enough for -bench cycles.
+const benchScale = bench.Scale(0.12)
+
+func figBenchmark(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Run(id, benchScale); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+// Figure 4: join view maintenance cost.
+func BenchmarkFig4aJoinViewMaintenance(b *testing.B) { figBenchmark(b, "fig4a") }
+func BenchmarkFig4bSpeedupVsUpdates(b *testing.B)    { figBenchmark(b, "fig4b") }
+
+// Figure 5: join view query accuracy.
+func BenchmarkFig5JoinViewAccuracy(b *testing.B) { figBenchmark(b, "fig5") }
+
+// Figure 6: total time and the CORR/AQP break-even.
+func BenchmarkFig6aTotalTime(b *testing.B) { figBenchmark(b, "fig6a") }
+func BenchmarkFig6bBreakEven(b *testing.B) { figBenchmark(b, "fig6b") }
+
+// Figure 7: complex views.
+func BenchmarkFig7aComplexViewMaintenance(b *testing.B) { figBenchmark(b, "fig7a") }
+func BenchmarkFig7bComplexViewAccuracy(b *testing.B)    { figBenchmark(b, "fig7b") }
+
+// Figure 8: outlier indexing.
+func BenchmarkFig8aOutlierAccuracy(b *testing.B) { figBenchmark(b, "fig8a") }
+func BenchmarkFig8bOutlierOverhead(b *testing.B) { figBenchmark(b, "fig8b") }
+
+// Figure 9: Conviva-style workload.
+func BenchmarkFig9aConvivaMaintenance(b *testing.B) { figBenchmark(b, "fig9a") }
+func BenchmarkFig9bConvivaAccuracy(b *testing.B)    { figBenchmark(b, "fig9b") }
+
+// Figures 10–13: the data cube.
+func BenchmarkFig10aCubeMaintenance(b *testing.B)   { figBenchmark(b, "fig10a") }
+func BenchmarkFig10bCubeSpeedup(b *testing.B)       { figBenchmark(b, "fig10b") }
+func BenchmarkFig11CubeRollupAccuracy(b *testing.B) { figBenchmark(b, "fig11") }
+func BenchmarkFig12CubeMaxGroupError(b *testing.B)  { figBenchmark(b, "fig12") }
+func BenchmarkFig13CubeMedianRollups(b *testing.B)  { figBenchmark(b, "fig13") }
+
+// Figures 14–16: the mini-batch cluster simulation.
+func BenchmarkFig14aThroughput(b *testing.B)    { figBenchmark(b, "fig14a") }
+func BenchmarkFig14bTwoThreads(b *testing.B)    { figBenchmark(b, "fig14b") }
+func BenchmarkFig15OptimalRatio(b *testing.B)   { figBenchmark(b, "fig15") }
+func BenchmarkFig16CPUUtilization(b *testing.B) { figBenchmark(b, "fig16") }
+
+// Ablations.
+func BenchmarkAblateHash(b *testing.B)      { figBenchmark(b, "ablate-hash") }
+func BenchmarkAblatePushdown(b *testing.B)  { figBenchmark(b, "ablate-pushdown") }
+func BenchmarkAblateAdvisor(b *testing.B)   { figBenchmark(b, "ablate-advisor") }
+func BenchmarkAblateNonUnique(b *testing.B) { figBenchmark(b, "ablate-nonunique") }
+
+// ------------------------------------------------------ micro-benchmarks
+
+// benchSetup builds the running-example scenario once per benchmark.
+func benchSetup(b *testing.B, visits, updates int, ratio float64) (*svc.Database, *svc.StaleView) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	d := svc.NewDatabase()
+	video := d.MustCreate("Video", svc.NewSchema([]svc.Column{
+		svc.Col("videoId", svc.KindInt),
+		svc.Col("ownerId", svc.KindInt),
+	}, "videoId"))
+	const videos = 400
+	for i := 0; i < videos; i++ {
+		video.MustInsert(svc.Row{svc.Int(int64(i)), svc.Int(rng.Int63n(20))})
+	}
+	logT := d.MustCreate("Log", svc.NewSchema([]svc.Column{
+		svc.Col("sessionId", svc.KindInt),
+		svc.Col("videoId", svc.KindInt),
+	}, "sessionId"))
+	for i := 0; i < visits; i++ {
+		logT.MustInsert(svc.Row{svc.Int(int64(i)), svc.Int(rng.Int63n(videos))})
+	}
+	plan := svc.GroupByAgg(
+		svc.Join(svc.Scan("Log", logT.Schema()), svc.Scan("Video", video.Schema()),
+			svc.JoinSpec{Type: svc.Inner, On: svc.On("videoId", "videoId"), Merge: true}),
+		[]string{"videoId", "ownerId"},
+		svc.CountAs("visitCount"),
+	)
+	sv, err := svc.New(d, svc.ViewDefinition{Name: "visitView", Plan: plan},
+		svc.WithSamplingRatio(ratio))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < updates; i++ {
+		if err := logT.StageInsert(svc.Row{svc.Int(int64(visits + i)), svc.Int(rng.Int63n(videos))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return d, sv
+}
+
+// BenchmarkCleanSample measures one sampled cleaning round (the paper's
+// per-query maintenance cost).
+func BenchmarkCleanSample(b *testing.B) {
+	_, sv := benchSetup(b, 20000, 2000, 0.10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sv.Clean(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullIVM measures full incremental maintenance on the same
+// scenario, for comparison with BenchmarkCleanSample.
+func BenchmarkFullIVM(b *testing.B) {
+	d, sv := benchSetup(b, 20000, 2000, 0.10)
+	stale := sv.View().Data().Clone()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if err := sv.View().Replace(stale.Clone()); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := sv.Maintainer().Maintain(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryEstimate measures end-to-end query answering (clean +
+// correct + bound).
+func BenchmarkQueryEstimate(b *testing.B) {
+	_, sv := benchSetup(b, 20000, 2000, 0.10)
+	q := svc.Sum("visitCount", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sv.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Command svcbench regenerates the tables and figures of the SVC paper's
+// evaluation (Section 7) on the synthetic substrate, plus the ablations in
+// DESIGN.md.
+//
+// Usage:
+//
+//	svcbench -list
+//	svcbench -run fig4a,fig5
+//	svcbench -run all -scale 1.0
+//	svcbench -run fig9b -csv
+//
+// Absolute numbers are machine- and substrate-dependent; the shapes (who
+// wins, by what factor, where crossovers fall) are what reproduce the
+// paper. See EXPERIMENTS.md for the paper-vs-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/sampleclean/svc/internal/bench"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "comma-separated experiment IDs, or \"all\"")
+		scale = flag.Float64("scale", 1.0, "workload scale factor (1.0 = default size)")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list  = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("available experiments:")
+		for _, id := range bench.List() {
+			fmt.Printf("  %-16s %s\n", id, bench.Describe(id))
+		}
+		if *run == "" {
+			fmt.Println("\nrun with: svcbench -run <id>[,<id>...] [-scale 1.0] [-csv]")
+		}
+		return
+	}
+
+	var ids []string
+	if *run == "all" {
+		ids = bench.List()
+	} else {
+		ids = strings.Split(*run, ",")
+	}
+
+	failed := 0
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		table, err := bench.Run(id, bench.Scale(*scale))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			failed++
+			continue
+		}
+		if *csv {
+			fmt.Printf("# %s\n%s\n", table.Title, table.CSV())
+		} else {
+			fmt.Println(table.Render())
+			fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

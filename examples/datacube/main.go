@@ -1,0 +1,120 @@
+// Datacube: the Section 7.6.1 aggregate-view use case — a revenue cube
+// over a denormalized sales table, with roll-up queries answered from a
+// stale cube plus a cleaned sample.
+//
+// Run with: go run ./examples/datacube
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	svc "github.com/sampleclean/svc"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+	d := svc.NewDatabase()
+
+	// One wide fact table: sales(orderkey, line, custkey, nationkey,
+	// regionkey, partkey, revenue).
+	sales := d.MustCreate("sales", svc.NewSchema([]svc.Column{
+		svc.Col("orderkey", svc.KindInt),
+		svc.Col("line", svc.KindInt),
+		svc.Col("custkey", svc.KindInt),
+		svc.Col("nationkey", svc.KindInt),
+		svc.Col("regionkey", svc.KindInt),
+		svc.Col("partkey", svc.KindInt),
+		svc.Col("revenue", svc.KindFloat),
+	}, "orderkey", "line"))
+
+	const customers, nations, regions, parts = 200, 25, 5, 150
+	nationOf := make([]int64, customers)
+	for i := range nationOf {
+		nationOf[i] = rng.Int63n(nations)
+	}
+	nextOrder := int64(0)
+	addOrders := func(n int, stage bool) {
+		for i := 0; i < n; i++ {
+			cust := rng.Int63n(customers)
+			lines := 1 + rng.Intn(4)
+			for l := 0; l < lines; l++ {
+				row := svc.Row{
+					svc.Int(nextOrder), svc.Int(int64(l)),
+					svc.Int(cust), svc.Int(nationOf[cust]), svc.Int(nationOf[cust] % regions),
+					svc.Int(rng.Int63n(parts)),
+					svc.Float(50 + rng.Float64()*900),
+				}
+				var err error
+				if stage {
+					err = sales.StageInsert(row)
+				} else {
+					err = sales.Insert(row)
+				}
+				if err != nil {
+					log.Fatal(err)
+				}
+			}
+			nextOrder++
+		}
+	}
+	addOrders(8000, false)
+
+	// The base cube: revenue by (custkey, nationkey, regionkey, partkey).
+	cube := svc.GroupByAgg(
+		svc.Scan("sales", sales.Schema()),
+		[]string{"custkey", "nationkey", "regionkey", "partkey"},
+		svc.CountAs("cnt"),
+		svc.SumAs(svc.ColRef("revenue"), "revenue"),
+	)
+	sv, err := svc.New(d, svc.ViewDefinition{Name: "cube", Plan: cube},
+		svc.WithSamplingRatio(0.10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("base cube:", sv.View().Data().Len(), "cells")
+
+	// A morning of new orders arrives; the cube goes stale.
+	addOrders(900, true)
+
+	// Roll-ups over the stale cube, corrected by the cleaned sample.
+	rollups := []struct {
+		name    string
+		groupBy []string
+	}{
+		{"by region", []string{"regionkey"}},
+		{"by nation", []string{"nationkey"}},
+		{"by nation×region", []string{"nationkey", "regionkey"}},
+	}
+	for _, r := range rollups {
+		groups, err := sv.QueryGroups(svc.Sum("revenue", nil), r.groupBy...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nroll-up %s (%d groups, estimates):\n", r.name, len(groups.Groups))
+		shown := 0
+		for k, est := range groups.Groups {
+			fmt.Printf("  %-8s ≈ %12.0f  [%12.0f, %12.0f]\n",
+				groups.Labels[k], est.Value, est.Lo, est.Hi)
+			if shown++; shown == 4 {
+				fmt.Println("  ...")
+				break
+			}
+		}
+	}
+
+	// Grand total: stale vs estimate vs exact.
+	total, err := sv.Query(svc.Sum("revenue", nil))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sv.MaintainNow(); err != nil {
+		log.Fatal(err)
+	}
+	exact, _ := sv.ExactQuery(svc.Sum("revenue", nil))
+	fmt.Printf("\ngrand total revenue:\n")
+	fmt.Printf("  stale:    %14.0f  (%.2f%% off)\n", total.StaleValue, 100*svc.RelativeError(total.StaleValue, exact))
+	fmt.Printf("  estimate: %14.0f  (%.2f%% off)\n", total.Value, 100*svc.RelativeError(total.Value, exact))
+	fmt.Printf("  exact:    %14.0f\n", exact)
+}

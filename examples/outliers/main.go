@@ -1,0 +1,118 @@
+// Outliers: Section 6 on a heavy-tailed workload — a few sessions
+// transfer thousands of times more bytes than typical ones, which makes
+// plain sampling noisy. An outlier index keeps the tail exact and the
+// estimator merges the two strata.
+//
+// Run with: go run ./examples/outliers
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	svc "github.com/sampleclean/svc"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(21))
+
+	build := func(withIndex bool) (*svc.Database, *svc.StaleView) {
+		// Regenerate identically for a controlled comparison.
+		r := rand.New(rand.NewSource(99))
+		d := svc.NewDatabase()
+		logT := d.MustCreate("Log", svc.NewSchema([]svc.Column{
+			svc.Col("sessionId", svc.KindInt),
+			svc.Col("videoId", svc.KindInt),
+			svc.Col("bytes", svc.KindFloat),
+		}, "sessionId"))
+		gen := func() float64 {
+			b := 8 + r.Float64()*4
+			if r.Float64() < 0.02 {
+				b *= 800 + 600*r.Float64() // the heavy tail
+			}
+			return b
+		}
+		for i := 0; i < 20000; i++ {
+			logT.MustInsert(svc.Row{svc.Int(int64(i)), svc.Int(r.Int63n(400)), svc.Float(gen())})
+		}
+		plan := svc.GroupByAgg(svc.Scan("Log", logT.Schema()),
+			[]string{"videoId"},
+			svc.CountAs("visits"),
+			svc.SumAs(svc.ColRef("bytes"), "totalBytes"))
+		opts := []svc.Option{svc.WithSamplingRatio(0.08), svc.WithMode(svc.AQP)}
+		if withIndex {
+			opts = append(opts, svc.WithOutlierIndex("Log", "bytes", 150))
+		}
+		sv, err := svc.New(d, svc.ViewDefinition{Name: "traffic", Plan: plan}, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The same staged update stream in both worlds.
+		for i := 0; i < 2500; i++ {
+			b := 8 + r.Float64()*4
+			if r.Float64() < 0.02 {
+				b *= 800 + 600*r.Float64()
+			}
+			if err := logT.StageInsert(svc.Row{svc.Int(int64(20000 + i)), svc.Int(r.Int63n(400)), svc.Float(b)}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return d, sv
+	}
+
+	// Ground truth from the no-index world.
+	d, plain := build(false)
+	snap := d.Snapshot()
+	if err := snap.ApplyDeltas(); err != nil {
+		log.Fatal(err)
+	}
+	truthView, err := svc.Materialize(snap, plain.View().Definition())
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := 0.0
+	for _, row := range truthView.Data().Rows() {
+		truth += row[2].AsFloat()
+	}
+
+	_, indexed := build(true)
+
+	q := svc.Sum("totalBytes", nil)
+	fmt.Println("total bytes, heavy-tailed workload (truth:", fmt.Sprintf("%.3e", truth), ")")
+	fmt.Println("\ntrial  plain_est      plain_err%  indexed_est    indexed_err%")
+	var plainErr, idxErr float64
+	const trials = 5
+	for i := 0; i < trials; i++ {
+		// Each trial re-queries; the deterministic sample is fixed, so we
+		// perturb via different random query predicates covering most rows.
+		lo := rng.Int63n(40)
+		pred := svc.Ge(svc.ColRef("videoId"), svc.IntLit(lo))
+		qq := svc.Sum("totalBytes", pred)
+		tv := 0.0
+		bound := lo
+		for _, row := range truthView.Data().Rows() {
+			if row[0].AsInt() >= bound {
+				tv += row[2].AsFloat()
+			}
+		}
+		a1, err := plain.Query(qq)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a2, err := indexed.Query(qq)
+		if err != nil {
+			log.Fatal(err)
+		}
+		e1 := 100 * svc.RelativeError(a1.Value, tv)
+		e2 := 100 * svc.RelativeError(a2.Value, tv)
+		plainErr += e1
+		idxErr += e2
+		fmt.Printf("  %d    %.4e   %8.2f   %.4e   %9.2f\n", i+1, a1.Value, e1, a2.Value, e2)
+		_ = q
+	}
+	fmt.Printf("\nmean error: plain %.2f%%, with outlier index %.2f%%\n",
+		plainErr/trials, idxErr/trials)
+	fmt.Println("\nthe index pins the top records exactly (sampling ratio 1 stratum),")
+	fmt.Println("so the sampled stratum's variance collapses — the paper's Figure 8a.")
+}

@@ -1,0 +1,124 @@
+// Videolog: the Section 2.1 log-analysis scenario — a video streaming
+// company tracking user engagement with per-owner dashboards.
+//
+// Demonstrates group-by estimation (average visits per video, total visits
+// per owner) and the Appendix 12.1.2 cleaned SELECT: "which videos
+// currently have more than 100 views?" answered from a stale view plus a
+// cleaned sample, with estimates of how many rows changed.
+//
+// Run with: go run ./examples/videolog
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	svc "github.com/sampleclean/svc"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	d := svc.NewDatabase()
+
+	video := d.MustCreate("Video", svc.NewSchema([]svc.Column{
+		svc.Col("videoId", svc.KindInt),
+		svc.Col("ownerId", svc.KindInt),
+		svc.Col("duration", svc.KindFloat),
+	}, "videoId"))
+	const videos, owners = 800, 12
+	for i := 0; i < videos; i++ {
+		video.MustInsert(svc.Row{
+			svc.Int(int64(i)), svc.Int(rng.Int63n(owners)), svc.Float(0.2 + rng.Float64()*2.5),
+		})
+	}
+	logT := d.MustCreate("Log", svc.NewSchema([]svc.Column{
+		svc.Col("sessionId", svc.KindInt),
+		svc.Col("videoId", svc.KindInt),
+	}, "sessionId"))
+	nextSession := int64(0)
+	addVisits := func(n int, stage bool) {
+		for i := 0; i < n; i++ {
+			// Popular videos get most of the traffic.
+			vid := int64(rng.NormFloat64()*float64(videos)/6) % int64(videos)
+			if vid < 0 {
+				vid = -vid
+			}
+			row := svc.Row{svc.Int(nextSession), svc.Int(vid)}
+			nextSession++
+			if stage {
+				if err := logT.StageInsert(row); err != nil {
+					log.Fatal(err)
+				}
+			} else {
+				logT.MustInsert(row)
+			}
+		}
+	}
+	addVisits(60000, false)
+
+	plan := svc.GroupByAgg(
+		svc.Join(
+			svc.Scan("Log", logT.Schema()),
+			svc.Scan("Video", video.Schema()),
+			svc.JoinSpec{Type: svc.Inner, On: svc.On("videoId", "videoId"), Merge: true},
+		),
+		[]string{"videoId", "ownerId"},
+		svc.CountAs("visitCount"),
+	)
+	sv, err := svc.New(d, svc.ViewDefinition{Name: "visitView", Plan: plan},
+		svc.WithSamplingRatio(0.08))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A burst of new sessions arrives before the nightly maintenance.
+	addVisits(9000, true)
+
+	// Dashboard 1: total visits per owner (top 5), estimated.
+	groups, err := sv.QueryGroups(svc.Sum("visitCount", nil), "ownerId")
+	if err != nil {
+		log.Fatal(err)
+	}
+	type ownerRow struct {
+		label string
+		est   float64
+	}
+	var rows []ownerRow
+	for k, est := range groups.Groups {
+		rows = append(rows, ownerRow{groups.Labels[k], est.Value})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].est > rows[j].est })
+	fmt.Println("top owners by estimated up-to-date visits:")
+	for i, r := range rows {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  owner %-3s ≈ %8.0f visits\n", r.label, r.est)
+	}
+
+	// Dashboard 2: average visits per video, stale vs estimated.
+	avg, err := sv.Query(svc.Avg("visitCount", nil))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\navg visits per video: stale %.2f, SVC estimate %.2f (CI [%.2f, %.2f])\n",
+		avg.StaleValue, avg.Value, avg.Lo, avg.Hi)
+
+	// Dashboard 3: the cleaned SELECT — current hot videos.
+	res, err := sv.CleanSelect(svc.Gt(svc.ColRef("visitCount"), svc.IntLit(300)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nvideos with >300 views (cleaned selection): %d rows\n", res.Rows.Len())
+	fmt.Printf("  est. rows updated: %.0f, newly qualifying: %.0f, dropped out: %.0f\n",
+		res.Updated.Value, res.Added.Value, res.Removed.Value)
+
+	// Nightly maintenance closes the period.
+	if err := sv.MaintainNow(); err != nil {
+		log.Fatal(err)
+	}
+	exact, _ := sv.ExactQuery(svc.Avg("visitCount", nil))
+	fmt.Printf("\nafter nightly maintenance, exact avg visits per video: %.2f\n", exact)
+}

@@ -1,0 +1,262 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/sampleclean/svc/internal/expr"
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// AggFunc enumerates the aggregate functions supported by γ.
+type AggFunc uint8
+
+// Aggregate functions. Count counts rows (COUNT(1)); the others fold the
+// Input expression, skipping NULL inputs like SQL.
+const (
+	Count AggFunc = iota
+	Sum
+	Avg
+	Min
+	Max
+)
+
+// String returns the SQL name of the aggregate.
+func (f AggFunc) String() string {
+	return [...]string{"count", "sum", "avg", "min", "max"}[f]
+}
+
+// AggSpec is one aggregate output: a function over an input expression,
+// emitted under the name As.
+type AggSpec struct {
+	Func  AggFunc
+	Input expr.Expr // nil for Count
+	As    string
+}
+
+// CountAs returns a COUNT(1) aggregate named as.
+func CountAs(as string) AggSpec { return AggSpec{Func: Count, As: as} }
+
+// SumAs returns SUM(e) named as.
+func SumAs(e expr.Expr, as string) AggSpec { return AggSpec{Func: Sum, Input: e, As: as} }
+
+// AvgAs returns AVG(e) named as.
+func AvgAs(e expr.Expr, as string) AggSpec { return AggSpec{Func: Avg, Input: e, As: as} }
+
+// MinAs returns MIN(e) named as.
+func MinAs(e expr.Expr, as string) AggSpec { return AggSpec{Func: Min, Input: e, As: as} }
+
+// MaxAs returns MAX(e) named as.
+func MaxAs(e expr.Expr, as string) AggSpec { return AggSpec{Func: Max, Input: e, As: as} }
+
+// AggregateNode evaluates γ_{f,A}: group the input by the distinct values
+// of the group-by attributes and apply the aggregate functions per group.
+//
+// Key derivation (Definition 2): the primary key of the result is the
+// group-by key. With no group-by attributes the result is the single
+// all-rows group and is keyless.
+type AggregateNode struct {
+	child   Node
+	groupBy []string
+	aggs    []AggSpec
+
+	schema relation.Schema
+	gIdx   []int
+	bound  []expr.Expr
+}
+
+// GroupBy builds γ over child grouped by the named attributes.
+func GroupBy(child Node, groupBy []string, aggs ...AggSpec) (*AggregateNode, error) {
+	cs := child.Schema()
+	a := &AggregateNode{child: child, groupBy: groupBy, aggs: aggs}
+
+	var cols []relation.Column
+	for _, g := range groupBy {
+		i := cs.ColIndex(g)
+		if i < 0 {
+			return nil, fmt.Errorf("algebra: group-by column %q not found in [%s]", g, cs)
+		}
+		a.gIdx = append(a.gIdx, i)
+		cols = append(cols, cs.Col(i))
+	}
+	for _, spec := range aggs {
+		if spec.As == "" {
+			return nil, fmt.Errorf("algebra: aggregate %s needs an output name", spec.Func)
+		}
+		var typ relation.Kind
+		switch spec.Func {
+		case Count:
+			typ = relation.KindInt
+		case Sum, Avg:
+			typ = relation.KindFloat
+		default:
+			typ = relation.KindNull // min/max keep the input's type
+		}
+		cols = append(cols, relation.Column{Name: spec.As, Type: typ})
+		if spec.Func != Count {
+			if spec.Input == nil {
+				return nil, fmt.Errorf("algebra: aggregate %s(%s) needs an input expression", spec.Func, spec.As)
+			}
+			b, err := spec.Input.Bind(cs)
+			if err != nil {
+				return nil, fmt.Errorf("algebra: aggregate %s: %w", spec.As, err)
+			}
+			a.bound = append(a.bound, b)
+		} else {
+			a.bound = append(a.bound, nil)
+		}
+	}
+	a.schema = relation.NewSchema(cols, groupBy...)
+	return a, nil
+}
+
+// MustGroupBy is GroupBy, panicking on error.
+func MustGroupBy(child Node, groupBy []string, aggs ...AggSpec) *AggregateNode {
+	a, err := GroupBy(child, groupBy, aggs...)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// GroupKeys returns the group-by attribute names.
+func (a *AggregateNode) GroupKeys() []string { return append([]string(nil), a.groupBy...) }
+
+// Aggs returns the aggregate specifications.
+func (a *AggregateNode) Aggs() []AggSpec { return append([]AggSpec(nil), a.aggs...) }
+
+// Schema implements Node.
+func (a *AggregateNode) Schema() relation.Schema { return a.schema }
+
+// accumulator folds one aggregate for one group.
+type accumulator struct {
+	count int64
+	sum   float64
+	min   relation.Value
+	max   relation.Value
+	n     int64 // non-null inputs, for avg
+}
+
+func (acc *accumulator) add(f AggFunc, v relation.Value) {
+	switch f {
+	case Count:
+		acc.count++
+	case Sum, Avg:
+		if !v.IsNull() {
+			acc.sum += v.AsFloat()
+			acc.n++
+		}
+	case Min:
+		if !v.IsNull() && (acc.n == 0 || v.Compare(acc.min) < 0) {
+			acc.min = v
+			acc.n++
+		}
+	case Max:
+		if !v.IsNull() && (acc.n == 0 || v.Compare(acc.max) > 0) {
+			acc.max = v
+			acc.n++
+		}
+	}
+}
+
+func (acc *accumulator) result(f AggFunc) relation.Value {
+	switch f {
+	case Count:
+		return relation.Int(acc.count)
+	case Sum:
+		if acc.n == 0 {
+			return relation.Null()
+		}
+		return relation.Float(acc.sum)
+	case Avg:
+		if acc.n == 0 {
+			return relation.Null()
+		}
+		return relation.Float(acc.sum / float64(acc.n))
+	case Min:
+		if acc.n == 0 {
+			return relation.Null()
+		}
+		return acc.min
+	default:
+		if acc.n == 0 {
+			return relation.Null()
+		}
+		return acc.max
+	}
+}
+
+// Eval implements Node.
+func (a *AggregateNode) Eval(ctx *Context) (*relation.Relation, error) {
+	in, err := a.child.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	ctx.RowsTouched += int64(in.Len())
+	type group struct {
+		rep  relation.Row // representative row for group-by values
+		accs []accumulator
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, row := range in.Rows() {
+		k := row.KeyOf(a.gIdx)
+		g, ok := groups[k]
+		if !ok {
+			g = &group{rep: row, accs: make([]accumulator, len(a.aggs))}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for i, spec := range a.aggs {
+			var v relation.Value
+			if a.bound[i] != nil {
+				v = a.bound[i].Eval(row)
+			}
+			g.accs[i].add(spec.Func, v)
+		}
+	}
+	// A grand aggregate (no group-by) over empty input yields one row of
+	// count 0 / NULL aggregates, matching SQL.
+	if len(a.groupBy) == 0 && len(order) == 0 {
+		groups[""] = &group{accs: make([]accumulator, len(a.aggs))}
+		order = append(order, "")
+	}
+
+	rows := make([]relation.Row, 0, len(order))
+	for _, k := range order {
+		g := groups[k]
+		out := make(relation.Row, len(a.gIdx)+len(a.aggs))
+		for i, gi := range a.gIdx {
+			out[i] = g.rep[gi]
+		}
+		for i, spec := range a.aggs {
+			out[len(a.gIdx)+i] = g.accs[i].result(spec.Func)
+		}
+		rows = append(rows, out)
+	}
+	return output(ctx, a.schema, rows)
+}
+
+// Children implements Node.
+func (a *AggregateNode) Children() []Node { return []Node{a.child} }
+
+// WithChildren implements Node.
+func (a *AggregateNode) WithChildren(ch []Node) Node {
+	if len(ch) != 1 {
+		panic("algebra: Aggregate takes one child")
+	}
+	return MustGroupBy(ch[0], a.groupBy, a.aggs...)
+}
+
+// String implements Node.
+func (a *AggregateNode) String() string {
+	parts := make([]string, len(a.aggs))
+	for i, s := range a.aggs {
+		if s.Input != nil {
+			parts[i] = fmt.Sprintf("%s(%s) as %s", s.Func, s.Input, s.As)
+		} else {
+			parts[i] = fmt.Sprintf("%s(1) as %s", s.Func, s.As)
+		}
+	}
+	return fmt.Sprintf("GroupBy(%s | %s)", strings.Join(a.groupBy, ","), strings.Join(parts, ", "))
+}

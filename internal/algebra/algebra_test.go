@@ -1,0 +1,511 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sampleclean/svc/internal/expr"
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// Test fixtures model the paper's running example: Log(sessionId, videoId)
+// and Video(videoId, ownerId, duration).
+
+func logSchema() relation.Schema {
+	return relation.NewSchema([]relation.Column{
+		{Name: "sessionId", Type: relation.KindInt},
+		{Name: "videoId", Type: relation.KindInt},
+	}, "sessionId")
+}
+
+func videoSchema() relation.Schema {
+	return relation.NewSchema([]relation.Column{
+		{Name: "videoId", Type: relation.KindInt},
+		{Name: "ownerId", Type: relation.KindInt},
+		{Name: "duration", Type: relation.KindFloat},
+	}, "videoId")
+}
+
+// fixtureCtx returns a context with a small Log/Video database:
+// videos 1..3 owned by 10/10/20, log sessions visiting them.
+func fixtureCtx() *Context {
+	video := relation.New(videoSchema())
+	video.MustInsert(relation.Row{relation.Int(1), relation.Int(10), relation.Float(1.0)})
+	video.MustInsert(relation.Row{relation.Int(2), relation.Int(10), relation.Float(2.0)})
+	video.MustInsert(relation.Row{relation.Int(3), relation.Int(20), relation.Float(0.5)})
+
+	log := relation.New(logSchema())
+	visits := []int64{1, 1, 1, 2, 2, 3} // video visit pattern
+	for i, v := range visits {
+		log.MustInsert(relation.Row{relation.Int(int64(100 + i)), relation.Int(v)})
+	}
+	return NewContext(map[string]*relation.Relation{
+		"Log":   log,
+		"Video": video,
+	})
+}
+
+func mustEval(t *testing.T, n Node, ctx *Context) *relation.Relation {
+	t.Helper()
+	out, err := n.Eval(ctx)
+	if err != nil {
+		t.Fatalf("eval %s: %v", n, err)
+	}
+	return out
+}
+
+func TestScan(t *testing.T) {
+	ctx := fixtureCtx()
+	out := mustEval(t, Scan("Log", logSchema()), ctx)
+	if out.Len() != 6 {
+		t.Fatalf("scan len = %d", out.Len())
+	}
+	if _, err := Scan("Nope", logSchema()).Eval(ctx); err == nil {
+		t.Fatal("scan of unbound name should fail")
+	}
+	// Schema mismatch is detected.
+	if _, err := Scan("Log", videoSchema()).Eval(ctx); err == nil {
+		t.Fatal("scan with wrong schema should fail")
+	}
+	// Bare scans of shared relations are free; consuming operators charge
+	// the reads (an index probe may touch only a few rows).
+	sel := MustSelect(Scan("Log", logSchema()), expr.True())
+	if _, err := sel.Eval(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.RowsTouched == 0 {
+		t.Error("RowsTouched should be accounted by consuming operators")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	ctx := fixtureCtx()
+	sel := MustSelect(Scan("Log", logSchema()), expr.Eq(expr.Col("videoId"), expr.IntLit(1)))
+	out := mustEval(t, sel, ctx)
+	if out.Len() != 3 {
+		t.Fatalf("select len = %d", out.Len())
+	}
+	// Key preserved (Definition 2).
+	if got := out.Schema().KeyNames(); len(got) != 1 || got[0] != "sessionId" {
+		t.Errorf("select key = %v", got)
+	}
+	if _, err := Select(Scan("Log", logSchema()), expr.Col("nope")); err == nil {
+		t.Fatal("select with unknown column should fail")
+	}
+}
+
+func TestProjectKeyDerivation(t *testing.T) {
+	base := Scan("Video", videoSchema())
+	// Pass-through with rename keeps the key under the new name.
+	p := MustProject(base, []Output{
+		Out("vid", expr.Col("videoId")),
+		Out("hours", expr.Div(expr.Col("duration"), expr.IntLit(1))),
+	})
+	if got := p.Schema().KeyNames(); len(got) != 1 || got[0] != "vid" {
+		t.Fatalf("project key = %v", got)
+	}
+	out := mustEval(t, p, fixtureCtx())
+	if out.Len() != 3 {
+		t.Fatalf("project len = %d", out.Len())
+	}
+	// Dropping the key is a Definition 2 violation.
+	if _, err := Project(base, []Output{OutCol("ownerId")}); err == nil {
+		t.Fatal("projection dropping the key should fail")
+	}
+	// A non-pass-through transformation of the key does not count.
+	if _, err := Project(base, []Output{
+		Out("videoId", expr.Add(expr.Col("videoId"), expr.IntLit(1))),
+		OutCol("ownerId"),
+	}); err == nil {
+		t.Fatal("transformed key should not satisfy Definition 2")
+	}
+}
+
+func TestProjectKeyedAssertion(t *testing.T) {
+	base := Scan("Video", videoSchema())
+	p := MustProjectKeyed(base, []Output{
+		Out("k", expr.Col("videoId")),
+		Out("double", expr.Mul(expr.Col("ownerId"), expr.IntLit(2))),
+	}, "k")
+	out := mustEval(t, p, fixtureCtx())
+	if out.Len() != 3 {
+		t.Fatalf("len = %d", out.Len())
+	}
+	// Asserting a non-unique key is caught at evaluation.
+	bad := MustProjectKeyed(base, []Output{
+		Out("k", expr.Col("ownerId")),
+	}, "k")
+	if _, err := bad.Eval(fixtureCtx()); err == nil {
+		t.Fatal("non-unique asserted key should fail at eval")
+	}
+}
+
+func TestAlias(t *testing.T) {
+	a := Alias(Scan("Video", videoSchema()), "v")
+	if got := a.Schema().KeyNames(); got[0] != "v.videoId" {
+		t.Fatalf("alias key = %v", got)
+	}
+	out := mustEval(t, a, fixtureCtx())
+	if out.Len() != 3 || out.Schema().ColIndex("v.ownerId") != 1 {
+		t.Fatalf("alias output wrong: %v", out.Schema())
+	}
+}
+
+func TestInnerJoinFK(t *testing.T) {
+	ctx := fixtureCtx()
+	// Log ⋈ Video on videoId (FK join), merged columns.
+	j := MustJoin(Scan("Log", logSchema()), Scan("Video", videoSchema()),
+		JoinSpec{Type: Inner, On: On("videoId", "videoId"), Merge: true})
+	out := mustEval(t, j, ctx)
+	if out.Len() != 6 {
+		t.Fatalf("join len = %d", out.Len())
+	}
+	// Merged key: (sessionId, videoId) with the dimension key collapsing
+	// into the fact's foreign key.
+	if got := strings.Join(out.Schema().KeyNames(), ","); got != "sessionId,videoId" {
+		t.Fatalf("join key = %v", got)
+	}
+	// The right join column is dropped.
+	if out.Schema().NumCols() != 4 {
+		t.Fatalf("join cols = %v", out.Schema())
+	}
+}
+
+func TestInnerJoinNoMergeCompositeKey(t *testing.T) {
+	l := Alias(Scan("Log", logSchema()), "l")
+	v := Alias(Scan("Video", videoSchema()), "v")
+	j := MustJoin(l, v, JoinSpec{Type: Inner, On: On("l.videoId", "v.videoId")})
+	if got := strings.Join(j.Schema().KeyNames(), ","); got != "l.sessionId,v.videoId" {
+		t.Fatalf("composite key = %q", got)
+	}
+	out := mustEval(t, j, fixtureCtx())
+	if out.Len() != 6 {
+		t.Fatalf("join len = %d", out.Len())
+	}
+}
+
+func TestJoinDuplicateColumnsRejected(t *testing.T) {
+	if _, err := Join(Scan("Video", videoSchema()), Scan("Video", videoSchema()),
+		JoinSpec{Type: Inner, On: On("videoId", "videoId")}); err == nil {
+		t.Fatal("duplicate output columns should be rejected")
+	}
+}
+
+func TestOuterJoins(t *testing.T) {
+	// delta view counts per video, but only for videos 1 and 99 (99 is a
+	// "new" video not in the stale side).
+	stale := relation.New(relation.NewSchema([]relation.Column{
+		{Name: "videoId", Type: relation.KindInt},
+		{Name: "cnt", Type: relation.KindInt},
+	}, "videoId"))
+	stale.MustInsert(relation.Row{relation.Int(1), relation.Int(3)})
+	stale.MustInsert(relation.Row{relation.Int(2), relation.Int(2)})
+
+	delta := relation.New(relation.NewSchema([]relation.Column{
+		{Name: "dVideoId", Type: relation.KindInt},
+		{Name: "dCnt", Type: relation.KindInt},
+	}, "dVideoId"))
+	delta.MustInsert(relation.Row{relation.Int(1), relation.Int(5)})
+	delta.MustInsert(relation.Row{relation.Int(99), relation.Int(7)})
+
+	ctx := NewContext(map[string]*relation.Relation{"S": stale, "D": delta})
+	sScan := Scan("S", stale.Schema())
+	dScan := Scan("D", delta.Schema())
+
+	full := MustJoin(sScan, dScan, JoinSpec{Type: FullOuter, On: On("videoId", "dVideoId"), Merge: true})
+	out := mustEval(t, full, ctx)
+	if out.Len() != 3 {
+		t.Fatalf("full outer len = %d\n%s", out.Len(), out)
+	}
+	// Merged key present on right-only row.
+	row, ok := out.Get(relation.Int(99))
+	if !ok {
+		t.Fatalf("row 99 missing: %s", out)
+	}
+	if !row[1].IsNull() || row[2].AsInt() != 7 {
+		t.Errorf("right-only row = %v", row)
+	}
+	row, _ = out.Get(relation.Int(2))
+	if row[1].AsInt() != 2 || !row[2].IsNull() {
+		t.Errorf("left-only row = %v", row)
+	}
+
+	left := MustJoin(sScan, dScan, JoinSpec{Type: LeftOuter, On: On("videoId", "dVideoId"), Merge: true})
+	if got := mustEval(t, left, ctx).Len(); got != 2 {
+		t.Fatalf("left outer len = %d", got)
+	}
+	right := MustJoin(sScan, dScan, JoinSpec{Type: RightOuter, On: On("videoId", "dVideoId"), Merge: true})
+	if got := mustEval(t, right, ctx).Len(); got != 2 {
+		t.Fatalf("right outer len = %d", got)
+	}
+}
+
+func TestJoinNullKeysNeverMatch(t *testing.T) {
+	a := relation.New(relation.NewSchema([]relation.Column{
+		{Name: "k", Type: relation.KindInt}, {Name: "x", Type: relation.KindInt},
+	}))
+	a.MustInsert(relation.Row{relation.Null(), relation.Int(1)})
+	b := relation.New(relation.NewSchema([]relation.Column{
+		{Name: "j", Type: relation.KindInt}, {Name: "y", Type: relation.KindInt},
+	}))
+	b.MustInsert(relation.Row{relation.Null(), relation.Int(2)})
+	ctx := NewContext(map[string]*relation.Relation{"A": a, "B": b})
+	j := MustJoin(Scan("A", a.Schema()), Scan("B", b.Schema()),
+		JoinSpec{Type: Inner, On: On("k", "j")})
+	if got := mustEval(t, j, ctx).Len(); got != 0 {
+		t.Fatalf("NULL keys matched: %d rows", got)
+	}
+}
+
+func TestJoinExtraPredicate(t *testing.T) {
+	ctx := fixtureCtx()
+	j := MustJoin(Scan("Log", logSchema()), Scan("Video", videoSchema()),
+		JoinSpec{Type: Inner, On: On("videoId", "videoId"), Merge: true,
+			Extra: expr.Gt(expr.Col("duration"), expr.FloatLit(0.9))})
+	out := mustEval(t, j, ctx)
+	// Videos 1 (3 visits) and 2 (2 visits) have duration > 0.9.
+	if out.Len() != 5 {
+		t.Fatalf("extra predicate join len = %d", out.Len())
+	}
+}
+
+func TestCrossJoin(t *testing.T) {
+	ctx := fixtureCtx()
+	j := MustJoin(Alias(Scan("Video", videoSchema()), "a"), Alias(Scan("Video", videoSchema()), "b"),
+		JoinSpec{Type: Inner})
+	if got := mustEval(t, j, ctx).Len(); got != 9 {
+		t.Fatalf("cross join len = %d", got)
+	}
+}
+
+func TestGroupByVisitCount(t *testing.T) {
+	ctx := fixtureCtx()
+	// The paper's visitView inner aggregate: visits per video.
+	g := MustGroupBy(Scan("Log", logSchema()), []string{"videoId"}, CountAs("visitCount"))
+	out := mustEval(t, g, ctx)
+	if out.Len() != 3 {
+		t.Fatalf("groups = %d", out.Len())
+	}
+	if got := out.Schema().KeyNames(); got[0] != "videoId" {
+		t.Fatalf("agg key = %v", got)
+	}
+	row, _ := out.Get(relation.Int(1))
+	if row[1].AsInt() != 3 {
+		t.Errorf("visitCount(1) = %v", row[1])
+	}
+}
+
+func TestAggregateFunctions(t *testing.T) {
+	ctx := fixtureCtx()
+	g := MustGroupBy(Scan("Video", videoSchema()), []string{"ownerId"},
+		CountAs("n"),
+		SumAs(expr.Col("duration"), "total"),
+		AvgAs(expr.Col("duration"), "mean"),
+		MinAs(expr.Col("duration"), "lo"),
+		MaxAs(expr.Col("duration"), "hi"),
+	)
+	out := mustEval(t, g, ctx)
+	row, ok := out.Get(relation.Int(10))
+	if !ok {
+		t.Fatalf("owner 10 missing")
+	}
+	if row[1].AsInt() != 2 || row[2].AsFloat() != 3.0 || row[3].AsFloat() != 1.5 ||
+		row[4].AsFloat() != 1.0 || row[5].AsFloat() != 2.0 {
+		t.Errorf("agg row = %v", row)
+	}
+}
+
+func TestGrandAggregateEmptyInput(t *testing.T) {
+	empty := relation.New(videoSchema())
+	ctx := NewContext(map[string]*relation.Relation{"Video": empty})
+	g := MustGroupBy(Scan("Video", videoSchema()), nil, CountAs("n"), SumAs(expr.Col("duration"), "s"))
+	out := mustEval(t, g, ctx)
+	if out.Len() != 1 {
+		t.Fatalf("grand aggregate rows = %d", out.Len())
+	}
+	if out.Row(0)[0].AsInt() != 0 || !out.Row(0)[1].IsNull() {
+		t.Errorf("grand aggregate over empty = %v", out.Row(0))
+	}
+	if out.Schema().HasKey() {
+		t.Error("grand aggregate should be keyless")
+	}
+}
+
+func TestAggregateNullsSkipped(t *testing.T) {
+	rel := relation.New(relation.NewSchema([]relation.Column{
+		{Name: "k", Type: relation.KindInt}, {Name: "x", Type: relation.KindFloat},
+	}, "k"))
+	rel.MustInsert(relation.Row{relation.Int(1), relation.Float(10)})
+	rel.MustInsert(relation.Row{relation.Int(2), relation.Null()})
+	ctx := NewContext(map[string]*relation.Relation{"R": rel})
+	g := MustGroupBy(Scan("R", rel.Schema()), nil, CountAs("n"), SumAs(expr.Col("x"), "s"), AvgAs(expr.Col("x"), "a"))
+	out := mustEval(t, g, ctx)
+	row := out.Row(0)
+	if row[0].AsInt() != 2 || row[1].AsFloat() != 10 || row[2].AsFloat() != 10 {
+		t.Errorf("null-skipping aggregates = %v", row)
+	}
+}
+
+func TestSetOpsKeyed(t *testing.T) {
+	mk := func(ids ...int64) *relation.Relation {
+		r := relation.New(relation.NewSchema([]relation.Column{
+			{Name: "k", Type: relation.KindInt}, {Name: "v", Type: relation.KindInt},
+		}, "k"))
+		for _, id := range ids {
+			r.MustInsert(relation.Row{relation.Int(id), relation.Int(id * 10)})
+		}
+		return r
+	}
+	a, b := mk(1, 2, 3), mk(2, 3, 4)
+	ctx := NewContext(map[string]*relation.Relation{"A": a, "B": b})
+	sa, sb := Scan("A", a.Schema()), Scan("B", b.Schema())
+
+	if got := mustEval(t, MustUnion(sa, sb), ctx).Len(); got != 4 {
+		t.Errorf("union len = %d", got)
+	}
+	if got := mustEval(t, MustIntersect(sa, sb), ctx).Len(); got != 2 {
+		t.Errorf("intersect len = %d", got)
+	}
+	if got := mustEval(t, MustDifference(sa, sb), ctx).Len(); got != 1 {
+		t.Errorf("difference len = %d", got)
+	}
+	out := mustEval(t, MustDifference(sa, sb), ctx)
+	if out.Row(0)[0].AsInt() != 1 {
+		t.Errorf("difference kept %v", out.Row(0))
+	}
+	// Incompatible schemas rejected.
+	if _, err := Union(sa, Scan("Log", logSchema())); err == nil {
+		t.Error("incompatible union should fail")
+	}
+}
+
+func TestBagUnionConcatenates(t *testing.T) {
+	sch := relation.NewSchema([]relation.Column{{Name: "x", Type: relation.KindInt}})
+	a, b := relation.New(sch), relation.New(sch)
+	a.MustInsert(relation.Row{relation.Int(1)})
+	b.MustInsert(relation.Row{relation.Int(1)})
+	ctx := NewContext(map[string]*relation.Relation{"A": a, "B": b})
+	u := MustUnion(Scan("A", sch), Scan("B", sch))
+	if got := mustEval(t, u, ctx).Len(); got != 2 {
+		t.Fatalf("bag union len = %d (want duplicate kept)", got)
+	}
+	if u.Schema().HasKey() {
+		t.Error("bag union should be keyless")
+	}
+}
+
+func TestHashFilterBasics(t *testing.T) {
+	ctx := fixtureCtx()
+	h := MustHashFilter(Scan("Log", logSchema()), []string{"sessionId"}, 1.0, nil)
+	if got := mustEval(t, h, ctx).Len(); got != 6 {
+		t.Fatalf("ratio 1.0 kept %d of 6", got)
+	}
+	h0 := MustHashFilter(Scan("Log", logSchema()), []string{"sessionId"}, 0.0, nil)
+	if got := mustEval(t, h0, ctx).Len(); got != 0 {
+		t.Fatalf("ratio 0.0 kept %d", got)
+	}
+	// Determinism: same sample twice.
+	h5 := MustHashFilter(Scan("Log", logSchema()), []string{"sessionId"}, 0.5, nil)
+	a := mustEval(t, h5, ctx)
+	b := mustEval(t, h5, fixtureCtx())
+	if !a.Equal(b) {
+		t.Fatal("hash filter not deterministic")
+	}
+	if _, err := HashFilter(Scan("Log", logSchema()), []string{"zzz"}, 0.5, nil); err == nil {
+		t.Error("unknown attr should fail")
+	}
+	if _, err := HashFilter(Scan("Log", logSchema()), []string{"sessionId"}, 1.5, nil); err == nil {
+		t.Error("ratio > 1 should fail")
+	}
+}
+
+func TestFormatAndWalk(t *testing.T) {
+	g := MustGroupBy(MustSelect(Scan("Log", logSchema()), expr.True()), []string{"videoId"}, CountAs("c"))
+	s := Format(g)
+	if !strings.Contains(s, "GroupBy") || !strings.Contains(s, "Scan(Log)") {
+		t.Errorf("Format = %q", s)
+	}
+	if got := CountNodes(g); got != 3 {
+		t.Errorf("CountNodes = %d", got)
+	}
+}
+
+// Index-probe joins must produce exactly the hash join's output (they are
+// an execution strategy, not a semantic change), while touching fewer
+// rows.
+func TestIndexProbeJoinEquivalence(t *testing.T) {
+	mkCtx := func(withIndex bool) *Context {
+		video := relation.New(videoSchema())
+		for i := int64(0); i < 50; i++ {
+			video.MustInsert(relation.Row{relation.Int(i), relation.Int(i % 7), relation.Float(float64(i))})
+		}
+		log := relation.New(logSchema())
+		for i := int64(0); i < 500; i++ {
+			log.MustInsert(relation.Row{relation.Int(i), relation.Int(i % 50)})
+		}
+		if withIndex {
+			log.BuildIndex([]int{logSchema().ColIndex("videoId")})
+		}
+		return NewContext(map[string]*relation.Relation{"Log": log, "Video": video})
+	}
+	// Small delta probing the indexed Log side.
+	delta := relation.New(relation.NewSchema([]relation.Column{
+		{Name: "dVideoId", Type: relation.KindInt},
+	}, "dVideoId"))
+	for _, v := range []int64{3, 17, 42} {
+		delta.MustInsert(relation.Row{relation.Int(v)})
+	}
+	join := MustJoin(
+		Scan("Log", logSchema()),
+		Scan("D", delta.Schema()),
+		JoinSpec{Type: Inner, On: On("videoId", "dVideoId"), Merge: true},
+	)
+	var outs [2]*relation.Relation
+	var costs [2]int64
+	for i, withIndex := range []bool{false, true} {
+		ctx := mkCtx(withIndex)
+		ctx.Bind("D", delta)
+		out, err := join.Eval(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.SortByKey()
+		outs[i] = out
+		costs[i] = ctx.RowsTouched
+	}
+	if !outs[0].Equal(outs[1]) {
+		t.Fatalf("index probe changed the join result: %d vs %d rows", outs[0].Len(), outs[1].Len())
+	}
+	if costs[1] >= costs[0] {
+		t.Errorf("index probe should touch fewer rows: %d vs %d", costs[1], costs[0])
+	}
+	if outs[0].Len() != 30 { // 3 videos × 10 visits each
+		t.Errorf("join rows = %d", outs[0].Len())
+	}
+}
+
+// An inner join with an empty delta side must not evaluate the other side
+// at all (the delta-plan short-circuit).
+func TestInnerJoinEmptySideShortCircuit(t *testing.T) {
+	empty := relation.New(relation.NewSchema([]relation.Column{
+		{Name: "dVideoId", Type: relation.KindInt},
+	}, "dVideoId"))
+	ctx := fixtureCtx()
+	ctx.Bind("D", empty)
+	join := MustJoin(
+		Scan("Log", logSchema()),
+		Scan("D", empty.Schema()),
+		JoinSpec{Type: Inner, On: On("videoId", "dVideoId"), Merge: true},
+	)
+	before := ctx.RowsTouched
+	out, err := join.Eval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("join of empty side = %d rows", out.Len())
+	}
+	if ctx.RowsTouched != before {
+		t.Errorf("empty-side join should touch no rows, touched %d", ctx.RowsTouched-before)
+	}
+}

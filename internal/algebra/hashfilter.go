@@ -1,0 +1,107 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/sampleclean/svc/internal/hashing"
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// HashFilterNode is the paper's sampling operator η_{a,m} (Section 4.4):
+// it applies a deterministic hash whose range is [0,1) to the attribute
+// tuple a and keeps rows with hash(a) < m, selecting an approximately
+// uniform m-fraction deterministically.
+//
+// Because the hash is a pure function of the attribute values, η commutes
+// with the operators listed in Definition 3; PushDownHash exploits this to
+// sample before expensive operators materialize rows (Theorem 1 guarantees
+// the pushed-down plan produces the identical sample).
+type HashFilterNode struct {
+	child  Node
+	attrs  []string
+	ratio  float64
+	hasher hashing.Hasher
+	idx    []int
+}
+
+// HashFilter returns η_{attrs,ratio}(child) using the given hasher (nil
+// means hashing.Default). The attributes must exist in the child's schema;
+// they are usually the child's derived primary key but may be any attribute
+// tuple (paper Appendix 12.5 discusses sampling non-unique keys).
+func HashFilter(child Node, attrs []string, ratio float64, hasher hashing.Hasher) (*HashFilterNode, error) {
+	if ratio < 0 || ratio > 1 {
+		return nil, fmt.Errorf("algebra: hash filter ratio %v outside [0,1]", ratio)
+	}
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("algebra: hash filter needs at least one attribute")
+	}
+	if hasher == nil {
+		hasher = hashing.Default
+	}
+	cs := child.Schema()
+	idx := make([]int, len(attrs))
+	for i, a := range attrs {
+		j := cs.ColIndex(a)
+		if j < 0 {
+			return nil, fmt.Errorf("algebra: hash filter attribute %q not in schema [%s]", a, cs)
+		}
+		idx[i] = j
+	}
+	return &HashFilterNode{child: child, attrs: append([]string(nil), attrs...), ratio: ratio, hasher: hasher, idx: idx}, nil
+}
+
+// MustHashFilter is HashFilter, panicking on error.
+func MustHashFilter(child Node, attrs []string, ratio float64, hasher hashing.Hasher) *HashFilterNode {
+	h, err := HashFilter(child, attrs, ratio, hasher)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Attrs returns the hashed attribute names.
+func (h *HashFilterNode) Attrs() []string { return append([]string(nil), h.attrs...) }
+
+// Ratio returns the sampling ratio m.
+func (h *HashFilterNode) Ratio() float64 { return h.ratio }
+
+// Hasher returns the hash function in use.
+func (h *HashFilterNode) Hasher() hashing.Hasher { return h.hasher }
+
+// Schema implements Node.
+func (h *HashFilterNode) Schema() relation.Schema { return h.child.Schema() }
+
+// Eval implements Node.
+func (h *HashFilterNode) Eval(ctx *Context) (*relation.Relation, error) {
+	in, err := h.child.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	ctx.RowsTouched += int64(in.Len())
+	var rows []relation.Row
+	var buf []byte
+	for _, row := range in.Rows() {
+		buf = row.EncodeCols(h.idx, buf[:0])
+		if h.hasher.Unit(buf) < h.ratio {
+			rows = append(rows, row)
+		}
+	}
+	return output(ctx, h.Schema(), rows)
+}
+
+// Children implements Node.
+func (h *HashFilterNode) Children() []Node { return []Node{h.child} }
+
+// WithChildren implements Node.
+func (h *HashFilterNode) WithChildren(ch []Node) Node {
+	if len(ch) != 1 {
+		panic("algebra: HashFilter takes one child")
+	}
+	return MustHashFilter(ch[0], h.attrs, h.ratio, h.hasher)
+}
+
+// String implements Node.
+func (h *HashFilterNode) String() string {
+	return fmt.Sprintf("η(%s, %.4g, %s)", strings.Join(h.attrs, ","), h.ratio, h.hasher.Name())
+}

@@ -1,0 +1,385 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/sampleclean/svc/internal/expr"
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// JoinType selects the join variant. The paper's ⋈ notation covers inner
+// and the extended outer joins; the change-table maintenance strategy uses
+// the full outer join (Example 1, step 2).
+type JoinType uint8
+
+// Join variants.
+const (
+	Inner JoinType = iota
+	LeftOuter
+	RightOuter
+	FullOuter
+)
+
+// String returns the SQL-ish name of the join type.
+func (t JoinType) String() string {
+	return [...]string{"inner", "left", "right", "full"}[t]
+}
+
+// EqPair equates a left column with a right column in the join condition.
+type EqPair struct {
+	Left, Right string
+}
+
+// On is shorthand for a single equality pair.
+func On(left, right string) []EqPair { return []EqPair{{Left: left, Right: right}} }
+
+// JoinNode evaluates L ⋈ R as a hash join on column equalities, optionally
+// with an extra residual predicate over the combined row.
+//
+// When Merge is set the right-hand join columns are dropped from the output
+// and the left-named join columns carry coalesce(left, right) — SQL's
+// USING/NATURAL column merging. Merging is what lets a full outer join on
+// the view key keep a well-defined primary key: Definition 2 composes the
+// keys of both sides, and with merged columns the two key copies collapse
+// into one.
+//
+// Key derivation (Definition 2): the key of the result is the tuple of the
+// primary keys of both inputs; with Merge, right key columns that were
+// merged map to their left names, and duplicates collapse. If either side
+// is keyless, the result is keyless.
+type JoinNode struct {
+	left, right Node
+	typ         JoinType
+	on          []EqPair
+	merge       bool
+	extra       expr.Expr
+
+	schema     relation.Schema
+	lJoin      []int // join column indexes in left schema
+	rJoin      []int // join column indexes in right schema
+	rKeep      []int // right column indexes kept in output
+	mergedPos  []int // output positions of merged columns (parallel to on)
+	boundExtra expr.Expr
+}
+
+// JoinSpec configures a join; zero value = inner join on On pairs.
+type JoinSpec struct {
+	Type  JoinType
+	On    []EqPair
+	Merge bool
+	// Extra is a residual predicate over the combined row, part of the
+	// join condition (ON semantics: for outer joins, rows failing Extra
+	// produce outer tuples rather than being dropped).
+	Extra expr.Expr
+}
+
+// Join builds a join node. On may be empty only for inner joins (cross
+// join).
+func Join(left, right Node, spec JoinSpec) (*JoinNode, error) {
+	if len(spec.On) == 0 && spec.Type != Inner {
+		return nil, fmt.Errorf("algebra: outer join requires equality columns")
+	}
+	ls, rs := left.Schema(), right.Schema()
+	j := &JoinNode{left: left, right: right, typ: spec.Type, on: spec.On, merge: spec.Merge, extra: spec.Extra}
+
+	rMerged := map[int]bool{}
+	for _, p := range spec.On {
+		li, ri := ls.ColIndex(p.Left), rs.ColIndex(p.Right)
+		if li < 0 {
+			return nil, fmt.Errorf("algebra: join: left column %q not found in [%s]", p.Left, ls)
+		}
+		if ri < 0 {
+			return nil, fmt.Errorf("algebra: join: right column %q not found in [%s]", p.Right, rs)
+		}
+		j.lJoin = append(j.lJoin, li)
+		j.rJoin = append(j.rJoin, ri)
+		if spec.Merge {
+			rMerged[ri] = true
+		}
+	}
+
+	// Output columns: all left columns, then right columns minus merged.
+	var cols []relation.Column
+	cols = append(cols, ls.Cols()...)
+	for i, c := range rs.Cols() {
+		if rMerged[i] {
+			continue
+		}
+		j.rKeep = append(j.rKeep, i)
+		cols = append(cols, c)
+	}
+	for _, li := range j.lJoin {
+		j.mergedPos = append(j.mergedPos, li)
+	}
+	seen := map[string]bool{}
+	for _, c := range cols {
+		if seen[c.Name] {
+			return nil, fmt.Errorf("algebra: join: duplicate output column %q (use Alias to disambiguate)", c.Name)
+		}
+		seen[c.Name] = true
+	}
+
+	// Definition 2 key: tuple of both keys; merged right key columns map
+	// to their left names.
+	var keyNames []string
+	if ls.HasKey() && rs.HasKey() {
+		rightToLeft := map[string]string{}
+		if spec.Merge {
+			for _, p := range spec.On {
+				rightToLeft[p.Right] = p.Left
+			}
+		}
+		appendKey := func(n string) {
+			for _, k := range keyNames {
+				if k == n {
+					return
+				}
+			}
+			keyNames = append(keyNames, n)
+		}
+		for _, k := range ls.KeyNames() {
+			appendKey(k)
+		}
+		for _, k := range rs.KeyNames() {
+			if mapped, ok := rightToLeft[k]; ok {
+				appendKey(mapped)
+			} else {
+				appendKey(k)
+			}
+		}
+	}
+	j.schema = relation.NewSchema(cols, keyNames...)
+
+	if spec.Extra != nil {
+		bound, err := spec.Extra.Bind(j.schema)
+		if err != nil {
+			return nil, fmt.Errorf("algebra: join extra predicate: %w", err)
+		}
+		j.boundExtra = bound
+	}
+	return j, nil
+}
+
+// MustJoin is Join, panicking on error.
+func MustJoin(left, right Node, spec JoinSpec) *JoinNode {
+	j, err := Join(left, right, spec)
+	if err != nil {
+		panic(err)
+	}
+	return j
+}
+
+// Spec returns the join's configuration.
+func (j *JoinNode) Spec() JoinSpec {
+	return JoinSpec{Type: j.typ, On: append([]EqPair(nil), j.on...), Merge: j.merge, Extra: j.extra}
+}
+
+// Schema implements Node.
+func (j *JoinNode) Schema() relation.Schema { return j.schema }
+
+// combine builds an output row from an optional left row and optional right
+// row (nil means the outer side is absent).
+func (j *JoinNode) combine(l, r relation.Row) relation.Row {
+	nl := j.left.Schema().NumCols()
+	out := make(relation.Row, nl+len(j.rKeep))
+	if l != nil {
+		copy(out, l)
+	} // else left part stays NULL (zero Value)
+	for i, ri := range j.rKeep {
+		if r != nil {
+			out[nl+i] = r[ri]
+		}
+	}
+	if j.merge && r != nil {
+		// Merged columns: coalesce(left, right); with l == nil this fills
+		// the left-named column from the right side.
+		for k, pos := range j.mergedPos {
+			if out[pos].IsNull() {
+				out[pos] = r[j.rJoin[k]]
+			}
+		}
+	}
+	return out
+}
+
+func joinKey(row relation.Row, idx []int) (string, bool) {
+	for _, i := range idx {
+		if row[i].IsNull() {
+			return "", false // SQL: NULL never matches
+		}
+	}
+	return row.KeyOf(idx), true
+}
+
+// Eval implements Node.
+//
+// Execution picks among three strategies:
+//
+//   - empty-side short-circuit: an inner join evaluates its right child
+//     first and skips the left child entirely when the right is empty
+//     (and vice versa) — critical for delta-propagation plans, where most
+//     tables have no staged updates;
+//   - index probe: when one side carries an index on its join columns
+//     (the primary key, or a secondary index registered via
+//     db.EnsureIndex), the other side drives and probes — the indexed
+//     side is never scanned, matching how an indexed database executes
+//     delta joins;
+//   - hash join: otherwise, build on the right and probe with the left.
+func (j *JoinNode) Eval(ctx *Context) (*relation.Relation, error) {
+	// Inner joins: evaluate the right child first to enable the
+	// empty-side short-circuit.
+	var lRel, rRel *relation.Relation
+	var err error
+	if j.typ == Inner {
+		if rRel, err = j.right.Eval(ctx); err != nil {
+			return nil, err
+		}
+		if rRel.Len() == 0 {
+			return relation.New(j.schema), nil
+		}
+		if lRel, err = j.left.Eval(ctx); err != nil {
+			return nil, err
+		}
+		if lRel.Len() == 0 {
+			return relation.New(j.schema), nil
+		}
+	} else {
+		if lRel, err = j.left.Eval(ctx); err != nil {
+			return nil, err
+		}
+		if rRel, err = j.right.Eval(ctx); err != nil {
+			return nil, err
+		}
+	}
+
+	var rows []relation.Row
+	emit := func(l, r relation.Row) {
+		rows = append(rows, j.combine(l, r))
+	}
+
+	if len(j.on) == 0 {
+		// Cross join with optional residual predicate.
+		ctx.RowsTouched += int64(lRel.Len()) + int64(rRel.Len())
+		for _, l := range lRel.Rows() {
+			for _, r := range rRel.Rows() {
+				row := j.combine(l, r)
+				if j.boundExtra == nil || j.boundExtra.Eval(row).AsBool() {
+					rows = append(rows, row)
+				}
+			}
+		}
+		return output(ctx, j.schema, rows)
+	}
+
+	// tryEmit applies the residual predicate and emits a matched pair.
+	tryEmit := func(l, r relation.Row) bool {
+		if j.boundExtra != nil {
+			probe := j.combine(l, r)
+			if !j.boundExtra.Eval(probe).AsBool() {
+				return false
+			}
+			rows = append(rows, probe)
+			return true
+		}
+		emit(l, r)
+		return true
+	}
+
+	// Index probe: inner joins with an index on either side avoid
+	// scanning that side entirely. When both sides are indexed, the
+	// smaller side drives (the usual case in delta plans: a handful of
+	// delta rows probing a large indexed base table).
+	if j.typ == Inner {
+		rIdx := rRel.HasIndex(j.rJoin)
+		lIdx := lRel.HasIndex(j.lJoin)
+		driveLeft := rIdx && (!lIdx || lRel.Len() <= rRel.Len())
+		driveRight := lIdx && !driveLeft
+		switch {
+		case driveLeft:
+			ctx.RowsTouched += int64(lRel.Len())
+			for _, l := range lRel.Rows() {
+				if k, ok := joinKey(l, j.lJoin); ok {
+					for _, ri := range rRel.Probe(j.rJoin, k) {
+						if tryEmit(l, rRel.Row(ri)) {
+							ctx.RowsTouched++
+						}
+					}
+				}
+			}
+			return output(ctx, j.schema, rows)
+		case driveRight:
+			ctx.RowsTouched += int64(rRel.Len())
+			for _, r := range rRel.Rows() {
+				if k, ok := joinKey(r, j.rJoin); ok {
+					for _, li := range lRel.Probe(j.lJoin, k) {
+						if tryEmit(lRel.Row(li), r) {
+							ctx.RowsTouched++
+						}
+					}
+				}
+			}
+			return output(ctx, j.schema, rows)
+		}
+	}
+
+	// Hash join: build on the right, probe with the left.
+	ctx.RowsTouched += int64(lRel.Len()) + int64(rRel.Len())
+	build := make(map[string][]int, rRel.Len())
+	for i, r := range rRel.Rows() {
+		if k, ok := joinKey(r, j.rJoin); ok {
+			build[k] = append(build[k], i)
+		}
+	}
+	rMatched := make([]bool, rRel.Len())
+
+	for _, l := range lRel.Rows() {
+		matched := false
+		if k, ok := joinKey(l, j.lJoin); ok {
+			for _, ri := range build[k] {
+				if tryEmit(l, rRel.Row(ri)) {
+					matched = true
+					rMatched[ri] = true
+				}
+			}
+		}
+		if !matched && (j.typ == LeftOuter || j.typ == FullOuter) {
+			emit(l, nil)
+		}
+	}
+	if j.typ == RightOuter || j.typ == FullOuter {
+		for i, r := range rRel.Rows() {
+			if !rMatched[i] {
+				emit(nil, r)
+			}
+		}
+	}
+	return output(ctx, j.schema, rows)
+}
+
+// Children implements Node.
+func (j *JoinNode) Children() []Node { return []Node{j.left, j.right} }
+
+// WithChildren implements Node.
+func (j *JoinNode) WithChildren(ch []Node) Node {
+	if len(ch) != 2 {
+		panic("algebra: Join takes two children")
+	}
+	return MustJoin(ch[0], ch[1], j.Spec())
+}
+
+// String implements Node.
+func (j *JoinNode) String() string {
+	conds := make([]string, len(j.on))
+	for i, p := range j.on {
+		conds[i] = p.Left + "=" + p.Right
+	}
+	s := fmt.Sprintf("Join[%s](%s)", j.typ, strings.Join(conds, ","))
+	if j.merge {
+		s += " merge"
+	}
+	if j.extra != nil {
+		s += " extra:" + j.extra.String()
+	}
+	return s
+}

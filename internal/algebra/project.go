@@ -1,0 +1,245 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/sampleclean/svc/internal/expr"
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// Output is one column of a generalized projection: a name and the scalar
+// expression that computes it.
+type Output struct {
+	Name string
+	E    expr.Expr
+}
+
+// Out is shorthand for Output{name, e}.
+func Out(name string, e expr.Expr) Output { return Output{Name: name, E: e} }
+
+// OutCol is shorthand for a pass-through column (same name in and out).
+func OutCol(name string) Output { return Output{Name: name, E: expr.Col(name)} }
+
+// OutCols builds pass-through outputs for each named column.
+func OutCols(names ...string) []Output {
+	outs := make([]Output, len(names))
+	for i, n := range names {
+		outs[i] = OutCol(n)
+	}
+	return outs
+}
+
+// ProjectNode is the generalized projection Π: it selects attributes and
+// may add new attributes that are arithmetic transformations of old ones
+// (paper Section 3.1).
+//
+// Key derivation (Definition 2): the primary key of the result is the
+// primary key of the input, and "the primary key must always be included in
+// the projection" — every key attribute of the child must appear as a
+// pass-through column. Its output name may differ (a rename); the derived
+// key uses the output names.
+//
+// ProjectKeyed relaxes this for plan builders that can prove a different
+// key (e.g. the change-table merge, where coalesce(old.key, delta.key) is
+// unique because the join is a full outer join on exactly that key).
+type ProjectNode struct {
+	child    Node
+	outs     []Output
+	bound    []expr.Expr
+	schema   relation.Schema
+	explicit bool // key was asserted by the caller (ProjectKeyed)
+}
+
+// Project returns Π_outs(child), deriving the key by Definition 2.
+func Project(child Node, outs []Output) (*ProjectNode, error) {
+	return project(child, outs, nil)
+}
+
+// MustProject is Project, panicking on error.
+func MustProject(child Node, outs []Output) *ProjectNode {
+	p, err := Project(child, outs)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ProjectKeyed returns Π_outs(child) with an explicitly asserted output
+// key. The caller is responsible for the uniqueness of the asserted key;
+// evaluation enforces it (duplicate keys collapse via upsert, which would
+// break the row count and is caught by tests).
+func ProjectKeyed(child Node, outs []Output, key ...string) (*ProjectNode, error) {
+	return project(child, outs, key)
+}
+
+// MustProjectKeyed is ProjectKeyed, panicking on error.
+func MustProjectKeyed(child Node, outs []Output, key ...string) *ProjectNode {
+	p, err := ProjectKeyed(child, outs, key...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func project(child Node, outs []Output, explicitKey []string) (*ProjectNode, error) {
+	cs := child.Schema()
+	bound := make([]expr.Expr, len(outs))
+	cols := make([]relation.Column, len(outs))
+	// passThrough maps child column name -> output name for outputs that
+	// are plain column references (renames allowed).
+	passThrough := map[string]string{}
+	for i, o := range outs {
+		b, err := o.E.Bind(cs)
+		if err != nil {
+			return nil, fmt.Errorf("algebra: project %q: %w", o.Name, err)
+		}
+		bound[i] = b
+		typ := relation.KindNull // untyped unless a direct pass-through
+		if ref, ok := expr.ColumnName(o.E); ok {
+			// Direct column reference: keep the child's type and record
+			// the pass-through for key derivation.
+			typ = cs.Col(cs.ColIndex(ref)).Type
+			if _, dup := passThrough[ref]; !dup {
+				passThrough[ref] = o.Name
+			}
+		}
+		cols[i] = relation.Column{Name: o.Name, Type: typ}
+	}
+
+	var keyNames []string
+	if explicitKey != nil {
+		keyNames = explicitKey
+	} else if cs.HasKey() {
+		for _, k := range cs.KeyNames() {
+			outName, ok := passThrough[k]
+			if !ok {
+				return nil, fmt.Errorf("algebra: project drops key attribute %q (Definition 2 requires the key in the projection; use ProjectKeyed to assert a different key)", k)
+			}
+			keyNames = append(keyNames, outName)
+		}
+	}
+	schema := relation.NewSchema(cols, keyNames...)
+	return &ProjectNode{child: child, outs: outs, bound: bound, schema: schema, explicit: explicitKey != nil}, nil
+}
+
+// Outputs returns the projection's output definitions.
+func (p *ProjectNode) Outputs() []Output { return p.outs }
+
+// Schema implements Node.
+func (p *ProjectNode) Schema() relation.Schema { return p.schema }
+
+// Eval implements Node.
+func (p *ProjectNode) Eval(ctx *Context) (*relation.Relation, error) {
+	in, err := p.child.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	ctx.RowsTouched += int64(in.Len())
+	rows := make([]relation.Row, 0, in.Len())
+	for _, row := range in.Rows() {
+		out := make(relation.Row, len(p.bound))
+		for i, e := range p.bound {
+			out[i] = e.Eval(row)
+		}
+		rows = append(rows, out)
+	}
+	res, err := output(ctx, p.schema, rows)
+	if err != nil {
+		return nil, err
+	}
+	if p.schema.HasKey() && res.Len() != len(rows) {
+		return nil, fmt.Errorf("algebra: project: asserted key %v is not unique (%d rows collapsed to %d)",
+			p.schema.KeyNames(), len(rows), res.Len())
+	}
+	return res, nil
+}
+
+// Children implements Node.
+func (p *ProjectNode) Children() []Node { return []Node{p.child} }
+
+// WithChildren implements Node.
+func (p *ProjectNode) WithChildren(ch []Node) Node {
+	if len(ch) != 1 {
+		panic("algebra: Project takes one child")
+	}
+	var np *ProjectNode
+	var err error
+	if p.explicit {
+		np, err = ProjectKeyed(ch[0], p.outs, p.schema.KeyNames()...)
+	} else {
+		np, err = Project(ch[0], p.outs)
+	}
+	if err != nil {
+		panic(err)
+	}
+	return np
+}
+
+// String implements Node.
+func (p *ProjectNode) String() string {
+	parts := make([]string, len(p.outs))
+	for i, o := range p.outs {
+		if o.E.String() == o.Name {
+			parts[i] = o.Name
+		} else {
+			parts[i] = fmt.Sprintf("%s as %s", o.E, o.Name)
+		}
+	}
+	return "Project(" + strings.Join(parts, ", ") + ")"
+}
+
+// AliasNode renames every column of its input to prefix+"."+name, keeping
+// the key structure. It exists to disambiguate column names before a join
+// of relations sharing attribute names.
+type AliasNode struct {
+	child  Node
+	prefix string
+	schema relation.Schema
+}
+
+// Alias prefixes all of child's column names with prefix+".".
+func Alias(child Node, prefix string) *AliasNode {
+	return &AliasNode{
+		child:  child,
+		prefix: prefix,
+		schema: child.Schema().Rename(func(n string) string { return prefix + "." + n }),
+	}
+}
+
+// Prefix returns the alias prefix.
+func (a *AliasNode) Prefix() string { return a.prefix }
+
+// Schema implements Node.
+func (a *AliasNode) Schema() relation.Schema { return a.schema }
+
+// Eval implements Node.
+func (a *AliasNode) Eval(ctx *Context) (*relation.Relation, error) {
+	in, err := a.child.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	// Rows are positional; only the schema changes.
+	out := relation.New(a.schema)
+	for _, row := range in.Rows() {
+		if err := out.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+	ctx.RowsTouched += int64(in.Len())
+	return out, nil
+}
+
+// Children implements Node.
+func (a *AliasNode) Children() []Node { return []Node{a.child} }
+
+// WithChildren implements Node.
+func (a *AliasNode) WithChildren(ch []Node) Node {
+	if len(ch) != 1 {
+		panic("algebra: Alias takes one child")
+	}
+	return Alias(ch[0], a.prefix)
+}
+
+// String implements Node.
+func (a *AliasNode) String() string { return fmt.Sprintf("Alias(%s)", a.prefix) }

@@ -1,0 +1,312 @@
+package algebra
+
+import (
+	"fmt"
+
+	"github.com/sampleclean/svc/internal/expr"
+	"github.com/sampleclean/svc/internal/hashing"
+)
+
+// PushDownHash rewrites η_{attrs,ratio}(root) by pushing the hash-sampling
+// operator toward the leaves wherever Definition 3 allows, and returns the
+// rewritten plan. By Theorem 1 the rewritten plan materializes the
+// *identical* sample as applying η at the root — a property the test suite
+// checks with randomized plans and data.
+//
+// Push-down rules (paper Section 4.4):
+//
+//   - σ (Select): always push through.
+//   - Π (Project): push through when every hashed attribute is produced by
+//     a pass-through column reference (renames allowed).
+//   - ⋈ (Join): blocked in general. Special cases: push to a single side
+//     when every hashed attribute resolves to that side (this subsumes the
+//     paper's foreign-key-join case, where the sampled key is the fact
+//     table's key); push to *both* sides of an equality join when the
+//     hashed attributes are equated columns; for outer joins, push only
+//     through merged (coalesced) join columns, to both sides.
+//   - γ (Aggregate): push through when the hashed attributes are all
+//     group-by attributes.
+//   - ∪, ∩, −: push to both operands (for keyed set semantics this
+//     requires the hashed attributes to lie inside both operands' primary
+//     keys, since rows are matched by key; bag semantics push freely).
+//   - η: commutes with other η operators.
+//
+// When no rule applies, η materializes at that node (the sampling happens
+// after the blocked operator runs at full size — exactly the behaviour the
+// paper reports for views V21/V22, whose nested structures defeat
+// push-down).
+func PushDownHash(root Node, attrs []string, ratio float64, hasher hashing.Hasher) (Node, error) {
+	cs := root.Schema()
+	for _, a := range attrs {
+		if !cs.HasCol(a) {
+			return nil, fmt.Errorf("algebra: push-down attribute %q not in schema [%s]", a, cs)
+		}
+	}
+	if hasher == nil {
+		hasher = hashing.Default
+	}
+	p := pusher{ratio: ratio, hasher: hasher}
+	return p.push(root, attrs), nil
+}
+
+type pusher struct {
+	ratio  float64
+	hasher hashing.Hasher
+}
+
+// stop materializes η at this node (no further push-down).
+func (p pusher) stop(n Node, attrs []string) Node {
+	return MustHashFilter(n, attrs, p.ratio, p.hasher)
+}
+
+func (p pusher) push(n Node, attrs []string) Node {
+	switch t := n.(type) {
+	case *SelectNode:
+		return t.WithChildren([]Node{p.push(t.child, attrs)})
+
+	case *ProjectNode:
+		mapped, ok := t.mapToChild(attrs)
+		if !ok {
+			return p.stop(n, attrs)
+		}
+		return t.WithChildren([]Node{p.push(t.child, mapped)})
+
+	case *AliasNode:
+		mapped := make([]string, len(attrs))
+		prefix := t.prefix + "."
+		for i, a := range attrs {
+			if len(a) <= len(prefix) || a[:len(prefix)] != prefix {
+				return p.stop(n, attrs) // not an aliased column (cannot happen for valid schemas)
+			}
+			mapped[i] = a[len(prefix):]
+		}
+		return t.WithChildren([]Node{p.push(t.child, mapped)})
+
+	case *AggregateNode:
+		// η pushes through γ when every hashed attribute is a group-by
+		// attribute: filtering the operand keeps exactly the member rows
+		// of surviving groups, so each surviving group aggregates over
+		// all of its rows.
+		groupSet := map[string]bool{}
+		for _, g := range t.groupBy {
+			groupSet[g] = true
+		}
+		for _, a := range attrs {
+			if !groupSet[a] {
+				return p.stop(n, attrs)
+			}
+		}
+		return t.WithChildren([]Node{p.push(t.child, attrs)})
+
+	case *SetOpNode:
+		if !p.setOpPushable(t, attrs) {
+			return p.stop(n, attrs)
+		}
+		return t.WithChildren([]Node{p.push(t.l, attrs), p.push(t.r, attrs)})
+
+	case *HashFilterNode:
+		// Independent η filters commute.
+		return t.WithChildren([]Node{p.push(t.child, attrs)})
+
+	case *JoinNode:
+		return p.pushJoin(t, attrs)
+
+	default:
+		// Scan and any unknown operator: materialize the sample here.
+		return p.stop(n, attrs)
+	}
+}
+
+// mapToChild maps output attribute names through the projection to child
+// column names, requiring pass-through references.
+func (t *ProjectNode) mapToChild(attrs []string) ([]string, bool) {
+	byOut := map[string]string{}
+	for _, o := range t.outs {
+		if ref, ok := expr.ColumnName(o.E); ok {
+			byOut[o.Name] = ref
+		}
+	}
+	mapped := make([]string, len(attrs))
+	for i, a := range attrs {
+		ref, ok := byOut[a]
+		if !ok {
+			return nil, false
+		}
+		mapped[i] = ref
+	}
+	return mapped, true
+}
+
+// setOpPushable reports whether η_{attrs} commutes with the set operator.
+// Bag semantics (keyless) always commute: matching is whole-row, so equal
+// rows hash equally. Keyed semantics match rows by primary key, so the
+// hashed attributes must be key attributes of both operands to guarantee
+// that matched rows hash identically.
+func (p pusher) setOpPushable(t *SetOpNode, attrs []string) bool {
+	ls, rs := t.l.Schema(), t.r.Schema()
+	if t.kind == opUnion && !t.schema.HasKey() {
+		return true // bag union: concatenation commutes with any filter
+	}
+	if !ls.HasKey() || !rs.HasKey() {
+		// Keyless intersect/difference match whole rows.
+		return true
+	}
+	inKey := func(s []string, a string) bool {
+		for _, k := range s {
+			if k == a {
+				return true
+			}
+		}
+		return false
+	}
+	lk, rk := ls.KeyNames(), rs.KeyNames()
+	for _, a := range attrs {
+		if !inKey(lk, a) || !inKey(rk, a) {
+			return false
+		}
+	}
+	return true
+}
+
+// pushJoin applies the join push-down rules.
+func (p pusher) pushJoin(j *JoinNode, attrs []string) Node {
+	switch j.typ {
+	case Inner:
+		lMapped, lOK := j.mapAttrs(attrs, true)
+		rMapped, rOK := j.mapAttrs(attrs, false)
+		if !lOK && !rOK {
+			return p.stop(j, attrs)
+		}
+		left, right := j.left, j.right
+		if lOK {
+			left = p.push(left, lMapped)
+		}
+		if rOK {
+			right = p.push(right, rMapped)
+		}
+		return j.WithChildren([]Node{left, right})
+
+	case LeftOuter:
+		// Only the preserved side's own columns are safe: a left-only row
+		// carries NULLs in right columns, so attributes that merely *map*
+		// to the left via equality would hash differently at the top.
+		if mapped, ok := j.ownAttrs(attrs, true); ok {
+			return j.WithChildren([]Node{p.push(j.left, mapped), j.right})
+		}
+		return p.stop(j, attrs)
+
+	case RightOuter:
+		if mapped, ok := j.ownAttrs(attrs, false); ok {
+			return j.WithChildren([]Node{j.left, p.push(j.right, mapped)})
+		}
+		return p.stop(j, attrs)
+
+	default: // FullOuter
+		// Only merged join columns are present (coalesced) on both sides;
+		// push to both so unmatched rows of either side are filtered
+		// consistently and matched pairs survive or die together.
+		if !j.merge {
+			return p.stop(j, attrs)
+		}
+		lMapped := make([]string, len(attrs))
+		rMapped := make([]string, len(attrs))
+		for i, a := range attrs {
+			found := false
+			for _, pair := range j.on {
+				if pair.Left == a {
+					lMapped[i], rMapped[i] = pair.Left, pair.Right
+					found = true
+					break
+				}
+			}
+			if !found {
+				return p.stop(j, attrs)
+			}
+		}
+		return j.WithChildren([]Node{p.push(j.left, lMapped), p.push(j.right, rMapped)})
+	}
+}
+
+// mapAttrs tries to resolve every output attribute to a column of one side
+// (left when toLeft), either directly or through a join equality.
+func (j *JoinNode) mapAttrs(attrs []string, toLeft bool) ([]string, bool) {
+	ls, rs := j.left.Schema(), j.right.Schema()
+	mapped := make([]string, len(attrs))
+	for i, a := range attrs {
+		if toLeft {
+			if ls.HasCol(a) {
+				mapped[i] = a
+				continue
+			}
+			ok := false
+			for _, pair := range j.on {
+				if pair.Right == a {
+					mapped[i] = pair.Left
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return nil, false
+			}
+		} else {
+			if rs.HasCol(a) && !j.isMergedRightDrop(a) {
+				mapped[i] = a
+				continue
+			}
+			ok := false
+			for _, pair := range j.on {
+				if pair.Left == a {
+					mapped[i] = pair.Right
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return nil, false
+			}
+		}
+	}
+	return mapped, true
+}
+
+// ownAttrs resolves attributes only to a side's own columns (no equality
+// mapping) — the safe rule for that side of an outer join.
+func (j *JoinNode) ownAttrs(attrs []string, left bool) ([]string, bool) {
+	s := j.left.Schema()
+	if !left {
+		s = j.right.Schema()
+	}
+	mapped := make([]string, len(attrs))
+	for i, a := range attrs {
+		if !s.HasCol(a) {
+			return nil, false
+		}
+		if !left && j.isMergedRightDrop(a) {
+			return nil, false
+		}
+		if left && j.merge {
+			// A merged column's output value is coalesce(left,right);
+			// for LeftOuter the left side is preserved so left-only rows
+			// carry the left value and matched rows carry equal values —
+			// safe. (Right-only rows cannot occur under LeftOuter.)
+			_ = a
+		}
+		mapped[i] = a
+	}
+	return mapped, true
+}
+
+// isMergedRightDrop reports whether the named right column was dropped by
+// merging (it no longer exists in the output schema).
+func (j *JoinNode) isMergedRightDrop(name string) bool {
+	if !j.merge {
+		return false
+	}
+	for _, pair := range j.on {
+		if pair.Right == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,391 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/sampleclean/svc/internal/expr"
+	"github.com/sampleclean/svc/internal/hashing"
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// randomCtx builds Log/Video relations with n log records over v videos,
+// driven by a seed, for the randomized Theorem 1 checks.
+func randomCtx(seed int64, n, v int) *Context {
+	rng := rand.New(rand.NewSource(seed))
+	video := relation.New(videoSchema())
+	for i := 0; i < v; i++ {
+		video.MustInsert(relation.Row{
+			relation.Int(int64(i)),
+			relation.Int(rng.Int63n(5)),
+			relation.Float(rng.Float64() * 3),
+		})
+	}
+	log := relation.New(logSchema())
+	for i := 0; i < n; i++ {
+		log.MustInsert(relation.Row{
+			relation.Int(int64(i)),
+			relation.Int(rng.Int63n(int64(v))),
+		})
+	}
+	return NewContext(map[string]*relation.Relation{"Log": log, "Video": video})
+}
+
+// checkTheorem1 verifies that pushing η down the plan produces the
+// identical sample as applying η at the root (paper Theorem 1), and reports
+// whether the push-down made progress past the root.
+func checkTheorem1(t *testing.T, plan Node, attrs []string, ratio float64, ctx func() *Context) (pushedPastRoot bool) {
+	t.Helper()
+	direct := MustHashFilter(plan, attrs, ratio, hashing.Default)
+	pushed, err := PushDownHash(plan, attrs, ratio, hashing.Default)
+	if err != nil {
+		t.Fatalf("pushdown: %v", err)
+	}
+	want := mustEval(t, direct, ctx())
+	got := mustEval(t, pushed, ctx())
+	want.SortByKey()
+	got.SortByKey()
+	if !want.Equal(got) {
+		t.Fatalf("Theorem 1 violated for plan:\n%s\npushed:\n%s\nwant %d rows, got %d",
+			Format(direct), Format(pushed), want.Len(), got.Len())
+	}
+	_, stillAtRoot := pushed.(*HashFilterNode)
+	return !stillAtRoot
+}
+
+func TestPushThroughSelect(t *testing.T) {
+	plan := MustSelect(Scan("Log", logSchema()), expr.Gt(expr.Col("videoId"), expr.IntLit(0)))
+	if !checkTheorem1(t, plan, []string{"sessionId"}, 0.4, fixtureCtx) {
+		t.Error("η should push through σ")
+	}
+}
+
+func TestPushThroughProjectRename(t *testing.T) {
+	plan := MustProject(Scan("Video", videoSchema()), []Output{
+		Out("vid", expr.Col("videoId")),
+		Out("scaled", expr.Mul(expr.Col("duration"), expr.IntLit(60))),
+	})
+	if !checkTheorem1(t, plan, []string{"vid"}, 0.6, fixtureCtx) {
+		t.Error("η should push through renaming Π")
+	}
+}
+
+func TestPushBlockedByTransformedKey(t *testing.T) {
+	// V22-style: the sampled attribute is a transformation of a key, not
+	// a pass-through — push-down must stop at the projection.
+	plan := MustProjectKeyed(Scan("Video", videoSchema()), []Output{
+		Out("videoId", expr.Col("videoId")),
+		Out("grp", expr.Func("mod", expr.Col("videoId"), expr.IntLit(2))),
+	}, "videoId")
+	pushed, err := PushDownHash(plan, []string{"grp"}, 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := pushed.(*HashFilterNode); !ok {
+		t.Fatalf("expected blocked push-down, got:\n%s", Format(pushed))
+	}
+	checkTheorem1(t, plan, []string{"grp"}, 0.5, fixtureCtx)
+}
+
+func TestPushThroughGroupBy(t *testing.T) {
+	plan := MustGroupBy(Scan("Log", logSchema()), []string{"videoId"}, CountAs("visitCount"))
+	if !checkTheorem1(t, plan, []string{"videoId"}, 0.5, fixtureCtx) {
+		t.Error("η should push through γ on the group key")
+	}
+	// Sanity: the pushed plan samples *before* aggregation, so surviving
+	// groups keep their full counts (no partial counts — the paper's
+	// Section 4.2 commutativity example).
+	pushed, _ := PushDownHash(plan, []string{"videoId"}, 0.5, nil)
+	out := mustEval(t, pushed, fixtureCtx())
+	full := mustEval(t, plan, fixtureCtx())
+	for _, row := range out.Rows() {
+		want, ok := full.Get(row[0])
+		if !ok || want[1].AsInt() != row[1].AsInt() {
+			t.Fatalf("partial count for group %v: got %v want %v", row[0], row[1], want)
+		}
+	}
+}
+
+func TestPushBlockedByNestedAggregate(t *testing.T) {
+	// V21-style nested aggregate: γ_c(γ_videoId(Log)) grouped by the
+	// *count* — provably not push-down-able (paper Theorem 1 proof).
+	inner := MustGroupBy(Scan("Log", logSchema()), []string{"videoId"}, CountAs("c"))
+	outer := MustGroupBy(inner, []string{"c"}, CountAs("n"))
+	pushed, err := PushDownHash(outer, []string{"c"}, 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// η may slide below the outer γ (c is its group key) but must stop
+	// above the inner aggregate: the base scan still runs at full size,
+	// which is exactly why V21-style views see little speedup.
+	scanSampled := false
+	Walk(pushed, func(n Node) {
+		if h, ok := n.(*HashFilterNode); ok {
+			if _, isScan := h.child.(*ScanNode); isScan {
+				scanSampled = true
+			}
+		}
+	})
+	if scanSampled {
+		t.Fatalf("nested aggregate must not push η to the base scan:\n%s", Format(pushed))
+	}
+	checkTheorem1(t, outer, []string{"c"}, 0.5, fixtureCtx)
+}
+
+func TestPushFKJoinToFactSide(t *testing.T) {
+	// η on (sessionId, videoId) over Log ⋈ Video: everything resolves to
+	// the fact side (Log), so the dimension stays unsampled — the paper's
+	// foreign-key special case.
+	j := MustJoin(Scan("Log", logSchema()), Scan("Video", videoSchema()),
+		JoinSpec{Type: Inner, On: On("videoId", "videoId"), Merge: true})
+	attrs := j.Schema().KeyNames()
+	if !checkTheorem1(t, j, attrs, 0.5, fixtureCtx) {
+		t.Error("FK join should push to the fact side")
+	}
+	pushed, _ := PushDownHash(j, attrs, 0.5, nil)
+	jn, ok := pushed.(*JoinNode)
+	if !ok {
+		t.Fatalf("expected join at root:\n%s", Format(pushed))
+	}
+	if _, ok := jn.left.(*HashFilterNode); !ok {
+		t.Errorf("fact side not sampled:\n%s", Format(pushed))
+	}
+	if _, ok := jn.right.(*ScanNode); !ok {
+		t.Errorf("dimension side should stay a plain scan:\n%s", Format(pushed))
+	}
+}
+
+func TestPushEqualityJoinBothSides(t *testing.T) {
+	// η on the equality attribute pushes to both sides.
+	j := MustJoin(Scan("Log", logSchema()), Scan("Video", videoSchema()),
+		JoinSpec{Type: Inner, On: On("videoId", "videoId"), Merge: true})
+	if !checkTheorem1(t, j, []string{"videoId"}, 0.5, fixtureCtx) {
+		t.Error("equality join should push η")
+	}
+	pushed, _ := PushDownHash(j, []string{"videoId"}, 0.5, nil)
+	jn := pushed.(*JoinNode)
+	if _, ok := jn.left.(*HashFilterNode); !ok {
+		t.Errorf("left side not sampled:\n%s", Format(pushed))
+	}
+	if _, ok := jn.right.(*HashFilterNode); !ok {
+		t.Errorf("right side not sampled:\n%s", Format(pushed))
+	}
+}
+
+func TestPushCrossJoinBlockedOnMixedAttrs(t *testing.T) {
+	a := Alias(Scan("Video", videoSchema()), "a")
+	b := Alias(Scan("Video", videoSchema()), "b")
+	j := MustJoin(a, b, JoinSpec{Type: Inner})
+	// Attributes from both sides of a cross join: blocked.
+	pushed, err := PushDownHash(j, []string{"a.videoId", "b.videoId"}, 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := pushed.(*HashFilterNode); !ok {
+		t.Fatalf("cross join with mixed attrs should block:\n%s", Format(pushed))
+	}
+	checkTheorem1(t, j, []string{"a.videoId", "b.videoId"}, 0.5, fixtureCtx)
+	// One-sided attrs still push.
+	if !checkTheorem1(t, j, []string{"a.videoId"}, 0.5, fixtureCtx) {
+		t.Error("one-sided attrs over cross join should push")
+	}
+}
+
+func TestPushFullOuterMergedJoin(t *testing.T) {
+	// The change-table merge shape: full outer join of two aggregates on
+	// the view key, merged — push must reach both branches.
+	perVideoA := MustGroupBy(MustSelect(Scan("Log", logSchema()),
+		expr.Le(expr.Col("sessionId"), expr.IntLit(102))), []string{"videoId"}, CountAs("cntA"))
+	perVideoB := MustGroupBy(MustSelect(Scan("Log", logSchema()),
+		expr.Gt(expr.Col("sessionId"), expr.IntLit(102))), []string{"videoId"}, CountAs("cntB"))
+	bProj := MustProject(perVideoB, []Output{Out("vB", expr.Col("videoId")), OutCol("cntB")})
+	j := MustJoin(perVideoA, bProj, JoinSpec{Type: FullOuter, On: On("videoId", "vB"), Merge: true})
+	if !checkTheorem1(t, j, []string{"videoId"}, 0.5, fixtureCtx) {
+		t.Error("full outer merged join should push to both branches")
+	}
+	pushed, _ := PushDownHash(j, []string{"videoId"}, 0.5, nil)
+	// Both branches should contain a hash filter below the join.
+	filters := 0
+	Walk(pushed, func(n Node) {
+		if _, ok := n.(*HashFilterNode); ok {
+			filters++
+		}
+	})
+	if filters < 2 {
+		t.Errorf("expected η in both branches:\n%s", Format(pushed))
+	}
+}
+
+func TestPushFullOuterNonMergedBlocked(t *testing.T) {
+	perVideo := MustGroupBy(Scan("Log", logSchema()), []string{"videoId"}, CountAs("cnt"))
+	other := MustProject(perVideo, []Output{Out("v2", expr.Col("videoId")), Out("cnt2", expr.Col("cnt"))})
+	j := MustJoin(perVideo, other, JoinSpec{Type: FullOuter, On: On("videoId", "v2")})
+	pushed, err := PushDownHash(j, []string{"videoId"}, 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := pushed.(*HashFilterNode); !ok {
+		t.Fatalf("non-merged full outer should block:\n%s", Format(pushed))
+	}
+	checkTheorem1(t, j, []string{"videoId"}, 0.5, fixtureCtx)
+}
+
+func TestPushLeftOuterOwnColumnsOnly(t *testing.T) {
+	j := MustJoin(Scan("Log", logSchema()), Scan("Video", videoSchema()),
+		JoinSpec{Type: LeftOuter, On: On("videoId", "videoId"), Merge: true})
+	// Left key attrs push to the left side only.
+	if !checkTheorem1(t, j, []string{"sessionId"}, 0.5, fixtureCtx) {
+		t.Error("left outer should push left-side attrs")
+	}
+	// A right-side attribute cannot push through a left outer join.
+	pushed, _ := PushDownHash(j, []string{"ownerId"}, 0.5, nil)
+	if _, ok := pushed.(*HashFilterNode); !ok {
+		t.Fatalf("right attr through left outer should block:\n%s", Format(pushed))
+	}
+	checkTheorem1(t, j, []string{"ownerId"}, 0.5, fixtureCtx)
+}
+
+func TestPushThroughSetOps(t *testing.T) {
+	a := MustSelect(Scan("Log", logSchema()), expr.Le(expr.Col("sessionId"), expr.IntLit(102)))
+	b := MustSelect(Scan("Log", logSchema()), expr.Ge(expr.Col("sessionId"), expr.IntLit(102)))
+	for name, plan := range map[string]Node{
+		"union":     MustUnion(a, b),
+		"intersect": MustIntersect(a, b),
+		"diff":      MustDifference(a, b),
+	} {
+		if !checkTheorem1(t, plan, []string{"sessionId"}, 0.5, fixtureCtx) {
+			t.Errorf("%s: η should push through", name)
+		}
+	}
+	// Non-key attribute through keyed difference must block (rows match
+	// by key; attr values may differ between operands).
+	d := MustDifference(a, b)
+	pushed, _ := PushDownHash(d, []string{"videoId"}, 0.5, nil)
+	if _, ok := pushed.(*HashFilterNode); !ok {
+		t.Fatalf("non-key attr through keyed difference should block:\n%s", Format(pushed))
+	}
+}
+
+func TestPushThroughAlias(t *testing.T) {
+	plan := Alias(Scan("Log", logSchema()), "l")
+	if !checkTheorem1(t, plan, []string{"l.sessionId"}, 0.5, fixtureCtx) {
+		t.Error("η should push through alias")
+	}
+}
+
+func TestPushThroughExistingHashFilter(t *testing.T) {
+	inner := MustHashFilter(Scan("Log", logSchema()), []string{"videoId"}, 0.8, nil)
+	checkTheorem1(t, inner, []string{"sessionId"}, 0.5, fixtureCtx)
+	pushed, err := PushDownHash(inner, []string{"sessionId"}, 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The new η must land *below* the pre-existing filter, directly on
+	// the scan.
+	root, ok := pushed.(*HashFilterNode)
+	if !ok || root.Attrs()[0] != "videoId" {
+		t.Fatalf("root should be the original filter:\n%s", Format(pushed))
+	}
+	child, ok := root.child.(*HashFilterNode)
+	if !ok || child.Attrs()[0] != "sessionId" {
+		t.Fatalf("new filter should commute below:\n%s", Format(pushed))
+	}
+}
+
+// TestTheorem1Quick drives the Theorem 1 identity over randomized data and
+// a family of plan shapes, including the visitView maintenance-strategy
+// shape (the paper's Figure 3).
+func TestTheorem1Quick(t *testing.T) {
+	shapes := []struct {
+		name  string
+		build func() (Node, []string)
+	}{
+		{"select-scan", func() (Node, []string) {
+			return MustSelect(Scan("Log", logSchema()), expr.Gt(expr.Col("videoId"), expr.IntLit(3))), []string{"sessionId"}
+		}},
+		{"groupby", func() (Node, []string) {
+			return MustGroupBy(Scan("Log", logSchema()), []string{"videoId"}, CountAs("c")), []string{"videoId"}
+		}},
+		{"fk-join", func() (Node, []string) {
+			j := MustJoin(Scan("Log", logSchema()), Scan("Video", videoSchema()),
+				JoinSpec{Type: Inner, On: On("videoId", "videoId"), Merge: true})
+			return j, j.Schema().KeyNames()
+		}},
+		{"visitview", func() (Node, []string) {
+			// γ_videoId(count) over Log ⋈ Video — the running example.
+			j := MustJoin(Scan("Log", logSchema()), Scan("Video", videoSchema()),
+				JoinSpec{Type: Inner, On: On("videoId", "videoId"), Merge: true})
+			return MustGroupBy(j, []string{"videoId"}, CountAs("visitCount")), []string{"videoId"}
+		}},
+		{"change-table", func() (Node, []string) {
+			// Full outer merge of two per-video aggregates, then the
+			// coalescing merge projection — the IVM strategy shape.
+			oldN := MustGroupBy(MustSelect(Scan("Log", logSchema()),
+				expr.Eq(expr.Func("mod", expr.Col("sessionId"), expr.IntLit(2)), expr.IntLit(0))),
+				[]string{"videoId"}, CountAs("cnt"))
+			newN := MustProject(MustGroupBy(MustSelect(Scan("Log", logSchema()),
+				expr.Eq(expr.Func("mod", expr.Col("sessionId"), expr.IntLit(2)), expr.IntLit(1))),
+				[]string{"videoId"}, CountAs("cntD")),
+				[]Output{Out("vD", expr.Col("videoId")), OutCol("cntD")})
+			j := MustJoin(oldN, newN, JoinSpec{Type: FullOuter, On: On("videoId", "vD"), Merge: true})
+			merged := MustProjectKeyed(j, []Output{
+				OutCol("videoId"),
+				Out("cnt", expr.Add(
+					expr.Coalesce(expr.Col("cnt"), expr.IntLit(0)),
+					expr.Coalesce(expr.Col("cntD"), expr.IntLit(0)))),
+			}, "videoId")
+			return merged, []string{"videoId"}
+		}},
+	}
+	f := func(seed int64, ratioRaw uint8) bool {
+		n := 30 + int(seed%50+50)%50
+		v := 8
+		ratio := float64(ratioRaw%100) / 100
+		for _, shape := range shapes {
+			plan, attrs := shape.build()
+			direct := MustHashFilter(plan, attrs, ratio, hashing.Default)
+			pushed, err := PushDownHash(plan, attrs, ratio, hashing.Default)
+			if err != nil {
+				t.Logf("%s: %v", shape.name, err)
+				return false
+			}
+			want, err := direct.Eval(randomCtx(seed, n, v))
+			if err != nil {
+				t.Logf("%s direct eval: %v", shape.name, err)
+				return false
+			}
+			got, err := pushed.Eval(randomCtx(seed, n, v))
+			if err != nil {
+				t.Logf("%s pushed eval: %v", shape.name, err)
+				return false
+			}
+			want.SortByKey()
+			got.SortByKey()
+			if !want.Equal(got) {
+				t.Logf("%s: mismatch at seed %d ratio %v: %d vs %d rows",
+					shape.name, seed, ratio, want.Len(), got.Len())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSamplingRatioApproximate checks the η operator selects roughly m of
+// the rows for moderate table sizes (SUHA uniformity).
+func TestSamplingRatioApproximate(t *testing.T) {
+	ctx := randomCtx(7, 5000, 50)
+	for _, m := range []float64{0.1, 0.25, 0.5} {
+		for _, h := range []hashing.Hasher{hashing.FNV{}, hashing.SHA1{}} {
+			out := mustEval(t, MustHashFilter(Scan("Log", logSchema()), []string{"sessionId"}, m, h), ctx)
+			got := float64(out.Len()) / 5000
+			if got < m-0.03 || got > m+0.03 {
+				t.Errorf("%s ratio %v: sampled fraction %v", h.Name(), m, got)
+			}
+		}
+	}
+}

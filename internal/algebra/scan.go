@@ -1,0 +1,71 @@
+package algebra
+
+import (
+	"fmt"
+
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// ScanNode reads a named relation from the evaluation context. It is the
+// leaf of every expression tree; base tables, delta relations (ΔR, ∇R) and
+// the stale view itself are all bound into the context under conventional
+// names by the db and view layers.
+type ScanNode struct {
+	name   string
+	schema relation.Schema
+}
+
+// Scan returns a leaf that reads the named relation, declaring its schema.
+// The declared schema (including primary key) is checked against the bound
+// relation at evaluation time.
+func Scan(name string, schema relation.Schema) *ScanNode {
+	return &ScanNode{name: name, schema: schema}
+}
+
+// Name returns the context binding this scan reads.
+func (s *ScanNode) Name() string { return s.name }
+
+// Schema implements Node.
+func (s *ScanNode) Schema() relation.Schema { return s.schema }
+
+// Eval implements Node.
+func (s *ScanNode) Eval(ctx *Context) (*relation.Relation, error) {
+	rel, err := ctx.Relation(s.name)
+	if err != nil {
+		return nil, err
+	}
+	if !rel.Schema().Compatible(s.schema) {
+		return nil, fmt.Errorf("algebra: scan %q: bound schema [%s] incompatible with declared [%s]",
+			s.name, rel.Schema(), s.schema)
+	}
+	if rel.Schema().Equal(s.schema) {
+		// Operators never mutate their inputs, so the bound relation can
+		// be shared without copying. Reads are charged by the consuming
+		// operator (an index probe may touch only a few rows).
+		return rel, nil
+	}
+	ctx.RowsTouched += int64(rel.Len())
+	// The declared key may deliberately differ from the stored one (e.g. a
+	// keyless bag view of a keyed table); rebuild under the declared schema.
+	out := relation.New(s.schema)
+	for _, row := range rel.Rows() {
+		if err := out.Insert(row); err != nil {
+			return nil, fmt.Errorf("algebra: scan %q: %w", s.name, err)
+		}
+	}
+	return out, nil
+}
+
+// Children implements Node.
+func (s *ScanNode) Children() []Node { return nil }
+
+// WithChildren implements Node.
+func (s *ScanNode) WithChildren(ch []Node) Node {
+	if len(ch) != 0 {
+		panic("algebra: Scan takes no children")
+	}
+	return s
+}
+
+// String implements Node.
+func (s *ScanNode) String() string { return fmt.Sprintf("Scan(%s)", s.name) }

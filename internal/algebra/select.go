@@ -1,0 +1,71 @@
+package algebra
+
+import (
+	"fmt"
+
+	"github.com/sampleclean/svc/internal/expr"
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// SelectNode filters rows by a predicate (σ_φ). Per Definition 2, the
+// primary key of the result is the primary key of the input.
+type SelectNode struct {
+	child Node
+	pred  expr.Expr // unbound form, kept for String/WithChildren
+	bound expr.Expr
+}
+
+// Select returns σ_pred(child). The predicate is bound against the child's
+// schema at construction so that unknown columns fail fast.
+func Select(child Node, pred expr.Expr) (*SelectNode, error) {
+	bound, err := pred.Bind(child.Schema())
+	if err != nil {
+		return nil, fmt.Errorf("algebra: select: %w", err)
+	}
+	return &SelectNode{child: child, pred: pred, bound: bound}, nil
+}
+
+// MustSelect is Select, panicking on error; for statically known plans.
+func MustSelect(child Node, pred expr.Expr) *SelectNode {
+	s, err := Select(child, pred)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Pred returns the (unbound) selection predicate.
+func (s *SelectNode) Pred() expr.Expr { return s.pred }
+
+// Schema implements Node.
+func (s *SelectNode) Schema() relation.Schema { return s.child.Schema() }
+
+// Eval implements Node.
+func (s *SelectNode) Eval(ctx *Context) (*relation.Relation, error) {
+	in, err := s.child.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	ctx.RowsTouched += int64(in.Len())
+	var rows []relation.Row
+	for _, row := range in.Rows() {
+		if s.bound.Eval(row).AsBool() {
+			rows = append(rows, row)
+		}
+	}
+	return output(ctx, s.Schema(), rows)
+}
+
+// Children implements Node.
+func (s *SelectNode) Children() []Node { return []Node{s.child} }
+
+// WithChildren implements Node.
+func (s *SelectNode) WithChildren(ch []Node) Node {
+	if len(ch) != 1 {
+		panic("algebra: Select takes one child")
+	}
+	return MustSelect(ch[0], s.pred)
+}
+
+// String implements Node.
+func (s *SelectNode) String() string { return fmt.Sprintf("Select(%s)", s.pred) }

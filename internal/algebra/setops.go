@@ -1,0 +1,181 @@
+package algebra
+
+import (
+	"fmt"
+
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// setOpKind distinguishes the three binary set operators.
+type setOpKind uint8
+
+const (
+	opUnion setOpKind = iota
+	opIntersect
+	opDifference
+)
+
+func (k setOpKind) String() string {
+	return [...]string{"Union", "Intersect", "Difference"}[k]
+}
+
+// SetOpNode implements Union, Intersection and Difference over
+// union-compatible inputs.
+//
+// Semantics follow the paper's set-oriented algebra when the inputs are
+// keyed: rows are identified by primary key (Definition 2 gives Union and
+// Intersection the combined key, Difference the left key). With keyless
+// (bag) inputs, Union concatenates and Intersection/Difference match on
+// whole-row equality — the bag behaviour the delta-propagation rules use.
+type SetOpNode struct {
+	kind   setOpKind
+	l, r   Node
+	schema relation.Schema
+}
+
+func newSetOp(kind setOpKind, l, r Node) (*SetOpNode, error) {
+	ls, rs := l.Schema(), r.Schema()
+	if !ls.Compatible(rs) {
+		return nil, fmt.Errorf("algebra: %s: schemas incompatible: [%s] vs [%s]", kind, ls, rs)
+	}
+	// Definition 2: Union/Intersect take the union/intersection of the two
+	// keys; with identical column sets on both sides this is the left key
+	// when both sides are keyed, and keyless otherwise. Difference keeps
+	// the left key.
+	schema := ls
+	if kind != opDifference && (!ls.HasKey() || !rs.HasKey()) {
+		schema = relation.NewSchema(ls.Cols()) // keyless
+	}
+	return &SetOpNode{kind: kind, l: l, r: r, schema: schema}, nil
+}
+
+// Union returns l ∪ r. Keyed inputs deduplicate by primary key (left
+// precedence); keyless inputs concatenate (bag union).
+func Union(l, r Node) (*SetOpNode, error) { return newSetOp(opUnion, l, r) }
+
+// Intersect returns l ∩ r.
+func Intersect(l, r Node) (*SetOpNode, error) { return newSetOp(opIntersect, l, r) }
+
+// Difference returns l − r.
+func Difference(l, r Node) (*SetOpNode, error) { return newSetOp(opDifference, l, r) }
+
+// MustUnion is Union, panicking on error.
+func MustUnion(l, r Node) *SetOpNode {
+	n, err := Union(l, r)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// MustIntersect is Intersect, panicking on error.
+func MustIntersect(l, r Node) *SetOpNode {
+	n, err := Intersect(l, r)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// MustDifference is Difference, panicking on error.
+func MustDifference(l, r Node) *SetOpNode {
+	n, err := Difference(l, r)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Kind returns "Union", "Intersect" or "Difference".
+func (s *SetOpNode) Kind() string { return s.kind.String() }
+
+// Schema implements Node.
+func (s *SetOpNode) Schema() relation.Schema { return s.schema }
+
+// rowIdent returns the identity of a row for set matching: the primary key
+// when sch is keyed, the whole row otherwise.
+func rowIdent(sch relation.Schema, row relation.Row) string {
+	if sch.HasKey() {
+		return row.KeyOf(sch.Key())
+	}
+	return row.KeyOf(allIdx(sch.NumCols()))
+}
+
+func allIdx(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// Eval implements Node.
+func (s *SetOpNode) Eval(ctx *Context) (*relation.Relation, error) {
+	lRel, err := s.l.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rRel, err := s.r.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	ctx.RowsTouched += int64(lRel.Len()) + int64(rRel.Len())
+	var rows []relation.Row
+	switch s.kind {
+	case opUnion:
+		if !s.schema.HasKey() {
+			rows = append(rows, lRel.Rows()...)
+			rows = append(rows, rRel.Rows()...)
+		} else {
+			seen := map[string]bool{}
+			for _, row := range lRel.Rows() {
+				seen[rowIdent(s.schema, row)] = true
+				rows = append(rows, row)
+			}
+			for _, row := range rRel.Rows() {
+				if !seen[rowIdent(s.schema, row)] {
+					rows = append(rows, row)
+				}
+			}
+		}
+	case opIntersect:
+		present := map[string]bool{}
+		for _, row := range rRel.Rows() {
+			present[rowIdent(s.schema, row)] = true
+		}
+		for _, row := range lRel.Rows() {
+			if present[rowIdent(s.schema, row)] {
+				rows = append(rows, row)
+			}
+		}
+	case opDifference:
+		present := map[string]bool{}
+		for _, row := range rRel.Rows() {
+			present[rowIdent(s.schema, row)] = true
+		}
+		for _, row := range lRel.Rows() {
+			if !present[rowIdent(s.schema, row)] {
+				rows = append(rows, row)
+			}
+		}
+	}
+	return output(ctx, s.schema, rows)
+}
+
+// Children implements Node.
+func (s *SetOpNode) Children() []Node { return []Node{s.l, s.r} }
+
+// WithChildren implements Node.
+func (s *SetOpNode) WithChildren(ch []Node) Node {
+	if len(ch) != 2 {
+		panic("algebra: set operator takes two children")
+	}
+	n, err := newSetOp(s.kind, ch[0], ch[1])
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// String implements Node.
+func (s *SetOpNode) String() string { return s.kind.String() }

@@ -1,0 +1,142 @@
+// Package bench is the experiment harness that regenerates every figure of
+// the paper's evaluation (Section 7) plus the ablations called out in
+// DESIGN.md. Each experiment is a named runner producing a Table whose
+// rows correspond to the series in the paper's figure; cmd/svcbench prints
+// them and bench_test.go wraps them in testing.B benchmarks.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Table is one experiment's result: a title, the reproduced figure's
+// series as rows, and free-form notes (e.g. which direction the paper's
+// shape goes).
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case time.Duration:
+			row[i] = fmt.Sprintf("%.3fms", float64(v.Microseconds())/1000)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Scale adjusts experiment sizes: 1.0 is the default CLI scale; tests use
+// smaller values. It multiplies base-table row counts.
+type Scale float64
+
+// Runner produces one experiment's table.
+type Runner func(s Scale) (*Table, error)
+
+// registry maps experiment IDs to runners (populated by init functions in
+// the figure files).
+var registry = map[string]Runner{}
+
+// descriptions holds one-line summaries for Listing.
+var descriptions = map[string]string{}
+
+// register adds an experiment runner.
+func register(id, desc string, r Runner) {
+	registry[id] = r
+	descriptions[id] = desc
+}
+
+// Run executes the named experiment.
+func Run(id string, s Scale) (*Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown experiment %q (see List)", id)
+	}
+	return r(s)
+}
+
+// List returns all experiment IDs in sorted order.
+func List() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Describe returns the one-line description of an experiment.
+func Describe(id string) string { return descriptions[id] }
+
+// timeIt measures the wall-clock duration of f.
+func timeIt(f func() error) (time.Duration, error) {
+	start := time.Now()
+	err := f()
+	return time.Since(start), err
+}

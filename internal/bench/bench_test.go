@@ -1,0 +1,266 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// testScale keeps every experiment fast in unit tests.
+const testScale = Scale(0.12)
+
+func TestRegistryComplete(t *testing.T) {
+	// All 19 paper figures plus 3 ablations must be registered.
+	want := []string{
+		"fig4a", "fig4b", "fig5", "fig6a", "fig6b", "fig7a", "fig7b",
+		"fig8a", "fig8b", "fig9a", "fig9b", "fig10a", "fig10b",
+		"fig11", "fig12", "fig13", "fig14a", "fig14b", "fig15", "fig16",
+		"ablate-hash", "ablate-pushdown", "ablate-advisor", "ablate-nonunique",
+	}
+	have := map[string]bool{}
+	for _, id := range List() {
+		have[id] = true
+		if Describe(id) == "" {
+			t.Errorf("%s has no description", id)
+		}
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if len(have) != len(want) {
+		t.Errorf("registry has %d experiments, want %d: %v", len(have), len(want), List())
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("nope", 1); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{ID: "x", Title: "T", Header: []string{"a", "bb"}}
+	tb.AddRow(1.23456, "zzz")
+	tb.Notes = append(tb.Notes, "n1")
+	out := tb.Render()
+	for _, want := range []string{"== x: T ==", "a", "bb", "1.235", "zzz", "note: n1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "a,bb\n") {
+		t.Errorf("CSV = %q", csv)
+	}
+}
+
+// runAndCheck executes the experiment at test scale and does basic
+// structural validation.
+func runAndCheck(t *testing.T, id string, minRows int) *Table {
+	t.Helper()
+	tb, err := Run(id, testScale)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if tb.ID != id {
+		t.Errorf("%s: table ID %q", id, tb.ID)
+	}
+	if len(tb.Rows) < minRows {
+		t.Fatalf("%s: %d rows, want ≥ %d\n%s", id, len(tb.Rows), minRows, tb.Render())
+	}
+	for _, row := range tb.Rows {
+		if len(row) != len(tb.Header) {
+			t.Fatalf("%s: ragged row %v", id, row)
+		}
+	}
+	return tb
+}
+
+func parse(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestFig4aShape(t *testing.T) {
+	tb := runAndCheck(t, "fig4a", 10)
+	// Speedup at 10% sample must exceed 1 and be larger than at 100%.
+	first := parse(t, tb.Rows[0][5])
+	last := parse(t, tb.Rows[len(tb.Rows)-1][5])
+	if first <= 1 {
+		t.Errorf("SVC-10%% speedup %v should exceed 1\n%s", first, tb.Render())
+	}
+	if first <= last {
+		t.Errorf("speedup should shrink as ratio → 1: %v vs %v", first, last)
+	}
+}
+
+func TestFig4bShape(t *testing.T) {
+	tb := runAndCheck(t, "fig4b", 8)
+	for _, row := range tb.Rows {
+		if v := parse(t, row[3]); v <= 1 {
+			t.Errorf("speedup %v at %s%% updates should exceed 1", v, row[0])
+		}
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	tb := runAndCheck(t, "fig5", 12)
+	var stale, corr float64
+	for _, row := range tb.Rows {
+		stale += parse(t, row[1])
+		corr += parse(t, row[3])
+	}
+	if corr >= stale {
+		t.Errorf("CORR total error %v should beat stale %v\n%s", corr, stale, tb.Render())
+	}
+}
+
+func TestFig6Shapes(t *testing.T) {
+	runAndCheck(t, "fig6a", 3)
+	tb := runAndCheck(t, "fig6b", 9)
+	// CORR should win at the lowest staleness.
+	if parse(t, tb.Rows[0][1]) >= parse(t, tb.Rows[0][2]) {
+		t.Errorf("CORR should win at 3%% updates\n%s", tb.Render())
+	}
+}
+
+func TestFig7Shapes(t *testing.T) {
+	tb := runAndCheck(t, "fig7a", 10)
+	// V3 (push-down friendly) must show a larger speedup than V21
+	// (blocked).
+	speed := map[string]float64{}
+	for _, row := range tb.Rows {
+		speed[row[0]] = parse(t, row[4])
+	}
+	if speed["V3"] <= speed["V21"] {
+		t.Errorf("V3 speedup (%v) should exceed V21 (%v)\n%s", speed["V3"], speed["V21"], tb.Render())
+	}
+	runAndCheck(t, "fig7b", 8)
+}
+
+func TestFig8Shapes(t *testing.T) {
+	tb := runAndCheck(t, "fig8a", 4)
+	// Across the skew range, the outlier index should reduce AQP error
+	// in aggregate (per-z values are noisy at test scale).
+	var aqp, aqpOut float64
+	for _, row := range tb.Rows {
+		aqp += parse(t, row[2])
+		aqpOut += parse(t, row[3])
+	}
+	if aqpOut >= aqp {
+		t.Errorf("outlier index should reduce AQP error overall: %v vs %v\n%s", aqpOut, aqp, tb.Render())
+	}
+	runAndCheck(t, "fig8b", 12)
+}
+
+func TestFig9Shapes(t *testing.T) {
+	tb := runAndCheck(t, "fig9a", 8)
+	for _, row := range tb.Rows {
+		if row[1] == "change-table" {
+			if v := parse(t, row[4]); v <= 1 {
+				t.Errorf("%s: change-table view should speed up, got %v", row[0], v)
+			}
+		}
+	}
+	tb = runAndCheck(t, "fig9b", 6)
+	var stale, corr float64
+	for _, row := range tb.Rows {
+		stale += parse(t, row[1])
+		corr += parse(t, row[3])
+	}
+	if corr >= stale {
+		t.Errorf("Conviva CORR total %v should beat stale %v\n%s", corr, stale, tb.Render())
+	}
+}
+
+func TestFig10To13Shapes(t *testing.T) {
+	// The cube experiments need a larger base than the other tests: at
+	// tiny scales the cube has only a few hundred rows and the
+	// correction's sampling noise swamps the (small) staleness.
+	runCube := func(id string, minRows int) *Table {
+		tb, err := Run(id, 0.5)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tb.Rows) < minRows {
+			t.Fatalf("%s: %d rows, want ≥ %d", id, len(tb.Rows), minRows)
+		}
+		return tb
+	}
+	tb := runCube("fig10a", 10)
+	if v := parse(t, tb.Rows[0][3]); v <= 1 {
+		t.Errorf("cube SVC-10%% speedup %v should exceed 1", v)
+	}
+	runCube("fig10b", 8)
+	tb = runCube("fig11", 13)
+	var stale, corr float64
+	for _, row := range tb.Rows {
+		stale += parse(t, row[1])
+		corr += parse(t, row[3])
+	}
+	if corr >= stale {
+		t.Errorf("cube CORR total %v should beat stale %v\n%s", corr, stale, tb.Render())
+	}
+	tb = runCube("fig12", 13)
+	_ = tb
+	runCube("fig13", 10)
+}
+
+func TestFig14To16Shapes(t *testing.T) {
+	tb := runAndCheck(t, "fig14a", 8)
+	if parse(t, tb.Rows[0][1]) >= parse(t, tb.Rows[len(tb.Rows)-1][1]) {
+		t.Errorf("throughput should grow with batch size\n%s", tb.Render())
+	}
+	tb = runAndCheck(t, "fig14b", 8)
+	if parse(t, tb.Rows[0][3]) <= parse(t, tb.Rows[len(tb.Rows)-1][3]) {
+		t.Errorf("two-thread reduction should shrink with batch size\n%s", tb.Render())
+	}
+	tb = runAndCheck(t, "fig15", 10)
+	found := false
+	for _, n := range tb.Notes {
+		if strings.Contains(n, "V2 at 3%") && strings.Contains(n, "V5 at 6%") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("fig15 optima drifted from the paper's 3%%/6%%: %v", tb.Notes)
+	}
+	runAndCheck(t, "fig16", 30)
+}
+
+func TestAblations(t *testing.T) {
+	tb := runAndCheck(t, "ablate-hash", 3)
+	// linear must be the least uniform.
+	dev := map[string]float64{}
+	for _, row := range tb.Rows {
+		dev[row[0]] = parse(t, row[2])
+	}
+	if dev["linear"] <= dev["fnv64a"] {
+		t.Errorf("linear (%v) should be less uniform than fnv (%v)", dev["linear"], dev["fnv64a"])
+	}
+	tb = runAndCheck(t, "ablate-pushdown", 3)
+	for _, row := range tb.Rows {
+		if parse(t, row[2]) >= parse(t, row[4]) {
+			t.Errorf("push-down should touch fewer rows: %v vs %v", row[2], row[4])
+		}
+	}
+	runAndCheck(t, "ablate-advisor", 5)
+	tb = runAndCheck(t, "ablate-nonunique", 2)
+	// Non-unique sampling must show the wider spread, and the formula
+	// must be in the right ballpark for it.
+	uniqueSD := parse(t, tb.Rows[0][2])
+	nonUniqueSD := parse(t, tb.Rows[1][2])
+	if nonUniqueSD <= uniqueSD {
+		t.Errorf("non-unique stddev %v should exceed unique %v\n%s", nonUniqueSD, uniqueSD, tb.Render())
+	}
+	predicted := parse(t, tb.Rows[1][3])
+	if nonUniqueSD > 3*predicted || predicted > 3*nonUniqueSD {
+		t.Errorf("measured non-unique stddev %v far from predicted %v", nonUniqueSD, predicted)
+	}
+}

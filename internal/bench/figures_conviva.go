@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"math/rand"
+
+	"github.com/sampleclean/svc/internal/clean"
+	"github.com/sampleclean/svc/internal/conviva"
+	"github.com/sampleclean/svc/internal/estimator"
+	"github.com/sampleclean/svc/internal/stats"
+	"github.com/sampleclean/svc/internal/view"
+)
+
+func init() {
+	register("fig9a", "Conviva-style views: maintenance time IVM vs SVC-10%", fig9a)
+	register("fig9b", "Conviva-style views: query accuracy — Stale vs SVC+AQP vs SVC+CORR", fig9b)
+}
+
+func convivaConfig(s Scale, seed int64) conviva.Config {
+	f := float64(s)
+	clamp := func(v, lo int) int {
+		if v < lo {
+			return lo
+		}
+		return v
+	}
+	return conviva.Config{
+		Records:   clamp(int(20000*f), 2000),
+		Users:     clamp(int(500*f), 80),
+		Resources: clamp(int(200*f), 40),
+		Providers: 20,
+		Days:      30,
+		Z:         1.2,
+		Seed:      seed,
+	}
+}
+
+// fig9a: maintenance time across the eight views with 10% appended
+// updates.
+func fig9a(s Scale) (*Table, error) {
+	t := &Table{ID: "fig9a", Title: "Conviva-style views: maintenance time for 10% appended updates",
+		Header: []string{"view", "strategy", "ivm_time", "svc_time", "speedup"}}
+	for _, def := range conviva.Views() {
+		g := conviva.NewGenerator(convivaConfig(s, 31))
+		d, err := g.Generate()
+		if err != nil {
+			return nil, err
+		}
+		v, err := view.Materialize(d, def)
+		if err != nil {
+			return nil, err
+		}
+		m, err := view.NewMaintainer(v)
+		if err != nil {
+			return nil, err
+		}
+		c, err := clean.New(m, 0.10, nil)
+		if err != nil {
+			return nil, err
+		}
+		if err := g.StageAppend(d, 0.10); err != nil {
+			return nil, err
+		}
+		svcDur, err := timeIt(func() error {
+			_, err := c.Clean(d)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		stale := v.Data().Clone()
+		ivmDur, err := timeIt(func() error {
+			_, err := m.Maintain(d)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := v.Replace(stale); err != nil {
+			return nil, err
+		}
+		t.AddRow(def.Name, m.Kind().String(), ivmDur, svcDur, float64(ivmDur)/float64(svcDur))
+	}
+	t.Notes = append(t.Notes, "paper Figure 9a: SVC-10% gives ≈7.5x average speedup on the Conviva views")
+	return t, nil
+}
+
+// fig9b: accuracy across the eight views with random range/subset
+// queries.
+func fig9b(s Scale) (*Table, error) {
+	t := &Table{ID: "fig9b", Title: "Conviva-style views: query accuracy (10% sample, 10% appended)",
+		Header: []string{"view", "stale_err", "aqp_err", "corr_err", "queries"}}
+	rng := rand.New(rand.NewSource(33))
+	cfg := convivaConfig(s, 32)
+	for _, def := range conviva.Views() {
+		g := conviva.NewGenerator(cfg)
+		d, err := g.Generate()
+		if err != nil {
+			return nil, err
+		}
+		v, err := view.Materialize(d, def)
+		if err != nil {
+			return nil, err
+		}
+		m, err := view.NewMaintainer(v)
+		if err != nil {
+			return nil, err
+		}
+		c, err := clean.New(m, 0.10, nil)
+		if err != nil {
+			return nil, err
+		}
+		if err := g.StageAppend(d, 0.10); err != nil {
+			return nil, err
+		}
+		samples, err := c.Clean(d)
+		if err != nil {
+			return nil, err
+		}
+		snap := d.Snapshot()
+		if err := snap.ApplyDeltas(); err != nil {
+			return nil, err
+		}
+		truthV, err := view.Materialize(snap, def)
+		if err != nil {
+			return nil, err
+		}
+		var staleErrs, aqpErrs, corrErrs []float64
+		for _, gq := range conviva.GenerateQueries(rng, def.Name, cfg, 25) {
+			truth, err := estimator.RunExact(truthV.Data(), gq.Query)
+			if err != nil || truth == 0 || truth != truth {
+				continue
+			}
+			staleAns, err := estimator.RunExact(v.Data(), gq.Query)
+			if err != nil {
+				continue
+			}
+			aqp, err1 := estimator.AQP(samples, gq.Query, 0.95)
+			corr, err2 := estimator.Corr(v.Data(), samples, gq.Query, 0.95)
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			staleErrs = append(staleErrs, estimator.RelativeError(staleAns, truth))
+			aqpErrs = append(aqpErrs, estimator.RelativeError(aqp.Value, truth))
+			corrErrs = append(corrErrs, estimator.RelativeError(corr.Value, truth))
+		}
+		if len(staleErrs) == 0 {
+			continue
+		}
+		t.AddRow(def.Name, stats.Median(staleErrs), stats.Median(aqpErrs), stats.Median(corrErrs), len(staleErrs))
+	}
+	t.Notes = append(t.Notes, "paper Figure 9b: SVC answers within ≈1% on the Conviva workload")
+	return t, nil
+}

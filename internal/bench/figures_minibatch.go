@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/sampleclean/svc/internal/minibatch"
+)
+
+func init() {
+	register("fig14a", "mini-batch: throughput vs batch size (single maintenance thread)", fig14a)
+	register("fig14b", "mini-batch: throughput vs batch size with a concurrent SVC thread", fig14b)
+	register("fig15", "mini-batch: max error vs sampling ratio at fixed throughput (V2, V5)", fig15)
+	register("fig16", "mini-batch: CPU utilization trace — IVM vs IVM+SVC", fig16)
+}
+
+func batchCandidates() []float64 {
+	return []float64{1e6, 2e6, 5e6, 1e7, 2e7, 5e7, 1e8, 2e8}
+}
+
+func fig14a(Scale) (*Table, error) {
+	c := minibatch.DefaultCluster()
+	t := &Table{ID: "fig14a", Title: "Simulated cluster: throughput vs batch size (records/s)",
+		Header: []string{"batch_records", "throughput"}}
+	for _, b := range batchCandidates() {
+		t.AddRow(fmt.Sprintf("%.0e", b), c.Throughput(b))
+	}
+	t.Notes = append(t.Notes, "paper Figure 14a: throughput for small batches ≈10x below large batches")
+	return t, nil
+}
+
+func fig14b(Scale) (*Table, error) {
+	c := minibatch.DefaultCluster()
+	t := &Table{ID: "fig14b", Title: "Simulated cluster: throughput with concurrent SVC thread (m=10%)",
+		Header: []string{"batch_records", "one_thread", "two_threads", "reduction"}}
+	for _, b := range batchCandidates() {
+		one := c.Throughput(b)
+		two := c.ThroughputTwoThreads(b, 0.10)
+		t.AddRow(fmt.Sprintf("%.0e", b), one, two, one/two)
+	}
+	t.Notes = append(t.Notes, "paper Figure 14b: two threads halve small-batch throughput; large batches barely affected")
+	return t, nil
+}
+
+func fig15(Scale) (*Table, error) {
+	c := minibatch.DefaultCluster()
+	t := &Table{ID: "fig15", Title: "Max error in a maintenance period vs sampling ratio (fixed throughput)",
+		Header: []string{"ratio", "V2_ivm+svc", "V2_ivm_only", "V5_ivm+svc", "V5_ivm_only"}}
+	target := 0.55 * c.RecordRate * float64(c.Workers)
+	profiles := []minibatch.ViewProfile{minibatch.V2Profile(), minibatch.V5Profile()}
+	ivmOnly := make([]float64, len(profiles))
+	for i, p := range profiles {
+		b, ok := c.SmallestBatchFor(target, false, 0, batchCandidates())
+		if !ok {
+			return nil, fmt.Errorf("fig15: no feasible IVM batch")
+		}
+		ivmOnly[i] = minibatch.MaxError(p, b, 0, 0)
+	}
+	best := make([]float64, len(profiles))
+	bestM := make([]float64, len(profiles))
+	for i := range best {
+		best[i] = math.Inf(1)
+	}
+	for _, m := range []float64{0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.08, 0.10, 0.14, 0.18} {
+		row := []interface{}{m}
+		for i, p := range profiles {
+			b, ok := c.SmallestBatchFor(target, true, m, batchCandidates())
+			if !ok {
+				row = append(row, "inf", ivmOnly[i])
+				continue
+			}
+			e := minibatch.MaxError(p, b, m, c.SVCBatchFor(p, target, m))
+			if e < best[i] {
+				best[i], bestM[i] = e, m
+			}
+			row = append(row, e, ivmOnly[i])
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("optimal ratios: V2 at %.0f%%, V5 at %.0f%% (paper: 3%% and 6%%)", bestM[0]*100, bestM[1]*100),
+		"paper Figure 15: IVM+SVC beats IVM alone at every plotted ratio")
+	return t, nil
+}
+
+func fig16(Scale) (*Table, error) {
+	c := minibatch.DefaultCluster()
+	n := 5e7
+	plain := c.UtilizationTrace(n, false, 0)
+	svc := c.UtilizationTrace(n, true, 0.10)
+	t := &Table{ID: "fig16", Title: "CPU utilization per second over one batch",
+		Header: []string{"second", "ivm", "ivm+svc"}}
+	meanP, meanS := 0.0, 0.0
+	for i := range plain {
+		t.AddRow(i, plain[i], svc[i])
+		meanP += plain[i]
+		meanS += svc[i]
+	}
+	meanP /= float64(len(plain))
+	meanS /= float64(len(svc))
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("mean utilization: IVM %.0f%%, IVM+SVC %.0f%%", meanP*100, meanS*100),
+		"paper Figure 16: SVC fills the idle windows left by synchronous shuffles",
+		sparkline(plain), sparkline(svc))
+	return t, nil
+}
+
+// sparkline renders a one-line utilization plot for quick visual
+// comparison in terminal output.
+func sparkline(xs []float64) string {
+	marks := []rune("▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	for _, x := range xs {
+		i := int(x * float64(len(marks)))
+		if i >= len(marks) {
+			i = len(marks) - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		b.WriteRune(marks[i])
+	}
+	return b.String()
+}

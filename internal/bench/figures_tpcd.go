@@ -1,0 +1,601 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/sampleclean/svc/internal/clean"
+	"github.com/sampleclean/svc/internal/db"
+	"github.com/sampleclean/svc/internal/estimator"
+	"github.com/sampleclean/svc/internal/outlier"
+	"github.com/sampleclean/svc/internal/stats"
+	"github.com/sampleclean/svc/internal/tpcd"
+	"github.com/sampleclean/svc/internal/view"
+)
+
+// tpcdConfig scales the TPCD workload.
+func tpcdConfig(s Scale, z float64, seed int64) tpcd.Config {
+	f := float64(s)
+	clamp := func(v int, lo int) int {
+		if v < lo {
+			return lo
+		}
+		return v
+	}
+	return tpcd.Config{
+		Orders:    clamp(int(3000*f), 200),
+		MaxLines:  4,
+		Customers: clamp(int(300*f), 40),
+		Suppliers: clamp(int(50*f), 10),
+		Parts:     clamp(int(200*f), 30),
+		Z:         z,
+		Days:      365,
+		Seed:      seed,
+	}
+}
+
+// tpcdScenario is a generated database with one materialized view and its
+// maintainer.
+type tpcdScenario struct {
+	gen *tpcd.Generator
+	d   *db.Database
+	v   *view.View
+	m   *view.Maintainer
+}
+
+func newTPCDScenario(cfg tpcd.Config, def view.Definition) (*tpcdScenario, error) {
+	gen := tpcd.NewGenerator(cfg)
+	d, err := gen.Generate()
+	if err != nil {
+		return nil, err
+	}
+	v, err := view.Materialize(d, def)
+	if err != nil {
+		return nil, err
+	}
+	m, err := view.NewMaintainer(v)
+	if err != nil {
+		return nil, err
+	}
+	return &tpcdScenario{gen: gen, d: d, v: v, m: m}, nil
+}
+
+// truth recomputes S′ from a snapshot with the staged deltas applied.
+func (sc *tpcdScenario) truth() (*view.View, error) {
+	snap := sc.d.Snapshot()
+	if err := snap.ApplyDeltas(); err != nil {
+		return nil, err
+	}
+	return view.Materialize(snap, sc.v.Definition())
+}
+
+// timeIVM measures one full maintenance run without disturbing the
+// scenario (it restores the stale view contents afterwards).
+func (sc *tpcdScenario) timeIVM() (time.Duration, view.MaintainStats, error) {
+	stale := sc.v.Data().Clone()
+	var st view.MaintainStats
+	dur, err := timeIt(func() error {
+		var err error
+		st, err = sc.m.Maintain(sc.d)
+		return err
+	})
+	if err != nil {
+		return 0, st, err
+	}
+	if err := sc.v.Replace(stale); err != nil {
+		return 0, st, err
+	}
+	return dur, st, nil
+}
+
+func init() {
+	register("fig4a", "join view: maintenance time vs sampling ratio (SVC) with the IVM line", fig4a)
+	register("fig4b", "join view: SVC-10% speedup over IVM as update size grows", fig4b)
+	register("fig5", "join view: median relative error per TPCD query — Stale vs SVC+AQP-10% vs SVC+CORR-10%", fig5)
+	register("fig6a", "join view: total time (maintenance + query) for IVM, SVC+CORR, SVC+AQP", fig6a)
+	register("fig6b", "join view: SVC+CORR vs SVC+AQP accuracy as updates grow (break-even)", fig6b)
+	register("fig7a", "complex views: maintenance time IVM vs SVC-10% (V21/V22 gain little)", fig7a)
+	register("fig7b", "complex views: query accuracy — Stale vs SVC+AQP vs SVC+CORR", fig7b)
+	register("fig8a", "outlier index: 75%-quartile error vs Zipf z on V3, with and without the index", fig8a)
+	register("fig8b", "outlier index: maintenance overhead vs index size on V3/V5/V10/V15i", fig8b)
+}
+
+// fig4a: vary the sampling ratio at a fixed 10% update size.
+func fig4a(s Scale) (*Table, error) {
+	sc, err := newTPCDScenario(tpcdConfig(s, 2, 1), tpcd.JoinView())
+	if err != nil {
+		return nil, err
+	}
+	if err := sc.gen.StageUpdates(sc.d, 0.10); err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "fig4a", Title: "Join view: maintenance time vs sampling ratio (10% updates)",
+		Header: []string{"ratio", "svc_time", "svc_rows", "ivm_time", "ivm_rows", "speedup"}}
+	ivmDur, ivmStats, err := sc.timeIVM()
+	if err != nil {
+		return nil, err
+	}
+	for _, ratio := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0} {
+		c, err := clean.New(sc.m, ratio, nil)
+		if err != nil {
+			return nil, err
+		}
+		var samples *clean.Samples
+		dur, err := timeIt(func() error {
+			var err error
+			samples, err = c.Clean(sc.d)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(ratio, dur, samples.Stats.RowsTouched, ivmDur, ivmStats.RowsTouched,
+			float64(ivmDur)/float64(dur))
+	}
+	t.Notes = append(t.Notes, "paper Figure 4a: SVC time grows ~linearly with the ratio and stays below IVM")
+	return t, nil
+}
+
+// fig4b: fixed 10% sample, growing update size.
+func fig4b(s Scale) (*Table, error) {
+	t := &Table{ID: "fig4b", Title: "Join view: SVC-10% speedup vs update size",
+		Header: []string{"updates_pct", "svc_time", "ivm_time", "speedup", "rows_speedup"}}
+	for _, frac := range []float64{0.025, 0.05, 0.075, 0.10, 0.125, 0.15, 0.175, 0.20} {
+		sc, err := newTPCDScenario(tpcdConfig(s, 2, 2), tpcd.JoinView())
+		if err != nil {
+			return nil, err
+		}
+		if err := sc.gen.StageUpdates(sc.d, frac); err != nil {
+			return nil, err
+		}
+		c, err := clean.New(sc.m, 0.10, nil)
+		if err != nil {
+			return nil, err
+		}
+		var samples *clean.Samples
+		svcDur, err := timeIt(func() error {
+			var err error
+			samples, err = c.Clean(sc.d)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		ivmDur, ivmStats, err := sc.timeIVM()
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(100*frac, svcDur, ivmDur, float64(ivmDur)/float64(svcDur),
+			float64(ivmStats.RowsTouched)/float64(samples.Stats.RowsTouched))
+	}
+	t.Notes = append(t.Notes, "paper Figure 4b: speedup grows with update size (6.5x at 2.5% to 10.1x at 20% on MySQL)")
+	return t, nil
+}
+
+// fig5: per-query accuracy on the join view.
+func fig5(s Scale) (*Table, error) {
+	sc, err := newTPCDScenario(tpcdConfig(s, 2, 3), tpcd.JoinView())
+	if err != nil {
+		return nil, err
+	}
+	if err := sc.gen.StageUpdates(sc.d, 0.10); err != nil {
+		return nil, err
+	}
+	c, err := clean.New(sc.m, 0.10, nil)
+	if err != nil {
+		return nil, err
+	}
+	samples, err := c.Clean(sc.d)
+	if err != nil {
+		return nil, err
+	}
+	truthV, err := sc.truth()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "fig5", Title: "Join view: median relative error per query (10% sample, 10% updates)",
+		Header: []string{"query", "stale_err", "aqp_err", "corr_err"}}
+	for _, jq := range tpcd.JoinViewQueries() {
+		truth, _, err := estimator.GroupExact(truthV.Data(), jq.Query, jq.GroupBy)
+		if err != nil {
+			return nil, err
+		}
+		staleAns, _, err := estimator.GroupExact(sc.v.Data(), jq.Query, jq.GroupBy)
+		if err != nil {
+			return nil, err
+		}
+		aqp, err := estimator.GroupAQP(samples, jq.Query, jq.GroupBy, 0.95)
+		if err != nil {
+			return nil, err
+		}
+		corr, err := estimator.GroupCorr(sc.v.Data(), samples, jq.Query, jq.GroupBy, 0.95)
+		if err != nil {
+			return nil, err
+		}
+		staleMed, _ := estimator.GroupStaleErrorStats(staleAns, truth)
+		aqpMed, _ := estimator.GroupErrorStats(aqp.Groups, truth)
+		corrMed, _ := estimator.GroupErrorStats(corr.Groups, truth)
+		t.AddRow(jq.Name, staleMed, aqpMed, corrMed)
+	}
+	t.Notes = append(t.Notes, "paper Figure 5: SVC+CORR ≈11.7x more accurate than stale, ≈3.1x more than SVC+AQP")
+	return t, nil
+}
+
+// fig6a: total (maintenance + query) time decomposition.
+func fig6a(s Scale) (*Table, error) {
+	sc, err := newTPCDScenario(tpcdConfig(s, 2, 4), tpcd.JoinView())
+	if err != nil {
+		return nil, err
+	}
+	if err := sc.gen.StageUpdates(sc.d, 0.10); err != nil {
+		return nil, err
+	}
+	q := estimator.Sum("l_extendedprice", nil)
+
+	t := &Table{ID: "fig6a", Title: "Join view: total time = maintenance + query (10% sample, 10% updates)",
+		Header: []string{"method", "maintenance", "query", "total"}}
+
+	// IVM: full maintenance, then an exact query on the view.
+	ivmDur, _, err := sc.timeIVM()
+	if err != nil {
+		return nil, err
+	}
+	maintained := sc.v.Data() // restored stale; run query on stale size (same cardinality class)
+	qDur, err := timeIt(func() error {
+		_, err := estimator.RunExact(maintained, q)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("IVM", ivmDur, qDur, ivmDur+qDur)
+
+	c, err := clean.New(sc.m, 0.10, nil)
+	if err != nil {
+		return nil, err
+	}
+	var samples *clean.Samples
+	svcDur, err := timeIt(func() error {
+		var err error
+		samples, err = c.Clean(sc.d)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	// SVC+CORR queries the full stale view plus both samples.
+	corrQ, err := timeIt(func() error {
+		_, err := estimator.Corr(sc.v.Data(), samples, q, 0.95)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("SVC+CORR-10%", svcDur, corrQ, svcDur+corrQ)
+	// SVC+AQP queries only the clean sample.
+	aqpQ, err := timeIt(func() error {
+		_, err := estimator.AQP(samples, q, 0.95)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("SVC+AQP-10%", svcDur, aqpQ, svcDur+aqpQ)
+	t.Notes = append(t.Notes, "paper Figure 6a: CORR shifts a little work to query time; both SVC variants win on total time")
+	return t, nil
+}
+
+// fig6b: CORR vs AQP as staleness grows — the Section 5.2.2 break-even.
+func fig6b(s Scale) (*Table, error) {
+	t := &Table{ID: "fig6b", Title: "Join view: SVC+CORR vs SVC+AQP error vs update size (10% sample)",
+		Header: []string{"updates_pct", "corr_err", "aqp_err", "advised"}}
+	q := estimator.Sum("l_extendedprice", nil)
+	crossover := ""
+	for _, frac := range []float64{0.03, 0.08, 0.13, 0.18, 0.23, 0.28, 0.33, 0.38, 0.43} {
+		var corrErr, aqpErr float64
+		var advised string
+		const reps = 3
+		for rep := 0; rep < reps; rep++ {
+			sc, err := newTPCDScenario(tpcdConfig(s, 2, 5+int64(rep)), tpcd.JoinView())
+			if err != nil {
+				return nil, err
+			}
+			if err := sc.gen.StageUpdates(sc.d, frac); err != nil {
+				return nil, err
+			}
+			c, err := clean.New(sc.m, 0.10, nil)
+			if err != nil {
+				return nil, err
+			}
+			samples, err := c.Clean(sc.d)
+			if err != nil {
+				return nil, err
+			}
+			truthV, err := sc.truth()
+			if err != nil {
+				return nil, err
+			}
+			truth, err := estimator.RunExact(truthV.Data(), q)
+			if err != nil {
+				return nil, err
+			}
+			corr, err := estimator.Corr(sc.v.Data(), samples, q, 0.95)
+			if err != nil {
+				return nil, err
+			}
+			aqp, err := estimator.AQP(samples, q, 0.95)
+			if err != nil {
+				return nil, err
+			}
+			corrErr += estimator.RelativeError(corr.Value, truth) / reps
+			aqpErr += estimator.RelativeError(aqp.Value, truth) / reps
+			advised, err = estimator.Advise(samples, q)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if crossover == "" && aqpErr < corrErr {
+			crossover = fmt.Sprintf("first AQP win at %.0f%% updates", frac*100)
+		}
+		t.AddRow(100*frac, corrErr, aqpErr, advised)
+	}
+	if crossover != "" {
+		t.Notes = append(t.Notes, crossover)
+	}
+	t.Notes = append(t.Notes, "paper Figure 6b: CORR wins until ≈32.5% updates, then AQP")
+	return t, nil
+}
+
+// fig7a: complex views maintenance time.
+func fig7a(s Scale) (*Table, error) {
+	t := &Table{ID: "fig7a", Title: "Complex views: maintenance time IVM vs SVC-10% (10% updates)",
+		Header: []string{"view", "strategy", "ivm_time", "svc_time", "speedup", "pushdown_blocked"}}
+	for _, def := range tpcd.ComplexViews() {
+		sc, err := newTPCDScenario(tpcdConfig(s, 2, 7), def)
+		if err != nil {
+			return nil, err
+		}
+		if err := sc.gen.StageUpdates(sc.d, 0.10); err != nil {
+			return nil, err
+		}
+		c, err := clean.New(sc.m, 0.10, nil)
+		if err != nil {
+			return nil, err
+		}
+		svcDur, err := timeIt(func() error {
+			_, err := c.Clean(sc.d)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		ivmDur, _, err := sc.timeIVM()
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(def.Name, sc.m.Kind().String(), ivmDur, svcDur,
+			float64(ivmDur)/float64(svcDur), c.UsesFullView())
+	}
+	t.Notes = append(t.Notes, "paper Figure 7a: V21 and V22 gain little — nested structures block push-down")
+	return t, nil
+}
+
+// fig7b: complex views accuracy with generated queries.
+func fig7b(s Scale) (*Table, error) {
+	t := &Table{ID: "fig7b", Title: "Complex views: median relative error (10% sample, 10% updates)",
+		Header: []string{"view", "stale_err", "aqp_err", "corr_err", "queries"}}
+	cfg := tpcdConfig(s, 2, 8)
+	space := tpcd.ViewQuerySpace(cfg)
+	rng := rand.New(rand.NewSource(42))
+	for _, def := range tpcd.ComplexViews() {
+		sc, err := newTPCDScenario(cfg, def)
+		if err != nil {
+			return nil, err
+		}
+		if err := sc.gen.StageUpdates(sc.d, 0.10); err != nil {
+			return nil, err
+		}
+		c, err := clean.New(sc.m, 0.10, nil)
+		if err != nil {
+			return nil, err
+		}
+		samples, err := c.Clean(sc.d)
+		if err != nil {
+			return nil, err
+		}
+		truthV, err := sc.truth()
+		if err != nil {
+			return nil, err
+		}
+		sp := space[def.Name]
+		queries := tpcd.GenerateQueries(rng, 25, sp.Preds, sp.Aggs)
+		if len(queries) == 0 {
+			// V22's group key is a string; fall back to unpredicated sums.
+			for _, a := range sp.Aggs {
+				queries = append(queries, tpcd.GeneratedQuery{Desc: "sum " + a, Query: estimator.Sum(a, nil)})
+			}
+		}
+		var staleErrs, aqpErrs, corrErrs []float64
+		for _, gq := range queries {
+			truth, err := estimator.RunExact(truthV.Data(), gq.Query)
+			if err != nil || truth == 0 || truth != truth {
+				continue
+			}
+			staleAns, err := estimator.RunExact(sc.v.Data(), gq.Query)
+			if err != nil {
+				continue
+			}
+			aqp, err1 := estimator.AQP(samples, gq.Query, 0.95)
+			corr, err2 := estimator.Corr(sc.v.Data(), samples, gq.Query, 0.95)
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			staleErrs = append(staleErrs, estimator.RelativeError(staleAns, truth))
+			aqpErrs = append(aqpErrs, estimator.RelativeError(aqp.Value, truth))
+			corrErrs = append(corrErrs, estimator.RelativeError(corr.Value, truth))
+		}
+		if len(staleErrs) == 0 {
+			continue
+		}
+		t.AddRow(def.Name, stats.Median(staleErrs), stats.Median(aqpErrs), stats.Median(corrErrs), len(staleErrs))
+	}
+	t.Notes = append(t.Notes, "paper Figure 7b: SVC+CORR more accurate than SVC+AQP and No Maintenance across views")
+	return t, nil
+}
+
+// fig8a: outlier index accuracy across skew.
+func fig8a(s Scale) (*Table, error) {
+	t := &Table{ID: "fig8a", Title: "V3 75%-quartile error vs Zipf z (k=100 outlier index, 10% sample)",
+		Header: []string{"z", "stale", "aqp", "aqp+out", "corr", "corr+out"}}
+	rng := rand.New(rand.NewSource(7))
+	// The paper indexes the top-100 records; the index is deliberately
+	// not scaled down (its whole point is to capture the tail, which at
+	// high z is dominated by a handful of records).
+	const kLimit = 100
+	var v3 view.Definition
+	for _, def := range tpcd.ComplexViews() {
+		if def.Name == "V3" {
+			v3 = def
+		}
+	}
+	for _, z := range []float64{1, 2, 3, 4} {
+		cfg := tpcdConfig(s, z, 9)
+		sc, err := newTPCDScenario(cfg, v3)
+		if err != nil {
+			return nil, err
+		}
+		if err := sc.gen.StageUpdates(sc.d, 0.10); err != nil {
+			return nil, err
+		}
+		c, err := clean.New(sc.m, 0.10, nil)
+		if err != nil {
+			return nil, err
+		}
+		samples, err := c.Clean(sc.d)
+		if err != nil {
+			return nil, err
+		}
+		// Outlier index on lineitem.l_extendedprice with a top-k threshold.
+		lt := sc.d.Table(tpcd.Lineitem)
+		thr, err := outlier.TopKThreshold(lt, "l_extendedprice", kLimit)
+		if err != nil {
+			return nil, err
+		}
+		ix, err := outlier.NewIndex(tpcd.Lineitem, "l_extendedprice", tpcd.LineitemSchema(), thr, kLimit)
+		if err != nil {
+			return nil, err
+		}
+		if err := ix.BuildFromTable(lt); err != nil {
+			return nil, err
+		}
+		if !outlier.Eligible(c, ix) {
+			return nil, fmt.Errorf("fig8a: index unexpectedly ineligible")
+		}
+		mz, err := outlier.NewMaterializer(sc.v, ix)
+		if err != nil {
+			return nil, err
+		}
+		o, err := mz.Materialize(sc.d)
+		if err != nil {
+			return nil, err
+		}
+		truthV, err := sc.truth()
+		if err != nil {
+			return nil, err
+		}
+		// Predicate over the order-key domain *including* the new orders
+		// staged by the update batch, so missing rows are queryable.
+		preds := []tpcd.PredAttr{{Name: "l_orderkey", Lo: 0, Hi: int64(float64(cfg.Orders) * 1.12)}}
+		var staleE, aqpE, aqpOutE, corrE, corrOutE []float64
+		for _, gq := range tpcd.GenerateQueries(rng, 60, preds, []string{"revenue"}) {
+			truth, err := estimator.RunExact(truthV.Data(), gq.Query)
+			if err != nil || truth == 0 || truth != truth {
+				continue
+			}
+			staleAns, _ := estimator.RunExact(sc.v.Data(), gq.Query)
+			a1, e1 := estimator.AQP(samples, gq.Query, 0.95)
+			a2, e2 := estimator.AQPWithOutliers(samples, o, gq.Query, 0.95)
+			c1, e3 := estimator.Corr(sc.v.Data(), samples, gq.Query, 0.95)
+			c2, e4 := estimator.CorrWithOutliers(sc.v.Data(), samples, o, gq.Query, 0.95)
+			if e1 != nil || e2 != nil || e3 != nil || e4 != nil {
+				continue
+			}
+			staleE = append(staleE, estimator.RelativeError(staleAns, truth))
+			aqpE = append(aqpE, estimator.RelativeError(a1.Value, truth))
+			aqpOutE = append(aqpOutE, estimator.RelativeError(a2.Value, truth))
+			corrE = append(corrE, estimator.RelativeError(c1.Value, truth))
+			corrOutE = append(corrOutE, estimator.RelativeError(c2.Value, truth))
+		}
+		q75 := func(xs []float64) float64 { return stats.Quantile(xs, 0.75) }
+		t.AddRow(z, q75(staleE), q75(aqpE), q75(aqpOutE), q75(corrE), q75(corrOutE))
+	}
+	t.Notes = append(t.Notes, "paper Figure 8a: at z=4 the outlier index halves the error")
+	return t, nil
+}
+
+// fig8b: outlier index overhead.
+func fig8b(s Scale) (*Table, error) {
+	t := &Table{ID: "fig8b", Title: "Outlier index overhead (SVC-10% + index vs IVM)",
+		Header: []string{"view", "k", "svc+index_time", "ivm_time"}}
+	// The paper indexes l_extendedprice and uses V3/V5/V10/V15 on its
+	// *denormalized* schema, where sampling the view key always samples
+	// the one wide fact table. On the normalized schema, Definition 5's
+	// eligibility rule (the indexed relation must be sampled) admits the
+	// lineitem-keyed views: V3, V15i and V18.
+	targets := map[string]bool{"V3": true, "V15i": true, "V18": true}
+	for _, def := range tpcd.ComplexViews() {
+		if !targets[def.Name] {
+			continue
+		}
+		for _, k := range []int{0, 10, 100, 1000} {
+			sc, err := newTPCDScenario(tpcdConfig(s, 2, 11), def)
+			if err != nil {
+				return nil, err
+			}
+			if err := sc.gen.StageUpdates(sc.d, 0.10); err != nil {
+				return nil, err
+			}
+			c, err := clean.New(sc.m, 0.10, nil)
+			if err != nil {
+				return nil, err
+			}
+			dur, err := timeIt(func() error {
+				if _, err := c.Clean(sc.d); err != nil {
+					return err
+				}
+				if k == 0 {
+					return nil
+				}
+				lt := sc.d.Table(tpcd.Lineitem)
+				thr, err := outlier.TopKThreshold(lt, "l_extendedprice", k)
+				if err != nil {
+					return err
+				}
+				ix, err := outlier.NewIndex(tpcd.Lineitem, "l_extendedprice", tpcd.LineitemSchema(), thr, k)
+				if err != nil {
+					return err
+				}
+				if err := ix.BuildFromTable(lt); err != nil {
+					return err
+				}
+				mz, err := outlier.NewMaterializer(sc.v, ix)
+				if err != nil {
+					return err
+				}
+				_, err = mz.Materialize(sc.d)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			ivmDur, _, err := sc.timeIVM()
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(def.Name, k, dur, ivmDur)
+		}
+	}
+	t.Notes = append(t.Notes, "paper Figure 8b: the index adds overhead growing with k but stays below IVM")
+	return t, nil
+}

@@ -1,0 +1,348 @@
+// Package clean implements Stale View Cleaning proper — the paper's core
+// contribution (Sections 3 and 4): materializing a pair of *corresponding
+// samples* of a stale materialized view and its up-to-date counterpart for
+// a fraction of the full maintenance cost.
+//
+// Following the paper's Problem 1, the cleaner keeps a materialized sample
+// view Ŝ = η_{u,m}(S) (built once, maintained thereafter) and derives a
+// cleaning expression
+//
+//	Ŝ′ = C(Ŝ, D, ∂D),   C = pushdown(η_{u,m}(M)) with η(S) replaced by Ŝ
+//
+// where u is the view's primary key (Definition 2), M is the maintenance
+// strategy (package view) and pushdown applies the Definition 3 rules so
+// that rows outside the sample are never materialized. Because the same
+// deterministic hash selects both samples, (Ŝ, Ŝ′) satisfy the
+// Correspondence property (Property 1 / Proposition 2): same sampled keys,
+// superfluous rows removed, missing rows sampled at rate m, keys preserved
+// for updated rows. Correspondence is what keeps the SVC+CORR estimator's
+// difference variance small (Section 5.2.2).
+package clean
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/sampleclean/svc/internal/algebra"
+	"github.com/sampleclean/svc/internal/db"
+	"github.com/sampleclean/svc/internal/hashing"
+	"github.com/sampleclean/svc/internal/relation"
+	"github.com/sampleclean/svc/internal/view"
+)
+
+// SampleName returns the context binding name of a view's materialized
+// stale sample Ŝ.
+func SampleName(viewName string) string { return "ŝ·" + viewName }
+
+// Cleaner owns the materialized stale sample and the rewritten cleaning
+// expression for one view.
+type Cleaner struct {
+	maintainer *view.Maintainer
+	ratio      float64
+	hasher     hashing.Hasher
+	attrs      []string           // hashed attribute tuple (usually the view key)
+	cleanExpr  algebra.Node       // C: reads Ŝ (and, if blocked, S) plus ∂D
+	sample     *relation.Relation // Ŝ, materialized
+	usesFullS  bool               // true when push-down could not reach the stale scan
+}
+
+// New builds a cleaner for the maintained view at sampling ratio m and
+// materializes the initial stale sample Ŝ (a one-time cost, amortized over
+// all subsequent cleanings — the paper's "Stale Sample MV" in Figure 1).
+// Sampling hashes the view's primary key.
+func New(m *view.Maintainer, ratio float64, hasher hashing.Hasher) (*Cleaner, error) {
+	key := m.View().KeyNames()
+	if len(key) == 0 {
+		return nil, fmt.Errorf("clean: view %s has no primary key to sample on", m.View().Name())
+	}
+	return NewOnAttrs(m, key, ratio, hasher)
+}
+
+// NewOnAttrs builds a cleaner that hashes an arbitrary attribute tuple of
+// the view instead of its primary key — the paper's Appendix 12.5
+// extension. Hashing a non-unique attribute still includes every
+// individual row with probability m (estimates stay unbiased), but rows
+// sharing the attribute value enter and leave the sample together, so the
+// sample size has extra variance m(1−m)µ² + (1−m)σ² for duplication mean
+// µ and variance σ². In exchange, η can push through arbitrary equality
+// joins on the hashed attribute.
+func NewOnAttrs(m *view.Maintainer, attrs []string, ratio float64, hasher hashing.Hasher) (*Cleaner, error) {
+	if ratio <= 0 || ratio > 1 {
+		return nil, fmt.Errorf("clean: sampling ratio %v outside (0,1]", ratio)
+	}
+	if hasher == nil {
+		hasher = hashing.Default
+	}
+	v := m.View()
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("clean: need at least one sampling attribute")
+	}
+	for _, a := range attrs {
+		if !v.Schema().HasCol(a) {
+			return nil, fmt.Errorf("clean: view %s has no attribute %q", v.Name(), a)
+		}
+	}
+	pushed, err := algebra.PushDownHash(m.Expression(), attrs, ratio, hasher)
+	if err != nil {
+		return nil, fmt.Errorf("clean: %s: %w", v.Name(), err)
+	}
+	c := &Cleaner{maintainer: m, ratio: ratio, hasher: hasher, attrs: append([]string(nil), attrs...)}
+	c.cleanExpr = c.substituteSampleScan(pushed)
+	algebra.Walk(c.cleanExpr, func(n algebra.Node) {
+		if s, ok := n.(*algebra.ScanNode); ok && s.Name() == view.StaleName(v.Name()) {
+			c.usesFullS = true
+		}
+	})
+	if err := c.Reset(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// substituteSampleScan replaces η(Scan(S)) with Scan(Ŝ) so the cleaning
+// expression consumes the materialized sample directly instead of
+// re-filtering the full view.
+func (c *Cleaner) substituteSampleScan(n algebra.Node) algebra.Node {
+	v := c.maintainer.View()
+	if h, ok := n.(*algebra.HashFilterNode); ok {
+		if s, ok := h.Children()[0].(*algebra.ScanNode); ok && s.Name() == view.StaleName(v.Name()) {
+			if h.Ratio() == c.ratio && sameAttrs(h.Attrs(), c.attrs) {
+				return algebra.Scan(SampleName(v.Name()), s.Schema())
+			}
+		}
+	}
+	children := n.Children()
+	if len(children) == 0 {
+		return n
+	}
+	newCh := make([]algebra.Node, len(children))
+	changed := false
+	for i, ch := range children {
+		newCh[i] = c.substituteSampleScan(ch)
+		if newCh[i] != ch {
+			changed = true
+		}
+	}
+	if !changed {
+		return n
+	}
+	return n.WithChildren(newCh)
+}
+
+func sameAttrs(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset re-materializes the stale sample Ŝ from the current view contents
+// by scanning and hashing S. Called once at construction and again after
+// full view maintenance replaces S.
+func (c *Cleaner) Reset() error {
+	v := c.maintainer.View()
+	hf, err := algebra.HashFilter(
+		algebra.Scan(view.StaleName(v.Name()), v.Schema()),
+		c.attrs, c.ratio, c.hasher)
+	if err != nil {
+		return err
+	}
+	ctx := algebra.NewContext(nil)
+	v.BindInto(ctx)
+	sample, err := hf.Eval(ctx)
+	if err != nil {
+		return fmt.Errorf("clean: materialize sample of %s: %w", v.Name(), err)
+	}
+	c.sample = sample
+	return nil
+}
+
+// Ratio returns the sampling ratio m.
+func (c *Cleaner) Ratio() float64 { return c.ratio }
+
+// SampleAttrs returns the hashed attribute tuple.
+func (c *Cleaner) SampleAttrs() []string { return append([]string(nil), c.attrs...) }
+
+// Hasher returns the deterministic hash in use.
+func (c *Cleaner) Hasher() hashing.Hasher { return c.hasher }
+
+// StaleSample returns the materialized stale sample Ŝ.
+func (c *Cleaner) StaleSample() *relation.Relation { return c.sample }
+
+// Expression returns the optimized cleaning expression C (the paper's
+// Figure 3 right-hand side) for inspection.
+func (c *Cleaner) Expression() algebra.Node { return c.cleanExpr }
+
+// UsesFullView reports whether push-down failed to reach the stale view
+// scan, forcing C to read the full view (the V21/V22 situation).
+func (c *Cleaner) UsesFullView() bool { return c.usesFullS }
+
+// Stats reports the cost of one cleaning run.
+type Stats struct {
+	// RowsTouched counts rows processed by the cleaning expression
+	// (machine-independent cost proxy, comparable with
+	// view.MaintainStats.RowsTouched).
+	RowsTouched int64
+	// Elapsed is the wall-clock time of the cleaning evaluation.
+	Elapsed time.Duration
+}
+
+// Samples is the pair of corresponding samples handed to the estimators.
+type Samples struct {
+	// Stale is Ŝ, the uniform sample of the stale view.
+	Stale *relation.Relation
+	// Fresh is Ŝ′, the cleaned (up-to-date) sample.
+	Fresh *relation.Relation
+	// Ratio is the sampling ratio m both samples were drawn with.
+	Ratio float64
+	// Stats reports the cleaning cost.
+	Stats Stats
+}
+
+// Clean evaluates the cleaning expression against the staged deltas and
+// returns the corresponding sample pair (Ŝ, Ŝ′). Neither the view nor the
+// stored sample is modified; call Adopt to roll the sample forward.
+func (c *Cleaner) Clean(d *db.Database) (*Samples, error) {
+	v := c.maintainer.View()
+	ctx := d.Context()
+	v.BindInto(ctx)
+	ctx.Bind(SampleName(v.Name()), c.sample)
+
+	start := time.Now()
+	fresh, err := c.cleanExpr.Eval(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("clean: fresh sample of %s: %w", v.Name(), err)
+	}
+	elapsed := time.Since(start)
+
+	return &Samples{
+		Stale: c.sample,
+		Fresh: fresh,
+		Ratio: c.ratio,
+		Stats: Stats{RowsTouched: ctx.RowsTouched, Elapsed: elapsed},
+	}, nil
+}
+
+// Adopt replaces the stored stale sample with a cleaned sample. Use this
+// when the base deltas the sample was cleaned against have been applied
+// (db.ApplyDeltas) and the full view has been maintained, so that Ŝ again
+// corresponds to S: by Theorem 1, the cleaned sample equals η(S′) exactly.
+//
+// The cleaned sample's computed columns are untyped; Adopt coerces them
+// back to the view's declared schema so the next cleaning round's sample
+// scan type-checks.
+func (c *Cleaner) Adopt(s *Samples) error {
+	target := c.maintainer.View().Schema()
+	out := relation.New(target)
+	for _, row := range s.Fresh.Rows() {
+		conv := make(relation.Row, len(row))
+		for i, val := range row {
+			conv[i] = coerceValue(target.Col(i).Type, val)
+		}
+		if err := out.Insert(conv); err != nil {
+			return fmt.Errorf("clean: adopt sample: %w", err)
+		}
+	}
+	c.sample = out
+	return nil
+}
+
+func coerceValue(want relation.Kind, v relation.Value) relation.Value {
+	if v.IsNull() {
+		return v
+	}
+	switch want {
+	case relation.KindInt:
+		if v.Kind() != relation.KindInt {
+			return relation.Int(v.AsInt())
+		}
+	case relation.KindFloat:
+		if v.Kind() != relation.KindFloat {
+			return relation.Float(v.AsFloat())
+		}
+	}
+	return v
+}
+
+// CorrespondenceReport summarizes a Property 1 check between a sample pair
+// and the true up-to-date view (test/diagnostic use: computing the true
+// view defeats the purpose in production).
+type CorrespondenceReport struct {
+	// SampleSubsetOfTrue: every row of Ŝ′ appears in S′ (with equal
+	// values).
+	SampleSubsetOfTrue bool
+	// NoSuperfluous: no key sampled in Ŝ that was deleted from S′
+	// survives into Ŝ′.
+	NoSuperfluous bool
+	// KeysPreserved: every key in Ŝ that still exists in S′ also appears
+	// in Ŝ′.
+	KeysPreserved bool
+	// MissingSampled counts sampled missing rows (rows of Ŝ′ absent from
+	// the stale view) — their expectation is m·|missing|.
+	MissingSampled int
+}
+
+// Ok reports whether all boolean clauses of Property 1 hold.
+func (r CorrespondenceReport) Ok() bool {
+	return r.SampleSubsetOfTrue && r.NoSuperfluous && r.KeysPreserved
+}
+
+// CheckCorrespondence verifies Property 1 given the stale view S, the true
+// up-to-date view S′, and the corresponding samples.
+func CheckCorrespondence(staleView, trueView *relation.Relation, s *Samples) CorrespondenceReport {
+	keyIdx := trueView.Schema().Key()
+	rep := CorrespondenceReport{SampleSubsetOfTrue: true, NoSuperfluous: true, KeysPreserved: true}
+
+	for _, row := range s.Fresh.Rows() {
+		k := row.KeyOf(keyIdx)
+		trueRow, ok := trueView.GetByEncodedKey(k)
+		if !ok || !rowsAlmostEqual(row, trueRow) {
+			rep.SampleSubsetOfTrue = false
+		}
+		if _, wasStale := staleView.GetByEncodedKey(k); !wasStale {
+			rep.MissingSampled++
+		}
+	}
+	for _, row := range s.Stale.Rows() {
+		k := row.KeyOf(keyIdx)
+		_, inTrue := trueView.GetByEncodedKey(k)
+		_, inFresh := s.Fresh.GetByEncodedKey(k)
+		if !inTrue && inFresh {
+			rep.NoSuperfluous = false
+		}
+		if inTrue && !inFresh {
+			rep.KeysPreserved = false
+		}
+	}
+	return rep
+}
+
+// rowsAlmostEqual compares rows with relative tolerance on floats, since
+// incremental maintenance accumulates float sums in a different order than
+// recomputation.
+func rowsAlmostEqual(a, b relation.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Kind() == relation.KindFloat || b[i].Kind() == relation.KindFloat {
+			x, y := a[i].AsFloat(), b[i].AsFloat()
+			diff := math.Abs(x - y)
+			scale := math.Max(math.Abs(x), math.Abs(y))
+			if diff > 1e-9*math.Max(scale, 1) {
+				return false
+			}
+			continue
+		}
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,346 @@
+package clean
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/sampleclean/svc/internal/algebra"
+	"github.com/sampleclean/svc/internal/db"
+	"github.com/sampleclean/svc/internal/expr"
+	"github.com/sampleclean/svc/internal/hashing"
+	"github.com/sampleclean/svc/internal/relation"
+	"github.com/sampleclean/svc/internal/view"
+)
+
+func logSchema() relation.Schema {
+	return relation.NewSchema([]relation.Column{
+		{Name: "sessionId", Type: relation.KindInt},
+		{Name: "videoId", Type: relation.KindInt},
+	}, "sessionId")
+}
+
+func videoSchema() relation.Schema {
+	return relation.NewSchema([]relation.Column{
+		{Name: "videoId", Type: relation.KindInt},
+		{Name: "ownerId", Type: relation.KindInt},
+		{Name: "duration", Type: relation.KindFloat},
+	}, "videoId")
+}
+
+func visitViewDef() view.Definition {
+	j := algebra.MustJoin(
+		algebra.Scan("Log", logSchema()),
+		algebra.Scan("Video", videoSchema()),
+		algebra.JoinSpec{Type: algebra.Inner, On: algebra.On("videoId", "videoId"), Merge: true},
+	)
+	g := algebra.MustGroupBy(j, []string{"videoId"},
+		algebra.CountAs("visitCount"),
+		algebra.SumAs(expr.Col("duration"), "totalDuration"),
+	)
+	return view.Definition{Name: "visitView", Plan: g}
+}
+
+// buildScenario creates a Log/Video database with staged updates and the
+// materialized (now stale) visitView.
+func buildScenario(t testing.TB, seed int64, videos, visits, updates int) (*db.Database, *view.View, *view.Maintainer) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	d := db.New()
+	vt := d.MustCreate("Video", videoSchema())
+	for i := 0; i < videos; i++ {
+		vt.MustInsert(relation.Row{relation.Int(int64(i)), relation.Int(rng.Int63n(10)), relation.Float(rng.Float64() * 3)})
+	}
+	lt := d.MustCreate("Log", logSchema())
+	for i := 0; i < visits; i++ {
+		lt.MustInsert(relation.Row{relation.Int(int64(i)), relation.Int(rng.Int63n(int64(videos)))})
+	}
+	v, err := view.Materialize(d, visitViewDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := view.NewMaintainer(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Staged updates: mostly new visits (incl. to brand-new videos),
+	// some deletions.
+	nextVideo := int64(videos)
+	for i := 0; i < updates; i++ {
+		switch rng.Intn(10) {
+		case 0: // new video + visits to it
+			vt.StageInsert(relation.Row{relation.Int(nextVideo), relation.Int(rng.Int63n(10)), relation.Float(rng.Float64() * 3)})
+			lt.StageInsert(relation.Row{relation.Int(int64(visits + i)), relation.Int(nextVideo)})
+			nextVideo++
+		case 1: // delete an existing visit
+			_ = lt.StageDelete(relation.Int(rng.Int63n(int64(visits))))
+		default: // new visit to an existing video
+			lt.StageInsert(relation.Row{relation.Int(int64(visits + i)), relation.Int(rng.Int63n(int64(videos)))})
+		}
+	}
+	return d, v, m
+}
+
+func trueView(t testing.TB, d *db.Database, def view.Definition) *relation.Relation {
+	t.Helper()
+	snap := d.Snapshot()
+	if err := snap.ApplyDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := view.Materialize(snap, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fresh.Data()
+}
+
+func TestCleanerValidation(t *testing.T) {
+	_, _, m := buildScenario(t, 1, 10, 100, 20)
+	if _, err := New(m, 0, nil); err == nil {
+		t.Error("ratio 0 should fail")
+	}
+	if _, err := New(m, 1.5, nil); err == nil {
+		t.Error("ratio > 1 should fail")
+	}
+	if _, err := New(m, 0.1, nil); err != nil {
+		t.Errorf("valid cleaner: %v", err)
+	}
+}
+
+func TestCleanExpressionShape(t *testing.T) {
+	_, _, m := buildScenario(t, 2, 10, 100, 20)
+	c, err := New(m, 0.05, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := algebra.Format(c.Expression())
+	// The optimized plan must sample the stale view scan and the delta
+	// scans below the merge join — the Figure 3 shape.
+	if !strings.Contains(plan, "η(") {
+		t.Fatalf("no sampling in plan:\n%s", plan)
+	}
+	// After push-down, the η(Scan(stale)) pattern is replaced by a direct
+	// scan of the materialized sample Ŝ — C(Ŝ, D, ∂D) per Problem 1.
+	var sampleScan, fullStaleScan bool
+	algebra.Walk(c.Expression(), func(n algebra.Node) {
+		if s, ok := n.(*algebra.ScanNode); ok {
+			switch s.Name() {
+			case SampleName("visitView"):
+				sampleScan = true
+			case view.StaleName("visitView"):
+				fullStaleScan = true
+			}
+		}
+	})
+	if !sampleScan {
+		t.Errorf("cleaning expression should read the materialized sample:\n%s", plan)
+	}
+	if fullStaleScan {
+		t.Errorf("cleaning expression should not read the full stale view:\n%s", plan)
+	}
+	if c.UsesFullView() {
+		t.Error("UsesFullView should be false for the visitView strategy")
+	}
+}
+
+func TestCorrespondenceOnScenario(t *testing.T) {
+	d, v, m := buildScenario(t, 3, 80, 1200, 250)
+	c, err := New(m, 0.25, hashing.SHA1{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := c.Clean(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := trueView(t, d, v.Definition())
+	rep := CheckCorrespondence(v.Data(), truth, samples)
+	if !rep.Ok() {
+		t.Fatalf("correspondence violated: %+v", rep)
+	}
+	if samples.Stale.Len() == 0 || samples.Fresh.Len() == 0 {
+		t.Fatal("samples should be non-empty at 25%")
+	}
+}
+
+// TestCleanedSampleEqualsSampledTruth is the sharpest correctness check:
+// Ŝ′ must equal η(S′) exactly (Theorem 1 applied to the maintenance
+// expression).
+func TestCleanedSampleEqualsSampledTruth(t *testing.T) {
+	d, v, m := buildScenario(t, 4, 20, 400, 120)
+	c, err := New(m, 0.3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := c.Clean(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := trueView(t, d, v.Definition())
+	// Sample the truth with the same hash.
+	ctx := algebra.NewContext(map[string]*relation.Relation{"T": truth})
+	hf := algebra.MustHashFilter(algebra.Scan("T", truth.Schema()), v.KeyNames(), 0.3, nil)
+	want, err := hf.Eval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samples.Fresh.Len() != want.Len() {
+		t.Fatalf("Ŝ′ has %d rows, η(S′) has %d", samples.Fresh.Len(), want.Len())
+	}
+	for _, wrow := range want.Rows() {
+		grow, ok := samples.Fresh.GetByEncodedKey(wrow.KeyOf(want.Schema().Key()))
+		if !ok || !rowsAlmostEqual(grow, wrow) {
+			t.Fatalf("row %v: got %v", wrow, grow)
+		}
+	}
+}
+
+// TestSamplingSavesWork verifies the core efficiency claim: cleaning a 10%
+// sample touches far fewer rows than full maintenance.
+func TestSamplingSavesWork(t *testing.T) {
+	d, _, m := buildScenario(t, 5, 50, 5000, 500)
+	c, err := New(m, 0.1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := c.Clean(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := m.Maintain(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samples.Stats.RowsTouched >= full.RowsTouched {
+		t.Errorf("sampled cleaning touched %d rows, full maintenance %d — no savings",
+			samples.Stats.RowsTouched, full.RowsTouched)
+	}
+	t.Logf("rows touched: SVC-10%% %d vs IVM %d (%.1fx)",
+		samples.Stats.RowsTouched, full.RowsTouched,
+		float64(full.RowsTouched)/float64(samples.Stats.RowsTouched))
+}
+
+// Property 1 under randomized workloads and ratios, for both hashers.
+func TestCorrespondenceQuick(t *testing.T) {
+	f := func(seed int64, ratioRaw uint8, useSHA bool) bool {
+		ratio := 0.05 + float64(ratioRaw%90)/100
+		var h hashing.Hasher = hashing.FNV{}
+		if useSHA {
+			h = hashing.SHA1{}
+		}
+		d, v, m := buildScenario(t, seed, 15, 200, 60)
+		c, err := New(m, ratio, h)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		samples, err := c.Clean(d)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		truth := trueView(t, d, v.Definition())
+		rep := CheckCorrespondence(v.Data(), truth, samples)
+		if !rep.Ok() {
+			t.Logf("seed %d ratio %v: %+v", seed, ratio, rep)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMissingRowSamplingRate: over many seeds, missing rows are sampled at
+// roughly rate m (Property 1's third clause, in expectation).
+func TestMissingRowSamplingRate(t *testing.T) {
+	const ratio = 0.5
+	totalMissing, sampledMissing := 0, 0
+	for seed := int64(0); seed < 20; seed++ {
+		d, v, m := buildScenario(t, seed, 10, 150, 120)
+		c, err := New(m, ratio, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples, err := c.Clean(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := trueView(t, d, v.Definition())
+		keyIdx := truth.Schema().Key()
+		for _, row := range truth.Rows() {
+			if _, ok := v.Data().GetByEncodedKey(row.KeyOf(keyIdx)); !ok {
+				totalMissing++
+				if _, ok := samples.Fresh.GetByEncodedKey(row.KeyOf(keyIdx)); ok {
+					sampledMissing++
+				}
+			}
+		}
+	}
+	if totalMissing < 20 {
+		t.Fatalf("scenario generated too few missing rows (%d) to test", totalMissing)
+	}
+	got := float64(sampledMissing) / float64(totalMissing)
+	if got < ratio-0.15 || got > ratio+0.15 {
+		t.Errorf("missing rows sampled at %v, want ≈%v (%d/%d)", got, ratio, sampledMissing, totalMissing)
+	}
+}
+
+// Appendix 12.5: sampling on a non-unique attribute. Rows sharing the
+// attribute value must enter the sample together (group-coherent
+// inclusion), per-row inclusion stays ≈ m (unbiased estimates), and the
+// sample-size variance exceeds the unique-key binomial variance.
+func TestNonUniqueAttributeSampling(t *testing.T) {
+	d, v, m := buildScenario(t, 42, 60, 1500, 300)
+	c, err := NewOnAttrs(m, []string{"visitCount"}, 0.4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.SampleAttrs(); len(got) != 1 || got[0] != "visitCount" {
+		t.Fatalf("SampleAttrs = %v", got)
+	}
+	samples, err := c.Clean(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group coherence: every view row with the same visitCount value
+	// enters or leaves the stale sample together (deterministic hashing
+	// of the shared value).
+	cntIdx := v.Schema().ColIndex("visitCount")
+	inSample := map[int64]int{}
+	inView := map[int64]int{}
+	keyIdx := v.Schema().Key()
+	for _, row := range v.Data().Rows() {
+		o := row[cntIdx].AsInt()
+		inView[o]++
+		if _, ok := samples.Stale.GetByEncodedKey(row.KeyOf(keyIdx)); ok {
+			inSample[o]++
+		}
+	}
+	for o, n := range inSample {
+		if n != 0 && n != inView[o] {
+			t.Fatalf("count-group %d partially sampled: %d of %d", o, n, inView[o])
+		}
+	}
+	// Unbiasedness: a scaled count over the cleaned sample tracks the
+	// truth (loose bound — duplication inflates variance by design).
+	truth := trueView(t, d, v.Definition())
+	est := float64(samples.Fresh.Len()) / 0.4
+	rel := est/float64(truth.Len()) - 1
+	if rel > 1.2 || rel < -0.9 {
+		t.Errorf("scaled count %.1f vs truth %d — beyond even the inflated-variance bound", est, truth.Len())
+	}
+	t.Logf("non-unique sampling: est %.1f vs truth %d (rel %+.2f)", est, truth.Len(), rel)
+}
+
+func TestNewOnAttrsValidation(t *testing.T) {
+	_, _, m := buildScenario(t, 43, 10, 100, 10)
+	if _, err := NewOnAttrs(m, []string{"nope"}, 0.5, nil); err == nil {
+		t.Error("unknown attribute should fail")
+	}
+	if _, err := NewOnAttrs(m, nil, 0.5, nil); err == nil {
+		t.Error("empty attribute set should fail")
+	}
+}

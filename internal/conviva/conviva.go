@@ -1,0 +1,348 @@
+// Package conviva substitutes the paper's proprietary Conviva workload
+// (Section 7.5): 1 TB of video-distribution activity logs and eight
+// summary-statistics views, of which the paper discloses only the shapes
+// (Appendix 12.6.2). We generate a synthetic denormalized activity log
+// with Zipfian user/resource popularity and long-tailed transfer sizes,
+// define the same eight view shapes, and model updates as appended log
+// records in arrival order — exercising the same code paths (sampled
+// cleaning of distributed-style aggregate views) at laptop scale.
+package conviva
+
+import (
+	"math/rand"
+
+	"github.com/sampleclean/svc/internal/algebra"
+	"github.com/sampleclean/svc/internal/db"
+	"github.com/sampleclean/svc/internal/estimator"
+	"github.com/sampleclean/svc/internal/expr"
+	"github.com/sampleclean/svc/internal/relation"
+	"github.com/sampleclean/svc/internal/stats"
+	"github.com/sampleclean/svc/internal/view"
+)
+
+// LogTable is the denormalized user-activity log's table name.
+const LogTable = "activity"
+
+// LogSchema: one record per session event.
+//
+//	sessionId  primary key
+//	userId     Zipf-popular user
+//	resource   Zipf-popular resource (video/asset)
+//	provider   the user's region/ISP group
+//	errorType  0 = ok; 1..5 error classes
+//	bytes      long-tailed transfer size
+//	latencyMs  startup latency
+//	day        arrival day (monotone over the stream)
+func LogSchema() relation.Schema {
+	return relation.NewSchema([]relation.Column{
+		{Name: "sessionId", Type: relation.KindInt},
+		{Name: "userId", Type: relation.KindInt},
+		{Name: "resource", Type: relation.KindInt},
+		{Name: "provider", Type: relation.KindInt},
+		{Name: "errorType", Type: relation.KindInt},
+		{Name: "bytes", Type: relation.KindFloat},
+		{Name: "latencyMs", Type: relation.KindFloat},
+		{Name: "day", Type: relation.KindInt},
+	}, "sessionId")
+}
+
+// Config scales the synthetic log.
+type Config struct {
+	// Records is the number of base log records.
+	Records int
+	// Users, Resources, Providers size the entity domains.
+	Users     int
+	Resources int
+	Providers int
+	// Days is the base stream's time span.
+	Days int
+	// Z is the popularity skew.
+	Z float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultConfig is a laptop-scale configuration.
+func DefaultConfig() Config {
+	return Config{Records: 20000, Users: 500, Resources: 200, Providers: 20, Days: 30, Z: 1.2, Seed: 1}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Records == 0 {
+		c.Records = d.Records
+	}
+	if c.Users == 0 {
+		c.Users = d.Users
+	}
+	if c.Resources == 0 {
+		c.Resources = d.Resources
+	}
+	if c.Providers == 0 {
+		c.Providers = d.Providers
+	}
+	if c.Days == 0 {
+		c.Days = d.Days
+	}
+	if c.Z == 0 {
+		c.Z = d.Z
+	}
+	return c
+}
+
+// Generator produces the base log and the appended update stream.
+type Generator struct {
+	cfg    Config
+	rng    *rand.Rand
+	userZ  *stats.Zipf
+	resZ   *stats.Zipf
+	nextID int64
+	day    int64
+}
+
+// NewGenerator prepares a generator.
+func NewGenerator(cfg Config) *Generator {
+	cfg = cfg.withDefaults()
+	return &Generator{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		userZ: stats.NewZipf(cfg.Users, cfg.Z),
+		resZ:  stats.NewZipf(cfg.Resources, cfg.Z),
+	}
+}
+
+// Config returns the effective configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+func (g *Generator) record() relation.Row {
+	id := g.nextID
+	g.nextID++
+	user := int64(g.userZ.Rank(g.rng))
+	errType := int64(0)
+	if g.rng.Float64() < 0.06 {
+		errType = 1 + g.rng.Int63n(5)
+	}
+	bytes := 1e5 * (1 + g.rng.Float64())
+	if g.rng.Float64() < 0.02 {
+		bytes *= 50 + 100*g.rng.Float64() // long tail
+	}
+	return relation.Row{
+		relation.Int(id),
+		relation.Int(user),
+		relation.Int(int64(g.resZ.Rank(g.rng))),
+		relation.Int(user % int64(g.cfg.Providers)),
+		relation.Int(errType),
+		relation.Float(bytes),
+		relation.Float(20 + g.rng.Float64()*500),
+		relation.Int(g.day),
+	}
+}
+
+// Generate creates the database and loads the base log (Records rows over
+// Days days).
+func (g *Generator) Generate() (*db.Database, error) {
+	d := db.New()
+	t, err := d.Create(LogTable, LogSchema())
+	if err != nil {
+		return nil, err
+	}
+	perDay := g.cfg.Records / g.cfg.Days
+	if perDay == 0 {
+		perDay = 1
+	}
+	for i := 0; i < g.cfg.Records; i++ {
+		if i > 0 && i%perDay == 0 {
+			g.day++
+		}
+		if err := t.Insert(g.record()); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// StageAppend stages frac·|base| new log records (the Conviva updates are
+// pure appends, in arrival order).
+func (g *Generator) StageAppend(d *db.Database, frac float64) error {
+	t := d.Table(LogTable)
+	n := int(frac * float64(t.Len()))
+	g.day++
+	perDay := g.cfg.Records / g.cfg.Days
+	if perDay == 0 {
+		perDay = 1
+	}
+	for i := 0; i < n; i++ {
+		if i > 0 && i%perDay == 0 {
+			g.day++
+		}
+		if err := t.StageInsert(g.record()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Views returns the eight summary-statistics view shapes of Appendix
+// 12.6.2 over the synthetic log.
+func Views() []view.Definition {
+	scan := func() algebra.Node { return algebra.Scan(LogTable, LogSchema()) }
+	var defs []view.Definition
+
+	// V1: counts of error types grouped by resource and day.
+	defs = append(defs, view.Definition{Name: "V1", Plan: algebra.MustGroupBy(
+		algebra.MustSelect(scan(), expr.Gt(expr.Col("errorType"), expr.IntLit(0))),
+		[]string{"resource", "errorType", "day"},
+		algebra.CountAs("errors"),
+	)})
+
+	// V2: sum of bytes transferred grouped by resource and day.
+	defs = append(defs, view.Definition{Name: "V2", Plan: algebra.MustGroupBy(
+		scan(),
+		[]string{"resource", "day"},
+		algebra.CountAs("visits"),
+		algebra.SumAs(expr.Col("bytes"), "totalBytes"),
+	)})
+
+	// V3: visit counts grouped by an *expression* of resource tags (a
+	// transformation, not a pass-through — the push-down blocker noted
+	// for such views).
+	tagged := algebra.MustProjectKeyed(scan(),
+		[]algebra.Output{
+			algebra.OutCol("sessionId"),
+			algebra.Out("tagGroup", expr.Func("mod", expr.Col("resource"), expr.IntLit(16))),
+			algebra.OutCol("userId"),
+			algebra.OutCol("day"),
+			algebra.OutCol("bytes"),
+		}, "sessionId")
+	defs = append(defs, view.Definition{Name: "V3", Plan: algebra.MustGroupBy(
+		tagged,
+		[]string{"tagGroup", "day"},
+		algebra.CountAs("visits"),
+	)})
+
+	// V4: nested — group users by provider region, then aggregate
+	// per-user visit statistics (nested aggregate ⇒ recompute
+	// maintenance, as in the paper's discussion of such views).
+	perUser4 := algebra.MustGroupBy(scan(),
+		[]string{"userId", "provider"},
+		algebra.CountAs("userVisits"),
+		algebra.SumAs(expr.Col("bytes"), "userBytes"),
+	)
+	defs = append(defs, view.Definition{Name: "V4", Plan: algebra.MustGroupBy(
+		perUser4,
+		[]string{"provider"},
+		algebra.CountAs("users"),
+		algebra.SumAs(expr.Col("userVisits"), "visits"),
+		algebra.SumAs(expr.Col("userBytes"), "bytes"),
+	)})
+
+	// V5: nested — per-provider error statistics.
+	perUser5 := algebra.MustGroupBy(
+		algebra.MustSelect(scan(), expr.Gt(expr.Col("errorType"), expr.IntLit(0))),
+		[]string{"userId", "provider"},
+		algebra.CountAs("userErrors"),
+	)
+	defs = append(defs, view.Definition{Name: "V5", Plan: algebra.MustGroupBy(
+		perUser5,
+		[]string{"provider"},
+		algebra.CountAs("usersWithErrors"),
+		algebra.SumAs(expr.Col("userErrors"), "errors"),
+	)})
+
+	// V6: union of two resource subsets, aggregating visits and bytes.
+	lowRes := algebra.MustSelect(scan(), expr.Lt(expr.Col("resource"), expr.IntLit(40)))
+	hotRes := algebra.MustSelect(scan(), expr.And(
+		expr.Ge(expr.Col("resource"), expr.IntLit(60)),
+		expr.Lt(expr.Col("resource"), expr.IntLit(120))))
+	defs = append(defs, view.Definition{Name: "V6", Plan: algebra.MustGroupBy(
+		algebra.MustUnion(lowRes, hotRes),
+		[]string{"resource", "day"},
+		algebra.CountAs("visits"),
+		algebra.SumAs(expr.Col("bytes"), "totalBytes"),
+	)})
+
+	// V7: network statistics by resource and day, many aggregates.
+	defs = append(defs, view.Definition{Name: "V7", Plan: algebra.MustGroupBy(
+		scan(),
+		[]string{"resource", "day"},
+		algebra.CountAs("sessions"),
+		algebra.SumAs(expr.Col("bytes"), "totalBytes"),
+		algebra.SumAs(expr.Col("latencyMs"), "totalLatency"),
+	)})
+
+	// V8: visit statistics by user and day, many aggregates.
+	defs = append(defs, view.Definition{Name: "V8", Plan: algebra.MustGroupBy(
+		scan(),
+		[]string{"userId", "day"},
+		algebra.CountAs("visits"),
+		algebra.SumAs(expr.Col("bytes"), "totalBytes"),
+		algebra.SumAs(expr.Col("latencyMs"), "totalLatency"),
+	)})
+
+	return defs
+}
+
+// GeneratedQuery is a random query over a Conviva view: a time-range or
+// user/resource-subset aggregate, matching the paper's query workload
+// ("random time ranges or random subsets of customers").
+type GeneratedQuery struct {
+	Desc  string
+	Query estimator.Query
+}
+
+// GenerateQueries builds n random queries for the named view.
+func GenerateQueries(rng *rand.Rand, viewName string, cfg Config, n int) []GeneratedQuery {
+	cfg = cfg.withDefaults()
+	type space struct {
+		timeCol string
+		entCol  string
+		entMax  int64
+		aggs    []string
+	}
+	spaces := map[string]space{
+		"V1": {timeCol: "day", entCol: "resource", entMax: int64(cfg.Resources), aggs: []string{"errors"}},
+		"V2": {timeCol: "day", entCol: "resource", entMax: int64(cfg.Resources), aggs: []string{"totalBytes", "visits"}},
+		"V3": {timeCol: "day", entCol: "tagGroup", entMax: 16, aggs: []string{"visits"}},
+		"V4": {entCol: "provider", entMax: int64(cfg.Providers), aggs: []string{"visits", "bytes", "users"}},
+		"V5": {entCol: "provider", entMax: int64(cfg.Providers), aggs: []string{"errors", "usersWithErrors"}},
+		"V6": {entCol: "resource", entMax: int64(cfg.Resources), aggs: []string{"visits", "totalBytes"}},
+		"V7": {timeCol: "day", entCol: "resource", entMax: int64(cfg.Resources), aggs: []string{"sessions", "totalBytes", "totalLatency"}},
+		"V8": {timeCol: "day", entCol: "userId", entMax: int64(cfg.Users), aggs: []string{"visits", "totalBytes", "totalLatency"}},
+	}
+	sp, ok := spaces[viewName]
+	if !ok {
+		return nil
+	}
+	out := make([]GeneratedQuery, 0, n)
+	for i := 0; i < n; i++ {
+		var pred expr.Expr
+		var desc string
+		if sp.timeCol != "" && rng.Intn(2) == 0 {
+			lo := rng.Int63n(int64(cfg.Days))
+			hi := lo + 1 + rng.Int63n(int64(cfg.Days))
+			pred = expr.And(
+				expr.Ge(expr.Col(sp.timeCol), expr.IntLit(lo)),
+				expr.Le(expr.Col(sp.timeCol), expr.IntLit(hi)))
+			desc = "time range"
+		} else {
+			lo := rng.Int63n(sp.entMax)
+			hi := lo + 1 + rng.Int63n(sp.entMax-lo)
+			pred = expr.And(
+				expr.Ge(expr.Col(sp.entCol), expr.IntLit(lo)),
+				expr.Le(expr.Col(sp.entCol), expr.IntLit(hi)))
+			desc = "entity subset"
+		}
+		agg := sp.aggs[rng.Intn(len(sp.aggs))]
+		var q estimator.Query
+		switch rng.Intn(3) {
+		case 0:
+			q = estimator.Sum(agg, pred)
+		case 1:
+			q = estimator.Avg(agg, pred)
+		default:
+			q = estimator.Count(pred)
+		}
+		out = append(out, GeneratedQuery{Desc: desc, Query: q})
+	}
+	return out
+}

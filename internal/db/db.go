@@ -1,0 +1,303 @@
+// Package db implements the base-data substrate: a catalog of primary-keyed
+// tables with foreign-key metadata and, crucially for SVC, *delta
+// relations* — the paper's ∂D = {ΔR₁..ΔRₖ, ∇R₁..∇Rₖ} (Section 3.1).
+//
+// Updates are staged rather than applied: an insertion goes to ΔR, a
+// deletion of an existing record goes to ∇R, and an update is modeled as a
+// deletion followed by an insertion, exactly as the paper defines. A
+// materialized view computed before the staged deltas are applied is stale;
+// maintenance strategies and SVC's sampled cleaning both read the staged
+// deltas. ApplyDeltas folds them into the base tables (the "maintenance
+// period" boundary).
+package db
+
+import (
+	"fmt"
+
+	"github.com/sampleclean/svc/internal/algebra"
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// InsOf returns the context binding name of table's insertion delta ΔR.
+func InsOf(table string) string { return "Δ" + table }
+
+// DelOf returns the context binding name of table's deletion delta ∇R.
+func DelOf(table string) string { return "∇" + table }
+
+// ForeignKey records that Table.Column references RefTable's primary key.
+// The hash push-down's foreign-key special case consults this metadata.
+type ForeignKey struct {
+	Table, Column, RefTable string
+}
+
+// Table is one base relation plus its staged deltas.
+type Table struct {
+	name      string
+	base      *relation.Relation
+	ins       *relation.Relation // ΔR: staged insertions (keyed like base)
+	del       *relation.Relation // ∇R: staged deletions (full old rows)
+	indexCols [][]int            // registered secondary indexes (column sets)
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() relation.Schema { return t.base.Schema() }
+
+// Rows returns the current (pre-delta) contents.
+func (t *Table) Rows() *relation.Relation { return t.base }
+
+// Len reports the number of base rows (staged deltas excluded).
+func (t *Table) Len() int { return t.base.Len() }
+
+// Insertions returns the staged insertion relation ΔR.
+func (t *Table) Insertions() *relation.Relation { return t.ins }
+
+// Deletions returns the staged deletion relation ∇R.
+func (t *Table) Deletions() *relation.Relation { return t.del }
+
+// Insert adds a row directly to the base table (initial load, before any
+// view is materialized).
+func (t *Table) Insert(row relation.Row) error { return t.base.Insert(row) }
+
+// MustInsert is Insert, panicking on error (generators).
+func (t *Table) MustInsert(row relation.Row) { t.base.MustInsert(row) }
+
+// StageInsert stages a new record into ΔR. The key must not exist in the
+// base table (use StageUpdate for updates).
+func (t *Table) StageInsert(row relation.Row) error {
+	if t.base.Schema().HasKey() {
+		k := row.KeyOf(t.base.Schema().Key())
+		if _, exists := t.base.GetByEncodedKey(k); exists {
+			return fmt.Errorf("db: %s: staged insert of existing key; use StageUpdate", t.name)
+		}
+	}
+	_, err := t.ins.Upsert(row)
+	return err
+}
+
+// StageDelete stages the deletion of the base row with the given key. The
+// full old row is recorded in ∇R so maintenance can subtract its
+// contribution from aggregates.
+func (t *Table) StageDelete(key ...relation.Value) error {
+	k := relation.Row(key).KeyOf(intRange(len(key)))
+	old, ok := t.base.GetByEncodedKey(k)
+	if !ok {
+		// Deleting a row staged for insertion just un-stages it.
+		if t.ins.DeleteByEncodedKey(k) {
+			return nil
+		}
+		return fmt.Errorf("db: %s: staged delete of unknown key", t.name)
+	}
+	// Keep the first recorded old row if the same key is touched twice.
+	if _, exists := t.del.GetByEncodedKey(k); !exists {
+		if err := t.del.Insert(old.Clone()); err != nil {
+			return err
+		}
+	}
+	// Deleting a row that also had a staged update cancels the pending
+	// re-insertion.
+	t.ins.DeleteByEncodedKey(k)
+	return nil
+}
+
+// StageUpdate stages an update of an existing record: the paper models it
+// as a deletion of the old row followed by an insertion of the new one.
+func (t *Table) StageUpdate(row relation.Row) error {
+	keyIdx := t.base.Schema().Key()
+	k := row.KeyOf(keyIdx)
+	old, ok := t.base.GetByEncodedKey(k)
+	if !ok {
+		return fmt.Errorf("db: %s: staged update of unknown key", t.name)
+	}
+	if _, exists := t.del.GetByEncodedKey(k); !exists {
+		if err := t.del.Insert(old.Clone()); err != nil {
+			return err
+		}
+	}
+	_, err := t.ins.Upsert(row)
+	return err
+}
+
+// PendingSize reports the number of staged insertions and deletions.
+func (t *Table) PendingSize() (ins, del int) { return t.ins.Len(), t.del.Len() }
+
+// clearDeltas resets the staged deltas.
+func (t *Table) clearDeltas() {
+	t.ins = relation.New(t.base.Schema())
+	t.del = relation.New(t.base.Schema())
+}
+
+// Database is a catalog of tables with foreign keys.
+type Database struct {
+	tables map[string]*Table
+	order  []string
+	fks    []ForeignKey
+}
+
+// New creates an empty database.
+func New() *Database {
+	return &Database{tables: make(map[string]*Table)}
+}
+
+// Create adds a table with the given schema; the schema must declare a
+// primary key (paper Section 3.1 assumes one, adding a synthetic sequence
+// otherwise — callers can do the same with an extra column).
+func (d *Database) Create(name string, schema relation.Schema) (*Table, error) {
+	if _, dup := d.tables[name]; dup {
+		return nil, fmt.Errorf("db: table %q already exists", name)
+	}
+	if !schema.HasKey() {
+		return nil, fmt.Errorf("db: table %q needs a primary key", name)
+	}
+	t := &Table{name: name, base: relation.New(schema)}
+	t.clearDeltas()
+	d.tables[name] = t
+	d.order = append(d.order, name)
+	return t, nil
+}
+
+// MustCreate is Create, panicking on error.
+func (d *Database) MustCreate(name string, schema relation.Schema) *Table {
+	t, err := d.Create(name, schema)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Table returns the named table, or nil.
+func (d *Database) Table(name string) *Table { return d.tables[name] }
+
+// Tables returns the table names in creation order.
+func (d *Database) Tables() []string { return append([]string(nil), d.order...) }
+
+// AddForeignKey registers that table.column references refTable's key.
+func (d *Database) AddForeignKey(table, column, refTable string) error {
+	t, ok := d.tables[table]
+	if !ok {
+		return fmt.Errorf("db: unknown table %q", table)
+	}
+	if !t.Schema().HasCol(column) {
+		return fmt.Errorf("db: table %q has no column %q", table, column)
+	}
+	if _, ok := d.tables[refTable]; !ok {
+		return fmt.Errorf("db: unknown referenced table %q", refTable)
+	}
+	d.fks = append(d.fks, ForeignKey{Table: table, Column: column, RefTable: refTable})
+	return nil
+}
+
+// ForeignKeys returns the registered constraints.
+func (d *Database) ForeignKeys() []ForeignKey { return append([]ForeignKey(nil), d.fks...) }
+
+// HasPending reports whether any table has staged deltas — i.e. whether
+// views over this database are stale (paper: S is stale when some delta
+// relation is non-empty).
+func (d *Database) HasPending() bool {
+	for _, t := range d.tables {
+		if t.ins.Len() > 0 || t.del.Len() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ApplyDeltas folds all staged deltas into the base tables and clears
+// them: deletions first, then insertions (an update's delete+insert pair
+// lands as a replacement).
+func (d *Database) ApplyDeltas() error {
+	for _, name := range d.order {
+		t := d.tables[name]
+		keyIdx := t.base.Schema().Key()
+		for _, row := range t.del.Rows() {
+			t.base.DeleteByEncodedKey(row.KeyOf(keyIdx))
+		}
+		for _, row := range t.ins.Rows() {
+			if _, err := t.base.Upsert(row); err != nil {
+				return fmt.Errorf("db: apply deltas to %s: %w", name, err)
+			}
+		}
+		t.clearDeltas()
+		t.rebuildIndexes()
+	}
+	return nil
+}
+
+// Snapshot returns a deep copy of the database, including staged deltas.
+// Experiments use snapshots to evaluate competing maintenance approaches
+// on identical states.
+func (d *Database) Snapshot() *Database {
+	nd := New()
+	for _, name := range d.order {
+		t := d.tables[name]
+		nt := &Table{name: name, base: t.base.Clone(), ins: t.ins.Clone(), del: t.del.Clone()}
+		nt.indexCols = append(nt.indexCols, t.indexCols...)
+		nt.rebuildIndexes()
+		nd.tables[name] = nt
+		nd.order = append(nd.order, name)
+	}
+	nd.fks = append(nd.fks, d.fks...)
+	return nd
+}
+
+// Context returns an evaluation context binding every base table under its
+// name and its staged deltas under InsOf/DelOf names. Extra relations
+// (e.g. the stale view) can be bound afterwards.
+func (d *Database) Context() *algebra.Context {
+	rels := make(map[string]*relation.Relation, 3*len(d.order))
+	for _, name := range d.order {
+		t := d.tables[name]
+		rels[name] = t.base
+		rels[InsOf(name)] = t.ins
+		rels[DelOf(name)] = t.del
+	}
+	return algebra.NewContext(rels)
+}
+
+func intRange(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// EnsureIndex registers and builds a secondary index on the named columns
+// of a base table. Joins probe it instead of scanning (package algebra);
+// ApplyDeltas rebuilds registered indexes after folding updates in.
+// Registering the same column set twice is a no-op.
+func (d *Database) EnsureIndex(table string, cols ...string) error {
+	t, ok := d.tables[table]
+	if !ok {
+		return fmt.Errorf("db: unknown table %q", table)
+	}
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		j := t.Schema().ColIndex(c)
+		if j < 0 {
+			return fmt.Errorf("db: table %q has no column %q", table, c)
+		}
+		idx[i] = j
+	}
+	if t.base.HasIndex(idx) {
+		sig := fmt.Sprint(idx)
+		for _, have := range t.indexCols {
+			if fmt.Sprint(have) == sig {
+				return nil
+			}
+		}
+	}
+	t.indexCols = append(t.indexCols, idx)
+	t.base.BuildIndex(idx)
+	return nil
+}
+
+// rebuildIndexes re-creates a table's registered secondary indexes (after
+// mutations invalidated them).
+func (t *Table) rebuildIndexes() {
+	for _, cols := range t.indexCols {
+		t.base.BuildIndex(cols)
+	}
+}

@@ -1,0 +1,310 @@
+package db
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+func logSchema() relation.Schema {
+	return relation.NewSchema([]relation.Column{
+		{Name: "sessionId", Type: relation.KindInt},
+		{Name: "videoId", Type: relation.KindInt},
+	}, "sessionId")
+}
+
+func newLogDB(t *testing.T) (*Database, *Table) {
+	t.Helper()
+	d := New()
+	tab, err := d.Create("Log", logSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 10; i++ {
+		tab.MustInsert(relation.Row{relation.Int(i), relation.Int(i % 3)})
+	}
+	return d, tab
+}
+
+func TestCreateValidation(t *testing.T) {
+	d := New()
+	if _, err := d.Create("Log", logSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Create("Log", logSchema()); err == nil {
+		t.Error("duplicate create should fail")
+	}
+	keyless := relation.NewSchema([]relation.Column{{Name: "x", Type: relation.KindInt}})
+	if _, err := d.Create("K", keyless); err == nil {
+		t.Error("keyless table should be rejected")
+	}
+	if d.Table("Nope") != nil {
+		t.Error("unknown table should be nil")
+	}
+	if got := d.Tables(); len(got) != 1 || got[0] != "Log" {
+		t.Errorf("Tables = %v", got)
+	}
+}
+
+func TestForeignKeys(t *testing.T) {
+	d, _ := newLogDB(t)
+	video := relation.NewSchema([]relation.Column{
+		{Name: "videoId", Type: relation.KindInt},
+	}, "videoId")
+	d.MustCreate("Video", video)
+	if err := d.AddForeignKey("Log", "videoId", "Video"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddForeignKey("Nope", "videoId", "Video"); err == nil {
+		t.Error("unknown table should fail")
+	}
+	if err := d.AddForeignKey("Log", "nope", "Video"); err == nil {
+		t.Error("unknown column should fail")
+	}
+	if err := d.AddForeignKey("Log", "videoId", "Nope"); err == nil {
+		t.Error("unknown ref table should fail")
+	}
+	if got := d.ForeignKeys(); len(got) != 1 || got[0].RefTable != "Video" {
+		t.Errorf("ForeignKeys = %v", got)
+	}
+}
+
+func TestStagingLifecycle(t *testing.T) {
+	d, tab := newLogDB(t)
+	if d.HasPending() {
+		t.Fatal("fresh db should have no pending deltas")
+	}
+	// Insert a new record.
+	if err := tab.StageInsert(relation.Row{relation.Int(100), relation.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	// Inserting an existing key must be rejected.
+	if err := tab.StageInsert(relation.Row{relation.Int(5), relation.Int(1)}); err == nil {
+		t.Error("staged insert of existing key should fail")
+	}
+	// Update an existing record.
+	if err := tab.StageUpdate(relation.Row{relation.Int(5), relation.Int(99)}); err != nil {
+		t.Fatal(err)
+	}
+	// Delete an existing record.
+	if err := tab.StageDelete(relation.Int(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.StageDelete(relation.Int(777)); err == nil {
+		t.Error("delete of unknown key should fail")
+	}
+	if !d.HasPending() {
+		t.Fatal("db should report pending deltas")
+	}
+	ins, del := tab.PendingSize()
+	if ins != 2 || del != 2 {
+		t.Fatalf("pending = %d ins, %d del", ins, del)
+	}
+	// Base is untouched until ApplyDeltas — the view over it is stale.
+	if tab.Len() != 10 {
+		t.Fatalf("base mutated early: %d", tab.Len())
+	}
+	if err := d.ApplyDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	if d.HasPending() {
+		t.Error("deltas should be cleared")
+	}
+	// 10 - 1 delete + 1 insert = 10 (update replaces in place).
+	if tab.Len() != 10 {
+		t.Fatalf("after apply: %d rows", tab.Len())
+	}
+	row, ok := tab.Rows().Get(relation.Int(5))
+	if !ok || row[1].AsInt() != 99 {
+		t.Errorf("update not applied: %v", row)
+	}
+	if _, ok := tab.Rows().Get(relation.Int(7)); ok {
+		t.Error("delete not applied")
+	}
+	if _, ok := tab.Rows().Get(relation.Int(100)); !ok {
+		t.Error("insert not applied")
+	}
+}
+
+func TestStageDeleteOfStagedInsert(t *testing.T) {
+	_, tab := newLogDB(t)
+	if err := tab.StageInsert(relation.Row{relation.Int(55), relation.Int(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.StageDelete(relation.Int(55)); err != nil {
+		t.Fatalf("deleting a staged insert should un-stage it: %v", err)
+	}
+	ins, del := tab.PendingSize()
+	if ins != 0 || del != 0 {
+		t.Errorf("pending after cancel = %d, %d", ins, del)
+	}
+}
+
+func TestDoubleUpdateKeepsOriginalOldRow(t *testing.T) {
+	d, tab := newLogDB(t)
+	if err := tab.StageUpdate(relation.Row{relation.Int(3), relation.Int(50)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.StageUpdate(relation.Row{relation.Int(3), relation.Int(60)}); err != nil {
+		t.Fatal(err)
+	}
+	ins, del := tab.PendingSize()
+	if ins != 1 || del != 1 {
+		t.Fatalf("pending = %d, %d", ins, del)
+	}
+	old, _ := tab.Deletions().Get(relation.Int(3))
+	if old[1].AsInt() != 0 {
+		t.Errorf("∇R should hold the original row, got %v", old)
+	}
+	if err := d.ApplyDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	row, _ := tab.Rows().Get(relation.Int(3))
+	if row[1].AsInt() != 60 {
+		t.Errorf("final row = %v", row)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	d, tab := newLogDB(t)
+	if err := tab.StageInsert(relation.Row{relation.Int(200), relation.Int(0)}); err != nil {
+		t.Fatal(err)
+	}
+	snap := d.Snapshot()
+	if err := d.ApplyDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Table("Log").Len() != 10 {
+		t.Error("snapshot base mutated")
+	}
+	if !snap.HasPending() {
+		t.Error("snapshot should keep staged deltas")
+	}
+	if d.HasPending() {
+		t.Error("original should be clean after apply")
+	}
+}
+
+func TestContextBindings(t *testing.T) {
+	d, tab := newLogDB(t)
+	if err := tab.StageInsert(relation.Row{relation.Int(300), relation.Int(2)}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := d.Context()
+	for _, name := range []string{"Log", InsOf("Log"), DelOf("Log")} {
+		if _, err := ctx.Relation(name); err != nil {
+			t.Errorf("context missing %q: %v", name, err)
+		}
+	}
+	ins, _ := ctx.Relation(InsOf("Log"))
+	if ins.Len() != 1 {
+		t.Errorf("ΔLog len = %d", ins.Len())
+	}
+}
+
+// Property: any sequence of stage-insert/update/delete over fresh keys
+// followed by ApplyDeltas produces the same table as applying the
+// operations directly.
+func TestApplyDeltasEquivalenceQuick(t *testing.T) {
+	f := func(ops []uint16) bool {
+		d := New()
+		tab := d.MustCreate("T", logSchema())
+		shadow := map[int64]int64{}
+		for i := int64(0); i < 20; i++ {
+			tab.MustInsert(relation.Row{relation.Int(i), relation.Int(0)})
+			shadow[i] = 0
+		}
+		nextKey := int64(1000)
+		for _, op := range ops {
+			k := int64(op % 20)
+			switch op % 3 {
+			case 0: // insert fresh
+				if err := tab.StageInsert(relation.Row{relation.Int(nextKey), relation.Int(int64(op))}); err != nil {
+					return false
+				}
+				shadow[nextKey] = int64(op)
+				nextKey++
+			case 1: // update existing base row
+				if _, ok := shadow[k]; !ok {
+					continue
+				}
+				if err := tab.StageUpdate(relation.Row{relation.Int(k), relation.Int(int64(op))}); err != nil {
+					return false
+				}
+				shadow[k] = int64(op)
+			case 2: // delete existing base row (once)
+				if _, ok := shadow[k]; !ok {
+					continue
+				}
+				if err := tab.StageDelete(relation.Int(k)); err != nil {
+					return false
+				}
+				delete(shadow, k)
+			}
+		}
+		if err := d.ApplyDeltas(); err != nil {
+			return false
+		}
+		if tab.Len() != len(shadow) {
+			return false
+		}
+		for k, v := range shadow {
+			row, ok := tab.Rows().Get(relation.Int(k))
+			if !ok || row[1].AsInt() != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnsureIndex(t *testing.T) {
+	d, tab := newLogDB(t)
+	if err := d.EnsureIndex("Log", "videoId"); err != nil {
+		t.Fatal(err)
+	}
+	idx := []int{tab.Schema().ColIndex("videoId")}
+	if !tab.Rows().HasIndex(idx) {
+		t.Fatal("index should be built")
+	}
+	// Idempotent.
+	if err := d.EnsureIndex("Log", "videoId"); err != nil {
+		t.Fatal(err)
+	}
+	// Errors.
+	if err := d.EnsureIndex("Nope", "videoId"); err == nil {
+		t.Error("unknown table should fail")
+	}
+	if err := d.EnsureIndex("Log", "zzz"); err == nil {
+		t.Error("unknown column should fail")
+	}
+	// Registered indexes survive ApplyDeltas (rebuilt).
+	if err := tab.StageInsert(relation.Row{relation.Int(500), relation.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ApplyDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	if !tab.Rows().HasIndex(idx) {
+		t.Fatal("index should be rebuilt after ApplyDeltas")
+	}
+	got := tab.Rows().Probe(idx, relation.Row{relation.Int(1)}.KeyOf([]int{0}))
+	found := false
+	for _, p := range got {
+		if tab.Rows().Row(p)[0].AsInt() == 500 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("rebuilt index should cover the applied insert")
+	}
+	// Snapshots carry the registered indexes.
+	snap := d.Snapshot()
+	if !snap.Table("Log").Rows().HasIndex(idx) {
+		t.Error("snapshot should rebuild registered indexes")
+	}
+}

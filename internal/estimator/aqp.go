@@ -1,0 +1,113 @@
+package estimator
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/sampleclean/svc/internal/clean"
+	"github.com/sampleclean/svc/internal/stats"
+)
+
+// bootstrapIters is the number of resamples for bootstrap intervals
+// (Section 5.2.5). 200 keeps intervals stable without dominating query
+// time.
+const bootstrapIters = 200
+
+// bootstrapSeed keeps bootstrap intervals deterministic for a given
+// sample; estimation must be reproducible run to run.
+const bootstrapSeed = 0x5fc0ffee
+
+// AQP computes the SVC+AQP direct estimate of q(S′) from the clean sample
+// Ŝ′ (paper Section 5.1): apply the query to the sample and scale.
+//
+// Intervals: CLT for sum/count/avg; bootstrap percentiles for
+// median/percentile; sample extremes for min/max (no scaling exists — see
+// CorrMinMax for the bounded corrected variant).
+func AQP(s *clean.Samples, q Query, confidence float64) (Estimate, error) {
+	switch q.Agg {
+	case SumQ, CountQ, AvgQ:
+		return aqpCLT(s, q, confidence)
+	case MedianQ, PercentileQ:
+		return aqpBootstrap(s, q, confidence)
+	case MinQ, MaxQ:
+		v, err := RunExact(s.Fresh, q)
+		if err != nil {
+			return Estimate{}, err
+		}
+		return Estimate{Value: v, Lo: v, Hi: v, Confidence: 0, Method: "svc+aqp", K: s.Fresh.Len()}, nil
+	default:
+		return Estimate{}, fmt.Errorf("estimator: unsupported aggregate %v", q.Agg)
+	}
+}
+
+func aqpCLT(s *clean.Samples, q Query, confidence float64) (Estimate, error) {
+	trans, err := transTable(s.Fresh, q, s.Ratio)
+	if err != nil {
+		return Estimate{}, err
+	}
+	k := len(trans)
+	if k == 0 {
+		if q.Agg == AvgQ {
+			return Estimate{}, fmt.Errorf("estimator: no matching rows in sample for avg")
+		}
+		// An empty Bernoulli sample is a legitimate outcome for sum and
+		// count: the Horvitz–Thompson estimate is 0. (This happens when
+		// an outlier index absorbs every sampled row, leaving the
+		// regular stratum empty.)
+		return Estimate{Value: 0, Lo: 0, Hi: 0, Confidence: confidence, Method: "svc+aqp", K: 0}, nil
+	}
+	vals := values(trans)
+	gamma := stats.GammaForConfidence(confidence)
+	var value, half float64
+	switch q.Agg {
+	case AvgQ:
+		value = stats.Mean(vals)
+		half = gamma * stats.Stdev(vals) / math.Sqrt(float64(k))
+	default:
+		// sum/count: the estimate is the sum of the scaled trans values.
+		// The hash sampler is a Bernoulli (Poisson) design — every row
+		// joins the sample independently with probability m, so the
+		// sample size itself is random. The Horvitz–Thompson plug-in
+		// variance for that design is (1−m)·Σ trans², which (unlike the
+		// fixed-k textbook formula) correctly reports zero variance at
+		// m = 1 and nonzero variance even when all trans values are
+		// equal.
+		value = stats.Sum(vals)
+		ss := 0.0
+		for _, v := range vals {
+			ss += v * v
+		}
+		half = gamma * math.Sqrt((1-s.Ratio)*ss)
+	}
+	return Estimate{
+		Value: value, Lo: value - half, Hi: value + half,
+		Confidence: confidence, Method: "svc+aqp", K: k,
+	}, nil
+}
+
+func aqpBootstrap(s *clean.Samples, q Query, confidence float64) (Estimate, error) {
+	vals, err := q.matching(s.Fresh)
+	if err != nil {
+		return Estimate{}, err
+	}
+	if len(vals) == 0 {
+		return Estimate{}, fmt.Errorf("estimator: no matching rows in sample")
+	}
+	pct := 0.5
+	if q.Agg == PercentileQ {
+		pct = q.Pct
+	}
+	stat := func(xs []float64) float64 { return stats.Quantile(xs, pct) }
+	value := stat(vals)
+	alpha := (1 - confidence) / 2
+	rng := rand.New(rand.NewSource(bootstrapSeed))
+	lo, hi, err := stats.Bootstrap(rng, vals, bootstrapIters, stat, alpha, 1-alpha)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return Estimate{
+		Value: value, Lo: lo, Hi: hi,
+		Confidence: confidence, Method: "svc+aqp", K: len(vals),
+	}, nil
+}

@@ -1,0 +1,279 @@
+package estimator
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/sampleclean/svc/internal/clean"
+	"github.com/sampleclean/svc/internal/relation"
+	"github.com/sampleclean/svc/internal/stats"
+)
+
+// Corr computes the SVC+CORR estimate of q(S′) (paper Section 5.1): run
+// the query on the full stale view (cheap — it is already materialized),
+// estimate the staleness error c from the corresponding samples, and
+// correct:
+//
+//	q(S′) ≈ q(S) + (s·q(Ŝ′) − s·q(Ŝ))
+//
+// For sum/count the CLT interval comes from the correspondence subtract −̇
+// (Definition 4). For avg, whose correction is a difference of means over
+// possibly different membership, the interval uses a bootstrap over the
+// key-matched pairs. For median/percentile the interval uses the paper's
+// Section 5.2.5 bootstrap of the difference. For min/max see CorrMinMax.
+func Corr(staleView *relation.Relation, s *clean.Samples, q Query, confidence float64) (Estimate, error) {
+	rStale, err := RunExact(staleView, q)
+	if err != nil {
+		return Estimate{}, err
+	}
+	switch q.Agg {
+	case SumQ, CountQ:
+		return corrCLT(rStale, s, q, confidence)
+	case AvgQ:
+		return corrAvg(rStale, s, q, confidence)
+	case MedianQ, PercentileQ:
+		return corrBootstrap(rStale, s, q, confidence)
+	case MinQ:
+		return CorrMinMax(staleView, s, q)
+	case MaxQ:
+		return CorrMinMax(staleView, s, q)
+	default:
+		return Estimate{}, fmt.Errorf("estimator: unsupported aggregate %v", q.Agg)
+	}
+}
+
+func corrCLT(rStale float64, s *clean.Samples, q Query, confidence float64) (Estimate, error) {
+	freshT, err := transTable(s.Fresh, q, s.Ratio)
+	if err != nil {
+		return Estimate{}, err
+	}
+	staleT, err := transTable(s.Stale, q, s.Ratio)
+	if err != nil {
+		return Estimate{}, err
+	}
+	diffs := correspondenceSubtract(freshT, staleT)
+	k := len(diffs)
+	if k == 0 {
+		// No sampled rows at all: the correction is zero with no
+		// evidence; fall back to the stale answer with a degenerate
+		// interval.
+		return Estimate{Value: rStale, Lo: rStale, Hi: rStale, Confidence: confidence, Method: "svc+corr"}, nil
+	}
+	c := stats.Sum(diffs)
+	gamma := stats.GammaForConfidence(confidence)
+	// Horvitz–Thompson variance for the Bernoulli-sampled correction:
+	// each view key enters the diff table independently with probability
+	// m, so Var̂(c) = (1−m)·Σ diff² (diffs already carry the 1/m scale).
+	ss := 0.0
+	for _, d := range diffs {
+		ss += d * d
+	}
+	half := gamma * math.Sqrt((1-s.Ratio)*ss)
+	value := rStale + c
+	return Estimate{
+		Value: value, Lo: value - half, Hi: value + half,
+		Confidence: confidence, Method: "svc+corr", K: k,
+	}, nil
+}
+
+func corrAvg(rStale float64, s *clean.Samples, q Query, confidence float64) (Estimate, error) {
+	freshVals, err := q.matching(s.Fresh)
+	if err != nil {
+		return Estimate{}, err
+	}
+	staleVals, err := q.matching(s.Stale)
+	if err != nil {
+		return Estimate{}, err
+	}
+	if len(freshVals) == 0 {
+		return Estimate{}, fmt.Errorf("estimator: no matching rows in clean sample")
+	}
+	c := stats.Mean(freshVals) - stats.Mean(staleVals)
+	value := rStale + c
+	// Bootstrap the difference of means, resampling each side
+	// independently as in the paper's Section 5.2.5 procedure.
+	alpha := (1 - confidence) / 2
+	rng := rand.New(rand.NewSource(bootstrapSeed))
+	cs := make([]float64, bootstrapIters)
+	for i := range cs {
+		cs[i] = resampleMean(rng, freshVals) - resampleMean(rng, staleVals)
+	}
+	lo := stats.Quantile(cs, alpha)
+	hi := stats.Quantile(cs, 1-alpha)
+	return Estimate{
+		Value: value, Lo: rStale + lo, Hi: rStale + hi,
+		Confidence: confidence, Method: "svc+corr", K: len(freshVals),
+	}, nil
+}
+
+func corrBootstrap(rStale float64, s *clean.Samples, q Query, confidence float64) (Estimate, error) {
+	freshVals, err := q.matching(s.Fresh)
+	if err != nil {
+		return Estimate{}, err
+	}
+	staleVals, err := q.matching(s.Stale)
+	if err != nil {
+		return Estimate{}, err
+	}
+	if len(freshVals) == 0 || len(staleVals) == 0 {
+		return Estimate{}, fmt.Errorf("estimator: empty sample for bootstrap correction")
+	}
+	pct := 0.5
+	if q.Agg == PercentileQ {
+		pct = q.Pct
+	}
+	stat := func(xs []float64) float64 { return stats.Quantile(xs, pct) }
+	c := stat(freshVals) - stat(staleVals)
+	value := rStale + c
+
+	// Paper Section 5.2.5 (SVC+CORR variant): repeatedly subsample both
+	// samples with replacement, apply AQP to each, record the difference,
+	// and take the percentiles of the empirical c distribution.
+	alpha := (1 - confidence) / 2
+	rng := rand.New(rand.NewSource(bootstrapSeed))
+	cs := make([]float64, bootstrapIters)
+	buf1 := make([]float64, len(freshVals))
+	buf2 := make([]float64, len(staleVals))
+	for i := range cs {
+		for j := range buf1 {
+			buf1[j] = freshVals[rng.Intn(len(freshVals))]
+		}
+		for j := range buf2 {
+			buf2[j] = staleVals[rng.Intn(len(staleVals))]
+		}
+		cs[i] = stat(buf1) - stat(buf2)
+	}
+	lo := stats.Quantile(cs, alpha)
+	hi := stats.Quantile(cs, 1-alpha)
+	return Estimate{
+		Value: value, Lo: rStale + lo, Hi: rStale + hi,
+		Confidence: confidence, Method: "svc+corr", K: len(freshVals),
+	}, nil
+}
+
+func resampleMean(rng *rand.Rand, xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := 0; i < len(xs); i++ {
+		s += xs[rng.Intn(len(xs))]
+	}
+	return s / float64(len(xs))
+}
+
+// CorrMinMax implements the Appendix 12.1.1 correction for min and max:
+// compute the row-by-row difference of the aggregation attribute over
+// key-matched sample rows, take its extreme as the correction c, and add
+// it to the stale view's extreme. The returned TailProb is the Cantelli
+// bound on the probability that the unsampled view holds a more extreme
+// element.
+func CorrMinMax(staleView *relation.Relation, s *clean.Samples, q Query) (Estimate, error) {
+	if q.Agg != MinQ && q.Agg != MaxQ {
+		return Estimate{}, fmt.Errorf("estimator: CorrMinMax needs min or max, got %v", q.Agg)
+	}
+	rStale, err := RunExact(staleView, q)
+	if err != nil {
+		return Estimate{}, err
+	}
+	// Row-by-row differences on key-matched rows.
+	attrIdx := s.Fresh.Schema().ColIndex(q.Attr)
+	if attrIdx < 0 {
+		return Estimate{}, fmt.Errorf("estimator: attribute %q not in sample schema", q.Attr)
+	}
+	keyIdx := s.Fresh.Schema().Key()
+	var diffs []float64
+	for _, fr := range s.Fresh.Rows() {
+		st, ok := s.Stale.GetByEncodedKey(fr.KeyOf(keyIdx))
+		if !ok || fr[attrIdx].IsNull() || st[attrIdx].IsNull() {
+			continue
+		}
+		diffs = append(diffs, fr[attrIdx].AsFloat()-st[attrIdx].AsFloat())
+	}
+	c := 0.0
+	if len(diffs) > 0 {
+		c = diffs[0]
+		for _, d := range diffs {
+			if (q.Agg == MaxQ && d > c) || (q.Agg == MinQ && d < c) {
+				c = d
+			}
+		}
+	}
+	value := rStale + c
+	// Sampled rows of S′ are hard evidence: any sampled value beats a
+	// corrected extreme that it exceeds (covers missing rows, which the
+	// key-matched diffs cannot see).
+	if sampleExtreme, err := RunExact(s.Fresh, q); err == nil && !math.IsNaN(sampleExtreme) {
+		if q.Agg == MaxQ && sampleExtreme > value {
+			value = sampleExtreme
+		}
+		if q.Agg == MinQ && sampleExtreme < value {
+			value = sampleExtreme
+		}
+	}
+
+	// Cantelli: eps is the gap between the estimate and the sample mean
+	// of the attribute (paper: "the difference between max value estimate
+	// and the average value").
+	freshVals, err := q.matching(s.Fresh)
+	if err != nil {
+		return Estimate{}, err
+	}
+	tail := 1.0
+	if len(freshVals) > 0 {
+		variance := stats.Variance(freshVals)
+		eps := math.Abs(value - stats.Mean(freshVals))
+		tail = stats.CantelliUpper(variance, eps)
+	}
+	est := Estimate{
+		Value: value, Confidence: 0, TailProb: tail,
+		Method: "svc+corr", K: len(diffs),
+	}
+	if q.Agg == MaxQ {
+		est.Lo, est.Hi = math.Inf(-1), value
+	} else {
+		est.Lo, est.Hi = value, math.Inf(1)
+	}
+	return est, nil
+}
+
+// Advise reports which estimator the Section 5.2.2 break-even analysis
+// prefers for a sum/count query, estimated from the corresponding
+// samples: SVC+CORR has lower variance while var(stale) ≤ 2·cov(stale,
+// fresh) over key-matched transformed rows. It returns "svc+corr" or
+// "svc+aqp".
+func Advise(s *clean.Samples, q Query) (string, error) {
+	if q.Agg != SumQ && q.Agg != CountQ && q.Agg != AvgQ {
+		return "svc+aqp", nil
+	}
+	freshT, err := transTable(s.Fresh, q, s.Ratio)
+	if err != nil {
+		return "", err
+	}
+	staleT, err := transTable(s.Stale, q, s.Ratio)
+	if err != nil {
+		return "", err
+	}
+	freshBy := make(map[string]float64, len(freshT))
+	for _, r := range freshT {
+		freshBy[r.key] = r.val
+	}
+	var xs, ys []float64 // stale, fresh on the union of keys (0 when absent)
+	seen := map[string]bool{}
+	for _, r := range staleT {
+		xs = append(xs, r.val)
+		ys = append(ys, freshBy[r.key])
+		seen[r.key] = true
+	}
+	for _, r := range freshT {
+		if !seen[r.key] {
+			xs = append(xs, 0)
+			ys = append(ys, r.val)
+		}
+	}
+	if stats.Variance(xs) <= 2*stats.Covariance(xs, ys) {
+		return "svc+corr", nil
+	}
+	return "svc+aqp", nil
+}

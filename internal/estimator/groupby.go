@@ -1,0 +1,207 @@
+package estimator
+
+import (
+	"fmt"
+
+	"github.com/sampleclean/svc/internal/clean"
+	"github.com/sampleclean/svc/internal/relation"
+	"github.com/sampleclean/svc/internal/stats"
+)
+
+// GroupResult holds per-group answers keyed by the encoded group values.
+// Group-by queries are what the paper's evaluation runs (it folds group-by
+// into the predicate, footnote 1); partitioning the samples once per query
+// is equivalent and faster than one predicate scan per group.
+type GroupResult struct {
+	// Groups maps the encoded group key to its estimate.
+	Groups map[string]Estimate
+	// Labels maps the encoded group key to a printable form.
+	Labels map[string]string
+}
+
+// groupPartition splits a relation's rows by group columns.
+func groupPartition(rel *relation.Relation, groupBy []string) (map[string][]relation.Row, map[string]string, error) {
+	idx := make([]int, len(groupBy))
+	for i, g := range groupBy {
+		j := rel.Schema().ColIndex(g)
+		if j < 0 {
+			return nil, nil, fmt.Errorf("estimator: group column %q not in schema [%s]", g, rel.Schema())
+		}
+		idx[i] = j
+	}
+	parts := map[string][]relation.Row{}
+	labels := map[string]string{}
+	for _, row := range rel.Rows() {
+		k := row.KeyOf(idx)
+		parts[k] = append(parts[k], row)
+		if _, ok := labels[k]; !ok {
+			label := ""
+			for n, j := range idx {
+				if n > 0 {
+					label += ","
+				}
+				label += row[j].String()
+			}
+			labels[k] = label
+		}
+	}
+	return parts, labels, nil
+}
+
+// subRelation builds a keyed relation from a subset of rows of rel.
+func subRelation(rel *relation.Relation, rows []relation.Row) *relation.Relation {
+	out := relation.New(rel.Schema())
+	for _, r := range rows {
+		out.MustInsert(r)
+	}
+	return out
+}
+
+// GroupAQP runs SVC+AQP per group of the clean sample. Groups absent from
+// the sample produce no entry (the scaled estimate would be zero).
+func GroupAQP(s *clean.Samples, q Query, groupBy []string, confidence float64) (GroupResult, error) {
+	parts, labels, err := groupPartition(s.Fresh, groupBy)
+	if err != nil {
+		return GroupResult{}, err
+	}
+	res := GroupResult{Groups: map[string]Estimate{}, Labels: labels}
+	for k, rows := range parts {
+		sub := &clean.Samples{Fresh: subRelation(s.Fresh, rows), Stale: s.Stale, Ratio: s.Ratio}
+		est, err := AQP(sub, q, confidence)
+		if err != nil {
+			continue // group with no usable rows
+		}
+		res.Groups[k] = est
+	}
+	return res, nil
+}
+
+// GroupCorr runs SVC+CORR per group: the stale view and both samples are
+// partitioned by the group columns, then each group is corrected
+// independently.
+func GroupCorr(staleView *relation.Relation, s *clean.Samples, q Query, groupBy []string, confidence float64) (GroupResult, error) {
+	staleParts, staleLabels, err := groupPartition(staleView, groupBy)
+	if err != nil {
+		return GroupResult{}, err
+	}
+	freshParts, freshLabels, err := groupPartition(s.Fresh, groupBy)
+	if err != nil {
+		return GroupResult{}, err
+	}
+	sampleStaleParts, _, err := groupPartition(s.Stale, groupBy)
+	if err != nil {
+		return GroupResult{}, err
+	}
+	keys := map[string]bool{}
+	labels := map[string]string{}
+	for k := range staleParts {
+		keys[k] = true
+		labels[k] = staleLabels[k]
+	}
+	for k := range freshParts {
+		keys[k] = true
+		if _, ok := labels[k]; !ok {
+			labels[k] = freshLabels[k]
+		}
+	}
+	res := GroupResult{Groups: map[string]Estimate{}, Labels: labels}
+	for k := range keys {
+		sub := &clean.Samples{
+			Fresh: subRelation(s.Fresh, freshParts[k]),
+			Stale: subRelation(s.Stale, sampleStaleParts[k]),
+			Ratio: s.Ratio,
+		}
+		est, err := Corr(subRelation(staleView, staleParts[k]), sub, q, confidence)
+		if err != nil {
+			continue
+		}
+		res.Groups[k] = est
+	}
+	return res, nil
+}
+
+// GroupExact evaluates the group query exactly (truth / stale baselines).
+func GroupExact(rel *relation.Relation, q Query, groupBy []string) (map[string]float64, map[string]string, error) {
+	parts, labels, err := groupPartition(rel, groupBy)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make(map[string]float64, len(parts))
+	for k, rows := range parts {
+		v, err := RunExact(subRelation(rel, rows), q)
+		if err != nil {
+			return nil, nil, err
+		}
+		out[k] = v
+	}
+	return out, labels, nil
+}
+
+// GroupErrorStats compares per-group estimates against exact answers and
+// returns the paper's accuracy metrics: median and max relative error over
+// groups. Groups present in truth but absent from est count as 100%
+// error, and every per-group error saturates at 100% ("completely wrong")
+// so near-zero truth denominators cannot produce unbounded ratios; the
+// comparison runs over the union of group keys.
+func GroupErrorStats(est map[string]Estimate, truth map[string]float64) (median, max float64) {
+	var errs []float64
+	for k, tv := range truth {
+		if e, ok := est[k]; ok {
+			errs = append(errs, capErr(RelativeError(e.Value, tv)))
+		} else {
+			errs = append(errs, 1)
+		}
+	}
+	for k, e := range est {
+		if _, ok := truth[k]; !ok {
+			errs = append(errs, capErr(RelativeError(e.Value, 0)))
+		}
+	}
+	if len(errs) == 0 {
+		return 0, 0
+	}
+	max = errs[0]
+	for _, e := range errs {
+		if e > max {
+			max = e
+		}
+	}
+	return stats.Median(errs), max
+}
+
+// capErr saturates a relative error at 100%.
+func capErr(e float64) float64 {
+	if e > 1 {
+		return 1
+	}
+	return e
+}
+
+// GroupStaleErrorStats compares the stale exact answers against the truth
+// (the "No Maintenance" baseline), with the same 100% saturation as
+// GroupErrorStats.
+func GroupStaleErrorStats(stale, truth map[string]float64) (median, max float64) {
+	var errs []float64
+	for k, tv := range truth {
+		if sv, ok := stale[k]; ok {
+			errs = append(errs, capErr(RelativeError(sv, tv)))
+		} else {
+			errs = append(errs, 1)
+		}
+	}
+	for k, sv := range stale {
+		if _, ok := truth[k]; !ok {
+			errs = append(errs, capErr(RelativeError(sv, 0)))
+		}
+	}
+	if len(errs) == 0 {
+		return 0, 0
+	}
+	max = errs[0]
+	for _, e := range errs {
+		if e > max {
+			max = e
+		}
+	}
+	return stats.Median(errs), max
+}

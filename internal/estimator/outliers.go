@@ -1,0 +1,196 @@
+package estimator
+
+import (
+	"fmt"
+
+	"github.com/sampleclean/svc/internal/clean"
+	"github.com/sampleclean/svc/internal/relation"
+	"github.com/sampleclean/svc/internal/stats"
+)
+
+// OutlierSet is the materialized outlier partition O ⊆ S′ propagated up
+// from a base-relation outlier index (paper Section 6), together with the
+// corresponding stale rows of the same keys (for corrections).
+type OutlierSet struct {
+	// Fresh holds the up-to-date outlier rows (deterministic, sampling
+	// ratio 1).
+	Fresh *relation.Relation
+	// Stale holds the stale view's rows for the same keys (keys absent
+	// from the stale view are simply missing here).
+	Stale *relation.Relation
+}
+
+// Len returns the number of outlier rows.
+func (o *OutlierSet) Len() int {
+	if o == nil || o.Fresh == nil {
+		return 0
+	}
+	return o.Fresh.Len()
+}
+
+// splitSamples removes outlier-indexed keys from the sample pair: if a row
+// is contained in both the sample and the outlier index, the outlier index
+// takes precedence so the row is not double counted (Section 6.2).
+func splitSamples(s *clean.Samples, o *OutlierSet) *clean.Samples {
+	if o.Len() == 0 {
+		return s
+	}
+	keyIdx := s.Fresh.Schema().Key()
+	inOutliers := func(row relation.Row) bool {
+		_, ok := o.Fresh.GetByEncodedKey(row.KeyOf(keyIdx))
+		return ok
+	}
+	fresh := relation.New(s.Fresh.Schema())
+	for _, row := range s.Fresh.Rows() {
+		if !inOutliers(row) {
+			fresh.MustInsert(row)
+		}
+	}
+	stale := relation.New(s.Stale.Schema())
+	for _, row := range s.Stale.Rows() {
+		if !inOutliers(row) {
+			stale.MustInsert(row)
+		}
+	}
+	return &clean.Samples{Fresh: fresh, Stale: stale, Ratio: s.Ratio}
+}
+
+// AQPWithOutliers merges the sampled estimate over S′∖O with the exact
+// answer over the deterministic outlier set O (paper Section 6.3). The
+// merge is exact for sums and counts (they are additive) and a
+// sum/count-ratio combination for avg.
+func AQPWithOutliers(s *clean.Samples, o *OutlierSet, q Query, confidence float64) (Estimate, error) {
+	if o.Len() == 0 {
+		return AQP(s, q, confidence)
+	}
+	rest := splitSamples(s, o)
+	switch q.Agg {
+	case SumQ, CountQ:
+		reg, err := AQP(rest, q, confidence)
+		if err != nil {
+			return Estimate{}, err
+		}
+		out, err := RunExact(o.Fresh, q)
+		if err != nil {
+			return Estimate{}, err
+		}
+		// cout is deterministic: zero variance, so the interval shifts.
+		return Estimate{
+			Value: reg.Value + out, Lo: reg.Lo + out, Hi: reg.Hi + out,
+			Confidence: confidence, Method: "svc+aqp+outlier", K: reg.K + o.Len(),
+		}, nil
+	case AvgQ:
+		sumEst, err := AQPWithOutliers(s, o, Query{Agg: SumQ, Attr: q.Attr, Pred: q.Pred}, confidence)
+		if err != nil {
+			return Estimate{}, err
+		}
+		cntEst, err := AQPWithOutliers(s, o, Query{Agg: CountQ, Pred: q.Pred}, confidence)
+		if err != nil {
+			return Estimate{}, err
+		}
+		if cntEst.Value == 0 {
+			return Estimate{}, fmt.Errorf("estimator: zero estimated count for avg")
+		}
+		v := sumEst.Value / cntEst.Value
+		// Propagate the sum's relative interval (the count's uncertainty
+		// is second-order for typical selectivities).
+		half := sumEst.HalfWidth() / cntEst.Value
+		return Estimate{
+			Value: v, Lo: v - half, Hi: v + half,
+			Confidence: confidence, Method: "svc+aqp+outlier", K: sumEst.K,
+		}, nil
+	default:
+		// Median/percentile/min/max do not decompose additively; fall
+		// back to the plain sampled estimate over the union of rows with
+		// outliers included as certain members (sampling-weight-free
+		// quantiles are dominated by the bulk anyway).
+		return AQP(s, q, confidence)
+	}
+}
+
+// CorrWithOutliers merges a sampled correction over S′∖O with the exact
+// correction over O: v = c_reg + c_out, where c_out = q_O(fresh) −
+// q_O(stale) is deterministic (Section 6.3 — since cout has zero
+// variance, the bounds of the regular part apply unchanged, shifted).
+func CorrWithOutliers(staleView *relation.Relation, s *clean.Samples, o *OutlierSet, q Query, confidence float64) (Estimate, error) {
+	if o.Len() == 0 {
+		return Corr(staleView, s, q, confidence)
+	}
+	if q.Agg != SumQ && q.Agg != CountQ && q.Agg != AvgQ {
+		return Corr(staleView, s, q, confidence)
+	}
+	if q.Agg == AvgQ {
+		sumEst, err := CorrWithOutliers(staleView, s, o, Query{Agg: SumQ, Attr: q.Attr, Pred: q.Pred}, confidence)
+		if err != nil {
+			return Estimate{}, err
+		}
+		cntEst, err := CorrWithOutliers(staleView, s, o, Query{Agg: CountQ, Pred: q.Pred}, confidence)
+		if err != nil {
+			return Estimate{}, err
+		}
+		if cntEst.Value == 0 {
+			return Estimate{}, fmt.Errorf("estimator: zero estimated count for avg")
+		}
+		v := sumEst.Value / cntEst.Value
+		half := sumEst.HalfWidth() / cntEst.Value
+		return Estimate{
+			Value: v, Lo: v - half, Hi: v + half,
+			Confidence: confidence, Method: "svc+corr+outlier", K: sumEst.K,
+		}, nil
+	}
+
+	rest := splitSamples(s, o)
+	// Regular part: corrected estimate over the stale view *excluding*
+	// outlier-key rows.
+	keyIdx := staleView.Schema().Key()
+	staleRest := relation.New(staleView.Schema())
+	for _, row := range staleView.Rows() {
+		k := row.KeyOf(keyIdx)
+		if _, ok := o.Fresh.GetByEncodedKey(k); ok {
+			continue
+		}
+		staleRest.MustInsert(row)
+	}
+	reg, err := Corr(staleRest, rest, q, confidence)
+	if err != nil {
+		return Estimate{}, err
+	}
+	// Outlier part: exact.
+	outFresh, err := RunExact(o.Fresh, q)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return Estimate{
+		Value: reg.Value + outFresh, Lo: reg.Lo + outFresh, Hi: reg.Hi + outFresh,
+		Confidence: confidence, Method: "svc+corr+outlier", K: reg.K + o.Len(),
+	}, nil
+}
+
+// VarianceReduction reports the fraction of the attribute's sample
+// variance removed by excluding the outlier rows — a diagnostic for how
+// much an outlier index helps a given query (Section 6 discussion: the
+// reduction is largest for long-tailed data).
+func VarianceReduction(s *clean.Samples, o *OutlierSet, attr string) (float64, error) {
+	idx := s.Fresh.Schema().ColIndex(attr)
+	if idx < 0 {
+		return 0, fmt.Errorf("estimator: attribute %q not in sample", attr)
+	}
+	all := make([]float64, 0, s.Fresh.Len())
+	for _, row := range s.Fresh.Rows() {
+		if !row[idx].IsNull() {
+			all = append(all, row[idx].AsFloat())
+		}
+	}
+	rest := splitSamples(s, o)
+	kept := make([]float64, 0, rest.Fresh.Len())
+	for _, row := range rest.Fresh.Rows() {
+		if !row[idx].IsNull() {
+			kept = append(kept, row[idx].AsFloat())
+		}
+	}
+	va := stats.Variance(all)
+	if va == 0 {
+		return 0, nil
+	}
+	return 1 - stats.Variance(kept)/va, nil
+}

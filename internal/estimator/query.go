@@ -1,0 +1,211 @@
+// Package estimator implements SVC's query result estimation (paper
+// Section 5 and Appendix 12.1): answering aggregate queries over a stale
+// materialized view from the pair of corresponding samples produced by
+// package clean.
+//
+// Two estimators are provided, matching the paper:
+//
+//   - SVC+AQP: a direct estimate s·q(Ŝ′) from the clean sample, with CLT
+//     confidence intervals for sum/count/avg (Section 5.2.1), bootstrap
+//     intervals for median/percentile (Section 5.2.5), and Cantelli tail
+//     bounds for min/max (Appendix 12.1.1).
+//   - SVC+CORR: a correction estimate q(S) + (s·q(Ŝ′) − s·q(Ŝ)), which
+//     exploits the correlation between the corresponding samples. Its CLT
+//     interval comes from the correspondence-subtract operator −̇
+//     (Definition 4): a full outer join of the per-row transformed values
+//     on the view key with NULLs as zero.
+//
+// Which estimator is more accurate depends on staleness: CORR wins while
+// σ²_S ≤ 2·cov(S, S′) (Section 5.2.2); the Advise helper evaluates that
+// break-even empirically from the samples.
+package estimator
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/sampleclean/svc/internal/expr"
+	"github.com/sampleclean/svc/internal/relation"
+	"github.com/sampleclean/svc/internal/stats"
+)
+
+// Agg enumerates the aggregate functions supported on queries against a
+// view.
+type Agg uint8
+
+// Query aggregates. Count ignores Attr.
+const (
+	CountQ Agg = iota
+	SumQ
+	AvgQ
+	MedianQ
+	PercentileQ
+	MinQ
+	MaxQ
+)
+
+// String returns the SQL-ish name.
+func (a Agg) String() string {
+	return [...]string{"count", "sum", "avg", "median", "percentile", "min", "max"}[a]
+}
+
+// Query is an aggregate query over a view:
+//
+//	SELECT agg(attr) FROM view WHERE pred
+//
+// as in the paper's Problem 2. Group-by queries are modeled by running one
+// Query per group (see GroupEstimate) or by folding the group predicate
+// into Pred, as the paper does (footnote 1).
+type Query struct {
+	Agg  Agg
+	Attr string // aggregation attribute; unused for CountQ
+	// Pct is the percentile in (0,1) for PercentileQ.
+	Pct float64
+	// Pred restricts the rows (nil means all rows).
+	Pred expr.Expr
+}
+
+// Sum returns SELECT sum(attr) WHERE pred.
+func Sum(attr string, pred expr.Expr) Query { return Query{Agg: SumQ, Attr: attr, Pred: pred} }
+
+// Count returns SELECT count(1) WHERE pred.
+func Count(pred expr.Expr) Query { return Query{Agg: CountQ, Pred: pred} }
+
+// Avg returns SELECT avg(attr) WHERE pred.
+func Avg(attr string, pred expr.Expr) Query { return Query{Agg: AvgQ, Attr: attr, Pred: pred} }
+
+// Median returns SELECT median(attr) WHERE pred.
+func Median(attr string, pred expr.Expr) Query { return Query{Agg: MedianQ, Attr: attr, Pred: pred} }
+
+// Percentile returns SELECT percentile(attr, pct) WHERE pred.
+func Percentile(attr string, pct float64, pred expr.Expr) Query {
+	return Query{Agg: PercentileQ, Attr: attr, Pct: pct, Pred: pred}
+}
+
+// Min returns SELECT min(attr) WHERE pred.
+func Min(attr string, pred expr.Expr) Query { return Query{Agg: MinQ, Attr: attr, Pred: pred} }
+
+// Max returns SELECT max(attr) WHERE pred.
+func Max(attr string, pred expr.Expr) Query { return Query{Agg: MaxQ, Attr: attr, Pred: pred} }
+
+// matching extracts the aggregation attribute values of rows satisfying
+// the predicate. For CountQ the values are 1 per matching row.
+func (q Query) matching(rel *relation.Relation) ([]float64, error) {
+	var pred expr.Expr
+	if q.Pred != nil {
+		bound, err := q.Pred.Bind(rel.Schema())
+		if err != nil {
+			return nil, fmt.Errorf("estimator: %w", err)
+		}
+		pred = bound
+	}
+	attrIdx := -1
+	if q.Agg != CountQ {
+		attrIdx = rel.Schema().ColIndex(q.Attr)
+		if attrIdx < 0 {
+			return nil, fmt.Errorf("estimator: attribute %q not in view schema [%s]", q.Attr, rel.Schema())
+		}
+	}
+	var vals []float64
+	for _, row := range rel.Rows() {
+		if pred != nil && !pred.Eval(row).AsBool() {
+			continue
+		}
+		if q.Agg == CountQ {
+			vals = append(vals, 1)
+			continue
+		}
+		v := row[attrIdx]
+		if v.IsNull() {
+			continue
+		}
+		vals = append(vals, v.AsFloat())
+	}
+	return vals, nil
+}
+
+// RunExact evaluates the query exactly over a full relation. It serves as
+// the ground truth q(S′), the stale baseline q(S), and the rstale term of
+// SVC+CORR.
+func RunExact(rel *relation.Relation, q Query) (float64, error) {
+	vals, err := q.matching(rel)
+	if err != nil {
+		return 0, err
+	}
+	switch q.Agg {
+	case CountQ:
+		return float64(len(vals)), nil
+	case SumQ:
+		return stats.Sum(vals), nil
+	case AvgQ:
+		if len(vals) == 0 {
+			return math.NaN(), nil
+		}
+		return stats.Mean(vals), nil
+	case MedianQ:
+		return stats.Median(vals), nil
+	case PercentileQ:
+		return stats.Quantile(vals, q.Pct), nil
+	case MinQ:
+		if len(vals) == 0 {
+			return math.NaN(), nil
+		}
+		lo := vals[0]
+		for _, v := range vals {
+			if v < lo {
+				lo = v
+			}
+		}
+		return lo, nil
+	case MaxQ:
+		if len(vals) == 0 {
+			return math.NaN(), nil
+		}
+		hi := vals[0]
+		for _, v := range vals {
+			if v > hi {
+				hi = v
+			}
+		}
+		return hi, nil
+	default:
+		return 0, fmt.Errorf("estimator: unknown aggregate %v", q.Agg)
+	}
+}
+
+// Estimate is an approximate query answer with its uncertainty.
+type Estimate struct {
+	// Value is the point estimate of q(S′).
+	Value float64
+	// Lo and Hi bound the estimate at the stated confidence (CLT or
+	// bootstrap, depending on Method). For min/max they carry the
+	// Cantelli-bounded range and TailProb is set instead.
+	Lo, Hi float64
+	// Confidence is the nominal coverage of [Lo, Hi] (e.g. 0.95).
+	Confidence float64
+	// TailProb, for min/max only, is the Cantelli bound on the
+	// probability that an element beyond Value exists in the unsampled
+	// view.
+	TailProb float64
+	// Method names the estimator ("svc+aqp", "svc+corr").
+	Method string
+	// K is the number of sample rows the estimate was computed from.
+	K int
+}
+
+// HalfWidth returns (Hi−Lo)/2.
+func (e Estimate) HalfWidth() float64 { return (e.Hi - e.Lo) / 2 }
+
+// Covers reports whether the interval contains v.
+func (e Estimate) Covers(v float64) bool { return v >= e.Lo && v <= e.Hi }
+
+// RelativeError returns |est−truth|/|truth| (using a small floor on the
+// denominator so zero-valued truths do not blow up), the paper's accuracy
+// metric.
+func RelativeError(est, truth float64) float64 {
+	denom := math.Abs(truth)
+	if denom < 1e-12 {
+		denom = 1e-12
+	}
+	return math.Abs(est-truth) / denom
+}

@@ -1,0 +1,126 @@
+package estimator
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/sampleclean/svc/internal/clean"
+	"github.com/sampleclean/svc/internal/expr"
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// SelectResult is the Appendix 12.1.2 cleaned SELECT answer: the stale
+// selection with sampled corrections applied, plus count estimates for the
+// three error classes so the user can judge residual inaccuracy ("three
+// confidence intervals").
+type SelectResult struct {
+	// Rows is the corrected selection: stale matches with sampled
+	// updates overwritten, sampled missing rows unioned in, and sampled
+	// superfluous/non-matching rows removed.
+	Rows *relation.Relation
+	// Updated estimates the number of rows of the true selection whose
+	// values changed.
+	Updated Estimate
+	// Added estimates the number of rows newly entering the selection.
+	Added Estimate
+	// Removed estimates the number of rows leaving the selection.
+	Removed Estimate
+}
+
+// CleanSelect answers SELECT * FROM view WHERE pred on a stale view using
+// the corresponding samples (Appendix 12.1.2).
+func CleanSelect(staleView *relation.Relation, s *clean.Samples, pred expr.Expr, confidence float64) (*SelectResult, error) {
+	boundStale, err := pred.Bind(staleView.Schema())
+	if err != nil {
+		return nil, fmt.Errorf("estimator: select predicate: %w", err)
+	}
+	boundFresh, err := pred.Bind(s.Fresh.Schema())
+	if err != nil {
+		return nil, fmt.Errorf("estimator: select predicate: %w", err)
+	}
+	keyIdx := staleView.Schema().Key()
+
+	// Start from the stale selection.
+	out := relation.New(staleView.Schema())
+	for _, row := range staleView.Rows() {
+		if boundStale.Eval(row).AsBool() {
+			out.MustInsert(row)
+		}
+	}
+
+	var updated, added, removed int
+	// Walk the clean sample: overwrite updated rows, add missing rows.
+	for _, fr := range s.Fresh.Rows() {
+		k := fr.KeyOf(keyIdx)
+		matches := boundFresh.Eval(fr).AsBool()
+		stRow, inStale := s.Stale.GetByEncodedKey(k)
+		switch {
+		case matches && inStale:
+			if !fr.Equal(stRow) {
+				updated++
+			}
+			if _, selected := out.GetByEncodedKey(k); selected {
+				out.DeleteByEncodedKey(k)
+				out.MustInsert(fr)
+			} else {
+				// Entered the selection due to updated values.
+				added++
+				out.MustInsert(fr)
+			}
+		case matches && !inStale:
+			// Missing row that satisfies the predicate.
+			added++
+			out.MustInsert(fr)
+		case !matches && inStale:
+			// Row left the selection (values changed or it never
+			// matched; only count it if it was selected).
+			if _, selected := out.GetByEncodedKey(k); selected {
+				removed++
+				out.DeleteByEncodedKey(k)
+			}
+		}
+	}
+	// Superfluous rows: sampled stale rows whose keys vanished from the
+	// up-to-date view must be removed from the selection.
+	for _, st := range s.Stale.Rows() {
+		k := st.KeyOf(keyIdx)
+		if _, inFresh := s.Fresh.GetByEncodedKey(k); inFresh {
+			continue
+		}
+		if _, selected := out.GetByEncodedKey(k); selected {
+			removed++
+			out.DeleteByEncodedKey(k)
+		}
+	}
+
+	scale := 1 / s.Ratio
+	mk := func(n int) Estimate {
+		v := float64(n) * scale
+		// Binomial CLT half-width on the scaled count.
+		half := 0.0
+		if n > 0 {
+			half = 1.96 * scale * sqrtF(float64(n))
+		}
+		return Estimate{Value: v, Lo: maxF(0, v-half), Hi: v + half, Confidence: confidence, Method: "svc+select", K: n}
+	}
+	return &SelectResult{
+		Rows:    out,
+		Updated: mk(updated),
+		Added:   mk(added),
+		Removed: mk(removed),
+	}, nil
+}
+
+func sqrtF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,107 @@
+package estimator
+
+import (
+	"fmt"
+
+	"github.com/sampleclean/svc/internal/expr"
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// transRow is one row of the paper's intermediate "trans" table (Section
+// 5.2.1): the row's primary key and its transformed value — the predicate
+// moved into the select clause as an indicator, with the AQP scaling
+// folded in.
+type transRow struct {
+	key string
+	val float64
+}
+
+// transTable computes the trans table of a sample for sum/count/avg:
+//
+//	sum:   1/m · attr · cond(*)
+//	count: 1/m · cond(*)
+//	avg:   attr where cond(*)   (no scaling; non-matching rows excluded)
+//
+// For avg, excluded rows are not emitted; for sum/count every sample row
+// is emitted (the indicator handles selection), as in the paper's SQL.
+func transTable(rel *relation.Relation, q Query, m float64) ([]transRow, error) {
+	if q.Agg != SumQ && q.Agg != CountQ && q.Agg != AvgQ {
+		return nil, fmt.Errorf("estimator: trans table only defined for sum/count/avg, got %v", q.Agg)
+	}
+	var pred expr.Expr
+	if q.Pred != nil {
+		bound, err := q.Pred.Bind(rel.Schema())
+		if err != nil {
+			return nil, err
+		}
+		pred = bound
+	}
+	attrIdx := -1
+	if q.Agg != CountQ {
+		attrIdx = rel.Schema().ColIndex(q.Attr)
+		if attrIdx < 0 {
+			return nil, fmt.Errorf("estimator: attribute %q not in schema [%s]", q.Attr, rel.Schema())
+		}
+	}
+	keyIdx := rel.Schema().Key()
+	if len(keyIdx) == 0 {
+		return nil, fmt.Errorf("estimator: sample relation needs a primary key")
+	}
+	scale := 1 / m
+	rows := make([]transRow, 0, rel.Len())
+	for _, row := range rel.Rows() {
+		match := pred == nil || pred.Eval(row).AsBool()
+		key := row.KeyOf(keyIdx)
+		switch q.Agg {
+		case CountQ:
+			v := 0.0
+			if match {
+				v = scale
+			}
+			rows = append(rows, transRow{key: key, val: v})
+		case SumQ:
+			v := 0.0
+			if match && !row[attrIdx].IsNull() {
+				v = scale * row[attrIdx].AsFloat()
+			}
+			rows = append(rows, transRow{key: key, val: v})
+		case AvgQ:
+			if match && !row[attrIdx].IsNull() {
+				rows = append(rows, transRow{key: key, val: row[attrIdx].AsFloat()})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// values extracts the trans values.
+func values(rows []transRow) []float64 {
+	vals := make([]float64, len(rows))
+	for i, r := range rows {
+		vals[i] = r.val
+	}
+	return vals
+}
+
+// correspondenceSubtract implements the −̇ operator (Definition 4): a full
+// outer join of two trans tables on the primary key, subtracting values
+// with NULL (absent side) treated as zero. It returns one difference per
+// key in the union.
+func correspondenceSubtract(fresh, stale []transRow) []float64 {
+	staleBy := make(map[string]float64, len(stale))
+	for _, r := range stale {
+		staleBy[r.key] = r.val
+	}
+	diffs := make([]float64, 0, len(fresh))
+	seen := make(map[string]bool, len(fresh))
+	for _, r := range fresh {
+		diffs = append(diffs, r.val-staleBy[r.key])
+		seen[r.key] = true
+	}
+	for _, r := range stale {
+		if !seen[r.key] {
+			diffs = append(diffs, -r.val) // superfluous row: 0 − stale
+		}
+	}
+	return diffs
+}

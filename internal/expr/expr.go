@@ -1,0 +1,413 @@
+// Package expr implements the scalar expression language used by selection
+// predicates and generalized projections in the SVC relational algebra:
+// column references, constants, arithmetic, comparisons, boolean logic, and
+// the NULL-handling helpers (COALESCE, IS NULL, IF) that the change-table
+// maintenance strategy's merge projection needs.
+//
+// Expressions are built unbound (columns referenced by name) and must be
+// bound against a schema before evaluation; Bind resolves names to column
+// indexes and returns a new, bound expression tree.
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// Expr is a scalar expression over a row.
+type Expr interface {
+	// Eval evaluates the bound expression against a row. Calling Eval on
+	// an unbound column reference panics: binding errors are supposed to
+	// be caught at plan-build time via Bind.
+	Eval(row relation.Row) relation.Value
+	// Bind resolves column names against the schema, returning a bound
+	// copy of the expression.
+	Bind(s relation.Schema) (Expr, error)
+	// Columns appends the names of all referenced columns to dst.
+	Columns(dst []string) []string
+	// String renders the expression for plan debugging.
+	String() string
+}
+
+// ---------------------------------------------------------------- columns
+
+// colRef references a column by name; idx is -1 until bound.
+type colRef struct {
+	name string
+	idx  int
+}
+
+// Col references the named column.
+func Col(name string) Expr { return &colRef{name: name, idx: -1} }
+
+func (c *colRef) Eval(row relation.Row) relation.Value {
+	if c.idx < 0 {
+		panic(fmt.Sprintf("expr: evaluating unbound column %q", c.name))
+	}
+	return row[c.idx]
+}
+
+func (c *colRef) Bind(s relation.Schema) (Expr, error) {
+	i := s.ColIndex(c.name)
+	if i < 0 {
+		return nil, fmt.Errorf("expr: unknown column %q in schema [%s]", c.name, s)
+	}
+	return &colRef{name: c.name, idx: i}, nil
+}
+
+func (c *colRef) Columns(dst []string) []string { return append(dst, c.name) }
+func (c *colRef) String() string                { return c.name }
+
+// ---------------------------------------------------------------- consts
+
+type constant struct{ v relation.Value }
+
+// Lit returns a constant expression.
+func Lit(v relation.Value) Expr { return constant{v} }
+
+// IntLit is shorthand for Lit(relation.Int(v)).
+func IntLit(v int64) Expr { return constant{relation.Int(v)} }
+
+// FloatLit is shorthand for Lit(relation.Float(v)).
+func FloatLit(v float64) Expr { return constant{relation.Float(v)} }
+
+// StringLit is shorthand for Lit(relation.String(v)).
+func StringLit(v string) Expr { return constant{relation.String(v)} }
+
+func (c constant) Eval(relation.Row) relation.Value   { return c.v }
+func (c constant) Bind(relation.Schema) (Expr, error) { return c, nil }
+func (c constant) Columns(dst []string) []string      { return dst }
+func (c constant) String() string                     { return c.v.String() }
+
+// ---------------------------------------------------------------- binary
+
+// BinOp enumerates arithmetic operators.
+type BinOp uint8
+
+// Arithmetic operators.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+)
+
+func (o BinOp) String() string { return [...]string{"+", "-", "*", "/"}[o] }
+
+type binary struct {
+	op   BinOp
+	l, r Expr
+}
+
+// Add returns l + r.
+func Add(l, r Expr) Expr { return &binary{OpAdd, l, r} }
+
+// Sub returns l - r.
+func Sub(l, r Expr) Expr { return &binary{OpSub, l, r} }
+
+// Mul returns l * r.
+func Mul(l, r Expr) Expr { return &binary{OpMul, l, r} }
+
+// Div returns l / r (float division; NULL on zero divisor).
+func Div(l, r Expr) Expr { return &binary{OpDiv, l, r} }
+
+func (b *binary) Eval(row relation.Row) relation.Value {
+	l, r := b.l.Eval(row), b.r.Eval(row)
+	switch b.op {
+	case OpAdd:
+		return l.Add(r)
+	case OpSub:
+		return l.Sub(r)
+	case OpMul:
+		return l.Mul(r)
+	default:
+		return l.Div(r)
+	}
+}
+
+func (b *binary) Bind(s relation.Schema) (Expr, error) {
+	l, err := b.l.Bind(s)
+	if err != nil {
+		return nil, err
+	}
+	r, err := b.r.Bind(s)
+	if err != nil {
+		return nil, err
+	}
+	return &binary{b.op, l, r}, nil
+}
+
+func (b *binary) Columns(dst []string) []string { return b.r.Columns(b.l.Columns(dst)) }
+func (b *binary) String() string                { return fmt.Sprintf("(%s %s %s)", b.l, b.op, b.r) }
+
+// ---------------------------------------------------------------- compare
+
+// CmpOp enumerates comparison operators.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+func (o CmpOp) String() string { return [...]string{"=", "!=", "<", "<=", ">", ">="}[o] }
+
+type compare struct {
+	op   CmpOp
+	l, r Expr
+}
+
+// Eq returns l = r. Comparisons involving NULL evaluate to false (the
+// predicate simply does not select the row), matching SQL WHERE semantics.
+func Eq(l, r Expr) Expr { return &compare{OpEq, l, r} }
+
+// Ne returns l != r.
+func Ne(l, r Expr) Expr { return &compare{OpNe, l, r} }
+
+// Lt returns l < r.
+func Lt(l, r Expr) Expr { return &compare{OpLt, l, r} }
+
+// Le returns l <= r.
+func Le(l, r Expr) Expr { return &compare{OpLe, l, r} }
+
+// Gt returns l > r.
+func Gt(l, r Expr) Expr { return &compare{OpGt, l, r} }
+
+// Ge returns l >= r.
+func Ge(l, r Expr) Expr { return &compare{OpGe, l, r} }
+
+func (c *compare) Eval(row relation.Row) relation.Value {
+	l, r := c.l.Eval(row), c.r.Eval(row)
+	if l.IsNull() || r.IsNull() {
+		return relation.Bool(false)
+	}
+	cmp := l.Compare(r)
+	var ok bool
+	switch c.op {
+	case OpEq:
+		ok = cmp == 0
+	case OpNe:
+		ok = cmp != 0
+	case OpLt:
+		ok = cmp < 0
+	case OpLe:
+		ok = cmp <= 0
+	case OpGt:
+		ok = cmp > 0
+	case OpGe:
+		ok = cmp >= 0
+	}
+	return relation.Bool(ok)
+}
+
+func (c *compare) Bind(s relation.Schema) (Expr, error) {
+	l, err := c.l.Bind(s)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.r.Bind(s)
+	if err != nil {
+		return nil, err
+	}
+	return &compare{c.op, l, r}, nil
+}
+
+func (c *compare) Columns(dst []string) []string { return c.r.Columns(c.l.Columns(dst)) }
+func (c *compare) String() string                { return fmt.Sprintf("(%s %s %s)", c.l, c.op, c.r) }
+
+// ---------------------------------------------------------------- logical
+
+type nary struct {
+	op   string // "and" | "or"
+	args []Expr
+}
+
+// And returns the conjunction of the arguments (true when empty).
+func And(args ...Expr) Expr { return &nary{"and", args} }
+
+// Or returns the disjunction of the arguments (false when empty).
+func Or(args ...Expr) Expr { return &nary{"or", args} }
+
+func (n *nary) Eval(row relation.Row) relation.Value {
+	if n.op == "and" {
+		for _, a := range n.args {
+			if !a.Eval(row).AsBool() {
+				return relation.Bool(false)
+			}
+		}
+		return relation.Bool(true)
+	}
+	for _, a := range n.args {
+		if a.Eval(row).AsBool() {
+			return relation.Bool(true)
+		}
+	}
+	return relation.Bool(false)
+}
+
+func (n *nary) Bind(s relation.Schema) (Expr, error) {
+	out := make([]Expr, len(n.args))
+	for i, a := range n.args {
+		b, err := a.Bind(s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = b
+	}
+	return &nary{n.op, out}, nil
+}
+
+func (n *nary) Columns(dst []string) []string {
+	for _, a := range n.args {
+		dst = a.Columns(dst)
+	}
+	return dst
+}
+
+func (n *nary) String() string {
+	parts := make([]string, len(n.args))
+	for i, a := range n.args {
+		parts[i] = a.String()
+	}
+	return "(" + strings.Join(parts, " "+n.op+" ") + ")"
+}
+
+type not struct{ e Expr }
+
+// Not returns the boolean negation of e.
+func Not(e Expr) Expr { return &not{e} }
+
+func (n *not) Eval(row relation.Row) relation.Value {
+	return relation.Bool(!n.e.Eval(row).AsBool())
+}
+
+func (n *not) Bind(s relation.Schema) (Expr, error) {
+	e, err := n.e.Bind(s)
+	if err != nil {
+		return nil, err
+	}
+	return &not{e}, nil
+}
+
+func (n *not) Columns(dst []string) []string { return n.e.Columns(dst) }
+func (n *not) String() string                { return "(not " + n.e.String() + ")" }
+
+// ---------------------------------------------------------------- null ops
+
+type coalesce struct{ args []Expr }
+
+// Coalesce returns the first non-NULL argument, or NULL. The change-table
+// merge projection uses Coalesce(delta.count, 0) to treat missing join
+// partners as zero, as in the paper's Example 1 step 3.
+func Coalesce(args ...Expr) Expr { return &coalesce{args} }
+
+func (c *coalesce) Eval(row relation.Row) relation.Value {
+	for _, a := range c.args {
+		if v := a.Eval(row); !v.IsNull() {
+			return v
+		}
+	}
+	return relation.Null()
+}
+
+func (c *coalesce) Bind(s relation.Schema) (Expr, error) {
+	out := make([]Expr, len(c.args))
+	for i, a := range c.args {
+		b, err := a.Bind(s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = b
+	}
+	return &coalesce{out}, nil
+}
+
+func (c *coalesce) Columns(dst []string) []string {
+	for _, a := range c.args {
+		dst = a.Columns(dst)
+	}
+	return dst
+}
+
+func (c *coalesce) String() string {
+	parts := make([]string, len(c.args))
+	for i, a := range c.args {
+		parts[i] = a.String()
+	}
+	return "coalesce(" + strings.Join(parts, ",") + ")"
+}
+
+type isNull struct{ e Expr }
+
+// IsNull reports whether e evaluates to NULL.
+func IsNull(e Expr) Expr { return &isNull{e} }
+
+func (n *isNull) Eval(row relation.Row) relation.Value {
+	return relation.Bool(n.e.Eval(row).IsNull())
+}
+
+func (n *isNull) Bind(s relation.Schema) (Expr, error) {
+	e, err := n.e.Bind(s)
+	if err != nil {
+		return nil, err
+	}
+	return &isNull{e}, nil
+}
+
+func (n *isNull) Columns(dst []string) []string { return n.e.Columns(dst) }
+func (n *isNull) String() string                { return "(" + n.e.String() + " is null)" }
+
+type ifExpr struct{ cond, then, els Expr }
+
+// If returns then when cond is true, otherwise els. The query-estimation
+// trans-table rewriting (paper Section 5.2.1) uses If to move a predicate
+// into the SELECT clause as a 0/1 indicator.
+func If(cond, then, els Expr) Expr { return &ifExpr{cond, then, els} }
+
+func (f *ifExpr) Eval(row relation.Row) relation.Value {
+	if f.cond.Eval(row).AsBool() {
+		return f.then.Eval(row)
+	}
+	return f.els.Eval(row)
+}
+
+func (f *ifExpr) Bind(s relation.Schema) (Expr, error) {
+	c, err := f.cond.Bind(s)
+	if err != nil {
+		return nil, err
+	}
+	t, err := f.then.Bind(s)
+	if err != nil {
+		return nil, err
+	}
+	e, err := f.els.Bind(s)
+	if err != nil {
+		return nil, err
+	}
+	return &ifExpr{c, t, e}, nil
+}
+
+func (f *ifExpr) Columns(dst []string) []string {
+	return f.els.Columns(f.then.Columns(f.cond.Columns(dst)))
+}
+
+func (f *ifExpr) String() string {
+	return fmt.Sprintf("if(%s, %s, %s)", f.cond, f.then, f.els)
+}
+
+// ColumnName reports whether e is a plain column reference, and if so its
+// referenced column name. Plan rewriters (key derivation through
+// projections, hash push-down) use this to recognize pass-through columns.
+func ColumnName(e Expr) (string, bool) {
+	if c, ok := e.(*colRef); ok {
+		return c.name, true
+	}
+	return "", false
+}

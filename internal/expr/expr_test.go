@@ -1,0 +1,243 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+func testSchema() relation.Schema {
+	return relation.NewSchema([]relation.Column{
+		{Name: "a", Type: relation.KindInt},
+		{Name: "b", Type: relation.KindFloat},
+		{Name: "s", Type: relation.KindString},
+	}, "a")
+}
+
+func evalOn(t *testing.T, e Expr, row relation.Row) relation.Value {
+	t.Helper()
+	b, err := e.Bind(testSchema())
+	if err != nil {
+		t.Fatalf("bind %s: %v", e, err)
+	}
+	return b.Eval(row)
+}
+
+func TestColumnBinding(t *testing.T) {
+	row := relation.Row{relation.Int(7), relation.Float(2.5), relation.String("xy")}
+	if got := evalOn(t, Col("a"), row); !got.Equal(relation.Int(7)) {
+		t.Errorf("a = %v", got)
+	}
+	if _, err := Col("zz").Bind(testSchema()); err == nil {
+		t.Error("binding unknown column should fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("eval of unbound column should panic")
+		}
+	}()
+	Col("a").Eval(row)
+}
+
+func TestArithmetic(t *testing.T) {
+	row := relation.Row{relation.Int(7), relation.Float(2.5), relation.String("xy")}
+	cases := []struct {
+		e    Expr
+		want relation.Value
+	}{
+		{Add(Col("a"), IntLit(1)), relation.Int(8)},
+		{Sub(Col("a"), IntLit(2)), relation.Int(5)},
+		{Mul(Col("b"), IntLit(2)), relation.Float(5)},
+		{Div(Col("a"), IntLit(2)), relation.Float(3.5)},
+		{Add(Col("a"), Lit(relation.Null())), relation.Null()},
+		{Div(Col("a"), IntLit(0)), relation.Null()},
+	}
+	for _, c := range cases {
+		if got := evalOn(t, c.e, row); !got.Equal(c.want) && !(got.IsNull() && c.want.IsNull()) {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	row := relation.Row{relation.Int(7), relation.Float(2.5), relation.String("xy")}
+	trueCases := []Expr{
+		Eq(Col("a"), IntLit(7)),
+		Ne(Col("a"), IntLit(8)),
+		Lt(Col("b"), IntLit(3)),
+		Le(Col("a"), IntLit(7)),
+		Gt(Col("a"), IntLit(6)),
+		Ge(Col("a"), IntLit(7)),
+		Eq(Col("s"), StringLit("xy")),
+	}
+	for _, e := range trueCases {
+		if !evalOn(t, e, row).AsBool() {
+			t.Errorf("%s should be true", e)
+		}
+	}
+	falseCases := []Expr{
+		Eq(Col("a"), IntLit(8)),
+		Gt(Col("a"), Lit(relation.Null())), // NULL comparison -> false
+		Eq(Lit(relation.Null()), Lit(relation.Null())),
+	}
+	for _, e := range falseCases {
+		if evalOn(t, e, row).AsBool() {
+			t.Errorf("%s should be false", e)
+		}
+	}
+}
+
+func TestLogic(t *testing.T) {
+	row := relation.Row{relation.Int(7), relation.Float(2.5), relation.String("xy")}
+	if !evalOn(t, And(Gt(Col("a"), IntLit(1)), Lt(Col("a"), IntLit(10))), row).AsBool() {
+		t.Error("and should be true")
+	}
+	if evalOn(t, And(Gt(Col("a"), IntLit(1)), Lt(Col("a"), IntLit(2))), row).AsBool() {
+		t.Error("and should be false")
+	}
+	if !evalOn(t, Or(Eq(Col("a"), IntLit(0)), Eq(Col("a"), IntLit(7))), row).AsBool() {
+		t.Error("or should be true")
+	}
+	if !evalOn(t, Not(Eq(Col("a"), IntLit(0))), row).AsBool() {
+		t.Error("not should be true")
+	}
+	if !evalOn(t, And(), row).AsBool() {
+		t.Error("empty and is true")
+	}
+	if evalOn(t, Or(), row).AsBool() {
+		t.Error("empty or is false")
+	}
+}
+
+func TestNullHandling(t *testing.T) {
+	row := relation.Row{relation.Int(7), relation.Float(2.5), relation.String("xy")}
+	got := evalOn(t, Coalesce(Lit(relation.Null()), Col("a"), IntLit(0)), row)
+	if !got.Equal(relation.Int(7)) {
+		t.Errorf("coalesce = %v", got)
+	}
+	got = evalOn(t, Coalesce(Lit(relation.Null()), Lit(relation.Null())), row)
+	if !got.IsNull() {
+		t.Errorf("all-null coalesce = %v", got)
+	}
+	if !evalOn(t, IsNull(Lit(relation.Null())), row).AsBool() {
+		t.Error("IsNull(NULL) should be true")
+	}
+	if evalOn(t, IsNull(Col("a")), row).AsBool() {
+		t.Error("IsNull(a) should be false")
+	}
+}
+
+func TestIf(t *testing.T) {
+	row := relation.Row{relation.Int(7), relation.Float(2.5), relation.String("xy")}
+	got := evalOn(t, If(Gt(Col("a"), IntLit(5)), IntLit(1), IntLit(0)), row)
+	if !got.Equal(relation.Int(1)) {
+		t.Errorf("if = %v", got)
+	}
+	got = evalOn(t, If(Gt(Col("a"), IntLit(50)), IntLit(1), IntLit(0)), row)
+	if !got.Equal(relation.Int(0)) {
+		t.Errorf("if = %v", got)
+	}
+}
+
+func TestFuncs(t *testing.T) {
+	row := relation.Row{relation.Int(-7), relation.Float(2.5), relation.String("hello")}
+	if got := evalOn(t, Func("substr", Col("s"), IntLit(1), IntLit(3)), row); got.AsString() != "ell" {
+		t.Errorf("substr = %v", got)
+	}
+	if got := evalOn(t, Func("substr", Col("s"), IntLit(3), IntLit(99)), row); got.AsString() != "lo" {
+		t.Errorf("substr overflow = %v", got)
+	}
+	if got := evalOn(t, Func("mod", Col("a"), IntLit(4)), row); got.AsInt() != -3 {
+		t.Errorf("mod = %v", got)
+	}
+	if got := evalOn(t, Func("abs", Col("a")), row); got.AsInt() != 7 {
+		t.Errorf("abs = %v", got)
+	}
+	if got := evalOn(t, Func("concat", Col("s"), StringLit("!")), row); got.AsString() != "hello!" {
+		t.Errorf("concat = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown func should panic")
+		}
+	}()
+	Func("nope")
+}
+
+func TestColumnsCollection(t *testing.T) {
+	e := And(Gt(Col("a"), IntLit(1)), Or(Eq(Col("s"), StringLit("x")), IsNull(Col("b"))))
+	cols := e.Columns(nil)
+	want := map[string]bool{"a": true, "b": true, "s": true}
+	if len(cols) != 3 {
+		t.Fatalf("Columns = %v", cols)
+	}
+	for _, c := range cols {
+		if !want[c] {
+			t.Errorf("unexpected column %q", c)
+		}
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	row := relation.Row{relation.Int(7), relation.Float(2.5), relation.String("xy")}
+	if !evalOn(t, Between("a", relation.Int(5), relation.Int(9)), row).AsBool() {
+		t.Error("between should hold")
+	}
+	if evalOn(t, Between("a", relation.Int(8), relation.Int(9)), row).AsBool() {
+		t.Error("between should not hold")
+	}
+	if !evalOn(t, InInts("a", []int64{1, 7, 9}), row).AsBool() {
+		t.Error("in should hold")
+	}
+	if evalOn(t, InInts("a", []int64{1, 2}), row).AsBool() {
+		t.Error("in should not hold")
+	}
+	if !evalOn(t, True(), row).AsBool() {
+		t.Error("True() should be true")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := And(Gt(Col("a"), IntLit(1)), Eq(Col("s"), StringLit("x")))
+	s := e.String()
+	for _, sub := range []string{"a", ">", "1", "and", "s", "="} {
+		if !strings.Contains(s, sub) {
+			t.Errorf("String() = %q missing %q", s, sub)
+		}
+	}
+}
+
+// Property: If(cond,1,0) agrees with the boolean value of cond — the
+// trans-table rewriting in estimator relies on this.
+func TestIfIndicatorQuick(t *testing.T) {
+	f := func(a int64, threshold int64) bool {
+		row := relation.Row{relation.Int(a), relation.Float(0), relation.String("")}
+		cond := Gt(Col("a"), IntLit(threshold))
+		ind := If(cond, IntLit(1), IntLit(0))
+		bc := MustBind(cond, testSchema())
+		bi := MustBind(ind, testSchema())
+		return bc.Eval(row).AsBool() == (bi.Eval(row).AsInt() == 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Coalesce(x, 0) is never NULL.
+func TestCoalesceNeverNullQuick(t *testing.T) {
+	f := func(useNull bool, v int64) bool {
+		var x Expr
+		if useNull {
+			x = Lit(relation.Null())
+		} else {
+			x = IntLit(v)
+		}
+		e := MustBind(Coalesce(x, IntLit(0)), testSchema())
+		return !e.Eval(relation.Row{relation.Int(0), relation.Float(0), relation.String("")}).IsNull()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

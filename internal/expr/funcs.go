@@ -1,0 +1,162 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// fn is a named scalar function application.
+type fn struct {
+	name string
+	args []Expr
+	impl func(args []relation.Value) relation.Value
+}
+
+// builtins maps function names to implementations. Substr exists mainly to
+// model the paper's V22 view, whose string transformation of a key blocks
+// hash push-down.
+var builtins = map[string]struct {
+	arity int
+	impl  func(args []relation.Value) relation.Value
+}{
+	"substr": {3, func(a []relation.Value) relation.Value {
+		if a[0].IsNull() {
+			return relation.Null()
+		}
+		s := a[0].AsString()
+		from, n := int(a[1].AsInt()), int(a[2].AsInt())
+		if from < 0 {
+			from = 0
+		}
+		if from > len(s) {
+			from = len(s)
+		}
+		end := from + n
+		if n < 0 || end > len(s) {
+			end = len(s)
+		}
+		return relation.String(s[from:end])
+	}},
+	"mod": {2, func(a []relation.Value) relation.Value {
+		if a[0].IsNull() || a[1].IsNull() || a[1].AsInt() == 0 {
+			return relation.Null()
+		}
+		return relation.Int(a[0].AsInt() % a[1].AsInt())
+	}},
+	"abs": {1, func(a []relation.Value) relation.Value {
+		if a[0].IsNull() {
+			return relation.Null()
+		}
+		if a[0].Kind() == relation.KindFloat {
+			f := a[0].AsFloat()
+			if f < 0 {
+				f = -f
+			}
+			return relation.Float(f)
+		}
+		i := a[0].AsInt()
+		if i < 0 {
+			i = -i
+		}
+		return relation.Int(i)
+	}},
+	"concat": {2, func(a []relation.Value) relation.Value {
+		if a[0].IsNull() || a[1].IsNull() {
+			return relation.Null()
+		}
+		return relation.String(a[0].AsString() + a[1].AsString())
+	}},
+	// toint/tofloat keep maintained aggregate columns type-stable: a
+	// change-table merge adds a float delta to an integer count column and
+	// must store back an integer.
+	"toint": {1, func(a []relation.Value) relation.Value {
+		if a[0].IsNull() {
+			return relation.Null()
+		}
+		return relation.Int(a[0].AsInt())
+	}},
+	"tofloat": {1, func(a []relation.Value) relation.Value {
+		if a[0].IsNull() {
+			return relation.Null()
+		}
+		return relation.Float(a[0].AsFloat())
+	}},
+}
+
+// Func applies the named builtin function. It panics on unknown names or
+// wrong arity (plan-construction bugs, not data errors).
+func Func(name string, args ...Expr) Expr {
+	b, ok := builtins[name]
+	if !ok {
+		panic(fmt.Sprintf("expr: unknown function %q", name))
+	}
+	if len(args) != b.arity {
+		panic(fmt.Sprintf("expr: %s expects %d args, got %d", name, b.arity, len(args)))
+	}
+	return &fn{name: name, args: args, impl: b.impl}
+}
+
+func (f *fn) Eval(row relation.Row) relation.Value {
+	vals := make([]relation.Value, len(f.args))
+	for i, a := range f.args {
+		vals[i] = a.Eval(row)
+	}
+	return f.impl(vals)
+}
+
+func (f *fn) Bind(s relation.Schema) (Expr, error) {
+	out := make([]Expr, len(f.args))
+	for i, a := range f.args {
+		b, err := a.Bind(s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = b
+	}
+	return &fn{name: f.name, args: out, impl: f.impl}, nil
+}
+
+func (f *fn) Columns(dst []string) []string {
+	for _, a := range f.args {
+		dst = a.Columns(dst)
+	}
+	return dst
+}
+
+func (f *fn) String() string {
+	parts := make([]string, len(f.args))
+	for i, a := range f.args {
+		parts[i] = a.String()
+	}
+	return f.name + "(" + strings.Join(parts, ",") + ")"
+}
+
+// MustBind binds e against s and panics on error. Intended for statically
+// constructed plans in tests and generators.
+func MustBind(e Expr, s relation.Schema) Expr {
+	b, err := e.Bind(s)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Between returns lo <= col <= hi, the predicate shape used by the paper's
+// generated queries ("countryCode > 50 and countryCode < 100").
+func Between(col string, lo, hi relation.Value) Expr {
+	return And(Ge(Col(col), Lit(lo)), Le(Col(col), Lit(hi)))
+}
+
+// InInts returns a disjunction col = v1 or col = v2 ... for integer sets.
+func InInts(col string, vals []int64) Expr {
+	args := make([]Expr, len(vals))
+	for i, v := range vals {
+		args[i] = Eq(Col(col), IntLit(v))
+	}
+	return Or(args...)
+}
+
+// True is a predicate that accepts every row.
+func True() Expr { return Lit(relation.Bool(true)) }

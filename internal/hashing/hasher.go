@@ -1,0 +1,134 @@
+// Package hashing provides the deterministic hash functions behind the
+// paper's sampling operator η (Section 4.4): a function mapping a tuple of
+// key values to [0,1) so that "hash(key) < m" selects an approximately
+// uniform m-fraction of rows, deterministically.
+//
+// Determinism is what buys the Correspondence property (paper Section 4.6
+// and Proposition 2): hashing the same primary key in the stale view and in
+// the up-to-date view selects the same rows, so the two samples are
+// positively correlated and SVC+CORR can estimate the *change* with low
+// variance.
+//
+// Two hashers are provided, mirroring the paper's discussion (Appendix
+// 12.3) of the latency/uniformity trade-off: a fast FNV-64 hasher (the
+// "linear hash" end of the spectrum) and a SHA-1 hasher (the cryptographic
+// end). Both satisfy the Simple Uniform Hashing Assumption well enough for
+// the estimators; the benchmark suite includes the uniformity/speed
+// ablation.
+package hashing
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+)
+
+// Hasher maps an encoded key to a deterministic point in [0,1).
+type Hasher interface {
+	// Unit returns a value in [0,1) that depends only on key.
+	Unit(key []byte) float64
+	// Name identifies the hasher in benchmark output.
+	Name() string
+}
+
+// unitFromUint64 maps a 64-bit hash to [0,1) using the top 53 bits so the
+// conversion to float64 is exact.
+func unitFromUint64(h uint64) float64 {
+	return float64(h>>11) / float64(1<<53)
+}
+
+// mix64 is the SplitMix64 finalizer: a full-avalanche bijection that
+// spreads FNV's weakly mixed high bits. Without it, FNV-1a over
+// sequential integer keys deviates from uniformity by several percent —
+// enough to bias every 1/m-scaled estimate (see the uniformity test and
+// the hashing ablation benchmark).
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// FNV is a fast non-cryptographic hasher: FNV-1a (64-bit) followed by a
+// SplitMix64 avalanche finalizer for uniform high bits.
+type FNV struct{}
+
+// Unit implements Hasher.
+func (FNV) Unit(key []byte) float64 {
+	h := fnv.New64a()
+	h.Write(key)
+	return unitFromUint64(mix64(h.Sum64()))
+}
+
+// Name implements Hasher.
+func (FNV) Name() string { return "fnv64a" }
+
+// Linear is a deliberately simple multiplicative hash without avalanche
+// finalization — the "linear hash" end of the paper's Appendix 12.3
+// trade-off. It is fast but measurably non-uniform on structured keys; it
+// exists for the uniformity/speed ablation and should not be used for
+// estimation.
+type Linear struct{}
+
+// Unit implements Hasher.
+func (Linear) Unit(key []byte) float64 {
+	var h uint64 = 0xcbf29ce484222325
+	for _, b := range key {
+		h = h*31 + uint64(b)
+	}
+	return unitFromUint64(h)
+}
+
+// Name implements Hasher.
+func (Linear) Name() string { return "linear" }
+
+// SHA1 is a cryptographic hasher; slower but closest to ideal uniformity.
+type SHA1 struct{}
+
+// Unit implements Hasher.
+func (SHA1) Unit(key []byte) float64 {
+	sum := sha1.Sum(key)
+	return unitFromUint64(binary.BigEndian.Uint64(sum[:8]))
+}
+
+// Name implements Hasher.
+func (SHA1) Name() string { return "sha1" }
+
+// Default is the hasher used when none is specified.
+var Default Hasher = FNV{}
+
+// Salted wraps a hasher with a salt, modeling an independent draw from the
+// hash family: different salts give statistically independent samples of
+// the same data. SVC itself wants determinism (the Correspondence property
+// needs the same hash on both sides of a cleaning), but variance studies —
+// like the Appendix 12.5 sample-size analysis — need replications.
+type Salted struct {
+	// Salt distinguishes the draw.
+	Salt uint64
+	// Base is the underlying hasher (nil means Default).
+	Base Hasher
+}
+
+// Unit implements Hasher.
+func (s Salted) Unit(key []byte) float64 {
+	base := s.Base
+	if base == nil {
+		base = Default
+	}
+	salted := make([]byte, 8+len(key))
+	binary.BigEndian.PutUint64(salted, s.Salt)
+	copy(salted[8:], key)
+	return base.Unit(salted)
+}
+
+// Name implements Hasher.
+func (s Salted) Name() string {
+	base := s.Base
+	if base == nil {
+		base = Default
+	}
+	return fmt.Sprintf("%s+salt", base.Name())
+}

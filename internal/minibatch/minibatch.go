@@ -1,0 +1,260 @@
+// Package minibatch simulates the paper's Section 7.6.2 distributed
+// deployment: synchronous mini-batch view maintenance on an immutable-RDD
+// cluster (Apache Spark 1.1.0 in the paper), where
+//
+//   - larger batches amortize per-batch overhead (Figure 14a),
+//   - a concurrent SVC thread contends with IVM, hurting small batches
+//     most (Figure 14b),
+//   - at a fixed ingest throughput there is an optimal SVC sampling ratio
+//     balancing sampling error against sample staleness (Figure 15), and
+//   - SVC soaks up the idle CPU windows created by synchronous shuffle
+//     barriers (Figure 16).
+//
+// The simulator is a deliberate, documented substitution for a Spark
+// cluster (see DESIGN.md): it models batch time as
+//
+//	time(B) = overhead + B/(rate·workers)·(1+straggler) + shuffles·barrier
+//
+// and runs a discrete-time error/utilization trace on top. It exposes the
+// same trade-offs the paper measures without requiring a cluster; absolute
+// numbers are not comparable, shapes are.
+package minibatch
+
+import (
+	"math"
+)
+
+// ClusterConfig describes the simulated cluster and workload.
+type ClusterConfig struct {
+	// Workers is the number of parallel workers.
+	Workers int
+	// RecordRate is records/second/worker during compute phases.
+	RecordRate float64
+	// BatchOverhead is the fixed per-batch cost in seconds (scheduling,
+	// serialization, RDD bookkeeping).
+	BatchOverhead float64
+	// ShufflePhases is the number of synchronous barriers per batch.
+	ShufflePhases int
+	// BarrierTime is the seconds per barrier during which workers idle.
+	BarrierTime float64
+	// Straggler is the extra fraction of compute time the slowest worker
+	// adds (the others idle meanwhile).
+	Straggler float64
+}
+
+// DefaultCluster matches a small 10-node deployment shape.
+func DefaultCluster() ClusterConfig {
+	return ClusterConfig{
+		Workers:       10,
+		RecordRate:    120_000,
+		BatchOverhead: 8,
+		ShufflePhases: 3,
+		BarrierTime:   4,
+		Straggler:     0.25,
+	}
+}
+
+// BatchTime returns the wall-clock seconds to maintain a batch of n
+// records.
+func (c ClusterConfig) BatchTime(n float64) float64 {
+	compute := n / (c.RecordRate * float64(c.Workers))
+	return c.BatchOverhead + compute*(1+c.Straggler) + float64(c.ShufflePhases)*c.BarrierTime
+}
+
+// IdleTime returns the worker-idle seconds within one batch: barrier
+// windows plus straggler tails — the capacity an SVC thread can use
+// without impacting IVM (Figure 16's insight).
+func (c ClusterConfig) IdleTime(n float64) float64 {
+	compute := n / (c.RecordRate * float64(c.Workers))
+	return float64(c.ShufflePhases)*c.BarrierTime + compute*c.Straggler
+}
+
+// Throughput returns records/second of IVM alone at batch size n
+// (Figure 14a).
+func (c ClusterConfig) Throughput(n float64) float64 {
+	return n / c.BatchTime(n)
+}
+
+// ThroughputTwoThreads returns records/second when an SVC maintenance
+// thread with sampling ratio m runs concurrently (Figure 14b). The SVC
+// job's fixed structure — scheduling overhead and its own synchronization
+// barriers — serializes with the IVM batch (the driver runs one job at a
+// time), so small batches pay it in full (≈2× slowdown, as the paper
+// measures); only the SVC *compute* can hide inside the IVM batch's idle
+// windows, so large batches are barely affected.
+func (c ClusterConfig) ThroughputTwoThreads(n, m float64) float64 {
+	compute := n / (c.RecordRate * float64(c.Workers))
+	svcFixed := c.BatchOverhead + float64(c.ShufflePhases)*c.BarrierTime
+	spill := m*compute - c.IdleTime(n)
+	if spill < 0 {
+		spill = 0
+	}
+	return n / (c.BatchTime(n) + svcFixed + spill)
+}
+
+// SmallestBatchFor returns the smallest batch size whose throughput meets
+// target records/second (the paper's "choosing a batch size" procedure),
+// searching the given candidates. ok is false when none qualifies.
+func (c ClusterConfig) SmallestBatchFor(target float64, twoThreads bool, m float64, candidates []float64) (batch float64, ok bool) {
+	for _, b := range candidates {
+		var thr float64
+		if twoThreads {
+			thr = c.ThroughputTwoThreads(b, m)
+		} else {
+			thr = c.Throughput(b)
+		}
+		if thr >= target {
+			return b, true
+		}
+	}
+	return 0, false
+}
+
+// ViewProfile captures how a view's query error responds to staleness and
+// sampling — the knobs that differ between the paper's V2 and V5.
+type ViewProfile struct {
+	// Name labels the profile ("V2", "V5").
+	Name string
+	// SampleNoise is the coefficient of the 1/√(m·Rows) sampling error.
+	SampleNoise float64
+	// Rows is the view cardinality.
+	Rows float64
+	// StaleScale is the number of unapplied update records that produce
+	// one unit of relative query error (smaller ⇒ more
+	// staleness-sensitive).
+	StaleScale float64
+	// CleanParallelism is the share of aggregate cluster compute this
+	// view's SVC cleaning can claim from idle windows: views whose
+	// cleaning shards well (many independent groups) soak up more of the
+	// scattered barrier/straggler capacity.
+	CleanParallelism float64
+}
+
+// V2Profile mirrors the paper's V2 (bytes-transferred sums): compact
+// per-group values, low estimator noise.
+func V2Profile() ViewProfile {
+	return ViewProfile{Name: "V2", SampleNoise: 1.0, Rows: 2e5, StaleScale: 2e8, CleanParallelism: 0.15}
+}
+
+// V5Profile mirrors the paper's V5 (nested error statistics): noisier
+// estimates and more staleness-sensitive, so its optimum sampling ratio
+// sits higher (paper: 6% vs V2's 3%).
+func V5Profile() ViewProfile {
+	return ViewProfile{Name: "V5", SampleNoise: 3.5, Rows: 2e5, StaleScale: 1.2e8, CleanParallelism: 0.30}
+}
+
+// samplingError is the steady-state estimation error of an SVC sample at
+// ratio m.
+func (p ViewProfile) samplingError(m float64) float64 {
+	if m <= 0 {
+		return math.Inf(1)
+	}
+	return p.SampleNoise / math.Sqrt(m*p.Rows)
+}
+
+// stalenessError is the query error after `records` unapplied updates.
+func (p ViewProfile) stalenessError(records float64) float64 {
+	return records / p.StaleScale
+}
+
+// MaxError simulates a maintenance regime at fixed ingest throughput and
+// returns the maximum query error observed within a maintenance period
+// (Figure 15's metric).
+//
+// Regime: the full view is IVM-maintained every ivmBatch records. With SVC
+// (m > 0), the sample view is additionally cleaned every svcBatch records;
+// between cleanings the *sample* is stale too. The error at any time is
+// the best available answer: min(stale full view, SVC estimate).
+func MaxError(p ViewProfile, ivmBatch float64, m float64, svcBatch float64) float64 {
+	if m <= 0 {
+		// IVM alone: the error peaks just before the batch lands.
+		return p.stalenessError(ivmBatch)
+	}
+	// With SVC, the error at time t (in accumulated records) is the best
+	// available answer, min(staleFull(t), sampErr + staleSample(t mod
+	// svcBatch)). Both components are increasing between refresh points,
+	// so the period maximum is attained just before a cleaning (sample
+	// staleness ≈ svcBatch) or at the period end, whichever binds:
+	peakSVC := p.samplingError(m) + p.stalenessError(math.Min(svcBatch, ivmBatch))
+	peakFull := p.stalenessError(ivmBatch)
+	return math.Min(peakSVC, peakFull)
+}
+
+// svcOverheadSec is the fixed cost of one SVC cleaning job.
+const svcOverheadSec = 1.0
+
+// SVCBatchFor sizes the SVC cleaning batch so the cleaning work (ratio m
+// of the update volume plus a small fixed cost) fits the cluster capacity
+// left over at the target ingest rate — the feedback that makes large m
+// refresh *less* often and creates Figure 15's interior optimum.
+func (c ClusterConfig) SVCBatchFor(p ViewProfile, target, m float64) float64 {
+	// Spare wall-time fraction at the operating batch size: barriers and
+	// straggler tails (one minute of updates as the reference window).
+	b := target * 60
+	spareRate := c.IdleTime(b) / c.BatchTime(b)
+	// Cleaning s records costs svcOverheadSec + m·s/(svcFraction·rate·W)
+	// seconds and must fit in spareRate·(s/target) wall seconds:
+	//   s = overhead / (spare/target − m/(svcFraction·rW))
+	rW := p.CleanParallelism * c.RecordRate * float64(c.Workers)
+	den := spareRate/target - m/rW
+	if den <= 0 {
+		return math.Inf(1) // cleaning can never keep up at this ratio
+	}
+	s := svcOverheadSec / den
+	if s < target { // at least one second of updates per cleaning
+		s = target
+	}
+	return s
+}
+
+// UtilizationTrace returns per-second cluster CPU utilization over one IVM
+// batch, without and with a concurrent SVC thread (Figure 16): IVM alone
+// shows deep idle dips at shuffle barriers; SVC fills them.
+func (c ClusterConfig) UtilizationTrace(n float64, withSVC bool, m float64) []float64 {
+	total := c.BatchTime(n)
+	compute := n / (c.RecordRate * float64(c.Workers))
+	seconds := int(math.Ceil(total))
+	trace := make([]float64, seconds)
+
+	// Lay out the batch: overhead, then alternating compute slices and
+	// barriers.
+	type phase struct {
+		dur  float64
+		util float64
+	}
+	var phases []phase
+	phases = append(phases, phase{c.BatchOverhead, 0.30})
+	slices := c.ShufflePhases + 1
+	for i := 0; i < slices; i++ {
+		phases = append(phases, phase{compute * (1 + c.Straggler) / float64(slices), 0.85})
+		if i < c.ShufflePhases {
+			phases = append(phases, phase{c.BarrierTime, 0.15})
+		}
+	}
+	svcBudget := 0.0
+	if withSVC {
+		svcBudget = c.BatchOverhead/2 + m*compute // worker-seconds of SVC work
+	}
+	t := 0.0
+	pi := 0
+	rem := phases[0].dur
+	for s := 0; s < seconds; s++ {
+		// find utilization of the phase covering second s
+		for rem <= 0 && pi < len(phases)-1 {
+			pi++
+			rem = phases[pi].dur
+		}
+		u := phases[pi].util
+		if withSVC && u < 0.80 && svcBudget > 0 {
+			// SVC soaks idle capacity up to ~92% total utilization.
+			take := math.Min(svcBudget, (0.92-u)*1.0)
+			u += take
+			svcBudget -= take
+		}
+		trace[s] = u
+		rem -= 1
+		t += 1
+	}
+	_ = t
+	return trace
+}

@@ -1,0 +1,177 @@
+package minibatch
+
+import (
+	"math"
+	"testing"
+)
+
+func batchSizes() []float64 {
+	return []float64{1e6, 2e6, 5e6, 1e7, 2e7, 5e7, 1e8, 2e8}
+}
+
+func TestThroughputRisesWithBatchSize(t *testing.T) {
+	c := DefaultCluster()
+	prev := 0.0
+	for _, b := range batchSizes() {
+		thr := c.Throughput(b)
+		if thr <= prev {
+			t.Errorf("throughput should rise with batch size: %v at %v (prev %v)", thr, b, prev)
+		}
+		prev = thr
+	}
+	// Saturation: never exceeds aggregate worker rate.
+	cap := c.RecordRate * float64(c.Workers)
+	if c.Throughput(1e10) > cap {
+		t.Errorf("throughput exceeds capacity")
+	}
+	// Small batches are much slower than large ones (paper: ~10x).
+	ratio := c.Throughput(2e8) / c.Throughput(1e6)
+	if ratio < 5 {
+		t.Errorf("small-batch penalty only %.1fx, expected >5x", ratio)
+	}
+}
+
+func TestTwoThreadsReduceThroughputMostForSmallBatches(t *testing.T) {
+	c := DefaultCluster()
+	smallLoss := c.Throughput(1e6) / c.ThroughputTwoThreads(1e6, 0.1)
+	largeLoss := c.Throughput(2e8) / c.ThroughputTwoThreads(2e8, 0.1)
+	if smallLoss <= largeLoss {
+		t.Errorf("contention should hit small batches harder: small %.2fx vs large %.2fx", smallLoss, largeLoss)
+	}
+	if largeLoss > 1.5 {
+		t.Errorf("large batches should be mildly affected, got %.2fx", largeLoss)
+	}
+	if smallLoss < 1.2 {
+		t.Errorf("small batches should be clearly affected, got %.2fx", smallLoss)
+	}
+}
+
+func TestSmallestBatchFor(t *testing.T) {
+	c := DefaultCluster()
+	target := 0.6 * c.RecordRate * float64(c.Workers)
+	b1, ok := c.SmallestBatchFor(target, false, 0, batchSizes())
+	if !ok {
+		t.Fatal("no single-thread batch meets target")
+	}
+	b2, ok := c.SmallestBatchFor(target, true, 0.05, batchSizes())
+	if !ok {
+		t.Fatal("no two-thread batch meets target")
+	}
+	if b2 < b1 {
+		t.Errorf("two threads should need a larger (or equal) batch: %v vs %v", b2, b1)
+	}
+	if _, ok := c.SmallestBatchFor(1e12, false, 0, batchSizes()); ok {
+		t.Error("unreachable target should fail")
+	}
+}
+
+// Figure 15's shape: IVM+SVC beats IVM alone at a fixed throughput, and
+// the error curve over m has an interior minimum.
+func TestMaxErrorInteriorOptimum(t *testing.T) {
+	c := DefaultCluster()
+	for _, p := range []ViewProfile{V2Profile(), V5Profile()} {
+		target := 0.55 * c.RecordRate * float64(c.Workers)
+		bIVM, ok := c.SmallestBatchFor(target, false, 0, batchSizes())
+		if !ok {
+			t.Fatal("no IVM batch")
+		}
+		ivmOnly := MaxError(p, bIVM, 0, 0)
+
+		ratios := []float64{0.01, 0.02, 0.03, 0.04, 0.06, 0.08, 0.12, 0.16, 0.20}
+		errs := make([]float64, len(ratios))
+		best, bestIdx := math.Inf(1), -1
+		for i, m := range ratios {
+			bTwo, ok := c.SmallestBatchFor(target, true, m, batchSizes())
+			if !ok {
+				errs[i] = math.Inf(1)
+				continue
+			}
+			svcBatch := c.SVCBatchFor(p, target, m)
+			errs[i] = MaxError(p, bTwo, m, svcBatch)
+			if errs[i] < best {
+				best, bestIdx = errs[i], i
+			}
+		}
+		if bestIdx <= 0 || bestIdx >= len(ratios)-1 {
+			t.Errorf("%s: optimum at boundary (idx %d, errs %v)", p.Name, bestIdx, errs)
+		}
+		if best >= ivmOnly {
+			t.Errorf("%s: best IVM+SVC error %.4f should beat IVM-only %.4f", p.Name, best, ivmOnly)
+		}
+		t.Logf("%s: IVM-only max err %.4f; best IVM+SVC %.4f at m=%v", p.Name, ivmOnly, best, ratios[bestIdx])
+	}
+}
+
+// V5 is noisier, so its optimal sampling ratio is larger than V2's
+// (paper: 3% vs 6%).
+func TestOptimalRatioOrdering(t *testing.T) {
+	c := DefaultCluster()
+	target := 0.55 * c.RecordRate * float64(c.Workers)
+	ratios := []float64{0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.08, 0.10, 0.14, 0.18}
+	argmin := func(p ViewProfile) float64 {
+		best, bestM := math.Inf(1), 0.0
+		for _, m := range ratios {
+			b, ok := c.SmallestBatchFor(target, true, m, batchSizes())
+			if !ok {
+				continue
+			}
+			e := MaxError(p, b, m, c.SVCBatchFor(p, target, m))
+			if e < best {
+				best, bestM = e, m
+			}
+		}
+		return bestM
+	}
+	m2, m5 := argmin(V2Profile()), argmin(V5Profile())
+	t.Logf("optimal m: V2=%v V5=%v", m2, m5)
+	if m5 <= m2 {
+		t.Errorf("V5's optimum (%v) should exceed V2's (%v)", m5, m2)
+	}
+}
+
+func TestUtilizationTraceShapes(t *testing.T) {
+	c := DefaultCluster()
+	n := 5e7
+	plain := c.UtilizationTrace(n, false, 0)
+	svc := c.UtilizationTrace(n, true, 0.10)
+	if len(plain) != len(svc) || len(plain) == 0 {
+		t.Fatalf("trace lengths: %d vs %d", len(plain), len(svc))
+	}
+	meanPlain, meanSVC, minPlain := 0.0, 0.0, 1.0
+	for i := range plain {
+		meanPlain += plain[i]
+		meanSVC += svc[i]
+		if plain[i] < minPlain {
+			minPlain = plain[i]
+		}
+		if svc[i] < plain[i]-1e-9 {
+			t.Fatalf("SVC trace dips below plain at %d: %v < %v", i, svc[i], plain[i])
+		}
+		if svc[i] > 1.0 {
+			t.Fatalf("utilization above 1: %v", svc[i])
+		}
+	}
+	meanPlain /= float64(len(plain))
+	meanSVC /= float64(len(svc))
+	if minPlain > 0.3 {
+		t.Errorf("plain trace should show idle dips, min %v", minPlain)
+	}
+	if meanSVC <= meanPlain {
+		t.Errorf("SVC should raise mean utilization: %.2f vs %.2f", meanSVC, meanPlain)
+	}
+}
+
+func TestIdleTimeGrowsWithBatch(t *testing.T) {
+	c := DefaultCluster()
+	if c.IdleTime(1e8) <= c.IdleTime(1e6) {
+		t.Error("straggler idle should grow with batch size")
+	}
+}
+
+func TestSVCBatchForInfeasibleRatio(t *testing.T) {
+	c := DefaultCluster()
+	// An absurd ratio cannot keep up with the spare capacity.
+	if !math.IsInf(c.SVCBatchFor(V2Profile(), 0.9*c.RecordRate*float64(c.Workers), 0.99), 1) {
+		t.Error("near-full sampling at near-capacity ingest should be infeasible")
+	}
+}

@@ -1,0 +1,199 @@
+// Package outlier implements the paper's Section 6: outlier indexing to
+// reduce sampling's sensitivity to long-tailed data.
+//
+// An Index tracks, in a single pass over the base data and its staged
+// updates, the records whose indexed attribute exceeds a threshold —
+// bounded by a size limit with smallest-record eviction. The push-up rules
+// (Definition 5) propagate those records through the view definition to
+// materialize the outlier partition O ⊆ S′; the estimators then treat O
+// as a deterministic (ratio-1) stratum merged with the sampled stratum
+// (Section 6.3, implemented in package estimator).
+package outlier
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"github.com/sampleclean/svc/internal/db"
+	"github.com/sampleclean/svc/internal/relation"
+	"github.com/sampleclean/svc/internal/stats"
+)
+
+// Index is a bounded outlier index on one attribute of one base relation.
+type Index struct {
+	table     string
+	attr      string
+	attrIdx   int
+	threshold float64
+	limit     int
+	schema    relation.Schema
+	h         recHeap // min-heap by attribute value for eviction
+}
+
+// NewIndex creates an index on table.attr keeping at most limit records
+// with attr > threshold. The schema is the base table's schema.
+func NewIndex(table, attr string, schema relation.Schema, threshold float64, limit int) (*Index, error) {
+	idx := schema.ColIndex(attr)
+	if idx < 0 {
+		return nil, fmt.Errorf("outlier: attribute %q not in schema of %s", attr, table)
+	}
+	if limit <= 0 {
+		return nil, fmt.Errorf("outlier: index needs a positive size limit")
+	}
+	return &Index{table: table, attr: attr, attrIdx: idx, threshold: threshold, limit: limit, schema: schema}, nil
+}
+
+// Table returns the indexed base table's name.
+func (ix *Index) Table() string { return ix.table }
+
+// Attr returns the indexed attribute.
+func (ix *Index) Attr() string { return ix.attr }
+
+// Threshold returns the current threshold t.
+func (ix *Index) Threshold() float64 { return ix.threshold }
+
+// Len returns the number of indexed records.
+func (ix *Index) Len() int { return len(ix.h.rows) }
+
+// Observe offers one record to the index (the paper's single pass over
+// updates). Records at or below the threshold are ignored; when full, the
+// incoming record evicts the smallest indexed record if it is greater.
+func (ix *Index) Observe(row relation.Row) {
+	v := row[ix.attrIdx]
+	if v.IsNull() {
+		return
+	}
+	x := v.AsFloat()
+	if x <= ix.threshold {
+		return
+	}
+	if len(ix.h.rows) < ix.limit {
+		heap.Push(&ix.h, rec{val: x, row: row})
+		return
+	}
+	if x > ix.h.rows[0].val {
+		ix.h.rows[0] = rec{val: x, row: row}
+		heap.Fix(&ix.h, 0)
+	}
+}
+
+// BuildFromTable populates the index in one pass over the table's current
+// base rows and staged insertions, skipping staged deletions — i.e. the
+// up-to-date contents, without maintaining any view.
+func (ix *Index) BuildFromTable(t *db.Table) error {
+	if t.Name() != ix.table {
+		return fmt.Errorf("outlier: index on %s fed from table %s", ix.table, t.Name())
+	}
+	keyIdx := t.Schema().Key()
+	deleted := func(row relation.Row) bool {
+		_, gone := t.Deletions().GetByEncodedKey(row.KeyOf(keyIdx))
+		return gone
+	}
+	for _, row := range t.Rows().Rows() {
+		if !deleted(row) {
+			ix.Observe(row)
+		}
+	}
+	for _, row := range t.Insertions().Rows() {
+		ix.Observe(row)
+	}
+	return nil
+}
+
+// Records returns the indexed records as a keyed relation (base schema).
+func (ix *Index) Records() *relation.Relation {
+	out := relation.New(ix.schema)
+	for _, r := range ix.h.rows {
+		// Upsert: an updated record may have been observed twice (old
+		// base row and staged insertion); keep whichever survived the
+		// heap, newest wins on ties.
+		_, _ = out.Upsert(r.row)
+	}
+	return out
+}
+
+// Reset clears the indexed records, keeping the configuration.
+func (ix *Index) Reset() { ix.h.rows = nil }
+
+// SetThreshold updates the threshold (adaptive re-tuning between
+// maintenance periods, Section 6.1). Existing entries below the new
+// threshold are dropped.
+func (ix *Index) SetThreshold(t float64) {
+	ix.threshold = t
+	kept := ix.h.rows[:0]
+	for _, r := range ix.h.rows {
+		if r.val > t {
+			kept = append(kept, r)
+		}
+	}
+	ix.h.rows = kept
+	heap.Init(&ix.h)
+}
+
+// rec is one indexed record.
+type rec struct {
+	val float64
+	row relation.Row
+}
+
+// recHeap is a min-heap of records by attribute value.
+type recHeap struct{ rows []rec }
+
+func (h recHeap) Len() int            { return len(h.rows) }
+func (h recHeap) Less(i, j int) bool  { return h.rows[i].val < h.rows[j].val }
+func (h recHeap) Swap(i, j int)       { h.rows[i], h.rows[j] = h.rows[j], h.rows[i] }
+func (h *recHeap) Push(x interface{}) { h.rows = append(h.rows, x.(rec)) }
+func (h *recHeap) Pop() interface{} {
+	old := h.rows
+	n := len(old)
+	x := old[n-1]
+	h.rows = old[:n-1]
+	return x
+}
+
+// TopKThreshold returns the threshold that admits roughly the top k values
+// of attr in the table's current contents — the paper's top-k strategy:
+// the attribute value of the lowest top-k record becomes t.
+func TopKThreshold(t *db.Table, attr string, k int) (float64, error) {
+	idx := t.Schema().ColIndex(attr)
+	if idx < 0 {
+		return 0, fmt.Errorf("outlier: attribute %q not in %s", attr, t.Name())
+	}
+	var vals []float64
+	for _, row := range t.Rows().Rows() {
+		if !row[idx].IsNull() {
+			vals = append(vals, row[idx].AsFloat())
+		}
+	}
+	if len(vals) == 0 {
+		return 0, nil
+	}
+	if k >= len(vals) {
+		lo := vals[0]
+		for _, v := range vals {
+			if v < lo {
+				lo = v
+			}
+		}
+		return math.Nextafter(lo, math.Inf(-1)), nil
+	}
+	p := 1 - float64(k)/float64(len(vals))
+	return stats.Quantile(vals, p), nil
+}
+
+// SigmaThreshold returns mean + c·stdev of attr over the table's current
+// contents — the paper's alternative c-standard-deviations strategy.
+func SigmaThreshold(t *db.Table, attr string, c float64) (float64, error) {
+	idx := t.Schema().ColIndex(attr)
+	if idx < 0 {
+		return 0, fmt.Errorf("outlier: attribute %q not in %s", attr, t.Name())
+	}
+	var vals []float64
+	for _, row := range t.Rows().Rows() {
+		if !row[idx].IsNull() {
+			vals = append(vals, row[idx].AsFloat())
+		}
+	}
+	return stats.Mean(vals) + c*stats.Stdev(vals), nil
+}

@@ -1,0 +1,237 @@
+package outlier
+
+import (
+	"fmt"
+
+	"github.com/sampleclean/svc/internal/algebra"
+	"github.com/sampleclean/svc/internal/clean"
+	"github.com/sampleclean/svc/internal/db"
+	"github.com/sampleclean/svc/internal/estimator"
+	"github.com/sampleclean/svc/internal/expr"
+	"github.com/sampleclean/svc/internal/relation"
+	"github.com/sampleclean/svc/internal/view"
+)
+
+// outlierBinding is the context name under which the indexed records are
+// bound during push-up evaluation.
+func outlierBinding(table string) string { return "⊙" + table }
+
+// Eligible implements the Definition 5 base case: an outlier index on a
+// base relation propagates upward only if that relation is being sampled,
+// i.e. the cleaner's push-down reached a scan of the table or one of its
+// delta relations.
+func Eligible(c *clean.Cleaner, ix *Index) bool {
+	found := false
+	algebra.Walk(c.Expression(), func(n algebra.Node) {
+		h, ok := n.(*algebra.HashFilterNode)
+		if !ok {
+			return
+		}
+		s, ok := h.Children()[0].(*algebra.ScanNode)
+		if !ok {
+			return
+		}
+		switch s.Name() {
+		case ix.table, db.InsOf(ix.table), db.DelOf(ix.table):
+			found = true
+		}
+	})
+	return found
+}
+
+// Materializer propagates a base-relation outlier index up a view
+// definition (Definition 5) to materialize the outlier partition O ⊆ S′.
+type Materializer struct {
+	v       *view.View
+	ix      *Index
+	agg     *algebra.AggregateNode // nil for SPJ views
+	inner   algebra.Node           // the SPJ body (below γ when agg != nil)
+	ctPlan  algebra.Node           // change table over the delta stream (agg only)
+	ctAggs  []algebra.AggSpec
+	upPlan  algebra.Node // inner with outlier scan substituted, other scans updated
+	touches bool         // plan actually references the indexed table
+}
+
+// NewMaterializer validates that the view's shape supports push-up
+// (σ/Π/⋈ body, optionally under a single count/sum γ) and prepares the
+// substituted plans.
+func NewMaterializer(v *view.View, ix *Index) (*Materializer, error) {
+	mz := &Materializer{v: v, ix: ix}
+	plan := v.Definition().Plan
+	if agg, ok := plan.(*algebra.AggregateNode); ok {
+		mz.agg = agg
+		mz.inner = agg.Children()[0]
+		for _, s := range agg.Aggs() {
+			switch s.Func {
+			case algebra.Count:
+				mz.ctAggs = append(mz.ctAggs, algebra.SumAs(expr.Col(view.MultCol), s.As))
+			case algebra.Sum:
+				mz.ctAggs = append(mz.ctAggs, algebra.SumAs(expr.Mul(expr.Col(view.MultCol), s.Input), s.As))
+			default:
+				return nil, fmt.Errorf("outlier: %s aggregate not supported by push-up", s.Func)
+			}
+		}
+		delta, err := view.DeltaPlan(mz.inner)
+		if err != nil {
+			return nil, fmt.Errorf("outlier: %w", err)
+		}
+		ct, err := algebra.GroupBy(delta, agg.GroupKeys(), mz.ctAggs...)
+		if err != nil {
+			return nil, err
+		}
+		mz.ctPlan = ct
+	} else {
+		mz.inner = plan
+	}
+	up, err := mz.substitute(mz.inner)
+	if err != nil {
+		return nil, err
+	}
+	mz.upPlan = up
+	if !mz.touches {
+		return nil, fmt.Errorf("outlier: view %s does not read table %s", v.Name(), ix.table)
+	}
+	return mz, nil
+}
+
+// substitute replaces the indexed table's scan with the outlier binding
+// and all other scans with their updated forms (R − ∇R) ∪ ΔR.
+func (mz *Materializer) substitute(n algebra.Node) (algebra.Node, error) {
+	if s, ok := n.(*algebra.ScanNode); ok {
+		if s.Name() == mz.ix.table {
+			mz.touches = true
+			return algebra.Scan(outlierBinding(s.Name()), s.Schema()), nil
+		}
+		base := algebra.Scan(s.Name(), s.Schema())
+		del := algebra.Scan(db.DelOf(s.Name()), s.Schema())
+		ins := algebra.Scan(db.InsOf(s.Name()), s.Schema())
+		minus, err := algebra.Difference(base, del)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Union(minus, ins)
+	}
+	children := n.Children()
+	if len(children) == 0 {
+		return n, nil
+	}
+	newCh := make([]algebra.Node, len(children))
+	for i, c := range children {
+		nc, err := mz.substitute(c)
+		if err != nil {
+			return nil, err
+		}
+		newCh[i] = nc
+	}
+	return n.WithChildren(newCh), nil
+}
+
+// Materialize evaluates the push-up against the current staged deltas and
+// returns the outlier partition for the estimators: up-to-date rows of S′
+// whose provenance includes an indexed record, plus the stale view's rows
+// under the same keys.
+func (mz *Materializer) Materialize(d *db.Database) (*estimator.OutlierSet, error) {
+	ctx := d.Context()
+	mz.v.BindInto(ctx)
+	ctx.Bind(outlierBinding(mz.ix.table), mz.ix.Records())
+
+	contrib, err := mz.upPlan.Eval(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("outlier: push-up for %s: %w", mz.v.Name(), err)
+	}
+
+	o := &estimator.OutlierSet{
+		Fresh: relation.New(mz.v.Schema()),
+		Stale: relation.New(mz.v.Schema()),
+	}
+	keyIdx := mz.v.Schema().Key()
+
+	if mz.agg == nil {
+		// SPJ view: the contributing rows are exactly the outlier view
+		// rows.
+		for _, row := range contrib.Rows() {
+			if _, err := o.Fresh.Upsert(row); err != nil {
+				return nil, err
+			}
+		}
+		mz.fillStale(o, keyIdx)
+		return o, nil
+	}
+
+	// Aggregate view (Definition 5 γ rule): the groups touched by outlier
+	// records, with their FULL up-to-date aggregates — stale row merged
+	// with the change table for that group.
+	groupIdxInner := make([]int, 0, len(mz.agg.GroupKeys()))
+	for _, g := range mz.agg.GroupKeys() {
+		j := contrib.Schema().ColIndex(g)
+		if j < 0 {
+			return nil, fmt.Errorf("outlier: group key %q missing from push-up output", g)
+		}
+		groupIdxInner = append(groupIdxInner, j)
+	}
+	ct, err := mz.ctPlan.Eval(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("outlier: change table: %w", err)
+	}
+
+	nGroup := len(mz.agg.GroupKeys())
+	specs := mz.agg.Aggs()
+	seen := map[string]bool{}
+	for _, row := range contrib.Rows() {
+		gk := row.KeyOf(groupIdxInner)
+		if seen[gk] {
+			continue
+		}
+		seen[gk] = true
+		staleRow, hasStale := mz.v.Data().GetByEncodedKey(gk)
+		ctRow, hasCT := ct.GetByEncodedKey(gk)
+
+		out := make(relation.Row, mz.v.Schema().NumCols())
+		for i, j := range groupIdxInner {
+			out[i] = row[j]
+		}
+		// A group is dropped only when a count column proves it empty;
+		// without a count there is no superfluous-row evidence.
+		alive := true
+		for _, spec := range specs {
+			if spec.Func == algebra.Count {
+				alive = false
+				break
+			}
+		}
+		for i, spec := range specs {
+			cur := 0.0
+			if hasStale && !staleRow[nGroup+i].IsNull() {
+				cur = staleRow[nGroup+i].AsFloat()
+			}
+			if hasCT && !ctRow[nGroup+i].IsNull() {
+				cur += ctRow[nGroup+i].AsFloat()
+			}
+			if spec.Func == algebra.Count {
+				out[nGroup+i] = relation.Int(int64(cur + 0.5))
+				if cur > 0 {
+					alive = true
+				}
+			} else {
+				out[nGroup+i] = relation.Float(cur)
+			}
+		}
+		if !alive {
+			continue // group vanished (superfluous)
+		}
+		if _, err := o.Fresh.Upsert(out); err != nil {
+			return nil, err
+		}
+	}
+	mz.fillStale(o, keyIdx)
+	return o, nil
+}
+
+// fillStale copies the stale view's rows for every outlier key.
+func (mz *Materializer) fillStale(o *estimator.OutlierSet, keyIdx []int) {
+	for _, row := range o.Fresh.Rows() {
+		if st, ok := mz.v.Data().GetByEncodedKey(row.KeyOf(keyIdx)); ok {
+			_, _ = o.Stale.Upsert(st)
+		}
+	}
+}

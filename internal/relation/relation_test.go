@@ -1,0 +1,288 @@
+package relation
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func videoSchema() Schema {
+	return NewSchema([]Column{
+		{Name: "videoId", Type: KindInt},
+		{Name: "ownerId", Type: KindInt},
+		{Name: "duration", Type: KindFloat},
+	}, "videoId")
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := videoSchema()
+	if s.NumCols() != 3 {
+		t.Fatalf("NumCols = %d", s.NumCols())
+	}
+	if s.ColIndex("ownerId") != 1 {
+		t.Errorf("ColIndex(ownerId) = %d", s.ColIndex("ownerId"))
+	}
+	if s.ColIndex("nope") != -1 {
+		t.Errorf("ColIndex(nope) should be -1")
+	}
+	if got := s.KeyNames(); len(got) != 1 || got[0] != "videoId" {
+		t.Errorf("KeyNames = %v", got)
+	}
+	if !s.HasKey() {
+		t.Error("HasKey should be true")
+	}
+	if !strings.Contains(s.String(), "KEY(videoId)") {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestSchemaPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("dup", func() {
+		NewSchema([]Column{{Name: "a"}, {Name: "a"}})
+	})
+	mustPanic("badkey", func() {
+		NewSchema([]Column{{Name: "a"}}, "b")
+	})
+	mustPanic("empty", func() {
+		NewSchema([]Column{{Name: ""}})
+	})
+}
+
+func TestSchemaRename(t *testing.T) {
+	s := videoSchema().Rename(func(n string) string { return "v." + n })
+	if s.ColIndex("v.videoId") != 0 {
+		t.Errorf("renamed schema: %v", s.Names())
+	}
+	if got := s.KeyNames(); got[0] != "v.videoId" {
+		t.Errorf("renamed key = %v", got)
+	}
+}
+
+func TestInsertGetDelete(t *testing.T) {
+	r := New(videoSchema())
+	if err := r.Insert(Row{Int(1), Int(10), Float(1.5)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Insert(Row{Int(2), Int(10), Float(0.5)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Insert(Row{Int(1), Int(99), Float(9)}); err == nil {
+		t.Fatal("duplicate key insert should fail")
+	}
+	row, ok := r.Get(Int(1))
+	if !ok || !row[1].Equal(Int(10)) {
+		t.Fatalf("Get(1) = %v, %v", row, ok)
+	}
+	if !r.Delete(Int(1)) {
+		t.Fatal("Delete(1) should succeed")
+	}
+	if r.Delete(Int(1)) {
+		t.Fatal("second Delete(1) should fail")
+	}
+	if _, ok := r.Get(Int(1)); ok {
+		t.Fatal("Get(1) after delete should fail")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	// The swapped-in row must still be findable.
+	if _, ok := r.Get(Int(2)); !ok {
+		t.Fatal("Get(2) after swap-delete should succeed")
+	}
+}
+
+func TestInsertTypeChecking(t *testing.T) {
+	r := New(videoSchema())
+	if err := r.Insert(Row{Int(1), Int(2)}); err == nil {
+		t.Error("wrong arity should fail")
+	}
+	if err := r.Insert(Row{String("x"), Int(2), Float(1)}); err == nil {
+		t.Error("wrong type should fail")
+	}
+	// Int into float column is promoted.
+	if err := r.Insert(Row{Int(1), Int(2), Int(3)}); err != nil {
+		t.Errorf("int->float promotion failed: %v", err)
+	}
+	row, _ := r.Get(Int(1))
+	if row[2].Kind() != KindFloat {
+		t.Errorf("promoted kind = %v", row[2].Kind())
+	}
+	// NULL goes anywhere.
+	if err := r.Insert(Row{Int(2), Null(), Null()}); err != nil {
+		t.Errorf("NULL insert failed: %v", err)
+	}
+}
+
+func TestUpsert(t *testing.T) {
+	r := New(videoSchema())
+	replaced, err := r.Upsert(Row{Int(1), Int(10), Float(1)})
+	if err != nil || replaced {
+		t.Fatalf("first upsert: %v %v", replaced, err)
+	}
+	replaced, err = r.Upsert(Row{Int(1), Int(20), Float(2)})
+	if err != nil || !replaced {
+		t.Fatalf("second upsert: %v %v", replaced, err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	row, _ := r.Get(Int(1))
+	if !row[1].Equal(Int(20)) {
+		t.Errorf("upsert did not replace: %v", row)
+	}
+}
+
+func TestDeleteWhere(t *testing.T) {
+	r := New(videoSchema())
+	for i := 0; i < 10; i++ {
+		r.MustInsert(Row{Int(int64(i)), Int(int64(i % 2)), Float(float64(i))})
+	}
+	n := r.DeleteWhere(func(row Row) bool { return row[1].AsInt() == 0 })
+	if n != 5 || r.Len() != 5 {
+		t.Fatalf("DeleteWhere removed %d, len %d", n, r.Len())
+	}
+	for _, row := range r.Rows() {
+		if row[1].AsInt() == 0 {
+			t.Fatalf("row %v should be gone", row)
+		}
+	}
+	// Index still coherent after reindex.
+	if _, ok := r.Get(Int(3)); !ok {
+		t.Fatal("Get(3) should still work")
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	r := New(videoSchema())
+	r.MustInsert(Row{Int(1), Int(1), Float(1)})
+	c := r.Clone()
+	c.MustInsert(Row{Int(2), Int(2), Float(2)})
+	c.Delete(Int(1))
+	if r.Len() != 1 {
+		t.Fatalf("original mutated: len %d", r.Len())
+	}
+	if _, ok := r.Get(Int(1)); !ok {
+		t.Fatal("original lost row 1")
+	}
+}
+
+func TestEqualAndSort(t *testing.T) {
+	a := New(videoSchema())
+	b := New(videoSchema())
+	for i := 0; i < 5; i++ {
+		a.MustInsert(Row{Int(int64(i)), Int(1), Float(1)})
+	}
+	for i := 4; i >= 0; i-- {
+		b.MustInsert(Row{Int(int64(i)), Int(1), Float(1)})
+	}
+	if !a.Equal(b) {
+		t.Fatal("keyed relations with same rows should be Equal regardless of order")
+	}
+	b.SortByKey()
+	if b.Row(0)[0].AsInt() != 0 {
+		t.Fatalf("SortByKey order wrong: %v", b.Row(0))
+	}
+	b.Delete(Int(0))
+	if a.Equal(b) {
+		t.Fatal("relations of different size should differ")
+	}
+}
+
+// Property: after any random sequence of insert/delete operations, the
+// index agrees with a naive linear scan.
+func TestIndexConsistencyQuick(t *testing.T) {
+	f := func(seed int64, opsRaw []uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := New(NewSchema([]Column{{Name: "k", Type: KindInt}, {Name: "v", Type: KindInt}}, "k"))
+		shadow := map[int64]int64{}
+		for _, op := range opsRaw {
+			k := int64(op % 32)
+			switch {
+			case op < 128:
+				v := rng.Int63n(1000)
+				r.Upsert(Row{Int(k), Int(v)})
+				shadow[k] = v
+			default:
+				r.Delete(Int(k))
+				delete(shadow, k)
+			}
+		}
+		if r.Len() != len(shadow) {
+			return false
+		}
+		for k, v := range shadow {
+			row, ok := r.Get(Int(k))
+			if !ok || row[1].AsInt() != v {
+				return false
+			}
+		}
+		// every physical row must be indexed at its own position
+		for i, row := range r.Rows() {
+			got, ok := r.GetByEncodedKey(row.KeyOf([]int{0}))
+			if !ok || !got.Equal(row) {
+				return false
+			}
+			_ = i
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSecondaryIndexes(t *testing.T) {
+	r := New(videoSchema())
+	for i := int64(0); i < 10; i++ {
+		r.MustInsert(Row{Int(i), Int(i % 3), Float(float64(i))})
+	}
+	ownerCol := []int{1}
+	if r.HasIndex(ownerCol) {
+		t.Fatal("no index should exist yet")
+	}
+	// The primary key always answers HasIndex.
+	if !r.HasIndex([]int{0}) {
+		t.Fatal("primary key should count as an index")
+	}
+	if pos := r.Probe([]int{0}, Row{Int(4)}.KeyOf([]int{0})); len(pos) != 1 || r.Row(pos[0])[0].AsInt() != 4 {
+		t.Fatalf("PK probe = %v", pos)
+	}
+	r.BuildIndex(ownerCol)
+	if !r.HasIndex(ownerCol) {
+		t.Fatal("secondary index should exist")
+	}
+	pos := r.Probe(ownerCol, Row{Int(1)}.KeyOf([]int{0}))
+	if len(pos) != 3 { // owners cycle mod 3 over 10 rows: owner 1 has rows 1,4,7
+		t.Fatalf("probe(owner=1) = %v", pos)
+	}
+	for _, p := range pos {
+		if r.Row(p)[1].AsInt() != 1 {
+			t.Fatalf("probe returned wrong row %v", r.Row(p))
+		}
+	}
+	// Mutations invalidate secondary indexes.
+	r.MustInsert(Row{Int(100), Int(1), Float(0)})
+	if r.HasIndex(ownerCol) {
+		t.Fatal("insert should invalidate secondary indexes")
+	}
+	r.BuildIndex(ownerCol)
+	r.Delete(Int(100))
+	if r.HasIndex(ownerCol) {
+		t.Fatal("delete should invalidate secondary indexes")
+	}
+	// Probe on a missing value is empty, not a panic.
+	r.BuildIndex(ownerCol)
+	if got := r.Probe(ownerCol, Row{Int(99)}.KeyOf([]int{0})); len(got) != 0 {
+		t.Fatalf("probe(missing) = %v", got)
+	}
+}

@@ -1,0 +1,43 @@
+package relation
+
+// Row is one tuple. Rows are positional; the schema gives names to the
+// positions. Rows are treated as immutable once inserted into a Relation —
+// mutate only through Relation methods so the primary-key index stays
+// consistent.
+type Row []Value
+
+// Clone returns a copy of the row.
+func (r Row) Clone() Row { return append(Row(nil), r...) }
+
+// Equal reports element-wise equality.
+func (r Row) Equal(o Row) bool {
+	if len(r) != len(o) {
+		return false
+	}
+	for i := range r {
+		if !r[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// KeyOf encodes the values of the given column indexes into a canonical
+// composite key string. The encoding is injective, so two rows produce the
+// same key iff all key values are equal.
+func (r Row) KeyOf(keyIdx []int) string {
+	var buf []byte
+	for _, k := range keyIdx {
+		buf = r[k].appendEncoded(buf)
+	}
+	return string(buf)
+}
+
+// EncodeCols appends the canonical encoding of the given columns to dst.
+// It is the byte-level input to the deterministic hash sampler.
+func (r Row) EncodeCols(keyIdx []int, dst []byte) []byte {
+	for _, k := range keyIdx {
+		dst = r[k].appendEncoded(dst)
+	}
+	return dst
+}

@@ -1,0 +1,160 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a schema.
+type Column struct {
+	// Name is the attribute name. Names are case-sensitive and must be
+	// unique within a schema.
+	Name string
+	// Type is the declared kind. Values of KindNull are accepted in any
+	// column (SQL NULL); otherwise inserted values must match the type.
+	Type Kind
+}
+
+// Schema describes the attributes of a relation and which of them form the
+// primary key (paper Section 3.1: every base relation has a primary key, and
+// Definition 2 derives one for every node of an expression tree).
+type Schema struct {
+	cols   []Column
+	key    []int // indexes into cols; ordered
+	byName map[string]int
+}
+
+// NewSchema builds a schema from columns and the names of the primary-key
+// attributes. It panics on duplicate column names or unknown key names:
+// schemas are built by code, not data, so a malformed schema is a programmer
+// error.
+func NewSchema(cols []Column, key ...string) Schema {
+	s := Schema{cols: append([]Column(nil), cols...), byName: make(map[string]int, len(cols))}
+	for i, c := range s.cols {
+		if c.Name == "" {
+			panic("relation: empty column name")
+		}
+		if _, dup := s.byName[c.Name]; dup {
+			panic(fmt.Sprintf("relation: duplicate column %q", c.Name))
+		}
+		s.byName[c.Name] = i
+	}
+	for _, k := range key {
+		i, ok := s.byName[k]
+		if !ok {
+			panic(fmt.Sprintf("relation: key column %q not in schema", k))
+		}
+		s.key = append(s.key, i)
+	}
+	return s
+}
+
+// Cols returns a copy of the column list.
+func (s Schema) Cols() []Column { return append([]Column(nil), s.cols...) }
+
+// NumCols reports the number of attributes.
+func (s Schema) NumCols() int { return len(s.cols) }
+
+// Col returns the i-th column.
+func (s Schema) Col(i int) Column { return s.cols[i] }
+
+// ColIndex returns the index of the named column, or -1 if absent.
+func (s Schema) ColIndex(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// HasCol reports whether the named column exists.
+func (s Schema) HasCol(name string) bool { return s.ColIndex(name) >= 0 }
+
+// Key returns a copy of the primary-key column indexes.
+func (s Schema) Key() []int { return append([]int(nil), s.key...) }
+
+// KeyNames returns the primary-key attribute names in key order.
+func (s Schema) KeyNames() []string {
+	names := make([]string, len(s.key))
+	for i, k := range s.key {
+		names[i] = s.cols[k].Name
+	}
+	return names
+}
+
+// HasKey reports whether a primary key is defined.
+func (s Schema) HasKey() bool { return len(s.key) > 0 }
+
+// WithKey returns a copy of the schema re-keyed on the named attributes.
+func (s Schema) WithKey(key ...string) Schema {
+	return NewSchema(s.cols, key...)
+}
+
+// Names returns all attribute names in order.
+func (s Schema) Names() []string {
+	names := make([]string, len(s.cols))
+	for i, c := range s.cols {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// Equal reports whether two schemas have identical columns and keys.
+func (s Schema) Equal(o Schema) bool {
+	if len(s.cols) != len(o.cols) || len(s.key) != len(o.key) {
+		return false
+	}
+	for i := range s.cols {
+		if s.cols[i] != o.cols[i] {
+			return false
+		}
+	}
+	for i := range s.key {
+		if s.key[i] != o.key[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Compatible reports whether two schemas are union-compatible: same column
+// count, names and types in order (keys may differ).
+func (s Schema) Compatible(o Schema) bool {
+	if len(s.cols) != len(o.cols) {
+		return false
+	}
+	for i := range s.cols {
+		if s.cols[i] != o.cols[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Rename returns a schema with every column renamed via fn, preserving the
+// key structure.
+func (s Schema) Rename(fn func(string) string) Schema {
+	cols := make([]Column, len(s.cols))
+	for i, c := range s.cols {
+		cols[i] = Column{Name: fn(c.Name), Type: c.Type}
+	}
+	key := make([]string, len(s.key))
+	for i, k := range s.key {
+		key[i] = cols[k].Name
+	}
+	return NewSchema(cols, key...)
+}
+
+// String renders the schema as "name:type, ... KEY(a,b)".
+func (s Schema) String() string {
+	var b strings.Builder
+	for i, c := range s.cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s:%s", c.Name, c.Type)
+	}
+	if len(s.key) > 0 {
+		fmt.Fprintf(&b, " KEY(%s)", strings.Join(s.KeyNames(), ","))
+	}
+	return b.String()
+}

@@ -1,0 +1,293 @@
+// Package relation implements the tuple and relation substrate used by the
+// SVC engine: typed scalar values, schemas with primary-key metadata, rows,
+// and in-memory primary-key-indexed relations.
+//
+// The terminology follows the paper: tuples of base relations are "records"
+// and tuples of derived relations are "rows"; both are represented by Row.
+package relation
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Kind enumerates the scalar types a Value can hold.
+type Kind uint8
+
+// The supported value kinds. KindNull is the zero value so that the zero
+// Value is a usable SQL NULL.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+)
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a dynamically typed scalar. The zero Value is NULL.
+//
+// Values are small immutable structs passed by value; they support the
+// comparisons and arithmetic needed by the expression language and by the
+// hash-sampling operator's key encoding.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// String returns a string value.
+func String(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// Kind reports the kind of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the value as an int64. Floats are truncated; NULL is 0.
+func (v Value) AsInt() int64 {
+	switch v.kind {
+	case KindInt, KindBool:
+		return v.i
+	case KindFloat:
+		return int64(v.f)
+	default:
+		return 0
+	}
+}
+
+// AsFloat returns the value as a float64. NULL is 0.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindInt, KindBool:
+		return float64(v.i)
+	case KindFloat:
+		return v.f
+	default:
+		return 0
+	}
+}
+
+// AsString returns the string payload; non-strings format themselves.
+func (v Value) AsString() string {
+	if v.kind == KindString {
+		return v.s
+	}
+	return v.String()
+}
+
+// AsBool reports the value's truthiness: non-zero numbers and true bools.
+func (v Value) AsBool() bool {
+	switch v.kind {
+	case KindBool, KindInt:
+		return v.i != 0
+	case KindFloat:
+		return v.f != 0
+	default:
+		return false
+	}
+}
+
+// String implements fmt.Stringer.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return "?"
+	}
+}
+
+// Equal reports deep equality. NULL equals NULL for the purposes of row
+// identity (primary-key handling); SQL tri-state logic lives in the
+// expression layer instead.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		// Allow cross-numeric equality so Int(2) == Float(2.0).
+		if v.isNumeric() && o.isNumeric() {
+			return v.AsFloat() == o.AsFloat()
+		}
+		return false
+	}
+	switch v.kind {
+	case KindNull:
+		return true
+	case KindString:
+		return v.s == o.s
+	case KindFloat:
+		return v.f == o.f
+	default:
+		return v.i == o.i
+	}
+}
+
+func (v Value) isNumeric() bool {
+	return v.kind == KindInt || v.kind == KindFloat || v.kind == KindBool
+}
+
+// Compare orders two values: -1 if v < o, 0 if equal, +1 if v > o.
+// NULL sorts before everything; mixed numeric kinds compare numerically;
+// otherwise kinds compare by kind order then payload.
+func (v Value) Compare(o Value) int {
+	if v.kind == KindNull || o.kind == KindNull {
+		switch {
+		case v.kind == o.kind:
+			return 0
+		case v.kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if v.isNumeric() && o.isNumeric() {
+		a, b := v.AsFloat(), o.AsFloat()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if v.kind != o.kind {
+		if v.kind < o.kind {
+			return -1
+		}
+		return 1
+	}
+	// Same non-numeric kind: string.
+	switch {
+	case v.s < o.s:
+		return -1
+	case v.s > o.s:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Add returns v + o with numeric promotion; NULL operands yield NULL.
+func (v Value) Add(o Value) Value {
+	return numericOp(v, o, func(a, b float64) float64 { return a + b }, func(a, b int64) int64 { return a + b })
+}
+
+// Sub returns v - o with numeric promotion; NULL operands yield NULL.
+func (v Value) Sub(o Value) Value {
+	return numericOp(v, o, func(a, b float64) float64 { return a - b }, func(a, b int64) int64 { return a - b })
+}
+
+// Mul returns v * o with numeric promotion; NULL operands yield NULL.
+func (v Value) Mul(o Value) Value {
+	return numericOp(v, o, func(a, b float64) float64 { return a * b }, func(a, b int64) int64 { return a * b })
+}
+
+// Div returns v / o as a float; NULL operands or a zero divisor yield NULL.
+func (v Value) Div(o Value) Value {
+	if v.IsNull() || o.IsNull() || o.AsFloat() == 0 {
+		return Null()
+	}
+	return Float(v.AsFloat() / o.AsFloat())
+}
+
+func numericOp(v, o Value, ff func(a, b float64) float64, fi func(a, b int64) int64) Value {
+	if v.IsNull() || o.IsNull() {
+		return Null()
+	}
+	if v.kind == KindFloat || o.kind == KindFloat {
+		return Float(ff(v.AsFloat(), o.AsFloat()))
+	}
+	return Int(fi(v.AsInt(), o.AsInt()))
+}
+
+// appendEncoded appends a self-delimiting canonical encoding of v to dst.
+// The encoding is injective across values of different kinds so it is safe
+// for composite key construction and deterministic hashing.
+func (v Value) appendEncoded(dst []byte) []byte {
+	switch v.kind {
+	case KindNull:
+		return append(dst, 'n', 0)
+	case KindInt:
+		dst = append(dst, 'i')
+		dst = strconv.AppendInt(dst, v.i, 10)
+		return append(dst, 0)
+	case KindFloat:
+		// Encode the bit pattern so that e.g. -0.0 and 0.0 stay distinct
+		// and the encoding is canonical.
+		dst = append(dst, 'f')
+		dst = strconv.AppendUint(dst, math.Float64bits(v.f), 16)
+		return append(dst, 0)
+	case KindString:
+		// Escape NUL and the escape byte itself so the encoding stays
+		// self-delimiting and injective for arbitrary string payloads.
+		dst = append(dst, 's')
+		for i := 0; i < len(v.s); i++ {
+			switch c := v.s[i]; c {
+			case 0x00:
+				dst = append(dst, 0x01, 0x01)
+			case 0x01:
+				dst = append(dst, 0x01, 0x02)
+			default:
+				dst = append(dst, c)
+			}
+		}
+		return append(dst, 0)
+	case KindBool:
+		dst = append(dst, 'b', byte('0'+v.i))
+		return append(dst, 0)
+	default:
+		return append(dst, '?', 0)
+	}
+}
+
+// Encode returns the canonical self-delimiting encoding of the value.
+func (v Value) Encode() []byte { return v.appendEncoded(nil) }

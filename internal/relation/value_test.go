@@ -1,0 +1,201 @@
+package relation
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Null(), KindNull, "NULL"},
+		{Int(42), KindInt, "42"},
+		{Int(-7), KindInt, "-7"},
+		{Float(2.5), KindFloat, "2.5"},
+		{String("abc"), KindString, "abc"},
+		{Bool(true), KindBool, "true"},
+		{Bool(false), KindBool, "false"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if c.v.String() != c.str {
+			t.Errorf("String() = %q, want %q", c.v.String(), c.str)
+		}
+	}
+}
+
+func TestValueZeroIsNull(t *testing.T) {
+	var v Value
+	if !v.IsNull() {
+		t.Fatal("zero Value should be NULL")
+	}
+}
+
+func TestValueConversions(t *testing.T) {
+	if got := Int(3).AsFloat(); got != 3.0 {
+		t.Errorf("Int(3).AsFloat() = %v", got)
+	}
+	if got := Float(3.9).AsInt(); got != 3 {
+		t.Errorf("Float(3.9).AsInt() = %v", got)
+	}
+	if got := Bool(true).AsInt(); got != 1 {
+		t.Errorf("Bool(true).AsInt() = %v", got)
+	}
+	if Null().AsBool() {
+		t.Error("NULL should not be truthy")
+	}
+	if !Int(5).AsBool() || Int(0).AsBool() {
+		t.Error("int truthiness wrong")
+	}
+	if got := String("x").AsString(); got != "x" {
+		t.Errorf("AsString = %q", got)
+	}
+	if got := Int(9).AsString(); got != "9" {
+		t.Errorf("Int AsString = %q", got)
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !Int(2).Equal(Float(2.0)) {
+		t.Error("cross-numeric equality should hold")
+	}
+	if Int(2).Equal(String("2")) {
+		t.Error("int should not equal string")
+	}
+	if !Null().Equal(Null()) {
+		t.Error("NULL row-identity equality should hold")
+	}
+	if Null().Equal(Int(0)) {
+		t.Error("NULL != 0")
+	}
+	if !String("a").Equal(String("a")) || String("a").Equal(String("b")) {
+		t.Error("string equality wrong")
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Float(2.5), Int(2), 1},
+		{Null(), Int(0), -1},
+		{Int(0), Null(), 1},
+		{Null(), Null(), 0},
+		{String("a"), String("b"), -1},
+		{String("b"), String("b"), 0},
+		{Int(1), String("a"), -1}, // kind order: numeric kinds < string
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueArithmetic(t *testing.T) {
+	if got := Int(2).Add(Int(3)); !got.Equal(Int(5)) {
+		t.Errorf("2+3 = %v", got)
+	}
+	if got := Int(2).Add(Float(0.5)); !got.Equal(Float(2.5)) {
+		t.Errorf("2+0.5 = %v", got)
+	}
+	if got := Int(7).Sub(Int(2)); !got.Equal(Int(5)) {
+		t.Errorf("7-2 = %v", got)
+	}
+	if got := Int(4).Mul(Int(3)); !got.Equal(Int(12)) {
+		t.Errorf("4*3 = %v", got)
+	}
+	if got := Int(7).Div(Int(2)); !got.Equal(Float(3.5)) {
+		t.Errorf("7/2 = %v", got)
+	}
+	if got := Int(1).Div(Int(0)); !got.IsNull() {
+		t.Errorf("1/0 = %v, want NULL", got)
+	}
+	if got := Null().Add(Int(1)); !got.IsNull() {
+		t.Errorf("NULL+1 = %v, want NULL", got)
+	}
+}
+
+func TestEncodeDistinguishesKinds(t *testing.T) {
+	vals := []Value{
+		Null(), Int(0), Float(0), String(""), Bool(false),
+		Int(1), Float(1), String("1"), Bool(true),
+	}
+	for i := range vals {
+		for j := range vals {
+			a, b := vals[i].Encode(), vals[j].Encode()
+			if i == j {
+				if !bytes.Equal(a, b) {
+					t.Errorf("Encode(%v) not deterministic", vals[i])
+				}
+			} else if bytes.Equal(a, b) {
+				t.Errorf("Encode(%v) == Encode(%v)", vals[i], vals[j])
+			}
+		}
+	}
+}
+
+// Property: string encoding is injective even with NUL and escape bytes.
+func TestEncodeStringInjective(t *testing.T) {
+	f := func(a, b string) bool {
+		ea, eb := String(a).Encode(), String(b).Encode()
+		return (a == b) == bytes.Equal(ea, eb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: composite key encoding is unambiguous — the pair (a,b) never
+// collides with a different pair (c,d) even when string payloads contain
+// delimiter bytes.
+func TestCompositeKeyInjective(t *testing.T) {
+	f := func(a, b, c, d string) bool {
+		k1 := Row{String(a), String(b)}.KeyOf([]int{0, 1})
+		k2 := Row{String(c), String(d)}.KeyOf([]int{0, 1})
+		return (a == c && b == d) == (k1 == k2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: int encoding is injective.
+func TestEncodeIntInjective(t *testing.T) {
+	f := func(a, b int64) bool {
+		return (a == b) == bytes.Equal(Int(a).Encode(), Int(b).Encode())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: float encoding is injective over bit patterns.
+func TestEncodeFloatInjective(t *testing.T) {
+	f := func(a, b float64) bool {
+		same := math.Float64bits(a) == math.Float64bits(b)
+		return same == bytes.Equal(Float(a).Encode(), Float(b).Encode())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Int(a).Compare(Int(b)) == -Int(b).Compare(Int(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,170 @@
+// Package stats provides the statistical machinery behind SVC's result
+// estimation: moments, covariance, quantiles, normal confidence intervals
+// (Section 5.2.1), the statistical bootstrap (Section 5.2.5), Cantelli
+// tail bounds for min/max correction (Appendix 12.1.1), and the
+// finite-domain Zipfian sampler used by the TPCD-Skew workload generator.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance (divide by n), matching the
+// plug-in estimator used in the paper's CLT bounds.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// Stdev returns the population standard deviation.
+func Stdev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Covariance returns the population covariance of two equal-length series.
+func Covariance(xs, ys []float64) float64 {
+	n := len(xs)
+	if n == 0 || n != len(ys) {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	s := 0.0
+	for i := range xs {
+		s += (xs[i] - mx) * (ys[i] - my)
+	}
+	return s / float64(n)
+}
+
+// Sum returns the sum of the series.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Quantile returns the p-quantile (0 ≤ p ≤ 1) of xs using linear
+// interpolation between order statistics; it sorts a copy.
+func Quantile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, p)
+}
+
+func quantileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[n-1]
+	}
+	pos := p * float64(n-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// NormalQuantile returns Φ⁻¹(p), the standard normal inverse CDF, e.g.
+// ≈1.96 for p = 0.975. Computed from the stdlib's Erfinv.
+func NormalQuantile(p float64) float64 {
+	return math.Sqrt2 * math.Erfinv(2*p-1)
+}
+
+// GammaForConfidence returns the two-sided Gaussian tail value γ for a
+// confidence level (0.95 → ≈1.96, 0.99 → ≈2.57), as used in the paper's
+// confidence intervals.
+func GammaForConfidence(level float64) float64 {
+	return NormalQuantile(0.5 + level/2)
+}
+
+// CantelliUpper bounds P(X ≥ μ + eps) ≤ var/(var + eps²) — the one-sided
+// Chebyshev (Cantelli) inequality the paper uses to bound max-query
+// corrections (Appendix 12.1.1).
+func CantelliUpper(variance, eps float64) float64 {
+	if eps <= 0 {
+		return 1
+	}
+	return variance / (variance + eps*eps)
+}
+
+// Bootstrap resamples xs with replacement iters times, applies stat to
+// each resample, and returns the empirical lo/hi percentile interval
+// (e.g. 0.025, 0.975 for a 95% interval).
+func Bootstrap(rng *rand.Rand, xs []float64, iters int, stat func([]float64) float64, lo, hi float64) (float64, float64, error) {
+	if len(xs) == 0 {
+		return 0, 0, fmt.Errorf("stats: bootstrap over empty sample")
+	}
+	if iters <= 0 {
+		return 0, 0, fmt.Errorf("stats: bootstrap needs positive iterations")
+	}
+	vals := make([]float64, iters)
+	resample := make([]float64, len(xs))
+	for it := 0; it < iters; it++ {
+		for i := range resample {
+			resample[i] = xs[rng.Intn(len(xs))]
+		}
+		vals[it] = stat(resample)
+	}
+	sort.Float64s(vals)
+	return quantileSorted(vals, lo), quantileSorted(vals, hi), nil
+}
+
+// BootstrapPaired resamples row indexes with replacement over two paired
+// series (the corresponding samples), applies stat to each resampled pair,
+// and returns the lo/hi percentile interval. Pairing preserves the
+// correlation that SVC+CORR's correction estimate relies on.
+func BootstrapPaired(rng *rand.Rand, xs, ys []float64, iters int, stat func(xs, ys []float64) float64, lo, hi float64) (float64, float64, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return 0, 0, fmt.Errorf("stats: paired bootstrap needs equal non-empty samples")
+	}
+	if iters <= 0 {
+		return 0, 0, fmt.Errorf("stats: bootstrap needs positive iterations")
+	}
+	vals := make([]float64, iters)
+	rx := make([]float64, len(xs))
+	ry := make([]float64, len(ys))
+	for it := 0; it < iters; it++ {
+		for i := range rx {
+			j := rng.Intn(len(xs))
+			rx[i], ry[i] = xs[j], ys[j]
+		}
+		vals[it] = stat(rx, ry)
+	}
+	sort.Float64s(vals)
+	return quantileSorted(vals, lo), quantileSorted(vals, hi), nil
+}

@@ -1,0 +1,234 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func TestMoments(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	almost(t, "mean", Mean(xs), 2.5, 1e-12)
+	almost(t, "variance", Variance(xs), 1.25, 1e-12)
+	almost(t, "stdev", Stdev(xs), math.Sqrt(1.25), 1e-12)
+	almost(t, "sum", Sum(xs), 10, 1e-12)
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Error("empty moments should be 0")
+	}
+}
+
+func TestCovariance(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	almost(t, "cov(x,x)", Covariance(xs, xs), Variance(xs), 1e-12)
+	ys := []float64{3, 2, 1}
+	almost(t, "cov(x,-x)", Covariance(xs, ys), -Variance(xs), 1e-12)
+	if Covariance(xs, []float64{1}) != 0 {
+		t.Error("mismatched lengths should be 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	almost(t, "median", Median(xs), 2.5, 1e-12)
+	almost(t, "q0", Quantile(xs, 0), 1, 1e-12)
+	almost(t, "q1", Quantile(xs, 1), 4, 1e-12)
+	almost(t, "q0.25", Quantile(xs, 0.25), 1.75, 1e-12)
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+	almost(t, "single", Quantile([]float64{7}, 0.3), 7, 1e-12)
+}
+
+func TestNormalQuantile(t *testing.T) {
+	almost(t, "z(0.975)", NormalQuantile(0.975), 1.959964, 1e-4)
+	almost(t, "z(0.995)", NormalQuantile(0.995), 2.575829, 1e-4)
+	almost(t, "z(0.5)", NormalQuantile(0.5), 0, 1e-12)
+	almost(t, "gamma(0.95)", GammaForConfidence(0.95), 1.959964, 1e-4)
+	almost(t, "gamma(0.99)", GammaForConfidence(0.99), 2.575829, 1e-4)
+}
+
+func TestCantelli(t *testing.T) {
+	// var=1, eps=3: P ≤ 1/(1+9) = 0.1
+	almost(t, "cantelli", CantelliUpper(1, 3), 0.1, 1e-12)
+	if CantelliUpper(1, 0) != 1 {
+		t.Error("eps<=0 should give trivial bound 1")
+	}
+}
+
+func TestBootstrapCoversTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	// Sample from a known distribution; the bootstrap CI for the mean
+	// should cover the sample mean (always) and usually the true mean.
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*2 + 10
+	}
+	lo, hi, err := Bootstrap(rng, xs, 400, Mean, 0.025, 0.975)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo >= hi {
+		t.Fatalf("degenerate interval [%v,%v]", lo, hi)
+	}
+	m := Mean(xs)
+	if m < lo || m > hi {
+		t.Errorf("sample mean %v outside bootstrap CI [%v,%v]", m, lo, hi)
+	}
+	if hi-lo > 1.0 {
+		t.Errorf("CI too wide: [%v,%v]", lo, hi)
+	}
+	if _, _, err := Bootstrap(rng, nil, 10, Mean, 0.025, 0.975); err == nil {
+		t.Error("empty bootstrap should fail")
+	}
+	if _, _, err := Bootstrap(rng, xs, 0, Mean, 0.025, 0.975); err == nil {
+		t.Error("zero iterations should fail")
+	}
+}
+
+func TestBootstrapPaired(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 300
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 5
+		ys[i] = xs[i] + 1 + rng.NormFloat64()*0.1 // strongly correlated, diff ≈ 1
+	}
+	diff := func(a, b []float64) float64 { return Mean(b) - Mean(a) }
+	lo, hi, err := BootstrapPaired(rng, xs, ys, 400, diff, 0.025, 0.975)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo > 1 || hi < 1 {
+		t.Errorf("paired CI [%v,%v] should cover 1", lo, hi)
+	}
+	// Pairing matters: the interval must be narrow despite var(x) being
+	// large, because the difference has tiny variance.
+	if hi-lo > 0.1 {
+		t.Errorf("paired CI too wide: [%v,%v]", lo, hi)
+	}
+	if _, _, err := BootstrapPaired(rng, xs, ys[:10], 10, diff, 0.025, 0.975); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestZipfDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z := NewZipf(100, 2)
+	counts := make([]int, 100)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[z.Rank(rng)]++
+	}
+	// Empirical frequencies track the analytic probabilities for the head.
+	for i := 0; i < 5; i++ {
+		got := float64(counts[i]) / draws
+		want := z.Prob(i)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("rank %d: freq %v, want %v", i, got, want)
+		}
+	}
+	// Monotone head.
+	if !(counts[0] > counts[1] && counts[1] > counts[2]) {
+		t.Errorf("head not monotone: %v", counts[:5])
+	}
+}
+
+func TestZipfUniformAtZeroExponent(t *testing.T) {
+	z := NewZipf(50, 0)
+	for i := 0; i < 50; i++ {
+		almost(t, "prob", z.Prob(i), 1.0/50, 1e-9)
+	}
+}
+
+func TestZipfSkewOrdering(t *testing.T) {
+	// Larger z concentrates more mass on rank 0.
+	prev := 0.0
+	for _, zv := range []float64{0, 1, 2, 3, 4} {
+		p0 := NewZipf(1000, zv).Prob(0)
+		if p0 <= prev {
+			t.Errorf("P(rank 0) should grow with z: z=%v gives %v (prev %v)", zv, p0, prev)
+		}
+		prev = p0
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"n=0": func() { NewZipf(0, 1) },
+		"z<0": func() { NewZipf(10, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: quantile is monotone in p and bounded by min/max.
+func TestQuantileMonotoneQuick(t *testing.T) {
+	f := func(raw []float64, aRaw, bRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		a := float64(aRaw) / 255
+		b := float64(bRaw) / 255
+		if a > b {
+			a, b = b, a
+		}
+		qa, qb := Quantile(raw, a), Quantile(raw, b)
+		lo, hi := Quantile(raw, 0), Quantile(raw, 1)
+		return qa <= qb+1e-9 && qa >= lo-1e-9 && qb <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: variance is translation-invariant and scales quadratically.
+func TestVariancePropertiesQuick(t *testing.T) {
+	f := func(raw []float64, shift float64) bool {
+		if len(raw) == 0 || math.IsNaN(shift) || math.IsInf(shift, 0) {
+			return true
+		}
+		clean := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				return true
+			}
+			clean = append(clean, x)
+		}
+		if math.Abs(shift) > 1e6 {
+			return true
+		}
+		v := Variance(clean)
+		shifted := make([]float64, len(clean))
+		scaled := make([]float64, len(clean))
+		for i, x := range clean {
+			shifted[i] = x + shift
+			scaled[i] = 2 * x
+		}
+		tol := 1e-6 * (1 + v)
+		return math.Abs(Variance(shifted)-v) < tol && math.Abs(Variance(scaled)-4*v) < 4*tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

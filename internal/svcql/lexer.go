@@ -1,0 +1,193 @@
+// Package svcql implements the small SQL dialect the paper writes its
+// examples in: CREATE VIEW over select-project-join-aggregate blocks, and
+// aggregate SELECTs against a view for the estimators.
+//
+// Grammar (case-insensitive keywords):
+//
+//	create_view := CREATE VIEW ident AS select
+//	select      := SELECT item {"," item} FROM ident {join}
+//	               [WHERE expr] [GROUP BY ident {"," ident}]
+//	join        := JOIN ident ON ident "=" ident
+//	item        := expr [AS ident]
+//	             | (COUNT "(" ("*"|"1") ")" | agg "(" expr ")") [AS ident]
+//	agg         := SUM | AVG | MIN | MAX | MEDIAN
+//	expr        := disjunction of comparisons over +,-,*,/ terms;
+//	               literals, identifiers, parentheses, NOT
+//
+// Joins are equi-joins on unqualified column names; when both sides share
+// the join column's name the columns are merged (SQL USING semantics),
+// which is what gives foreign-key joins their natural key (Definition 2).
+package svcql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol  // punctuation and operators
+	tokKeyword // recognized SQL keyword (normalized upper-case)
+)
+
+// keywords recognized by the lexer.
+var keywords = map[string]bool{
+	"CREATE": true, "VIEW": true, "AS": true, "SELECT": true, "FROM": true,
+	"WHERE": true, "GROUP": true, "BY": true, "JOIN": true, "ON": true,
+	"AND": true, "OR": true, "NOT": true, "COUNT": true, "SUM": true,
+	"AVG": true, "MIN": true, "MAX": true, "MEDIAN": true, "BETWEEN": true,
+	"NULL": true, "IS": true,
+}
+
+type token struct {
+	kind tokKind
+	text string // keywords upper-cased; identifiers verbatim
+	pos  int
+}
+
+// lexer tokenizes the input.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes src fully, returning an error with position on bad input.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		case unicode.IsDigit(rune(c)) || (c == '.' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1]))):
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.lexSymbol(); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (l *lexer) emit(t token) { l.toks = append(l.toks, t) }
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			// SQL line comment.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		if !unicode.IsSpace(rune(c)) {
+			return
+		}
+		l.pos++
+	}
+}
+
+func isIdentStart(c rune) bool {
+	return unicode.IsLetter(c) || c == '_'
+}
+
+func isIdentPart(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == '.'
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	upper := strings.ToUpper(text)
+	if keywords[upper] {
+		l.emit(token{kind: tokKeyword, text: upper, pos: start})
+		return
+	}
+	l.emit(token{kind: tokIdent, text: text, pos: start})
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '.' {
+			if seenDot {
+				return fmt.Errorf("svcql: malformed number at %d", start)
+			}
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if !unicode.IsDigit(rune(c)) {
+			break
+		}
+		l.pos++
+	}
+	l.emit(token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+	return nil
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'') // escaped quote
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.emit(token{kind: tokString, text: sb.String(), pos: start})
+			return nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("svcql: unterminated string at %d", start)
+}
+
+// twoCharSymbols are the multi-byte operators.
+var twoCharSymbols = map[string]bool{"<=": true, ">=": true, "<>": true, "!=": true}
+
+func (l *lexer) lexSymbol() error {
+	if l.pos+1 < len(l.src) && twoCharSymbols[l.src[l.pos:l.pos+2]] {
+		l.emit(token{kind: tokSymbol, text: l.src[l.pos : l.pos+2], pos: l.pos})
+		l.pos += 2
+		return nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', '*', '+', '-', '/', '=', '<', '>':
+		l.emit(token{kind: tokSymbol, text: string(c), pos: l.pos})
+		l.pos++
+		return nil
+	}
+	return fmt.Errorf("svcql: unexpected character %q at %d", c, l.pos)
+}

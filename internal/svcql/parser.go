@@ -1,0 +1,475 @@
+package svcql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ---------------------------------------------------------------- AST
+
+// SelectStmt is a parsed SELECT block.
+type SelectStmt struct {
+	Items   []SelectItem
+	From    string
+	Joins   []JoinClause
+	Where   *ExprNode
+	GroupBy []string
+}
+
+// CreateViewStmt is CREATE VIEW name AS select.
+type CreateViewStmt struct {
+	Name   string
+	Select SelectStmt
+}
+
+// SelectItem is one output of a SELECT: either a scalar expression or an
+// aggregate application.
+type SelectItem struct {
+	// Agg is "" for scalar items, else COUNT/SUM/AVG/MIN/MAX/MEDIAN.
+	Agg string
+	// Expr is the scalar (or aggregate input) expression; nil for
+	// COUNT(*) / COUNT(1).
+	Expr *ExprNode
+	// As is the output name ("" lets the planner derive one).
+	As string
+}
+
+// JoinClause is JOIN table ON left = right.
+type JoinClause struct {
+	Table string
+	Left  string
+	Right string
+}
+
+// ExprNode is a parsed scalar expression.
+type ExprNode struct {
+	// Kind is one of "binary", "unary", "ident", "number", "string",
+	// "null".
+	Kind string
+	// Op holds the operator for binary/unary nodes (e.g. "+", "AND",
+	// "NOT", "=", "IS NULL").
+	Op string
+	// L and R are operands.
+	L, R *ExprNode
+	// Text holds identifier names and literal texts.
+	Text string
+}
+
+// ---------------------------------------------------------------- parser
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a statement: CREATE VIEW or a bare SELECT. Exactly one of
+// the returns is non-nil.
+func Parse(src string) (*CreateViewStmt, *SelectStmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	p := &parser{toks: toks}
+	if p.peekKeyword("CREATE") {
+		cv, err := p.parseCreateView()
+		if err != nil {
+			return nil, nil, err
+		}
+		return cv, nil, p.expectEOF()
+	}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, nil, err
+	}
+	return nil, sel, p.expectEOF()
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.cur()
+	return t.kind == tokKeyword && t.text == kw
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peekKeyword(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("svcql: expected %s at position %d, got %q", kw, p.cur().pos, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) acceptSymbol(s string) bool {
+	t := p.cur()
+	if t.kind == tokSymbol && t.text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.acceptSymbol(s) {
+		return fmt.Errorf("svcql: expected %q at position %d, got %q", s, p.cur().pos, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("svcql: expected identifier at position %d, got %q", t.pos, t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+func (p *parser) expectEOF() error {
+	if p.cur().kind != tokEOF {
+		return fmt.Errorf("svcql: trailing input at position %d: %q", p.cur().pos, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) parseCreateView() (*CreateViewStmt, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("VIEW"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	return &CreateViewStmt{Name: name, Select: *sel}, nil
+}
+
+// aggKeywords recognized in select items.
+var aggKeywords = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true, "MEDIAN": true,
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	var stmt SelectStmt
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, *item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt.From = from
+	for p.acceptKeyword("JOIN") {
+		table, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		left, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		right, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Joins = append(stmt.Joins, JoinClause{Table: table, Left: stripQual(left), Right: stripQual(right)})
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			g, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, stripQual(g))
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	return &stmt, nil
+}
+
+// stripQual removes a table qualifier ("Log.videoId" → "videoId"); column
+// names are globally unique in this dialect, matching the engine.
+func stripQual(name string) string {
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}
+
+func (p *parser) parseSelectItem() (*SelectItem, error) {
+	t := p.cur()
+	if t.kind == tokKeyword && aggKeywords[t.text] {
+		agg := t.text
+		p.pos++
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		item := &SelectItem{Agg: agg}
+		if agg == "COUNT" {
+			// COUNT(*) or COUNT(1) — the argument is ignored.
+			if !p.acceptSymbol("*") {
+				if _, err := p.parseExpr(); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item.Expr = e
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		if p.acceptKeyword("AS") {
+			as, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			item.As = as
+		}
+		return item, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	item := &SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		as, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		item.As = as
+	}
+	return item, nil
+}
+
+// Expression grammar: or → and → not → comparison → additive →
+// multiplicative → primary.
+
+func (p *parser) parseExpr() (*ExprNode, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (*ExprNode, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &ExprNode{Kind: "binary", Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (*ExprNode, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &ExprNode{Kind: "binary", Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (*ExprNode, error) {
+	if p.acceptKeyword("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &ExprNode{Kind: "unary", Op: "NOT", L: e}, nil
+	}
+	return p.parseComparison()
+}
+
+var cmpOps = map[string]bool{"=": true, "<>": true, "!=": true, "<": true, "<=": true, ">": true, ">=": true}
+
+func (p *parser) parseComparison() (*ExprNode, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// BETWEEN lo AND hi
+	if p.acceptKeyword("BETWEEN") {
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &ExprNode{Kind: "binary", Op: "AND",
+			L: &ExprNode{Kind: "binary", Op: ">=", L: l, R: lo},
+			R: &ExprNode{Kind: "binary", Op: "<=", L: l, R: hi},
+		}, nil
+	}
+	// IS [NOT] NULL
+	if p.acceptKeyword("IS") {
+		negated := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		node := &ExprNode{Kind: "unary", Op: "IS NULL", L: l}
+		if negated {
+			node = &ExprNode{Kind: "unary", Op: "NOT", L: node}
+		}
+		return node, nil
+	}
+	t := p.cur()
+	if t.kind == tokSymbol && cmpOps[t.text] {
+		p.pos++
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		op := t.text
+		if op == "!=" {
+			op = "<>"
+		}
+		return &ExprNode{Kind: "binary", Op: op, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (*ExprNode, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind == tokSymbol && (t.text == "+" || t.text == "-") {
+			p.pos++
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = &ExprNode{Kind: "binary", Op: t.text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseMultiplicative() (*ExprNode, error) {
+	l, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind == tokSymbol && (t.text == "*" || t.text == "/") {
+			p.pos++
+			r, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			l = &ExprNode{Kind: "binary", Op: t.text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parsePrimary() (*ExprNode, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokSymbol && t.text == "(":
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokSymbol && t.text == "-":
+		p.pos++
+		e, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		return &ExprNode{Kind: "binary", Op: "-",
+			L: &ExprNode{Kind: "number", Text: "0"}, R: e}, nil
+	case t.kind == tokNumber:
+		p.pos++
+		if _, err := strconv.ParseFloat(t.text, 64); err != nil {
+			return nil, fmt.Errorf("svcql: bad number %q at %d", t.text, t.pos)
+		}
+		return &ExprNode{Kind: "number", Text: t.text}, nil
+	case t.kind == tokString:
+		p.pos++
+		return &ExprNode{Kind: "string", Text: t.text}, nil
+	case t.kind == tokKeyword && t.text == "NULL":
+		p.pos++
+		return &ExprNode{Kind: "null"}, nil
+	case t.kind == tokIdent:
+		p.pos++
+		return &ExprNode{Kind: "ident", Text: stripQual(t.text)}, nil
+	default:
+		return nil, fmt.Errorf("svcql: unexpected token %q at %d", t.text, t.pos)
+	}
+}

@@ -1,0 +1,343 @@
+package svcql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/sampleclean/svc/internal/algebra"
+	"github.com/sampleclean/svc/internal/db"
+	"github.com/sampleclean/svc/internal/estimator"
+	"github.com/sampleclean/svc/internal/expr"
+	"github.com/sampleclean/svc/internal/relation"
+	"github.com/sampleclean/svc/internal/view"
+)
+
+// PlanView compiles CREATE VIEW ... AS SELECT into a view definition over
+// the database's base tables.
+func PlanView(d *db.Database, src string) (view.Definition, error) {
+	cv, sel, err := Parse(src)
+	if err != nil {
+		return view.Definition{}, err
+	}
+	if cv == nil {
+		return view.Definition{}, fmt.Errorf("svcql: expected CREATE VIEW, got a bare SELECT (use PlanQuery for queries: %q)", firstLine(src))
+	}
+	_ = sel
+	plan, err := planSelect(d, &cv.Select)
+	if err != nil {
+		return view.Definition{}, err
+	}
+	return view.Definition{Name: cv.Name, Plan: plan}, nil
+}
+
+// AggQuery is a compiled aggregate query against a view: the estimator
+// query plus an optional group-by.
+type AggQuery struct {
+	Query   estimator.Query
+	GroupBy []string
+}
+
+// PlanQuery compiles SELECT agg(expr) FROM <view> [WHERE ...] [GROUP BY
+// ...] into an estimator query. The FROM name must match the given view's
+// name; the query's aggregate input must be a plain column of the view
+// (the estimators aggregate view attributes).
+func PlanQuery(v *view.View, src string) (AggQuery, error) {
+	cv, sel, err := Parse(src)
+	if err != nil {
+		return AggQuery{}, err
+	}
+	if cv != nil {
+		return AggQuery{}, fmt.Errorf("svcql: expected a SELECT, got CREATE VIEW")
+	}
+	if sel.From != v.Name() {
+		return AggQuery{}, fmt.Errorf("svcql: query targets %q but the view is %q", sel.From, v.Name())
+	}
+	if len(sel.Joins) > 0 {
+		return AggQuery{}, fmt.Errorf("svcql: queries against a view cannot join")
+	}
+	// Exactly one aggregate item; group-by columns may also be selected.
+	var agg *SelectItem
+	for i := range sel.Items {
+		it := &sel.Items[i]
+		if it.Agg != "" {
+			if agg != nil {
+				return AggQuery{}, fmt.Errorf("svcql: estimator queries take exactly one aggregate")
+			}
+			agg = it
+			continue
+		}
+		// Non-aggregate item must be a selected group-by column.
+		if it.Expr == nil || it.Expr.Kind != "ident" || !contains(sel.GroupBy, it.Expr.Text) {
+			return AggQuery{}, fmt.Errorf("svcql: non-aggregate select item must be a GROUP BY column")
+		}
+	}
+	if agg == nil {
+		return AggQuery{}, fmt.Errorf("svcql: estimator queries need an aggregate (COUNT/SUM/AVG/MIN/MAX/MEDIAN)")
+	}
+	var pred expr.Expr
+	if sel.Where != nil {
+		pred, err = buildExpr(sel.Where)
+		if err != nil {
+			return AggQuery{}, err
+		}
+		if _, err := pred.Bind(v.Schema()); err != nil {
+			return AggQuery{}, fmt.Errorf("svcql: %w", err)
+		}
+	}
+	attr := ""
+	if agg.Expr != nil {
+		if agg.Expr.Kind != "ident" {
+			return AggQuery{}, fmt.Errorf("svcql: aggregate input must be a view column, got an expression")
+		}
+		attr = agg.Expr.Text
+		if !v.Schema().HasCol(attr) {
+			return AggQuery{}, fmt.Errorf("svcql: view %s has no column %q", v.Name(), attr)
+		}
+	}
+	var q estimator.Query
+	switch agg.Agg {
+	case "COUNT":
+		q = estimator.Count(pred)
+	case "SUM":
+		q = estimator.Sum(attr, pred)
+	case "AVG":
+		q = estimator.Avg(attr, pred)
+	case "MIN":
+		q = estimator.Min(attr, pred)
+	case "MAX":
+		q = estimator.Max(attr, pred)
+	case "MEDIAN":
+		q = estimator.Median(attr, pred)
+	default:
+		return AggQuery{}, fmt.Errorf("svcql: unsupported aggregate %s", agg.Agg)
+	}
+	for _, g := range sel.GroupBy {
+		if !v.Schema().HasCol(g) {
+			return AggQuery{}, fmt.Errorf("svcql: view %s has no column %q", v.Name(), g)
+		}
+	}
+	return AggQuery{Query: q, GroupBy: sel.GroupBy}, nil
+}
+
+// planSelect compiles a SELECT block into an algebra plan over base
+// tables.
+func planSelect(d *db.Database, sel *SelectStmt) (algebra.Node, error) {
+	t := d.Table(sel.From)
+	if t == nil {
+		return nil, fmt.Errorf("svcql: unknown table %q", sel.From)
+	}
+	var plan algebra.Node = algebra.Scan(sel.From, t.Schema())
+	for _, j := range sel.Joins {
+		jt := d.Table(j.Table)
+		if jt == nil {
+			return nil, fmt.Errorf("svcql: unknown table %q", j.Table)
+		}
+		right := algebra.Scan(j.Table, jt.Schema())
+		// Orient the equality: Left must name a column of the current
+		// plan, Right a column of the joined table.
+		lcol, rcol := j.Left, j.Right
+		if !plan.Schema().HasCol(lcol) || !jt.Schema().HasCol(rcol) {
+			lcol, rcol = j.Right, j.Left
+		}
+		if !plan.Schema().HasCol(lcol) || !jt.Schema().HasCol(rcol) {
+			return nil, fmt.Errorf("svcql: join condition %s = %s matches neither side", j.Left, j.Right)
+		}
+		// Merge when the two sides share the column name (USING
+		// semantics), which also gives FK joins their natural key.
+		spec := algebra.JoinSpec{
+			Type:  algebra.Inner,
+			On:    []algebra.EqPair{{Left: lcol, Right: rcol}},
+			Merge: lcol == rcol,
+		}
+		joined, err := algebra.Join(plan, right, spec)
+		if err != nil {
+			return nil, fmt.Errorf("svcql: %w", err)
+		}
+		plan = joined
+	}
+	if sel.Where != nil {
+		pred, err := buildExpr(sel.Where)
+		if err != nil {
+			return nil, err
+		}
+		filtered, err := algebra.Select(plan, pred)
+		if err != nil {
+			return nil, fmt.Errorf("svcql: %w", err)
+		}
+		plan = filtered
+	}
+
+	hasAgg := false
+	for _, it := range sel.Items {
+		if it.Agg != "" {
+			hasAgg = true
+		}
+	}
+	if !hasAgg {
+		if len(sel.GroupBy) > 0 {
+			return nil, fmt.Errorf("svcql: GROUP BY without aggregates")
+		}
+		// Pure projection view.
+		var outs []algebra.Output
+		for i, it := range sel.Items {
+			e, err := buildExpr(it.Expr)
+			if err != nil {
+				return nil, err
+			}
+			name := it.As
+			if name == "" {
+				if it.Expr.Kind == "ident" {
+					name = it.Expr.Text
+				} else {
+					name = fmt.Sprintf("col%d", i+1)
+				}
+			}
+			outs = append(outs, algebra.Out(name, e))
+		}
+		proj, err := algebra.Project(plan, outs)
+		if err != nil {
+			return nil, fmt.Errorf("svcql: %w (the view's projection must keep the derived primary key)", err)
+		}
+		return proj, nil
+	}
+
+	// Aggregate view: group-by columns must be selected as plain idents
+	// (or be implied by GROUP BY); the remaining items are aggregates.
+	var aggs []algebra.AggSpec
+	for i, it := range sel.Items {
+		if it.Agg == "" {
+			if it.Expr == nil || it.Expr.Kind != "ident" || !contains(sel.GroupBy, it.Expr.Text) {
+				return nil, fmt.Errorf("svcql: select item %d must be a GROUP BY column or an aggregate", i+1)
+			}
+			continue
+		}
+		name := it.As
+		if name == "" {
+			name = strings.ToLower(it.Agg) + strconv.Itoa(i+1)
+		}
+		switch it.Agg {
+		case "COUNT":
+			aggs = append(aggs, algebra.CountAs(name))
+		default:
+			e, err := buildExpr(it.Expr)
+			if err != nil {
+				return nil, err
+			}
+			switch it.Agg {
+			case "SUM":
+				aggs = append(aggs, algebra.SumAs(e, name))
+			case "AVG":
+				aggs = append(aggs, algebra.AvgAs(e, name))
+			case "MIN":
+				aggs = append(aggs, algebra.MinAs(e, name))
+			case "MAX":
+				aggs = append(aggs, algebra.MaxAs(e, name))
+			default:
+				return nil, fmt.Errorf("svcql: aggregate %s is not supported in views", it.Agg)
+			}
+		}
+	}
+	if len(sel.GroupBy) == 0 {
+		return nil, fmt.Errorf("svcql: aggregate views need GROUP BY (grand totals have no primary key; query them through the estimators instead)")
+	}
+	g, err := algebra.GroupBy(plan, sel.GroupBy, aggs...)
+	if err != nil {
+		return nil, fmt.Errorf("svcql: %w", err)
+	}
+	return g, nil
+}
+
+// buildExpr converts a parsed expression into the engine's expression
+// language.
+func buildExpr(n *ExprNode) (expr.Expr, error) {
+	if n == nil {
+		return nil, fmt.Errorf("svcql: empty expression")
+	}
+	switch n.Kind {
+	case "ident":
+		return expr.Col(n.Text), nil
+	case "number":
+		if strings.ContainsRune(n.Text, '.') {
+			f, err := strconv.ParseFloat(n.Text, 64)
+			if err != nil {
+				return nil, err
+			}
+			return expr.FloatLit(f), nil
+		}
+		i, err := strconv.ParseInt(n.Text, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		return expr.IntLit(i), nil
+	case "string":
+		return expr.StringLit(n.Text), nil
+	case "null":
+		return expr.Lit(relation.Null()), nil
+	case "unary":
+		l, err := buildExpr(n.L)
+		if err != nil {
+			return nil, err
+		}
+		switch n.Op {
+		case "NOT":
+			return expr.Not(l), nil
+		case "IS NULL":
+			return expr.IsNull(l), nil
+		}
+		return nil, fmt.Errorf("svcql: unknown unary op %q", n.Op)
+	case "binary":
+		l, err := buildExpr(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := buildExpr(n.R)
+		if err != nil {
+			return nil, err
+		}
+		switch n.Op {
+		case "AND":
+			return expr.And(l, r), nil
+		case "OR":
+			return expr.Or(l, r), nil
+		case "=":
+			return expr.Eq(l, r), nil
+		case "<>":
+			return expr.Ne(l, r), nil
+		case "<":
+			return expr.Lt(l, r), nil
+		case "<=":
+			return expr.Le(l, r), nil
+		case ">":
+			return expr.Gt(l, r), nil
+		case ">=":
+			return expr.Ge(l, r), nil
+		case "+":
+			return expr.Add(l, r), nil
+		case "-":
+			return expr.Sub(l, r), nil
+		case "*":
+			return expr.Mul(l, r), nil
+		case "/":
+			return expr.Div(l, r), nil
+		}
+		return nil, fmt.Errorf("svcql: unknown operator %q", n.Op)
+	}
+	return nil, fmt.Errorf("svcql: unknown expression kind %q", n.Kind)
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

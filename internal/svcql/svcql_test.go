@@ -1,0 +1,304 @@
+package svcql
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/sampleclean/svc/internal/db"
+	"github.com/sampleclean/svc/internal/estimator"
+	"github.com/sampleclean/svc/internal/relation"
+	"github.com/sampleclean/svc/internal/view"
+)
+
+func exampleDB(t testing.TB) *db.Database {
+	t.Helper()
+	d := db.New()
+	video := d.MustCreate("Video", relation.NewSchema([]relation.Column{
+		{Name: "videoId", Type: relation.KindInt},
+		{Name: "ownerId", Type: relation.KindInt},
+		{Name: "duration", Type: relation.KindFloat},
+	}, "videoId"))
+	for i := int64(0); i < 10; i++ {
+		video.MustInsert(relation.Row{relation.Int(i), relation.Int(i % 3), relation.Float(float64(i) / 2)})
+	}
+	logT := d.MustCreate("Log", relation.NewSchema([]relation.Column{
+		{Name: "sessionId", Type: relation.KindInt},
+		{Name: "videoId", Type: relation.KindInt},
+	}, "sessionId"))
+	for i := int64(0); i < 40; i++ {
+		logT.MustInsert(relation.Row{relation.Int(i), relation.Int(i % 10)})
+	}
+	return d
+}
+
+// The paper's Section 2.1 view, verbatim modulo whitespace.
+const visitViewSQL = `
+CREATE VIEW visitView AS
+SELECT videoId, ownerId, COUNT(1) AS visitCount
+FROM Log JOIN Video ON Log.videoId = Video.videoId
+GROUP BY videoId, ownerId`
+
+func TestPlanViewRunningExample(t *testing.T) {
+	d := exampleDB(t)
+	def, err := PlanView(d, visitViewSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Name != "visitView" {
+		t.Errorf("name = %q", def.Name)
+	}
+	v, err := view.Materialize(d, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Data().Len() != 10 {
+		t.Fatalf("view rows = %d", v.Data().Len())
+	}
+	row, ok := v.Data().Get(relation.Int(3), relation.Int(0))
+	if !ok || row[2].AsInt() != 4 {
+		t.Errorf("visitCount(3) = %v (ok=%v)", row, ok)
+	}
+	// The view is change-table maintainable.
+	m, err := view.NewMaintainer(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind() != view.ChangeTable {
+		t.Errorf("strategy = %v", m.Kind())
+	}
+}
+
+func TestPlanViewProjectionAndWhere(t *testing.T) {
+	d := exampleDB(t)
+	def, err := PlanView(d, `
+		CREATE VIEW longVideos AS
+		SELECT videoId, duration * 60 AS minutes
+		FROM Video WHERE duration >= 1.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := view.Materialize(d, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Data().Len() != 7 {
+		t.Fatalf("rows = %d", v.Data().Len())
+	}
+	if got := v.KeyNames(); len(got) != 1 || got[0] != "videoId" {
+		t.Errorf("key = %v", got)
+	}
+}
+
+// The paper's Example 2 query, against the compiled view.
+func TestPlanQueryExample2(t *testing.T) {
+	d := exampleDB(t)
+	def, err := PlanView(d, visitViewSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := view.Materialize(d, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aq, err := PlanQuery(v, `SELECT COUNT(1) FROM visitView WHERE visitCount > 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := estimator.RunExact(v.Data(), aq.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 10 { // 40 visits over 10 videos = 4 each, all > 3
+		t.Errorf("count = %v", got)
+	}
+	// Group-by variant.
+	aq, err = PlanQuery(v, `SELECT ownerId, SUM(visitCount) FROM visitView GROUP BY ownerId`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aq.GroupBy) != 1 || aq.GroupBy[0] != "ownerId" {
+		t.Errorf("groupBy = %v", aq.GroupBy)
+	}
+	groups, _, err := estimator.GroupExact(v.Data(), aq.Query, aq.GroupBy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 3 {
+		t.Errorf("groups = %d", len(groups))
+	}
+}
+
+func TestPlanQueryAggregates(t *testing.T) {
+	d := exampleDB(t)
+	def, _ := PlanView(d, visitViewSQL)
+	v, _ := view.Materialize(d, def)
+	for _, src := range []string{
+		`SELECT SUM(visitCount) FROM visitView`,
+		`SELECT AVG(visitCount) FROM visitView WHERE ownerId = 1`,
+		`SELECT MIN(visitCount) FROM visitView`,
+		`SELECT MAX(visitCount) FROM visitView`,
+		`SELECT MEDIAN(visitCount) FROM visitView`,
+		`SELECT COUNT(*) FROM visitView WHERE visitCount BETWEEN 2 AND 5`,
+	} {
+		if _, err := PlanQuery(v, src); err != nil {
+			t.Errorf("%s: %v", src, err)
+		}
+	}
+}
+
+func TestExpressionForms(t *testing.T) {
+	d := exampleDB(t)
+	cases := []string{
+		`CREATE VIEW x AS SELECT videoId, duration FROM Video WHERE duration > 1 AND ownerId <> 2`,
+		`CREATE VIEW x AS SELECT videoId, duration FROM Video WHERE NOT (duration < 1 OR duration > 4)`,
+		`CREATE VIEW x AS SELECT videoId, (duration + 1) * 2 AS d2 FROM Video`,
+		`CREATE VIEW x AS SELECT videoId, duration FROM Video WHERE duration BETWEEN 0.5 AND 3`,
+		`CREATE VIEW x AS SELECT videoId, duration FROM Video WHERE duration IS NOT NULL`,
+		`CREATE VIEW x AS SELECT videoId, -duration AS neg FROM Video`,
+		`CREATE VIEW x AS SELECT videoId, ownerId FROM Video -- trailing comment`,
+	}
+	for _, src := range cases {
+		def, err := PlanView(d, src)
+		if err != nil {
+			t.Errorf("%s: %v", src, err)
+			continue
+		}
+		if _, err := view.Materialize(d, def); err != nil {
+			t.Errorf("%s: materialize: %v", src, err)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	d := exampleDB(t)
+	def, _ := PlanView(d, visitViewSQL)
+	v, _ := view.Materialize(d, def)
+	cases := []struct {
+		src     string
+		wantSub string
+		query   bool
+	}{
+		{`SELECT COUNT(1) FROM visitView`, "CREATE VIEW", false},
+		{`CREATE VIEW v AS SELECT x FROM Nope`, "unknown table", false},
+		{`CREATE VIEW v AS SELECT ownerId FROM Video`, "primary key", false},
+		{`CREATE VIEW v AS SELECT videoId FROM Video GROUP BY videoId`, "GROUP BY without aggregates", false},
+		{`CREATE VIEW v AS SELECT COUNT(1) AS c FROM Log`, "GROUP BY", false},
+		{`CREATE VIEW v AS SELECT videoId, COUNT(1 FROM Log GROUP BY videoId`, "expected", false},
+		{`CREATE VIEW v AS SELECT videoId FROM Video JOIN Log ON zzz = qqq`, "matches neither side", false},
+		{`SELECT COUNT(1) FROM otherView`, "targets", true},
+		{`SELECT visitCount FROM visitView`, "aggregate", true},
+		{`SELECT SUM(visitCount), SUM(visitCount) FROM visitView`, "exactly one aggregate", true},
+		{`SELECT SUM(nope) FROM visitView`, "no column", true},
+		{`SELECT SUM(visitCount) FROM visitView WHERE nope > 1`, "unknown column", true},
+		{`SELECT SUM(visitCount + 1) FROM visitView`, "must be a view column", true},
+	}
+	for _, c := range cases {
+		var err error
+		if c.query {
+			_, err = PlanQuery(v, c.src)
+		} else {
+			_, err = PlanView(d, c.src)
+		}
+		if err == nil {
+			t.Errorf("%s: expected error containing %q", c.src, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not contain %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{
+		`SELECT 'unterminated FROM x`,
+		`SELECT 1.2.3 FROM x`,
+		`SELECT a ; b FROM x`,
+	} {
+		if _, _, err := Parse(src); err == nil {
+			t.Errorf("%s: expected lex/parse error", src)
+		}
+	}
+}
+
+func TestStringLiteralsAndEscapes(t *testing.T) {
+	toks, err := lex(`WHERE name = 'O''Brien'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tok := range toks {
+		if tok.kind == tokString && tok.text == "O'Brien" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("escaped string not lexed: %+v", toks)
+	}
+}
+
+// Property: the lexer terminates and never panics on arbitrary input, and
+// Parse either errors or returns exactly one statement.
+func TestParseNeverPanicsQuick(t *testing.T) {
+	f := func(src string) bool {
+		cv, sel, err := Parse(src)
+		if err != nil {
+			return cv == nil && sel == nil
+		}
+		return (cv != nil) != (sel != nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// End-to-end: SQL-defined view cleaned and queried via the estimators
+// matches a hand-built plan.
+func TestSQLViewEndToEnd(t *testing.T) {
+	d := exampleDB(t)
+	def, err := PlanView(d, visitViewSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := view.Materialize(d, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// stage updates and check maintenance equivalence
+	logT := d.Table("Log")
+	for i := int64(100); i < 120; i++ {
+		if err := logT.StageInsert(relation.Row{relation.Int(i), relation.Int(i % 10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := view.NewMaintainer(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := d.Snapshot()
+	if err := snap.ApplyDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	truth, err := view.Materialize(snap, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Maintain(d); err != nil {
+		t.Fatal(err)
+	}
+	if v.Data().Len() != truth.Data().Len() {
+		t.Fatalf("maintained %d rows, truth %d", v.Data().Len(), truth.Data().Len())
+	}
+	aq, err := PlanQuery(v, `SELECT SUM(visitCount) FROM visitView`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := estimator.RunExact(v.Data(), aq.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 60 {
+		t.Errorf("total visits = %v, want 60", got)
+	}
+}

@@ -1,0 +1,147 @@
+package tpcd
+
+import (
+	"math/rand"
+
+	"github.com/sampleclean/svc/internal/algebra"
+	"github.com/sampleclean/svc/internal/db"
+	"github.com/sampleclean/svc/internal/expr"
+	"github.com/sampleclean/svc/internal/relation"
+	"github.com/sampleclean/svc/internal/view"
+)
+
+// Sales is the denormalized fact table's name. The paper's Section 7.1
+// "denormalizes the database and treats the TPCD queries as views on this
+// denormalized schema"; the Section 7.6.1 data cube experiments run on
+// this layout, where the cube's dimension columns all live in one wide
+// table and hash push-down reaches the single fact scan.
+const Sales = "sales"
+
+// SalesSchema is one wide row per lineitem with the joined order,
+// customer, nation and region attributes, keyed like lineitem.
+func SalesSchema() relation.Schema {
+	return relation.NewSchema([]relation.Column{
+		{Name: "l_orderkey", Type: relation.KindInt},
+		{Name: "l_linenumber", Type: relation.KindInt},
+		{Name: "l_partkey", Type: relation.KindInt},
+		{Name: "l_quantity", Type: relation.KindFloat},
+		{Name: "l_extendedprice", Type: relation.KindFloat},
+		{Name: "l_discount", Type: relation.KindFloat},
+		{Name: "o_orderdate", Type: relation.KindInt},
+		{Name: "c_custkey", Type: relation.KindInt},
+		{Name: "n_nationkey", Type: relation.KindInt},
+		{Name: "r_regionkey", Type: relation.KindInt},
+	}, "l_orderkey", "l_linenumber")
+}
+
+// DenormGenerator produces the denormalized sales table and its update
+// stream, sharing the Config knobs with the normalized generator.
+type DenormGenerator struct {
+	inner      *Generator
+	custNation []int64 // customer -> nation
+}
+
+// NewDenormGenerator prepares a denormalized-workload generator.
+func NewDenormGenerator(cfg Config) *DenormGenerator {
+	g := NewGenerator(cfg)
+	dg := &DenormGenerator{inner: g}
+	dg.custNation = make([]int64, g.cfg.Customers)
+	for i := range dg.custNation {
+		dg.custNation[i] = g.rng.Int63n(25)
+	}
+	return dg
+}
+
+// Config returns the effective configuration.
+func (dg *DenormGenerator) Config() Config { return dg.inner.cfg }
+
+// wideRows builds the denormalized rows of one new order.
+func (dg *DenormGenerator) wideRows() []relation.Row {
+	g := dg.inner
+	order, lines := g.newOrderRow()
+	cust := order[1].AsInt()
+	nation := dg.custNation[cust]
+	region := nation % 5
+	rows := make([]relation.Row, 0, len(lines))
+	for _, l := range lines {
+		rows = append(rows, relation.Row{
+			l[0], l[1], l[2], // l_orderkey, l_linenumber, l_partkey
+			l[4], l[5], l[6], // l_quantity, l_extendedprice, l_discount
+			order[4], // o_orderdate
+			relation.Int(cust),
+			relation.Int(nation),
+			relation.Int(region),
+		})
+	}
+	return rows
+}
+
+// Generate creates the database with the wide sales table.
+func (dg *DenormGenerator) Generate() (*db.Database, error) {
+	d := db.New()
+	t, err := d.Create(Sales, SalesSchema())
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < dg.inner.cfg.Orders; i++ {
+		for _, row := range dg.wideRows() {
+			if err := t.Insert(row); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return d, nil
+}
+
+// StageUpdates stages ≈frac·|sales| changes: 80% new orders' wide rows,
+// 20% price/quantity updates to existing rows.
+func (dg *DenormGenerator) StageUpdates(d *db.Database, frac float64) error {
+	g := dg.inner
+	t := d.Table(Sales)
+	target := int(frac * float64(t.Len()))
+	staged := 0
+	for staged < target {
+		if g.rng.Float64() < 0.8 {
+			for _, row := range dg.wideRows() {
+				if err := t.StageInsert(row); err != nil {
+					return err
+				}
+				staged++
+			}
+		} else {
+			row := t.Rows().Row(g.rng.Intn(t.Len())).Clone()
+			row[3] = relation.Float(1 + float64(g.rng.Intn(50))) // l_quantity
+			row[4] = relation.Float(g.price())                   // l_extendedprice
+			if err := t.StageUpdate(row); err != nil {
+				return err
+			}
+			staged++
+		}
+	}
+	return nil
+}
+
+// DenormCubeView is the Section 7.6.1 base cube over the denormalized
+// sales table: revenue and row counts grouped by the four dimensions. All
+// group attributes live in the single fact table, so η pushes down to the
+// scan and SVC samples the entire maintenance pipeline.
+func DenormCubeView() view.Definition {
+	return view.Definition{Name: "baseCube", Plan: algebra.MustGroupBy(
+		algebra.Scan(Sales, SalesSchema()),
+		[]string{"c_custkey", "n_nationkey", "r_regionkey", "l_partkey"},
+		algebra.CountAs("cnt"),
+		algebra.SumAs(Revenue(), "revenue"),
+	)}
+}
+
+// DenormRollupQueryRand returns a random predicate over the cube for
+// accuracy sweeps (a random customer-key range).
+func DenormRollupQueryRand(rng *rand.Rand, cfg Config) expr.Expr {
+	cfg = cfg.withDefaults()
+	lo := rng.Int63n(int64(cfg.Customers))
+	hi := lo + 1 + rng.Int63n(int64(cfg.Customers)-lo)
+	return expr.And(
+		expr.Ge(expr.Col("c_custkey"), expr.IntLit(lo)),
+		expr.Le(expr.Col("c_custkey"), expr.IntLit(hi)),
+	)
+}

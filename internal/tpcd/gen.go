@@ -1,0 +1,278 @@
+package tpcd
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/sampleclean/svc/internal/db"
+	"github.com/sampleclean/svc/internal/relation"
+	"github.com/sampleclean/svc/internal/stats"
+)
+
+// Config scales the generated database. Zero values take the defaults of
+// DefaultConfig.
+type Config struct {
+	// Orders is the number of orders; lineitems are 1..MaxLines per
+	// order.
+	Orders   int
+	MaxLines int
+	// Customers, Suppliers, Parts size the dimension tables.
+	Customers int
+	Suppliers int
+	Parts     int
+	// Z is the TPCD-Skew Zipfian exponent (1 = plain TPCD; the paper
+	// uses z ∈ {1,2,3,4} and defaults to 2).
+	Z float64
+	// Days is the o_orderdate/l_shipdate domain size.
+	Days int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultConfig is a laptop-scale dataset with the paper's default skew.
+func DefaultConfig() Config {
+	return Config{
+		Orders:    3000,
+		MaxLines:  4,
+		Customers: 300,
+		Suppliers: 50,
+		Parts:     200,
+		Z:         2,
+		Days:      365,
+		Seed:      1,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Orders == 0 {
+		c.Orders = d.Orders
+	}
+	if c.MaxLines == 0 {
+		c.MaxLines = d.MaxLines
+	}
+	if c.Customers == 0 {
+		c.Customers = d.Customers
+	}
+	if c.Suppliers == 0 {
+		c.Suppliers = d.Suppliers
+	}
+	if c.Parts == 0 {
+		c.Parts = d.Parts
+	}
+	if c.Days == 0 {
+		c.Days = d.Days
+	}
+	return c
+}
+
+// Generator owns the RNG state, the skew samplers and the key counters, so
+// the base load and the update stream draw from the same distributions —
+// the TPC-D refresh model.
+type Generator struct {
+	cfg     Config
+	rng     *rand.Rand
+	custZ   *stats.Zipf
+	partZ   *stats.Zipf
+	suppZ   *stats.Zipf
+	priceZ  *stats.Zipf
+	nextOrd int64
+	lineSeq map[int64]int64 // per-order next line number
+}
+
+// NewGenerator prepares a generator for the config.
+func NewGenerator(cfg Config) *Generator {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return &Generator{
+		cfg:   cfg,
+		rng:   rng,
+		custZ: stats.NewZipf(cfg.Customers, cfg.Z),
+		partZ: stats.NewZipf(cfg.Parts, cfg.Z),
+		suppZ: stats.NewZipf(cfg.Suppliers, cfg.Z),
+		// l_extendedprice magnitudes drawn from a Zipfian rank: rank 0
+		// is the most common (cheap) price; higher ranks are the long
+		// tail of expensive items. 1000 distinct magnitudes.
+		priceZ:  stats.NewZipf(1000, cfg.Z),
+		lineSeq: map[int64]int64{},
+	}
+}
+
+// Config returns the effective configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// Generate creates and loads the database.
+func (g *Generator) Generate() (*db.Database, error) {
+	d := db.New()
+	region := d.MustCreate(Region, RegionSchema())
+	nation := d.MustCreate(Nation, NationSchema())
+	customer := d.MustCreate(Customer, CustomerSchema())
+	supplier := d.MustCreate(Supplier, SupplierSchema())
+	part := d.MustCreate(Part, PartSchema())
+	d.MustCreate(Orders, OrdersSchema())
+	d.MustCreate(Lineitem, LineitemSchema())
+
+	regions := []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDEAST"}
+	for i, name := range regions {
+		region.MustInsert(relation.Row{relation.Int(int64(i)), relation.String(name)})
+	}
+	for i := 0; i < 25; i++ {
+		nation.MustInsert(relation.Row{
+			relation.Int(int64(i)),
+			relation.String(fmt.Sprintf("NATION_%02d", i)),
+			relation.Int(int64(i % len(regions))),
+		})
+	}
+	for i := 0; i < g.cfg.Customers; i++ {
+		customer.MustInsert(relation.Row{
+			relation.Int(int64(i)),
+			relation.Int(g.rng.Int63n(25)),
+			relation.Float(float64(g.rng.Intn(10000)) / 10),
+			relation.Int(g.rng.Int63n(5)),
+			relation.String(fmt.Sprintf("%02d-%07d", 10+g.rng.Intn(25), g.rng.Intn(10000000))),
+		})
+	}
+	for i := 0; i < g.cfg.Suppliers; i++ {
+		supplier.MustInsert(relation.Row{
+			relation.Int(int64(i)),
+			relation.Int(g.rng.Int63n(25)),
+			relation.Float(float64(g.rng.Intn(10000)) / 10),
+		})
+	}
+	for i := 0; i < g.cfg.Parts; i++ {
+		part.MustInsert(relation.Row{
+			relation.Int(int64(i)),
+			relation.Int(g.rng.Int63n(25)),
+			relation.Float(900 + float64(g.rng.Intn(10000))/100),
+		})
+	}
+	for i := 0; i < g.cfg.Orders; i++ {
+		if err := g.insertOrder(d, false); err != nil {
+			return nil, err
+		}
+	}
+	for _, fk := range []struct{ t, c, ref string }{
+		{Lineitem, "l_orderkey", Orders},
+		{Lineitem, "l_partkey", Part},
+		{Lineitem, "l_suppkey", Supplier},
+		{Orders, "o_custkey", Customer},
+		{Customer, "c_nationkey", Nation},
+		{Supplier, "s_nationkey", Nation},
+		{Nation, "n_regionkey", Region},
+	} {
+		if err := d.AddForeignKey(fk.t, fk.c, fk.ref); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// price draws a Zipf-skewed extended price: common cheap values with a
+// long expensive tail whose weight grows with z.
+func (g *Generator) price() float64 {
+	rank := g.priceZ.Rank(g.rng)
+	// Invert the rank so high ranks (rare) are expensive.
+	return 100 + float64(rank)*float64(rank)/10
+}
+
+// newOrderRow builds an order row and its lineitem rows.
+func (g *Generator) newOrderRow() (relation.Row, []relation.Row) {
+	ok := g.nextOrd
+	g.nextOrd++
+	cust := int64(g.custZ.Rank(g.rng))
+	date := int64(g.rng.Intn(g.cfg.Days))
+	nLines := 1 + g.rng.Intn(g.cfg.MaxLines)
+	total := 0.0
+	lines := make([]relation.Row, 0, nLines)
+	for ln := 0; ln < nLines; ln++ {
+		price := g.price()
+		qty := 1 + float64(g.rng.Intn(50))
+		disc := float64(g.rng.Intn(10)) / 100
+		total += price * qty * (1 - disc)
+		lines = append(lines, relation.Row{
+			relation.Int(ok),
+			relation.Int(int64(ln)),
+			relation.Int(int64(g.partZ.Rank(g.rng))),
+			relation.Int(int64(g.suppZ.Rank(g.rng))),
+			relation.Float(qty),
+			relation.Float(price),
+			relation.Float(disc),
+			relation.Int(g.rng.Int63n(3)),
+			relation.Int(date + g.rng.Int63n(30)),
+		})
+	}
+	order := relation.Row{
+		relation.Int(ok),
+		relation.Int(cust),
+		relation.Int(g.rng.Int63n(3)),
+		relation.Float(total),
+		relation.Int(date),
+		relation.Int(1 + g.rng.Int63n(5)),
+	}
+	return order, lines
+}
+
+// insertOrder adds one order (+lineitems) to the base tables (staged =
+// false) or the staged deltas (staged = true).
+func (g *Generator) insertOrder(d *db.Database, staged bool) error {
+	order, lines := g.newOrderRow()
+	ot, lt := d.Table(Orders), d.Table(Lineitem)
+	if staged {
+		if err := ot.StageInsert(order); err != nil {
+			return err
+		}
+		for _, l := range lines {
+			if err := lt.StageInsert(l); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := ot.Insert(order); err != nil {
+		return err
+	}
+	for _, l := range lines {
+		if err := lt.Insert(l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StageUpdates stages approximately frac·|base| worth of changes: 80% new
+// orders with their lineitems (insertions), 20% updates to existing
+// lineitems (quantity/extendedprice changes, modeled per the paper as
+// delete+insert). frac is relative to the lineitem count.
+func (g *Generator) StageUpdates(d *db.Database, frac float64) error {
+	lt := d.Table(Lineitem)
+	ot := d.Table(Orders)
+	target := int(frac * float64(lt.Len()))
+	staged := 0
+	for staged < target {
+		if g.rng.Float64() < 0.8 {
+			order, lines := g.newOrderRow()
+			if err := ot.StageInsert(order); err != nil {
+				return err
+			}
+			for _, l := range lines {
+				if err := lt.StageInsert(l); err != nil {
+					return err
+				}
+			}
+			staged += len(lines)
+		} else {
+			// Update a random existing lineitem.
+			if lt.Len() == 0 {
+				continue
+			}
+			row := lt.Rows().Row(g.rng.Intn(lt.Len())).Clone()
+			row[4] = relation.Float(1 + float64(g.rng.Intn(50))) // l_quantity
+			row[5] = relation.Float(g.price())                   // l_extendedprice
+			if err := lt.StageUpdate(row); err != nil {
+				return err
+			}
+			staged++
+		}
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package tpcd
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/sampleclean/svc/internal/estimator"
+	"github.com/sampleclean/svc/internal/expr"
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// JoinViewQuery is one of the 12 TPCD-style group-by aggregates the paper
+// runs against the join view (Figure 5): a name, a group-by attribute and
+// an aggregate.
+type JoinViewQuery struct {
+	Name    string
+	GroupBy []string
+	Query   estimator.Query
+}
+
+// JoinViewQueries returns the 12 queries of Figure 5. They are the TPCD
+// queries' aggregate shapes restricted to the join view's attributes (the
+// paper uses qgen-parameterized originals; the shapes — grouping column,
+// aggregate, selective predicate — are preserved).
+func JoinViewQueries() []JoinViewQuery {
+	rev := "l_extendedprice" // revenue basis available on the view
+	qs := []JoinViewQuery{
+		{Name: "Q3", GroupBy: []string{"o_orderdate"},
+			Query: estimator.Sum(rev, expr.Lt(expr.Col("o_orderdate"), expr.IntLit(180)))},
+		{Name: "Q4", GroupBy: []string{"o_orderpriority"},
+			Query: estimator.Count(expr.Lt(expr.Col("o_orderdate"), expr.IntLit(270)))},
+		{Name: "Q5", GroupBy: []string{"o_orderstatus"},
+			Query: estimator.Sum(rev, nil)},
+		{Name: "Q7", GroupBy: []string{"l_returnflag"},
+			Query: estimator.Sum(rev, expr.Ge(expr.Col("l_shipdate"), expr.IntLit(90)))},
+		{Name: "Q8", GroupBy: []string{"o_orderpriority"},
+			Query: estimator.Avg(rev, nil)},
+		{Name: "Q9", GroupBy: []string{"l_suppkey"},
+			Query: estimator.Sum(rev, nil)},
+		{Name: "Q10", GroupBy: []string{"l_returnflag"},
+			Query: estimator.Sum(rev, expr.Eq(expr.Col("l_returnflag"), expr.IntLit(1)))},
+		{Name: "Q12", GroupBy: []string{"o_orderpriority"},
+			Query: estimator.Count(expr.Ge(expr.Col("l_shipdate"), expr.IntLit(180)))},
+		{Name: "Q14", GroupBy: []string{"l_returnflag"},
+			Query: estimator.Sum(rev, expr.And(
+				expr.Ge(expr.Col("l_shipdate"), expr.IntLit(120)),
+				expr.Lt(expr.Col("l_shipdate"), expr.IntLit(150))))},
+		{Name: "Q18", GroupBy: []string{"o_custkey"},
+			Query: estimator.Sum("l_quantity", nil)},
+		{Name: "Q19", GroupBy: []string{"l_returnflag"},
+			Query: estimator.Sum(rev, expr.And(
+				expr.Ge(expr.Col("l_quantity"), expr.IntLit(10)),
+				expr.Le(expr.Col("l_quantity"), expr.IntLit(30))))},
+		{Name: "Q21", GroupBy: []string{"o_orderstatus"},
+			Query: estimator.Count(expr.Gt(expr.Col("l_quantity"), expr.IntLit(25)))},
+	}
+	return qs
+}
+
+// GeneratedQuery is one Section 7.1 random query instance against a
+// complex view: a random sum/avg/count over a random aggregation column,
+// with a random range predicate over a group-by attribute.
+type GeneratedQuery struct {
+	Desc  string
+	Query estimator.Query
+}
+
+// GenerateQueries builds n random queries for a view with the given
+// group-by (predicate) attribute domains and numeric aggregate columns,
+// mirroring the paper's generator: pick a ∈ groupBy for the predicate
+// ("a > lo and a < hi" over a random sub-range of its domain) and b from
+// the aggregates.
+func GenerateQueries(rng *rand.Rand, n int, predAttrs []PredAttr, aggCols []string) []GeneratedQuery {
+	if len(predAttrs) == 0 || len(aggCols) == 0 {
+		return nil
+	}
+	out := make([]GeneratedQuery, 0, n)
+	for i := 0; i < n; i++ {
+		pa := predAttrs[rng.Intn(len(predAttrs))]
+		lo := pa.Lo + rng.Int63n(pa.Hi-pa.Lo)
+		span := 1 + rng.Int63n(pa.Hi-lo+1)
+		pred := expr.And(
+			expr.Ge(expr.Col(pa.Name), expr.Lit(relation.Int(lo))),
+			expr.Le(expr.Col(pa.Name), expr.Lit(relation.Int(lo+span))),
+		)
+		b := aggCols[rng.Intn(len(aggCols))]
+		var q estimator.Query
+		switch rng.Intn(3) {
+		case 0:
+			q = estimator.Sum(b, pred)
+		case 1:
+			q = estimator.Avg(b, pred)
+		default:
+			q = estimator.Count(pred)
+		}
+		out = append(out, GeneratedQuery{
+			Desc:  fmt.Sprintf("%s(%s) where %s in [%d,%d]", q.Agg, b, pa.Name, lo, lo+span),
+			Query: q,
+		})
+	}
+	return out
+}
+
+// PredAttr describes the integer domain of a predicate attribute.
+type PredAttr struct {
+	Name   string
+	Lo, Hi int64
+}
+
+// ViewQuerySpace returns the predicate attributes and aggregate columns
+// usable for random query generation against each complex view, keyed by
+// view name.
+func ViewQuerySpace(cfg Config) map[string]struct {
+	Preds []PredAttr
+	Aggs  []string
+} {
+	cfg = cfg.withDefaults()
+	days := int64(cfg.Days)
+	return map[string]struct {
+		Preds []PredAttr
+		Aggs  []string
+	}{
+		"V3":   {Preds: []PredAttr{{"l_orderkey", 0, int64(cfg.Orders)}}, Aggs: []string{"revenue", "cnt"}},
+		"V4":   {Preds: []PredAttr{{"o_orderpriority", 1, 5}}, Aggs: []string{"cnt", "totalQty"}},
+		"V5":   {Preds: []PredAttr{{"n_nationkey", 0, 24}, {"o_orderdate", 0, days}}, Aggs: []string{"revenue", "cnt"}},
+		"V9":   {Preds: []PredAttr{{"s_nationkey", 0, 24}, {"o_orderdate", 0, days}}, Aggs: []string{"profit", "cnt"}},
+		"V10":  {Preds: []PredAttr{{"c_custkey", 0, int64(cfg.Customers)}}, Aggs: []string{"revenue", "cnt"}},
+		"V13":  {Preds: []PredAttr{{"o_custkey", 0, int64(cfg.Customers)}}, Aggs: []string{"orderCount", "totalSpend"}},
+		"V15i": {Preds: []PredAttr{{"l_suppkey", 0, int64(cfg.Suppliers)}}, Aggs: []string{"totalRevenue", "cnt"}},
+		"V18":  {Preds: []PredAttr{{"l_orderkey", 0, int64(cfg.Orders)}}, Aggs: []string{"totalQty", "cnt"}},
+		"V21":  {Preds: []PredAttr{{"supplierOrders", 0, 1000}}, Aggs: []string{"cnt"}},
+		"V22":  {Preds: nil, Aggs: []string{"totalBal", "cnt"}}, // string key: predicate on cnt instead
+	}
+}
+
+// CubeRollups returns the 13 roll-up queries of Appendix 12.6.3: sums of
+// revenue over every listed dimension subset (Q1 = grand total).
+func CubeRollups() []struct {
+	Name    string
+	GroupBy []string
+} {
+	return []struct {
+		Name    string
+		GroupBy []string
+	}{
+		{"Q1", nil},
+		{"Q2", []string{"c_custkey"}},
+		{"Q3", []string{"n_nationkey"}},
+		{"Q4", []string{"r_regionkey"}},
+		{"Q5", []string{"l_partkey"}},
+		{"Q6", []string{"c_custkey", "n_nationkey"}},
+		{"Q7", []string{"c_custkey", "r_regionkey"}},
+		{"Q8", []string{"c_custkey", "l_partkey"}},
+		{"Q9", []string{"n_nationkey", "r_regionkey"}},
+		{"Q10", []string{"n_nationkey", "l_partkey"}},
+		{"Q11", []string{"c_custkey", "n_nationkey", "r_regionkey"}},
+		{"Q12", []string{"c_custkey", "n_nationkey", "l_partkey"}},
+		{"Q13", []string{"n_nationkey", "r_regionkey", "l_partkey"}},
+	}
+}

@@ -1,0 +1,101 @@
+// Package tpcd implements the paper's synthetic workload: a scaled-down
+// TPC-D-like schema with the TPCD-Skew generator's Zipfian skew knob
+// (Chaudhuri & Narasayya), the update workload (insertions and updates to
+// lineitem and orders only, per the TPC-D refresh model the paper uses),
+// the materialized views of Section 7 (the lineitem⋈orders join view, the
+// ten "complex" views V3..V22, and the Section 7.6.1 data cube), and the
+// random query generator of Section 7.1.
+//
+// The absolute scale is configurable; experiments run at laptop scale and
+// reproduce the paper's ratios, not its absolute numbers.
+package tpcd
+
+import (
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// Table names.
+const (
+	Region   = "region"
+	Nation   = "nation"
+	Customer = "customer"
+	Supplier = "supplier"
+	Part     = "part"
+	Orders   = "orders"
+	Lineitem = "lineitem"
+)
+
+// RegionSchema: r_regionkey, r_name.
+func RegionSchema() relation.Schema {
+	return relation.NewSchema([]relation.Column{
+		{Name: "r_regionkey", Type: relation.KindInt},
+		{Name: "r_name", Type: relation.KindString},
+	}, "r_regionkey")
+}
+
+// NationSchema: n_nationkey, n_name, n_regionkey.
+func NationSchema() relation.Schema {
+	return relation.NewSchema([]relation.Column{
+		{Name: "n_nationkey", Type: relation.KindInt},
+		{Name: "n_name", Type: relation.KindString},
+		{Name: "n_regionkey", Type: relation.KindInt},
+	}, "n_nationkey")
+}
+
+// CustomerSchema: c_custkey, c_nationkey, c_acctbal, c_mktsegment, c_phone.
+func CustomerSchema() relation.Schema {
+	return relation.NewSchema([]relation.Column{
+		{Name: "c_custkey", Type: relation.KindInt},
+		{Name: "c_nationkey", Type: relation.KindInt},
+		{Name: "c_acctbal", Type: relation.KindFloat},
+		{Name: "c_mktsegment", Type: relation.KindInt},
+		{Name: "c_phone", Type: relation.KindString},
+	}, "c_custkey")
+}
+
+// SupplierSchema: s_suppkey, s_nationkey, s_acctbal.
+func SupplierSchema() relation.Schema {
+	return relation.NewSchema([]relation.Column{
+		{Name: "s_suppkey", Type: relation.KindInt},
+		{Name: "s_nationkey", Type: relation.KindInt},
+		{Name: "s_acctbal", Type: relation.KindFloat},
+	}, "s_suppkey")
+}
+
+// PartSchema: p_partkey, p_brand, p_retailprice.
+func PartSchema() relation.Schema {
+	return relation.NewSchema([]relation.Column{
+		{Name: "p_partkey", Type: relation.KindInt},
+		{Name: "p_brand", Type: relation.KindInt},
+		{Name: "p_retailprice", Type: relation.KindFloat},
+	}, "p_partkey")
+}
+
+// OrdersSchema: o_orderkey, o_custkey, o_orderstatus, o_totalprice,
+// o_orderdate (day number), o_orderpriority (1..5).
+func OrdersSchema() relation.Schema {
+	return relation.NewSchema([]relation.Column{
+		{Name: "o_orderkey", Type: relation.KindInt},
+		{Name: "o_custkey", Type: relation.KindInt},
+		{Name: "o_orderstatus", Type: relation.KindInt},
+		{Name: "o_totalprice", Type: relation.KindFloat},
+		{Name: "o_orderdate", Type: relation.KindInt},
+		{Name: "o_orderpriority", Type: relation.KindInt},
+	}, "o_orderkey")
+}
+
+// LineitemSchema: composite key (l_orderkey, l_linenumber); foreign keys to
+// orders, part, supplier.
+func LineitemSchema() relation.Schema {
+	return relation.NewSchema([]relation.Column{
+		{Name: "l_orderkey", Type: relation.KindInt},
+		{Name: "l_linenumber", Type: relation.KindInt},
+		{Name: "l_partkey", Type: relation.KindInt},
+		{Name: "l_suppkey", Type: relation.KindInt},
+		{Name: "l_quantity", Type: relation.KindFloat},
+		{Name: "l_extendedprice", Type: relation.KindFloat},
+		{Name: "l_discount", Type: relation.KindFloat},
+		{Name: "l_returnflag", Type: relation.KindInt},
+		{Name: "l_shipdate", Type: relation.KindInt},
+	}, "l_orderkey", "l_linenumber")
+}

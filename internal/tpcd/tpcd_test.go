@@ -1,0 +1,403 @@
+package tpcd
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/sampleclean/svc/internal/clean"
+	"github.com/sampleclean/svc/internal/estimator"
+	"github.com/sampleclean/svc/internal/relation"
+	"github.com/sampleclean/svc/internal/stats"
+	"github.com/sampleclean/svc/internal/view"
+)
+
+func smallConfig(seed int64) Config {
+	return Config{Orders: 400, MaxLines: 3, Customers: 60, Suppliers: 15, Parts: 40, Z: 2, Days: 365, Seed: seed}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	g := NewGenerator(smallConfig(1))
+	d, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Table(Region).Len(); got != 5 {
+		t.Errorf("regions = %d", got)
+	}
+	if got := d.Table(Nation).Len(); got != 25 {
+		t.Errorf("nations = %d", got)
+	}
+	if got := d.Table(Orders).Len(); got != 400 {
+		t.Errorf("orders = %d", got)
+	}
+	li := d.Table(Lineitem).Len()
+	if li < 400 || li > 1200 {
+		t.Errorf("lineitems = %d, want 400..1200", li)
+	}
+	if len(d.ForeignKeys()) != 7 {
+		t.Errorf("foreign keys = %d", len(d.ForeignKeys()))
+	}
+	// Orders' totalprice should be consistent with its lineitems.
+	ot := d.Table(Orders)
+	row, ok := ot.Rows().Get(relation.Int(0))
+	if !ok || row[3].AsFloat() <= 0 {
+		t.Errorf("order 0 = %v", row)
+	}
+}
+
+func TestSkewAffectsPopularity(t *testing.T) {
+	count := func(z float64) int {
+		g := NewGenerator(Config{Orders: 800, Customers: 100, Z: z, Seed: 7})
+		d, err := g.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// how many orders belong to the most popular customer
+		counts := map[int64]int{}
+		for _, row := range d.Table(Orders).Rows().Rows() {
+			counts[row[1].AsInt()]++
+		}
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		return best
+	}
+	if !(count(4) > count(1)) {
+		t.Error("higher z should concentrate orders on the top customer")
+	}
+}
+
+func TestStageUpdatesFraction(t *testing.T) {
+	g := NewGenerator(smallConfig(2))
+	d, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := d.Table(Lineitem).Len()
+	if err := g.StageUpdates(d, 0.10); err != nil {
+		t.Fatal(err)
+	}
+	ins, del := d.Table(Lineitem).PendingSize()
+	staged := ins // updates appear in both ins and del
+	if staged < base/20 || staged > base/4 {
+		t.Errorf("staged %d (del %d) for base %d at 10%%", ins, del, base)
+	}
+	oins, _ := d.Table(Orders).PendingSize()
+	if oins == 0 {
+		t.Error("no new orders staged")
+	}
+}
+
+// All views must materialize, and every view except V21 (nested) must get
+// change-table maintenance; V21 falls back to recompute.
+func TestViewsMaterializeAndChooseStrategies(t *testing.T) {
+	g := NewGenerator(smallConfig(3))
+	d, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defs := append([]view.Definition{JoinView(), CubeView()}, ComplexViews()...)
+	for _, def := range defs {
+		v, err := view.Materialize(d, def)
+		if err != nil {
+			t.Fatalf("%s: %v", def.Name, err)
+		}
+		if v.Data().Len() == 0 {
+			t.Errorf("%s: empty view", def.Name)
+		}
+		m, err := view.NewMaintainer(v)
+		if err != nil {
+			t.Fatalf("%s: %v", def.Name, err)
+		}
+		wantKind := view.ChangeTable
+		if def.Name == "V21" {
+			wantKind = view.Recompute
+		}
+		if m.Kind() != wantKind {
+			t.Errorf("%s: strategy %v, want %v", def.Name, m.Kind(), wantKind)
+		}
+	}
+}
+
+// Maintenance correctness on the TPCD workload: change-table == recompute
+// ground truth for every view.
+func TestViewMaintenanceMatchesGroundTruth(t *testing.T) {
+	g := NewGenerator(smallConfig(4))
+	d, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defs := append([]view.Definition{JoinView(), CubeView()}, ComplexViews()...)
+	views := make([]*view.View, len(defs))
+	maints := make([]*view.Maintainer, len(defs))
+	for i, def := range defs {
+		v, err := view.Materialize(d, def)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := view.NewMaintainer(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		views[i], maints[i] = v, m
+	}
+	if err := g.StageUpdates(d, 0.10); err != nil {
+		t.Fatal(err)
+	}
+	snap := d.Snapshot()
+	if err := snap.ApplyDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	for i, def := range defs {
+		truth, err := view.Materialize(snap, def)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := maints[i].Maintain(d); err != nil {
+			t.Fatalf("%s: %v", def.Name, err)
+		}
+		got, want := views[i].Data(), truth.Data()
+		if got.Len() != want.Len() {
+			t.Errorf("%s: %d rows, want %d", def.Name, got.Len(), want.Len())
+			continue
+		}
+		keyIdx := want.Schema().Key()
+		for _, wrow := range want.Rows() {
+			grow, ok := got.GetByEncodedKey(wrow.KeyOf(keyIdx))
+			if !ok {
+				t.Errorf("%s: missing row %v", def.Name, wrow)
+				break
+			}
+			for c := range wrow {
+				dv := grow[c].AsFloat() - wrow[c].AsFloat()
+				if dv > 1e-6 || dv < -1e-6 {
+					t.Errorf("%s: row %v vs %v", def.Name, grow, wrow)
+					break
+				}
+			}
+		}
+	}
+}
+
+// SVC end-to-end on the join view: cleaning at 10% touches far fewer rows
+// than IVM, and CORR beats the stale baseline on the Figure 5 queries.
+func TestJoinViewSVCEndToEnd(t *testing.T) {
+	g := NewGenerator(Config{Orders: 2000, Customers: 150, Suppliers: 30, Parts: 120, Z: 2, Seed: 5})
+	d, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := JoinView()
+	v, err := view.Materialize(d, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := view.NewMaintainer(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := clean.New(m, 0.1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.StageUpdates(d, 0.10); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := c.Clean(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := d.Snapshot()
+	if err := snap.ApplyDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	truthView, err := view.Materialize(snap, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staleData := v.Data().Clone() // Maintain below replaces the view contents
+	full, err := m.Maintain(d.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samples.Stats.RowsTouched >= full.RowsTouched {
+		t.Errorf("SVC-10%% touched %d rows vs IVM %d", samples.Stats.RowsTouched, full.RowsTouched)
+	}
+	var staleErr, corrErr float64
+	n := 0
+	for _, jq := range JoinViewQueries() {
+		truth, _, err := estimator.GroupExact(truthView.Data(), jq.Query, jq.GroupBy)
+		if err != nil {
+			t.Fatalf("%s: %v", jq.Name, err)
+		}
+		staleAns, _, err := estimator.GroupExact(staleData, jq.Query, jq.GroupBy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		corr, err := estimator.GroupCorr(staleData, samples, jq.Query, jq.GroupBy, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sMed, _ := estimator.GroupStaleErrorStats(staleAns, truth)
+		cMed, _ := estimator.GroupErrorStats(corr.Groups, truth)
+		staleErr += sMed
+		corrErr += cMed
+		n++
+	}
+	t.Logf("median rel err over %d queries: stale %.4f, corr %.4f", n, staleErr/float64(n), corrErr/float64(n))
+	if corrErr >= staleErr {
+		t.Errorf("SVC+CORR (%.4f) should beat stale (%.4f)", corrErr/float64(n), staleErr/float64(n))
+	}
+}
+
+func TestGenerateQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	space := ViewQuerySpace(smallConfig(1))["V3"]
+	qs := GenerateQueries(rng, 50, space.Preds, space.Aggs)
+	if len(qs) != 50 {
+		t.Fatalf("generated %d queries", len(qs))
+	}
+	aggs := map[estimator.Agg]bool{}
+	for _, q := range qs {
+		aggs[q.Query.Agg] = true
+		if q.Query.Pred == nil {
+			t.Fatal("query without predicate")
+		}
+	}
+	if len(aggs) < 2 {
+		t.Errorf("expected a mix of aggregate types, got %v", aggs)
+	}
+	if GenerateQueries(rng, 5, nil, space.Aggs) != nil {
+		t.Error("no predicate attrs should give no queries")
+	}
+}
+
+func TestCubeRollupsShape(t *testing.T) {
+	rolls := CubeRollups()
+	if len(rolls) != 13 {
+		t.Fatalf("rollups = %d", len(rolls))
+	}
+	if rolls[0].GroupBy != nil {
+		t.Error("Q1 should be the grand total")
+	}
+}
+
+func TestPriceSkew(t *testing.T) {
+	// The Zipfian price distribution must be long-tailed: the max far
+	// exceeds the median for z=2.
+	g := NewGenerator(smallConfig(9))
+	var prices []float64
+	for i := 0; i < 5000; i++ {
+		prices = append(prices, g.price())
+	}
+	med := stats.Median(prices)
+	max := prices[0]
+	for _, p := range prices {
+		if p > max {
+			max = p
+		}
+	}
+	if max < 10*med {
+		t.Errorf("price distribution not long-tailed: median %v max %v", med, max)
+	}
+}
+
+func TestDenormGenerator(t *testing.T) {
+	dg := NewDenormGenerator(smallConfig(31))
+	d, err := dg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := d.Table(Sales)
+	if tab.Len() < 400 {
+		t.Fatalf("sales rows = %d", tab.Len())
+	}
+	// Functional dependencies of the denormalized layout: custkey
+	// determines nationkey determines regionkey.
+	nationOf := map[int64]int64{}
+	regionOf := map[int64]int64{}
+	ci := tab.Schema().ColIndex("c_custkey")
+	ni := tab.Schema().ColIndex("n_nationkey")
+	ri := tab.Schema().ColIndex("r_regionkey")
+	for _, row := range tab.Rows().Rows() {
+		c, n, r := row[ci].AsInt(), row[ni].AsInt(), row[ri].AsInt()
+		if have, ok := nationOf[c]; ok && have != n {
+			t.Fatalf("custkey %d maps to nations %d and %d", c, have, n)
+		}
+		nationOf[c] = n
+		if have, ok := regionOf[n]; ok && have != r {
+			t.Fatalf("nation %d maps to regions %d and %d", n, have, r)
+		}
+		regionOf[n] = r
+	}
+	// Updates stage and the cube maintains correctly.
+	def := DenormCubeView()
+	v, err := view.Materialize(d, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := view.NewMaintainer(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind() != view.ChangeTable {
+		t.Fatalf("cube strategy = %v", m.Kind())
+	}
+	if err := dg.StageUpdates(d, 0.10); err != nil {
+		t.Fatal(err)
+	}
+	ins, del := tab.PendingSize()
+	if ins == 0 {
+		t.Fatal("no staged inserts")
+	}
+	_ = del
+	snap := d.Snapshot()
+	if err := snap.ApplyDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	truth, err := view.Materialize(snap, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Maintain(d); err != nil {
+		t.Fatal(err)
+	}
+	if v.Data().Len() != truth.Data().Len() {
+		t.Fatalf("maintained cube %d cells, truth %d", v.Data().Len(), truth.Data().Len())
+	}
+	keyIdx := truth.Data().Schema().Key()
+	for _, wrow := range truth.Data().Rows() {
+		grow, ok := v.Data().GetByEncodedKey(wrow.KeyOf(keyIdx))
+		if !ok {
+			t.Fatalf("missing cube cell %v", wrow)
+		}
+		for c := range wrow {
+			dv := grow[c].AsFloat() - wrow[c].AsFloat()
+			if dv > 1e-6 || dv < -1e-6 {
+				t.Fatalf("cube cell mismatch %v vs %v", grow, wrow)
+			}
+		}
+	}
+}
+
+func TestDenormRollupQueryRand(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	dg := NewDenormGenerator(smallConfig(32))
+	d, err := dg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := view.Materialize(d, DenormCubeView())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		pred := DenormRollupQueryRand(rng, dg.Config())
+		if _, err := estimator.RunExact(v.Data(), estimator.Sum("revenue", pred)); err != nil {
+			t.Fatalf("random predicate failed: %v", err)
+		}
+	}
+}

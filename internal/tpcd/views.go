@@ -1,0 +1,211 @@
+package tpcd
+
+import (
+	"github.com/sampleclean/svc/internal/algebra"
+	"github.com/sampleclean/svc/internal/expr"
+	"github.com/sampleclean/svc/internal/view"
+)
+
+// Revenue is the TPC-D revenue expression l_extendedprice·(1−l_discount).
+func Revenue() expr.Expr {
+	return expr.Mul(expr.Col("l_extendedprice"),
+		expr.Sub(expr.IntLit(1), expr.Col("l_discount")))
+}
+
+// lineitemOrders joins lineitem with orders on the foreign key, merging
+// the order key columns (output key: l_orderkey, l_linenumber).
+func lineitemOrders() algebra.Node {
+	return algebra.MustJoin(
+		algebra.Scan(Lineitem, LineitemSchema()),
+		algebra.Scan(Orders, OrdersSchema()),
+		algebra.JoinSpec{
+			Type:  algebra.Inner,
+			On:    []algebra.EqPair{{Left: "l_orderkey", Right: "o_orderkey"}},
+			Merge: true,
+		},
+	)
+}
+
+// JoinView is the Section 7.2 materialized view: the foreign-key join of
+// lineitem and orders (an SPJ view — the 12 TPCD-style queries are
+// group-by aggregates over it).
+func JoinView() view.Definition {
+	return view.Definition{Name: "joinView", Plan: lineitemOrders()}
+}
+
+// withCustomer extends lineitem⋈orders with customer (FK o_custkey).
+func withCustomer(n algebra.Node) algebra.Node {
+	return algebra.MustJoin(n,
+		algebra.Scan(Customer, CustomerSchema()),
+		algebra.JoinSpec{
+			Type: algebra.Inner,
+			On:   []algebra.EqPair{{Left: "o_custkey", Right: "c_custkey"}},
+		},
+	)
+}
+
+// withSupplier extends a lineitem-bearing tree with supplier.
+func withSupplier(n algebra.Node) algebra.Node {
+	return algebra.MustJoin(n,
+		algebra.Scan(Supplier, SupplierSchema()),
+		algebra.JoinSpec{
+			Type: algebra.Inner,
+			On:   []algebra.EqPair{{Left: "l_suppkey", Right: "s_suppkey"}},
+		},
+	)
+}
+
+// custNation joins customers to nations (c_nationkey = n_nationkey).
+func custNation(n algebra.Node) algebra.Node {
+	return algebra.MustJoin(n,
+		algebra.Scan(Nation, NationSchema()),
+		algebra.JoinSpec{
+			Type: algebra.Inner,
+			On:   []algebra.EqPair{{Left: "c_nationkey", Right: "n_nationkey"}},
+		},
+	)
+}
+
+// ComplexViews returns the paper's ten "complex" views (Section 7.3,
+// Figure 7), TPCD-query-shaped aggregates over the schema. V21 (nested
+// aggregate) and V22 (string transformation of a key) deliberately defeat
+// hash push-down, as in the paper.
+func ComplexViews() []view.Definition {
+	var defs []view.Definition
+
+	// V3: revenue per order over a date window (Q3's true output grain:
+	// GROUP BY l_orderkey with order attributes functionally dependent).
+	// Keyed on the fact table, so a lineitem outlier index is eligible
+	// for push-up (Definition 5 base case) — the paper runs its outlier
+	// experiments on this view.
+	defs = append(defs, view.Definition{Name: "V3", Plan: algebra.MustGroupBy(
+		algebra.MustSelect(lineitemOrders(),
+			expr.Lt(expr.Col("o_orderdate"), expr.IntLit(270))),
+		[]string{"l_orderkey"},
+		algebra.CountAs("cnt"),
+		algebra.SumAs(Revenue(), "revenue"),
+	)})
+
+	// V4: order-priority counts over a date window (Q4 shape).
+	defs = append(defs, view.Definition{Name: "V4", Plan: algebra.MustGroupBy(
+		algebra.MustSelect(lineitemOrders(),
+			expr.Lt(expr.Col("o_orderdate"), expr.IntLit(270))),
+		[]string{"o_orderpriority"},
+		algebra.CountAs("cnt"),
+		algebra.SumAs(expr.Col("l_quantity"), "totalQty"),
+	)})
+
+	// V5: revenue per nation and order date (Q5 shape: local supplier
+	// volume per nation per period; date granularity keeps the view's
+	// cardinality in sampling range — the paper excluded tiny views).
+	defs = append(defs, view.Definition{Name: "V5", Plan: algebra.MustGroupBy(
+		custNation(withCustomer(lineitemOrders())),
+		[]string{"n_nationkey", "o_orderdate"},
+		algebra.CountAs("cnt"),
+		algebra.SumAs(Revenue(), "revenue"),
+	)})
+
+	// V9: profit per supplier nation and order date (Q9 shape: profit by
+	// nation by period).
+	defs = append(defs, view.Definition{Name: "V9", Plan: algebra.MustGroupBy(
+		withSupplier(lineitemOrders()),
+		[]string{"s_nationkey", "o_orderdate"},
+		algebra.CountAs("cnt"),
+		algebra.SumAs(Revenue(), "profit"),
+	)})
+
+	// V10: revenue per customer (Q10 shape: returned-item reporting).
+	defs = append(defs, view.Definition{Name: "V10", Plan: algebra.MustGroupBy(
+		algebra.MustSelect(withCustomer(lineitemOrders()),
+			expr.Eq(expr.Col("l_returnflag"), expr.IntLit(1))),
+		[]string{"c_custkey"},
+		algebra.CountAs("cnt"),
+		algebra.SumAs(Revenue(), "revenue"),
+	)})
+
+	// V13: orders per customer (the inner block of Q13's distribution).
+	defs = append(defs, view.Definition{Name: "V13", Plan: algebra.MustGroupBy(
+		algebra.Scan(Orders, OrdersSchema()),
+		[]string{"o_custkey"},
+		algebra.CountAs("orderCount"),
+		algebra.SumAs(expr.Col("o_totalprice"), "totalSpend"),
+	)})
+
+	// V15i: supplier revenue over a ship-date window (Q15's inner view —
+	// hence the paper's name "V15i").
+	defs = append(defs, view.Definition{Name: "V15i", Plan: algebra.MustGroupBy(
+		algebra.MustSelect(algebra.Scan(Lineitem, LineitemSchema()),
+			expr.And(
+				expr.Ge(expr.Col("l_shipdate"), expr.IntLit(90)),
+				expr.Lt(expr.Col("l_shipdate"), expr.IntLit(180)),
+			)),
+		[]string{"l_suppkey"},
+		algebra.CountAs("cnt"),
+		algebra.SumAs(Revenue(), "totalRevenue"),
+	)})
+
+	// V18: per-order quantity totals (Q18 shape: large-volume customers).
+	defs = append(defs, view.Definition{Name: "V18", Plan: algebra.MustGroupBy(
+		algebra.Scan(Lineitem, LineitemSchema()),
+		[]string{"l_orderkey"},
+		algebra.CountAs("cnt"),
+		algebra.SumAs(expr.Col("l_quantity"), "totalQty"),
+	)})
+
+	// V21: distribution of per-supplier order counts — a nested
+	// aggregate. The inner γ's output feeds an outer γ keyed on the
+	// *count*, which blocks hash push-down below the outer aggregate
+	// (provably: the paper's Theorem 1 discussion reduces it to
+	// SUBSET-SUM) and forces the recompute maintenance strategy.
+	inner21 := algebra.MustGroupBy(
+		withSupplier(lineitemOrders()),
+		[]string{"s_suppkey"},
+		algebra.CountAs("supplierOrders"),
+	)
+	defs = append(defs, view.Definition{Name: "V21", Plan: algebra.MustGroupBy(
+		inner21, []string{"supplierOrders"},
+		algebra.CountAs("cnt"),
+	)})
+
+	// V22: account balances grouped by phone prefix — the group key is a
+	// string transformation (substr) of a customer attribute, which is
+	// not a pass-through column, so η cannot push below the projection.
+	prefix22 := algebra.MustProjectKeyed(
+		withCustomer(lineitemOrders()),
+		[]algebra.Output{
+			algebra.OutCol("l_orderkey"),
+			algebra.OutCol("l_linenumber"),
+			algebra.Out("cntry", expr.Func("substr", expr.Col("c_phone"), expr.IntLit(0), expr.IntLit(2))),
+			algebra.Out("acctbal", expr.Col("c_acctbal")),
+			algebra.OutCol("o_totalprice"),
+		},
+		"l_orderkey", "l_linenumber",
+	)
+	defs = append(defs, view.Definition{Name: "V22", Plan: algebra.MustGroupBy(
+		prefix22, []string{"cntry"},
+		algebra.CountAs("cnt"),
+		algebra.SumAs(expr.Col("acctbal"), "totalBal"),
+	)})
+
+	return defs
+}
+
+// CubeView is the Section 7.6.1 aggregate view: revenue grouped by
+// (c_custkey, n_nationkey, r_regionkey, l_partkey) over the five-way join
+// — the base cube whose roll-ups Figures 10–13 evaluate.
+func CubeView() view.Definition {
+	nationRegion := algebra.MustJoin(
+		custNation(withCustomer(lineitemOrders())),
+		algebra.Scan(Region, RegionSchema()),
+		algebra.JoinSpec{
+			Type: algebra.Inner,
+			On:   []algebra.EqPair{{Left: "n_regionkey", Right: "r_regionkey"}},
+		},
+	)
+	return view.Definition{Name: "baseCube", Plan: algebra.MustGroupBy(
+		nationRegion,
+		[]string{"c_custkey", "n_nationkey", "r_regionkey", "l_partkey"},
+		algebra.CountAs("cnt"),
+		algebra.SumAs(Revenue(), "revenue"),
+	)}
+}

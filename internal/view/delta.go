@@ -1,0 +1,155 @@
+package view
+
+import (
+	"fmt"
+
+	"github.com/sampleclean/svc/internal/algebra"
+	"github.com/sampleclean/svc/internal/db"
+	"github.com/sampleclean/svc/internal/expr"
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// MultCol is the signed-multiplicity column carried by delta streams:
+// +1 for an inserted contribution, −1 for a deleted one. Multiplicities
+// multiply through joins, so the delta of a join is exact:
+// (L+δL) ⋈ (R+δR) = L⋈R + δL⋈R + L⋈δR + δL⋈δR.
+const MultCol = "__mult"
+
+// DeltaPlan derives the delta stream of plan: a keyless bag with the
+// plan's columns plus MultCol, containing one row per added (+1) or
+// removed (−1) contribution implied by the staged deltas ∂D.
+//
+// Supported operators: Scan, Select, Project, Alias, inner Join. Anything
+// else (outer joins, aggregates, set operators) is rejected — callers fall
+// back to the recompute strategy.
+func DeltaPlan(n algebra.Node) (algebra.Node, error) {
+	switch t := n.(type) {
+	case *algebra.ScanNode:
+		return deltaScan(t)
+	case *algebra.SelectNode:
+		child, err := DeltaPlan(t.Children()[0])
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Select(child, t.Pred())
+	case *algebra.ProjectNode:
+		child, err := DeltaPlan(t.Children()[0])
+		if err != nil {
+			return nil, err
+		}
+		outs := append(append([]algebra.Output(nil), t.Outputs()...), algebra.OutCol(MultCol))
+		return algebra.ProjectKeyed(child, outs) // keyless bag
+	case *algebra.AliasNode:
+		child, err := DeltaPlan(t.Children()[0])
+		if err != nil {
+			return nil, err
+		}
+		// Alias would also rename MultCol; re-project to the aliased
+		// names with MultCol kept verbatim.
+		var outs []algebra.Output
+		for _, c := range t.Children()[0].Schema().Cols() {
+			outs = append(outs, algebra.Out(t.Prefix()+"."+c.Name, expr.Col(c.Name)))
+		}
+		outs = append(outs, algebra.OutCol(MultCol))
+		return algebra.ProjectKeyed(child, outs)
+	case *algebra.JoinNode:
+		return deltaJoin(t)
+	default:
+		return nil, fmt.Errorf("view: operator %s not supported by change-table maintenance", n)
+	}
+}
+
+// deltaScan builds ΔR×(+1) ∪ ∇R×(−1) as a keyless bag.
+func deltaScan(s *algebra.ScanNode) (algebra.Node, error) {
+	// Bag schema: same columns, no key (an update contributes one +1 and
+	// one −1 row under the same base key).
+	bag := relation.NewSchema(s.Schema().Cols())
+	withMult := func(name string, mult int64) (algebra.Node, error) {
+		scan := algebra.Scan(name, bag)
+		var outs []algebra.Output
+		for _, c := range bag.Cols() {
+			outs = append(outs, algebra.OutCol(c.Name))
+		}
+		outs = append(outs, algebra.Out(MultCol, expr.IntLit(mult)))
+		return algebra.ProjectKeyed(scan, outs)
+	}
+	ins, err := withMult(db.InsOf(s.Name()), +1)
+	if err != nil {
+		return nil, err
+	}
+	del, err := withMult(db.DelOf(s.Name()), -1)
+	if err != nil {
+		return nil, err
+	}
+	return algebra.Union(ins, del)
+}
+
+// deltaJoin builds δL⋈R ∪ L⋈δR ∪ δL⋈δR with multiplied multiplicities,
+// each piece normalized to the join's output columns plus MultCol.
+func deltaJoin(j *algebra.JoinNode) (algebra.Node, error) {
+	spec := j.Spec()
+	if spec.Type != algebra.Inner {
+		return nil, fmt.Errorf("view: change-table maintenance supports inner joins only, got %s", spec.Type)
+	}
+	left, right := j.Children()[0], j.Children()[1]
+	dLeft, err := DeltaPlan(left)
+	if err != nil {
+		return nil, err
+	}
+	dRight, err := DeltaPlan(right)
+	if err != nil {
+		return nil, err
+	}
+	// Rename the right delta's MultCol to avoid the clash in piece 3.
+	const multR = "__multR"
+	var rOuts []algebra.Output
+	for _, c := range right.Schema().Cols() {
+		rOuts = append(rOuts, algebra.OutCol(c.Name))
+	}
+	rOuts = append(rOuts, algebra.Out(multR, expr.Col(MultCol)))
+	dRightRenamed, err := algebra.ProjectKeyed(dRight, rOuts)
+	if err != nil {
+		return nil, err
+	}
+
+	// normalize projects a piece to the join's schema columns + MultCol.
+	normalize := func(piece algebra.Node, mult expr.Expr) (algebra.Node, error) {
+		var outs []algebra.Output
+		for _, c := range j.Schema().Cols() {
+			outs = append(outs, algebra.OutCol(c.Name))
+		}
+		outs = append(outs, algebra.Out(MultCol, mult))
+		return algebra.ProjectKeyed(piece, outs)
+	}
+
+	p1Join, err := algebra.Join(dLeft, right, spec)
+	if err != nil {
+		return nil, err
+	}
+	p1, err := normalize(p1Join, expr.Col(MultCol))
+	if err != nil {
+		return nil, err
+	}
+	p2Join, err := algebra.Join(left, dRightRenamed, spec)
+	if err != nil {
+		return nil, err
+	}
+	p2, err := normalize(p2Join, expr.Col(multR))
+	if err != nil {
+		return nil, err
+	}
+	p3Join, err := algebra.Join(dLeft, dRightRenamed, spec)
+	if err != nil {
+		return nil, err
+	}
+	p3, err := normalize(p3Join, expr.Mul(expr.Col(MultCol), expr.Col(multR)))
+	if err != nil {
+		return nil, err
+	}
+
+	u1, err := algebra.Union(p1, p2)
+	if err != nil {
+		return nil, err
+	}
+	return algebra.Union(u1, p3)
+}

@@ -1,0 +1,283 @@
+package view
+
+import (
+	"fmt"
+
+	"github.com/sampleclean/svc/internal/algebra"
+	"github.com/sampleclean/svc/internal/db"
+	"github.com/sampleclean/svc/internal/expr"
+)
+
+// StrategyKind identifies the maintenance strategy chosen for a view.
+type StrategyKind uint8
+
+// Available strategies.
+const (
+	// ChangeTable is the delta/change-table incremental strategy
+	// (paper Example 1; Gupta & Mumick).
+	ChangeTable StrategyKind = iota
+	// Recompute substitutes (R−∇R)∪ΔR for every base scan — fully
+	// general fallback.
+	Recompute
+)
+
+// String returns the strategy name.
+func (k StrategyKind) String() string {
+	if k == ChangeTable {
+		return "change-table"
+	}
+	return "recompute"
+}
+
+// Maintainer owns the maintenance strategy M(S, D, ∂D) for one view.
+//
+// The strategy is exposed as a relational expression (Expression) so that
+// SVC can push its sampling operator through it; Maintain evaluates it at
+// full size — classic deferred IVM.
+type Maintainer struct {
+	view *View
+	kind StrategyKind
+	expr algebra.Node
+}
+
+// NewMaintainer builds the maintenance expression for the view, choosing
+// change-table maintenance when the definition's shape allows it and
+// falling back to recompute otherwise.
+func NewMaintainer(v *View) (*Maintainer, error) {
+	if m, err := buildChangeTable(v); err == nil {
+		return &Maintainer{view: v, kind: ChangeTable, expr: m}, nil
+	}
+	m, err := buildRecompute(v)
+	if err != nil {
+		return nil, fmt.Errorf("view: %s: no applicable maintenance strategy: %w", v.Name(), err)
+	}
+	return &Maintainer{view: v, kind: Recompute, expr: m}, nil
+}
+
+// Kind returns the chosen strategy.
+func (m *Maintainer) Kind() StrategyKind { return m.kind }
+
+// View returns the maintained view.
+func (m *Maintainer) View() *View { return m.view }
+
+// Expression returns the maintenance strategy M as a relational
+// expression. It reads the stale view via Scan(StaleName(view)) and the
+// staged deltas via Scan(db.InsOf/DelOf(table)); evaluating it against a
+// context with those bindings yields the up-to-date view S′.
+func (m *Maintainer) Expression() algebra.Node { return m.expr }
+
+// MaintainStats reports the cost of one full maintenance run.
+type MaintainStats struct {
+	RowsTouched int64
+	OutputRows  int
+}
+
+// Maintain evaluates M at full size and replaces the view's contents with
+// the up-to-date result (incremental view maintenance). The staged deltas
+// are left in place; the caller decides when to fold them into the base
+// tables with db.ApplyDeltas.
+func (m *Maintainer) Maintain(d *db.Database) (MaintainStats, error) {
+	ctx := d.Context()
+	m.view.BindInto(ctx)
+	out, err := m.expr.Eval(ctx)
+	if err != nil {
+		return MaintainStats{}, fmt.Errorf("view: maintain %s: %w", m.view.Name(), err)
+	}
+	coerced, err := coerce(m.view.Schema(), out.Rows())
+	if err != nil {
+		return MaintainStats{}, fmt.Errorf("view: maintain %s: %w", m.view.Name(), err)
+	}
+	if err := m.view.Replace(coerced); err != nil {
+		return MaintainStats{}, err
+	}
+	return MaintainStats{RowsTouched: ctx.RowsTouched, OutputRows: coerced.Len()}, nil
+}
+
+// ---------------------------------------------------------------- recompute
+
+// buildRecompute returns the view definition with every base scan replaced
+// by (R − ∇R) ∪ ΔR.
+func buildRecompute(v *View) (algebra.Node, error) {
+	return substituteScans(v.def.Plan)
+}
+
+func substituteScans(n algebra.Node) (algebra.Node, error) {
+	if s, ok := n.(*algebra.ScanNode); ok {
+		base := algebra.Scan(s.Name(), s.Schema())
+		del := algebra.Scan(db.DelOf(s.Name()), s.Schema())
+		ins := algebra.Scan(db.InsOf(s.Name()), s.Schema())
+		minus, err := algebra.Difference(base, del)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Union(minus, ins)
+	}
+	children := n.Children()
+	if len(children) == 0 {
+		return n, nil
+	}
+	newCh := make([]algebra.Node, len(children))
+	for i, c := range children {
+		nc, err := substituteScans(c)
+		if err != nil {
+			return nil, err
+		}
+		newCh[i] = nc
+	}
+	return n.WithChildren(newCh), nil
+}
+
+// ---------------------------------------------------------------- change table
+
+// buildChangeTable builds the change-table maintenance expression for SPJ
+// and single-level count/sum aggregate views.
+func buildChangeTable(v *View) (algebra.Node, error) {
+	plan := v.def.Plan
+	if agg, ok := plan.(*algebra.AggregateNode); ok {
+		return buildAggChangeTable(v, agg)
+	}
+	return buildSPJChangeTable(v, plan)
+}
+
+// buildSPJChangeTable maintains a select-project-join view:
+// S′ = (S − δ⁻) ∪ δ⁺.
+//
+// The raw delta stream can carry several ±1 contributions for the same
+// view row (e.g. a dimension update surfaces through the δL⋈R, L⋈δR and
+// δL⋈δR pieces), so the stream is first netted per distinct full row; rows
+// netting negative are removals, positive are additions, zero cancels.
+func buildSPJChangeTable(v *View, plan algebra.Node) (algebra.Node, error) {
+	delta, err := DeltaPlan(plan)
+	if err != nil {
+		return nil, err
+	}
+	key := v.KeyNames()
+	if len(key) == 0 {
+		return nil, fmt.Errorf("view %s has no key", v.Name())
+	}
+	const netCol = "__net"
+	net, err := algebra.GroupBy(delta, v.Schema().Names(),
+		algebra.SumAs(expr.Col(MultCol), netCol))
+	if err != nil {
+		return nil, err
+	}
+	viewCols := algebra.OutCols(v.Schema().Names()...)
+	part := func(sign expr.Expr) (algebra.Node, error) {
+		sel, err := algebra.Select(net, sign)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.ProjectKeyed(sel, viewCols, key...)
+	}
+	dDel, err := part(expr.Lt(expr.Col(netCol), expr.IntLit(0)))
+	if err != nil {
+		return nil, err
+	}
+	dIns, err := part(expr.Gt(expr.Col(netCol), expr.IntLit(0)))
+	if err != nil {
+		return nil, err
+	}
+	stale := algebra.Scan(StaleName(v.Name()), v.Schema())
+	minus, err := algebra.Difference(stale, dDel)
+	if err != nil {
+		return nil, err
+	}
+	return algebra.Union(minus, dIns)
+}
+
+// buildAggChangeTable maintains γ_{A,aggs}(SPJ): compute the change table
+// CT = γ_A over the delta stream (count deltas as Σmult, sum deltas as
+// Σ mult·e), full-outer-merge it with the stale view on A, add the
+// coalesced deltas, and drop groups whose count reaches zero.
+func buildAggChangeTable(v *View, agg *algebra.AggregateNode) (algebra.Node, error) {
+	groupBy := agg.GroupKeys()
+	if len(groupBy) == 0 {
+		return nil, fmt.Errorf("view %s: grand aggregates have no key", v.Name())
+	}
+	specs := agg.Aggs()
+	countCol := ""
+	for _, s := range specs {
+		switch s.Func {
+		case algebra.Count:
+			if countCol == "" {
+				countCol = s.As
+			}
+		case algebra.Sum:
+			// fine
+		default:
+			return nil, fmt.Errorf("view %s: %s aggregate is not incrementally maintainable here", v.Name(), s.Func)
+		}
+	}
+	if countCol == "" {
+		return nil, fmt.Errorf("view %s: change-table maintenance needs a count column to garbage-collect empty groups", v.Name())
+	}
+
+	delta, err := DeltaPlan(agg.Children()[0])
+	if err != nil {
+		return nil, err
+	}
+
+	// Change table: per group, the signed delta of each aggregate.
+	deltaName := func(col string) string { return "δ" + col }
+	var ctAggs []algebra.AggSpec
+	for _, s := range specs {
+		switch s.Func {
+		case algebra.Count:
+			ctAggs = append(ctAggs, algebra.SumAs(expr.Col(MultCol), deltaName(s.As)))
+		case algebra.Sum:
+			ctAggs = append(ctAggs, algebra.SumAs(expr.Mul(expr.Col(MultCol), s.Input), deltaName(s.As)))
+		}
+	}
+	ct, err := algebra.GroupBy(delta, groupBy, ctAggs...)
+	if err != nil {
+		return nil, err
+	}
+	// Rename CT group columns so the merge join can equate them.
+	ctName := func(col string) string { return "ct·" + col }
+	var ctOuts []algebra.Output
+	var on []algebra.EqPair
+	for _, g := range groupBy {
+		ctOuts = append(ctOuts, algebra.Out(ctName(g), expr.Col(g)))
+		on = append(on, algebra.EqPair{Left: g, Right: ctName(g)})
+	}
+	for _, s := range specs {
+		ctOuts = append(ctOuts, algebra.OutCol(deltaName(s.As)))
+	}
+	ctRenamed, err := algebra.Project(ct, ctOuts)
+	if err != nil {
+		return nil, err
+	}
+
+	stale := algebra.Scan(StaleName(v.Name()), v.Schema())
+	merged, err := algebra.Join(stale, ctRenamed, algebra.JoinSpec{
+		Type: algebra.FullOuter, On: on, Merge: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Merge projection: group columns pass through (coalesced by the
+	// merged join); aggregate columns add the coalesced delta. Counts
+	// stay integers.
+	var outs []algebra.Output
+	for _, g := range groupBy {
+		outs = append(outs, algebra.OutCol(g))
+	}
+	for _, s := range specs {
+		sum := expr.Add(
+			expr.Coalesce(expr.Col(s.As), expr.IntLit(0)),
+			expr.Coalesce(expr.Col(deltaName(s.As)), expr.IntLit(0)),
+		)
+		if s.Func == algebra.Count {
+			outs = append(outs, algebra.Out(s.As, expr.Func("toint", sum)))
+		} else {
+			outs = append(outs, algebra.Out(s.As, expr.Func("tofloat", sum)))
+		}
+	}
+	proj, err := algebra.ProjectKeyed(merged, outs, groupBy...)
+	if err != nil {
+		return nil, err
+	}
+	// Superfluous rows: groups whose contributions all vanished.
+	return algebra.Select(proj, expr.Gt(expr.Col(countCol), expr.IntLit(0)))
+}

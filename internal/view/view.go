@@ -1,0 +1,179 @@
+// Package view implements materialized views and their maintenance
+// strategies.
+//
+// A view is defined by a relational expression over base tables (package
+// algebra) and materialized by evaluating it. Between maintenance periods
+// the base tables accumulate staged deltas (package db) and the view is
+// stale — it has incorrect, missing, and superfluous rows in the paper's
+// terminology (Section 3.1).
+//
+// A maintenance strategy M(S, D, ∂D) is itself a relational expression
+// whose evaluation returns the up-to-date view S′. Two strategies are
+// provided:
+//
+//   - Change-table incremental maintenance (Gupta/Mumick style, the
+//     paper's Example 1): propagate signed-multiplicity deltas through the
+//     view's SPJ body, aggregate them into a change table, and merge it
+//     into the stale view with a full outer join and a coalescing
+//     projection. Applies to SPJ views and single-level aggregate views
+//     with count/sum aggregates.
+//   - Recompute: substitute (R − ∇R) ∪ ΔR for every base scan in the view
+//     definition. Fully general; used as the fallback for views the
+//     change-table rules cannot handle (outer joins, nested aggregates,
+//     avg/min/max) and as the ground truth in tests.
+//
+// Because both strategies are plain relational expressions, SVC's hash
+// push-down applies to them directly — that is the paper's central trick.
+package view
+
+import (
+	"fmt"
+
+	"github.com/sampleclean/svc/internal/algebra"
+	"github.com/sampleclean/svc/internal/db"
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// StaleName returns the context binding name under which a view's stale
+// contents are made available to maintenance expressions.
+func StaleName(view string) string { return "§" + view }
+
+// Definition is a named view definition over base tables.
+type Definition struct {
+	Name string
+	Plan algebra.Node
+}
+
+// View is a materialized view: its definition plus the materialized rows.
+type View struct {
+	def  Definition
+	data *relation.Relation
+}
+
+// Materialize evaluates the definition against the database's current base
+// tables (staged deltas are not visible) and returns the view. It also
+// registers secondary indexes on the join columns of every base-table side
+// of the plan's joins, so that delta-propagation joins probe instead of
+// scanning — the "index on the join columns" every practical IVM setup
+// assumes.
+func Materialize(d *db.Database, def Definition) (*View, error) {
+	if def.Name == "" {
+		return nil, fmt.Errorf("view: definition needs a name")
+	}
+	if !def.Plan.Schema().HasKey() {
+		return nil, fmt.Errorf("view: %s: definition has no derivable primary key (Definition 2)", def.Name)
+	}
+	if err := registerJoinIndexes(d, def.Plan); err != nil {
+		return nil, fmt.Errorf("view: %s: %w", def.Name, err)
+	}
+	out, err := def.Plan.Eval(d.Context())
+	if err != nil {
+		return nil, fmt.Errorf("view: materialize %s: %w", def.Name, err)
+	}
+	return &View{def: def, data: out}, nil
+}
+
+// registerJoinIndexes walks the plan and ensures a secondary index exists
+// for every join side that is a direct base-table scan.
+func registerJoinIndexes(d *db.Database, plan algebra.Node) error {
+	var firstErr error
+	algebra.Walk(plan, func(n algebra.Node) {
+		j, ok := n.(*algebra.JoinNode)
+		if !ok || firstErr != nil {
+			return
+		}
+		spec := j.Spec()
+		if len(spec.On) == 0 {
+			return
+		}
+		sides := []struct {
+			child algebra.Node
+			cols  []string
+		}{
+			{j.Children()[0], nil},
+			{j.Children()[1], nil},
+		}
+		for _, p := range spec.On {
+			sides[0].cols = append(sides[0].cols, p.Left)
+			sides[1].cols = append(sides[1].cols, p.Right)
+		}
+		for _, side := range sides {
+			scan, ok := side.child.(*algebra.ScanNode)
+			if !ok {
+				continue
+			}
+			if d.Table(scan.Name()) == nil {
+				continue // not a base table (e.g. the stale view)
+			}
+			if err := d.EnsureIndex(scan.Name(), side.cols...); err != nil {
+				firstErr = err
+			}
+		}
+	})
+	return firstErr
+}
+
+// Name returns the view's name.
+func (v *View) Name() string { return v.def.Name }
+
+// Definition returns the view's definition.
+func (v *View) Definition() Definition { return v.def }
+
+// Schema returns the view's schema (with the Definition 2 primary key).
+func (v *View) Schema() relation.Schema { return v.data.Schema() }
+
+// Data returns the materialized rows (the possibly stale S).
+func (v *View) Data() *relation.Relation { return v.data }
+
+// KeyNames returns the view's primary-key attribute names.
+func (v *View) KeyNames() []string { return v.data.Schema().KeyNames() }
+
+// Replace swaps in newly maintained contents. The new relation must have a
+// schema compatible with the view definition.
+func (v *View) Replace(data *relation.Relation) error {
+	if !data.Schema().Compatible(v.data.Schema()) {
+		return fmt.Errorf("view: %s: replacement schema [%s] incompatible with [%s]",
+			v.def.Name, data.Schema(), v.data.Schema())
+	}
+	v.data = data
+	return nil
+}
+
+// BindInto binds the view's stale contents into an evaluation context
+// under StaleName.
+func (v *View) BindInto(ctx *algebra.Context) { ctx.Bind(StaleName(v.def.Name), v.data) }
+
+// coerce copies rows into a fresh relation with the target schema,
+// promoting numeric kinds where the schema demands it. Maintenance
+// expressions produce untyped computed columns; the view's declared schema
+// restores the types.
+func coerce(target relation.Schema, rows []relation.Row) (*relation.Relation, error) {
+	out := relation.New(target)
+	for _, row := range rows {
+		conv := make(relation.Row, len(row))
+		for i, val := range row {
+			conv[i] = coerceValue(target.Col(i).Type, val)
+		}
+		if err := out.Insert(conv); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func coerceValue(want relation.Kind, v relation.Value) relation.Value {
+	if v.IsNull() {
+		return v
+	}
+	switch want {
+	case relation.KindInt:
+		if v.Kind() != relation.KindInt {
+			return relation.Int(v.AsInt())
+		}
+	case relation.KindFloat:
+		if v.Kind() != relation.KindFloat {
+			return relation.Float(v.AsFloat())
+		}
+	}
+	return v
+}

@@ -1,0 +1,428 @@
+package view
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/sampleclean/svc/internal/algebra"
+	"github.com/sampleclean/svc/internal/db"
+	"github.com/sampleclean/svc/internal/expr"
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// The running example: Log(sessionId, videoId), Video(videoId, ownerId,
+// duration), visitView = per-video visit counts with owner attributes.
+
+func logSchema() relation.Schema {
+	return relation.NewSchema([]relation.Column{
+		{Name: "sessionId", Type: relation.KindInt},
+		{Name: "videoId", Type: relation.KindInt},
+	}, "sessionId")
+}
+
+func videoSchema() relation.Schema {
+	return relation.NewSchema([]relation.Column{
+		{Name: "videoId", Type: relation.KindInt},
+		{Name: "ownerId", Type: relation.KindInt},
+		{Name: "duration", Type: relation.KindFloat},
+	}, "videoId")
+}
+
+func newDB(t testing.TB, videos int, visits []int64) *db.Database {
+	t.Helper()
+	d := db.New()
+	vt := d.MustCreate("Video", videoSchema())
+	for i := 0; i < videos; i++ {
+		vt.MustInsert(relation.Row{relation.Int(int64(i)), relation.Int(int64(i % 3)), relation.Float(float64(i) / 2)})
+	}
+	lt := d.MustCreate("Log", logSchema())
+	for i, v := range visits {
+		lt.MustInsert(relation.Row{relation.Int(int64(i)), relation.Int(v)})
+	}
+	if err := d.AddForeignKey("Log", "videoId", "Video"); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// visitViewDef is the paper's running-example view:
+// SELECT videoId, ownerId, duration, count(1) FROM Log ⋈ Video GROUP BY videoId.
+func visitViewDef() Definition {
+	j := algebra.MustJoin(
+		algebra.Scan("Log", logSchema()),
+		algebra.Scan("Video", videoSchema()),
+		algebra.JoinSpec{Type: algebra.Inner, On: algebra.On("videoId", "videoId"), Merge: true},
+	)
+	g := algebra.MustGroupBy(j, []string{"videoId"},
+		algebra.CountAs("visitCount"),
+		algebra.SumAs(expr.Col("duration"), "totalDuration"),
+	)
+	return Definition{Name: "visitView", Plan: g}
+}
+
+// spjViewDef is a plain join view (no aggregate), like the paper's TPCD
+// join view.
+func spjViewDef() Definition {
+	j := algebra.MustJoin(
+		algebra.Scan("Log", logSchema()),
+		algebra.Scan("Video", videoSchema()),
+		algebra.JoinSpec{Type: algebra.Inner, On: algebra.On("videoId", "videoId"), Merge: true},
+	)
+	return Definition{Name: "joinView", Plan: j}
+}
+
+// groundTruth applies the staged deltas on a snapshot and re-materializes.
+func groundTruth(t testing.TB, d *db.Database, def Definition) *relation.Relation {
+	t.Helper()
+	snap := d.Snapshot()
+	if err := snap.ApplyDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Materialize(snap, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fresh.Data()
+}
+
+// rowsAlmostEqual compares rows with a relative tolerance on floats:
+// incremental maintenance legitimately accumulates float sums in a
+// different order than recomputation.
+func rowsAlmostEqual(a, b relation.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Kind() == relation.KindFloat || b[i].Kind() == relation.KindFloat {
+			x, y := a[i].AsFloat(), b[i].AsFloat()
+			diff := math.Abs(x - y)
+			scale := math.Max(math.Abs(x), math.Abs(y))
+			if diff > 1e-9*math.Max(scale, 1) {
+				return false
+			}
+			continue
+		}
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func requireViewEquals(t testing.TB, got, want *relation.Relation) {
+	t.Helper()
+	got.SortByKey()
+	want.SortByKey()
+	if got.Len() != want.Len() {
+		t.Fatalf("view size %d, want %d\ngot: %s\nwant: %s", got.Len(), want.Len(), got, want)
+	}
+	for _, wrow := range want.Rows() {
+		grow, ok := got.GetByEncodedKey(wrow.KeyOf(want.Schema().Key()))
+		if !ok {
+			t.Fatalf("missing row %v", wrow)
+		}
+		if !rowsAlmostEqual(grow, wrow) {
+			t.Fatalf("row mismatch: got %v want %v", grow, wrow)
+		}
+	}
+}
+
+func TestMaterializeVisitView(t *testing.T) {
+	d := newDB(t, 3, []int64{0, 0, 1, 2, 2, 2})
+	v, err := Materialize(d, visitViewDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Data().Len() != 3 {
+		t.Fatalf("view rows = %d", v.Data().Len())
+	}
+	row, _ := v.Data().Get(relation.Int(2))
+	if row[1].AsInt() != 3 {
+		t.Errorf("visitCount(2) = %v", row[1])
+	}
+	if got := v.KeyNames(); len(got) != 1 || got[0] != "videoId" {
+		t.Errorf("view key = %v", got)
+	}
+}
+
+func TestMaintainerChoosesChangeTable(t *testing.T) {
+	d := newDB(t, 3, []int64{0, 1})
+	v, err := Materialize(d, visitViewDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMaintainer(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind() != ChangeTable {
+		t.Errorf("kind = %v, want change-table", m.Kind())
+	}
+}
+
+func TestMaintainerFallsBackToRecompute(t *testing.T) {
+	d := newDB(t, 3, []int64{0, 1})
+	// Nested aggregate (V21-style): distribution of visit counts.
+	inner := algebra.MustGroupBy(algebra.Scan("Log", logSchema()), []string{"videoId"}, algebra.CountAs("c"))
+	outer := algebra.MustGroupBy(inner, []string{"c"}, algebra.CountAs("n"))
+	v, err := Materialize(d, Definition{Name: "nested", Plan: outer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMaintainer(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind() != Recompute {
+		t.Errorf("kind = %v, want recompute", m.Kind())
+	}
+}
+
+// TestChangeTableMaintainsInsertions covers the three error classes of
+// Section 3.1 in one scenario: incorrect rows (existing groups with new
+// visits), missing rows (a brand-new video group).
+func TestChangeTableMaintainsInsertions(t *testing.T) {
+	d := newDB(t, 4, []int64{0, 0, 1})
+	def := visitViewDef()
+	v, err := Materialize(d, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMaintainer(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt := d.Table("Log")
+	// More visits to video 0 (incorrect row) and first visits to video 3
+	// (missing row).
+	for i, vid := range []int64{0, 3, 3} {
+		if err := lt.StageInsert(relation.Row{relation.Int(int64(100 + i)), relation.Int(vid)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := groundTruth(t, d, def)
+	if _, err := m.Maintain(d); err != nil {
+		t.Fatal(err)
+	}
+	requireViewEquals(t, v.Data(), want)
+	row, _ := v.Data().Get(relation.Int(3))
+	if row[1].AsInt() != 2 {
+		t.Errorf("new group count = %v", row[1])
+	}
+}
+
+// TestChangeTableMaintainsDeletions covers superfluous rows: all log
+// records of a video disappear and the group must vanish.
+func TestChangeTableMaintainsDeletions(t *testing.T) {
+	d := newDB(t, 3, []int64{0, 1, 1, 2})
+	def := visitViewDef()
+	v, _ := Materialize(d, def)
+	m, err := NewMaintainer(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt := d.Table("Log")
+	if err := lt.StageDelete(relation.Int(0)); err != nil { // video 0's only visit
+		t.Fatal(err)
+	}
+	if err := lt.StageDelete(relation.Int(1)); err != nil { // one of video 1's visits
+		t.Fatal(err)
+	}
+	want := groundTruth(t, d, def)
+	if _, err := m.Maintain(d); err != nil {
+		t.Fatal(err)
+	}
+	requireViewEquals(t, v.Data(), want)
+	if _, ok := v.Data().Get(relation.Int(0)); ok {
+		t.Error("superfluous group 0 should be gone")
+	}
+	row, _ := v.Data().Get(relation.Int(1))
+	if row[1].AsInt() != 1 {
+		t.Errorf("group 1 count = %v", row[1])
+	}
+}
+
+func TestChangeTableMaintainsDimensionUpdates(t *testing.T) {
+	d := newDB(t, 3, []int64{0, 1, 1, 2})
+	def := visitViewDef()
+	v, _ := Materialize(d, def)
+	m, err := NewMaintainer(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Update a dimension row: video 1 changes owner and duration.
+	if err := d.Table("Video").StageUpdate(relation.Row{relation.Int(1), relation.Int(9), relation.Float(7)}); err != nil {
+		t.Fatal(err)
+	}
+	want := groundTruth(t, d, def)
+	if _, err := m.Maintain(d); err != nil {
+		t.Fatal(err)
+	}
+	requireViewEquals(t, v.Data(), want)
+}
+
+func TestSPJChangeTable(t *testing.T) {
+	d := newDB(t, 3, []int64{0, 1, 2})
+	def := spjViewDef()
+	v, _ := Materialize(d, def)
+	m, err := NewMaintainer(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind() != ChangeTable {
+		t.Fatalf("kind = %v", m.Kind())
+	}
+	lt := d.Table("Log")
+	if err := lt.StageInsert(relation.Row{relation.Int(50), relation.Int(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := lt.StageDelete(relation.Int(0)); err != nil {
+		t.Fatal(err)
+	}
+	want := groundTruth(t, d, def)
+	if _, err := m.Maintain(d); err != nil {
+		t.Fatal(err)
+	}
+	requireViewEquals(t, v.Data(), want)
+}
+
+func TestRecomputeStrategyMatchesGroundTruth(t *testing.T) {
+	d := newDB(t, 3, []int64{0, 1, 1, 2})
+	inner := algebra.MustGroupBy(algebra.Scan("Log", logSchema()), []string{"videoId"}, algebra.CountAs("c"))
+	outer := algebra.MustGroupBy(inner, []string{"c"}, algebra.CountAs("n"))
+	def := Definition{Name: "nested", Plan: outer}
+	v, _ := Materialize(d, def)
+	m, _ := NewMaintainer(v)
+	lt := d.Table("Log")
+	for i, vid := range []int64{0, 0, 2} {
+		if err := lt.StageInsert(relation.Row{relation.Int(int64(200 + i)), relation.Int(vid)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := groundTruth(t, d, def)
+	if _, err := m.Maintain(d); err != nil {
+		t.Fatal(err)
+	}
+	requireViewEquals(t, v.Data(), want)
+}
+
+func TestMaintainNoDeltasIsIdentity(t *testing.T) {
+	d := newDB(t, 3, []int64{0, 1, 2, 2})
+	def := visitViewDef()
+	v, _ := Materialize(d, def)
+	before := v.Data().Clone()
+	m, _ := NewMaintainer(v)
+	if _, err := m.Maintain(d); err != nil {
+		t.Fatal(err)
+	}
+	requireViewEquals(t, v.Data(), before)
+}
+
+// Property test: random update batches — change-table maintenance equals
+// recompute ground truth for both the aggregate and SPJ view.
+func TestMaintenanceEquivalenceQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVideos := 2 + rng.Intn(6)
+		visits := make([]int64, 5+rng.Intn(40))
+		for i := range visits {
+			visits[i] = rng.Int63n(int64(nVideos))
+		}
+		for _, def := range []Definition{visitViewDef(), spjViewDef()} {
+			d := newDB(t, nVideos, visits)
+			v, err := Materialize(d, def)
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			m, err := NewMaintainer(v)
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			if m.Kind() != ChangeTable {
+				t.Logf("%s: expected change-table", def.Name)
+				return false
+			}
+			// Random batch: inserts, deletes, updates on both tables.
+			lt, vt := d.Table("Log"), d.Table("Video")
+			for op := 0; op < 10+rng.Intn(20); op++ {
+				switch rng.Intn(4) {
+				case 0: // insert visit
+					lt.StageInsert(relation.Row{
+						relation.Int(int64(1000 + op)),
+						relation.Int(rng.Int63n(int64(nVideos))),
+					})
+				case 1: // delete an existing visit (if any)
+					if k := rng.Intn(len(visits)); true {
+						_ = lt.StageDelete(relation.Int(int64(k)))
+					}
+				case 2: // update a visit's video
+					k := rng.Intn(len(visits))
+					if _, ok := lt.Rows().Get(relation.Int(int64(k))); ok {
+						lt.StageUpdate(relation.Row{
+							relation.Int(int64(k)),
+							relation.Int(rng.Int63n(int64(nVideos))),
+						})
+					}
+				case 3: // update a video's attributes
+					vid := rng.Int63n(int64(nVideos))
+					vt.StageUpdate(relation.Row{
+						relation.Int(vid),
+						relation.Int(rng.Int63n(5)),
+						relation.Float(rng.Float64() * 4),
+					})
+				}
+			}
+			want := groundTruth(t, d, def)
+			if _, err := m.Maintain(d); err != nil {
+				t.Log(err)
+				return false
+			}
+			got := v.Data()
+			got.SortByKey()
+			want.SortByKey()
+			if got.Len() != want.Len() {
+				t.Logf("%s seed %d: %d rows vs %d", def.Name, seed, got.Len(), want.Len())
+				return false
+			}
+			for _, wrow := range want.Rows() {
+				grow, ok := got.GetByEncodedKey(wrow.KeyOf(want.Schema().Key()))
+				if !ok || !rowsAlmostEqual(grow, wrow) {
+					t.Logf("%s seed %d: row %v vs %v", def.Name, seed, grow, wrow)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Maintenance must also be repeatable: maintaining twice without new
+// deltas leaves the view unchanged (M is a function of S, D, ∂D).
+func TestMaintainIdempotentAfterApply(t *testing.T) {
+	d := newDB(t, 3, []int64{0, 1, 2})
+	def := visitViewDef()
+	v, _ := Materialize(d, def)
+	m, _ := NewMaintainer(v)
+	lt := d.Table("Log")
+	if err := lt.StageInsert(relation.Row{relation.Int(77), relation.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Maintain(d); err != nil {
+		t.Fatal(err)
+	}
+	after := v.Data().Clone()
+	if err := d.ApplyDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Maintain(d); err != nil {
+		t.Fatal(err)
+	}
+	requireViewEquals(t, v.Data(), after)
+}

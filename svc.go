@@ -1,0 +1,355 @@
+// Package svc is a Go implementation of Stale View Cleaning (Krishnan,
+// Wang, Franklin, Goldberg, Kraska — "Stale View Cleaning: Getting Fresh
+// Answers from Stale Materialized Views", PVLDB 8(12), 2015).
+//
+// Materialized views go stale between maintenance periods. SVC cleans a
+// deterministic hash sample of the stale view by pushing the sampling
+// operator through the view's maintenance strategy, then answers aggregate
+// queries from the pair of corresponding samples: either directly
+// (SVC+AQP) or as a correction to the stale answer (SVC+CORR), with
+// confidence intervals. An optional outlier index keeps heavy-tail records
+// exact.
+//
+// The package is a facade over the engine packages in internal/: an
+// in-memory relational algebra with Definition 2 key derivation, hash
+// push-down (Definition 3 / Theorem 1), change-table and recompute
+// maintenance strategies, the estimators of Section 5, and the outlier
+// machinery of Section 6.
+//
+// Quickstart:
+//
+//	d := svc.NewDatabase()
+//	// ... create tables, load data (svc.Col, svc.NewSchema, Table.Insert)
+//	sv, _ := svc.New(d, svc.ViewDefinition{Name: "visits", Plan: plan},
+//		svc.WithSamplingRatio(0.1))
+//	// ... stage updates (Table.StageInsert / StageUpdate / StageDelete)
+//	est, _ := sv.Query(svc.Sum("visitCount", nil))
+//	fmt.Println(est.Value, est.Lo, est.Hi)
+package svc
+
+import (
+	"fmt"
+
+	"github.com/sampleclean/svc/internal/clean"
+	"github.com/sampleclean/svc/internal/db"
+	"github.com/sampleclean/svc/internal/estimator"
+	"github.com/sampleclean/svc/internal/hashing"
+	"github.com/sampleclean/svc/internal/outlier"
+	"github.com/sampleclean/svc/internal/svcql"
+	"github.com/sampleclean/svc/internal/view"
+)
+
+// Mode selects the estimator a StaleView uses for Query.
+type Mode uint8
+
+// Estimation modes.
+const (
+	// Auto applies the Section 5.2.2 break-even analysis per query:
+	// SVC+CORR while the staleness is low, SVC+AQP beyond it.
+	Auto Mode = iota
+	// Corr always corrects the stale answer (SVC+CORR).
+	Corr
+	// AQP always estimates directly from the clean sample (SVC+AQP).
+	AQP
+)
+
+// Option configures New.
+type Option func(*config)
+
+type config struct {
+	ratio      float64
+	confidence float64
+	hasher     hashing.Hasher
+	mode       Mode
+	outliers   *outlierSpec
+}
+
+type outlierSpec struct {
+	table, attr string
+	limit       int
+	sigma       float64 // threshold = mean + sigma·stdev; 0 means top-limit
+}
+
+// WithSamplingRatio sets the sample ratio m (default 0.10).
+func WithSamplingRatio(m float64) Option { return func(c *config) { c.ratio = m } }
+
+// WithConfidence sets the confidence level for intervals (default 0.95).
+func WithConfidence(level float64) Option { return func(c *config) { c.confidence = level } }
+
+// WithHasher overrides the deterministic hash function (default finalized
+// FNV-64; SHA1 available for maximal uniformity).
+func WithHasher(h Hasher) Option { return func(c *config) { c.hasher = h } }
+
+// WithMode fixes the estimator choice (default Auto).
+func WithMode(m Mode) Option { return func(c *config) { c.mode = m } }
+
+// WithOutlierIndex attaches a Section 6 outlier index on table.attr,
+// keeping the top `limit` records above an adaptive top-k threshold.
+func WithOutlierIndex(table, attr string, limit int) Option {
+	return func(c *config) { c.outliers = &outlierSpec{table: table, attr: attr, limit: limit} }
+}
+
+// WithOutlierSigmaThreshold switches the outlier threshold policy to
+// mean + sigma·stdev (Section 6.1's alternative policy).
+func WithOutlierSigmaThreshold(table, attr string, limit int, sigma float64) Option {
+	return func(c *config) {
+		c.outliers = &outlierSpec{table: table, attr: attr, limit: limit, sigma: sigma}
+	}
+}
+
+// StaleView is the top-level handle: a materialized view, its maintenance
+// strategy, the persistent sample view, and the estimators.
+type StaleView struct {
+	db      *db.Database
+	view    *view.View
+	maint   *view.Maintainer
+	cleaner *clean.Cleaner
+	conf    float64
+	mode    Mode
+	outSpec *outlierSpec
+	outMz   *outlier.Materializer
+	outIx   *outlier.Index
+}
+
+// New materializes the view over the database's current contents, chooses
+// a maintenance strategy (change-table IVM when the definition's shape
+// allows, recompute otherwise), derives the sampled cleaning expression by
+// hash push-down, and materializes the initial sample view.
+func New(d *Database, def ViewDefinition, opts ...Option) (*StaleView, error) {
+	cfg := config{ratio: 0.10, confidence: 0.95, mode: Auto}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	v, err := view.Materialize(d, def)
+	if err != nil {
+		return nil, err
+	}
+	m, err := view.NewMaintainer(v)
+	if err != nil {
+		return nil, err
+	}
+	c, err := clean.New(m, cfg.ratio, cfg.hasher)
+	if err != nil {
+		return nil, err
+	}
+	sv := &StaleView{db: d, view: v, maint: m, cleaner: c, conf: cfg.confidence, mode: cfg.mode, outSpec: cfg.outliers}
+	if cfg.outliers != nil {
+		if err := sv.buildOutlierIndex(); err != nil {
+			return nil, err
+		}
+	}
+	return sv, nil
+}
+
+func (sv *StaleView) buildOutlierIndex() error {
+	spec := sv.outSpec
+	t := sv.db.Table(spec.table)
+	if t == nil {
+		return fmt.Errorf("svc: outlier index on unknown table %q", spec.table)
+	}
+	var thr float64
+	var err error
+	if spec.sigma > 0 {
+		thr, err = outlier.SigmaThreshold(t, spec.attr, spec.sigma)
+	} else {
+		thr, err = outlier.TopKThreshold(t, spec.attr, spec.limit)
+	}
+	if err != nil {
+		return err
+	}
+	ix, err := outlier.NewIndex(spec.table, spec.attr, t.Schema(), thr, spec.limit)
+	if err != nil {
+		return err
+	}
+	if !outlier.Eligible(sv.cleaner, ix) {
+		return fmt.Errorf("svc: outlier index on %s is not eligible: the cleaner does not sample that relation (Definition 5)", spec.table)
+	}
+	mz, err := outlier.NewMaterializer(sv.view, ix)
+	if err != nil {
+		return err
+	}
+	sv.outIx, sv.outMz = ix, mz
+	return nil
+}
+
+// View returns the (possibly stale) materialized view.
+func (sv *StaleView) View() *View { return sv.view }
+
+// Maintainer returns the maintenance strategy owner.
+func (sv *StaleView) Maintainer() *ViewMaintainer { return sv.maint }
+
+// Cleaner returns the sampled cleaner (exposes the optimized cleaning
+// expression and the persistent sample).
+func (sv *StaleView) Cleaner() *ViewCleaner { return sv.cleaner }
+
+// Stale reports whether any base table has staged deltas.
+func (sv *StaleView) Stale() bool { return sv.db.HasPending() }
+
+// Clean materializes the corresponding samples (Ŝ, Ŝ′) against the
+// currently staged deltas. Most callers use Query instead; Clean is the
+// low-level hook for custom estimation.
+func (sv *StaleView) Clean() (*Samples, error) { return sv.cleaner.Clean(sv.db) }
+
+// Answer is a query result: the estimate plus the stale baseline for
+// comparison.
+type Answer struct {
+	Estimate
+	// StaleValue is the uncorrected answer from the stale view.
+	StaleValue float64
+}
+
+// Query estimates an aggregate query's up-to-date answer from a freshly
+// cleaned sample pair. The estimator follows the configured Mode; outlier
+// partitions are merged automatically when an index is attached.
+func (sv *StaleView) Query(q Query) (Answer, error) {
+	samples, err := sv.Clean()
+	if err != nil {
+		return Answer{}, err
+	}
+	staleVal, err := estimator.RunExact(sv.view.Data(), q)
+	if err != nil {
+		return Answer{}, err
+	}
+	var o *estimator.OutlierSet
+	if sv.outMz != nil {
+		sv.outIx.Reset()
+		if err := sv.outIx.BuildFromTable(sv.db.Table(sv.outSpec.table)); err != nil {
+			return Answer{}, err
+		}
+		if o, err = sv.outMz.Materialize(sv.db); err != nil {
+			return Answer{}, err
+		}
+	}
+	mode := sv.mode
+	if mode == Auto {
+		advised, err := estimator.Advise(samples, q)
+		if err != nil {
+			return Answer{}, err
+		}
+		if advised == "svc+corr" {
+			mode = Corr
+		} else {
+			mode = AQP
+		}
+	}
+	var est Estimate
+	switch mode {
+	case Corr:
+		if o != nil {
+			est, err = estimator.CorrWithOutliers(sv.view.Data(), samples, o, q, sv.conf)
+		} else {
+			est, err = estimator.Corr(sv.view.Data(), samples, q, sv.conf)
+		}
+	default:
+		if o != nil {
+			est, err = estimator.AQPWithOutliers(samples, o, q, sv.conf)
+		} else {
+			est, err = estimator.AQP(samples, q, sv.conf)
+		}
+	}
+	if err != nil {
+		return Answer{}, err
+	}
+	return Answer{Estimate: est, StaleValue: staleVal}, nil
+}
+
+// QueryGroups estimates a group-by aggregate per group.
+func (sv *StaleView) QueryGroups(q Query, groupBy ...string) (GroupResult, error) {
+	samples, err := sv.Clean()
+	if err != nil {
+		return GroupResult{}, err
+	}
+	mode := sv.mode
+	if mode == Auto {
+		advised, err := estimator.Advise(samples, q)
+		if err != nil {
+			return GroupResult{}, err
+		}
+		if advised == "svc+corr" {
+			mode = Corr
+		} else {
+			mode = AQP
+		}
+	}
+	if mode == Corr {
+		return estimator.GroupCorr(sv.view.Data(), samples, q, groupBy, sv.conf)
+	}
+	return estimator.GroupAQP(samples, q, groupBy, sv.conf)
+}
+
+// CleanSelect answers SELECT * WHERE pred with sampled corrections applied
+// (Appendix 12.1.2): updated rows overwritten, sampled missing rows added,
+// sampled superfluous rows removed, plus count estimates of each error
+// class.
+func (sv *StaleView) CleanSelect(pred Expr) (*SelectResult, error) {
+	samples, err := sv.Clean()
+	if err != nil {
+		return nil, err
+	}
+	return estimator.CleanSelect(sv.view.Data(), samples, pred, sv.conf)
+}
+
+// MaintainNow runs full incremental maintenance (the deferred-maintenance
+// boundary): the view is brought up to date, the staged deltas are folded
+// into the base tables, and the sample view rolls forward with them.
+func (sv *StaleView) MaintainNow() error {
+	samples, err := sv.Clean()
+	if err != nil {
+		return err
+	}
+	if _, err := sv.maint.Maintain(sv.db); err != nil {
+		return err
+	}
+	if err := sv.db.ApplyDeltas(); err != nil {
+		return err
+	}
+	// By Theorem 1 the cleaned sample equals η(S′), so adopting it keeps
+	// the sample corresponding to the maintained view without rescanning.
+	return sv.cleaner.Adopt(samples)
+}
+
+// ExactQuery evaluates q exactly on the current (possibly stale) view —
+// the "no maintenance" baseline.
+func (sv *StaleView) ExactQuery(q Query) (float64, error) {
+	return estimator.RunExact(sv.view.Data(), q)
+}
+
+// ViewFromSQL compiles a CREATE VIEW statement in the paper's SQL dialect
+// into a view definition over the database's base tables:
+//
+//	def, err := svc.ViewFromSQL(d, `
+//	    CREATE VIEW visitView AS
+//	    SELECT videoId, ownerId, COUNT(1) AS visitCount
+//	    FROM Log JOIN Video ON Log.videoId = Video.videoId
+//	    GROUP BY videoId, ownerId`)
+//
+// See package internal/svcql for the grammar.
+func ViewFromSQL(d *Database, sql string) (ViewDefinition, error) {
+	return svcql.PlanView(d, sql)
+}
+
+// QuerySQL parses and answers an aggregate query in the paper's SQL
+// dialect against this view:
+//
+//	ans, err := sv.QuerySQL(`SELECT COUNT(1) FROM visitView WHERE visitCount > 100`)
+//
+// Group-by queries go through QueryGroupsSQL.
+func (sv *StaleView) QuerySQL(sql string) (Answer, error) {
+	aq, err := svcql.PlanQuery(sv.view, sql)
+	if err != nil {
+		return Answer{}, err
+	}
+	if len(aq.GroupBy) > 0 {
+		return Answer{}, fmt.Errorf("svc: query has GROUP BY; use QueryGroupsSQL")
+	}
+	return sv.Query(aq.Query)
+}
+
+// QueryGroupsSQL parses and answers a group-by aggregate in SQL.
+func (sv *StaleView) QueryGroupsSQL(sql string) (GroupResult, error) {
+	aq, err := svcql.PlanQuery(sv.view, sql)
+	if err != nil {
+		return GroupResult{}, err
+	}
+	return sv.QueryGroups(aq.Query, aq.GroupBy...)
+}

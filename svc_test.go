@@ -1,0 +1,319 @@
+package svc_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	svc "github.com/sampleclean/svc"
+)
+
+// The paper's running example as a public-API integration test:
+// Log(sessionId, videoId), Video(videoId, ownerId, duration),
+// visitView = per-video visit counts.
+
+func buildExample(t testing.TB, seed int64, videos, visits int) (*svc.Database, *svc.StaleView) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	d := svc.NewDatabase()
+	video := d.MustCreate("Video", svc.NewSchema([]svc.Column{
+		svc.Col("videoId", svc.KindInt),
+		svc.Col("ownerId", svc.KindInt),
+		svc.Col("duration", svc.KindFloat),
+	}, "videoId"))
+	for i := 0; i < videos; i++ {
+		video.MustInsert(svc.Row{svc.Int(int64(i)), svc.Int(rng.Int63n(10)), svc.Float(rng.Float64() * 3)})
+	}
+	logT := d.MustCreate("Log", svc.NewSchema([]svc.Column{
+		svc.Col("sessionId", svc.KindInt),
+		svc.Col("videoId", svc.KindInt),
+	}, "sessionId"))
+	for i := 0; i < visits; i++ {
+		logT.MustInsert(svc.Row{svc.Int(int64(i)), svc.Int(rng.Int63n(int64(videos)))})
+	}
+
+	plan := svc.GroupByAgg(
+		svc.Join(
+			svc.Scan("Log", logT.Schema()),
+			svc.Scan("Video", video.Schema()),
+			svc.JoinSpec{Type: svc.Inner, On: svc.On("videoId", "videoId"), Merge: true},
+		),
+		[]string{"videoId", "ownerId"},
+		svc.CountAs("visitCount"),
+		svc.SumAs(svc.ColRef("duration"), "totalDuration"),
+	)
+	sv, err := svc.New(d, svc.ViewDefinition{Name: "visitView", Plan: plan},
+		svc.WithSamplingRatio(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, sv
+}
+
+func stageVisits(t testing.TB, d *svc.Database, seed int64, videos, from, n int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed * 131))
+	logT := d.Table("Log")
+	for i := 0; i < n; i++ {
+		if err := logT.StageInsert(svc.Row{svc.Int(int64(from + i)), svc.Int(rng.Int63n(int64(videos)))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	d, sv := buildExample(t, 1, 200, 5000)
+	if sv.Stale() {
+		t.Fatal("fresh view should not be stale")
+	}
+	// Exact answer before updates.
+	exact, err := sv.ExactQuery(svc.Count(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact == 0 {
+		t.Fatal("view should have rows")
+	}
+	stageVisits(t, d, 1, 200, 5000, 1500)
+	if !sv.Stale() {
+		t.Fatal("view should report stale after staged updates")
+	}
+	ans, err := sv.Query(svc.Sum("visitCount", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ground truth: total visits = 6500.
+	truth := 6500.0
+	if svc.RelativeError(ans.Value, truth) > 0.10 {
+		t.Errorf("estimate %v too far from truth %v", ans.Value, truth)
+	}
+	if svc.RelativeError(ans.StaleValue, truth) < svc.RelativeError(ans.Value, truth)/2 {
+		t.Errorf("stale %v should be worse than estimate %v (truth %v)", ans.StaleValue, ans.Value, truth)
+	}
+	if !ans.Covers(truth) {
+		t.Logf("note: CI [%v, %v] missed truth %v (can happen at 95%%)", ans.Lo, ans.Hi, truth)
+	}
+}
+
+func TestModesAndGroups(t *testing.T) {
+	d, sv := buildExample(t, 2, 150, 4000)
+	stageVisits(t, d, 2, 150, 4000, 800)
+
+	for _, mode := range []svc.Mode{svc.Auto, svc.Corr, svc.AQP} {
+		_ = mode // modes are fixed at construction; exercise via options below
+	}
+	// Per-owner group estimates.
+	groups, err := sv.QueryGroups(svc.Sum("visitCount", nil), "ownerId")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups.Groups) == 0 {
+		t.Fatal("no group estimates")
+	}
+	for k, est := range groups.Groups {
+		if est.Value < 0 {
+			t.Errorf("group %s: negative estimate %v", groups.Labels[k], est.Value)
+		}
+	}
+}
+
+func TestFixedModeOptions(t *testing.T) {
+	for _, mode := range []svc.Mode{svc.Corr, svc.AQP} {
+		d, _ := buildExample(t, 3, 100, 2000)
+		video := d.Table("Video")
+		plan := svc.GroupByAgg(
+			svc.Scan("Video", video.Schema()),
+			[]string{"ownerId"},
+			svc.CountAs("videos"),
+		)
+		sv, err := svc.New(d, svc.ViewDefinition{Name: "byOwner", Plan: plan},
+			svc.WithSamplingRatio(0.5), svc.WithMode(mode), svc.WithConfidence(0.99),
+			svc.WithHasher(svc.SHA1Hasher))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := video.StageInsert(svc.Row{svc.Int(10_000), svc.Int(3), svc.Float(1)}); err != nil {
+			t.Fatal(err)
+		}
+		ans, err := sv.Query(svc.Count(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ans.Value <= 0 {
+			t.Errorf("mode %v: estimate %v", mode, ans.Value)
+		}
+	}
+}
+
+func TestCleanSelectPublicAPI(t *testing.T) {
+	d, sv := buildExample(t, 4, 120, 3000)
+	stageVisits(t, d, 4, 120, 3000, 900)
+	res, err := sv.CleanSelect(svc.Gt(svc.ColRef("visitCount"), svc.IntLit(20)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows.Len() == 0 {
+		t.Fatal("cleaned selection empty")
+	}
+	if res.Added.Value < 0 || res.Updated.Value < 0 || res.Removed.Value < 0 {
+		t.Error("negative class estimates")
+	}
+}
+
+func TestMaintainNowRollsForward(t *testing.T) {
+	d, sv := buildExample(t, 5, 100, 2500)
+	stageVisits(t, d, 5, 100, 2500, 600)
+	if err := sv.MaintainNow(); err != nil {
+		t.Fatal(err)
+	}
+	if sv.Stale() {
+		t.Fatal("deltas should be applied")
+	}
+	exact, err := sv.ExactQuery(svc.Sum("visitCount", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact != 3100 {
+		t.Fatalf("maintained view total visits = %v, want 3100", exact)
+	}
+	// After maintenance the estimators agree with the exact answer.
+	ans, err := sv.Query(svc.Sum("visitCount", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.RelativeError(ans.Value, exact) > 0.15 {
+		t.Errorf("post-maintenance estimate %v vs exact %v", ans.Value, exact)
+	}
+	// A second round of updates keeps working with the adopted sample.
+	stageVisits(t, d, 55, 100, 4000, 400)
+	ans2, err := sv.Query(svc.Sum("visitCount", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.RelativeError(ans2.Value, 3500) > 0.15 {
+		t.Errorf("second-epoch estimate %v, want ≈3500", ans2.Value)
+	}
+}
+
+func TestOutlierIndexOption(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	d := svc.NewDatabase()
+	logT := d.MustCreate("Log", svc.NewSchema([]svc.Column{
+		svc.Col("sessionId", svc.KindInt),
+		svc.Col("videoId", svc.KindInt),
+		svc.Col("bytes", svc.KindFloat),
+	}, "sessionId"))
+	for i := 0; i < 6000; i++ {
+		b := 10 + rng.Float64()*5
+		if rng.Float64() < 0.02 {
+			b *= 1000
+		}
+		logT.MustInsert(svc.Row{svc.Int(int64(i)), svc.Int(rng.Int63n(200)), svc.Float(b)})
+	}
+	plan := svc.GroupByAgg(svc.Scan("Log", logT.Schema()),
+		[]string{"videoId"},
+		svc.CountAs("visits"),
+		svc.SumAs(svc.ColRef("bytes"), "totalBytes"))
+	sv, err := svc.New(d, svc.ViewDefinition{Name: "traffic", Plan: plan},
+		svc.WithSamplingRatio(0.1),
+		svc.WithOutlierIndex("Log", "bytes", 80),
+		svc.WithMode(svc.AQP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 600; i++ {
+		b := 10 + rng.Float64()*5
+		if rng.Float64() < 0.02 {
+			b *= 1000
+		}
+		if err := logT.StageInsert(svc.Row{svc.Int(int64(6000 + i)), svc.Int(rng.Int63n(200)), svc.Float(b)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ans, err := sv.Query(svc.Sum("totalBytes", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(ans.Value) || ans.Value <= 0 {
+		t.Fatalf("estimate = %v", ans.Value)
+	}
+	// Sigma-threshold variant builds too.
+	_, err = svc.New(d, svc.ViewDefinition{Name: "traffic2", Plan: plan},
+		svc.WithOutlierSigmaThreshold("Log", "bytes", 80, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index on a table the cleaner does not sample must be rejected.
+	d2, _ := buildExample(t, 10, 50, 500)
+	videoPlan := svc.GroupByAgg(
+		svc.Join(
+			svc.Scan("Log", d2.Table("Log").Schema()),
+			svc.Scan("Video", d2.Table("Video").Schema()),
+			svc.JoinSpec{Type: svc.Inner, On: svc.On("videoId", "videoId"), Merge: true},
+		),
+		[]string{"ownerId"}, // group key lives on the dimension side
+		svc.CountAs("visits"),
+	)
+	_, err = svc.New(d2, svc.ViewDefinition{Name: "byOwner2", Plan: videoPlan},
+		svc.WithOutlierIndex("Log", "sessionId", 10))
+	if err == nil {
+		t.Error("ineligible outlier index should be rejected (Definition 5)")
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	d, _ := buildExample(t, 11, 30, 300)
+	// Keyless view definitions are rejected.
+	grand := svc.GroupByAgg(svc.Scan("Log", d.Table("Log").Schema()), nil, svc.CountAs("n"))
+	if _, err := svc.New(d, svc.ViewDefinition{Name: "grand", Plan: grand}); err == nil {
+		t.Error("keyless view should be rejected")
+	}
+	// Bad ratio.
+	plan := svc.GroupByAgg(svc.Scan("Log", d.Table("Log").Schema()),
+		[]string{"videoId"}, svc.CountAs("n"))
+	if _, err := svc.New(d, svc.ViewDefinition{Name: "x", Plan: plan}, svc.WithSamplingRatio(2)); err == nil {
+		t.Error("ratio > 1 should be rejected")
+	}
+	// Unknown outlier table.
+	if _, err := svc.New(d, svc.ViewDefinition{Name: "y", Plan: plan},
+		svc.WithOutlierIndex("Nope", "x", 5)); err == nil {
+		t.Error("unknown outlier table should be rejected")
+	}
+}
+
+func TestSQLFacade(t *testing.T) {
+	d, _ := buildExample(t, 20, 100, 2000)
+	def, err := svc.ViewFromSQL(d, `
+		CREATE VIEW trafficView AS
+		SELECT videoId, ownerId, COUNT(1) AS visits
+		FROM Log JOIN Video ON Log.videoId = Video.videoId
+		GROUP BY videoId, ownerId`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := svc.New(d, def, svc.WithSamplingRatio(0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stageVisits(t, d, 20, 100, 2000, 400)
+	ans, err := sv.QuerySQL(`SELECT SUM(visits) FROM trafficView`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.RelativeError(ans.Value, 2400) > 0.15 {
+		t.Errorf("SQL query estimate %v, want ≈2400", ans.Value)
+	}
+	groups, err := sv.QueryGroupsSQL(`SELECT ownerId, SUM(visits) FROM trafficView GROUP BY ownerId`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups.Groups) == 0 {
+		t.Fatal("no SQL group estimates")
+	}
+	if _, err := sv.QuerySQL(`SELECT ownerId, SUM(visits) FROM trafficView GROUP BY ownerId`); err == nil {
+		t.Error("group-by through QuerySQL should error")
+	}
+	if _, err := sv.QuerySQL(`SELECT garbage !!`); err == nil {
+		t.Error("bad SQL should error")
+	}
+}
