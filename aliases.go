@@ -37,6 +37,10 @@ type (
 	Kind = relation.Kind
 	// Relation is an in-memory table.
 	Relation = relation.Relation
+	// KeyBuf is a reusable buffer for composite-key encodings — the
+	// zero-allocation entry point to encoded-key lookups
+	// (Relation.GetByEncodedBytes, Relation.ProbeBytes).
+	KeyBuf = relation.KeyBuf
 )
 
 // Value kinds.

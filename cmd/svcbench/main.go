@@ -8,6 +8,7 @@
 //	svcbench -run fig4a,fig5
 //	svcbench -run all -scale 1.0
 //	svcbench -run fig9b -csv
+//	svcbench -run fig4a-par -scale 2 -parallel 4
 //
 // Absolute numbers are machine- and substrate-dependent; the shapes (who
 // wins, by what factor, where crossovers fall) are what reproduce the
@@ -26,12 +27,14 @@ import (
 
 func main() {
 	var (
-		run   = flag.String("run", "", "comma-separated experiment IDs, or \"all\"")
-		scale = flag.Float64("scale", 1.0, "workload scale factor (1.0 = default size)")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		list  = flag.Bool("list", false, "list available experiments")
+		run      = flag.String("run", "", "comma-separated experiment IDs, or \"all\"")
+		scale    = flag.Float64("scale", 1.0, "workload scale factor (1.0 = default size)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list     = flag.Bool("list", false, "list available experiments")
+		parallel = flag.Int("parallel", 0, "intra-operator workers for experiment databases (0 = serial)")
 	)
 	flag.Parse()
+	bench.SetDefaultParallelism(*parallel)
 
 	if *list || *run == "" {
 		fmt.Println("available experiments:")

@@ -1,0 +1,3 @@
+module github.com/sampleclean/svc
+
+go 1.24

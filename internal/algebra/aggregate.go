@@ -2,6 +2,7 @@ package algebra
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"github.com/sampleclean/svc/internal/expr"
@@ -187,50 +188,104 @@ func (acc *accumulator) result(f AggFunc) relation.Value {
 }
 
 // Eval implements Node.
+//
+// Grouping hashes the group-by columns to 64 bits and finds each row's
+// group in an open-addressed table, verifying candidates against the full
+// key encoding (hash collisions share a chain, never a group). With
+// ctx.Parallelism > 1 and enough rows, groups are partitioned by key hash
+// across workers — a group's rows all land on one worker, so accumulators
+// need no locks — and the partitions' outputs are merged back into
+// first-occurrence order, making the parallel result identical to the
+// serial one.
 func (a *AggregateNode) Eval(ctx *Context) (*relation.Relation, error) {
 	in, err := a.child.Eval(ctx)
 	if err != nil {
 		return nil, err
 	}
 	ctx.RowsTouched += int64(in.Len())
-	type group struct {
-		rep  relation.Row // representative row for group-by values
-		accs []accumulator
-	}
-	groups := make(map[string]*group)
-	var order []string
-	for _, row := range in.Rows() {
-		k := row.KeyOf(a.gIdx)
-		g, ok := groups[k]
-		if !ok {
-			g = &group{rep: row, accs: make([]accumulator, len(a.aggs))}
-			groups[k] = g
-			order = append(order, k)
+	inRows := in.Rows()
+	n := len(inRows)
+	na := len(a.aggs)
+
+	w := ctx.workers(n)
+	hashes := rowHashes(inRows, a.gIdx, false, w)
+
+	// Per-partition group state: reps[g] is the first input row of group
+	// g (its group-by values and its merge-order rank), accs is the flat
+	// accumulator matrix (group-major).
+	reps := make([][]int32, w)
+	accs := make([][]accumulator, w)
+	runWorkers(w, func(p int) {
+		t := newHashIdx(64, nil)
+		var rp []int32
+		var ac []accumulator
+		var row relation.Row
+		sameKey := func(head int32) bool {
+			return inRows[rp[head]].KeyEqualCols(a.gIdx, row, a.gIdx)
 		}
-		for i, spec := range a.aggs {
-			var v relation.Value
-			if a.bound[i] != nil {
-				v = a.bound[i].Eval(row)
+		pw := uint64(w)
+		for i := 0; i < n; i++ {
+			h := hashes[i]
+			if w > 1 && h%pw != uint64(p) {
+				continue
 			}
-			g.accs[i].add(spec.Func, v)
+			row = inRows[i]
+			g := t.first(h, sameKey)
+			if g < 0 {
+				g = int32(len(rp))
+				rp = append(rp, int32(i))
+				for k := 0; k < na; k++ {
+					ac = append(ac, accumulator{})
+				}
+				t.addGrow(h, g, sameKey)
+			}
+			base := int(g) * na
+			for ai := range a.aggs {
+				var v relation.Value
+				if a.bound[ai] != nil {
+					v = a.bound[ai].Eval(row)
+				}
+				ac[base+ai].add(a.aggs[ai].Func, v)
+			}
 		}
+		reps[p], accs[p] = rp, ac
+	})
+
+	// Merge partitions in first-occurrence order so the output matches
+	// serial evaluation row for row.
+	type gref struct {
+		part  int
+		group int32
+		first int32
+	}
+	var all []gref
+	for p := range reps {
+		for g, first := range reps[p] {
+			all = append(all, gref{part: p, group: int32(g), first: first})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].first < all[j].first })
+
+	rows := make([]relation.Row, 0, len(all)+1)
+	for _, gr := range all {
+		rep := inRows[reps[gr.part][gr.group]]
+		out := make(relation.Row, len(a.gIdx)+na)
+		for i, gi := range a.gIdx {
+			out[i] = rep[gi]
+		}
+		base := int(gr.group) * na
+		for i, spec := range a.aggs {
+			out[len(a.gIdx)+i] = accs[gr.part][base+i].result(spec.Func)
+		}
+		rows = append(rows, out)
 	}
 	// A grand aggregate (no group-by) over empty input yields one row of
 	// count 0 / NULL aggregates, matching SQL.
-	if len(a.groupBy) == 0 && len(order) == 0 {
-		groups[""] = &group{accs: make([]accumulator, len(a.aggs))}
-		order = append(order, "")
-	}
-
-	rows := make([]relation.Row, 0, len(order))
-	for _, k := range order {
-		g := groups[k]
-		out := make(relation.Row, len(a.gIdx)+len(a.aggs))
-		for i, gi := range a.gIdx {
-			out[i] = g.rep[gi]
-		}
+	if len(a.groupBy) == 0 && len(rows) == 0 {
+		out := make(relation.Row, na)
 		for i, spec := range a.aggs {
-			out[len(a.gIdx)+i] = g.accs[i].result(spec.Func)
+			var acc accumulator
+			out[i] = acc.result(spec.Func)
 		}
 		rows = append(rows, out)
 	}

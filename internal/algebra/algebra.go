@@ -34,6 +34,13 @@ type Context struct {
 	// RowsTouched counts rows read and emitted by all operators during
 	// evaluations against this context.
 	RowsTouched int64
+
+	// Parallelism is the intra-operator worker-count hint. Operators with
+	// partitionable work (hash-join build/probe, aggregation, hash
+	// sampling) fork up to this many goroutines per operator when the
+	// input is large enough to amortize the fork (see parallel.go); the
+	// result is byte-identical to serial evaluation. 0 and 1 mean serial.
+	Parallelism int
 }
 
 // NewContext creates an evaluation context over the given named relations.
@@ -90,7 +97,7 @@ func format(n Node, indent string) string {
 // output builds a fresh relation with the node's schema and inserts rows,
 // upserting when the schema is keyed so set semantics hold.
 func output(ctx *Context, schema relation.Schema, rows []relation.Row) (*relation.Relation, error) {
-	out := relation.New(schema)
+	out := relation.NewSized(schema, len(rows))
 	for _, r := range rows {
 		if schema.HasKey() {
 			if _, err := out.Upsert(r); err != nil {

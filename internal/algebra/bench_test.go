@@ -1,0 +1,202 @@
+package algebra
+
+import (
+	"testing"
+
+	"github.com/sampleclean/svc/internal/expr"
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// These benchmarks contrast the engine's hash64 key pipeline with the
+// string-key implementation it replaced (reconstructed inline as the
+// "stringkey" variants): build and probe of the hash-join table, and the
+// group-by table. allocs/op is the headline number — the string paths
+// allocate per row, the hash64 paths only amortized table storage.
+
+const (
+	benchRows   = 10000
+	benchGroups = 100
+)
+
+// benchRelation returns rows with an int key column (0..benchGroups-1
+// repeating) and a payload column.
+func benchRelation(n int) []relation.Row {
+	rows := make([]relation.Row, n)
+	for i := range rows {
+		rows[i] = relation.Row{
+			relation.Int(int64(i % benchGroups)),
+			relation.Int(int64(i)),
+			relation.Float(float64(i%7) / 2),
+		}
+	}
+	return rows
+}
+
+func BenchmarkHashJoinBuild(b *testing.B) {
+	rows := benchRelation(benchRows)
+	idx := []int{0}
+	b.Run("stringkey", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			build := make(map[string][]int, len(rows))
+			for ri, r := range rows {
+				if rowHasNullKey(r, idx) {
+					continue
+				}
+				k := r.KeyOf(idx)
+				build[k] = append(build[k], ri)
+			}
+		}
+	})
+	b.Run("hash64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = buildRowTable(rows, idx, true, 1)
+		}
+	})
+}
+
+func BenchmarkHashJoinProbe(b *testing.B) {
+	buildRows := benchRelation(benchRows)
+	probeRows := benchRelation(benchRows / 2)
+	idx := []int{0}
+	b.Run("stringkey", func(b *testing.B) {
+		build := make(map[string][]int, len(buildRows))
+		for ri, r := range buildRows {
+			k := r.KeyOf(idx)
+			build[k] = append(build[k], ri)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		var matches int
+		for i := 0; i < b.N; i++ {
+			matches = 0
+			for _, p := range probeRows {
+				if rowHasNullKey(p, idx) {
+					continue
+				}
+				for range build[p.KeyOf(idx)] {
+					matches++
+				}
+			}
+		}
+		_ = matches
+	})
+	b.Run("hash64", func(b *testing.B) {
+		tab := buildRowTable(buildRows, idx, true, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var matches int
+		for i := 0; i < b.N; i++ {
+			matches = 0
+			for _, p := range probeRows {
+				h := joinHash(p, idx)
+				for range tab.lookup(h, p, idx) {
+					matches++
+				}
+			}
+		}
+		_ = matches
+	})
+}
+
+func BenchmarkGroupBy(b *testing.B) {
+	rows := benchRelation(benchRows)
+	sch := relation.NewSchema([]relation.Column{
+		{Name: "g", Type: relation.KindInt},
+		{Name: "id", Type: relation.KindInt},
+		{Name: "x", Type: relation.KindFloat},
+	})
+	rel := relation.New(sch)
+	for _, r := range rows {
+		rel.MustInsert(r)
+	}
+	gIdx := []int{0}
+	aggs := []AggSpec{CountAs("n"), SumAs(expr.Col("x"), "sx")}
+	node := MustGroupBy(Scan("T", sch), []string{"g"}, aggs...)
+	bound := []expr.Expr{nil, mustBind(b, expr.Col("x"), sch)}
+
+	// stringkey is the replaced Eval loop: map[string]*group with a KeyOf
+	// string per input row, per-group accumulator slices, then the same
+	// output() materialization the operator performs.
+	b.Run("stringkey", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			type group struct {
+				rep  relation.Row
+				accs []accumulator
+			}
+			groups := make(map[string]*group)
+			var order []string
+			for _, row := range rows {
+				k := row.KeyOf(gIdx)
+				g, ok := groups[k]
+				if !ok {
+					g = &group{rep: row, accs: make([]accumulator, len(aggs))}
+					groups[k] = g
+					order = append(order, k)
+				}
+				for ai, spec := range aggs {
+					var v relation.Value
+					if bound[ai] != nil {
+						v = bound[ai].Eval(row)
+					}
+					g.accs[ai].add(spec.Func, v)
+				}
+			}
+			outRows := make([]relation.Row, 0, len(order))
+			for _, k := range order {
+				g := groups[k]
+				out := make(relation.Row, 1+len(aggs))
+				out[0] = g.rep[0]
+				for ai, spec := range aggs {
+					out[1+ai] = g.accs[ai].result(spec.Func)
+				}
+				outRows = append(outRows, out)
+			}
+			ctx := NewContext(nil)
+			if _, err := output(ctx, node.Schema(), outRows); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hash64", func(b *testing.B) {
+		ctx := NewContext(map[string]*relation.Relation{"T": rel})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := node.Eval(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkHashJoinEval measures the whole operator (including output
+// materialization) serially and at 4 workers.
+func BenchmarkHashJoinEval(b *testing.B) {
+	log, video := bigFixture(20000, 5000)
+	plan := MustJoin(Scan("Log", logSchema()), Alias(Scan("Video", videoSchema()), "v"),
+		JoinSpec{On: []EqPair{{Left: "videoId", Right: "v.videoId"}}})
+	for _, par := range []int{1, 4} {
+		b.Run(map[int]string{1: "serial", 4: "parallel4"}[par], func(b *testing.B) {
+			ctx := NewContext(map[string]*relation.Relation{"Log": log, "Video": video})
+			ctx.Parallelism = par
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.Eval(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func mustBind(tb testing.TB, e expr.Expr, sch relation.Schema) expr.Expr {
+	tb.Helper()
+	bound, err := e.Bind(sch)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return bound
+}

@@ -73,19 +73,33 @@ func (h *HashFilterNode) Hasher() hashing.Hasher { return h.hasher }
 func (h *HashFilterNode) Schema() relation.Schema { return h.child.Schema() }
 
 // Eval implements Node.
+//
+// Each worker encodes keys into its own reused KeyBuf (no per-row
+// allocation); chunk outputs are concatenated in order, so the sample and
+// its row order are independent of the worker count.
 func (h *HashFilterNode) Eval(ctx *Context) (*relation.Relation, error) {
 	in, err := h.child.Eval(ctx)
 	if err != nil {
 		return nil, err
 	}
 	ctx.RowsTouched += int64(in.Len())
-	var rows []relation.Row
-	var buf []byte
-	for _, row := range in.Rows() {
-		buf = row.EncodeCols(h.idx, buf[:0])
-		if h.hasher.Unit(buf) < h.ratio {
-			rows = append(rows, row)
+	inRows := in.Rows()
+	w := ctx.workers(len(inRows))
+	outs := make([][]relation.Row, w)
+	runWorkers(w, func(p int) {
+		lo, hi := chunkRange(p, w, len(inRows))
+		var kb relation.KeyBuf
+		var out []relation.Row
+		for i := lo; i < hi; i++ {
+			if h.hasher.Unit(kb.Row(inRows[i], h.idx)) < h.ratio {
+				out = append(out, inRows[i])
+			}
 		}
+		outs[p] = out
+	})
+	var rows []relation.Row
+	for _, o := range outs {
+		rows = append(rows, o...)
 	}
 	return output(ctx, h.Schema(), rows)
 }

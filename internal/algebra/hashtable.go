@@ -1,0 +1,281 @@
+package algebra
+
+import (
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// This file is the hash-table substrate shared by the hash join, the
+// group-by, and the set operators. Instead of materializing a Go string
+// per row (Row.KeyOf) and probing map[string] tables, operators hash the
+// key columns directly to 64 bits (relation.Row.HashCols), place rows in
+// open-addressed tables, and resolve collisions against the full
+// canonical encoding (relation.Row.KeyEqualCols).
+//
+// A slot belongs to one distinct key: inserting a row whose hash matches
+// an occupied slot but whose key differs (a genuine 64-bit collision)
+// walks to the next slot, and lookups walk the same way. Rows sharing a
+// key form an insertion-ordered chain hanging off their slot. The effect
+// is one key verification per probe — not per candidate — so duplicate-
+// heavy keys (the common case in join build sides and group-by) cost the
+// same as in a string map, while collisions can never merge distinct
+// keys.
+
+// tableSeed seeds the operators' internal key hashing. The value is
+// arbitrary but fixed: plans must be deterministic across runs.
+const tableSeed uint64 = 0x53564331 // "SVC1"
+
+// keyHash returns the remapped 64-bit key hash of row's idx columns. The
+// hash is never 0 — 0 is reserved as the "row excluded" sentinel in
+// precomputed hash arrays.
+func keyHash(row relation.Row, idx []int) uint64 {
+	h := row.HashCols(idx, tableSeed)
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// joinHash is keyHash with SQL join semantics: a NULL in any key column
+// returns 0 (NULL never matches, so the row never enters or hits a
+// table).
+func joinHash(row relation.Row, idx []int) uint64 {
+	for _, i := range idx {
+		if row[i].IsNull() {
+			return 0
+		}
+	}
+	return keyHash(row, idx)
+}
+
+// hashIdx is the open-addressed slot array: hash plus the first and last
+// id of the slot's chain. Chains are singly linked through a next array
+// that may be owned (dense ids, addGrow) or shared between partition
+// tables (caller-allocated). Key comparison is delegated to the caller
+// through a match predicate, keeping the structure agnostic of what an
+// id refers to (a row position for joins, a group number for γ).
+type hashIdx struct {
+	mask uint64
+	hash []uint64 // slot -> hash (valid when head >= 0)
+	head []int32  // slot -> first id of chain, -1 when empty
+	tail []int32  // slot -> last id of chain
+	used int      // occupied slots
+	next []int32  // id -> next id in its chain, -1 at the end
+}
+
+// newHashIdx sizes a table for about idHint distinct keys. next is the
+// chain storage to share; pass nil to let the table own and grow its
+// chains via addGrow.
+func newHashIdx(idHint int, next []int32) *hashIdx {
+	capacity := 8
+	for capacity < 2*idHint {
+		capacity <<= 1
+	}
+	t := &hashIdx{
+		mask: uint64(capacity - 1),
+		hash: make([]uint64, capacity),
+		head: make([]int32, capacity),
+		tail: make([]int32, capacity),
+		next: next,
+	}
+	for i := range t.head {
+		t.head[i] = -1
+	}
+	return t
+}
+
+// add appends id under hash h: to the chain of the slot whose head
+// sameKey(head) accepts, or to a fresh slot. next[id] must be
+// addressable.
+func (t *hashIdx) add(h uint64, id int32, sameKey func(head int32) bool) {
+	if 4*(t.used+1) > 3*len(t.head) {
+		t.grow()
+	}
+	i := h & t.mask
+	for {
+		head := t.head[i]
+		if head < 0 {
+			t.used++
+			t.hash[i] = h
+			t.head[i] = id
+			break
+		}
+		if t.hash[i] == h && sameKey(head) {
+			t.next[t.tail[i]] = id
+			break
+		}
+		i = (i + 1) & t.mask
+	}
+	t.tail[i] = id
+	t.next[id] = -1
+}
+
+// addGrow is add for tables that own their chain storage: ids must be
+// added densely (0, 1, 2, …).
+func (t *hashIdx) addGrow(h uint64, id int32, sameKey func(head int32) bool) {
+	t.next = append(t.next, -1)
+	t.add(h, id, sameKey)
+}
+
+// first returns the chain head whose hash is h and whose key
+// sameKey(head) accepts, or -1. Exactly one sameKey call succeeds per
+// hit; collisions cost extra slot hops, never false matches.
+func (t *hashIdx) first(h uint64, sameKey func(head int32) bool) int32 {
+	i := h & t.mask
+	for {
+		head := t.head[i]
+		if head < 0 {
+			return -1
+		}
+		if t.hash[i] == h && sameKey(head) {
+			return head
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// grow doubles the slot arrays, re-placing slots. Chains (next) are
+// untouched; two colliding keys simply land on distinct slots again.
+func (t *hashIdx) grow() {
+	oldHash, oldHead, oldTail := t.hash, t.head, t.tail
+	capacity := 2 * len(oldHead)
+	t.mask = uint64(capacity - 1)
+	t.hash = make([]uint64, capacity)
+	t.head = make([]int32, capacity)
+	t.tail = make([]int32, capacity)
+	for i := range t.head {
+		t.head[i] = -1
+	}
+	for s, hd := range oldHead {
+		if hd < 0 {
+			continue
+		}
+		i := oldHash[s] & t.mask
+		for t.head[i] >= 0 {
+			i = (i + 1) & t.mask
+		}
+		t.hash[i] = oldHash[s]
+		t.head[i] = hd
+		t.tail[i] = oldTail[s]
+	}
+}
+
+// rowTable is a (possibly partitioned) hash table over the key columns of
+// a row set — the build side of a hash join or the membership side of a
+// set operator. Partition p owns the rows whose hash ≡ p (mod
+// partitions); all partitions share one chain array, which is safe
+// because a key's rows never cross partitions.
+//
+// After the build, each partition's chains are packed into a contiguous
+// ids array (CSR layout) and the slot arrays are repurposed as span
+// bounds, so a probe returns a subslice to iterate sequentially — no
+// pointer chasing on the probe side.
+type rowTable struct {
+	rows   []relation.Row
+	idx    []int
+	hashes []uint64 // per-row key hash; 0 = excluded (NULL join key)
+	parts  []*hashIdx
+	next   []int32   // shared chain storage (build phase only)
+	packed [][]int32 // per partition: ids grouped by key, row order within key
+}
+
+// rowHashes computes the per-row key hashes, in parallel chunks when
+// workers > 1. skipNull applies SQL join semantics (NULL key ⇒ excluded,
+// hash 0).
+func rowHashes(rows []relation.Row, idx []int, skipNull bool, workers int) []uint64 {
+	hashes := make([]uint64, len(rows))
+	eachChunk(workers, len(rows), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if skipNull {
+				hashes[i] = joinHash(rows[i], idx)
+			} else {
+				hashes[i] = keyHash(rows[i], idx)
+			}
+		}
+	})
+	return hashes
+}
+
+// buildRowTable hashes and places every row. With workers > 1 the table
+// is partitioned by hash and built by one goroutine per partition; the
+// result is identical to the serial table (same slots-per-key, same
+// chain order) because a key's rows all live in one partition and are
+// placed in row order.
+func buildRowTable(rows []relation.Row, idx []int, skipNull bool, workers int) *rowTable {
+	t := &rowTable{
+		rows:   rows,
+		idx:    idx,
+		hashes: rowHashes(rows, idx, skipNull, workers),
+		next:   make([]int32, len(rows)),
+		parts:  make([]*hashIdx, workers),
+		packed: make([][]int32, workers),
+	}
+	parts := uint64(workers)
+	runWorkers(workers, func(p int) {
+		ht := newHashIdx(len(rows)/workers+1, t.next)
+		var id int32
+		count := 0
+		sameKey := func(head int32) bool {
+			return t.rows[head].KeyEqualCols(idx, t.rows[id], idx)
+		}
+		for i, h := range t.hashes {
+			if h != 0 && (workers == 1 || h%parts == uint64(p)) {
+				id = int32(i)
+				ht.add(h, id, sameKey)
+				count++
+			}
+		}
+		t.parts[p] = ht
+		t.finalizePart(p, count)
+	})
+	return t
+}
+
+// finalizePart packs partition p's chains into a contiguous ids array and
+// repurposes the slot head/tail as [start, end) bounds into it. Chains
+// are walked in insertion order, so a key's span preserves row order.
+func (t *rowTable) finalizePart(p, count int) {
+	ht := t.parts[p]
+	packed := make([]int32, 0, count)
+	for s, hd := range ht.head {
+		if hd < 0 {
+			continue
+		}
+		start := int32(len(packed))
+		for id := hd; id >= 0; id = t.next[id] {
+			packed = append(packed, id)
+		}
+		ht.head[s] = start
+		ht.tail[s] = int32(len(packed))
+	}
+	t.packed[p] = packed
+}
+
+// lookup returns the packed row positions holding probe's key (verified
+// against the full encoding, once per probe), or nil. The returned slice
+// aliases the table; iterate, don't retain.
+func (t *rowTable) lookup(h uint64, probe relation.Row, probeIdx []int) []int32 {
+	if h == 0 {
+		return nil
+	}
+	p := h % uint64(len(t.parts))
+	part := t.parts[p]
+	packed := t.packed[p]
+	i := h & part.mask
+	for {
+		if part.head[i] < 0 { // slot never occupied
+			return nil
+		}
+		if part.hash[i] == h {
+			span := packed[part.head[i]:part.tail[i]]
+			if t.rows[span[0]].KeyEqualCols(t.idx, probe, probeIdx) {
+				return span
+			}
+		}
+		i = (i + 1) & part.mask
+	}
+}
+
+// contains reports whether any row of the table has the probe row's key.
+func (t *rowTable) contains(h uint64, probe relation.Row, probeIdx []int) bool {
+	return len(t.lookup(h, probe, probeIdx)) > 0
+}

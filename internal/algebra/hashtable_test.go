@@ -1,0 +1,264 @@
+package algebra
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/sampleclean/svc/internal/expr"
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// TestHashIdxChains exercises the open-addressed multimap directly:
+// insertion-order chains, multiple hashes per table, slot growth.
+func TestHashIdxChains(t *testing.T) {
+	next := make([]int32, 64)
+	idx := newHashIdx(2, next) // deliberately undersized to force growth
+	always := func(int32) bool { return true }
+	for i := 0; i < 64; i++ {
+		idx.add(uint64(1+i%4), int32(i), always) // 4 hashes, 16 ids each
+	}
+	for h := uint64(1); h <= 4; h++ {
+		var got []int32
+		for id := idx.first(h, always); id >= 0; id = idx.next[id] {
+			got = append(got, id)
+		}
+		if len(got) != 16 {
+			t.Fatalf("hash %d: chain length %d, want 16", h, len(got))
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] <= got[i-1] {
+				t.Fatalf("hash %d: chain not in insertion order: %v", h, got)
+			}
+		}
+	}
+	if idx.first(99, always) != -1 {
+		t.Error("absent hash should probe to -1")
+	}
+}
+
+// TestRowTableCollisionFallback forces distinct keys onto one 64-bit
+// hash and checks that verification — not the hash — decides membership:
+// seeded collisions can share a chain but never merge keys.
+func TestRowTableCollisionFallback(t *testing.T) {
+	rows := []relation.Row{
+		{relation.Int(1), relation.String("a")},
+		{relation.Int(2), relation.String("b")},
+		{relation.Int(1), relation.String("dup-of-0")},
+	}
+	idx := []int{0}
+	tab := &rowTable{
+		rows:   rows,
+		idx:    idx,
+		hashes: []uint64{7, 7, 7}, // all colliding
+		next:   make([]int32, len(rows)),
+		parts:  []*hashIdx{newHashIdx(4, nil)},
+		packed: make([][]int32, 1),
+	}
+	tab.parts[0].next = tab.next
+	var cur int32
+	sameKey := func(head int32) bool {
+		return rows[head].KeyEqualCols(idx, rows[cur], idx)
+	}
+	count := 0
+	for i, h := range tab.hashes {
+		cur = int32(i)
+		tab.parts[0].add(h, cur, sameKey)
+		count++
+	}
+	tab.finalizePart(0, count)
+
+	probe := func(key int64) []int32 {
+		p := relation.Row{relation.Int(key)}
+		return tab.lookup(7, p, []int{0})
+	}
+	if got := probe(1); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("probe(1) = %v, want [0 2]", got)
+	}
+	if got := probe(2); len(got) != 1 || got[0] != 1 {
+		t.Errorf("probe(2) = %v, want [1]", got)
+	}
+	if got := probe(3); got != nil {
+		t.Errorf("probe(3) = %v, want none (collision must not fabricate a match)", got)
+	}
+}
+
+// TestGroupByKindStrictness pins that grouping uses encoding identity,
+// not SQL numeric equality: Int(2) and Float(2.0) in an untyped column
+// are distinct groups (they have distinct canonical encodings).
+func TestGroupByKindStrictness(t *testing.T) {
+	sch := relation.NewSchema([]relation.Column{
+		{Name: "id", Type: relation.KindInt},
+		{Name: "g", Type: relation.KindNull}, // untyped: admits mixed kinds
+	}, "id")
+	rel := relation.New(sch)
+	rel.MustInsert(relation.Row{relation.Int(1), relation.Int(2)})
+	rel.MustInsert(relation.Row{relation.Int(2), relation.Float(2)})
+	rel.MustInsert(relation.Row{relation.Int(3), relation.Int(2)})
+	ctx := NewContext(map[string]*relation.Relation{"T": rel})
+	out := mustEval(t, MustGroupBy(Scan("T", sch), []string{"g"}, CountAs("n")), ctx)
+	if out.Len() != 2 {
+		t.Fatalf("got %d groups, want 2 (Int(2) and Float(2.0) must not merge): %v", out.Len(), out)
+	}
+}
+
+// bigFixture builds Log/Video-shaped relations large enough to cross the
+// parallel threshold.
+func bigFixture(nLog, nVideo int) (*relation.Relation, *relation.Relation) {
+	video := relation.New(videoSchema())
+	for i := 0; i < nVideo; i++ {
+		video.MustInsert(relation.Row{
+			relation.Int(int64(i)), relation.Int(int64(i % 97)), relation.Float(float64(i%11) / 2)})
+	}
+	log := relation.New(logSchema())
+	for i := 0; i < nLog; i++ {
+		log.MustInsert(relation.Row{
+			relation.Int(int64(i)), relation.Int(int64(i * 7 % (nVideo + nVideo/8)))}) // ~12% dangling
+	}
+	return log, video
+}
+
+// evalBoth evaluates the plan serially and with 4 workers and requires
+// identical results — the determinism contract of parallel mode.
+func evalBoth(t *testing.T, plan Node, rels map[string]*relation.Relation) {
+	t.Helper()
+	serialCtx := NewContext(rels)
+	serial := mustEval(t, plan, serialCtx)
+	parCtx := NewContext(rels)
+	parCtx.Parallelism = 4
+	par := mustEval(t, plan, parCtx)
+	if !serial.Equal(par) {
+		t.Fatalf("parallel result differs from serial for %s:\nserial: %v\nparallel: %v",
+			plan, serial, par)
+	}
+	if serialCtx.RowsTouched != parCtx.RowsTouched {
+		t.Errorf("RowsTouched differs: serial %d, parallel %d", serialCtx.RowsTouched, parCtx.RowsTouched)
+	}
+	// Keyless outputs compare order-sensitively in Equal; for keyed
+	// outputs additionally require identical row order (chunk concat and
+	// first-occurrence merge make parallel order deterministic).
+	for i := 0; i < serial.Len(); i++ {
+		if !serial.Row(i).Equal(par.Row(i)) {
+			t.Fatalf("row order differs at %d: %v vs %v", i, serial.Row(i), par.Row(i))
+		}
+	}
+}
+
+// TestParallelMatchesSerial runs every parallelized operator shape over
+// inputs above the parallel threshold and requires byte-identical output.
+func TestParallelMatchesSerial(t *testing.T) {
+	log, video := bigFixture(6000, 3000)
+	rels := map[string]*relation.Relation{"Log": log, "Video": video}
+
+	t.Run("hash-join-inner", func(t *testing.T) {
+		// Join on a non-indexed column pair to force the hash-join path.
+		plan := MustJoin(Scan("Log", logSchema()), Alias(Scan("Video", videoSchema()), "v"),
+			JoinSpec{On: []EqPair{{Left: "videoId", Right: "v.ownerId"}}})
+		evalBoth(t, plan, rels)
+	})
+	t.Run("hash-join-full-outer", func(t *testing.T) {
+		plan := MustJoin(Scan("Log", logSchema()), Scan("Video", videoSchema()),
+			JoinSpec{Type: FullOuter, On: On("videoId", "videoId"), Merge: true})
+		evalBoth(t, plan, rels)
+	})
+	t.Run("hash-join-residual", func(t *testing.T) {
+		plan := MustJoin(Scan("Log", logSchema()), Scan("Video", videoSchema()),
+			JoinSpec{On: On("videoId", "videoId"), Merge: true,
+				Extra: expr.Gt(expr.Col("duration"), expr.FloatLit(1))})
+		evalBoth(t, plan, rels)
+	})
+	t.Run("index-probe", func(t *testing.T) {
+		video.BuildIndex([]int{0}) // secondary index on videoId
+		plan := MustJoin(Scan("Log", logSchema()), Scan("Video", videoSchema()),
+			JoinSpec{On: On("videoId", "videoId"), Merge: true})
+		evalBoth(t, plan, rels)
+	})
+	t.Run("group-by", func(t *testing.T) {
+		plan := MustGroupBy(Scan("Log", logSchema()), []string{"videoId"},
+			CountAs("visits"), SumAs(expr.Col("sessionId"), "sum"), MinAs(expr.Col("sessionId"), "min"))
+		evalBoth(t, plan, rels)
+	})
+	t.Run("hash-filter", func(t *testing.T) {
+		plan := MustHashFilter(Scan("Log", logSchema()), []string{"sessionId"}, 0.25, nil)
+		evalBoth(t, plan, rels)
+	})
+	t.Run("difference", func(t *testing.T) {
+		half := relation.New(logSchema())
+		for i := 0; i < 3000; i++ {
+			half.MustInsert(log.Row(i).Clone())
+		}
+		rels2 := map[string]*relation.Relation{"Log": log, "Half": half}
+		plan := MustDifference(Scan("Log", logSchema()), Scan("Half", logSchema()))
+		evalBoth(t, plan, rels2)
+	})
+}
+
+// TestJoinNullKeysStillSkipped re-checks SQL NULL-join semantics on the
+// hash64 path: NULL keys match nothing but left-outer rows survive.
+func TestJoinNullKeysStillSkipped(t *testing.T) {
+	lsch := relation.NewSchema([]relation.Column{
+		{Name: "lid", Type: relation.KindInt}, {Name: "k", Type: relation.KindInt}}, "lid")
+	rsch := relation.NewSchema([]relation.Column{
+		{Name: "rid", Type: relation.KindInt}, {Name: "rk", Type: relation.KindInt}}, "rid")
+	l := relation.New(lsch)
+	l.MustInsert(relation.Row{relation.Int(1), relation.Null()})
+	l.MustInsert(relation.Row{relation.Int(2), relation.Int(5)})
+	r := relation.New(rsch)
+	r.MustInsert(relation.Row{relation.Int(10), relation.Null()})
+	r.MustInsert(relation.Row{relation.Int(11), relation.Int(5)})
+	rels := map[string]*relation.Relation{"L": l, "R": r}
+
+	inner := mustEval(t, MustJoin(Scan("L", lsch), Scan("R", rsch),
+		JoinSpec{On: []EqPair{{Left: "k", Right: "rk"}}}), NewContext(rels))
+	if inner.Len() != 1 {
+		t.Fatalf("inner join with NULL keys: %d rows, want 1:\n%v", inner.Len(), inner)
+	}
+	left := mustEval(t, MustJoin(Scan("L", lsch), Scan("R", rsch),
+		JoinSpec{Type: LeftOuter, On: []EqPair{{Left: "k", Right: "rk"}}}), NewContext(rels))
+	if left.Len() != 2 {
+		t.Fatalf("left outer join with NULL keys: %d rows, want 2:\n%v", left.Len(), left)
+	}
+}
+
+// TestWorkersGate checks the parallel gating arithmetic.
+func TestWorkersGate(t *testing.T) {
+	cases := []struct {
+		parallelism, rows, want int
+	}{
+		{0, 1 << 20, 1},
+		{1, 1 << 20, 1},
+		{4, 100, 1},             // under parallelMinRows
+		{4, parallelMinRows, 4}, // at threshold
+		{64, 4096, 8},           // clamped so chunks stay ≥ parallelMinChunk
+		{1000, 1 << 20, 256},    // hard cap
+		{3, parallelMinRows, 3}, // odd counts pass through
+		{2, parallelMinRows - 1, 1},
+	}
+	for _, c := range cases {
+		ctx := NewContext(nil)
+		ctx.Parallelism = c.parallelism
+		if got := ctx.workers(c.rows); got != c.want {
+			t.Errorf("workers(parallelism=%d, rows=%d) = %d, want %d", c.parallelism, c.rows, got, c.want)
+		}
+	}
+}
+
+// TestHashIdxManyHashes drives slot growth hard enough to hit several
+// rehashes with verified chains afterwards.
+func TestHashIdxManyHashes(t *testing.T) {
+	idx := newHashIdx(1, nil)
+	always := func(int32) bool { return true }
+	const n = 10000
+	for i := 0; i < n; i++ {
+		idx.addGrow(uint64(i)*0x9e3779b97f4a7c15+1, int32(i), always)
+	}
+	for i := 0; i < n; i++ {
+		h := uint64(i)*0x9e3779b97f4a7c15 + 1
+		if got := idx.first(h, always); got != int32(i) {
+			t.Fatalf("first(%d) = %d, want %d", i, got, i)
+		}
+	}
+	if idx.first(0, always) != -1 {
+		t.Error("first(0) should be -1")
+	}
+	_ = fmt.Sprint(idx.used) // silence unused in case of future edits
+}

@@ -203,13 +203,15 @@ func (j *JoinNode) combine(l, r relation.Row) relation.Row {
 	return out
 }
 
-func joinKey(row relation.Row, idx []int) (string, bool) {
+// rowHasNullKey reports whether any of row's idx columns is NULL (SQL:
+// NULL never matches a join).
+func rowHasNullKey(row relation.Row, idx []int) bool {
 	for _, i := range idx {
 		if row[i].IsNull() {
-			return "", false // SQL: NULL never matches
+			return true
 		}
 	}
-	return row.KeyOf(idx), true
+	return false
 }
 
 // Eval implements Node.
@@ -254,9 +256,6 @@ func (j *JoinNode) Eval(ctx *Context) (*relation.Relation, error) {
 	}
 
 	var rows []relation.Row
-	emit := func(l, r relation.Row) {
-		rows = append(rows, j.combine(l, r))
-	}
 
 	if len(j.on) == 0 {
 		// Cross join with optional residual predicate.
@@ -272,89 +271,154 @@ func (j *JoinNode) Eval(ctx *Context) (*relation.Relation, error) {
 		return output(ctx, j.schema, rows)
 	}
 
-	// tryEmit applies the residual predicate and emits a matched pair.
-	tryEmit := func(l, r relation.Row) bool {
-		if j.boundExtra != nil {
-			probe := j.combine(l, r)
-			if !j.boundExtra.Eval(probe).AsBool() {
-				return false
-			}
-			rows = append(rows, probe)
-			return true
-		}
-		emit(l, r)
-		return true
-	}
-
 	// Index probe: inner joins with an index on either side avoid
 	// scanning that side entirely. When both sides are indexed, the
 	// smaller side drives (the usual case in delta plans: a handful of
 	// delta rows probing a large indexed base table).
 	if j.typ == Inner {
-		rIdx := rRel.HasIndex(j.rJoin)
-		lIdx := lRel.HasIndex(j.lJoin)
-		driveLeft := rIdx && (!lIdx || lRel.Len() <= rRel.Len())
-		driveRight := lIdx && !driveLeft
+		rIdx, rOk := rRel.LookupIndex(j.rJoin)
+		lIdx, lOk := lRel.LookupIndex(j.lJoin)
+		driveLeft := rOk && (!lOk || lRel.Len() <= rRel.Len())
+		driveRight := lOk && !driveLeft
 		switch {
 		case driveLeft:
 			ctx.RowsTouched += int64(lRel.Len())
-			for _, l := range lRel.Rows() {
-				if k, ok := joinKey(l, j.lJoin); ok {
-					for _, ri := range rRel.Probe(j.rJoin, k) {
-						if tryEmit(l, rRel.Row(ri)) {
-							ctx.RowsTouched++
-						}
-					}
-				}
-			}
-			return output(ctx, j.schema, rows)
+			return output(ctx, j.schema, j.probeIndexed(ctx, lRel.Rows(), j.lJoin, rRel, rIdx, true))
 		case driveRight:
 			ctx.RowsTouched += int64(rRel.Len())
-			for _, r := range rRel.Rows() {
-				if k, ok := joinKey(r, j.rJoin); ok {
-					for _, li := range lRel.Probe(j.lJoin, k) {
-						if tryEmit(lRel.Row(li), r) {
-							ctx.RowsTouched++
-						}
+			return output(ctx, j.schema, j.probeIndexed(ctx, rRel.Rows(), j.rJoin, lRel, lIdx, false))
+		}
+	}
+
+	// Hash join: build on the right, probe with the left. The build table
+	// hashes the join key to 64 bits (no per-row key strings); probes
+	// verify candidates against the full key encoding, so hash collisions
+	// cannot fabricate matches. Both phases run partitioned/chunked in
+	// parallel when the context allows it.
+	ctx.RowsTouched += int64(lRel.Len()) + int64(rRel.Len())
+	build := buildRowTable(rRel.Rows(), j.rJoin, true, ctx.workers(rRel.Len()))
+
+	lRows := lRel.Rows()
+	needRM := j.typ == RightOuter || j.typ == FullOuter
+	pw := ctx.workers(len(lRows))
+	var rMatched []bool
+	if pw == 1 {
+		if needRM {
+			rMatched = make([]bool, rRel.Len())
+		}
+		rows = j.probeChunk(build, lRows, 0, len(lRows), rMatched)
+	} else {
+		outs := make([][]relation.Row, pw)
+		marks := make([][]bool, pw)
+		runWorkers(pw, func(p int) {
+			lo, hi := chunkRange(p, pw, len(lRows))
+			var rm []bool
+			if needRM {
+				rm = make([]bool, rRel.Len())
+			}
+			outs[p] = j.probeChunk(build, lRows, lo, hi, rm)
+			marks[p] = rm
+		})
+		total := 0
+		for _, o := range outs {
+			total += len(o)
+		}
+		rows = make([]relation.Row, 0, total)
+		for _, o := range outs {
+			rows = append(rows, o...)
+		}
+		if needRM {
+			rMatched = make([]bool, rRel.Len())
+			for _, rm := range marks {
+				for i, m := range rm {
+					if m {
+						rMatched[i] = true
 					}
 				}
 			}
-			return output(ctx, j.schema, rows)
 		}
 	}
-
-	// Hash join: build on the right, probe with the left.
-	ctx.RowsTouched += int64(lRel.Len()) + int64(rRel.Len())
-	build := make(map[string][]int, rRel.Len())
-	for i, r := range rRel.Rows() {
-		if k, ok := joinKey(r, j.rJoin); ok {
-			build[k] = append(build[k], i)
-		}
-	}
-	rMatched := make([]bool, rRel.Len())
-
-	for _, l := range lRel.Rows() {
-		matched := false
-		if k, ok := joinKey(l, j.lJoin); ok {
-			for _, ri := range build[k] {
-				if tryEmit(l, rRel.Row(ri)) {
-					matched = true
-					rMatched[ri] = true
-				}
-			}
-		}
-		if !matched && (j.typ == LeftOuter || j.typ == FullOuter) {
-			emit(l, nil)
-		}
-	}
-	if j.typ == RightOuter || j.typ == FullOuter {
+	if needRM {
 		for i, r := range rRel.Rows() {
 			if !rMatched[i] {
-				emit(nil, r)
+				rows = append(rows, j.combine(nil, r))
 			}
 		}
 	}
 	return output(ctx, j.schema, rows)
+}
+
+// probeChunk probes the build table with lRows[lo:hi) and returns the
+// joined output rows in probe order. rMatched, when non-nil, records
+// which build rows matched (right/full outer bookkeeping); parallel
+// callers pass per-worker slices and merge them.
+func (j *JoinNode) probeChunk(build *rowTable, lRows []relation.Row, lo, hi int, rMatched []bool) []relation.Row {
+	var out []relation.Row
+	leftOuter := j.typ == LeftOuter || j.typ == FullOuter
+	for i := lo; i < hi; i++ {
+		l := lRows[i]
+		matched := false
+		h := joinHash(l, j.lJoin)
+		for _, id := range build.lookup(h, l, j.lJoin) {
+			r := build.rows[id]
+			row := j.combine(l, r)
+			if j.boundExtra != nil && !j.boundExtra.Eval(row).AsBool() {
+				continue
+			}
+			out = append(out, row)
+			matched = true
+			if rMatched != nil {
+				rMatched[id] = true
+			}
+		}
+		if !matched && leftOuter {
+			out = append(out, j.combine(l, nil))
+		}
+	}
+	return out
+}
+
+// probeIndexed drives an inner join from probeRows against an indexed
+// relation: each probe encodes its join key into a reused buffer and hits
+// the index without allocating. leftDrives says whether the probing side
+// is the join's left input. Chunks run in parallel when the context
+// allows; output order equals the serial probe order.
+func (j *JoinNode) probeIndexed(ctx *Context, probeRows []relation.Row, probeIdx []int, indexed *relation.Relation, ix relation.Index, leftDrives bool) []relation.Row {
+	w := ctx.workers(len(probeRows))
+	outs := make([][]relation.Row, w)
+	emitted := make([]int64, w)
+	runWorkers(w, func(p int) {
+		lo, hi := chunkRange(p, w, len(probeRows))
+		var kb relation.KeyBuf
+		var hits []int
+		var out []relation.Row
+		for i := lo; i < hi; i++ {
+			probe := probeRows[i]
+			if rowHasNullKey(probe, probeIdx) {
+				continue
+			}
+			hits = ix.ProbeBytes(kb.Row(probe, probeIdx), hits[:0])
+			for _, pos := range hits {
+				l, r := probe, indexed.Row(pos)
+				if !leftDrives {
+					l, r = r, l
+				}
+				row := j.combine(l, r)
+				if j.boundExtra != nil && !j.boundExtra.Eval(row).AsBool() {
+					continue
+				}
+				out = append(out, row)
+				emitted[p]++
+			}
+		}
+		outs[p] = out
+	})
+	var rows []relation.Row
+	for p := range outs {
+		rows = append(rows, outs[p]...)
+		ctx.RowsTouched += emitted[p]
+	}
+	return rows
 }
 
 // Children implements Node.

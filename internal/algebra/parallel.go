@@ -1,0 +1,76 @@
+package algebra
+
+import "sync"
+
+// Partitioned parallel execution. Operators with partitionable work —
+// hash-join build and probe, aggregation, hash sampling — fork up to
+// Context.Parallelism goroutines when the input is large enough to
+// amortize the fork. Parallel plans produce byte-identical results to
+// serial ones: build partitioning is by key hash (a key's rows never
+// split across partitions), probe and filter chunking is contiguous with
+// in-order concatenation, and group output is merged in first-occurrence
+// order.
+
+// parallelMinRows is the smallest operator input worth forking for;
+// below it goroutine startup dominates the work.
+const parallelMinRows = 2048
+
+// parallelMinChunk bounds the worker count so each worker gets a
+// meaningful slice of rows.
+const parallelMinChunk = 512
+
+// workers returns the effective worker count for an operator processing
+// n rows under this context: 1 when parallelism is off or n is small,
+// otherwise Parallelism clamped so chunks stay at least parallelMinChunk
+// rows.
+func (c *Context) workers(n int) int {
+	p := c.Parallelism
+	if p <= 1 || n < parallelMinRows {
+		return 1
+	}
+	if p > 256 {
+		p = 256
+	}
+	if p > n/parallelMinChunk {
+		p = n / parallelMinChunk
+	}
+	if p < 2 {
+		return 1
+	}
+	return p
+}
+
+// runWorkers runs f(0), …, f(w-1), concurrently when w > 1.
+func runWorkers(w int, f func(p int)) {
+	if w <= 1 {
+		f(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for p := 0; p < w; p++ {
+		go func(p int) {
+			defer wg.Done()
+			f(p)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// eachChunk splits [0, n) into w contiguous ranges and runs f on each,
+// concurrently when w > 1.
+func eachChunk(w, n int, f func(lo, hi int)) {
+	if w <= 1 {
+		f(0, n)
+		return
+	}
+	runWorkers(w, func(p int) {
+		f(n*p/w, n*(p+1)/w)
+	})
+}
+
+// chunkRange returns worker p's contiguous slice bounds of [0, n) among w
+// workers.
+func chunkRange(p, w, n int) (lo, hi int) {
+	return n * p / w, n * (p + 1) / w
+}

@@ -92,13 +92,13 @@ func (s *SetOpNode) Kind() string { return s.kind.String() }
 // Schema implements Node.
 func (s *SetOpNode) Schema() relation.Schema { return s.schema }
 
-// rowIdent returns the identity of a row for set matching: the primary key
-// when sch is keyed, the whole row otherwise.
-func rowIdent(sch relation.Schema, row relation.Row) string {
+// identIdx returns the column indexes identifying a row for set matching:
+// the primary key when sch is keyed, the whole row otherwise.
+func identIdx(sch relation.Schema) []int {
 	if sch.HasKey() {
-		return row.KeyOf(sch.Key())
+		return sch.Key()
 	}
-	return row.KeyOf(allIdx(sch.NumCols()))
+	return allIdx(sch.NumCols())
 }
 
 func allIdx(n int) []int {
@@ -110,6 +110,11 @@ func allIdx(n int) []int {
 }
 
 // Eval implements Node.
+//
+// Membership testing hashes the identity columns to 64 bits and probes an
+// open-addressed table with full-key verification — no per-row key
+// strings (NULL identity values participate, matching the canonical
+// encoding, so this is not a join).
 func (s *SetOpNode) Eval(ctx *Context) (*relation.Relation, error) {
 	lRel, err := s.l.Eval(ctx)
 	if err != nil {
@@ -120,6 +125,7 @@ func (s *SetOpNode) Eval(ctx *Context) (*relation.Relation, error) {
 		return nil, err
 	}
 	ctx.RowsTouched += int64(lRel.Len()) + int64(rRel.Len())
+	idx := identIdx(s.schema)
 	var rows []relation.Row
 	switch s.kind {
 	case opUnion:
@@ -127,34 +133,25 @@ func (s *SetOpNode) Eval(ctx *Context) (*relation.Relation, error) {
 			rows = append(rows, lRel.Rows()...)
 			rows = append(rows, rRel.Rows()...)
 		} else {
-			seen := map[string]bool{}
-			for _, row := range lRel.Rows() {
-				seen[rowIdent(s.schema, row)] = true
-				rows = append(rows, row)
-			}
+			seen := buildRowTable(lRel.Rows(), idx, false, ctx.workers(lRel.Len()))
+			rows = append(rows, lRel.Rows()...)
 			for _, row := range rRel.Rows() {
-				if !seen[rowIdent(s.schema, row)] {
+				if !seen.contains(keyHash(row, idx), row, idx) {
 					rows = append(rows, row)
 				}
 			}
 		}
 	case opIntersect:
-		present := map[string]bool{}
-		for _, row := range rRel.Rows() {
-			present[rowIdent(s.schema, row)] = true
-		}
+		present := buildRowTable(rRel.Rows(), idx, false, ctx.workers(rRel.Len()))
 		for _, row := range lRel.Rows() {
-			if present[rowIdent(s.schema, row)] {
+			if present.contains(keyHash(row, idx), row, idx) {
 				rows = append(rows, row)
 			}
 		}
 	case opDifference:
-		present := map[string]bool{}
-		for _, row := range rRel.Rows() {
-			present[rowIdent(s.schema, row)] = true
-		}
+		present := buildRowTable(rRel.Rows(), idx, false, ctx.workers(rRel.Len()))
 		for _, row := range lRel.Rows() {
-			if !present[rowIdent(s.schema, row)] {
+			if !present.contains(keyHash(row, idx), row, idx) {
 				rows = append(rows, row)
 			}
 		}

@@ -10,9 +10,10 @@ import (
 const testScale = Scale(0.12)
 
 func TestRegistryComplete(t *testing.T) {
-	// All 19 paper figures plus 3 ablations must be registered.
+	// All 19 paper figures plus the ablations and the engine-level
+	// parallel/allocation experiment must be registered.
 	want := []string{
-		"fig4a", "fig4b", "fig5", "fig6a", "fig6b", "fig7a", "fig7b",
+		"fig4a", "fig4a-par", "fig4b", "fig5", "fig6a", "fig6b", "fig7a", "fig7b",
 		"fig8a", "fig8b", "fig9a", "fig9b", "fig10a", "fig10b",
 		"fig11", "fig12", "fig13", "fig14a", "fig14b", "fig15", "fig16",
 		"ablate-hash", "ablate-pushdown", "ablate-advisor", "ablate-nonunique",

@@ -45,6 +45,7 @@ type Cleaner struct {
 	cleanExpr  algebra.Node       // C: reads Ŝ (and, if blocked, S) plus ∂D
 	sample     *relation.Relation // Ŝ, materialized
 	usesFullS  bool               // true when push-down could not reach the stale scan
+	parallel   int                // intra-operator workers for cleaning evaluations
 }
 
 // New builds a cleaner for the maintained view at sampling ratio m and
@@ -154,6 +155,7 @@ func (c *Cleaner) Reset() error {
 		return err
 	}
 	ctx := algebra.NewContext(nil)
+	ctx.Parallelism = c.parallel
 	v.BindInto(ctx)
 	sample, err := hf.Eval(ctx)
 	if err != nil {
@@ -162,6 +164,12 @@ func (c *Cleaner) Reset() error {
 	c.sample = sample
 	return nil
 }
+
+// SetParallelism sets the intra-operator worker count for the contexts
+// the cleaner creates itself (sample rematerialization). Cleaning runs
+// against database-provided contexts additionally inherit the database's
+// own setting; the larger of the two wins.
+func (c *Cleaner) SetParallelism(n int) { c.parallel = n }
 
 // Ratio returns the sampling ratio m.
 func (c *Cleaner) Ratio() float64 { return c.ratio }
@@ -211,6 +219,9 @@ type Samples struct {
 func (c *Cleaner) Clean(d *db.Database) (*Samples, error) {
 	v := c.maintainer.View()
 	ctx := d.Context()
+	if c.parallel > ctx.Parallelism {
+		ctx.Parallelism = c.parallel
+	}
 	v.BindInto(ctx)
 	ctx.Bind(SampleName(v.Name()), c.sample)
 

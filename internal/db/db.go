@@ -131,9 +131,10 @@ func (t *Table) clearDeltas() {
 
 // Database is a catalog of tables with foreign keys.
 type Database struct {
-	tables map[string]*Table
-	order  []string
-	fks    []ForeignKey
+	tables      map[string]*Table
+	order       []string
+	fks         []ForeignKey
+	parallelism int
 }
 
 // New creates an empty database.
@@ -166,6 +167,15 @@ func (d *Database) MustCreate(name string, schema relation.Schema) *Table {
 	}
 	return t
 }
+
+// SetParallelism sets the intra-operator worker count stamped onto every
+// evaluation context this database hands out (view materialization,
+// maintenance, sampled cleaning). 0 and 1 mean serial; parallel
+// evaluation produces identical results (see package algebra).
+func (d *Database) SetParallelism(n int) { d.parallelism = n }
+
+// Parallelism returns the configured intra-operator worker count.
+func (d *Database) Parallelism() int { return d.parallelism }
 
 // Table returns the named table, or nil.
 func (d *Database) Table(name string) *Table { return d.tables[name] }
@@ -239,6 +249,7 @@ func (d *Database) Snapshot() *Database {
 		nd.order = append(nd.order, name)
 	}
 	nd.fks = append(nd.fks, d.fks...)
+	nd.parallelism = d.parallelism
 	return nd
 }
 
@@ -253,7 +264,9 @@ func (d *Database) Context() *algebra.Context {
 		rels[InsOf(name)] = t.ins
 		rels[DelOf(name)] = t.del
 	}
-	return algebra.NewContext(rels)
+	ctx := algebra.NewContext(rels)
+	ctx.Parallelism = d.parallelism
+	return ctx
 }
 
 func intRange(n int) []int {

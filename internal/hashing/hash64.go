@@ -1,0 +1,76 @@
+package hashing
+
+// This file provides the seeded 64-bit streaming hash used by the engine's
+// zero-allocation key pipeline (package relation's Row.HashCols and the
+// hash tables in package algebra). It is FNV-1a with a SplitMix64
+// finalizer — the same construction as the FNV Hasher above, but exposed
+// as incremental primitives so callers can hash a row's key columns
+// directly from their typed payloads without materializing the canonical
+// byte encoding first.
+//
+// The contract callers rely on: two byte sequences fed through the same
+// seed and the same Add* call sequence produce the same finished hash.
+// Equal hashes do NOT imply equal keys — consumers must verify candidates
+// against the full canonical encoding (relation.Row.KeyEqualCols), which
+// is what makes the 64-bit fast path safe under collisions.
+
+const (
+	fnvOffset64 uint64 = 0xcbf29ce484222325
+	fnvPrime64  uint64 = 0x100000001b3
+)
+
+// Init64 returns the initial state of a seeded 64-bit streaming hash.
+// Different seeds yield statistically independent hash functions.
+func Init64(seed uint64) uint64 {
+	return AddUint64(fnvOffset64, seed)
+}
+
+// AddByte64 folds one byte into the state.
+func AddByte64(h uint64, c byte) uint64 {
+	return (h ^ uint64(c)) * fnvPrime64
+}
+
+// AddUint64 folds a 64-bit word into the state (little-endian byte order).
+func AddUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// AddBytes64 folds a byte slice into the state.
+func AddBytes64(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime64
+	}
+	return h
+}
+
+// AddString64 folds a string into the state without allocating.
+func AddString64(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
+}
+
+// Finish64 finalizes the state with a full-avalanche mix so that the high
+// and low bits are both usable for partitioning and slot selection.
+func Finish64(h uint64) uint64 { return Mix64(h) }
+
+// Hash64 is the one-shot form: hash b under the given seed.
+func Hash64(seed uint64, b []byte) uint64 {
+	return Finish64(AddBytes64(Init64(seed), b))
+}
+
+// Mix64 is the SplitMix64 finalizer: a full-avalanche bijection. It is the
+// exported form of the finalizer the FNV Hasher applies.
+func Mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}

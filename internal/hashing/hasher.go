@@ -38,29 +38,18 @@ func unitFromUint64(h uint64) float64 {
 	return float64(h>>11) / float64(1<<53)
 }
 
-// mix64 is the SplitMix64 finalizer: a full-avalanche bijection that
-// spreads FNV's weakly mixed high bits. Without it, FNV-1a over
-// sequential integer keys deviates from uniformity by several percent —
-// enough to bias every 1/m-scaled estimate (see the uniformity test and
-// the hashing ablation benchmark).
-func mix64(z uint64) uint64 {
-	z ^= z >> 30
-	z *= 0xbf58476d1ce4e5b9
-	z ^= z >> 27
-	z *= 0x94d049bb133111eb
-	z ^= z >> 31
-	return z
-}
-
 // FNV is a fast non-cryptographic hasher: FNV-1a (64-bit) followed by a
-// SplitMix64 avalanche finalizer for uniform high bits.
+// SplitMix64 avalanche finalizer (Mix64) for uniform high bits. Without
+// the finalizer, FNV-1a over sequential integer keys deviates from
+// uniformity by several percent — enough to bias every 1/m-scaled
+// estimate (see the uniformity test and the hashing ablation benchmark).
 type FNV struct{}
 
 // Unit implements Hasher.
 func (FNV) Unit(key []byte) float64 {
 	h := fnv.New64a()
 	h.Write(key)
-	return unitFromUint64(mix64(h.Sum64()))
+	return unitFromUint64(Mix64(h.Sum64()))
 }
 
 // Name implements Hasher.

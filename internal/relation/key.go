@@ -1,0 +1,118 @@
+package relation
+
+import (
+	"math"
+
+	"github.com/sampleclean/svc/internal/hashing"
+)
+
+// This file is the zero-allocation key pipeline. The engine's hot
+// operators (hash join, group-by, set operators, the PK/secondary index,
+// and the hash sampler) identify rows by the canonical injective encoding
+// of their key columns (Value.appendEncoded). Materializing that encoding
+// as a Go string per row makes allocation, not the algorithms, the
+// dominant cost. Three facilities remove it:
+//
+//   - KeyBuf: a reusable caller-owned buffer so encodings are computed
+//     in place and looked up as []byte (map[string] lookups with a
+//     string([]byte) conversion do not allocate);
+//   - Row.HashCols: a seeded 64-bit hash computed directly from the typed
+//     payloads, byte-for-byte deterministic, without materializing the
+//     encoding at all;
+//   - Row.KeyEqualCols / Value.KeyEqual: encoding equality computed
+//     directly on values, used to verify hash-table candidates so that
+//     64-bit collisions can never merge two distinct keys.
+//
+// The invariants tying them together (checked by key_test.go):
+//
+//	KeyOf(a) == KeyOf(b)  ⇔  KeyEqual on every key column
+//	KeyOf(a) == KeyOf(b)  ⇒  HashCols(a, s) == HashCols(b, s) for every seed s
+
+// KeyBuf is a reusable buffer for composite-key encodings. The zero value
+// is ready to use. A KeyBuf must not be shared between goroutines.
+type KeyBuf struct {
+	buf []byte
+}
+
+// Row encodes the given key columns of r into the buffer, replacing its
+// previous contents, and returns the encoded bytes. The returned slice is
+// only valid until the next call on this KeyBuf.
+func (b *KeyBuf) Row(r Row, keyIdx []int) []byte {
+	b.buf = r.EncodeCols(keyIdx, b.buf[:0])
+	return b.buf
+}
+
+// Bytes returns the current encoding.
+func (b *KeyBuf) Bytes() []byte { return b.buf }
+
+// String materializes the current encoding as a string (one allocation).
+func (b *KeyBuf) String() string { return string(b.buf) }
+
+// HashCols returns a seeded 64-bit hash of the canonical encoding of the
+// given key columns, computed directly from the typed values without
+// materializing the encoding. Rows with equal encodings (Row.KeyOf) hash
+// equally under every seed; the converse does not hold, so consumers must
+// verify candidates with KeyEqualCols.
+func (r Row) HashCols(keyIdx []int, seed uint64) uint64 {
+	h := hashing.Init64(seed)
+	for _, k := range keyIdx {
+		h = r[k].addHash64(h)
+	}
+	return hashing.Finish64(h)
+}
+
+// addHash64 folds the value into a streaming 64-bit hash state. The fold
+// mirrors the injective structure of appendEncoded — a kind tag, then a
+// kind-specific payload with string lengths made explicit — so that equal
+// encodings always produce equal hashes.
+func (v Value) addHash64(h uint64) uint64 {
+	h = hashing.AddByte64(h, byte(v.kind))
+	switch v.kind {
+	case KindNull:
+		return h
+	case KindString:
+		h = hashing.AddUint64(h, uint64(len(v.s)))
+		return hashing.AddString64(h, v.s)
+	case KindFloat:
+		return hashing.AddUint64(h, math.Float64bits(v.f))
+	default: // int, bool
+		return hashing.AddUint64(h, uint64(v.i))
+	}
+}
+
+// KeyEqual reports encoding equality: whether v and o produce identical
+// canonical encodings (appendEncoded). This is stricter than Equal —
+// Int(2) and Float(2.0) are Equal but not KeyEqual — and is the notion of
+// identity every keyed structure in the engine uses. Floats compare by bit
+// pattern, matching the encoding (so -0.0 ≠ 0.0 and NaN == NaN here).
+func (v Value) KeyEqual(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindNull:
+		return true
+	case KindString:
+		return v.s == o.s
+	case KindFloat:
+		return math.Float64bits(v.f) == math.Float64bits(o.f)
+	default: // int, bool
+		return v.i == o.i
+	}
+}
+
+// KeyEqualCols reports whether r's idx columns and o's oidx columns have
+// identical canonical encodings — the allocation-free equivalent of
+// r.KeyOf(idx) == o.KeyOf(oidx). The two index slices must have equal
+// length.
+func (r Row) KeyEqualCols(idx []int, o Row, oidx []int) bool {
+	if len(idx) != len(oidx) {
+		return false
+	}
+	for i := range idx {
+		if !r[idx[i]].KeyEqual(o[oidx[i]]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,192 @@
+package relation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// keyTestValues is a corpus of values chosen to attack the encoding's
+// injectivity: cross-kind numeric equality, float bit patterns, strings
+// containing the escape bytes and encodings of other values.
+func keyTestValues() []Value {
+	return []Value{
+		Null(),
+		Int(0), Int(1), Int(-1), Int(2), Int(10), Int(math.MaxInt64), Int(math.MinInt64),
+		Float(0), Float(math.Copysign(0, -1)), Float(1), Float(2), Float(-1),
+		Float(math.NaN()), Float(math.Inf(1)), Float(math.Inf(-1)), Float(0.1),
+		Bool(true), Bool(false),
+		String(""), String("a"), String("ab"), String("b"),
+		String("i2"), String("n"), String("b1"), // encodings of other values
+		String("a\x00b"), String("a\x01b"), String("\x00"), String("\x01\x01"),
+		String("f3ff0000000000000"),
+	}
+}
+
+// TestKeyEqualMatchesEncoding checks the core invariant of the
+// zero-allocation pipeline: KeyEqual agrees exactly with equality of the
+// canonical encodings, for every pair of corpus values.
+func TestKeyEqualMatchesEncoding(t *testing.T) {
+	vals := keyTestValues()
+	for i, a := range vals {
+		for j, b := range vals {
+			encEq := string(a.Encode()) == string(b.Encode())
+			if got := a.KeyEqual(b); got != encEq {
+				t.Errorf("vals[%d].KeyEqual(vals[%d]) = %v, encoding equality = %v (%v vs %v)",
+					i, j, got, encEq, a, b)
+			}
+		}
+	}
+}
+
+// TestKeyEqualStricterThanEqual pins the deliberate difference between
+// row identity (KeyEqual) and SQL value equality (Equal): cross-kind
+// numerics are Equal but never KeyEqual.
+func TestKeyEqualStricterThanEqual(t *testing.T) {
+	if !Int(2).Equal(Float(2)) {
+		t.Fatal("Int(2).Equal(Float(2)) should hold (cross-numeric Equal)")
+	}
+	if Int(2).KeyEqual(Float(2)) {
+		t.Error("Int(2).KeyEqual(Float(2)) must be false: their encodings differ")
+	}
+	if Float(0).KeyEqual(Float(math.Copysign(0, -1))) {
+		t.Error("0.0 and -0.0 must stay distinct keys")
+	}
+	if !Float(math.NaN()).KeyEqual(Float(math.NaN())) {
+		t.Error("NaN must equal NaN as a key (bit-pattern identity)")
+	}
+}
+
+// TestHashColsConsistentWithEncoding checks, over every pair of corpus
+// rows: equal encodings imply equal hashes under several seeds, and
+// KeyEqualCols agrees with encoded-key equality at the row level.
+func TestHashColsConsistentWithEncoding(t *testing.T) {
+	vals := keyTestValues()
+	var rows []Row
+	for _, a := range vals {
+		for _, b := range vals {
+			rows = append(rows, Row{a, b})
+		}
+	}
+	idx := []int{0, 1}
+	seeds := []uint64{0, 1, 0x53564331, ^uint64(0)}
+	for i, ra := range rows {
+		for j, rb := range rows {
+			encEq := ra.KeyOf(idx) == rb.KeyOf(idx)
+			if got := ra.KeyEqualCols(idx, rb, idx); got != encEq {
+				t.Fatalf("rows[%d].KeyEqualCols(rows[%d]) = %v, want %v", i, j, got, encEq)
+			}
+			if encEq {
+				for _, s := range seeds {
+					if ra.HashCols(idx, s) != rb.HashCols(idx, s) {
+						t.Fatalf("equal-encoded rows %d,%d hash differently under seed %#x", i, j, s)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKeyInjectivityRandomized drives the same invariants with random
+// rows: distinct encodings never collide in KeyEqualCols, and the
+// boundary-confusion classics (("ab","c") vs ("a","bc")) stay distinct.
+func TestKeyInjectivityRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randVal := func() Value {
+		switch rng.Intn(5) {
+		case 0:
+			return Null()
+		case 1:
+			return Int(rng.Int63n(64) - 32)
+		case 2:
+			return Float(float64(rng.Intn(8)) / 2)
+		case 3:
+			return Bool(rng.Intn(2) == 0)
+		default:
+			letters := []byte("ab\x00\x01")
+			n := rng.Intn(4)
+			s := make([]byte, n)
+			for i := range s {
+				s[i] = letters[rng.Intn(len(letters))]
+			}
+			return String(string(s))
+		}
+	}
+	idx := []int{0, 1, 2}
+	byEncoding := map[string]Row{}
+	for trial := 0; trial < 5000; trial++ {
+		row := Row{randVal(), randVal(), randVal()}
+		enc := row.KeyOf(idx)
+		if prev, ok := byEncoding[enc]; ok {
+			if !prev.KeyEqualCols(idx, row, idx) {
+				t.Fatalf("encoding collision without key equality: %v vs %v", prev, row)
+			}
+			if prev.HashCols(idx, 42) != row.HashCols(idx, 42) {
+				t.Fatalf("equal-encoded rows hash differently: %v vs %v", prev, row)
+			}
+		} else {
+			byEncoding[enc] = row.Clone()
+		}
+	}
+	// Sanity: the corpus actually produced distinct keys.
+	if len(byEncoding) < 100 {
+		t.Fatalf("corpus too degenerate: %d distinct keys", len(byEncoding))
+	}
+	// Boundary confusion between adjacent string columns.
+	a := Row{String("ab"), String("c"), Null()}
+	b := Row{String("a"), String("bc"), Null()}
+	if a.KeyEqualCols(idx, b, idx) || a.KeyOf(idx) == b.KeyOf(idx) {
+		t.Error(`("ab","c") and ("a","bc") must be distinct composite keys`)
+	}
+}
+
+// FuzzValueEncoding fuzzes string payloads through the full invariant
+// chain: encode, compare, hash.
+func FuzzValueEncoding(f *testing.F) {
+	f.Add("", "")
+	f.Add("a", "a")
+	f.Add("a\x00b", "a\x01b")
+	f.Add("ab", "a")
+	f.Fuzz(func(t *testing.T, s1, s2 string) {
+		a, b := Row{String(s1)}, Row{String(s2)}
+		idx := []int{0}
+		encEq := a.KeyOf(idx) == b.KeyOf(idx)
+		if encEq != (s1 == s2) {
+			t.Fatalf("encoding of %q and %q: equality %v, want %v", s1, s2, encEq, s1 == s2)
+		}
+		if a.KeyEqualCols(idx, b, idx) != encEq {
+			t.Fatalf("KeyEqualCols disagrees with encoding for %q vs %q", s1, s2)
+		}
+		if encEq && a.HashCols(idx, 3) != b.HashCols(idx, 3) {
+			t.Fatalf("equal strings hash differently: %q", s1)
+		}
+	})
+}
+
+// BenchmarkKeyOf contrasts the allocating string key with the reusable
+// KeyBuf encoding and the 64-bit no-encoding fast path.
+func BenchmarkKeyOf(b *testing.B) {
+	row := Row{Int(123456), String("benchmark-key-payload"), Float(3.25)}
+	idx := []int{0, 1, 2}
+	b.Run("string", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = row.KeyOf(idx)
+		}
+	})
+	b.Run("keybuf", func(b *testing.B) {
+		b.ReportAllocs()
+		var kb KeyBuf
+		for i := 0; i < b.N; i++ {
+			_ = kb.Row(row, idx)
+		}
+	})
+	b.Run("hash64", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			sink ^= row.HashCols(idx, 42)
+		}
+		_ = sink
+	})
+}

@@ -15,13 +15,23 @@ type Relation struct {
 	rows      []Row
 	index     map[string]int // key -> position in rows; nil when no key
 	secondary map[string]*secondaryIndex
+	keyBuf    KeyBuf // scratch for mutation-path key encoding; not for readers
 }
 
 // New creates an empty relation with the given schema.
 func New(schema Schema) *Relation {
+	return NewSized(schema, 0)
+}
+
+// NewSized creates an empty relation pre-sized for about capacity rows,
+// avoiding index rehashes during bulk loads (operator outputs).
+func NewSized(schema Schema, capacity int) *Relation {
 	r := &Relation{schema: schema}
+	if capacity > 0 {
+		r.rows = make([]Row, 0, capacity)
+	}
 	if schema.HasKey() {
-		r.index = make(map[string]int)
+		r.index = make(map[string]int, capacity)
 	}
 	return r
 }
@@ -41,6 +51,11 @@ func (r *Relation) Rows() []Row { return r.rows }
 
 // keyOf returns the encoded primary key of the row.
 func (r *Relation) keyOf(row Row) string { return row.KeyOf(r.schema.key) }
+
+// keyBytes encodes the row's primary key into the relation's scratch
+// buffer. Only mutation paths (which are single-threaded by contract) may
+// use it; the result is valid until the next keyBytes call.
+func (r *Relation) keyBytes(row Row) []byte { return r.keyBuf.Row(row, r.schema.key) }
 
 // validate checks arity and column types (NULL allowed anywhere).
 func (r *Relation) validate(row Row) error {
@@ -74,11 +89,11 @@ func (r *Relation) Insert(row Row) error {
 		return err
 	}
 	if r.index != nil {
-		k := r.keyOf(row)
-		if _, dup := r.index[k]; dup {
+		k := r.keyBytes(row)
+		if _, dup := r.index[string(k)]; dup {
 			return fmt.Errorf("relation: duplicate key %q", k)
 		}
-		r.index[k] = len(r.rows)
+		r.index[string(k)] = len(r.rows)
 	}
 	r.rows = append(r.rows, row)
 	r.invalidateSecondary()
@@ -105,12 +120,12 @@ func (r *Relation) Upsert(row Row) (replaced bool, err error) {
 		r.rows = append(r.rows, row)
 		return false, nil
 	}
-	k := r.keyOf(row)
-	if pos, ok := r.index[k]; ok {
+	k := r.keyBytes(row)
+	if pos, ok := r.index[string(k)]; ok {
 		r.rows[pos] = row
 		return true, nil
 	}
-	r.index[k] = len(r.rows)
+	r.index[string(k)] = len(r.rows)
 	r.rows = append(r.rows, row)
 	return false, nil
 }
@@ -128,6 +143,20 @@ func (r *Relation) Get(key ...Value) (Row, bool) {
 // GetByEncodedKey returns the row whose encoded primary key equals k.
 func (r *Relation) GetByEncodedKey(k string) (Row, bool) {
 	pos, ok := r.lookup(k)
+	if !ok {
+		return nil, false
+	}
+	return r.rows[pos], true
+}
+
+// GetByEncodedBytes is GetByEncodedKey over a caller-owned byte encoding
+// (e.g. a KeyBuf); the lookup does not allocate and is safe for
+// concurrent readers.
+func (r *Relation) GetByEncodedBytes(k []byte) (Row, bool) {
+	if r.index == nil {
+		return nil, false
+	}
+	pos, ok := r.index[string(k)]
 	if !ok {
 		return nil, false
 	}
@@ -190,7 +219,7 @@ func (r *Relation) DeleteWhere(pred func(Row) bool) int {
 func (r *Relation) reindex() {
 	r.index = make(map[string]int, len(r.rows))
 	for i, row := range r.rows {
-		r.index[r.keyOf(row)] = i
+		r.index[string(r.keyBytes(row))] = i
 	}
 }
 
@@ -296,9 +325,10 @@ func indexSig(cols []int) string {
 // registered indexes after applying deltas.
 func (r *Relation) BuildIndex(cols []int) {
 	idx := &secondaryIndex{cols: append([]int(nil), cols...), pos: make(map[string][]int, len(r.rows))}
+	var kb KeyBuf
 	for i, row := range r.rows {
-		k := row.KeyOf(idx.cols)
-		idx.pos[k] = append(idx.pos[k], i)
+		k := kb.Row(row, idx.cols)
+		idx.pos[string(k)] = append(idx.pos[string(k)], i)
 	}
 	if r.secondary == nil {
 		r.secondary = map[string]*secondaryIndex{}
@@ -332,5 +362,53 @@ func (r *Relation) Probe(cols []int, key string) []int {
 	return nil
 }
 
+// ProbeBytes is Probe over a caller-owned byte encoding (e.g. a KeyBuf):
+// matching row positions are appended to dst, whose backing array the
+// caller reuses across probes. It is the one-shot form of
+// LookupIndex(...).ProbeBytes — per-row probe loops should resolve the
+// Index handle once instead.
+func (r *Relation) ProbeBytes(cols []int, key []byte, dst []int) []int {
+	ix, ok := r.LookupIndex(cols)
+	if !ok {
+		return dst
+	}
+	return ix.ProbeBytes(key, dst)
+}
+
 // invalidateSecondary drops all secondary indexes (called on mutation).
 func (r *Relation) invalidateSecondary() { r.secondary = nil }
+
+// Index is a probe handle resolved once per scan so that per-row probes
+// pay no signature computation or allocation. It is invalidated by any
+// mutation of the relation; resolve, probe, and discard within one
+// read-only pass.
+type Index struct {
+	rel *Relation
+	pk  bool
+	sec *secondaryIndex
+}
+
+// LookupIndex resolves a probe handle for the given column set, or
+// reports that no index covers it (same condition as HasIndex).
+func (r *Relation) LookupIndex(cols []int) (Index, bool) {
+	if r.index != nil && indexSig(cols) == indexSig(r.schema.key) {
+		return Index{rel: r, pk: true}, true
+	}
+	if idx, ok := r.secondary[indexSig(cols)]; ok {
+		return Index{rel: r, sec: idx}, true
+	}
+	return Index{}, false
+}
+
+// ProbeBytes appends the positions of rows whose indexed column tuple
+// encodes to key. It does not allocate beyond dst growth and is safe for
+// concurrent readers.
+func (ix Index) ProbeBytes(key []byte, dst []int) []int {
+	if ix.pk {
+		if p, ok := ix.rel.index[string(key)]; ok {
+			return append(dst, p)
+		}
+		return dst
+	}
+	return append(dst, ix.sec.pos[string(key)]...)
+}

@@ -26,11 +26,7 @@ func (r Row) Equal(o Row) bool {
 // composite key string. The encoding is injective, so two rows produce the
 // same key iff all key values are equal.
 func (r Row) KeyOf(keyIdx []int) string {
-	var buf []byte
-	for _, k := range keyIdx {
-		buf = r[k].appendEncoded(buf)
-	}
-	return string(buf)
+	return string(r.EncodeCols(keyIdx, nil))
 }
 
 // EncodeCols appends the canonical encoding of the given columns to dst.

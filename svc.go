@@ -62,6 +62,7 @@ type config struct {
 	hasher     hashing.Hasher
 	mode       Mode
 	outliers   *outlierSpec
+	parallel   int
 }
 
 type outlierSpec struct {
@@ -82,6 +83,15 @@ func WithHasher(h Hasher) Option { return func(c *config) { c.hasher = h } }
 
 // WithMode fixes the estimator choice (default Auto).
 func WithMode(m Mode) Option { return func(c *config) { c.mode = m } }
+
+// WithParallelism sets the intra-operator worker count for every
+// evaluation this view triggers — materialization, maintenance, and
+// sampled cleaning all inherit it. The setting is stored on the shared
+// database engine (equivalent to calling Database.SetParallelism), so it
+// applies to other views over the same database too. Parallel evaluation
+// partitions hash-join build/probe and aggregation by key hash and
+// produces results identical to serial evaluation; 0 and 1 mean serial.
+func WithParallelism(n int) Option { return func(c *config) { c.parallel = n } }
 
 // WithOutlierIndex attaches a Section 6 outlier index on table.attr,
 // keeping the top `limit` records above an adaptive top-k threshold.
@@ -120,6 +130,9 @@ func New(d *Database, def ViewDefinition, opts ...Option) (*StaleView, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if cfg.parallel > 0 {
+		d.SetParallelism(cfg.parallel)
+	}
 	v, err := view.Materialize(d, def)
 	if err != nil {
 		return nil, err
@@ -132,6 +145,7 @@ func New(d *Database, def ViewDefinition, opts ...Option) (*StaleView, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.SetParallelism(cfg.parallel)
 	sv := &StaleView{db: d, view: v, maint: m, cleaner: c, conf: cfg.confidence, mode: cfg.mode, outSpec: cfg.outliers}
 	if cfg.outliers != nil {
 		if err := sv.buildOutlierIndex(); err != nil {

@@ -317,3 +317,45 @@ func TestSQLFacade(t *testing.T) {
 		t.Error("bad SQL should error")
 	}
 }
+
+// TestWithParallelismMatchesSerial checks the public parallel mode: the
+// same workload queried serially and with 4 workers must produce
+// identical estimates — parallel partitioned operators are an execution
+// detail, not a semantics change.
+func TestWithParallelismMatchesSerial(t *testing.T) {
+	answers := make([]svc.Answer, 2)
+	for i, par := range []int{0, 4} {
+		d, sv := buildExample(t, 9, 300, 6000)
+		if par > 0 {
+			d.SetParallelism(par)
+			sv.Cleaner().SetParallelism(par)
+		}
+		stageVisits(t, d, 9, 300, 6000, 2500)
+		ans, err := sv.Query(svc.Sum("visitCount", nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		answers[i] = ans
+	}
+	if answers[0].Value != answers[1].Value || answers[0].Lo != answers[1].Lo || answers[0].Hi != answers[1].Hi {
+		t.Fatalf("parallel answer differs from serial: %+v vs %+v", answers[0], answers[1])
+	}
+	if answers[0].StaleValue != answers[1].StaleValue {
+		t.Fatalf("stale baseline differs: %v vs %v", answers[0].StaleValue, answers[1].StaleValue)
+	}
+
+	// The option form wires the same knob through New.
+	d := svc.NewDatabase()
+	tbl := d.MustCreate("T", svc.NewSchema([]svc.Column{
+		svc.Col("id", svc.KindInt), svc.Col("x", svc.KindFloat)}, "id"))
+	for i := 0; i < 100; i++ {
+		tbl.MustInsert(svc.Row{svc.Int(int64(i)), svc.Float(float64(i))})
+	}
+	plan := svc.GroupByAgg(svc.Scan("T", tbl.Schema()), []string{"id"}, svc.SumAs(svc.ColRef("x"), "sx"))
+	if _, err := svc.New(d, svc.ViewDefinition{Name: "v", Plan: plan}, svc.WithParallelism(4)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Parallelism() != 4 {
+		t.Fatalf("WithParallelism should configure the database engine, got %d", d.Parallelism())
+	}
+}
