@@ -17,6 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig8a", "fig8b", "fig9a", "fig9b", "fig10a", "fig10b",
 		"fig11", "fig12", "fig13", "fig14a", "fig14b", "fig15", "fig16",
 		"ablate-hash", "ablate-pushdown", "ablate-advisor", "ablate-nonunique",
+		"serve",
 	}
 	have := map[string]bool{}
 	for _, id := range List() {
@@ -263,5 +264,31 @@ func TestAblations(t *testing.T) {
 	predicted := parse(t, tb.Rows[1][3])
 	if nonUniqueSD > 3*predicted || predicted > 3*nonUniqueSD {
 		t.Errorf("measured non-unique stddev %v far from predicted %v", nonUniqueSD, predicted)
+	}
+}
+
+func TestServeShape(t *testing.T) {
+	tb := runAndCheck(t, "serve", 4)
+	var duringMaint float64
+	for _, row := range tb.Rows {
+		if parse(t, row[1]) <= 0 {
+			t.Errorf("%s readers served no queries\n%s", row[0], tb.Render())
+		}
+		if parse(t, row[2]) <= 0 {
+			t.Errorf("%s readers: non-positive qps\n%s", row[0], tb.Render())
+		}
+		if parse(t, row[3]) <= 0 {
+			t.Errorf("%s readers: writer staged nothing\n%s", row[0], tb.Render())
+		}
+		if parse(t, row[4]) <= 0 {
+			t.Errorf("%s readers: no refresh cycles completed\n%s", row[0], tb.Render())
+		}
+		duringMaint += parse(t, row[7])
+	}
+	// The non-blocking evidence: some queries must complete while a
+	// maintenance cycle is mid-run (summed across reader counts to stay
+	// robust at tiny test scales).
+	if duringMaint <= 0 {
+		t.Errorf("no query ever completed during a maintenance cycle — readers look blocked\n%s", tb.Render())
 	}
 }

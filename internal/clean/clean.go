@@ -22,6 +22,7 @@ package clean
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"github.com/sampleclean/svc/internal/algebra"
@@ -41,11 +42,37 @@ type Cleaner struct {
 	maintainer *view.Maintainer
 	ratio      float64
 	hasher     hashing.Hasher
-	attrs      []string           // hashed attribute tuple (usually the view key)
-	cleanExpr  algebra.Node       // C: reads Ŝ (and, if blocked, S) plus ∂D
-	sample     *relation.Relation // Ŝ, materialized
-	usesFullS  bool               // true when push-down could not reach the stale scan
-	parallel   int                // intra-operator workers for cleaning evaluations
+	attrs      []string     // hashed attribute tuple (usually the view key)
+	cleanExpr  algebra.Node // C: reads Ŝ (and, if blocked, S) plus ∂D
+	// sample is Ŝ, materialized and published atomically: cleanings read
+	// whatever version is current, Adopt swaps in the next one, and a
+	// reader holding the old pointer stays consistent.
+	sample    atomic.Pointer[relation.Relation]
+	usesFullS bool // true when push-down could not reach the stale scan
+	parallel  int  // intra-operator workers for cleaning evaluations
+	// source, when set, supplies the consistent (pin, S, Ŝ) triple Clean
+	// evaluates against for sourceDB (see SetServingSource).
+	source   ServingSource
+	sourceDB *db.Database
+}
+
+// ServingSource returns a consistent (pinned catalog version, stale view,
+// stale sample) triple — all three from one publication, never a mix
+// across a maintenance boundary.
+type ServingSource func() (pin *db.Version, viewData, sample *relation.Relation)
+
+// SetServingSource installs the triple provider Clean uses when invoked
+// with the given database. A serving layer that publishes (S, Ŝ)
+// atomically with catalog versions (package svc does, via db attachments)
+// registers its lookup here so that Clean — reachable through the public
+// Cleaner handle during concurrent serving — can never read a catalog
+// version from after a maintenance boundary together with view/sample
+// pointers from before it. Clean calls against a DIFFERENT database (e.g.
+// a Snapshot clone in an experiment) bypass the source and evaluate that
+// database directly. Must be set before concurrent use (svc.New does it
+// at construction).
+func (c *Cleaner) SetServingSource(d *db.Database, src ServingSource) {
+	c.source, c.sourceDB = src, d
 }
 
 // New builds a cleaner for the maintained view at sampling ratio m and
@@ -161,7 +188,7 @@ func (c *Cleaner) Reset() error {
 	if err != nil {
 		return fmt.Errorf("clean: materialize sample of %s: %w", v.Name(), err)
 	}
-	c.sample = sample
+	c.sample.Store(sample)
 	return nil
 }
 
@@ -180,8 +207,9 @@ func (c *Cleaner) SampleAttrs() []string { return append([]string(nil), c.attrs.
 // Hasher returns the deterministic hash in use.
 func (c *Cleaner) Hasher() hashing.Hasher { return c.hasher }
 
-// StaleSample returns the materialized stale sample Ŝ.
-func (c *Cleaner) StaleSample() *relation.Relation { return c.sample }
+// StaleSample returns the materialized stale sample Ŝ (immutable; Adopt
+// publishes replacements).
+func (c *Cleaner) StaleSample() *relation.Relation { return c.sample.Load() }
 
 // Expression returns the optimized cleaning expression C (the paper's
 // Figure 3 right-hand side) for inspection.
@@ -216,14 +244,32 @@ type Samples struct {
 // Clean evaluates the cleaning expression against the staged deltas and
 // returns the corresponding sample pair (Ŝ, Ŝ′). Neither the view nor the
 // stored sample is modified; call Adopt to roll the sample forward.
+//
+// With a ServingSource installed and d the serving database, the triple
+// comes from one publication (safe during concurrent serving); otherwise
+// the pin, view, and sample are read individually, which is only
+// consistent when no maintenance runs concurrently.
 func (c *Cleaner) Clean(d *db.Database) (*Samples, error) {
+	if c.source != nil && d == c.sourceDB {
+		pin, viewData, sample := c.source()
+		return c.CleanAt(pin, viewData, sample)
+	}
+	return c.CleanAt(d.Pin(), c.maintainer.View().Data(), c.StaleSample())
+}
+
+// CleanAt evaluates the cleaning expression against a pinned catalog
+// version, an explicit stale view S, and an explicit stale sample Ŝ — the
+// snapshot-serving form of Clean. All inputs are immutable, so any number
+// of CleanAt evaluations run concurrently with each other, with staging
+// writers, and with a maintenance cycle preparing the next publication.
+func (c *Cleaner) CleanAt(pin *db.Version, viewData, sample *relation.Relation) (*Samples, error) {
 	v := c.maintainer.View()
-	ctx := d.Context()
+	ctx := pin.Context()
 	if c.parallel > ctx.Parallelism {
 		ctx.Parallelism = c.parallel
 	}
-	v.BindInto(ctx)
-	ctx.Bind(SampleName(v.Name()), c.sample)
+	ctx.Bind(view.StaleName(v.Name()), viewData)
+	ctx.Bind(SampleName(v.Name()), sample)
 
 	start := time.Now()
 	fresh, err := c.cleanExpr.Eval(ctx)
@@ -233,7 +279,7 @@ func (c *Cleaner) Clean(d *db.Database) (*Samples, error) {
 	elapsed := time.Since(start)
 
 	return &Samples{
-		Stale: c.sample,
+		Stale: sample,
 		Fresh: fresh,
 		Ratio: c.ratio,
 		Stats: Stats{RowsTouched: ctx.RowsTouched, Elapsed: elapsed},
@@ -249,6 +295,20 @@ func (c *Cleaner) Clean(d *db.Database) (*Samples, error) {
 // back to the view's declared schema so the next cleaning round's sample
 // scan type-checks.
 func (c *Cleaner) Adopt(s *Samples) error {
+	out, err := c.CoerceSample(s)
+	if err != nil {
+		return err
+	}
+	c.sample.Store(out)
+	return nil
+}
+
+// CoerceSample converts a cleaned sample Ŝ′ back to the view's declared
+// schema without publishing it — the preparation half of Adopt. The
+// serving layer uses it to build the next sample off to the side and
+// publish it atomically with the rest of a maintenance cycle
+// (AdoptRelation).
+func (c *Cleaner) CoerceSample(s *Samples) (*relation.Relation, error) {
 	target := c.maintainer.View().Schema()
 	out := relation.New(target)
 	for _, row := range s.Fresh.Rows() {
@@ -257,12 +317,14 @@ func (c *Cleaner) Adopt(s *Samples) error {
 			conv[i] = coerceValue(target.Col(i).Type, val)
 		}
 		if err := out.Insert(conv); err != nil {
-			return fmt.Errorf("clean: adopt sample: %w", err)
+			return nil, fmt.Errorf("clean: adopt sample: %w", err)
 		}
 	}
-	c.sample = out
-	return nil
+	return out, nil
 }
+
+// AdoptRelation publishes an already-coerced sample as the new Ŝ.
+func (c *Cleaner) AdoptRelation(r *relation.Relation) { c.sample.Store(r) }
 
 func coerceValue(want relation.Kind, v relation.Value) relation.Value {
 	if v.IsNull() {

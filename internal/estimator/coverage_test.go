@@ -1,0 +1,145 @@
+package estimator
+
+// Statistical coverage regression test for Section 5's guarantee: the 95%
+// confidence intervals produced by SVC+CORR and SVC+AQP must actually
+// cover the true answer about 95% of the time. Each trial re-draws the
+// sample with an independently salted hash (hashing.Salted models an
+// independent draw from the hash family) over the same data and staged
+// deltas, so the observed coverage estimates the true coverage of the
+// interval procedure. The band is deliberately loose (91–99% over the
+// trial count) to keep the test deterministic-robust while still catching
+// broken variance formulas, which miss by far more.
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/sampleclean/svc/internal/algebra"
+	"github.com/sampleclean/svc/internal/clean"
+	"github.com/sampleclean/svc/internal/db"
+	"github.com/sampleclean/svc/internal/expr"
+	"github.com/sampleclean/svc/internal/hashing"
+	"github.com/sampleclean/svc/internal/relation"
+	"github.com/sampleclean/svc/internal/view"
+)
+
+// coverageScenario builds the running-example schema with enough rows for
+// the CLT to hold at the chosen sampling ratio.
+func coverageScenario(t testing.TB) (*db.Database, *view.View, *view.Maintainer, float64) {
+	t.Helper()
+	const (
+		videos  = 500
+		visits  = 8000
+		updates = 1500
+	)
+	rng := rand.New(rand.NewSource(99))
+	d := db.New()
+	vt := d.MustCreate("Video", relation.NewSchema([]relation.Column{
+		{Name: "videoId", Type: relation.KindInt},
+		{Name: "ownerId", Type: relation.KindInt},
+		{Name: "duration", Type: relation.KindFloat},
+	}, "videoId"))
+	for i := 0; i < videos; i++ {
+		vt.MustInsert(relation.Row{relation.Int(int64(i)), relation.Int(rng.Int63n(20)), relation.Float(rng.Float64() * 3)})
+	}
+	lt := d.MustCreate("Log", relation.NewSchema([]relation.Column{
+		{Name: "sessionId", Type: relation.KindInt},
+		{Name: "videoId", Type: relation.KindInt},
+	}, "sessionId"))
+	for i := 0; i < visits; i++ {
+		lt.MustInsert(relation.Row{relation.Int(int64(i)), relation.Int(rng.Int63n(videos))})
+	}
+	plan := algebra.MustGroupBy(
+		algebra.MustJoin(
+			algebra.Scan("Log", lt.Schema()),
+			algebra.Scan("Video", vt.Schema()),
+			algebra.JoinSpec{Type: algebra.Inner, On: algebra.On("videoId", "videoId"), Merge: true},
+		),
+		[]string{"videoId", "ownerId"},
+		algebra.CountAs("visitCount"),
+		algebra.SumAs(expr.Col("duration"), "totalDuration"),
+	)
+	v, err := view.Materialize(d, view.Definition{Name: "visitView", Plan: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := view.NewMaintainer(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Staleness: new visits (some to new videos) and some deletions.
+	nextVideo := int64(videos)
+	for i := 0; i < updates; i++ {
+		switch rng.Intn(12) {
+		case 0:
+			vt.StageInsert(relation.Row{relation.Int(nextVideo), relation.Int(rng.Int63n(20)), relation.Float(rng.Float64() * 3)})
+			lt.StageInsert(relation.Row{relation.Int(int64(visits + i)), relation.Int(nextVideo)})
+			nextVideo++
+		case 1:
+			_ = lt.StageDelete(relation.Int(rng.Int63n(visits)))
+		default:
+			lt.StageInsert(relation.Row{relation.Int(int64(visits + i)), relation.Int(rng.Int63n(videos))})
+		}
+	}
+	// Ground truth for SUM(visitCount) on the fully maintained view.
+	snap := d.Snapshot()
+	if err := snap.ApplyDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := view.Materialize(snap, v.Definition())
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := RunExact(fresh.Data(), Sum("visitCount", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, v, m, truth
+}
+
+// TestEstimatorCoverage runs ≥200 salted trials per estimator and pins
+// the empirical 95% CI coverage into the 91–99% band.
+func TestEstimatorCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coverage study is not short")
+	}
+	d, v, m, truth := coverageScenario(t)
+	const (
+		trials = 200
+		ratio  = 0.2
+		conf   = 0.95
+	)
+	q := Sum("visitCount", nil)
+	covered := map[string]int{}
+	for salt := 0; salt < trials; salt++ {
+		c, err := clean.New(m, ratio, hashing.Salted{Salt: uint64(salt)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples, err := c.Clean(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		corr, err := Corr(v.Data(), samples, q, conf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aqp, err := AQP(samples, q, conf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if corr.Covers(truth) {
+			covered["svc+corr"]++
+		}
+		if aqp.Covers(truth) {
+			covered["svc+aqp"]++
+		}
+	}
+	for _, method := range []string{"svc+corr", "svc+aqp"} {
+		coverage := float64(covered[method]) / trials
+		t.Logf("%s: %d/%d trials covered the truth (%.1f%%)", method, covered[method], trials, 100*coverage)
+		if coverage < 0.91 || coverage > 0.99 {
+			t.Errorf("%s: empirical coverage %.3f outside [0.91, 0.99] for nominal %.2f", method, coverage, conf)
+		}
+	}
+}

@@ -191,6 +191,12 @@ type Estimate struct {
 	Method string
 	// K is the number of sample rows the estimate was computed from.
 	K int
+	// AsOfEpoch is the publication epoch of the catalog version the
+	// estimate was computed against (0 when the query did not run through
+	// the snapshot serving layer). Within one serving session it is
+	// monotonically non-decreasing across successive queries: a reader can
+	// use it to detect which maintenance boundary an answer reflects.
+	AsOfEpoch uint64
 }
 
 // HalfWidth returns (Hi−Lo)/2.

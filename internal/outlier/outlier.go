@@ -85,17 +85,32 @@ func (ix *Index) BuildFromTable(t *db.Table) error {
 	if t.Name() != ix.table {
 		return fmt.Errorf("outlier: index on %s fed from table %s", ix.table, t.Name())
 	}
-	keyIdx := t.Schema().Key()
+	return ix.buildFrom(t.Rows(), t.Insertions(), t.Deletions())
+}
+
+// BuildFromVersion is BuildFromTable over a pinned catalog version: the
+// index observes the version's base rows and staged insertions, skipping
+// staged deletions, without reading any live (mutable) relation.
+func (ix *Index) BuildFromVersion(v *db.Version) error {
+	base := v.Base(ix.table)
+	if base == nil {
+		return fmt.Errorf("outlier: index on %s: table missing from version", ix.table)
+	}
+	return ix.buildFrom(base, v.Insertions(ix.table), v.Deletions(ix.table))
+}
+
+func (ix *Index) buildFrom(base, ins, del *relation.Relation) error {
+	keyIdx := base.Schema().Key()
 	deleted := func(row relation.Row) bool {
-		_, gone := t.Deletions().GetByEncodedKey(row.KeyOf(keyIdx))
+		_, gone := del.GetByEncodedKey(row.KeyOf(keyIdx))
 		return gone
 	}
-	for _, row := range t.Rows().Rows() {
+	for _, row := range base.Rows() {
 		if !deleted(row) {
 			ix.Observe(row)
 		}
 	}
-	for _, row := range t.Insertions().Rows() {
+	for _, row := range ins.Rows() {
 		ix.Observe(row)
 	}
 	return nil

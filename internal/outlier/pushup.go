@@ -131,9 +131,27 @@ func (mz *Materializer) substitute(n algebra.Node) (algebra.Node, error) {
 // whose provenance includes an indexed record, plus the stale view's rows
 // under the same keys.
 func (mz *Materializer) Materialize(d *db.Database) (*estimator.OutlierSet, error) {
-	ctx := d.Context()
-	mz.v.BindInto(ctx)
-	ctx.Bind(outlierBinding(mz.ix.table), mz.ix.Records())
+	return mz.MaterializeAt(d.Pin(), mz.v.Data())
+}
+
+// MaterializeAt is Materialize against a pinned catalog version and an
+// explicit stale-view relation — the snapshot-serving form. The caller is
+// responsible for having built the index from the same version
+// (Index.BuildFromVersion) and for serializing index mutations.
+func (mz *Materializer) MaterializeAt(pin *db.Version, viewData *relation.Relation) (*estimator.OutlierSet, error) {
+	return mz.MaterializeRecords(pin, viewData, mz.ix.Records())
+}
+
+// MaterializeRecords is MaterializeAt with the indexed records supplied
+// explicitly, decoupling the evaluation from the Materializer's own Index
+// instance. Because the Materializer's plans are immutable after
+// construction, any number of MaterializeRecords evaluations (each with
+// its own records relation, e.g. built from different pinned versions)
+// run concurrently.
+func (mz *Materializer) MaterializeRecords(pin *db.Version, viewData, records *relation.Relation) (*estimator.OutlierSet, error) {
+	ctx := pin.Context()
+	ctx.Bind(view.StaleName(mz.v.Name()), viewData)
+	ctx.Bind(outlierBinding(mz.ix.table), records)
 
 	contrib, err := mz.upPlan.Eval(ctx)
 	if err != nil {
@@ -154,7 +172,7 @@ func (mz *Materializer) Materialize(d *db.Database) (*estimator.OutlierSet, erro
 				return nil, err
 			}
 		}
-		mz.fillStale(o, keyIdx)
+		mz.fillStale(o, keyIdx, viewData)
 		return o, nil
 	}
 
@@ -183,7 +201,7 @@ func (mz *Materializer) Materialize(d *db.Database) (*estimator.OutlierSet, erro
 			continue
 		}
 		seen[gk] = true
-		staleRow, hasStale := mz.v.Data().GetByEncodedKey(gk)
+		staleRow, hasStale := viewData.GetByEncodedKey(gk)
 		ctRow, hasCT := ct.GetByEncodedKey(gk)
 
 		out := make(relation.Row, mz.v.Schema().NumCols())
@@ -223,14 +241,14 @@ func (mz *Materializer) Materialize(d *db.Database) (*estimator.OutlierSet, erro
 			return nil, err
 		}
 	}
-	mz.fillStale(o, keyIdx)
+	mz.fillStale(o, keyIdx, viewData)
 	return o, nil
 }
 
 // fillStale copies the stale view's rows for every outlier key.
-func (mz *Materializer) fillStale(o *estimator.OutlierSet, keyIdx []int) {
+func (mz *Materializer) fillStale(o *estimator.OutlierSet, keyIdx []int, viewData *relation.Relation) {
 	for _, row := range o.Fresh.Rows() {
-		if st, ok := mz.v.Data().GetByEncodedKey(row.KeyOf(keyIdx)); ok {
+		if st, ok := viewData.GetByEncodedKey(row.KeyOf(keyIdx)); ok {
 			_, _ = o.Stale.Upsert(st)
 		}
 	}

@@ -16,6 +16,15 @@ type Relation struct {
 	index     map[string]int // key -> position in rows; nil when no key
 	secondary map[string]*secondaryIndex
 	keyBuf    KeyBuf // scratch for mutation-path key encoding; not for readers
+
+	// shared marks the rows/index/secondary storage as referenced by at
+	// least one Snapshot. The next mutation detaches (copies) the storage
+	// first, so published snapshots stay immutable — copy-on-write.
+	shared bool
+	// version counts storage generations: it is bumped every time the
+	// relation detaches from a snapshot, so a snapshot's version
+	// identifies the state it captured.
+	version uint64
 }
 
 // New creates an empty relation with the given schema.
@@ -49,6 +58,53 @@ func (r *Relation) Row(i int) Row { return r.rows[i] }
 // read-only scans.
 func (r *Relation) Rows() []Row { return r.rows }
 
+// Version identifies the storage generation of the relation's contents.
+// Two relations created by Snapshot share a version until the live side
+// mutates (which detaches it and bumps its version).
+func (r *Relation) Version() uint64 { return r.version }
+
+// Snapshot returns an immutable view of the relation's current contents.
+// The snapshot shares storage with the receiver — taking one is O(1) — and
+// the receiver detaches (copies rows and indexes) on its next mutation, so
+// the snapshot keeps observing exactly the rows present now.
+//
+// Snapshot itself counts as a (bookkeeping) mutation of the receiver and
+// must be serialized with writers; the returned relation is safe for any
+// number of concurrent readers. Mutating a snapshot is possible (it
+// detaches first) but defeats its purpose; treat it as read-only.
+func (r *Relation) Snapshot() *Relation {
+	r.shared = true
+	return &Relation{
+		schema:    r.schema,
+		rows:      r.rows,
+		index:     r.index,
+		secondary: r.secondary,
+		shared:    true,
+		version:   r.version,
+	}
+}
+
+// detach gives the relation private storage before a mutation when a
+// snapshot still references the current storage. Secondary indexes are
+// dropped rather than copied: every caller is a mutation that would
+// invalidate them anyway.
+func (r *Relation) detach() {
+	if !r.shared {
+		return
+	}
+	r.rows = append(make([]Row, 0, len(r.rows)+1), r.rows...)
+	if r.index != nil {
+		index := make(map[string]int, len(r.index))
+		for k, v := range r.index {
+			index[k] = v
+		}
+		r.index = index
+	}
+	r.secondary = nil
+	r.shared = false
+	r.version++
+}
+
 // keyOf returns the encoded primary key of the row.
 func (r *Relation) keyOf(row Row) string { return row.KeyOf(r.schema.key) }
 
@@ -57,11 +113,17 @@ func (r *Relation) keyOf(row Row) string { return row.KeyOf(r.schema.key) }
 // use it; the result is valid until the next keyBytes call.
 func (r *Relation) keyBytes(row Row) []byte { return r.keyBuf.Row(row, r.schema.key) }
 
-// validate checks arity and column types (NULL allowed anywhere).
-func (r *Relation) validate(row Row) error {
+// validate checks arity and column types (NULL allowed anywhere) and
+// returns the row to store. Int values destined for float columns are
+// coerced — into a copy, never in place: callers may pass rows aliased
+// from relations that concurrent readers are scanning (the serving layer
+// shares sample relations across goroutines), so the input row must stay
+// untouched.
+func (r *Relation) validate(row Row) (Row, error) {
 	if len(row) != len(r.schema.cols) {
-		return fmt.Errorf("relation: row arity %d != schema arity %d", len(row), len(r.schema.cols))
+		return nil, fmt.Errorf("relation: row arity %d != schema arity %d", len(row), len(r.schema.cols))
 	}
+	out := row
 	for i, v := range row {
 		if v.IsNull() {
 			continue
@@ -73,27 +135,37 @@ func (r *Relation) validate(row Row) error {
 		if v.Kind() != want {
 			// Permit int into float columns; the generators use both.
 			if want == KindFloat && v.Kind() == KindInt {
-				row[i] = Float(v.AsFloat())
+				if len(out) > 0 && &out[0] == &row[0] {
+					out = append(Row(nil), row...)
+				}
+				out[i] = Float(v.AsFloat())
 				continue
 			}
-			return fmt.Errorf("relation: column %q wants %s, got %s", r.schema.cols[i].Name, want, v.Kind())
+			return nil, fmt.Errorf("relation: column %q wants %s, got %s", r.schema.cols[i].Name, want, v.Kind())
 		}
 	}
-	return nil
+	return out, nil
 }
 
 // Insert appends a row. With a primary key it returns an error on duplicate
 // keys.
 func (r *Relation) Insert(row Row) error {
-	if err := r.validate(row); err != nil {
+	row, err := r.validate(row)
+	if err != nil {
 		return err
 	}
 	if r.index != nil {
+		// Duplicate check BEFORE detaching: a failed insert must leave
+		// the relation untouched (no copy-on-write, indexes intact) —
+		// Table.write relies on failed mutators mutating nothing.
 		k := r.keyBytes(row)
 		if _, dup := r.index[string(k)]; dup {
 			return fmt.Errorf("relation: duplicate key %q", k)
 		}
+		r.detach()
 		r.index[string(k)] = len(r.rows)
+	} else {
+		r.detach()
 	}
 	r.rows = append(r.rows, row)
 	r.invalidateSecondary()
@@ -112,9 +184,11 @@ func (r *Relation) MustInsert(row Row) {
 // key. It reports whether a row was replaced. Without a primary key it
 // appends.
 func (r *Relation) Upsert(row Row) (replaced bool, err error) {
-	if err := r.validate(row); err != nil {
+	row, err = r.validate(row)
+	if err != nil {
 		return false, err
 	}
+	r.detach()
 	r.invalidateSecondary()
 	if r.index == nil {
 		r.rows = append(r.rows, row)
@@ -183,6 +257,7 @@ func (r *Relation) DeleteByEncodedKey(k string) bool {
 	if !ok {
 		return false
 	}
+	r.detach()
 	last := len(r.rows) - 1
 	if pos != last {
 		r.rows[pos] = r.rows[last]
@@ -197,6 +272,7 @@ func (r *Relation) DeleteByEncodedKey(k string) bool {
 // DeleteWhere removes all rows for which pred returns true and reports how
 // many were removed.
 func (r *Relation) DeleteWhere(pred func(Row) bool) int {
+	r.detach()
 	kept := r.rows[:0]
 	removed := 0
 	for _, row := range r.rows {
@@ -241,6 +317,7 @@ func (r *Relation) Clone() *Relation {
 // encoding when keyless) and rebuilds the index. Useful for deterministic
 // comparison in tests.
 func (r *Relation) SortByKey() {
+	r.detach()
 	keyIdx := r.schema.key
 	if len(keyIdx) == 0 {
 		keyIdx = intRange(len(r.schema.cols))
@@ -324,6 +401,16 @@ func indexSig(cols []int) string {
 // indexes. Joins probe it instead of scanning; the db layer rebuilds
 // registered indexes after applying deltas.
 func (r *Relation) BuildIndex(cols []int) {
+	if r.shared {
+		// Copy-on-write for the secondary map alone: rows are not touched,
+		// so existing snapshots keep their (shared, still valid) indexes
+		// while the live side gains the new one.
+		sec := make(map[string]*secondaryIndex, len(r.secondary)+1)
+		for k, v := range r.secondary {
+			sec[k] = v
+		}
+		r.secondary = sec
+	}
 	idx := &secondaryIndex{cols: append([]int(nil), cols...), pos: make(map[string][]int, len(r.rows))}
 	var kb KeyBuf
 	for i, row := range r.rows {

@@ -1,0 +1,188 @@
+package relation
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func snapSchema() Schema {
+	return NewSchema([]Column{
+		{Name: "id", Type: KindInt},
+		{Name: "x", Type: KindFloat},
+	}, "id")
+}
+
+func snapRow(id int, x float64) Row { return Row{Int(int64(id)), Float(x)} }
+
+// TestSnapshotIsolation: mutations after Snapshot must not be visible
+// through the snapshot, across every mutating operation.
+func TestSnapshotIsolation(t *testing.T) {
+	r := New(snapSchema())
+	for i := 0; i < 10; i++ {
+		r.MustInsert(snapRow(i, float64(i)))
+	}
+	snap := r.Snapshot()
+	if snap.Len() != 10 {
+		t.Fatalf("snapshot has %d rows, want 10", snap.Len())
+	}
+
+	// Insert, upsert (in-place replace!), delete, delete-where, sort.
+	r.MustInsert(snapRow(100, 100))
+	if _, err := r.Upsert(snapRow(3, -3)); err != nil {
+		t.Fatal(err)
+	}
+	if !r.DeleteByEncodedKey(snapRow(7, 0).KeyOf([]int{0})) {
+		t.Fatal("delete failed")
+	}
+	r.DeleteWhere(func(row Row) bool { return row[0].AsInt() == 5 })
+	r.SortByKey()
+
+	if snap.Len() != 10 {
+		t.Fatalf("snapshot length changed to %d", snap.Len())
+	}
+	for i := 0; i < 10; i++ {
+		row, ok := snap.Get(Int(int64(i)))
+		if !ok {
+			t.Fatalf("snapshot lost key %d", i)
+		}
+		if row[1].AsFloat() != float64(i) {
+			t.Fatalf("snapshot row %d mutated: %v", i, row)
+		}
+	}
+	if _, ok := snap.Get(Int(100)); ok {
+		t.Fatal("snapshot sees post-snapshot insert")
+	}
+
+	// The live relation has all the mutations.
+	if _, ok := r.Get(Int(7)); ok {
+		t.Fatal("live relation still has deleted key")
+	}
+	if row, _ := r.Get(Int(3)); row[1].AsFloat() != -3 {
+		t.Fatal("live relation missed the upsert")
+	}
+}
+
+// TestSnapshotVersioning: versions are shared until detach, then diverge.
+func TestSnapshotVersioning(t *testing.T) {
+	r := New(snapSchema())
+	r.MustInsert(snapRow(1, 1))
+	v0 := r.Version()
+	snap := r.Snapshot()
+	if snap.Version() != v0 || r.Version() != v0 {
+		t.Fatalf("snapshot should share version %d, got snap=%d live=%d", v0, snap.Version(), r.Version())
+	}
+	r.MustInsert(snapRow(2, 2))
+	if r.Version() == v0 {
+		t.Fatal("mutation after snapshot should bump the live version")
+	}
+	if snap.Version() != v0 {
+		t.Fatal("snapshot version must not move")
+	}
+	// Second mutation with no intervening snapshot: no second detach.
+	v1 := r.Version()
+	r.MustInsert(snapRow(3, 3))
+	if r.Version() != v1 {
+		t.Fatal("mutation without a shared snapshot should not detach again")
+	}
+}
+
+// TestSnapshotOfSnapshot: snapshots chain; all observe the same state.
+func TestSnapshotOfSnapshot(t *testing.T) {
+	r := New(snapSchema())
+	r.MustInsert(snapRow(1, 1))
+	s1 := r.Snapshot()
+	s2 := s1.Snapshot()
+	r.MustInsert(snapRow(2, 2))
+	if s1.Len() != 1 || s2.Len() != 1 {
+		t.Fatalf("chained snapshots see %d/%d rows, want 1/1", s1.Len(), s2.Len())
+	}
+}
+
+// TestSnapshotSecondaryIndexes: a snapshot keeps probing its secondary
+// indexes even while the live side rebuilds or adds indexes.
+func TestSnapshotSecondaryIndexes(t *testing.T) {
+	r := New(snapSchema())
+	for i := 0; i < 20; i++ {
+		r.MustInsert(Row{Int(int64(i)), Float(float64(i % 4))})
+	}
+	r.BuildIndex([]int{1})
+	snap := r.Snapshot()
+	if !snap.HasIndex([]int{1}) {
+		t.Fatal("snapshot should inherit the secondary index")
+	}
+	// Live side: build another index (must not disturb the snapshot's map)
+	// and then mutate (which drops live secondaries but not the snapshot's).
+	r.BuildIndex([]int{0, 1})
+	r.MustInsert(Row{Int(99), Float(0)})
+	if !snap.HasIndex([]int{1}) {
+		t.Fatal("snapshot lost its index after live-side changes")
+	}
+	if snap.HasIndex([]int{0, 1}) {
+		t.Fatal("snapshot sees an index built after it was taken")
+	}
+	var kb KeyBuf
+	key := kb.Row(Row{Float(1)}, []int{0})
+	got := snap.ProbeBytes([]int{1}, key, nil)
+	if len(got) != 5 {
+		t.Fatalf("snapshot probe returned %d rows, want 5", len(got))
+	}
+}
+
+// TestSnapshotConcurrentReaders: many goroutines scan and probe snapshots
+// while a single writer keeps mutating and re-snapshotting. Run under
+// -race, this is the relation-level half of the serving guarantee.
+func TestSnapshotConcurrentReaders(t *testing.T) {
+	r := New(snapSchema())
+	for i := 0; i < 50; i++ {
+		r.MustInsert(snapRow(i, float64(i)))
+	}
+	var mu sync.Mutex // writer lock: Snapshot must be serialized with writers
+	published := make(chan *Relation, 64)
+	done := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer
+		defer wg.Done()
+		defer close(published)
+		for i := 50; i < 250; i++ {
+			mu.Lock()
+			r.MustInsert(snapRow(i, float64(i)))
+			if i%3 == 0 {
+				r.DeleteByEncodedKey(snapRow(i-25, 0).KeyOf([]int{0}))
+			}
+			snap := r.Snapshot()
+			mu.Unlock()
+			select {
+			case published <- snap:
+			default:
+			}
+		}
+	}()
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for snap := range published {
+				n := 0
+				for _, row := range snap.Rows() {
+					if len(row) != 2 {
+						panic(fmt.Sprintf("torn row %v", row))
+					}
+					n++
+				}
+				if n != snap.Len() {
+					panic("row count mismatch")
+				}
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+}

@@ -1,0 +1,142 @@
+package svcql
+
+// Table-driven error-path tests for the lexer and parser. The happy paths
+// are covered by svcql_test.go; these pin the failure modes — message
+// substance and, for the lexer, byte positions — so error reporting can't
+// silently regress.
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sampleclean/svc/internal/view"
+)
+
+func TestLexerErrorTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		src     string
+		wantSub string
+	}{
+		{"unterminated string", `SELECT 'abc FROM x`, "unterminated string at 7"},
+		{"unterminated string at start", `'never closed`, "unterminated string at 0"},
+		{"unterminated after escape", `SELECT 'it''s FROM x`, "unterminated string at 7"},
+		{"double dot number", `1.2.3`, "malformed number at 0"},
+		{"double dot mid-query", `SELECT a FROM x WHERE a > 1.2.3`, "malformed number at 26"},
+		{"semicolon", `a ; b`, `unexpected character ';' at 2`},
+		{"bare bang", `a ! b`, `unexpected character '!' at 2`},
+		{"at sign", `@foo`, `unexpected character '@' at 0`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := lex(c.src)
+			if err == nil {
+				t.Fatalf("lex(%q): expected error containing %q", c.src, c.wantSub)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("lex(%q): error %q does not contain %q", c.src, err, c.wantSub)
+			}
+		})
+	}
+	// Positive controls: the near-miss forms these cases guard.
+	for _, src := range []string{
+		`SELECT 'it''s fine' FROM x`,
+		`SELECT a FROM x WHERE a != 1`,
+		`SELECT a FROM x WHERE a > 1.25`,
+		`SELECT a FROM x -- 'comment, not a string`,
+	} {
+		if _, err := lex(src); err != nil {
+			t.Errorf("lex(%q): unexpected error %v", src, err)
+		}
+	}
+}
+
+func TestParserErrorTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		src     string
+		wantSub string
+	}{
+		{"create without VIEW", `CREATE visitView AS SELECT a FROM x`, "expected VIEW"},
+		{"create without name", `CREATE VIEW AS SELECT a FROM x`, "expected identifier"},
+		{"create without AS", `CREATE VIEW v SELECT a FROM x`, "expected AS"},
+		{"select without items", `SELECT FROM x`, "unexpected token"},
+		{"dangling comma", `SELECT a, FROM x`, "unexpected token"},
+		{"missing FROM", `SELECT a x`, "expected FROM"},
+		{"missing table", `SELECT COUNT(1) FROM`, "expected identifier"},
+		{"unclosed aggregate", `SELECT SUM(a FROM x`, `expected ")"`},
+		{"empty aggregate", `SELECT SUM() FROM x`, "unexpected token"},
+		{"count of nothing", `SELECT COUNT() FROM x`, "unexpected token"},
+		{"join without ON", `SELECT a FROM x JOIN y`, "expected ON"},
+		{"join without equals", `SELECT a FROM x JOIN y ON a b`, `expected "="`},
+		{"join half condition", `SELECT a FROM x JOIN y ON a =`, "expected identifier"},
+		{"where without predicate", `SELECT a FROM x WHERE`, "unexpected token"},
+		{"group without BY", `SELECT a FROM x GROUP videoId`, "expected BY"},
+		{"group by nothing", `SELECT a FROM x GROUP BY`, "expected identifier"},
+		{"trailing input", `SELECT a FROM x extra`, "trailing input"},
+		{"unclosed paren", `SELECT a FROM x WHERE (a > 1`, `expected ")"`},
+		{"empty input", ``, "expected SELECT"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, _, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("Parse(%q): expected error containing %q", c.src, c.wantSub)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("Parse(%q): error %q does not contain %q", c.src, err, c.wantSub)
+			}
+		})
+	}
+}
+
+// TestPlannerErrorTable covers semantic errors past a syntactically valid
+// parse: unknown columns and aggregates the estimators cannot serve.
+func TestPlannerErrorTable(t *testing.T) {
+	d := exampleDB(t)
+	def, err := PlanView(d, visitViewSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := view.Materialize(d, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viewCases := []struct {
+		name    string
+		src     string
+		wantSub string
+	}{
+		{"unknown projected column", `CREATE VIEW v AS SELECT videoId, nope FROM Video`, "nope"},
+		{"unknown where column", `CREATE VIEW v AS SELECT videoId FROM Video WHERE nope > 1`, "nope"},
+		{"unknown group column", `CREATE VIEW v AS SELECT nope, COUNT(1) AS c FROM Video GROUP BY nope`, "nope"},
+		{"unknown aggregate input", `CREATE VIEW v AS SELECT videoId, SUM(nope) AS s FROM Video GROUP BY videoId`, "nope"},
+	}
+	for _, c := range viewCases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := PlanView(d, c.src); err == nil {
+				t.Fatalf("PlanView(%q): expected error", c.src)
+			} else if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("PlanView(%q): error %q does not mention %q", c.src, err, c.wantSub)
+			}
+		})
+	}
+	queryCases := []struct {
+		name    string
+		src     string
+		wantSub string
+	}{
+		{"unknown group-by column", `SELECT nope, SUM(visitCount) FROM visitView GROUP BY nope`, "no column"},
+		{"group item not grouped", `SELECT videoId, SUM(visitCount) FROM visitView GROUP BY ownerId`, "GROUP BY column"},
+		{"aggregate of expression", `SELECT SUM(visitCount * 2) FROM visitView`, "must be a view column"},
+	}
+	for _, c := range queryCases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := PlanQuery(v, c.src); err == nil {
+				t.Fatalf("PlanQuery(%q): expected error", c.src)
+			} else if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("PlanQuery(%q): error %q does not mention %q", c.src, err, c.wantSub)
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"github.com/sampleclean/svc/internal/algebra"
 	"github.com/sampleclean/svc/internal/db"
 	"github.com/sampleclean/svc/internal/expr"
+	"github.com/sampleclean/svc/internal/relation"
 )
 
 // StrategyKind identifies the maintenance strategy chosen for a view.
@@ -54,6 +55,29 @@ func NewMaintainer(v *View) (*Maintainer, error) {
 	return &Maintainer{view: v, kind: Recompute, expr: m}, nil
 }
 
+// NewMaintainerWithStrategy builds the maintenance expression for the
+// view with an explicitly chosen strategy, erroring when the view's shape
+// does not admit it. Tests and experiments use it to compare strategies on
+// the same view; NewMaintainer picks automatically.
+func NewMaintainerWithStrategy(v *View, kind StrategyKind) (*Maintainer, error) {
+	var (
+		m   algebra.Node
+		err error
+	)
+	switch kind {
+	case ChangeTable:
+		m, err = buildChangeTable(v)
+	case Recompute:
+		m, err = buildRecompute(v)
+	default:
+		return nil, fmt.Errorf("view: %s: unknown strategy %d", v.Name(), kind)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("view: %s: %s strategy not applicable: %w", v.Name(), kind, err)
+	}
+	return &Maintainer{view: v, kind: kind, expr: m}, nil
+}
+
 // Kind returns the chosen strategy.
 func (m *Maintainer) Kind() StrategyKind { return m.kind }
 
@@ -77,20 +101,34 @@ type MaintainStats struct {
 // are left in place; the caller decides when to fold them into the base
 // tables with db.ApplyDeltas.
 func (m *Maintainer) Maintain(d *db.Database) (MaintainStats, error) {
-	ctx := d.Context()
-	m.view.BindInto(ctx)
+	out, stats, err := m.MaintainAt(d.Pin(), m.view.Data())
+	if err != nil {
+		return MaintainStats{}, err
+	}
+	if err := m.view.Replace(out); err != nil {
+		return MaintainStats{}, err
+	}
+	return stats, nil
+}
+
+// MaintainAt evaluates M against a pinned catalog version and an explicit
+// stale-view relation, returning the up-to-date contents (coerced to the
+// view schema) WITHOUT publishing them. This is the snapshot-serving form:
+// the whole evaluation reads only immutable inputs, so it runs while
+// queries are served and writers stage updates; the caller publishes the
+// result (View.Replace, db.ApplyVersion) when ready.
+func (m *Maintainer) MaintainAt(pin *db.Version, stale *relation.Relation) (*relation.Relation, MaintainStats, error) {
+	ctx := pin.Context()
+	ctx.Bind(StaleName(m.view.Name()), stale)
 	out, err := m.expr.Eval(ctx)
 	if err != nil {
-		return MaintainStats{}, fmt.Errorf("view: maintain %s: %w", m.view.Name(), err)
+		return nil, MaintainStats{}, fmt.Errorf("view: maintain %s: %w", m.view.Name(), err)
 	}
 	coerced, err := coerce(m.view.Schema(), out.Rows())
 	if err != nil {
-		return MaintainStats{}, fmt.Errorf("view: maintain %s: %w", m.view.Name(), err)
+		return nil, MaintainStats{}, fmt.Errorf("view: maintain %s: %w", m.view.Name(), err)
 	}
-	if err := m.view.Replace(coerced); err != nil {
-		return MaintainStats{}, err
-	}
-	return MaintainStats{RowsTouched: ctx.RowsTouched, OutputRows: coerced.Len()}, nil
+	return coerced, MaintainStats{RowsTouched: ctx.RowsTouched, OutputRows: coerced.Len()}, nil
 }
 
 // ---------------------------------------------------------------- recompute

@@ -28,6 +28,7 @@ package view
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"github.com/sampleclean/svc/internal/algebra"
 	"github.com/sampleclean/svc/internal/db"
@@ -45,9 +46,17 @@ type Definition struct {
 }
 
 // View is a materialized view: its definition plus the materialized rows.
+//
+// The materialized contents are published through an atomic pointer:
+// Data() returns an immutable relation that maintenance never mutates in
+// place, and Replace swaps in a freshly built one. Readers holding a
+// previous Data() result keep a consistent (if stale) view while
+// maintenance publishes the next version — the view-level half of the
+// snapshot serving protocol.
 type View struct {
-	def  Definition
-	data *relation.Relation
+	def    Definition
+	schema relation.Schema
+	data   atomic.Pointer[relation.Relation]
 }
 
 // Materialize evaluates the definition against the database's current base
@@ -70,7 +79,9 @@ func Materialize(d *db.Database, def Definition) (*View, error) {
 	if err != nil {
 		return nil, fmt.Errorf("view: materialize %s: %w", def.Name, err)
 	}
-	return &View{def: def, data: out}, nil
+	v := &View{def: def, schema: out.Schema()}
+	v.data.Store(out)
+	return v, nil
 }
 
 // registerJoinIndexes walks the plan and ensures a secondary index exists
@@ -120,28 +131,30 @@ func (v *View) Name() string { return v.def.Name }
 func (v *View) Definition() Definition { return v.def }
 
 // Schema returns the view's schema (with the Definition 2 primary key).
-func (v *View) Schema() relation.Schema { return v.data.Schema() }
+func (v *View) Schema() relation.Schema { return v.schema }
 
-// Data returns the materialized rows (the possibly stale S).
-func (v *View) Data() *relation.Relation { return v.data }
+// Data returns the materialized rows (the possibly stale S). The returned
+// relation is immutable — maintenance publishes a replacement instead of
+// mutating it — so it is safe to keep reading across a concurrent Replace.
+func (v *View) Data() *relation.Relation { return v.data.Load() }
 
 // KeyNames returns the view's primary-key attribute names.
-func (v *View) KeyNames() []string { return v.data.Schema().KeyNames() }
+func (v *View) KeyNames() []string { return v.schema.KeyNames() }
 
-// Replace swaps in newly maintained contents. The new relation must have a
-// schema compatible with the view definition.
+// Replace atomically swaps in newly maintained contents. The new relation
+// must have a schema compatible with the view definition.
 func (v *View) Replace(data *relation.Relation) error {
-	if !data.Schema().Compatible(v.data.Schema()) {
+	if !data.Schema().Compatible(v.schema) {
 		return fmt.Errorf("view: %s: replacement schema [%s] incompatible with [%s]",
-			v.def.Name, data.Schema(), v.data.Schema())
+			v.def.Name, data.Schema(), v.schema)
 	}
-	v.data = data
+	v.data.Store(data)
 	return nil
 }
 
 // BindInto binds the view's stale contents into an evaluation context
 // under StaleName.
-func (v *View) BindInto(ctx *algebra.Context) { ctx.Bind(StaleName(v.def.Name), v.data) }
+func (v *View) BindInto(ctx *algebra.Context) { ctx.Bind(StaleName(v.def.Name), v.Data()) }
 
 // coerce copies rows into a fresh relation with the target schema,
 // promoting numeric kinds where the schema demands it. Maintenance

@@ -29,12 +29,16 @@ package svc
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/sampleclean/svc/internal/clean"
 	"github.com/sampleclean/svc/internal/db"
 	"github.com/sampleclean/svc/internal/estimator"
 	"github.com/sampleclean/svc/internal/hashing"
 	"github.com/sampleclean/svc/internal/outlier"
+	"github.com/sampleclean/svc/internal/relation"
 	"github.com/sampleclean/svc/internal/svcql"
 	"github.com/sampleclean/svc/internal/view"
 )
@@ -63,6 +67,7 @@ type config struct {
 	mode       Mode
 	outliers   *outlierSpec
 	parallel   int
+	refresh    time.Duration
 }
 
 type outlierSpec struct {
@@ -99,6 +104,15 @@ func WithOutlierIndex(table, attr string, limit int) Option {
 	return func(c *config) { c.outliers = &outlierSpec{table: table, attr: attr, limit: limit} }
 }
 
+// WithBackgroundRefresh starts a background Refresher at construction:
+// every interval, if any base table has staged deltas, a full
+// maintenance+cleaning cycle runs on a pinned snapshot and publishes its
+// results atomically, while Query keeps serving from the previous
+// publication. Stop it with StaleView.Close (or Refresher.Stop).
+func WithBackgroundRefresh(interval time.Duration) Option {
+	return func(c *config) { c.refresh = interval }
+}
+
 // WithOutlierSigmaThreshold switches the outlier threshold policy to
 // mean + sigma·stdev (Section 6.1's alternative policy).
 func WithOutlierSigmaThreshold(table, attr string, limit int, sigma float64) Option {
@@ -109,6 +123,14 @@ func WithOutlierSigmaThreshold(table, attr string, limit int, sigma float64) Opt
 
 // StaleView is the top-level handle: a materialized view, its maintenance
 // strategy, the persistent sample view, and the estimators.
+//
+// Query, QueryGroups, CleanSelect, and Clean are safe for concurrent use
+// with each other, with staged updates (Table.StageInsert/Update/Delete),
+// and with maintenance (MaintainNow or a background Refresher): every
+// query evaluates against one pinned catalog version and the view/sample
+// pair published with it, so its answer is internally consistent and
+// stamped with the version's epoch (Estimate.AsOfEpoch). MaintainNow
+// serializes with itself; staging serializes on the database writer lock.
 type StaleView struct {
 	db      *db.Database
 	view    *view.View
@@ -119,6 +141,105 @@ type StaleView struct {
 	outSpec *outlierSpec
 	outMz   *outlier.Materializer
 	outIx   *outlier.Index
+
+	key     string     // serving-attachment key in db versions
+	maintMu sync.Mutex // one maintenance cycle at a time
+
+	// Per-epoch caches: the cleaned sample pair and the outlier partition
+	// are pure functions of the pinned version and are treated as
+	// read-only by the estimators, so concurrent readers at the same
+	// epoch share one evaluation of each.
+	sampleCache  epochCache[*Samples]
+	outlierCache epochCache[*estimator.OutlierSet]
+
+	refresher atomic.Pointer[Refresher]
+}
+
+// epochCache shares one computed value per publication epoch among
+// concurrent readers. The cache check is a short lock; the computation
+// runs unlocked, so a fresh epoch never serializes readers — concurrent
+// misses duplicate the work once and the newest-epoch result wins.
+type epochCache[T any] struct {
+	mu    sync.Mutex
+	epoch uint64
+	val   T
+	valid bool
+}
+
+func (c *epochCache[T]) get(epoch uint64, compute func() (T, error)) (T, error) {
+	c.mu.Lock()
+	if c.valid && c.epoch == epoch {
+		v := c.val
+		c.mu.Unlock()
+		return v, nil
+	}
+	c.mu.Unlock()
+	v, err := compute()
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	c.mu.Lock()
+	if !c.valid || epoch >= c.epoch {
+		c.val, c.epoch, c.valid = v, epoch, true
+	}
+	c.mu.Unlock()
+	return v, nil
+}
+
+// servingState is the (S, Ŝ) pair published with each maintenance cycle.
+// It rides along inside db versions so a reader pinning any version gets
+// base tables, pending deltas, view, and sample from one consistent cut.
+type servingState struct {
+	view   *relation.Relation // S as of the last maintenance boundary
+	sample *relation.Relation // Ŝ corresponding to it
+}
+
+// servingKey names a view's serving attachment inside database versions.
+func servingKey(viewName string) string { return "svc·" + viewName }
+
+// pinServing pins the current catalog version together with the serving
+// state published for this view — the consistent read set of one query.
+//
+// The fast path checks that the published attachment still matches the
+// live view/sample pointers. A mismatch means someone drove maintenance
+// through the lower-level handles (Maintainer().Maintain + ApplyDeltas +
+// Cleaner().Adopt — the pre-serving workflow) without republishing; the
+// slow path serializes with MaintainNow and republishes the live
+// pointers, so those flows keep answering correctly. While MaintainNow
+// itself is mid-publication the mismatch window is the instant between
+// its catalog publish and its pointer swaps; a reader landing there just
+// waits out the tail of the cycle on maintMu.
+func (sv *StaleView) pinServing() (*db.Version, *servingState) {
+	pin := sv.db.Pin()
+	if st, ok := pin.Attachment(sv.key).(*servingState); ok &&
+		st.view == sv.view.Data() && st.sample == sv.cleaner.StaleSample() {
+		return pin, st
+	}
+	sv.maintMu.Lock()
+	defer sv.maintMu.Unlock()
+	return sv.pinServingLocked()
+}
+
+// pinServingLocked is pinServing's core; the caller holds maintMu, so
+// live pointers cannot move concurrently and republishing them is safe.
+func (sv *StaleView) pinServingLocked() (*db.Version, *servingState) {
+	pin := sv.db.Pin()
+	if st, ok := pin.Attachment(sv.key).(*servingState); ok &&
+		st.view == sv.view.Data() && st.sample == sv.cleaner.StaleSample() {
+		return pin, st
+	}
+	st := &servingState{view: sv.view.Data(), sample: sv.cleaner.StaleSample()}
+	sv.db.SetAttachment(sv.key, st)
+	return sv.db.Pin(), st
+}
+
+// cleanPinned returns the corresponding sample pair for the pinned
+// version, sharing one evaluation among all readers at the same epoch.
+func (sv *StaleView) cleanPinned(pin *db.Version, st *servingState) (*Samples, error) {
+	return sv.sampleCache.get(pin.Epoch(), func() (*Samples, error) {
+		return sv.cleaner.CleanAt(pin, st.view, st.sample)
+	})
 }
 
 // New materializes the view over the database's current contents, chooses
@@ -146,11 +267,23 @@ func New(d *Database, def ViewDefinition, opts ...Option) (*StaleView, error) {
 		return nil, err
 	}
 	c.SetParallelism(cfg.parallel)
-	sv := &StaleView{db: d, view: v, maint: m, cleaner: c, conf: cfg.confidence, mode: cfg.mode, outSpec: cfg.outliers}
+	sv := &StaleView{db: d, view: v, maint: m, cleaner: c, conf: cfg.confidence, mode: cfg.mode,
+		outSpec: cfg.outliers, key: servingKey(def.Name)}
 	if cfg.outliers != nil {
 		if err := sv.buildOutlierIndex(); err != nil {
 			return nil, err
 		}
+	}
+	// Publish the initial serving state so concurrent queries pin a
+	// consistent (version, view, sample) triple from the first call, and
+	// route the cleaner's own Clean through the same consistent lookup.
+	d.SetAttachment(sv.key, &servingState{view: v.Data(), sample: c.StaleSample()})
+	c.SetServingSource(d, func() (*db.Version, *relation.Relation, *relation.Relation) {
+		pin, st := sv.pinServing()
+		return pin, st.view, st.sample
+	})
+	if cfg.refresh > 0 {
+		sv.StartBackgroundRefresh(cfg.refresh)
 	}
 	return sv, nil
 }
@@ -202,7 +335,10 @@ func (sv *StaleView) Stale() bool { return sv.db.HasPending() }
 // Clean materializes the corresponding samples (Ŝ, Ŝ′) against the
 // currently staged deltas. Most callers use Query instead; Clean is the
 // low-level hook for custom estimation.
-func (sv *StaleView) Clean() (*Samples, error) { return sv.cleaner.Clean(sv.db) }
+func (sv *StaleView) Clean() (*Samples, error) {
+	pin, st := sv.pinServing()
+	return sv.cleaner.CleanAt(pin, st.view, st.sample)
+}
 
 // Answer is a query result: the estimate plus the stale baseline for
 // comparison.
@@ -215,22 +351,25 @@ type Answer struct {
 // Query estimates an aggregate query's up-to-date answer from a freshly
 // cleaned sample pair. The estimator follows the configured Mode; outlier
 // partitions are merged automatically when an index is attached.
+//
+// Query is safe for concurrent use: it pins one published catalog version
+// and evaluates everything — cleaning, the stale baseline, the outlier
+// partition, the estimate — against that version's immutable relations.
+// The answer's AsOfEpoch records which version it was.
 func (sv *StaleView) Query(q Query) (Answer, error) {
-	samples, err := sv.Clean()
+	pin, st := sv.pinServing()
+	samples, err := sv.cleanPinned(pin, st)
 	if err != nil {
 		return Answer{}, err
 	}
-	staleVal, err := estimator.RunExact(sv.view.Data(), q)
+	staleVal, err := estimator.RunExact(st.view, q)
 	if err != nil {
 		return Answer{}, err
 	}
 	var o *estimator.OutlierSet
 	if sv.outMz != nil {
-		sv.outIx.Reset()
-		if err := sv.outIx.BuildFromTable(sv.db.Table(sv.outSpec.table)); err != nil {
-			return Answer{}, err
-		}
-		if o, err = sv.outMz.Materialize(sv.db); err != nil {
+		o, err = sv.outlierSet(pin, st)
+		if err != nil {
 			return Answer{}, err
 		}
 	}
@@ -250,9 +389,9 @@ func (sv *StaleView) Query(q Query) (Answer, error) {
 	switch mode {
 	case Corr:
 		if o != nil {
-			est, err = estimator.CorrWithOutliers(sv.view.Data(), samples, o, q, sv.conf)
+			est, err = estimator.CorrWithOutliers(st.view, samples, o, q, sv.conf)
 		} else {
-			est, err = estimator.Corr(sv.view.Data(), samples, q, sv.conf)
+			est, err = estimator.Corr(st.view, samples, q, sv.conf)
 		}
 	default:
 		if o != nil {
@@ -264,12 +403,38 @@ func (sv *StaleView) Query(q Query) (Answer, error) {
 	if err != nil {
 		return Answer{}, err
 	}
+	est.AsOfEpoch = pin.Epoch()
 	return Answer{Estimate: est, StaleValue: staleVal}, nil
 }
 
-// QueryGroups estimates a group-by aggregate per group.
+// outlierSet returns the outlier partition for the pinned version,
+// sharing one evaluation among all readers at the same epoch. A cache
+// miss builds a fresh index off to the side with no lock held, so
+// readers never serialize on the O(|table|) rebuild.
+func (sv *StaleView) outlierSet(pin *db.Version, st *servingState) (*estimator.OutlierSet, error) {
+	return sv.outlierCache.get(pin.Epoch(), func() (*estimator.OutlierSet, error) {
+		base := pin.Base(sv.outSpec.table)
+		if base == nil {
+			return nil, fmt.Errorf("svc: outlier table %q missing from pinned version", sv.outSpec.table)
+		}
+		// sv.outIx is immutable after construction; it contributes only
+		// the threshold configuration here.
+		ix, err := outlier.NewIndex(sv.outSpec.table, sv.outSpec.attr, base.Schema(), sv.outIx.Threshold(), sv.outSpec.limit)
+		if err != nil {
+			return nil, err
+		}
+		if err := ix.BuildFromVersion(pin); err != nil {
+			return nil, err
+		}
+		return sv.outMz.MaterializeRecords(pin, st.view, ix.Records())
+	})
+}
+
+// QueryGroups estimates a group-by aggregate per group. Like Query, it is
+// safe for concurrent use and evaluates against one pinned version.
 func (sv *StaleView) QueryGroups(q Query, groupBy ...string) (GroupResult, error) {
-	samples, err := sv.Clean()
+	pin, st := sv.pinServing()
+	samples, err := sv.cleanPinned(pin, st)
 	if err != nil {
 		return GroupResult{}, err
 	}
@@ -285,10 +450,20 @@ func (sv *StaleView) QueryGroups(q Query, groupBy ...string) (GroupResult, error
 			mode = AQP
 		}
 	}
+	var res GroupResult
 	if mode == Corr {
-		return estimator.GroupCorr(sv.view.Data(), samples, q, groupBy, sv.conf)
+		res, err = estimator.GroupCorr(st.view, samples, q, groupBy, sv.conf)
+	} else {
+		res, err = estimator.GroupAQP(samples, q, groupBy, sv.conf)
 	}
-	return estimator.GroupAQP(samples, q, groupBy, sv.conf)
+	if err != nil {
+		return GroupResult{}, err
+	}
+	for k, est := range res.Groups {
+		est.AsOfEpoch = pin.Epoch()
+		res.Groups[k] = est
+	}
+	return res, nil
 }
 
 // CleanSelect answers SELECT * WHERE pred with sampled corrections applied
@@ -296,30 +471,60 @@ func (sv *StaleView) QueryGroups(q Query, groupBy ...string) (GroupResult, error
 // sampled superfluous rows removed, plus count estimates of each error
 // class.
 func (sv *StaleView) CleanSelect(pred Expr) (*SelectResult, error) {
-	samples, err := sv.Clean()
+	pin, st := sv.pinServing()
+	samples, err := sv.cleanPinned(pin, st)
 	if err != nil {
 		return nil, err
 	}
-	return estimator.CleanSelect(sv.view.Data(), samples, pred, sv.conf)
+	res, err := estimator.CleanSelect(st.view, samples, pred, sv.conf)
+	if err != nil {
+		return nil, err
+	}
+	res.Updated.AsOfEpoch = pin.Epoch()
+	res.Added.AsOfEpoch = pin.Epoch()
+	res.Removed.AsOfEpoch = pin.Epoch()
+	return res, nil
 }
 
 // MaintainNow runs full incremental maintenance (the deferred-maintenance
 // boundary): the view is brought up to date, the staged deltas are folded
 // into the base tables, and the sample view rolls forward with them.
+//
+// The whole cycle evaluates against one pinned catalog version while
+// queries keep being served from the previous publication, then publishes
+// the maintained view, the rolled-forward sample, and the delta fold in a
+// single version swap. Updates staged while the cycle ran stay pending
+// (db.ApplyVersion re-bases them) and are picked up by the next cycle.
 func (sv *StaleView) MaintainNow() error {
-	samples, err := sv.Clean()
+	sv.maintMu.Lock()
+	defer sv.maintMu.Unlock()
+	pin, st := sv.pinServingLocked()
+	samples, err := sv.cleanPinned(pin, st)
 	if err != nil {
-		return err
-	}
-	if _, err := sv.maint.Maintain(sv.db); err != nil {
-		return err
-	}
-	if err := sv.db.ApplyDeltas(); err != nil {
 		return err
 	}
 	// By Theorem 1 the cleaned sample equals η(S′), so adopting it keeps
 	// the sample corresponding to the maintained view without rescanning.
-	return sv.cleaner.Adopt(samples)
+	newSample, err := sv.cleaner.CoerceSample(samples)
+	if err != nil {
+		return err
+	}
+	maintained, _, err := sv.maint.MaintainAt(pin, st.view)
+	if err != nil {
+		return err
+	}
+	if err := sv.db.ApplyVersion(pin, map[string]any{
+		sv.key: &servingState{view: maintained, sample: newSample},
+	}); err != nil {
+		return err
+	}
+	// Keep the live accessors (View().Data(), Cleaner().StaleSample()) in
+	// step with the publication.
+	if err := sv.view.Replace(maintained); err != nil {
+		return err
+	}
+	sv.cleaner.AdoptRelation(newSample)
+	return nil
 }
 
 // ExactQuery evaluates q exactly on the current (possibly stale) view —

@@ -1,0 +1,256 @@
+package svc_test
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	svc "github.com/sampleclean/svc"
+)
+
+// TestConcurrentServing is the serving-layer stress test: ≥8 reader
+// goroutines issue Query against the view while writers continuously
+// stage inserts/updates/deletes and a background refresher runs
+// maintenance+cleaning cycles. Run under -race it proves the snapshot
+// publication protocol; the assertions prove every answer is internally
+// consistent (CI brackets the point estimate, epochs never go backwards)
+// and that no update is lost across concurrent maintenance boundaries.
+func TestConcurrentServing(t *testing.T) {
+	const (
+		videos    = 100
+		visits    = 2000
+		readers   = 8
+		writers   = 2
+		writerOps = 400
+	)
+	d, sv := buildExample(t, 42, videos, visits)
+	defer sv.Close()
+	sv.StartBackgroundRefresh(2 * time.Millisecond)
+
+	logT := d.Table("Log")
+	var inserted, deleted atomic.Int64
+
+	var wg sync.WaitGroup
+	writersDone := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Disjoint key ranges per writer so ops never collide.
+			base := int64(visits + 100_000*(w+1))
+			var mine []int64
+			for i := 0; i < writerOps; i++ {
+				if i%8 == 7 {
+					// Pace the writers so staging, refresh cycles, and
+					// queries genuinely overlap.
+					time.Sleep(500 * time.Microsecond)
+				}
+				k := base + int64(i)
+				switch {
+				case i%10 == 9 && len(mine) > 0:
+					// Delete one of our own rows; it may sit in any of
+					// base/ΔR depending on maintenance timing.
+					victim := mine[0]
+					mine = mine[1:]
+					if err := logT.StageDelete(svc.Int(victim)); err != nil {
+						t.Errorf("writer %d: delete %d: %v", w, victim, err)
+						return
+					}
+					deleted.Add(1)
+				case i%10 == 5 && len(mine) > 0:
+					// Re-point one of our own visits at another video. The
+					// row may still be a pending insert (StageUpdate
+					// errors) or get folded into the base by a concurrent
+					// maintenance boundary between attempts (StageInsert
+					// errors) — alternate until one lands.
+					row := svc.Row{svc.Int(mine[0]), svc.Int(int64(i % videos))}
+					ok := false
+					for attempt := 0; attempt < 10 && !ok; attempt++ {
+						if attempt%2 == 0 {
+							ok = logT.StageUpdate(row) == nil
+						} else {
+							ok = logT.StageInsert(row) == nil
+						}
+					}
+					if !ok {
+						t.Errorf("writer %d: update of %d never landed", w, mine[0])
+						return
+					}
+				default:
+					if err := logT.StageInsert(svc.Row{svc.Int(k), svc.Int(int64(i % videos))}); err != nil {
+						t.Errorf("writer %d: insert %d: %v", w, k, err)
+						return
+					}
+					mine = append(mine, k)
+					inserted.Add(1)
+				}
+			}
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		close(writersDone)
+	}()
+
+	var queries atomic.Int64
+	var rg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		rg.Add(1)
+		go func(g int) {
+			defer rg.Done()
+			var lastEpoch uint64
+			for done := false; !done; {
+				select {
+				case <-writersDone:
+					done = true // one final query after writers stop
+				default:
+				}
+				// Exercise the sibling read paths too: they share the
+				// cached sample pair with Query, so racing them catches
+				// any mutation of the shared relations.
+				switch g % 4 {
+				case 2:
+					if _, err := sv.QueryGroups(svc.Sum("visitCount", nil), "ownerId"); err != nil {
+						t.Errorf("reader %d: groups: %v", g, err)
+						return
+					}
+				case 3:
+					if _, err := sv.CleanSelect(svc.Gt(svc.ColRef("visitCount"), svc.IntLit(5))); err != nil {
+						t.Errorf("reader %d: clean-select: %v", g, err)
+						return
+					}
+				}
+				q := svc.Sum("visitCount", nil)
+				if g%2 == 1 {
+					q = svc.Count(nil)
+				}
+				ans, err := sv.Query(q)
+				if err != nil {
+					t.Errorf("reader %d: %v", g, err)
+					return
+				}
+				if math.IsNaN(ans.Value) || math.IsNaN(ans.Lo) || math.IsNaN(ans.Hi) {
+					t.Errorf("reader %d: NaN in estimate %+v", g, ans.Estimate)
+					return
+				}
+				// Internal consistency: the CI must bracket the value.
+				if ans.Lo > ans.Value || ans.Value > ans.Hi {
+					t.Errorf("reader %d: CI [%v, %v] does not bracket %v", g, ans.Lo, ans.Hi, ans.Value)
+					return
+				}
+				// Epochs never go backwards for a single reader.
+				if ans.AsOfEpoch == 0 {
+					t.Errorf("reader %d: missing AsOfEpoch", g)
+					return
+				}
+				if ans.AsOfEpoch < lastEpoch {
+					t.Errorf("reader %d: epoch went backwards %d -> %d", g, lastEpoch, ans.AsOfEpoch)
+					return
+				}
+				lastEpoch = ans.AsOfEpoch
+				// Sanity band: the truth moves between visits and
+				// visits+writers·writerOps; a consistent snapshot answer
+				// can never be far outside it.
+				if g%2 == 0 { // Sum(visitCount) == number of log rows
+					lo, hi := 0.5*float64(visits), 1.5*float64(visits+writers*writerOps)
+					if ans.Value < lo || ans.Value > hi {
+						t.Errorf("reader %d: estimate %v outside plausible band [%v, %v]", g, ans.Value, lo, hi)
+						return
+					}
+				}
+				queries.Add(1)
+			}
+		}(g)
+	}
+	rg.Wait()
+	<-writersDone
+	if t.Failed() {
+		return
+	}
+
+	// Drain: stop the refresher, run one final cycle, and check that not a
+	// single staged operation was lost across all the concurrent
+	// maintenance boundaries.
+	sv.Close()
+	if err := sv.MaintainNow(); err != nil {
+		t.Fatal(err)
+	}
+	if sv.Stale() {
+		t.Fatal("all deltas should be applied after the final cycle")
+	}
+	want := float64(int64(visits) + inserted.Load() - deleted.Load())
+	got, err := sv.ExactQuery(svc.Sum("visitCount", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("final visit total = %v, want %v (lost or duplicated updates)", got, want)
+	}
+	if r := sv.Refresher(); r != nil && r.Err() != nil {
+		t.Fatalf("refresher recorded error: %v", r.Err())
+	}
+	t.Logf("served %d queries during %d writer ops and %d refresh cycles",
+		queries.Load(), writers*writerOps, sv.Refresher().Cycles())
+}
+
+// TestBackgroundRefreshOption exercises the WithBackgroundRefresh option:
+// staged updates are folded in without any explicit MaintainNow call, and
+// queries served during the whole time stay consistent.
+func TestBackgroundRefreshOption(t *testing.T) {
+	d, _ := buildExample(t, 7, 50, 800)
+	logT := d.Table("Log")
+	plan := svc.GroupByAgg(
+		svc.Scan("Log", logT.Schema()),
+		[]string{"videoId"},
+		svc.CountAs("n"),
+	)
+	sv, err := svc.New(d, svc.ViewDefinition{Name: "perVideo", Plan: plan},
+		svc.WithSamplingRatio(0.3), svc.WithBackgroundRefresh(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sv.Close()
+	if sv.Refresher() == nil {
+		t.Fatal("option should start a refresher")
+	}
+	for i := 0; i < 300; i++ {
+		if err := logT.StageInsert(svc.Row{svc.Int(int64(10_000 + i)), svc.Int(int64(i % 50))}); err != nil {
+			t.Fatal(err)
+		}
+		if i%25 == 0 {
+			if _, err := sv.Query(svc.Count(nil)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// The refresher must eventually fold everything in.
+	deadline := time.Now().Add(5 * time.Second)
+	for sv.Stale() {
+		if time.Now().After(deadline) {
+			t.Fatal("refresher did not catch up")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	exact, err := sv.ExactQuery(svc.Count(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact != 50 {
+		t.Fatalf("view should have 50 groups, got %v", exact)
+	}
+	total, err := sv.ExactQuery(svc.Sum("n", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 800+300 {
+		t.Fatalf("total visits = %v, want 1100", total)
+	}
+	if sv.Refresher().Cycles() == 0 {
+		t.Fatal("no refresh cycles ran")
+	}
+	if err := sv.Refresher().Err(); err != nil {
+		t.Fatal(err)
+	}
+}

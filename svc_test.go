@@ -359,3 +359,45 @@ func TestWithParallelismMatchesSerial(t *testing.T) {
 		t.Fatalf("WithParallelism should configure the database engine, got %d", d.Parallelism())
 	}
 }
+
+// TestLegacyMaintenanceFlowStaysServable drives maintenance through the
+// lower-level Maintainer/Cleaner handles (the pre-serving workflow)
+// instead of MaintainNow, and checks Query still answers from the
+// maintained state: the serving layer detects that the live view/sample
+// moved and republishes them.
+func TestLegacyMaintenanceFlowStaysServable(t *testing.T) {
+	d, sv := buildExample(t, 31, 100, 2500)
+	stageVisits(t, d, 31, 100, 2500, 600)
+
+	samples, err := sv.Clean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sv.Maintainer().Maintain(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ApplyDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sv.Cleaner().Adopt(samples); err != nil {
+		t.Fatal(err)
+	}
+
+	exact, err := sv.ExactQuery(svc.Sum("visitCount", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact != 3100 {
+		t.Fatalf("maintained view total = %v, want 3100", exact)
+	}
+	ans, err := sv.Query(svc.Sum("visitCount", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.RelativeError(ans.Value, exact) > 0.15 {
+		t.Errorf("post-legacy-maintenance estimate %v vs exact %v (serving state not republished?)", ans.Value, exact)
+	}
+	if ans.StaleValue != exact {
+		t.Errorf("stale baseline %v should equal the maintained exact %v", ans.StaleValue, exact)
+	}
+}
