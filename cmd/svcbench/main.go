@@ -9,6 +9,7 @@
 //	svcbench -run all -scale 1.0
 //	svcbench -run fig9b -csv
 //	svcbench -run fig4a-par -scale 2 -parallel 4
+//	svcbench -run pipeline -json            # machine-readable, to BENCH_pipeline.json
 //
 // Absolute numbers are machine- and substrate-dependent; the shapes (who
 // wins, by what factor, where crossovers fall) are what reproduce the
@@ -32,6 +33,8 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		list     = flag.Bool("list", false, "list available experiments")
 		parallel = flag.Int("parallel", 0, "intra-operator workers for experiment databases (0 = serial)")
+		jsonOut  = flag.Bool("json", false, "also write machine-readable results (ns/op, allocs/op, rows) to -json-file")
+		jsonFile = flag.String("json-file", "BENCH_pipeline.json", "path the -json report is written to")
 	)
 	flag.Parse()
 	bench.SetDefaultParallelism(*parallel)
@@ -54,6 +57,11 @@ func main() {
 		ids = strings.Split(*run, ",")
 	}
 
+	report := &bench.JSONReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Scale:       *scale,
+		Parallel:    *parallel,
+	}
 	failed := 0
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
@@ -64,11 +72,20 @@ func main() {
 			failed++
 			continue
 		}
+		report.Experiments = append(report.Experiments, bench.JSONResultOf(table, time.Since(start)))
 		if *csv {
 			fmt.Printf("# %s\n%s\n", table.Title, table.CSV())
 		} else {
 			fmt.Println(table.Render())
 			fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if *jsonOut {
+		if err := bench.WriteJSON(*jsonFile, report); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonFile, err)
+			failed++
+		} else {
+			fmt.Printf("wrote %s\n", *jsonFile)
 		}
 	}
 	if failed > 0 {

@@ -187,7 +187,32 @@ func (acc *accumulator) result(f AggFunc) relation.Value {
 	}
 }
 
-// Eval implements Node.
+// Eval implements Node (the pipeline shim; see pipeline.go).
+func (a *AggregateNode) Eval(ctx *Context) (*relation.Relation, error) {
+	return evalPipelined(ctx, a)
+}
+
+// evalMat is the materializing evaluation (see EvalMaterialized).
+func (a *AggregateNode) evalMat(ctx *Context) (*relation.Relation, error) {
+	in, err := EvalMaterialized(a.child, ctx)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := a.aggRows(ctx, in.Rows())
+	if err != nil {
+		return nil, err
+	}
+	return output(ctx, a.schema, rows)
+}
+
+// aggInputRows drains the child pipeline into bare rows — aggregation
+// needs no index or key enforcement on its input, so no intermediate
+// relation is built (plain scans share the bound relation's rows).
+func (a *AggregateNode) aggInputRows(ctx *Context) ([]relation.Row, error) {
+	return drainRows(ctx, a.child)
+}
+
+// aggRows folds inRows into one output row per group.
 //
 // Grouping hashes the group-by columns to 64 bits and finds each row's
 // group in an open-addressed table, verifying candidates against the full
@@ -197,13 +222,8 @@ func (acc *accumulator) result(f AggFunc) relation.Value {
 // need no locks — and the partitions' outputs are merged back into
 // first-occurrence order, making the parallel result identical to the
 // serial one.
-func (a *AggregateNode) Eval(ctx *Context) (*relation.Relation, error) {
-	in, err := a.child.Eval(ctx)
-	if err != nil {
-		return nil, err
-	}
-	ctx.RowsTouched += int64(in.Len())
-	inRows := in.Rows()
+func (a *AggregateNode) aggRows(ctx *Context, inRows []relation.Row) ([]relation.Row, error) {
+	ctx.RowsTouched += int64(len(inRows))
 	n := len(inRows)
 	na := len(a.aggs)
 
@@ -289,7 +309,7 @@ func (a *AggregateNode) Eval(ctx *Context) (*relation.Relation, error) {
 		}
 		rows = append(rows, out)
 	}
-	return output(ctx, a.schema, rows)
+	return rows, nil
 }
 
 // Children implements Node.

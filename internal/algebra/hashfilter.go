@@ -72,13 +72,18 @@ func (h *HashFilterNode) Hasher() hashing.Hasher { return h.hasher }
 // Schema implements Node.
 func (h *HashFilterNode) Schema() relation.Schema { return h.child.Schema() }
 
-// Eval implements Node.
+// Eval implements Node (the pipeline shim; see pipeline.go).
+func (h *HashFilterNode) Eval(ctx *Context) (*relation.Relation, error) {
+	return evalPipelined(ctx, h)
+}
+
+// evalMat is the materializing evaluation (see EvalMaterialized).
 //
 // Each worker encodes keys into its own reused KeyBuf (no per-row
 // allocation); chunk outputs are concatenated in order, so the sample and
 // its row order are independent of the worker count.
-func (h *HashFilterNode) Eval(ctx *Context) (*relation.Relation, error) {
-	in, err := h.child.Eval(ctx)
+func (h *HashFilterNode) evalMat(ctx *Context) (*relation.Relation, error) {
+	in, err := EvalMaterialized(h.child, ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -214,11 +214,28 @@ func rowHasNullKey(row relation.Row, idx []int) bool {
 	return false
 }
 
-// Eval implements Node.
+// Eval implements Node (the pipeline shim; see pipeline.go).
+func (j *JoinNode) Eval(ctx *Context) (*relation.Relation, error) {
+	return evalPipelined(ctx, j)
+}
+
+// evalMat is the materializing evaluation (see EvalMaterialized).
+func (j *JoinNode) evalMat(ctx *Context) (*relation.Relation, error) {
+	rows, err := j.run(ctx, EvalMaterialized)
+	if err != nil {
+		return nil, err
+	}
+	return output(ctx, j.schema, rows)
+}
+
+// inputResolver materializes one join input; the pipelined and the
+// materialized evaluations differ only in how they resolve inputs.
+type inputResolver func(n Node, ctx *Context) (*relation.Relation, error)
+
+// run evaluates the join and returns the joined rows in deterministic
+// order. Execution picks among three strategies:
 //
-// Execution picks among three strategies:
-//
-//   - empty-side short-circuit: an inner join evaluates its right child
+//   - empty-side short-circuit: an inner join resolves its right child
 //     first and skips the left child entirely when the right is empty
 //     (and vice versa) — critical for delta-propagation plans, where most
 //     tables have no staged updates;
@@ -228,29 +245,29 @@ func rowHasNullKey(row relation.Row, idx []int) bool {
 //     side is never scanned, matching how an indexed database executes
 //     delta joins;
 //   - hash join: otherwise, build on the right and probe with the left.
-func (j *JoinNode) Eval(ctx *Context) (*relation.Relation, error) {
-	// Inner joins: evaluate the right child first to enable the
+func (j *JoinNode) run(ctx *Context, resolve inputResolver) ([]relation.Row, error) {
+	// Inner joins: resolve the right child first to enable the
 	// empty-side short-circuit.
 	var lRel, rRel *relation.Relation
 	var err error
 	if j.typ == Inner {
-		if rRel, err = j.right.Eval(ctx); err != nil {
+		if rRel, err = resolve(j.right, ctx); err != nil {
 			return nil, err
 		}
 		if rRel.Len() == 0 {
-			return relation.New(j.schema), nil
+			return nil, nil
 		}
-		if lRel, err = j.left.Eval(ctx); err != nil {
+		if lRel, err = resolve(j.left, ctx); err != nil {
 			return nil, err
 		}
 		if lRel.Len() == 0 {
-			return relation.New(j.schema), nil
+			return nil, nil
 		}
 	} else {
-		if lRel, err = j.left.Eval(ctx); err != nil {
+		if lRel, err = resolve(j.left, ctx); err != nil {
 			return nil, err
 		}
-		if rRel, err = j.right.Eval(ctx); err != nil {
+		if rRel, err = resolve(j.right, ctx); err != nil {
 			return nil, err
 		}
 	}
@@ -268,7 +285,7 @@ func (j *JoinNode) Eval(ctx *Context) (*relation.Relation, error) {
 				}
 			}
 		}
-		return output(ctx, j.schema, rows)
+		return rows, nil
 	}
 
 	// Index probe: inner joins with an index on either side avoid
@@ -283,10 +300,10 @@ func (j *JoinNode) Eval(ctx *Context) (*relation.Relation, error) {
 		switch {
 		case driveLeft:
 			ctx.RowsTouched += int64(lRel.Len())
-			return output(ctx, j.schema, j.probeIndexed(ctx, lRel.Rows(), j.lJoin, rRel, rIdx, true))
+			return j.probeIndexed(ctx, lRel.Rows(), j.lJoin, rRel, rIdx, true), nil
 		case driveRight:
 			ctx.RowsTouched += int64(rRel.Len())
-			return output(ctx, j.schema, j.probeIndexed(ctx, rRel.Rows(), j.rJoin, lRel, lIdx, false))
+			return j.probeIndexed(ctx, rRel.Rows(), j.rJoin, lRel, lIdx, false), nil
 		}
 	}
 
@@ -345,7 +362,7 @@ func (j *JoinNode) Eval(ctx *Context) (*relation.Relation, error) {
 			}
 		}
 	}
-	return output(ctx, j.schema, rows)
+	return rows, nil
 }
 
 // probeChunk probes the build table with lRows[lo:hi) and returns the

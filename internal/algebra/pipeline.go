@@ -1,0 +1,630 @@
+// Batched pull-based execution pipeline.
+//
+// Every Node can be evaluated two ways:
+//
+//   - Node.Eval — the compatibility shim: it drains the pipeline below the
+//     node into a materialized relation. Callers that need a *relation.
+//     Relation (the db/view/clean layers, tests) keep working unchanged.
+//   - NewIterator — the pipeline proper: Open(ctx) / Next() / Close()
+//     pulling fixed-capacity relation.Batch chunks. Scan, Select, Project,
+//     Alias, and HashFilter fuse into a single pass over the source rows
+//     with zero intermediate relations; Join, Aggregate, and the keyed set
+//     operators are pipeline breakers that consume and emit batches.
+//
+// Batch ownership follows relation.Batch's protocol: the consumer that
+// pulled a batch owns it; transient consumers Release it back to the pool,
+// consumers that retain row headers call ReleaseUnlessOwned (and breakers
+// that must hand rows downstream while retaining them Pin the batch).
+//
+// Morsel-style parallelism: when a fused chain is drained (at the root or
+// at a pipeline breaker's input) and the context allows parallelism, the
+// source rows are split into contiguous morsels, one chain instance runs
+// per worker, and the outputs are concatenated in order — byte-identical
+// to the serial pipeline.
+package algebra
+
+import (
+	"fmt"
+
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// Iterator is the pull-based batched execution interface. Open binds the
+// iterator to an evaluation context (and, for pipeline breakers, runs the
+// blocking phase); Next returns the next batch of rows or nil at end of
+// stream; Close releases iterator resources. The batch returned by Next is
+// owned by the caller (see relation.Batch).
+type Iterator interface {
+	Open(ctx *Context) error
+	Next() (*relation.Batch, error)
+	Close()
+}
+
+// NewIterator returns an unopened iterator over n's output. The caller
+// must Open it before Next and Close it when done.
+func NewIterator(n Node) Iterator { return iterNode(n) }
+
+func iterNode(n Node) Iterator {
+	switch t := n.(type) {
+	case *ScanNode:
+		return &scanIter{node: t, lo: 0, hi: -1}
+	case *SelectNode:
+		return &selectIter{node: t, child: iterNode(t.child)}
+	case *ProjectNode:
+		return &projectIter{node: t, child: iterNode(t.child)}
+	case *AliasNode:
+		return &aliasIter{child: iterNode(t.child)}
+	case *HashFilterNode:
+		return &hashFilterIter{node: t, child: iterNode(t.child)}
+	case *JoinNode:
+		return &joinIter{node: t}
+	case *AggregateNode:
+		return &aggIter{node: t}
+	case *SetOpNode:
+		return &setOpIter{node: t}
+	default:
+		// Unknown operators evaluate the old way and emit the result.
+		return &evalIter{node: n}
+	}
+}
+
+// iterRange builds the iterator for a fused streaming chain whose bottom
+// scan is restricted to source rows [lo, hi) — one morsel of a parallel
+// chain drain. Only chain node types may appear (see chainScan).
+func iterRange(n Node, lo, hi int) Iterator {
+	switch t := n.(type) {
+	case *ScanNode:
+		return &scanIter{node: t, lo: lo, hi: hi}
+	case *SelectNode:
+		return &selectIter{node: t, child: iterRange(t.child, lo, hi)}
+	case *ProjectNode:
+		return &projectIter{node: t, child: iterRange(t.child, lo, hi)}
+	case *AliasNode:
+		return &aliasIter{child: iterRange(t.child, lo, hi)}
+	case *HashFilterNode:
+		return &hashFilterIter{node: t, child: iterRange(t.child, lo, hi)}
+	default:
+		panic("algebra: iterRange on non-chain operator " + n.String())
+	}
+}
+
+// chainScan returns the scan at the bottom of a fused streaming chain —
+// a path of Select/Project/Alias/HashFilter operators over one Scan — or
+// nil when n is not such a chain.
+func chainScan(n Node) *ScanNode {
+	for {
+		switch t := n.(type) {
+		case *ScanNode:
+			return t
+		case *SelectNode:
+			n = t.child
+		case *ProjectNode:
+			n = t.child
+		case *AliasNode:
+			n = t.child
+		case *HashFilterNode:
+			n = t.child
+		default:
+			return nil
+		}
+	}
+}
+
+// evalPipelined is the Node.Eval compatibility shim: drain the pipeline
+// below n into a materialized relation with the node's schema (upserting
+// when keyed, like every materialization point before the pipeline).
+func evalPipelined(ctx *Context, n Node) (*relation.Relation, error) {
+	if s, ok := n.(*ScanNode); ok && s.plain() {
+		// Bare plain scans keep their passthrough semantics: the bound
+		// relation (including its indexes) is shared, not copied.
+		return s.evalMat(ctx)
+	}
+	rows, err := drainRows(ctx, n)
+	if err != nil {
+		return nil, err
+	}
+	// Asserted (ProjectKeyed) key uniqueness is enforced inside
+	// projectIter as rows stream, so no re-check is needed here.
+	return output(ctx, n.Schema(), rows)
+}
+
+// drainRows pulls every row out of the pipeline below n. Plain scans share
+// the bound relation's row slice (callers treat drained rows as read-only);
+// breakers hand their precomputed output over directly; fused chains drain
+// in parallel morsels when the context allows it.
+func drainRows(ctx *Context, n Node) ([]relation.Row, error) {
+	switch t := n.(type) {
+	case *ScanNode:
+		if t.plain() {
+			rel, err := t.evalMat(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return rel.Rows(), nil
+		}
+	case *JoinNode:
+		return t.run(ctx, resolvePipelined)
+	case *AggregateNode:
+		inRows, err := t.aggInputRows(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return t.aggRows(ctx, inRows)
+	}
+	if rows, ok, err := drainChainParallel(ctx, n); ok || err != nil {
+		return rows, err
+	}
+	it := iterNode(n)
+	if err := it.Open(ctx); err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	var rows []relation.Row
+	for {
+		b, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return rows, nil
+		}
+		rows = append(rows, b.Rows()...)
+		b.ReleaseUnlessOwned()
+	}
+}
+
+// drainChainParallel drains a fused streaming chain with morsel-style
+// parallelism: the source relation's rows are split into contiguous
+// chunks, one chain instance runs per worker against a shadow context, and
+// outputs are concatenated in order. Returns ok == false when n is not a
+// parallelizable chain (callers fall back to the serial drain).
+func drainChainParallel(ctx *Context, n Node) ([]relation.Row, bool, error) {
+	if s, ok := n.(*ScanNode); ok && s.plain() {
+		return nil, false, nil // a bare plain scan has nothing to fuse
+	}
+	scan := chainScan(n)
+	if scan == nil {
+		return nil, false, nil
+	}
+	// Chains whose correctness depends on whole-stream state stay serial:
+	// an explicit keyed projection checks key uniqueness across ALL rows,
+	// and a plain scan with a rebuilt (Compatible-but-not-Equal) schema
+	// materializes once rather than per worker.
+	for c := n; c != scan; c = c.Children()[0] {
+		if p, ok := c.(*ProjectNode); ok && p.explicit && p.schema.HasKey() {
+			return nil, false, nil
+		}
+	}
+	rel, err := ctx.Relation(scan.name)
+	if err != nil || !rel.Schema().Compatible(scan.schema) {
+		return nil, false, nil // let the serial path surface the error
+	}
+	if scan.needsRebuild(rel) {
+		return nil, false, nil
+	}
+	w := ctx.workers(rel.Len())
+	if w <= 1 {
+		return nil, false, nil
+	}
+	outs := make([][]relation.Row, w)
+	errs := make([]error, w)
+	touched := make([]int64, w)
+	runWorkers(w, func(p int) {
+		lo, hi := chunkRange(p, w, rel.Len())
+		wctx := &Context{rels: ctx.rels, Parallelism: 1}
+		it := iterRange(n, lo, hi)
+		if err := it.Open(wctx); err != nil {
+			errs[p] = err
+			return
+		}
+		defer it.Close()
+		var rows []relation.Row
+		for {
+			b, err := it.Next()
+			if err != nil {
+				errs[p] = err
+				return
+			}
+			if b == nil {
+				break
+			}
+			rows = append(rows, b.Rows()...)
+			b.ReleaseUnlessOwned()
+		}
+		outs[p] = rows
+		touched[p] = wctx.RowsTouched
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, true, err
+		}
+	}
+	total := 0
+	for _, o := range outs {
+		total += len(o)
+	}
+	rows := make([]relation.Row, 0, total)
+	for _, o := range outs {
+		rows = append(rows, o...)
+	}
+	for _, tch := range touched {
+		ctx.RowsTouched += tch
+	}
+	return rows, true, nil
+}
+
+// resolvePipelined materializes a pipeline breaker's input: plain scans
+// pass the bound relation through (sharing its indexes, exactly like the
+// pre-pipeline child evaluation); everything else drains its pipeline and
+// materializes once at the breaker boundary.
+func resolvePipelined(n Node, ctx *Context) (*relation.Relation, error) {
+	if s, ok := n.(*ScanNode); ok && s.plain() {
+		return s.evalMat(ctx)
+	}
+	rows, err := drainRows(ctx, n)
+	if err != nil {
+		return nil, err
+	}
+	return output(ctx, n.Schema(), rows)
+}
+
+// EvalMaterialized evaluates n the pre-pipeline way: every operator fully
+// materializes its output relation before its parent starts. It is the
+// executable specification the pipeline property tests compare Node.Eval
+// against; production paths use Node.Eval (the pipeline shim).
+func EvalMaterialized(n Node, ctx *Context) (*relation.Relation, error) {
+	switch t := n.(type) {
+	case *ScanNode:
+		return t.evalMat(ctx)
+	case *SelectNode:
+		return t.evalMat(ctx)
+	case *ProjectNode:
+		return t.evalMat(ctx)
+	case *AliasNode:
+		return t.evalMat(ctx)
+	case *HashFilterNode:
+		return t.evalMat(ctx)
+	case *JoinNode:
+		return t.evalMat(ctx)
+	case *AggregateNode:
+		return t.evalMat(ctx)
+	case *SetOpNode:
+		return t.evalMat(ctx)
+	default:
+		return n.Eval(ctx)
+	}
+}
+
+// ------------------------------------------------------- streaming operators
+
+// scanIter emits the bound relation's rows as batches of row headers (no
+// copies). With a fused predicate/projection it filters and prunes in the
+// same pass; pruned rows are built in the batch arena. lo/hi restrict the
+// scan to one morsel ([0, -1) means all rows).
+type scanIter struct {
+	node   *ScanNode
+	lo, hi int
+	ctx    *Context
+	rel    *relation.Relation
+	pos    int
+	end    int
+}
+
+func (s *scanIter) Open(ctx *Context) error {
+	rel, err := s.node.resolve(ctx)
+	if err != nil {
+		return err
+	}
+	if s.node.needsRebuild(rel) {
+		// The declared key deliberately differs from the stored one
+		// (Compatible schemas differ only in keys): rebuild under the
+		// declared schema exactly like the materialized evaluation,
+		// surfacing duplicate-key errors, then stream (and filter/prune)
+		// the rebuilt rows. A keyless declaration needs no rebuild — the
+		// row stream is identical and nothing can fail.
+		// drainChainParallel keeps rebuilding scans serial so the
+		// rebuild happens once.
+		rel, err = s.node.rebuildDeclared(ctx, rel)
+		if err != nil {
+			return err
+		}
+	}
+	s.ctx, s.rel = ctx, rel
+	s.pos = s.lo
+	s.end = rel.Len()
+	if s.hi >= 0 && s.hi < s.end {
+		s.end = s.hi
+	}
+	return nil
+}
+
+func (s *scanIter) Next() (*relation.Batch, error) {
+	if s.pos >= s.end {
+		return nil, nil
+	}
+	b := relation.GetBatch()
+	rows := s.rel.Rows()
+	n := s.node
+	if n.plain() {
+		hi := s.pos + relation.BatchCap
+		if hi > s.end {
+			hi = s.end
+		}
+		b.AppendRows(rows[s.pos:hi])
+		s.pos = hi
+		return b, nil
+	}
+	for s.pos < s.end {
+		var scanned int64
+		for s.pos < s.end && !b.Full() {
+			row := rows[s.pos]
+			s.pos++
+			scanned++
+			if n.bound != nil && !n.bound.Eval(row).AsBool() {
+				continue
+			}
+			if n.cols == nil {
+				b.Append(row)
+			} else {
+				out := b.Alloc(len(n.cols))
+				for i, c := range n.cols {
+					out[i] = row[c]
+				}
+			}
+		}
+		s.ctx.RowsTouched += scanned
+		if b.Len() > 0 {
+			return b, nil
+		}
+	}
+	b.Release()
+	return nil, nil
+}
+
+func (s *scanIter) Close() {}
+
+// selectIter filters batches in place: surviving rows are compacted to the
+// front and the batch passes through untouched otherwise.
+type selectIter struct {
+	node  *SelectNode
+	child Iterator
+	ctx   *Context
+}
+
+func (s *selectIter) Open(ctx *Context) error { s.ctx = ctx; return s.child.Open(ctx) }
+
+func (s *selectIter) Next() (*relation.Batch, error) {
+	for {
+		b, err := s.child.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		s.ctx.RowsTouched += int64(b.Len())
+		rows := b.Rows()
+		kept := 0
+		for _, row := range rows {
+			if s.node.bound.Eval(row).AsBool() {
+				rows[kept] = row
+				kept++
+			}
+		}
+		b.Truncate(kept)
+		if kept > 0 {
+			return b, nil
+		}
+		b.Release()
+	}
+}
+
+func (s *selectIter) Close() { s.child.Close() }
+
+// projectIter computes output rows into a fresh arena-backed batch and
+// recycles the input batch (only scalar values are copied out of it).
+//
+// For an explicit keyed projection (ProjectKeyed) the asserted key's
+// uniqueness is enforced as rows stream, preserving the materialized
+// engine's error on a collapsing assertion. The check retains emitted row
+// headers, so those output batches are pinned (GC-reclaimed, not pooled).
+type projectIter struct {
+	node  *ProjectNode
+	child Iterator
+	ctx   *Context
+	// uniq/uniqRows implement the asserted-key check (nil when unneeded).
+	uniq     *hashIdx
+	uniqRows []relation.Row
+	keyIdx   []int
+}
+
+func (p *projectIter) Open(ctx *Context) error {
+	p.ctx = ctx
+	if p.node.explicit && p.node.schema.HasKey() {
+		p.uniq = newHashIdx(64, nil)
+		p.keyIdx = p.node.schema.Key()
+	}
+	return p.child.Open(ctx)
+}
+
+func (p *projectIter) Next() (*relation.Batch, error) {
+	for {
+		in, err := p.child.Next()
+		if err != nil || in == nil {
+			return nil, err
+		}
+		p.ctx.RowsTouched += int64(in.Len())
+		out := relation.GetBatch()
+		width := len(p.node.bound)
+		for _, row := range in.Rows() {
+			dst := out.Alloc(width)
+			for i, e := range p.node.bound {
+				dst[i] = e.Eval(row)
+			}
+		}
+		in.Release()
+		if p.uniq != nil && out.Len() > 0 {
+			var probe relation.Row
+			sameKey := func(head int32) bool {
+				return p.uniqRows[head].KeyEqualCols(p.keyIdx, probe, p.keyIdx)
+			}
+			for _, row := range out.Rows() {
+				probe = row
+				h := keyHash(row, p.keyIdx)
+				if p.uniq.first(h, sameKey) >= 0 {
+					// No Release: earlier rows of this batch are already
+					// retained in uniqRows; let the GC reclaim both.
+					return nil, fmt.Errorf("algebra: project: asserted key %v is not unique (row %v collides)",
+						p.node.schema.KeyNames(), row)
+				}
+				p.uniq.addGrow(h, int32(len(p.uniqRows)), sameKey)
+				p.uniqRows = append(p.uniqRows, row)
+			}
+			out.Pin()
+		}
+		if out.Len() > 0 {
+			return out, nil
+		}
+		out.Release()
+	}
+}
+
+func (p *projectIter) Close() { p.child.Close() }
+
+// aliasIter renames columns — a schema-only change, so batches pass
+// through untouched.
+type aliasIter struct {
+	child Iterator
+	ctx   *Context
+}
+
+func (a *aliasIter) Open(ctx *Context) error { a.ctx = ctx; return a.child.Open(ctx) }
+
+func (a *aliasIter) Next() (*relation.Batch, error) {
+	b, err := a.child.Next()
+	if b != nil {
+		a.ctx.RowsTouched += int64(b.Len())
+	}
+	return b, err
+}
+
+func (a *aliasIter) Close() { a.child.Close() }
+
+// hashFilterIter applies η in place, like selectIter, encoding each key
+// into a reused buffer (no per-row allocation).
+type hashFilterIter struct {
+	node  *HashFilterNode
+	child Iterator
+	ctx   *Context
+	kb    relation.KeyBuf
+}
+
+func (h *hashFilterIter) Open(ctx *Context) error { h.ctx = ctx; return h.child.Open(ctx) }
+
+func (h *hashFilterIter) Next() (*relation.Batch, error) {
+	for {
+		b, err := h.child.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		h.ctx.RowsTouched += int64(b.Len())
+		rows := b.Rows()
+		kept := 0
+		for _, row := range rows {
+			if h.node.hasher.Unit(h.kb.Row(row, h.node.idx)) < h.node.ratio {
+				rows[kept] = row
+				kept++
+			}
+		}
+		b.Truncate(kept)
+		if kept > 0 {
+			return b, nil
+		}
+		b.Release()
+	}
+}
+
+func (h *hashFilterIter) Close() { h.child.Close() }
+
+// -------------------------------------------------------- pipeline breakers
+
+// rowsIter emits a precomputed row slice as batches of row headers.
+type rowsIter struct {
+	rows []relation.Row
+	pos  int
+}
+
+func (r *rowsIter) next() (*relation.Batch, error) {
+	if r.pos >= len(r.rows) {
+		return nil, nil
+	}
+	b := relation.GetBatch()
+	hi := r.pos + relation.BatchCap
+	if hi > len(r.rows) {
+		hi = len(r.rows)
+	}
+	b.AppendRows(r.rows[r.pos:hi])
+	r.pos = hi
+	return b, nil
+}
+
+// joinIter runs the join (build and probe) at Open and emits the joined
+// rows as batches. Children are materialized at this breaker boundary:
+// plain scans share the bound relation (keeping index probes working),
+// fused chains drain with zero intermediate relations.
+type joinIter struct {
+	node *JoinNode
+	out  rowsIter
+}
+
+func (j *joinIter) Open(ctx *Context) error {
+	rows, err := j.node.run(ctx, resolvePipelined)
+	if err != nil {
+		return err
+	}
+	j.out = rowsIter{rows: rows}
+	return nil
+}
+
+func (j *joinIter) Next() (*relation.Batch, error) { return j.out.next() }
+func (j *joinIter) Close()                         {}
+
+// aggIter drains its input (as bare rows — aggregation needs no index) at
+// Open, folds it with the partitioned aggregation core, and emits the
+// result groups as batches.
+type aggIter struct {
+	node *AggregateNode
+	out  rowsIter
+}
+
+func (a *aggIter) Open(ctx *Context) error {
+	inRows, err := a.node.aggInputRows(ctx)
+	if err != nil {
+		return err
+	}
+	rows, err := a.node.aggRows(ctx, inRows)
+	if err != nil {
+		return err
+	}
+	a.out = rowsIter{rows: rows}
+	return nil
+}
+
+func (a *aggIter) Next() (*relation.Batch, error) { return a.out.next() }
+func (a *aggIter) Close()                         {}
+
+// evalIter wraps an unknown operator: evaluate it the materialized way and
+// emit its rows.
+type evalIter struct {
+	node Node
+	out  rowsIter
+}
+
+func (e *evalIter) Open(ctx *Context) error {
+	rel, err := e.node.Eval(ctx)
+	if err != nil {
+		return err
+	}
+	e.out = rowsIter{rows: rel.Rows()}
+	return nil
+}
+
+func (e *evalIter) Next() (*relation.Batch, error) { return e.out.next() }
+func (e *evalIter) Close()                         {}

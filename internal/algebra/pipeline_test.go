@@ -1,0 +1,293 @@
+package algebra
+
+import (
+	"testing"
+
+	"github.com/sampleclean/svc/internal/expr"
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// pipelinePlans returns a table of plans covering every operator (and
+// their compositions) over the Log/Video fixture.
+func pipelinePlans(t *testing.T) map[string]Node {
+	t.Helper()
+	scanLog := func() Node { return Scan("Log", logSchema()) }
+	scanVideo := func() Node { return Scan("Video", videoSchema()) }
+	sel := MustSelect(scanLog(), expr.Eq(expr.Col("videoId"), expr.IntLit(1)))
+	proj := MustProject(scanLog(), []Output{OutCol("sessionId"), Out("vid2", expr.Mul(expr.Col("videoId"), expr.IntLit(2)))})
+	join := MustJoin(scanLog(), Alias(scanVideo(), "v"),
+		JoinSpec{On: []EqPair{{Left: "videoId", Right: "v.videoId"}}})
+	agg := MustGroupBy(scanLog(), []string{"videoId"}, CountAs("n"))
+	hf := MustHashFilter(scanLog(), []string{"sessionId"}, 0.5, nil)
+	fused := MustProject(
+		MustSelect(scanLog(), expr.Gt(expr.Col("videoId"), expr.IntLit(1))),
+		[]Output{OutCol("sessionId"), OutCol("videoId")})
+	u, err := Union(sel, MustSelect(scanLog(), expr.Eq(expr.Col("videoId"), expr.IntLit(3))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := Difference(scanLog(), sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err := Intersect(scanLog(), sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggOverJoin := MustGroupBy(join, []string{"v.ownerId"}, CountAs("visits"), SumAs(expr.Col("v.duration"), "dur"))
+	return map[string]Node{
+		"select":         sel,
+		"project":        proj,
+		"join":           join,
+		"groupby":        agg,
+		"hashfilter":     hf,
+		"fused-chain":    fused,
+		"union":          u,
+		"difference":     diff,
+		"intersect":      inter,
+		"agg-over-join":  aggOverJoin,
+		"select-on-join": MustSelect(join, expr.Gt(expr.Col("v.duration"), expr.FloatLit(0.6))),
+	}
+}
+
+// The pipelined Eval must be row-for-row identical to the materialized
+// evaluation for every operator shape, serially and in parallel.
+func TestPipelinedMatchesMaterialized(t *testing.T) {
+	for name, plan := range pipelinePlans(t) {
+		t.Run(name, func(t *testing.T) {
+			ref, err := EvalMaterialized(plan, fixtureCtx())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, par := range []int{0, 4} {
+				ctx := fixtureCtx()
+				ctx.Parallelism = par
+				got := mustEval(t, plan, ctx)
+				if !got.Schema().Equal(ref.Schema()) {
+					t.Fatalf("parallel=%d: schema [%s] != [%s]", par, got.Schema(), ref.Schema())
+				}
+				if got.Len() != ref.Len() {
+					t.Fatalf("parallel=%d: %d rows != %d rows", par, got.Len(), ref.Len())
+				}
+				for i := 0; i < ref.Len(); i++ {
+					if !got.Row(i).Equal(ref.Row(i)) {
+						t.Fatalf("parallel=%d: row %d differs: %v vs %v", par, i, got.Row(i), ref.Row(i))
+					}
+				}
+			}
+		})
+	}
+}
+
+// Iterating the pipeline directly must yield the same rows as Eval, batch
+// by batch.
+func TestIteratorDrainMatchesEval(t *testing.T) {
+	plan := MustSelect(Scan("Log", logSchema()), expr.Gt(expr.Col("videoId"), expr.IntLit(1)))
+	ref := mustEval(t, plan, fixtureCtx())
+	it := NewIterator(plan)
+	if err := it.Open(fixtureCtx()); err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	var rows []relation.Row
+	for {
+		b, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		if b.Len() == 0 {
+			t.Fatal("iterator returned an empty batch")
+		}
+		rows = append(rows, b.Rows()...)
+		b.ReleaseUnlessOwned()
+	}
+	if len(rows) != ref.Len() {
+		t.Fatalf("drained %d rows, Eval produced %d", len(rows), ref.Len())
+	}
+	for i, row := range rows {
+		if !row.Equal(ref.Row(i)) {
+			t.Fatalf("row %d: %v != %v", i, row, ref.Row(i))
+		}
+	}
+}
+
+// A morsel-parallel chain drain must produce exactly the serial row order.
+func TestChainDrainParallelDeterministic(t *testing.T) {
+	log, video := bigFixture(20000, 5000)
+	rels := map[string]*relation.Relation{"Log": log, "Video": video}
+	plan := MustProject(
+		MustSelect(Scan("Log", logSchema()), expr.Gt(expr.Col("videoId"), expr.IntLit(100))),
+		[]Output{OutCol("sessionId"), Out("v10", expr.Mul(expr.Col("videoId"), expr.IntLit(10)))})
+	serialCtx := NewContext(rels)
+	serial, err := drainRows(serialCtx, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parCtx := NewContext(rels)
+	parCtx.Parallelism = 4
+	par, ok, err := drainChainParallel(parCtx, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("chain drain should apply to a fused select+project over a large scan")
+	}
+	if len(par) != len(serial) {
+		t.Fatalf("parallel drained %d rows, serial %d", len(par), len(serial))
+	}
+	for i := range serial {
+		if !par[i].Equal(serial[i]) {
+			t.Fatalf("row %d differs: %v vs %v", i, par[i], serial[i])
+		}
+	}
+	if serialCtx.RowsTouched != parCtx.RowsTouched {
+		t.Fatalf("RowsTouched differs: serial %d, parallel %d", serialCtx.RowsTouched, parCtx.RowsTouched)
+	}
+}
+
+// The asserted-key uniqueness error of ProjectKeyed fires in the
+// pipeline exactly like in the materialized engine — at the root, buried
+// mid-chain under other operators, and at a breaker boundary.
+func TestProjectKeyedCollapseStillErrors(t *testing.T) {
+	// videoId is not unique in Log: asserting it as key must fail.
+	mk := func() Node {
+		p, err := ProjectKeyed(Scan("Log", logSchema()), []Output{OutCol("videoId")}, "videoId")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	plans := map[string]Node{
+		"at-root":        mk(),
+		"under-select":   MustSelect(mk(), expr.Gt(expr.Col("videoId"), expr.IntLit(0))),
+		"under-breaker":  MustGroupBy(mk(), []string{"videoId"}, CountAs("n")),
+		"under-parallel": MustSelect(mk(), expr.Gt(expr.Col("videoId"), expr.IntLit(0))),
+	}
+	for name, plan := range plans {
+		ctx := fixtureCtx()
+		if name == "under-parallel" {
+			ctx.Parallelism = 4
+		}
+		if _, err := plan.Eval(ctx); err == nil {
+			t.Errorf("%s: pipelined eval of a non-unique asserted key should fail", name)
+		}
+		if _, err := EvalMaterialized(plan, fixtureCtx()); err == nil {
+			t.Errorf("%s: materialized eval should fail too", name)
+		}
+	}
+}
+
+// A plain scan whose declared schema differs from the bound one (but is
+// Compatible) rebuilds under the declared schema in BOTH engines —
+// including the duplicate-key error when the declared key is weaker.
+func TestScanDeclaredSchemaRebuildInChain(t *testing.T) {
+	// Bound: keyed by sessionId. Declared: keyed by videoId (not unique).
+	declared := relation.NewSchema([]relation.Column{
+		{Name: "sessionId", Type: relation.KindInt},
+		{Name: "videoId", Type: relation.KindInt},
+	}, "videoId")
+	plan := MustSelect(Scan("Log", declared), expr.Gt(expr.Col("videoId"), expr.IntLit(0)))
+	if _, err := plan.Eval(fixtureCtx()); err == nil {
+		t.Error("pipelined eval should surface the rebuild's duplicate-key error")
+	}
+	if _, err := EvalMaterialized(plan, fixtureCtx()); err == nil {
+		t.Error("materialized eval should fail identically")
+	}
+	// The same error must survive PushDownScans fusing the predicate into
+	// the scan (the rebuild happens before filtering, in both engines).
+	fused := PushDownScans(plan)
+	if _, ok := fused.(*ScanNode); !ok {
+		t.Fatalf("expected a fused scan, got %s", Format(fused))
+	}
+	if _, err := fused.Eval(fixtureCtx()); err == nil {
+		t.Error("pipelined fused scan should surface the rebuild's duplicate-key error")
+	}
+	if _, err := EvalMaterialized(fused, fixtureCtx()); err == nil {
+		t.Error("materialized fused scan should fail identically")
+	}
+	// And a VALID weaker declaration (keyless bag view of a keyed table)
+	// must stream the same rows in both engines.
+	bag := relation.NewSchema(logSchema().Cols())
+	plan2 := MustSelect(Scan("Log", bag), expr.Gt(expr.Col("videoId"), expr.IntLit(1)))
+	ref, err := EvalMaterialized(plan2, fixtureCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mustEval(t, plan2, fixtureCtx())
+	if got.Len() != ref.Len() {
+		t.Fatalf("bag-view rows: %d vs %d", got.Len(), ref.Len())
+	}
+	for i := 0; i < ref.Len(); i++ {
+		if !got.Row(i).Equal(ref.Row(i)) {
+			t.Fatalf("row %d differs: %v vs %v", i, got.Row(i), ref.Row(i))
+		}
+	}
+}
+
+// The fused scan→select→project pipeline must run with zero heap
+// allocations per row in steady state (batches come from the pool, output
+// rows from batch arenas). This is the regression guard CI runs.
+func TestFusedPipelineZeroAllocsPerRow(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates and defeats sync.Pool; run without -race")
+	}
+	log, video := bigFixture(50000, 5000)
+	rels := map[string]*relation.Relation{"Log": log, "Video": video}
+	plan := MustProject(
+		MustSelect(Scan("Log", logSchema()), expr.Gt(expr.Col("videoId"), expr.IntLit(10))),
+		[]Output{OutCol("sessionId"), Out("v2", expr.Mul(expr.Col("videoId"), expr.IntLit(2)))})
+
+	drain := func() int {
+		ctx := NewContext(rels)
+		it := NewIterator(plan)
+		if err := it.Open(ctx); err != nil {
+			t.Fatal(err)
+		}
+		defer it.Close()
+		n := 0
+		for {
+			b, err := it.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b == nil {
+				return n
+			}
+			n += b.Len()
+			b.Release() // transient consumption: rows are only counted
+		}
+	}
+	// Warm the batch pool (first drain may allocate pool entries).
+	rows := drain()
+	if rows < 40000 {
+		t.Fatalf("fixture too small: %d rows", rows)
+	}
+	allocs := testing.AllocsPerRun(5, func() { drain() })
+	perRow := allocs / float64(rows)
+	// A handful of per-drain allocations (iterator nodes, context header)
+	// are fine; anything growing with the row count is not.
+	if perRow >= 0.001 {
+		t.Fatalf("fused pipeline allocates %.4f objects/row (%.1f per drain, %d rows); want 0",
+			perRow, allocs, rows)
+	}
+}
+
+// Fused scan pushdown composes with the pipeline: the rewritten plan's
+// filtered, pruned scan produces the identical stream.
+func TestFusedScanMatchesUnfused(t *testing.T) {
+	plan := MustProject(
+		MustSelect(Scan("Video", videoSchema()), expr.Eq(expr.Col("ownerId"), expr.IntLit(10))),
+		[]Output{OutCol("videoId"), OutCol("duration")})
+	fused := PushDownScans(plan)
+	if Format(plan) == Format(fused) {
+		t.Fatalf("PushDownScans should rewrite the plan:\n%s", Format(plan))
+	}
+	ref := mustEval(t, plan, fixtureCtx())
+	got := mustEval(t, fused, fixtureCtx())
+	if !got.Equal(ref) {
+		t.Fatalf("fused scan changed the result:\n%v\nvs\n%v", got, ref)
+	}
+}

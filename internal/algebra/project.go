@@ -129,9 +129,14 @@ func (p *ProjectNode) Outputs() []Output { return p.outs }
 // Schema implements Node.
 func (p *ProjectNode) Schema() relation.Schema { return p.schema }
 
-// Eval implements Node.
+// Eval implements Node (the pipeline shim; see pipeline.go).
 func (p *ProjectNode) Eval(ctx *Context) (*relation.Relation, error) {
-	in, err := p.child.Eval(ctx)
+	return evalPipelined(ctx, p)
+}
+
+// evalMat is the materializing evaluation (see EvalMaterialized).
+func (p *ProjectNode) evalMat(ctx *Context) (*relation.Relation, error) {
+	in, err := EvalMaterialized(p.child, ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -213,9 +218,14 @@ func (a *AliasNode) Prefix() string { return a.prefix }
 // Schema implements Node.
 func (a *AliasNode) Schema() relation.Schema { return a.schema }
 
-// Eval implements Node.
+// Eval implements Node (the pipeline shim; see pipeline.go).
 func (a *AliasNode) Eval(ctx *Context) (*relation.Relation, error) {
-	in, err := a.child.Eval(ctx)
+	return evalPipelined(ctx, a)
+}
+
+// evalMat is the materializing evaluation (see EvalMaterialized).
+func (a *AliasNode) evalMat(ctx *Context) (*relation.Relation, error) {
+	in, err := EvalMaterialized(a.child, ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package algebra
+
+const raceEnabled = false

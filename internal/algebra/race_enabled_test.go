@@ -1,0 +1,8 @@
+//go:build race
+
+package algebra
+
+// raceEnabled reports that the race detector instruments this build; the
+// zero-allocs guard is skipped there (instrumentation allocates and
+// sync.Pool intentionally drops entries under -race).
+const raceEnabled = true

@@ -2,7 +2,9 @@ package algebra
 
 import (
 	"fmt"
+	"strings"
 
+	"github.com/sampleclean/svc/internal/expr"
 	"github.com/sampleclean/svc/internal/relation"
 )
 
@@ -10,26 +12,95 @@ import (
 // leaf of every expression tree; base tables, delta relations (ΔR, ∇R) and
 // the stale view itself are all bound into the context under conventional
 // names by the db and view layers.
+//
+// A scan may carry a fused selection predicate and a fused column
+// projection, installed by the PushDownScans rewriter: the pipelined scan
+// then skips non-matching rows and emits only the needed columns in its
+// single pass, so no wider row is ever materialized.
 type ScanNode struct {
 	name   string
-	schema relation.Schema
+	schema relation.Schema // declared schema of the binding (full width)
+	out    relation.Schema // output schema after column pruning (== schema when cols is nil)
+	pred   expr.Expr       // fused selection over the full row; nil = none
+	bound  expr.Expr       // pred bound against schema
+	cols   []int           // fused projection: kept column indexes into schema; nil = all
 }
 
 // Scan returns a leaf that reads the named relation, declaring its schema.
 // The declared schema (including primary key) is checked against the bound
 // relation at evaluation time.
 func Scan(name string, schema relation.Schema) *ScanNode {
-	return &ScanNode{name: name, schema: schema}
+	return &ScanNode{name: name, schema: schema, out: schema}
 }
 
 // Name returns the context binding this scan reads.
 func (s *ScanNode) Name() string { return s.name }
 
-// Schema implements Node.
-func (s *ScanNode) Schema() relation.Schema { return s.schema }
+// Pred returns the fused selection predicate (nil when none).
+func (s *ScanNode) Pred() expr.Expr { return s.pred }
 
-// Eval implements Node.
+// PrunedCols returns the fused projection's kept column indexes into the
+// declared schema, or nil when the scan emits all columns.
+func (s *ScanNode) PrunedCols() []int { return append([]int(nil), s.cols...) }
+
+// plain reports whether the scan has no fused predicate or projection —
+// the case where evaluation can share the bound relation outright.
+func (s *ScanNode) plain() bool { return s.pred == nil && s.cols == nil }
+
+// withPred returns a copy of the scan with pred fused in (ANDed with any
+// existing fused predicate). The predicate is bound against the declared
+// (full) schema, so it may reference columns a later fused projection
+// drops.
+func (s *ScanNode) withPred(pred expr.Expr) (*ScanNode, error) {
+	if s.pred != nil {
+		pred = expr.And(s.pred, pred)
+	}
+	bound, err := pred.Bind(s.schema)
+	if err != nil {
+		return nil, fmt.Errorf("algebra: scan %q predicate: %w", s.name, err)
+	}
+	return &ScanNode{name: s.name, schema: s.schema, out: s.out, pred: pred, bound: bound, cols: s.cols}, nil
+}
+
+// withCols returns a copy of the scan emitting only the given columns of
+// the declared schema (in the given order). Key columns of the declared
+// schema must all be kept for the output to stay keyed; the caller
+// (PushDownScans) guarantees that.
+func (s *ScanNode) withCols(cols []int) *ScanNode {
+	kept := make([]relation.Column, len(cols))
+	keep := make(map[string]bool, len(cols))
+	for i, c := range cols {
+		kept[i] = s.schema.Col(c)
+		keep[kept[i].Name] = true
+	}
+	var keyNames []string
+	for _, k := range s.schema.KeyNames() {
+		if !keep[k] {
+			keyNames = nil
+			break
+		}
+		keyNames = append(keyNames, k)
+	}
+	return &ScanNode{
+		name:   s.name,
+		schema: s.schema,
+		out:    relation.NewSchema(kept, keyNames...),
+		pred:   s.pred,
+		bound:  s.bound,
+		cols:   append([]int(nil), cols...),
+	}
+}
+
+// Schema implements Node.
+func (s *ScanNode) Schema() relation.Schema { return s.out }
+
+// Eval implements Node (the pipeline shim; see pipeline.go).
 func (s *ScanNode) Eval(ctx *Context) (*relation.Relation, error) {
+	return evalPipelined(ctx, s)
+}
+
+// resolve returns the bound relation after the declared-schema check.
+func (s *ScanNode) resolve(ctx *Context) (*relation.Relation, error) {
 	rel, err := ctx.Relation(s.name)
 	if err != nil {
 		return nil, err
@@ -38,18 +109,75 @@ func (s *ScanNode) Eval(ctx *Context) (*relation.Relation, error) {
 		return nil, fmt.Errorf("algebra: scan %q: bound schema [%s] incompatible with declared [%s]",
 			s.name, rel.Schema(), s.schema)
 	}
-	if rel.Schema().Equal(s.schema) {
-		// Operators never mutate their inputs, so the bound relation can
-		// be shared without copying. Reads are charged by the consuming
-		// operator (an index probe may touch only a few rows).
-		return rel, nil
-	}
+	return rel, nil
+}
+
+// needsRebuild reports whether the bound relation must be re-materialized
+// under the declared schema before scanning: the declaration asserts a
+// key the bound relation does not enforce (Compatible schemas differ only
+// in keys). The rebuild surfaces duplicate-declared-key errors identically
+// in every evaluation mode, fused or not.
+func (s *ScanNode) needsRebuild(rel *relation.Relation) bool {
+	return s.schema.HasKey() && !rel.Schema().Equal(s.schema)
+}
+
+// rebuildDeclared materializes the bound rows under the declared schema
+// (Insert: a duplicate declared key errors), charging the scan.
+func (s *ScanNode) rebuildDeclared(ctx *Context, rel *relation.Relation) (*relation.Relation, error) {
 	ctx.RowsTouched += int64(rel.Len())
-	// The declared key may deliberately differ from the stored one (e.g. a
-	// keyless bag view of a keyed table); rebuild under the declared schema.
-	out := relation.New(s.schema)
+	out := relation.NewSized(s.schema, rel.Len())
 	for _, row := range rel.Rows() {
 		if err := out.Insert(row); err != nil {
+			return nil, fmt.Errorf("algebra: scan %q: %w", s.name, err)
+		}
+	}
+	return out, nil
+}
+
+// evalMat is the materializing evaluation (see EvalMaterialized).
+func (s *ScanNode) evalMat(ctx *Context) (*relation.Relation, error) {
+	rel, err := s.resolve(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if s.plain() {
+		if rel.Schema().Equal(s.schema) {
+			// Operators never mutate their inputs, so the bound relation can
+			// be shared without copying. Reads are charged by the consuming
+			// operator (an index probe may touch only a few rows).
+			return rel, nil
+		}
+		// The declared key may deliberately differ from the stored one (e.g. a
+		// keyless bag view of a keyed table); rebuild under the declared schema.
+		return s.rebuildDeclared(ctx, rel)
+	}
+	// Fused predicate/projection: one filtered, pruned pass. A declared
+	// key the bound relation does not enforce is checked first, exactly
+	// like the unfused scan's rebuild.
+	if s.needsRebuild(rel) {
+		var err error
+		if rel, err = s.rebuildDeclared(ctx, rel); err != nil {
+			return nil, err
+		}
+	}
+	ctx.RowsTouched += int64(rel.Len())
+	out := relation.NewSized(s.out, rel.Len())
+	for _, row := range rel.Rows() {
+		if s.bound != nil && !s.bound.Eval(row).AsBool() {
+			continue
+		}
+		emit := row
+		if s.cols != nil {
+			emit = make(relation.Row, len(s.cols))
+			for i, c := range s.cols {
+				emit[i] = row[c]
+			}
+		}
+		if s.out.HasKey() {
+			if _, err := out.Upsert(emit); err != nil {
+				return nil, fmt.Errorf("algebra: scan %q: %w", s.name, err)
+			}
+		} else if err := out.Insert(emit); err != nil {
 			return nil, fmt.Errorf("algebra: scan %q: %w", s.name, err)
 		}
 	}
@@ -68,4 +196,20 @@ func (s *ScanNode) WithChildren(ch []Node) Node {
 }
 
 // String implements Node.
-func (s *ScanNode) String() string { return fmt.Sprintf("Scan(%s)", s.name) }
+func (s *ScanNode) String() string {
+	if s.plain() {
+		return fmt.Sprintf("Scan(%s)", s.name)
+	}
+	var parts []string
+	if s.pred != nil {
+		parts = append(parts, "σ:"+s.pred.String())
+	}
+	if s.cols != nil {
+		names := make([]string, len(s.cols))
+		for i, c := range s.cols {
+			names[i] = s.schema.Col(c).Name
+		}
+		parts = append(parts, "Π:"+strings.Join(names, ","))
+	}
+	return fmt.Sprintf("Scan(%s %s)", s.name, strings.Join(parts, " "))
+}

@@ -1,0 +1,120 @@
+package algebra
+
+import "sort"
+
+// PushDownScans rewrites a plan so that selections and projections sitting
+// directly above base scans are fused into the scans themselves — the
+// complement of the hash push-down in pushdown.go. A fused scan filters
+// rows and prunes columns in its single pipelined pass, so downstream
+// operators never see rows that a predicate would drop or columns nothing
+// references.
+//
+// Rules (applied bottom-up until fixpoint over each path):
+//
+//   - σ(Scan)  → Scan[σ]         (predicates AND-merge into the scan)
+//   - Π(Scan)  → Π(Scan[cols])   (the scan emits only the columns the
+//     projection's expressions reference plus the scan's primary key;
+//     the projection stays, re-bound against the narrowed schema, so
+//     the plan's output is unchanged. The fused predicate needs no
+//     column reservation: the scan evaluates it against the full-width
+//     source row BEFORE pruning — an invariant both ScanNode.evalMat
+//     and the pipelined scanIter maintain)
+//
+// The rewrite never changes a node's output schema or its row stream: the
+// rewritten plan is row-for-row identical to the original under both the
+// batched pipeline and the materialized evaluation, which the table-driven
+// tests in scanpush_test.go check.
+//
+// Plans handed to strategy derivation (DeltaPlan, PushDownHash,
+// substituteSampleScan) should stay unfused — those rewriters pattern-match
+// plain operator shapes. Callers therefore apply PushDownScans to the
+// final evaluation form only (view.Materialize, Maintainer.MaintainAt,
+// Cleaner's cleaning expression).
+func PushDownScans(n Node) Node {
+	children := n.Children()
+	if len(children) > 0 {
+		newCh := make([]Node, len(children))
+		changed := false
+		for i, c := range children {
+			newCh[i] = PushDownScans(c)
+			if newCh[i] != c {
+				changed = true
+			}
+		}
+		if changed {
+			n = n.WithChildren(newCh)
+		}
+	}
+	switch t := n.(type) {
+	case *SelectNode:
+		scan, ok := t.child.(*ScanNode)
+		if !ok || scan.cols != nil {
+			// Fusing a predicate under an already-pruned scan would need
+			// the predicate re-expressed over pruned columns; keep it
+			// simple — prune only ever happens above (Π over σ-scan).
+			return n
+		}
+		fused, err := scan.withPred(t.pred)
+		if err != nil {
+			return n
+		}
+		return fused
+	case *ProjectNode:
+		scan, ok := t.child.(*ScanNode)
+		if !ok || scan.cols != nil {
+			return n
+		}
+		cols, ok := scanNeededCols(scan, t.outs)
+		if !ok || len(cols) == len(scan.out.Cols()) {
+			return n
+		}
+		pruned := scan.withCols(cols)
+		var np Node
+		var err error
+		if t.explicit {
+			np, err = ProjectKeyed(pruned, t.outs, t.schema.KeyNames()...)
+		} else {
+			np, err = Project(pruned, t.outs)
+		}
+		if err != nil || !np.Schema().Equal(t.schema) {
+			return n
+		}
+		return np
+	default:
+		return n
+	}
+}
+
+// scanNeededCols computes which columns of the scan's output the
+// projection actually needs: everything its expressions reference plus the
+// scan's primary-key columns (kept so the narrowed schema stays keyed and
+// the projection's Definition 2 key derivation is unchanged). The fused
+// predicate's columns are deliberately NOT included — the scan evaluates
+// the predicate on the full source row before pruning. Returns false when
+// a referenced column cannot be resolved.
+func scanNeededCols(scan *ScanNode, outs []Output) ([]int, bool) {
+	sch := scan.out
+	need := map[int]bool{}
+	var names []string
+	for _, o := range outs {
+		names = o.E.Columns(names[:0])
+		for _, name := range names {
+			i := sch.ColIndex(name)
+			if i < 0 {
+				return nil, false
+			}
+			need[i] = true
+		}
+	}
+	for _, k := range sch.KeyNames() {
+		need[sch.ColIndex(k)] = true
+	}
+	cols := make([]int, 0, len(need))
+	for i := range need {
+		cols = append(cols, i)
+	}
+	sort.Ints(cols)
+	// Translate output-schema indexes to declared-schema indexes (they
+	// coincide while the scan is unpruned, which the caller guarantees).
+	return cols, true
+}

@@ -1,0 +1,164 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sampleclean/svc/internal/expr"
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// Table-driven rewrite tests for PushDownScans: each case states the
+// input plan, a fragment the rewritten plan must (or must not) contain,
+// and is additionally checked for row-for-row result equivalence against
+// the unrewritten plan under both evaluation modes.
+func TestPushDownScansRewrites(t *testing.T) {
+	pred1 := expr.Eq(expr.Col("ownerId"), expr.IntLit(10))
+	pred2 := expr.Gt(expr.Col("duration"), expr.FloatLit(0.9))
+	cases := []struct {
+		name    string
+		plan    func() Node
+		want    string // substring of Format(rewritten)
+		wantNot string // substring that must be gone
+	}{
+		{
+			name:    "select-fuses-into-scan",
+			plan:    func() Node { return MustSelect(Scan("Video", videoSchema()), pred1) },
+			want:    "Scan(Video σ:",
+			wantNot: "Select(",
+		},
+		{
+			name: "stacked-selects-merge",
+			plan: func() Node {
+				return MustSelect(MustSelect(Scan("Video", videoSchema()), pred1), pred2)
+			},
+			want:    "and (duration > 0.9)",
+			wantNot: "Select(",
+		},
+		{
+			name: "project-prunes-scan-columns",
+			plan: func() Node {
+				// ownerId is unreferenced and not the key: it is pruned.
+				return MustProject(Scan("Video", videoSchema()),
+					[]Output{OutCol("videoId"), Out("halfDur", expr.Div(expr.Col("duration"), expr.IntLit(2)))})
+			},
+			want: "Π:videoId,duration",
+		},
+		{
+			name: "project-keeps-key-columns",
+			plan: func() Node {
+				// The projection references only duration, but videoId is
+				// Video's key and must survive pruning (and be projected,
+				// per Definition 2).
+				return MustProject(Scan("Video", videoSchema()),
+					[]Output{OutCol("videoId"), OutCol("duration")})
+			},
+			want: "Π:videoId,duration",
+		},
+		{
+			name: "select-then-project-fuse-both",
+			plan: func() Node {
+				return MustProject(MustSelect(Scan("Video", videoSchema()), pred1),
+					[]Output{OutCol("videoId"), OutCol("ownerId")})
+			},
+			want:    "Scan(Video σ:",
+			wantNot: "Select(",
+		},
+		{
+			name: "projection-referencing-everything-stays",
+			plan: func() Node {
+				return MustProject(Scan("Video", videoSchema()),
+					[]Output{OutCol("videoId"), OutCol("ownerId"), OutCol("duration")})
+			},
+			wantNot: "Π:",
+		},
+		{
+			name: "select-over-join-untouched",
+			plan: func() Node {
+				j := MustJoin(Scan("Log", logSchema()), Alias(Scan("Video", videoSchema()), "v"),
+					JoinSpec{On: []EqPair{{Left: "videoId", Right: "v.videoId"}}})
+				return MustSelect(j, expr.Gt(expr.Col("v.duration"), expr.FloatLit(0.5)))
+			},
+			want: "Select(",
+		},
+		{
+			name: "fusion-under-a-join",
+			plan: func() Node {
+				right := MustSelect(Scan("Video", videoSchema()), pred1)
+				return MustJoin(Scan("Log", logSchema()), Alias(right, "v"),
+					JoinSpec{On: []EqPair{{Left: "videoId", Right: "v.videoId"}}})
+			},
+			want:    "Scan(Video σ:",
+			wantNot: "Select(",
+		},
+		{
+			name: "fusion-under-aggregate",
+			plan: func() Node {
+				return MustGroupBy(MustSelect(Scan("Log", logSchema()), expr.Gt(expr.Col("videoId"), expr.IntLit(1))),
+					[]string{"videoId"}, CountAs("n"))
+			},
+			want:    "Scan(Log σ:",
+			wantNot: "Select(",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			plan := tc.plan()
+			rewritten := PushDownScans(plan)
+			got := Format(rewritten)
+			if tc.want != "" && !strings.Contains(got, tc.want) {
+				t.Errorf("rewritten plan lacks %q:\n%s", tc.want, got)
+			}
+			if tc.wantNot != "" && strings.Contains(got, tc.wantNot) {
+				t.Errorf("rewritten plan still contains %q:\n%s", tc.wantNot, got)
+			}
+			if !rewritten.Schema().Equal(plan.Schema()) {
+				t.Fatalf("rewrite changed the schema: [%s] vs [%s]", rewritten.Schema(), plan.Schema())
+			}
+			ref, err := EvalMaterialized(plan, fixtureCtx())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, mode := range []string{"pipelined", "materialized"} {
+				var out *relation.Relation
+				if mode == "pipelined" {
+					out, err = rewritten.Eval(fixtureCtx())
+				} else {
+					out, err = EvalMaterialized(rewritten, fixtureCtx())
+				}
+				if err != nil {
+					t.Fatalf("%s: %v", mode, err)
+				}
+				if out.Len() != ref.Len() {
+					t.Fatalf("%s: %d rows, want %d", mode, out.Len(), ref.Len())
+				}
+				for i := 0; i < ref.Len(); i++ {
+					if !out.Row(i).Equal(ref.Row(i)) {
+						t.Fatalf("%s: row %d = %v, want %v", mode, i, out.Row(i), ref.Row(i))
+					}
+				}
+			}
+		})
+	}
+}
+
+// A fused scan's predicate binds against the full declared schema, so it
+// may test columns the fused projection drops — but the rewriter only
+// prunes above the projection, which always references what it needs.
+func TestPushDownScansPredicateOverPrunedColumn(t *testing.T) {
+	// σ(ownerId=10) then project away ownerId — the predicate fuses first,
+	// and pruning keeps predicate columns out of the narrowed OUTPUT while
+	// the scan still evaluates the predicate on the full row.
+	plan := MustProject(
+		MustSelect(Scan("Video", videoSchema()), expr.Eq(expr.Col("ownerId"), expr.IntLit(10))),
+		[]Output{OutCol("videoId"), OutCol("duration")})
+	rewritten := PushDownScans(plan)
+	ref, err := EvalMaterialized(plan, fixtureCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := mustEval(t, rewritten, fixtureCtx())
+	if !out.Equal(ref) {
+		t.Fatalf("pruning a predicate column changed the result:\n%v\nvs\n%v", out, ref)
+	}
+}

@@ -40,9 +40,14 @@ func (s *SelectNode) Pred() expr.Expr { return s.pred }
 // Schema implements Node.
 func (s *SelectNode) Schema() relation.Schema { return s.child.Schema() }
 
-// Eval implements Node.
+// Eval implements Node (the pipeline shim; see pipeline.go).
 func (s *SelectNode) Eval(ctx *Context) (*relation.Relation, error) {
-	in, err := s.child.Eval(ctx)
+	return evalPipelined(ctx, s)
+}
+
+// evalMat is the materializing evaluation (see EvalMaterialized).
+func (s *SelectNode) evalMat(ctx *Context) (*relation.Relation, error) {
+	in, err := EvalMaterialized(s.child, ctx)
 	if err != nil {
 		return nil, err
 	}

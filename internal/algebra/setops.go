@@ -109,18 +109,23 @@ func allIdx(n int) []int {
 	return idx
 }
 
-// Eval implements Node.
+// Eval implements Node (the pipeline shim; see pipeline.go).
+func (s *SetOpNode) Eval(ctx *Context) (*relation.Relation, error) {
+	return evalPipelined(ctx, s)
+}
+
+// evalMat is the materializing evaluation (see EvalMaterialized).
 //
 // Membership testing hashes the identity columns to 64 bits and probes an
 // open-addressed table with full-key verification — no per-row key
 // strings (NULL identity values participate, matching the canonical
 // encoding, so this is not a join).
-func (s *SetOpNode) Eval(ctx *Context) (*relation.Relation, error) {
-	lRel, err := s.l.Eval(ctx)
+func (s *SetOpNode) evalMat(ctx *Context) (*relation.Relation, error) {
+	lRel, err := EvalMaterialized(s.l, ctx)
 	if err != nil {
 		return nil, err
 	}
-	rRel, err := s.r.Eval(ctx)
+	rRel, err := EvalMaterialized(s.r, ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -176,3 +181,144 @@ func (s *SetOpNode) WithChildren(ch []Node) Node {
 
 // String implements Node.
 func (s *SetOpNode) String() string { return s.kind.String() }
+
+// ----------------------------------------------------- streaming evaluation
+
+// setOpIter is the batched set operator. It streams its (usually large)
+// left input through instead of materializing it:
+//
+//   - Difference / Intersect: the right side is drained into a membership
+//     table at Open, then left batches are filtered in place — one pass,
+//     no intermediate relation for either side.
+//   - Union (keyed): left batches pass through while their rows' keys are
+//     recorded in an incrementally grown table; right batches are then
+//     filtered against it. Row order equals the materialized evaluation's
+//     (all left rows, then right rows not matched by key).
+//   - Union (bag): plain concatenation, nothing retained.
+//
+// The keyed union retains left row headers, so it pins owned left batches
+// before passing them downstream (see relation.Batch).
+type setOpIter struct {
+	node  *SetOpNode
+	ctx   *Context
+	idx   []int
+	left  Iterator
+	right Iterator
+	// rightPhase is true once the left stream is exhausted.
+	rightPhase bool
+	// Difference/Intersect membership (built from the right input).
+	build *rowTable
+	// Keyed-union left recording.
+	lRows []relation.Row
+	seen  *hashIdx
+}
+
+func (s *setOpIter) Open(ctx *Context) error {
+	s.ctx = ctx
+	s.idx = identIdx(s.node.schema)
+	if s.node.kind != opUnion {
+		rRows, err := drainRows(ctx, s.node.r)
+		if err != nil {
+			return err
+		}
+		ctx.RowsTouched += int64(len(rRows))
+		s.build = buildRowTable(rRows, s.idx, false, ctx.workers(len(rRows)))
+	} else if s.node.schema.HasKey() {
+		s.seen = newHashIdx(64, nil)
+	}
+	s.left = iterNode(s.node.l)
+	return s.left.Open(ctx)
+}
+
+func (s *setOpIter) Next() (*relation.Batch, error) {
+	for !s.rightPhase {
+		b, err := s.left.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			s.rightPhase = true
+			if s.node.kind != opUnion {
+				return nil, nil // difference/intersect emit the left side only
+			}
+			s.right = iterNode(s.node.r)
+			if err := s.right.Open(s.ctx); err != nil {
+				return nil, err
+			}
+			break
+		}
+		s.ctx.RowsTouched += int64(b.Len())
+		switch s.node.kind {
+		case opUnion:
+			if s.seen != nil {
+				var row relation.Row
+				sameKey := func(head int32) bool {
+					return s.lRows[head].KeyEqualCols(s.idx, row, s.idx)
+				}
+				for _, r := range b.Rows() {
+					row = r
+					id := int32(len(s.lRows))
+					s.lRows = append(s.lRows, r)
+					s.seen.addGrow(keyHash(r, s.idx), id, sameKey)
+				}
+				if b.Owned() {
+					b.Pin()
+				}
+			}
+			return b, nil
+		case opIntersect, opDifference:
+			keep := s.node.kind == opIntersect
+			rows := b.Rows()
+			kept := 0
+			for _, row := range rows {
+				if s.build.contains(keyHash(row, s.idx), row, s.idx) == keep {
+					rows[kept] = row
+					kept++
+				}
+			}
+			b.Truncate(kept)
+			if kept > 0 {
+				return b, nil
+			}
+			b.Release()
+		}
+	}
+	// Right phase: only the union reaches here.
+	for {
+		b, err := s.right.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		s.ctx.RowsTouched += int64(b.Len())
+		if s.seen == nil {
+			return b, nil // bag union concatenates
+		}
+		var row relation.Row
+		sameKey := func(head int32) bool {
+			return s.lRows[head].KeyEqualCols(s.idx, row, s.idx)
+		}
+		rows := b.Rows()
+		kept := 0
+		for _, r := range rows {
+			row = r
+			if s.seen.first(keyHash(r, s.idx), sameKey) < 0 {
+				rows[kept] = r
+				kept++
+			}
+		}
+		b.Truncate(kept)
+		if kept > 0 {
+			return b, nil
+		}
+		b.Release()
+	}
+}
+
+func (s *setOpIter) Close() {
+	if s.left != nil {
+		s.left.Close()
+	}
+	if s.right != nil {
+		s.right.Close()
+	}
+}

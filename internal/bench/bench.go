@@ -6,7 +6,9 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
 	"strings"
@@ -91,6 +93,46 @@ func (t *Table) CSV() string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// JSONReport is the machine-readable form of a benchmark run, written by
+// svcbench -json. It seeds the bench trajectory: successive PRs append
+// their numbers (ns/op, allocs/op, rows touched) so regressions are
+// diffable instead of anecdotal.
+type JSONReport struct {
+	GeneratedAt string        `json:"generated_at"`
+	Scale       float64       `json:"scale"`
+	Parallel    int           `json:"parallel"`
+	GoMaxProcs  int           `json:"gomaxprocs"`
+	Experiments []*JSONResult `json:"experiments"`
+}
+
+// JSONResult is one experiment's table plus its wall-clock time.
+type JSONResult struct {
+	ID        string     `json:"id"`
+	Title     string     `json:"title"`
+	Header    []string   `json:"header"`
+	Rows      [][]string `json:"rows"`
+	Notes     []string   `json:"notes,omitempty"`
+	ElapsedMS float64    `json:"elapsed_ms"`
+}
+
+// JSONResultOf converts a rendered table.
+func JSONResultOf(t *Table, elapsed time.Duration) *JSONResult {
+	return &JSONResult{
+		ID: t.ID, Title: t.Title, Header: t.Header, Rows: t.Rows, Notes: t.Notes,
+		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+	}
+}
+
+// WriteJSON writes the report to path (pretty-printed, trailing newline).
+func WriteJSON(path string, report *JSONReport) error {
+	report.GoMaxProcs = runtime.GOMAXPROCS(0)
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // Scale adjusts experiment sizes: 1.0 is the default CLI scale; tests use

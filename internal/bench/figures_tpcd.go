@@ -93,6 +93,7 @@ func (sc *tpcdScenario) timeIVM() (time.Duration, view.MaintainStats, error) {
 func init() {
 	register("fig4a", "join view: maintenance time vs sampling ratio (SVC) with the IVM line", fig4a)
 	register("fig4a-par", "join view: cleaning and IVM ns/op + allocs/op, serial vs partitioned-parallel", fig4aPar)
+	register("pipeline", "batch pipeline: full maintain+clean cycle ns/op + allocs/op + rows on the join view", pipelineCycle)
 	register("fig4b", "join view: SVC-10% speedup over IVM as update size grows", fig4b)
 	register("fig5", "join view: median relative error per TPCD query — Stale vs SVC+AQP-10% vs SVC+CORR-10%", fig5)
 	register("fig6a", "join view: total time (maintenance + query) for IVM, SVC+CORR, SVC+AQP", fig6a)
@@ -674,5 +675,76 @@ func fig8b(s Scale) (*Table, error) {
 		}
 	}
 	t.Notes = append(t.Notes, "paper Figure 8b: the index adds overhead growing with k but stays below IVM")
+	return t, nil
+}
+
+// pipelineCycle measures the full deferred-maintenance cycle on the
+// Fig. 4a join-view workload with engine-level metrics: one op is
+// clean (CleanAt) + sample coercion + full maintenance (MaintainAt)
+// against one pinned version — exactly what svc.StaleView.MaintainNow
+// evaluates before publishing. ns/op and allocs/op are best of three
+// (allocs are run-invariant); rows_touched is the machine-independent
+// cost proxy. This is the batch-pipeline headline benchmark: its
+// trajectory is recorded in BENCH_pipeline.json (svcbench -json).
+func pipelineCycle(s Scale) (*Table, error) {
+	t := &Table{ID: "pipeline", Title: "Batch pipeline: full maintain+clean cycle on the join view (10% updates)",
+		Header: []string{"workers", "cycle_ns_op", "cycle_allocs_op", "clean_ns_op", "clean_allocs_op", "maint_ns_op", "maint_allocs_op", "rows_touched"}}
+	for _, workers := range []int{1, 4} {
+		sc, err := newTPCDScenario(tpcdConfig(s, 2, 1), tpcd.JoinView())
+		if err != nil {
+			return nil, err
+		}
+		if err := sc.gen.StageUpdates(sc.d, 0.10); err != nil {
+			return nil, err
+		}
+		sc.d.SetParallelism(workers)
+		c, err := clean.New(sc.m, 0.10, nil)
+		if err != nil {
+			return nil, err
+		}
+		c.SetParallelism(workers)
+		pin := sc.d.Pin()
+		stale := sc.v.Data()
+		sample := c.StaleSample()
+
+		var cleanDur, maintDur, cycleDur time.Duration
+		var cleanAllocs, maintAllocs, cycleAllocs uint64
+		var rowsTouched int64
+		for run := 0; run < 3; run++ {
+			var samples *clean.Samples
+			cDur, cAllocs, err := measureIt(func() error {
+				var err error
+				samples, err = c.CleanAt(pin, stale, sample)
+				if err != nil {
+					return err
+				}
+				_, err = c.CoerceSample(samples)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			var mStats view.MaintainStats
+			mDur, mAllocs, err := measureIt(func() error {
+				var err error
+				_, mStats, err = sc.m.MaintainAt(pin, stale)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			if run == 0 || cDur+mDur < cycleDur {
+				cleanDur, cleanAllocs = cDur, cAllocs
+				maintDur, maintAllocs = mDur, mAllocs
+				cycleDur, cycleAllocs = cDur+mDur, cAllocs+mAllocs
+				rowsTouched = samples.Stats.RowsTouched + mStats.RowsTouched
+			}
+		}
+		t.AddRow(workers, int64(cycleDur), cycleAllocs, int64(cleanDur), cleanAllocs,
+			int64(maintDur), maintAllocs, rowsTouched)
+	}
+	t.Notes = append(t.Notes,
+		"one op = CleanAt + CoerceSample + MaintainAt against one pinned version (MaintainNow's evaluation work)",
+		"ns columns are raw nanoseconds (machine-readable); divide by 1e6 for ms")
 	return t, nil
 }

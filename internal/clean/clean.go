@@ -44,12 +44,21 @@ type Cleaner struct {
 	hasher     hashing.Hasher
 	attrs      []string     // hashed attribute tuple (usually the view key)
 	cleanExpr  algebra.Node // C: reads Ŝ (and, if blocked, S) plus ∂D
+	// evalExpr is the execution form of cleanExpr (selections and
+	// projections fused into base scans); Expression() returns the
+	// unfused cleanExpr, which outlier eligibility and tests inspect.
+	evalExpr algebra.Node
 	// sample is Ŝ, materialized and published atomically: cleanings read
 	// whatever version is current, Adopt swaps in the next one, and a
 	// reader holding the old pointer stays consistent.
 	sample    atomic.Pointer[relation.Relation]
 	usesFullS bool // true when push-down could not reach the stale scan
 	parallel  int  // intra-operator workers for cleaning evaluations
+	// parallelSet records that SetParallelism was called: an explicit
+	// setting overrides a pinned context's parallelism in BOTH
+	// directions (a cleaner set serial stays serial under a parallel
+	// pin), where an unset cleaner inherits the context's.
+	parallelSet bool
 	// source, when set, supplies the consistent (pin, S, Ŝ) triple Clean
 	// evaluates against for sourceDB (see SetServingSource).
 	source   ServingSource
@@ -117,6 +126,7 @@ func NewOnAttrs(m *view.Maintainer, attrs []string, ratio float64, hasher hashin
 	}
 	c := &Cleaner{maintainer: m, ratio: ratio, hasher: hasher, attrs: append([]string(nil), attrs...)}
 	c.cleanExpr = c.substituteSampleScan(pushed)
+	c.evalExpr = algebra.PushDownScans(c.cleanExpr)
 	algebra.Walk(c.cleanExpr, func(n algebra.Node) {
 		if s, ok := n.(*algebra.ScanNode); ok && s.Name() == view.StaleName(v.Name()) {
 			c.usesFullS = true
@@ -182,7 +192,7 @@ func (c *Cleaner) Reset() error {
 		return err
 	}
 	ctx := algebra.NewContext(nil)
-	ctx.Parallelism = c.parallel
+	ctx.Parallelism = c.effectiveParallelism(0)
 	v.BindInto(ctx)
 	sample, err := hf.Eval(ctx)
 	if err != nil {
@@ -192,11 +202,24 @@ func (c *Cleaner) Reset() error {
 	return nil
 }
 
-// SetParallelism sets the intra-operator worker count for the contexts
-// the cleaner creates itself (sample rematerialization). Cleaning runs
-// against database-provided contexts additionally inherit the database's
-// own setting; the larger of the two wins.
-func (c *Cleaner) SetParallelism(n int) { c.parallel = n }
+// SetParallelism fixes the intra-operator worker count for every
+// evaluation the cleaner runs — sample rematerialization (Reset) and
+// cleaning (Clean/CleanAt). An explicit setting wins over the pinned
+// catalog version's own parallelism in both directions: a cleaner set to
+// n > 1 runs parallel under a serial pin, and a cleaner explicitly set
+// serial (n <= 1) runs serial under a parallel pin. Cleaners that never
+// call SetParallelism inherit the pin's setting unchanged.
+func (c *Cleaner) SetParallelism(n int) { c.parallel, c.parallelSet = n, true }
+
+// effectiveParallelism resolves the worker count for an evaluation whose
+// pinned context carries pinned workers: an explicit SetParallelism wins
+// in both directions, otherwise the pin's setting is inherited.
+func (c *Cleaner) effectiveParallelism(pinned int) int {
+	if c.parallelSet {
+		return c.parallel
+	}
+	return pinned
+}
 
 // Ratio returns the sampling ratio m.
 func (c *Cleaner) Ratio() float64 { return c.ratio }
@@ -265,14 +288,12 @@ func (c *Cleaner) Clean(d *db.Database) (*Samples, error) {
 func (c *Cleaner) CleanAt(pin *db.Version, viewData, sample *relation.Relation) (*Samples, error) {
 	v := c.maintainer.View()
 	ctx := pin.Context()
-	if c.parallel > ctx.Parallelism {
-		ctx.Parallelism = c.parallel
-	}
+	ctx.Parallelism = c.effectiveParallelism(ctx.Parallelism)
 	ctx.Bind(view.StaleName(v.Name()), viewData)
 	ctx.Bind(SampleName(v.Name()), sample)
 
 	start := time.Now()
-	fresh, err := c.cleanExpr.Eval(ctx)
+	fresh, err := c.evalClean(ctx, sample.Len())
 	if err != nil {
 		return nil, fmt.Errorf("clean: fresh sample of %s: %w", v.Name(), err)
 	}
@@ -284,6 +305,41 @@ func (c *Cleaner) CleanAt(pin *db.Version, viewData, sample *relation.Relation) 
 		Ratio: c.ratio,
 		Stats: Stats{RowsTouched: ctx.RowsTouched, Elapsed: elapsed},
 	}, nil
+}
+
+// evalClean consumes the cleaning expression's batched pipeline directly,
+// upserting rows into the fresh sample as they stream out — the sample is
+// the only relation the cleaning run materializes (interior operators fuse
+// or hand rows across breaker boundaries without building relations).
+func (c *Cleaner) evalClean(ctx *algebra.Context, sizeHint int) (*relation.Relation, error) {
+	schema := c.evalExpr.Schema()
+	out := relation.NewSized(schema, sizeHint)
+	it := algebra.NewIterator(c.evalExpr)
+	if err := it.Open(ctx); err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	keyed := schema.HasKey()
+	for {
+		b, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return out, nil
+		}
+		for _, row := range b.Rows() {
+			if keyed {
+				if _, err := out.Upsert(row); err != nil {
+					return nil, err
+				}
+			} else if err := out.Insert(row); err != nil {
+				return nil, err
+			}
+		}
+		ctx.RowsTouched += int64(b.Len())
+		b.ReleaseUnlessOwned()
+	}
 }
 
 // Adopt replaces the stored stale sample with a cleaned sample. Use this

@@ -1,0 +1,61 @@
+package clean
+
+import (
+	"testing"
+)
+
+// SetParallelism must win over the pinned context's parallelism in BOTH
+// directions: before this was fixed, the override only raised the worker
+// count, so a cleaner explicitly set serial still ran parallel under a
+// parallel pin.
+func TestSetParallelismExplicitWinsBothWays(t *testing.T) {
+	d, _, m := buildScenario(t, 7, 40, 400, 60)
+	c, err := New(m, 0.3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		set    bool
+		n      int
+		pinned int
+		want   int
+	}{
+		{name: "unset-inherits-serial", set: false, pinned: 0, want: 0},
+		{name: "unset-inherits-parallel", set: false, pinned: 4, want: 4},
+		{name: "explicit-raises", set: true, n: 8, pinned: 1, want: 8},
+		{name: "explicit-serial-wins-under-parallel-pin", set: true, n: 1, pinned: 4, want: 1},
+		{name: "explicit-zero-wins-under-parallel-pin", set: true, n: 0, pinned: 4, want: 0},
+		{name: "explicit-matches-pin", set: true, n: 4, pinned: 4, want: 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c.parallel, c.parallelSet = 0, false
+			if tc.set {
+				c.SetParallelism(tc.n)
+			}
+			if got := c.effectiveParallelism(tc.pinned); got != tc.want {
+				t.Errorf("effectiveParallelism(%d) = %d, want %d (set=%v n=%d)",
+					tc.pinned, got, tc.want, tc.set, tc.n)
+			}
+		})
+	}
+
+	// End to end: an explicitly serial cleaner under a parallel database
+	// produces exactly the same samples as a parallel one (determinism),
+	// and both CleanAt calls succeed with the overridden setting.
+	d.SetParallelism(4)
+	c.SetParallelism(1)
+	serial, err := c.Clean(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetParallelism(4)
+	par, err := c.Clean(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.Fresh.Equal(par.Fresh) {
+		t.Fatal("explicit serial and parallel cleanings diverged")
+	}
+}

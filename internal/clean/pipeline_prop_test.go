@@ -1,0 +1,250 @@
+package clean_test
+
+// Property/fuzz test for the batched execution pipeline: over the Fig. 4a
+// join-view workload (random staged delta batches, both maintenance
+// strategies), the pipelined Node.Eval must be row-for-row identical to
+// the materialized evaluation (algebra.EvalMaterialized) — for the real
+// maintenance and cleaning expressions AND for randomly composed plans
+// over the same bound relations, serially and with 4 workers.
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/sampleclean/svc/internal/algebra"
+	"github.com/sampleclean/svc/internal/clean"
+	"github.com/sampleclean/svc/internal/db"
+	"github.com/sampleclean/svc/internal/expr"
+	"github.com/sampleclean/svc/internal/relation"
+	"github.com/sampleclean/svc/internal/tpcd"
+	"github.com/sampleclean/svc/internal/view"
+)
+
+// planGen composes random plans over a set of named relations, tracking
+// schemas so every generated plan is well formed.
+type planGen struct {
+	rng   *rand.Rand
+	rels  map[string]relation.Schema
+	names []string
+	uniq  int
+}
+
+func newPlanGen(rng *rand.Rand, pin *db.Version) *planGen {
+	g := &planGen{rng: rng, rels: map[string]relation.Schema{}}
+	for _, name := range pin.Tables() {
+		g.add(name, pin.Base(name).Schema())
+		g.add(db.InsOf(name), pin.Insertions(name).Schema())
+		g.add(db.DelOf(name), pin.Deletions(name).Schema())
+	}
+	return g
+}
+
+func (g *planGen) add(name string, sch relation.Schema) {
+	g.rels[name] = sch
+	g.names = append(g.names, name)
+}
+
+// numericCols returns the indexes of int/float columns.
+func numericCols(sch relation.Schema) []int {
+	var out []int
+	for i := 0; i < sch.NumCols(); i++ {
+		k := sch.Col(i).Type
+		if k == relation.KindInt || k == relation.KindFloat {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (g *planGen) scan() algebra.Node {
+	name := g.names[g.rng.Intn(len(g.names))]
+	return algebra.Scan(name, g.rels[name])
+}
+
+func (g *planGen) gen(depth int) algebra.Node {
+	if depth <= 0 {
+		return g.scan()
+	}
+	child := g.gen(depth - 1)
+	sch := child.Schema()
+	switch g.rng.Intn(6) {
+	case 0: // select on a random numeric column
+		nums := numericCols(sch)
+		if len(nums) == 0 {
+			return child
+		}
+		col := sch.Col(nums[g.rng.Intn(len(nums))]).Name
+		lit := expr.IntLit(int64(g.rng.Intn(2000)))
+		preds := []expr.Expr{
+			expr.Gt(expr.Col(col), lit), expr.Lt(expr.Col(col), lit), expr.Ne(expr.Col(col), lit),
+		}
+		return algebra.MustSelect(child, preds[g.rng.Intn(len(preds))])
+	case 1: // project a random subset including the key
+		keep := map[string]bool{}
+		for _, k := range sch.KeyNames() {
+			keep[k] = true
+		}
+		var names []string
+		for i := 0; i < sch.NumCols(); i++ {
+			n := sch.Col(i).Name
+			if keep[n] || g.rng.Intn(2) == 0 {
+				names = append(names, n)
+			}
+		}
+		if len(names) == 0 {
+			names = append(names, sch.Col(0).Name)
+		}
+		return algebra.MustProject(child, algebra.OutCols(names...))
+	case 2: // hash filter on the key (or first column when keyless)
+		attrs := sch.KeyNames()
+		if len(attrs) == 0 {
+			attrs = []string{sch.Col(0).Name}
+		}
+		ratio := 0.2 + 0.6*g.rng.Float64()
+		return algebra.MustHashFilter(child, attrs, ratio, nil)
+	case 3: // set op over two selections of the same subtree
+		nums := numericCols(sch)
+		if len(nums) == 0 {
+			return child
+		}
+		col := sch.Col(nums[g.rng.Intn(len(nums))]).Name
+		l := algebra.MustSelect(child, expr.Gt(expr.Col(col), expr.IntLit(int64(g.rng.Intn(1000)))))
+		r := algebra.MustSelect(child, expr.Lt(expr.Col(col), expr.IntLit(int64(g.rng.Intn(3000)))))
+		var n algebra.Node
+		var err error
+		switch g.rng.Intn(3) {
+		case 0:
+			n, err = algebra.Union(l, r)
+		case 1:
+			n, err = algebra.Intersect(l, r)
+		default:
+			n, err = algebra.Difference(l, r)
+		}
+		if err != nil {
+			return child
+		}
+		return n
+	case 4: // group-by over one column, uniquely named aggregates
+		if sch.NumCols() < 2 {
+			return child
+		}
+		g.uniq++
+		suffix := string(rune('0' + g.uniq%10))
+		gcol := sch.Col(g.rng.Intn(sch.NumCols())).Name
+		aggs := []algebra.AggSpec{algebra.CountAs("n·" + suffix)}
+		if nums := numericCols(sch); len(nums) > 0 {
+			aggs = append(aggs, algebra.SumAs(expr.Col(sch.Col(nums[g.rng.Intn(len(nums))]).Name), "s·"+suffix))
+		}
+		a, err := algebra.GroupBy(child, []string{gcol}, aggs...)
+		if err != nil {
+			return child
+		}
+		return a
+	default:
+		return child
+	}
+}
+
+// requireSameRows checks row-for-row identity.
+func requireSameRows(t *testing.T, label string, ref, got *relation.Relation) {
+	t.Helper()
+	if !got.Schema().Equal(ref.Schema()) {
+		t.Fatalf("%s: schema [%s] != [%s]", label, got.Schema(), ref.Schema())
+	}
+	if got.Len() != ref.Len() {
+		t.Fatalf("%s: %d rows != %d rows", label, got.Len(), ref.Len())
+	}
+	for i := 0; i < ref.Len(); i++ {
+		if !got.Row(i).Equal(ref.Row(i)) {
+			t.Fatalf("%s: row %d differs:\n got %v\nwant %v", label, i, got.Row(i), ref.Row(i))
+		}
+	}
+}
+
+// pipeTrial builds the Fig. 4a scenario under one maintenance strategy,
+// stages a random delta batch, and checks pipelined ≡ materialized for
+// the maintenance expression, the cleaning expression, and a handful of
+// random plans — serial and 4-way parallel.
+func pipeTrial(t *testing.T, seed int64, kind view.StrategyKind) {
+	t.Helper()
+	g := tpcd.NewGenerator(tpcd.Config{
+		Orders: 120, MaxLines: 3, Customers: 30, Suppliers: 8, Parts: 25,
+		Z: 2, Days: 90, Seed: seed,
+	})
+	d, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := view.Materialize(d, tpcd.JoinView())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := view.NewMaintainerWithStrategy(v, kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := clean.New(m, 0.3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stageRandomBatch(t, g, d, seed)
+	pin := d.Pin()
+
+	mkCtx := func(par int) *algebra.Context {
+		ctx := pin.Context()
+		ctx.Parallelism = par
+		ctx.Bind(view.StaleName(v.Name()), v.Data())
+		ctx.Bind(clean.SampleName(v.Name()), c.StaleSample())
+		return ctx
+	}
+
+	rng := rand.New(rand.NewSource(seed*31 + int64(kind)))
+	pg := newPlanGen(rng, pin)
+	pg.add(view.StaleName(v.Name()), v.Data().Schema())
+	pg.add(clean.SampleName(v.Name()), c.StaleSample().Schema())
+
+	plans := map[string]algebra.Node{
+		"maintenance":       m.Expression(),
+		"maintenance-fused": algebra.PushDownScans(m.Expression()),
+		"cleaning":          c.Expression(),
+		"cleaning-fused":    algebra.PushDownScans(c.Expression()),
+	}
+	for i := 0; i < 8; i++ {
+		plans[string(rune('a'+i))] = pg.gen(1 + rng.Intn(3))
+	}
+
+	for name, plan := range plans {
+		ref, err := algebra.EvalMaterialized(plan, mkCtx(0))
+		if err != nil {
+			t.Fatalf("seed %d %v %s: materialized eval: %v\n%s", seed, kind, name, err, algebra.Format(plan))
+		}
+		for _, par := range []int{0, 4} {
+			got, err := plan.Eval(mkCtx(par))
+			if err != nil {
+				t.Fatalf("seed %d %v %s par=%d: pipelined eval: %v\n%s", seed, kind, name, par, err, algebra.Format(plan))
+			}
+			requireSameRows(t, name, ref, got)
+		}
+	}
+}
+
+// TestPipelineEquivalenceProperty runs the property over a spread of
+// seeds for both maintenance strategies.
+func TestPipelineEquivalenceProperty(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		pipeTrial(t, seed, view.ChangeTable)
+		pipeTrial(t, seed, view.Recompute)
+	}
+}
+
+// FuzzPipelineEquivalence lets the fuzzer search for a delta batch and
+// plan shape where the pipeline diverges from the materialized engine.
+func FuzzPipelineEquivalence(f *testing.F) {
+	for _, seed := range []int64{1, 9, 77, 4242} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		pipeTrial(t, seed, view.ChangeTable)
+		pipeTrial(t, seed, view.Recompute)
+	})
+}

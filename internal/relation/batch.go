@@ -1,0 +1,139 @@
+package relation
+
+import "sync"
+
+// BatchCap is the fixed row capacity of a pipeline batch. 1024 rows keeps a
+// batch's row headers (and one operator's worth of output values) well
+// inside the L2 cache while amortizing per-batch overhead over enough rows
+// that the iterator protocol is invisible in profiles.
+const BatchCap = 1024
+
+// Batch is the unit of data flow in the batched execution pipeline
+// (internal/algebra): a fixed-capacity chunk of rows pulled from operator
+// to operator. Producers either append row *headers* that alias storage
+// owned elsewhere (a scan aliasing its relation's rows) or build fresh
+// rows inside the batch's value arena (a projection computing new rows).
+// The Owned flag records which: rows of an owned batch live in the arena
+// and die with it, rows of an unowned batch outlive the batch.
+//
+// Ownership protocol (see DESIGN.md "Batch pipeline execution"):
+//
+//   - the consumer that pulled a batch owns it and must either pass it
+//     downstream, Release it, or drop it;
+//   - Release recycles the batch (and its arena) through a pool — callers
+//     must not retain any Row of an *owned* batch past Release;
+//   - a consumer retaining row headers from an owned batch simply skips
+//     Release (ReleaseUnlessOwned) and lets the GC keep the arena alive.
+//
+// A Batch is not safe for concurrent use; pipelines hand each batch to one
+// goroutine at a time.
+type Batch struct {
+	rows   []Row
+	arena  []Value
+	owned  bool
+	pinned bool
+}
+
+// batchPool recycles released batches. Steady-state pipelines allocate no
+// batches at all: every GetBatch after warm-up reuses a released one,
+// including its grown rows and arena capacity.
+var batchPool = sync.Pool{New: func() any { return new(Batch) }}
+
+// GetBatch returns an empty batch from the pool.
+func GetBatch() *Batch {
+	b := batchPool.Get().(*Batch)
+	b.owned = false
+	b.pinned = false
+	return b
+}
+
+// Release resets the batch and returns it to the pool. The caller must not
+// use the batch, or any arena-backed row obtained from it, afterwards.
+// Releasing a pinned batch is a no-op: an upstream operator retained rows
+// from it and the GC, not the pool, reclaims it.
+func (b *Batch) Release() {
+	if b.pinned {
+		return
+	}
+	b.rows = b.rows[:0]
+	b.arena = b.arena[:0]
+	b.owned = false
+	batchPool.Put(b)
+}
+
+// Pin marks the batch as un-recyclable: a later Release becomes a no-op.
+// An operator that retains row headers from a batch it must also pass
+// downstream (the keyed union recording its left input) pins it so the
+// downstream consumer's Release cannot recycle the retained rows' arena.
+func (b *Batch) Pin() { b.pinned = true }
+
+// ReleaseUnlessOwned releases the batch only when its rows alias external
+// storage — the correct call for consumers that retain row headers (a
+// drain collecting rows, a set operator recording its left input). Owned
+// batches are dropped instead: the retained rows keep the arena alive and
+// the GC reclaims it when they go.
+func (b *Batch) ReleaseUnlessOwned() {
+	if !b.owned {
+		b.Release()
+	}
+}
+
+// Owned reports whether the batch's rows are backed by its own arena.
+func (b *Batch) Owned() bool { return b.owned }
+
+// Len reports the number of rows in the batch.
+func (b *Batch) Len() int { return len(b.rows) }
+
+// Full reports whether the batch reached BatchCap rows.
+func (b *Batch) Full() bool { return len(b.rows) >= BatchCap }
+
+// Rows returns the batch's row slice. Callers may reorder or truncate it
+// via Truncate (in-place filtering) but must not grow it directly.
+func (b *Batch) Rows() []Row { return b.rows }
+
+// Row returns the i-th row.
+func (b *Batch) Row(i int) Row { return b.rows[i] }
+
+// Append adds a row header that aliases storage owned elsewhere. It must
+// not be mixed with Alloc in the same batch (the batch would be partially
+// arena-backed and the Owned flag could not be truthful).
+func (b *Batch) Append(r Row) { b.rows = append(b.rows, r) }
+
+// AppendRows appends a slice of row headers (see Append).
+func (b *Batch) AppendRows(rows []Row) { b.rows = append(b.rows, rows...) }
+
+// Truncate keeps the first n rows — the tail of an in-place filter pass.
+func (b *Batch) Truncate(n int) { b.rows = b.rows[:n] }
+
+// Alloc appends and returns a fresh row of the given width, backed by the
+// batch arena, and marks the batch owned. The row's values are
+// UNINITIALIZED (possibly stale from a previous pool cycle) — the caller
+// must assign every slot.
+//
+// The arena grows in slabs: when the current slab is full a larger one is
+// allocated WITHOUT copying, so rows already handed out keep aliasing the
+// old slab (rows are append-only once returned). Slab growth doubles up to
+// one BatchCap-rows slab, which the pool then reuses across batches; small
+// batches that are retained rather than released only ever pay for a small
+// slab.
+func (b *Batch) Alloc(width int) Row {
+	b.owned = true
+	if len(b.arena)+width > cap(b.arena) {
+		need := 2 * cap(b.arena)
+		if min := 16 * width; need < min {
+			need = min
+		}
+		if max := BatchCap * width; need > max {
+			need = max
+		}
+		if need < width {
+			need = width
+		}
+		b.arena = make([]Value, 0, need)
+	}
+	start := len(b.arena)
+	b.arena = b.arena[: start+width : cap(b.arena)]
+	row := Row(b.arena[start : start+width : start+width])
+	b.rows = append(b.rows, row)
+	return row
+}

@@ -1,0 +1,104 @@
+package relation
+
+import "testing"
+
+func TestBatchAppendAndTruncate(t *testing.T) {
+	b := GetBatch()
+	defer b.Release()
+	r1 := Row{Int(1), String("a")}
+	r2 := Row{Int(2), String("b")}
+	b.Append(r1)
+	b.AppendRows([]Row{r2})
+	if b.Len() != 2 || b.Owned() {
+		t.Fatalf("len=%d owned=%v", b.Len(), b.Owned())
+	}
+	if !b.Row(0).Equal(r1) || !b.Row(1).Equal(r2) {
+		t.Fatal("rows do not round-trip")
+	}
+	b.Truncate(1)
+	if b.Len() != 1 || !b.Row(0).Equal(r1) {
+		t.Fatal("truncate should keep the prefix")
+	}
+}
+
+func TestBatchAllocOwnership(t *testing.T) {
+	b := GetBatch()
+	row := b.Alloc(3)
+	row[0], row[1], row[2] = Int(7), Float(1.5), String("x")
+	if !b.Owned() {
+		t.Fatal("Alloc must mark the batch owned")
+	}
+	if got := b.Row(0); !got.Equal(Row{Int(7), Float(1.5), String("x")}) {
+		t.Fatalf("arena row = %v", got)
+	}
+	// Alloc rows are not zeroed; callers fill every slot. Fill a second
+	// row fully and check the first is untouched (slab stability).
+	row2 := b.Alloc(3)
+	row2[0], row2[1], row2[2] = Int(8), Int(9), Int(10)
+	if !b.Row(0).Equal(Row{Int(7), Float(1.5), String("x")}) {
+		t.Fatal("second Alloc corrupted the first row")
+	}
+	b.Release()
+}
+
+// Rows handed out before a slab grows must keep their values: growth
+// allocates a new slab without copying or moving the old one.
+func TestBatchAllocSlabGrowthKeepsRows(t *testing.T) {
+	b := GetBatch()
+	defer b.Release()
+	const width = 5
+	var first Row
+	for i := 0; i < BatchCap; i++ {
+		r := b.Alloc(width)
+		for j := range r {
+			r[j] = Int(int64(i*width + j))
+		}
+		if i == 0 {
+			first = r
+		}
+	}
+	for j := 0; j < width; j++ {
+		if first[j].AsInt() != int64(j) {
+			t.Fatalf("row 0 slot %d = %v after slab growth", j, first[j])
+		}
+	}
+	for j := 0; j < width; j++ {
+		want := int64((BatchCap-1)*width + j)
+		if got := b.Row(BatchCap - 1)[j].AsInt(); got != want {
+			t.Fatalf("last row slot %d = %d, want %d", j, got, want)
+		}
+	}
+}
+
+func TestBatchPinDisablesRelease(t *testing.T) {
+	b := GetBatch()
+	r := b.Alloc(1)
+	r[0] = Int(42)
+	b.Pin()
+	b.Release() // must be a no-op
+	if b.Len() != 1 || b.Row(0)[0].AsInt() != 42 {
+		t.Fatal("Release recycled a pinned batch")
+	}
+	// ReleaseUnlessOwned on an owned batch is also a no-op.
+	b2 := GetBatch()
+	r2 := b2.Alloc(1)
+	r2[0] = Int(7)
+	b2.ReleaseUnlessOwned()
+	if b2.Len() != 1 || b2.Row(0)[0].AsInt() != 7 {
+		t.Fatal("ReleaseUnlessOwned recycled an owned batch")
+	}
+}
+
+// A released batch must come back from the pool empty and unowned even if
+// it previously carried arena rows.
+func TestBatchPoolRecycling(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		b := GetBatch()
+		if b.Len() != 0 || b.Owned() {
+			t.Fatalf("pool handed out a dirty batch: len=%d owned=%v", b.Len(), b.Owned())
+		}
+		r := b.Alloc(4)
+		r[0], r[1], r[2], r[3] = Int(1), Int(2), Int(3), Int(4)
+		b.Release()
+	}
+}

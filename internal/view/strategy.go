@@ -39,6 +39,16 @@ type Maintainer struct {
 	view *View
 	kind StrategyKind
 	expr algebra.Node
+	// evalExpr is the execution form of expr: the same rows, with
+	// selections/projections fused into base scans (PushDownScans).
+	// Expression() keeps returning expr — the cleaning rewriters
+	// (PushDownHash, the sample-scan substitution) pattern-match the
+	// unfused operator shapes.
+	evalExpr algebra.Node
+}
+
+func newMaintainer(v *View, kind StrategyKind, expr algebra.Node) *Maintainer {
+	return &Maintainer{view: v, kind: kind, expr: expr, evalExpr: algebra.PushDownScans(expr)}
 }
 
 // NewMaintainer builds the maintenance expression for the view, choosing
@@ -46,13 +56,13 @@ type Maintainer struct {
 // falling back to recompute otherwise.
 func NewMaintainer(v *View) (*Maintainer, error) {
 	if m, err := buildChangeTable(v); err == nil {
-		return &Maintainer{view: v, kind: ChangeTable, expr: m}, nil
+		return newMaintainer(v, ChangeTable, m), nil
 	}
 	m, err := buildRecompute(v)
 	if err != nil {
 		return nil, fmt.Errorf("view: %s: no applicable maintenance strategy: %w", v.Name(), err)
 	}
-	return &Maintainer{view: v, kind: Recompute, expr: m}, nil
+	return newMaintainer(v, Recompute, m), nil
 }
 
 // NewMaintainerWithStrategy builds the maintenance expression for the
@@ -75,7 +85,7 @@ func NewMaintainerWithStrategy(v *View, kind StrategyKind) (*Maintainer, error) 
 	if err != nil {
 		return nil, fmt.Errorf("view: %s: %s strategy not applicable: %w", v.Name(), kind, err)
 	}
-	return &Maintainer{view: v, kind: kind, expr: m}, nil
+	return newMaintainer(v, kind, m), nil
 }
 
 // Kind returns the chosen strategy.
@@ -117,18 +127,60 @@ func (m *Maintainer) Maintain(d *db.Database) (MaintainStats, error) {
 // the whole evaluation reads only immutable inputs, so it runs while
 // queries are served and writers stage updates; the caller publishes the
 // result (View.Replace, db.ApplyVersion) when ready.
+//
+// Evaluation consumes the batched pipeline directly: rows stream out of
+// the maintenance expression and are coerced into the view's declared
+// schema as they arrive, so no intermediate relation exists between the
+// expression's operators and the maintained result.
 func (m *Maintainer) MaintainAt(pin *db.Version, stale *relation.Relation) (*relation.Relation, MaintainStats, error) {
 	ctx := pin.Context()
 	ctx.Bind(StaleName(m.view.Name()), stale)
-	out, err := m.expr.Eval(ctx)
-	if err != nil {
+	fail := func(err error) (*relation.Relation, MaintainStats, error) {
 		return nil, MaintainStats{}, fmt.Errorf("view: maintain %s: %w", m.view.Name(), err)
 	}
-	coerced, err := coerce(m.view.Schema(), out.Rows())
-	if err != nil {
-		return nil, MaintainStats{}, fmt.Errorf("view: maintain %s: %w", m.view.Name(), err)
+	target := m.view.Schema()
+	out := relation.NewSized(target, stale.Len())
+	it := algebra.NewIterator(m.evalExpr)
+	if err := it.Open(ctx); err != nil {
+		return fail(err)
 	}
-	return coerced, MaintainStats{RowsTouched: ctx.RowsTouched, OutputRows: coerced.Len()}, nil
+	defer it.Close()
+	for {
+		b, err := it.Next()
+		if err != nil {
+			return fail(err)
+		}
+		if b == nil {
+			break
+		}
+		// One slab per batch: the coerced rows are retained by the output
+		// relation, so slicing them out of a shared slab turns N row
+		// allocations into one.
+		width := target.NumCols()
+		slab := make([]relation.Value, len(b.Rows())*width)
+		for r, row := range b.Rows() {
+			if len(row) != width {
+				return fail(fmt.Errorf("row arity %d != view arity %d", len(row), width))
+			}
+			conv := relation.Row(slab[r*width : (r+1)*width : (r+1)*width])
+			for i, val := range row {
+				conv[i] = coerceValue(target.Col(i).Type, val)
+			}
+			// Upsert, not Insert: the pre-pipeline evaluation deduplicated
+			// by key at the expression root before coercing; streaming
+			// keeps that semantics at the single materialization point.
+			if target.HasKey() {
+				if _, err := out.Upsert(conv); err != nil {
+					return fail(err)
+				}
+			} else if err := out.Insert(conv); err != nil {
+				return fail(err)
+			}
+		}
+		ctx.RowsTouched += int64(b.Len())
+		b.Release()
+	}
+	return out, MaintainStats{RowsTouched: ctx.RowsTouched, OutputRows: out.Len()}, nil
 }
 
 // ---------------------------------------------------------------- recompute

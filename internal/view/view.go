@@ -75,7 +75,9 @@ func Materialize(d *db.Database, def Definition) (*View, error) {
 	if err := registerJoinIndexes(d, def.Plan); err != nil {
 		return nil, fmt.Errorf("view: %s: %w", def.Name, err)
 	}
-	out, err := def.Plan.Eval(d.Context())
+	// Evaluate a scan-fused copy of the plan; def.Plan itself stays
+	// unfused for the strategy and push-down rewriters.
+	out, err := algebra.PushDownScans(def.Plan).Eval(d.Context())
 	if err != nil {
 		return nil, fmt.Errorf("view: materialize %s: %w", def.Name, err)
 	}
@@ -156,24 +158,10 @@ func (v *View) Replace(data *relation.Relation) error {
 // under StaleName.
 func (v *View) BindInto(ctx *algebra.Context) { ctx.Bind(StaleName(v.def.Name), v.Data()) }
 
-// coerce copies rows into a fresh relation with the target schema,
-// promoting numeric kinds where the schema demands it. Maintenance
-// expressions produce untyped computed columns; the view's declared schema
-// restores the types.
-func coerce(target relation.Schema, rows []relation.Row) (*relation.Relation, error) {
-	out := relation.New(target)
-	for _, row := range rows {
-		conv := make(relation.Row, len(row))
-		for i, val := range row {
-			conv[i] = coerceValue(target.Col(i).Type, val)
-		}
-		if err := out.Insert(conv); err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
-}
-
+// coerceValue promotes a value's numeric kind where the target schema
+// demands it. Maintenance expressions produce untyped computed columns;
+// the view's declared schema restores the types (MaintainAt applies this
+// per value as rows stream out of the pipeline).
 func coerceValue(want relation.Kind, v relation.Value) relation.Value {
 	if v.IsNull() {
 		return v

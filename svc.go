@@ -266,7 +266,13 @@ func New(d *Database, def ViewDefinition, opts ...Option) (*StaleView, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.SetParallelism(cfg.parallel)
+	if cfg.parallel > 0 {
+		// An explicit SetParallelism pins the cleaner in both directions
+		// (serial stays serial under a parallel pin), so only forward a
+		// worker count the caller actually chose; otherwise the cleaner
+		// inherits each pinned version's parallelism.
+		c.SetParallelism(cfg.parallel)
+	}
 	sv := &StaleView{db: d, view: v, maint: m, cleaner: c, conf: cfg.confidence, mode: cfg.mode,
 		outSpec: cfg.outliers, key: servingKey(def.Name)}
 	if cfg.outliers != nil {
