@@ -1,0 +1,152 @@
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/sampleclean/svc/server/api"
+)
+
+// Client talks to one svcd server. It is a thin wrapper over net/http and
+// the api wire types; methods are safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures New.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// New creates a client for the server at baseURL (e.g.
+// "http://127.0.0.1:7781"; a bare host:port is accepted too).
+func New(baseURL string, opts ...Option) *Client {
+	if !strings.Contains(baseURL, "://") {
+		baseURL = "http://" + baseURL
+	}
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: &http.Client{}}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx server response.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("svcd: %d: %s", e.StatusCode, e.Message)
+}
+
+// IsOverloaded reports whether err is the admission-control rejection
+// (HTTP 503): the server had MaxInFlight queries running. Retry later.
+func IsOverloaded(err error) bool {
+	ae, ok := err.(*APIError)
+	return ok && ae.StatusCode == http.StatusServiceUnavailable
+}
+
+// IsDeadlineExceeded reports whether err is the per-query deadline expiry
+// (HTTP 504). The query kept running server-side; only the response was
+// abandoned.
+func IsDeadlineExceeded(err error) bool {
+	ae, ok := err.(*APIError)
+	return ok && ae.StatusCode == http.StatusGatewayTimeout
+}
+
+// Query sends one svcql statement and returns the server's answer: an
+// estimate with confidence interval and staleness metadata for aggregate
+// SELECTs against a served view, or rows for base-table SELECTs.
+func (c *Client) Query(sql string) (*api.QueryResponse, error) {
+	return c.QueryRequest(&api.QueryRequest{SQL: sql})
+}
+
+// QueryDeadline is Query with an explicit per-query deadline (the server
+// caps it at its configured maximum).
+func (c *Client) QueryDeadline(sql string, deadline time.Duration) (*api.QueryResponse, error) {
+	return c.QueryRequest(&api.QueryRequest{SQL: sql, DeadlineMillis: deadline.Milliseconds()})
+}
+
+// QueryRequest sends a fully specified query request.
+func (c *Client) QueryRequest(req *api.QueryRequest) (*api.QueryResponse, error) {
+	var resp api.QueryResponse
+	if err := c.post("/query", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// CreateView asks the server to materialize and serve a svcql CREATE VIEW
+// statement. ratio ≤ 0 uses the server's default sampling ratio.
+func (c *Client) CreateView(sql string, ratio float64) (*api.CreateViewResponse, error) {
+	var resp api.CreateViewResponse
+	if err := c.post("/views", &api.CreateViewRequest{SQL: sql, SamplingRatio: ratio}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Stats fetches the server's serving and refresh counters.
+func (c *Client) Stats() (*api.StatsResponse, error) {
+	var resp api.StatsResponse
+	if err := c.get("/stats", &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Healthy reports nil when the server answers its health check.
+func (c *Client) Healthy() error {
+	res, err := c.hc.Get(c.base + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return &APIError{StatusCode: res.StatusCode, Message: "health check failed"}
+	}
+	return nil
+}
+
+func (c *Client) post(path string, body, out any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	res, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	return decode(res, out)
+}
+
+func (c *Client) get(path string, out any) error {
+	res, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	return decode(res, out)
+}
+
+func decode(res *http.Response, out any) error {
+	defer res.Body.Close()
+	if res.StatusCode/100 != 2 {
+		var apiErr api.ErrorResponse
+		raw, _ := io.ReadAll(io.LimitReader(res.Body, 1<<16))
+		if json.Unmarshal(raw, &apiErr) != nil || apiErr.Error == "" {
+			apiErr.Error = strings.TrimSpace(string(raw))
+		}
+		return &APIError{StatusCode: res.StatusCode, Message: apiErr.Error}
+	}
+	return json.NewDecoder(res.Body).Decode(out)
+}

@@ -1,0 +1,12 @@
+// Package client is the thin Go client for svcd, the svcql-over-HTTP
+// serving daemon (package server): Query sends svcql text and returns the
+// decoded api.QueryResponse (estimate + confidence interval + staleness
+// metadata, per-group estimates, or pipeline rows), CreateView
+// materializes views over the wire, and Stats reads the server's serving
+// counters. Admission-control rejections and per-query deadline expiries
+// surface as typed errors (IsOverloaded, IsDeadlineExceeded).
+//
+// Concurrency contract: a Client is immutable after New and safe for
+// unrestricted concurrent use; it delegates connection management to its
+// *http.Client.
+package client

@@ -1,0 +1,202 @@
+// Command svcd is the SVC serving daemon: it loads a synthetic dataset,
+// materializes views from svcql text, and serves svcql over HTTP/JSON
+// while a background refresher keeps folding staged updates in.
+//
+// Usage:
+//
+//	svcd                                # videolog dataset on 127.0.0.1:7781
+//	svcd -dataset tpcd -scale 0.5
+//	svcd -addr :8080 -churn 500        # stage ~500 updates/sec while serving
+//
+// Then:
+//
+//	curl -s localhost:7781/query -d '{"sql":"SELECT SUM(visitCount) FROM visitView"}'
+//	curl -s localhost:7781/stats
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight queries
+// drain before the background refreshers stop.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"math/rand"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	svc "github.com/sampleclean/svc"
+	"github.com/sampleclean/svc/internal/tpcd"
+	"github.com/sampleclean/svc/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7781", "listen address")
+		dataset  = flag.String("dataset", "videolog", "dataset to load and serve: videolog | tpcd")
+		scale    = flag.Float64("scale", 1.0, "dataset scale factor")
+		refresh  = flag.Duration("refresh", 50*time.Millisecond, "background refresh interval")
+		inflight = flag.Int("max-inflight", 64, "admission control: max concurrently executing queries")
+		deadline = flag.Duration("deadline", 5*time.Second, "default per-query deadline")
+		maxRows  = flag.Int("max-rows", 1000, "row cap for base-table SELECT responses")
+		parallel = flag.Int("parallel", 0, "intra-operator workers (0 = serial)")
+		ratio    = flag.Float64("ratio", 0.1, "SVC sampling ratio for served views")
+		churn    = flag.Int("churn", 0, "staged updates per second while serving (0 = none)")
+	)
+	flag.Parse()
+
+	cfg := server.Config{
+		Addr:            *addr,
+		MaxInFlight:     *inflight,
+		DefaultDeadline: *deadline,
+		MaxRows:         *maxRows,
+		SamplingRatio:   *ratio,
+		Refresh:         *refresh,
+	}
+
+	var (
+		d        *svc.Database
+		viewSQL  []string
+		churnFn  func() error
+		examples []string
+	)
+	switch *dataset {
+	case "videolog":
+		d, viewSQL, churnFn = videolog(*scale)
+		examples = []string{
+			`{"sql":"SELECT SUM(visitCount) FROM visitView"}`,
+			`{"sql":"SELECT ownerId, SUM(visitCount) FROM visitView GROUP BY ownerId"}`,
+			`{"sql":"SELECT videoId, duration FROM Video WHERE duration > 2.5"}`,
+		}
+	case "tpcd":
+		d, viewSQL, churnFn = tpcdDataset(*scale)
+		examples = []string{
+			`{"sql":"SELECT SUM(l_extendedprice) FROM joinView WHERE o_orderdate < 180"}`,
+			`{"sql":"SELECT o_orderpriority, COUNT(1) FROM joinView GROUP BY o_orderpriority"}`,
+		}
+	default:
+		log.Fatalf("unknown -dataset %q (want videolog or tpcd)", *dataset)
+	}
+	if *parallel > 0 {
+		d.SetParallelism(*parallel)
+	}
+
+	srv := server.New(d, cfg)
+	for _, sql := range viewSQL {
+		sv, err := srv.CreateView(sql)
+		if err != nil {
+			log.Fatalf("create view: %v", err)
+		}
+		log.Printf("serving view %s (%d rows, %s maintenance)",
+			sv.View().Name(), sv.View().Data().Len(), sv.Maintainer().Kind())
+	}
+	if err := srv.Start(); err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("svcd listening on http://%s (dataset=%s scale=%g refresh=%v)",
+		srv.Addr(), *dataset, *scale, *refresh)
+	for _, ex := range examples {
+		log.Printf("  try: curl -s %s/query -d '%s'", srv.Addr(), ex)
+	}
+
+	stopChurn := make(chan struct{})
+	churnDone := make(chan struct{})
+	go func() {
+		defer close(churnDone)
+		if *churn <= 0 || churnFn == nil {
+			return
+		}
+		tick := time.NewTicker(time.Second / time.Duration(*churn))
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopChurn:
+				return
+			case <-tick.C:
+				if err := churnFn(); err != nil {
+					log.Printf("churn: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down: draining in-flight queries, then stopping refreshers")
+	close(stopChurn)
+	<-churnDone
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	log.Printf("bye")
+}
+
+// videolog builds the paper's running example: a Video catalog, a visit
+// Log, and the visit-count view — defined in svcql, so the whole serving
+// path exercises the dialect.
+func videolog(scale float64) (*svc.Database, []string, func() error) {
+	videos := scaled(scale, 400)
+	visits := scaled(scale, 30_000)
+	rng := rand.New(rand.NewSource(1))
+	d := svc.NewDatabase()
+	video := d.MustCreate("Video", svc.NewSchema([]svc.Column{
+		svc.Col("videoId", svc.KindInt),
+		svc.Col("ownerId", svc.KindInt),
+		svc.Col("duration", svc.KindFloat),
+	}, "videoId"))
+	for i := 0; i < videos; i++ {
+		video.MustInsert(svc.Row{svc.Int(int64(i)), svc.Int(rng.Int63n(50)), svc.Float(rng.Float64() * 3)})
+	}
+	logT := d.MustCreate("Log", svc.NewSchema([]svc.Column{
+		svc.Col("sessionId", svc.KindInt),
+		svc.Col("videoId", svc.KindInt),
+	}, "sessionId"))
+	for i := 0; i < visits; i++ {
+		logT.MustInsert(svc.Row{svc.Int(int64(i)), svc.Int(rng.Int63n(int64(videos)))})
+	}
+	next := int64(visits + 1_000_000)
+	churn := func() error {
+		next++
+		return logT.StageInsert(svc.Row{svc.Int(next), svc.Int(next % int64(videos))})
+	}
+	viewSQL := `CREATE VIEW visitView AS
+SELECT videoId, ownerId, COUNT(1) AS visitCount, SUM(duration) AS totalDuration
+FROM Log JOIN Video ON Log.videoId = Video.videoId
+GROUP BY videoId, ownerId`
+	return d, []string{viewSQL}, churn
+}
+
+// tpcdDataset generates the scaled TPC-D-like substrate and serves the
+// Section 7.2 join view from its svcql text.
+func tpcdDataset(scale float64) (*svc.Database, []string, func() error) {
+	cfg := tpcd.DefaultConfig()
+	cfg.Orders = scaled(scale, cfg.Orders)
+	cfg.Customers = scaled(scale, cfg.Customers)
+	cfg.Suppliers = scaled(scale, cfg.Suppliers)
+	cfg.Parts = scaled(scale, cfg.Parts)
+	g := tpcd.NewGenerator(cfg)
+	d, err := g.Generate()
+	if err != nil {
+		log.Fatalf("tpcd generate: %v", err)
+	}
+	churn := func() error {
+		// Stage a small refresh batch (TPC-D refresh model: new orders
+		// plus lineitem updates).
+		return g.StageUpdates(d, 0.0005)
+	}
+	return d, []string{tpcd.JoinViewSQL}, churn
+}
+
+func scaled(s float64, n int) int {
+	v := int(float64(n) * s)
+	if v < 20 {
+		v = 20
+	}
+	return v
+}

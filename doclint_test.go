@@ -1,0 +1,84 @@
+package svc_test
+
+// Doc lint: every engine package must carry a package-level doc.go stating
+// its paper-section correspondence and its concurrency contract, so godoc
+// is the architecture document. CI runs this via `go test`; the rules:
+//
+//   - internal/*, server, server/api, client each have a doc.go whose
+//     package comment starts "Package <name>";
+//   - internal packages' doc.go mentions the paper (section/figure/
+//     appendix correspondence) and the package's concurrency contract;
+//   - no other non-test file in those packages carries a package comment
+//     (doc.go is the single home, so the two can't drift apart).
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var (
+	paperRe  = regexp.MustCompile(`(?i)(section|figure|appendix|paper)`)
+	concurRe = regexp.MustCompile(`(?i)concurren`)
+)
+
+func TestPackageDocs(t *testing.T) {
+	dirs := []string{"server", "server/api", "client"}
+	entries, err := os.ReadDir("internal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, filepath.Join("internal", e.Name()))
+		}
+	}
+	for _, dir := range dirs {
+		docPath := filepath.Join(dir, "doc.go")
+		raw, err := os.ReadFile(docPath)
+		if err != nil {
+			t.Errorf("%s: missing doc.go (every package documents its paper correspondence and concurrency contract there): %v", dir, err)
+			continue
+		}
+		doc := string(raw)
+		pkg := filepath.Base(dir)
+		if !strings.HasPrefix(doc, "// Package "+pkg+" ") {
+			t.Errorf("%s: doc.go must open with %q", dir, "// Package "+pkg+" ...")
+		}
+		if !strings.Contains(doc, "\npackage "+pkg+"\n") {
+			t.Errorf("%s: doc.go must declare package %s with the comment attached", dir, pkg)
+		}
+		if strings.HasPrefix(dir, "internal"+string(filepath.Separator)) && !paperRe.MatchString(doc) {
+			t.Errorf("%s: doc.go must state the package's paper-section correspondence", dir)
+		}
+		if !concurRe.MatchString(doc) {
+			t.Errorf("%s: doc.go must state the package's concurrency contract", dir)
+		}
+
+		// doc.go is the single home of the package comment.
+		files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range files {
+			if filepath.Base(f) == "doc.go" || strings.HasSuffix(f, "_test.go") {
+				continue
+			}
+			raw, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lines := strings.Split(string(raw), "\n")
+			for i, line := range lines {
+				if strings.HasPrefix(line, "package ") {
+					if i > 0 && strings.HasPrefix(lines[i-1], "//") {
+						t.Errorf("%s: carries a package comment; move it into %s (detach file comments with a blank line)", f, docPath)
+					}
+					break
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package svc_test
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	svc "github.com/sampleclean/svc"
+	"github.com/sampleclean/svc/client"
+	"github.com/sampleclean/svc/server"
+)
+
+// Example_svcqlOverHTTP serves the running example over HTTP: an svcd
+// server on a loopback port, a view created from svcql text over the
+// wire, and queries answered with estimates, confidence intervals, and
+// staleness metadata — the full network serving path. (A 100% "sample"
+// keeps the output deterministic; production uses small ratios.)
+func Example_svcqlOverHTTP() {
+	d := svc.NewDatabase()
+	logT := d.MustCreate("Log", svc.NewSchema([]svc.Column{
+		svc.Col("sessionId", svc.KindInt),
+		svc.Col("videoId", svc.KindInt),
+	}, "sessionId"))
+	for i := 0; i < 1000; i++ {
+		logT.MustInsert(svc.Row{svc.Int(int64(i)), svc.Int(int64(i % 20))})
+	}
+
+	srv := server.New(d, server.Config{Addr: "127.0.0.1:0"})
+	if err := srv.Start(); err != nil {
+		panic(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	c := client.New(srv.Addr())
+	created, err := c.CreateView(`
+		CREATE VIEW visitView AS
+		SELECT videoId, COUNT(1) AS visitCount
+		FROM Log GROUP BY videoId`, 1.0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("view:", created.View, created.Rows, "rows,", created.Strategy)
+
+	// 250 new visits arrive after materialization: the view is stale.
+	for i := 0; i < 250; i++ {
+		if err := logT.StageInsert(svc.Row{svc.Int(int64(1000 + i)), svc.Int(int64(i % 20))}); err != nil {
+			panic(err)
+		}
+	}
+
+	resp, err := c.Query(`SELECT SUM(visitCount) FROM visitView`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("stale: %.0f, estimate: %.0f, pending deltas: %v\n",
+		*resp.StaleValue, resp.Estimate.Value, resp.Pending)
+
+	// Base-table SELECTs run through the batched pipeline instead.
+	rows, err := c.Query(`SELECT sessionId, videoId FROM Log WHERE sessionId < 2`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("kind:", rows.Kind, "rows:", rows.Rows)
+	// Output:
+	// view: visitView 20 rows, change-table
+	// stale: 1000, estimate: 1250, pending deltas: true
+	// kind: rows rows: [[0 0] [1 1]]
+}

@@ -74,6 +74,51 @@ func ExampleStaleView_Query() {
 	// estimate: 1250
 }
 
+// ExampleStaleView_Query_asOfEpoch shows the staleness metadata every
+// estimate carries: AsOfEpoch identifies the published catalog version the
+// answer was computed against, so a reader can tell which maintenance
+// boundary an answer reflects — it advances when maintenance publishes and
+// never goes backwards within a serving session.
+func ExampleStaleView_Query_asOfEpoch() {
+	d := svc.NewDatabase()
+	logT := d.MustCreate("Log", svc.NewSchema([]svc.Column{
+		svc.Col("sessionId", svc.KindInt),
+		svc.Col("videoId", svc.KindInt),
+	}, "sessionId"))
+	for i := 0; i < 1000; i++ {
+		logT.MustInsert(svc.Row{svc.Int(int64(i)), svc.Int(int64(i % 20))})
+	}
+	plan := svc.GroupByAgg(svc.Scan("Log", logT.Schema()),
+		[]string{"videoId"}, svc.CountAs("visitCount"))
+	sv, err := svc.New(d, svc.ViewDefinition{Name: "visitView", Plan: plan},
+		svc.WithSamplingRatio(1.0))
+	if err != nil {
+		panic(err)
+	}
+	before, err := sv.Query(svc.Sum("visitCount", nil))
+	if err != nil {
+		panic(err)
+	}
+	// 100 new visits arrive and a maintenance cycle publishes them.
+	for i := 0; i < 100; i++ {
+		if err := logT.StageInsert(svc.Row{svc.Int(int64(1000 + i)), svc.Int(int64(i % 20))}); err != nil {
+			panic(err)
+		}
+	}
+	if err := sv.MaintainNow(); err != nil {
+		panic(err)
+	}
+	after, err := sv.Query(svc.Sum("visitCount", nil))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("answers:", before.Value, "then", after.Value)
+	fmt.Println("epoch advanced across the maintenance boundary:", after.AsOfEpoch > before.AsOfEpoch)
+	// Output:
+	// answers: 1000 then 1100
+	// epoch advanced across the maintenance boundary: true
+}
+
 // ExampleStaleView_MaintainNow shows the maintenance boundary: the view is
 // brought up to date, deltas are applied, and the sample rolls forward.
 func ExampleStaleView_MaintainNow() {

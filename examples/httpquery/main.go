@@ -1,0 +1,108 @@
+// HTTP serving: the running example behind the svcd network front door.
+//
+// We build the Log/Video database, start an svcd server on a loopback
+// port, create the visitView from svcql text over the wire, stage new
+// visits, and query — all through the HTTP/JSON protocol a production
+// deployment would use. The response carries the estimate, its confidence
+// interval, and the staleness metadata (AsOfEpoch, Pending).
+//
+// Run with: go run ./examples/httpquery
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	svc "github.com/sampleclean/svc"
+	"github.com/sampleclean/svc/client"
+	"github.com/sampleclean/svc/server"
+)
+
+func main() {
+	d := svc.NewDatabase()
+	video := d.MustCreate("Video", svc.NewSchema([]svc.Column{
+		svc.Col("videoId", svc.KindInt),
+		svc.Col("ownerId", svc.KindInt),
+		svc.Col("duration", svc.KindFloat),
+	}, "videoId"))
+	const videos = 100
+	for i := 0; i < videos; i++ {
+		video.MustInsert(svc.Row{svc.Int(int64(i)), svc.Int(int64(i % 10)), svc.Float(1.5)})
+	}
+	logT := d.MustCreate("Log", svc.NewSchema([]svc.Column{
+		svc.Col("sessionId", svc.KindInt),
+		svc.Col("videoId", svc.KindInt),
+	}, "sessionId"))
+	const visits = 10_000
+	for i := 0; i < visits; i++ {
+		logT.MustInsert(svc.Row{svc.Int(int64(i)), svc.Int(int64(i % videos))})
+	}
+
+	// Start the daemon on a random loopback port; refresh every 25ms.
+	srv := server.New(d, server.Config{Addr: "127.0.0.1:0", Refresh: 25 * time.Millisecond})
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	c := client.New(srv.Addr())
+
+	// Materialize the view over the wire.
+	created, err := c.CreateView(`
+		CREATE VIEW visitView AS
+		SELECT videoId, ownerId, COUNT(1) AS visitCount
+		FROM Log JOIN Video ON Log.videoId = Video.videoId
+		GROUP BY videoId, ownerId`, 0.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("created %s: %d rows, %s maintenance\n", created.View, created.Rows, created.Strategy)
+
+	// 2000 new visits arrive after materialization: the view is stale.
+	for i := 0; i < 2000; i++ {
+		if err := logT.StageInsert(svc.Row{svc.Int(int64(visits + i)), svc.Int(int64(i % videos))}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	resp, err := c.Query(`SELECT SUM(visitCount) FROM visitView`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stale answer:  %.0f\n", *resp.StaleValue)
+	fmt.Printf("SVC estimate:  %.0f  (95%% CI [%.0f, %.0f], method %s, epoch %d)\n",
+		resp.Estimate.Value, resp.Estimate.Lo, resp.Estimate.Hi, resp.Estimate.Method, resp.AsOfEpoch)
+
+	// A base-table SELECT runs through the batched pipeline instead.
+	rows, err := c.Query(`SELECT videoId, ownerId FROM Video WHERE videoId < 3`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pipeline rows: %v (of %d)\n", rows.Rows, rows.RowCount)
+
+	// Wait for the background refresher to fold the staged visits in,
+	// then ask again: the answer is exact and Pending clears.
+	deadline := time.Now().Add(5 * time.Second)
+	for d.HasPending() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	fresh, err := c.Query(`SELECT SUM(visitCount) FROM visitView`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after refresh: %.0f (pending=%v, epoch %d)\n",
+		fresh.Estimate.Value, fresh.Pending, fresh.AsOfEpoch)
+
+	st, err := c.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("served %d queries; view %s at %d cycles\n",
+		st.Served, st.Views[0].Name, st.Views[0].Cycles)
+}

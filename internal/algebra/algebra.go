@@ -1,18 +1,3 @@
-// Package algebra implements the relational algebra of the paper's Section
-// 3.1 as composable expression trees: Select σ, generalized Project Π, Join
-// ⋈ (inner and outer, with merged join columns), Aggregate γ, Union,
-// Intersection, Difference, Alias, and the hash-sampling operator η
-// (Section 4.4).
-//
-// Every node derives a primary key for its output following Definition 2
-// (primary key generation), which is what makes rows of derived relations
-// identifiable — the foundation for provenance, sampling, and the
-// correspondence between stale and cleaned samples.
-//
-// The push-down rewriter (PushDownHash) implements Definition 3, including
-// the foreign-key-join and equality-join special cases; Theorem 1 (the
-// rewritten plan materializes the identical sample) is enforced by property
-// tests.
 package algebra
 
 import (

@@ -1,0 +1,28 @@
+// Package algebra implements the relational algebra of the paper's Section
+// 3.1 as composable expression trees: Select σ, generalized Project Π, Join
+// ⋈ (inner and outer, with merged join columns), Aggregate γ, Union,
+// Intersection, Difference, Alias, and the hash-sampling operator η
+// (Section 4.4).
+//
+// Every node derives a primary key for its output following Definition 2
+// (primary key generation), which is what makes rows of derived relations
+// identifiable — the foundation for provenance, sampling, and the
+// correspondence between stale and cleaned samples.
+//
+// The push-down rewriter (PushDownHash) implements Definition 3, including
+// the foreign-key-join and equality-join special cases; Theorem 1 (the
+// rewritten plan materializes the identical sample) is enforced by property
+// tests. PushDownScans is the complementary evaluation-time rewrite: it
+// fuses selections and projections into base scans for the batched
+// pipeline (see pipeline.go and DESIGN.md "Batch pipeline execution").
+//
+// Concurrency contract: Node trees are immutable once built — rewriters
+// return new trees — so one plan may be evaluated by any number of
+// goroutines simultaneously, including the bound expressions it shares
+// across morsel workers. The *Context handed to an evaluation is NOT safe
+// for concurrent use: it accumulates per-evaluation state (RowsTouched),
+// so each concurrent evaluation needs its own Context (db.Version.Context
+// hands out a fresh one per call). Intra-evaluation parallelism is opt-in
+// via Context.Parallelism and is deterministic: parallel results are
+// byte-identical to serial ones.
+package algebra

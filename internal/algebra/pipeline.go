@@ -21,6 +21,7 @@
 // source rows are split into contiguous morsels, one chain instance runs
 // per worker, and the outputs are concatenated in order — byte-identical
 // to the serial pipeline.
+
 package algebra
 
 import (

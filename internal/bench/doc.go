@@ -1,0 +1,14 @@
+// Package bench is the experiment harness that regenerates every figure of
+// the paper's evaluation (Section 7) plus the ablations called out in
+// DESIGN.md. Each experiment is a named runner producing a Table whose
+// rows correspond to the series in the paper's figure; cmd/svcbench prints
+// them and bench_test.go wraps them in testing.B benchmarks. The serving
+// experiments ("serve", "serve-http") go beyond the paper: they measure
+// reader throughput while maintenance cycles run, in-process and through
+// the svcd HTTP daemon respectively.
+//
+// Concurrency contract: each experiment builds its own database and view
+// and may spawn internal writer/reader goroutines, but the harness itself
+// is single-threaded — run one experiment at a time per process (several
+// tune GOMAXPROCS for the duration of their run).
+package bench

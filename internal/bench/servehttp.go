@@ -1,0 +1,161 @@
+package bench
+
+// The "serve-http" experiment: the serve experiment's workload pushed
+// through the network front door. N client goroutines POST svcql text to
+// an svcd server over loopback HTTP while a writer stages updates and the
+// background refresher folds them in; the table reports end-to-end
+// queries/sec — parse, plan, estimate, JSON, and TCP included — next to
+// the refresh cycle count, plus the count of queries that completed while
+// a maintenance cycle was provably mid-run.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	svc "github.com/sampleclean/svc"
+	"github.com/sampleclean/svc/client"
+	"github.com/sampleclean/svc/server"
+)
+
+func init() {
+	register("serve-http",
+		"svcd over loopback HTTP: queries/sec with N client goroutines during continuous staged updates + background refresh",
+		serveHTTP)
+}
+
+func serveHTTP(s Scale) (*Table, error) {
+	t := &Table{
+		ID:    "serve-http",
+		Title: "svcd HTTP serving: client throughput during continuous updates + background maintenance",
+		Header: []string{"clients", "queries", "qps", "rejected", "staged",
+			"cycles", "maxQuery", "qDuringMaint"},
+	}
+	window := time.Duration(float64(400*time.Millisecond) * float64(s))
+	if window < 50*time.Millisecond {
+		window = 50 * time.Millisecond
+	}
+	// Same rationale as the in-process serve experiment: with fewer Ps
+	// than goroutines, a CPU-bound cycle can run to completion before any
+	// reader is scheduled, hiding the overlap this experiment measures.
+	if runtime.GOMAXPROCS(0) < 4 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	}
+	const sql = `SELECT SUM(visitCount) FROM visitView`
+	for _, clients := range []int{1, 2, 4, 8} {
+		d, sv, logT, videos, err := serveScenario(s, int64(clients))
+		if err != nil {
+			return nil, err
+		}
+		srv := server.New(d, server.Config{Addr: "127.0.0.1:0"})
+		if err := srv.Register(sv); err != nil {
+			return nil, err
+		}
+		if err := srv.Start(); err != nil {
+			return nil, err
+		}
+		sv.StartBackgroundRefresh(5 * time.Millisecond)
+
+		stop := make(chan struct{})
+		var staged atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() { // writer: continuous staged inserts with light pacing
+			defer wg.Done()
+			next := int64(1_000_000)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := logT.StageInsert(svc.Row{svc.Int(next), svc.Int(next % int64(videos))}); err != nil {
+					panic(err)
+				}
+				next++
+				staged.Add(1)
+				if i%64 == 63 {
+					time.Sleep(200 * time.Microsecond)
+				}
+			}
+		}()
+
+		var queries, rejected, duringMaint atomic.Int64
+		maxQuery := make([]time.Duration, clients)
+		errs := make([]error, clients)
+		for g := 0; g < clients; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				c := client.New(srv.Addr())
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					r := sv.Refresher()
+					inBefore, cyclesBefore := r.InCycle(), r.Cycles()
+					qStart := time.Now()
+					resp, err := c.Query(sql)
+					if err != nil {
+						if client.IsOverloaded(err) {
+							rejected.Add(1)
+							continue
+						}
+						errs[g] = err
+						return
+					}
+					if d := time.Since(qStart); d > maxQuery[g] {
+						maxQuery[g] = d
+					}
+					if resp.AsOfEpoch == 0 {
+						errs[g] = fmt.Errorf("missing AsOfEpoch in %+v", resp)
+						return
+					}
+					if inBefore && r.InCycle() && r.Cycles() == cyclesBefore {
+						// Same cycle in flight before the HTTP round trip and
+						// after: the query ran start-to-finish inside a
+						// maintenance run without blocking on it.
+						duringMaint.Add(1)
+					}
+					queries.Add(1)
+				}
+			}(g)
+		}
+		time.Sleep(window)
+		close(stop)
+		wg.Wait()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		err = srv.Shutdown(shutdownCtx)
+		cancel()
+		if err != nil {
+			return nil, fmt.Errorf("serve-http: shutdown: %w", err)
+		}
+		for _, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("serve-http: client: %w", err)
+			}
+		}
+		if err := sv.Refresher().Err(); err != nil {
+			return nil, fmt.Errorf("serve-http: refresh cycle failed: %w", err)
+		}
+
+		var worstQuery time.Duration
+		for _, d := range maxQuery {
+			if d > worstQuery {
+				worstQuery = d
+			}
+		}
+		qps := float64(queries.Load()) / window.Seconds()
+		t.AddRow(clients, queries.Load(), qps, rejected.Load(), staged.Load(),
+			sv.Refresher().Cycles(), worstQuery, duringMaint.Load())
+	}
+	t.Notes = append(t.Notes,
+		"end-to-end over loopback HTTP: parse → plan → pinned estimate → JSON per request",
+		"qDuringMaint = queries that COMPLETED while a maintenance cycle was mid-run (snapshot serving never blocks readers)")
+	return t, nil
+}

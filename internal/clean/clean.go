@@ -1,22 +1,3 @@
-// Package clean implements Stale View Cleaning proper — the paper's core
-// contribution (Sections 3 and 4): materializing a pair of *corresponding
-// samples* of a stale materialized view and its up-to-date counterpart for
-// a fraction of the full maintenance cost.
-//
-// Following the paper's Problem 1, the cleaner keeps a materialized sample
-// view Ŝ = η_{u,m}(S) (built once, maintained thereafter) and derives a
-// cleaning expression
-//
-//	Ŝ′ = C(Ŝ, D, ∂D),   C = pushdown(η_{u,m}(M)) with η(S) replaced by Ŝ
-//
-// where u is the view's primary key (Definition 2), M is the maintenance
-// strategy (package view) and pushdown applies the Definition 3 rules so
-// that rows outside the sample are never materialized. Because the same
-// deterministic hash selects both samples, (Ŝ, Ŝ′) satisfy the
-// Correspondence property (Property 1 / Proposition 2): same sampled keys,
-// superfluous rows removed, missing rows sampled at rate m, keys preserved
-// for updated rows. Correspondence is what keeps the SVC+CORR estimator's
-// difference variance small (Section 5.2.2).
 package clean
 
 import (

@@ -1,0 +1,31 @@
+// Package clean implements Stale View Cleaning proper — the paper's core
+// contribution (Sections 3 and 4): materializing a pair of *corresponding
+// samples* of a stale materialized view and its up-to-date counterpart for
+// a fraction of the full maintenance cost.
+//
+// Following the paper's Problem 1, the cleaner keeps a materialized sample
+// view Ŝ = η_{u,m}(S) (built once, maintained thereafter) and derives a
+// cleaning expression
+//
+//	Ŝ′ = C(Ŝ, D, ∂D),   C = pushdown(η_{u,m}(M)) with η(S) replaced by Ŝ
+//
+// where u is the view's primary key (Definition 2), M is the maintenance
+// strategy (package view) and pushdown applies the Definition 3 rules so
+// that rows outside the sample are never materialized. Because the same
+// deterministic hash selects both samples, (Ŝ, Ŝ′) satisfy the
+// Correspondence property (Property 1 / Proposition 2): same sampled keys,
+// superfluous rows removed, missing rows sampled at rate m, keys preserved
+// for updated rows. Correspondence is what keeps the SVC+CORR estimator's
+// difference variance small (Section 5.2.2).
+//
+// Concurrency contract: the read path — CleanAt against a pinned
+// db.Version with explicitly passed view/sample relations — is safe for
+// any number of concurrent callers; it treats its inputs as immutable and
+// materializes fresh output relations. The owner-side mutators (Adopt,
+// AdoptRelation, CoerceSample, Reset, SetParallelism, SetServingSource)
+// are single-writer: the svc serving layer serializes them under its
+// maintenance lock, and callers driving a Cleaner directly must do the
+// same. Clean (the unpinned convenience form) routes through the
+// registered serving source so it shares the serving layer's consistent
+// (version, view, sample) pinning.
+package clean

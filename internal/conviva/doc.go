@@ -1,0 +1,14 @@
+// Package conviva substitutes the paper's proprietary Conviva workload
+// (Section 7.5): 1 TB of video-distribution activity logs and eight
+// summary-statistics views, of which the paper discloses only the shapes
+// (Appendix 12.6.2). We generate a synthetic denormalized activity log
+// with Zipfian user/resource popularity and long-tailed transfer sizes,
+// define the same eight view shapes, and model updates as appended log
+// records in arrival order — exercising the same code paths (sampled
+// cleaning of distributed-style aggregate views) at laptop scale.
+//
+// Concurrency contract: the generator holds private RNG state and is not
+// safe for concurrent use; generate the workload single-threaded, then
+// serve the resulting database under package db's snapshot contract. The
+// returned view definitions are immutable.
+package conviva

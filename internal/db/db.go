@@ -1,14 +1,3 @@
-// Package db implements the base-data substrate: a catalog of primary-keyed
-// tables with foreign-key metadata and, crucially for SVC, *delta
-// relations* — the paper's ∂D = {ΔR₁..ΔRₖ, ∇R₁..∇Rₖ} (Section 3.1).
-//
-// Updates are staged rather than applied: an insertion goes to ΔR, a
-// deletion of an existing record goes to ∇R, and an update is modeled as a
-// deletion followed by an insertion, exactly as the paper defines. A
-// materialized view computed before the staged deltas are applied is stale;
-// maintenance strategies and SVC's sampled cleaning both read the staged
-// deltas. ApplyDeltas folds them into the base tables (the "maintenance
-// period" boundary).
 package db
 
 import (

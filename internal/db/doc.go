@@ -1,0 +1,27 @@
+// Package db implements the base-data substrate: a catalog of primary-keyed
+// tables with foreign-key metadata and, crucially for SVC, *delta
+// relations* — the paper's ∂D = {ΔR₁..ΔRₖ, ∇R₁..∇Rₖ} (Section 3.1).
+//
+// Updates are staged rather than applied: an insertion goes to ΔR, a
+// deletion of an existing record goes to ∇R, and an update is modeled as a
+// deletion followed by an insertion, exactly as the paper defines. A
+// materialized view computed before the staged deltas are applied is stale;
+// maintenance strategies and SVC's sampled cleaning both read the staged
+// deltas. ApplyDeltas folds them into the base tables (the "maintenance
+// period" boundary); ApplyVersion is its concurrent-serving form, folding
+// exactly a pinned version's deltas while re-basing updates staged
+// mid-cycle.
+//
+// Concurrency contract: all mutators (Create, Insert, the Stage* family,
+// ApplyDeltas/ApplyVersion, SetAttachment, EnsureIndex) serialize on the
+// database's internal writer lock and are safe to call from any
+// goroutine. Readers never take that lock on the fast path: Pin returns
+// an immutable copy-on-write Version — base tables, staged deltas, and
+// serving attachments from one consistent cut, stamped with a
+// monotonically increasing epoch — and any number of goroutines may
+// evaluate against pinned versions while writers continue. The live
+// accessors (Table.Rows, Insertions, Deletions) bypass that isolation and
+// are only safe when no writer runs concurrently; concurrent readers
+// should always pin. See DESIGN.md "Snapshot serving layer" for the
+// publication protocol.
+package db

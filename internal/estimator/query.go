@@ -1,23 +1,3 @@
-// Package estimator implements SVC's query result estimation (paper
-// Section 5 and Appendix 12.1): answering aggregate queries over a stale
-// materialized view from the pair of corresponding samples produced by
-// package clean.
-//
-// Two estimators are provided, matching the paper:
-//
-//   - SVC+AQP: a direct estimate s·q(Ŝ′) from the clean sample, with CLT
-//     confidence intervals for sum/count/avg (Section 5.2.1), bootstrap
-//     intervals for median/percentile (Section 5.2.5), and Cantelli tail
-//     bounds for min/max (Appendix 12.1.1).
-//   - SVC+CORR: a correction estimate q(S) + (s·q(Ŝ′) − s·q(Ŝ)), which
-//     exploits the correlation between the corresponding samples. Its CLT
-//     interval comes from the correspondence-subtract operator −̇
-//     (Definition 4): a full outer join of the per-row transformed values
-//     on the view key with NULLs as zero.
-//
-// Which estimator is more accurate depends on staleness: CORR wins while
-// σ²_S ≤ 2·cov(S, S′) (Section 5.2.2); the Advise helper evaluates that
-// break-even empirically from the samples.
 package estimator
 
 import (

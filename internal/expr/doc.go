@@ -1,0 +1,16 @@
+// Package expr implements the scalar expression language used by selection
+// predicates and generalized projections in the SVC relational algebra
+// (the paper's Section 3.1 operators): column references, constants,
+// arithmetic, comparisons, boolean logic, and the NULL-handling helpers
+// (COALESCE, IS NULL, IF) that the change-table maintenance strategy's
+// merge projection (Example 1) needs.
+//
+// Expressions are built unbound (columns referenced by name) and must be
+// bound against a schema before evaluation; Bind resolves names to column
+// indexes and returns a new, bound expression tree.
+//
+// Concurrency contract: expression trees are immutable — Bind returns a
+// new tree, Eval reads the row and the tree without mutating either — so
+// one bound expression is safely shared by concurrent evaluations (the
+// batch pipeline's morsel workers rely on this).
+package expr

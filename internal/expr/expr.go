@@ -1,12 +1,3 @@
-// Package expr implements the scalar expression language used by selection
-// predicates and generalized projections in the SVC relational algebra:
-// column references, constants, arithmetic, comparisons, boolean logic, and
-// the NULL-handling helpers (COALESCE, IS NULL, IF) that the change-table
-// maintenance strategy's merge projection needs.
-//
-// Expressions are built unbound (columns referenced by name) and must be
-// bound against a schema before evaluation; Bind resolves names to column
-// indexes and returns a new, bound expression tree.
 package expr
 
 import (

@@ -1,0 +1,21 @@
+// Package hashing provides the deterministic hash functions behind the
+// paper's sampling operator η (Section 4.4): a function mapping a tuple of
+// key values to [0,1) so that "hash(key) < m" selects an approximately
+// uniform m-fraction of rows, deterministically.
+//
+// Determinism is what buys the Correspondence property (paper Section 4.6
+// and Proposition 2): hashing the same primary key in the stale view and in
+// the up-to-date view selects the same rows, so the two samples are
+// positively correlated and SVC+CORR can estimate the *change* with low
+// variance.
+//
+// Two hashers are provided, mirroring the paper's discussion (Appendix
+// 12.3) of the latency/uniformity trade-off: a fast FNV-64 hasher (the
+// "linear hash" end of the spectrum) and a SHA-1 hasher (the cryptographic
+// end). Both satisfy the Simple Uniform Hashing Assumption well enough for
+// the estimators; the benchmark suite includes the uniformity/speed
+// ablation.
+//
+// Concurrency contract: hashers are stateless (or hold only immutable
+// seed material) and safe for unrestricted concurrent use.
+package hashing

@@ -1,0 +1,25 @@
+// Package minibatch simulates the paper's Section 7.6.2 distributed
+// deployment: synchronous mini-batch view maintenance on an immutable-RDD
+// cluster (Apache Spark 1.1.0 in the paper), where
+//
+//   - larger batches amortize per-batch overhead (Figure 14a),
+//   - a concurrent SVC thread contends with IVM, hurting small batches
+//     most (Figure 14b),
+//   - at a fixed ingest throughput there is an optimal SVC sampling ratio
+//     balancing sampling error against sample staleness (Figure 15), and
+//   - SVC soaks up the idle CPU windows created by synchronous shuffle
+//     barriers (Figure 16).
+//
+// The simulator is a deliberate, documented substitution for a Spark
+// cluster (see DESIGN.md): it models batch time as
+//
+//	time(B) = overhead + B/(rate·workers)·(1+straggler) + shuffles·barrier
+//
+// and runs a discrete-time error/utilization trace on top. It exposes the
+// same trade-offs the paper measures without requiring a cluster; absolute
+// numbers are not comparable, shapes are.
+//
+// Concurrency contract: the simulator is single-threaded by design (it
+// *models* concurrency rather than using it); a Sim is not safe for
+// concurrent use.
+package minibatch

@@ -1,0 +1,20 @@
+// Package outlier implements the paper's Section 6: outlier indexing to
+// reduce sampling's sensitivity to long-tailed data.
+//
+// An Index tracks, in a single pass over the base data and its staged
+// updates, the records whose indexed attribute exceeds a threshold —
+// bounded by a size limit with smallest-record eviction. The push-up rules
+// (Definition 5) propagate those records through the view definition to
+// materialize the outlier partition O ⊆ S′; the estimators then treat O
+// as a deterministic (ratio-1) stratum merged with the sampled stratum
+// (Section 6.3, implemented in package estimator).
+//
+// Concurrency contract: an Index is single-writer — Build/BuildFromVersion
+// and Observe mutate it, so construction belongs to one goroutine. The
+// snapshot-serving read path never shares a live index across readers:
+// the svc layer rebuilds an index per publication epoch from a pinned
+// version (BuildFromVersion reads only immutable pinned relations) and
+// shares the resulting OutlierSet, which is read-only, via its per-epoch
+// cache. Materializer evaluation against a pinned version is safe for
+// concurrent use.
+package outlier

@@ -1,0 +1,21 @@
+// Package relation implements the tuple and relation substrate used by the
+// SVC engine (the data model of the paper's Section 3.1): typed scalar
+// values, schemas with primary-key metadata, rows, and in-memory
+// primary-key-indexed relations, plus the pooled fixed-capacity Batch
+// chunks the execution pipeline streams (DESIGN.md "Batch pipeline
+// execution") and the zero-allocation encoded-key machinery (KeyBuf,
+// ProbeBytes) behind hash joins and sampling.
+//
+// The terminology follows the paper: tuples of base relations are "records"
+// and tuples of derived relations are "rows"; both are represented by Row.
+//
+// Concurrency contract: a Relation is single-writer — mutators (Insert,
+// Upsert, Delete*, BuildIndex, Sort) must not race with anything. Sharing
+// with concurrent readers goes through Snapshot(), which marks the
+// relation copy-on-write and returns an immutable alias: readers use the
+// snapshot freely while the owner's next mutation detaches onto private
+// storage (see DESIGN.md "Snapshot serving layer"). Batches come from a
+// global pool and follow a strict ownership protocol (the consumer that
+// pulled a batch owns it; Release/ReleaseUnlessOwned/Pin) documented on
+// the Batch type; a batch is owned by one goroutine at a time.
+package relation

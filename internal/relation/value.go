@@ -1,9 +1,3 @@
-// Package relation implements the tuple and relation substrate used by the
-// SVC engine: typed scalar values, schemas with primary-key metadata, rows,
-// and in-memory primary-key-indexed relations.
-//
-// The terminology follows the paper: tuples of base relations are "records"
-// and tuples of derived relations are "rows"; both are represented by Row.
 package relation
 
 import (

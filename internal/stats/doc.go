@@ -1,0 +1,11 @@
+// Package stats provides the statistical machinery behind SVC's result
+// estimation: moments, covariance, quantiles, normal confidence intervals
+// (paper Section 5.2.1), the statistical bootstrap (Section 5.2.5),
+// Cantelli tail bounds for min/max correction (Appendix 12.1.1), and the
+// finite-domain Zipfian sampler used by the TPCD-Skew workload generator
+// (Section 7.1).
+//
+// Concurrency contract: the numeric helpers are pure functions and safe
+// for unrestricted concurrent use. The Zipf sampler holds RNG state and
+// is NOT safe for concurrent use — give each goroutine its own.
+package stats

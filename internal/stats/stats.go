@@ -1,8 +1,3 @@
-// Package stats provides the statistical machinery behind SVC's result
-// estimation: moments, covariance, quantiles, normal confidence intervals
-// (Section 5.2.1), the statistical bootstrap (Section 5.2.5), Cantelli
-// tail bounds for min/max correction (Appendix 12.1.1), and the
-// finite-domain Zipfian sampler used by the TPCD-Skew workload generator.
 package stats
 
 import (

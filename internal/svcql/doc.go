@@ -1,0 +1,36 @@
+// Package svcql implements the small SQL dialect the paper writes its
+// examples in (Sections 2–3), end to end: CREATE VIEW over
+// select-project-join-aggregate blocks, aggregate SELECTs against a view
+// for the estimators, and bare SELECTs over base tables executed through
+// the batched pipeline.
+//
+// Grammar (case-insensitive keywords):
+//
+//	create_view := CREATE VIEW ident AS select
+//	select      := SELECT item {"," item} FROM ident {join}
+//	               [WHERE expr] [GROUP BY ident {"," ident}]
+//	join        := JOIN ident ON ident "=" ident
+//	item        := expr [AS ident]
+//	             | (COUNT "(" ("*"|"1") ")" | agg "(" expr ")") [AS ident]
+//	agg         := SUM | AVG | MIN | MAX | MEDIAN
+//	expr        := disjunction of comparisons over +,-,*,/ terms;
+//	               literals, identifiers, parentheses, NOT, BETWEEN,
+//	               IS [NOT] NULL
+//
+// Joins are equi-joins on unqualified column names; when both sides share
+// the join column's name the columns are merged (SQL USING semantics),
+// which is what gives foreign-key joins their natural key (Definition 2).
+//
+// The package splits planner from executor. PlanView compiles CREATE VIEW
+// into a view.Definition (materialized by package view); PlanQuery
+// compiles an aggregate SELECT against a view into an estimator query
+// (answered by package estimator with confidence intervals); PlanSelect /
+// ExecAt compile and run a bare SELECT over base tables through the
+// batched pipeline — the path the svcd daemon serves.
+//
+// Concurrency contract: parsing and planning are stateless and safe for
+// unrestricted concurrent use. ExecAt evaluates against an immutable
+// pinned db.Version (a fresh evaluation context per call), so any number
+// of goroutines may execute concurrently while writers stage updates and
+// maintenance publishes new versions.
+package svcql

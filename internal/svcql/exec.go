@@ -1,0 +1,118 @@
+package svcql
+
+// The execution half of the dialect: compile a bare SELECT over base
+// tables and run it through the batched pipeline (package algebra). The
+// planner half (plan.go) only *builds* trees — PlanView's output is handed
+// to view.Materialize, PlanQuery's to the estimators; ExecAt is what makes
+// a parsed statement actually produce rows, and is what the svcd network
+// daemon serves for table-backed SELECTs.
+
+import (
+	"fmt"
+
+	"github.com/sampleclean/svc/internal/algebra"
+	"github.com/sampleclean/svc/internal/db"
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// PlanSelect compiles a bare SELECT over base tables into an algebra plan,
+// resolving table schemas through the given source. The returned plan is
+// in strategy-derivation form (unfused); callers that only evaluate it
+// should apply algebra.PushDownScans first, as ExecAt does.
+func PlanSelect(schemas SchemaSource, src string) (algebra.Node, error) {
+	cv, sel, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if cv != nil {
+		return nil, fmt.Errorf("svcql: expected a SELECT, got CREATE VIEW (use PlanView)")
+	}
+	return planSelect(schemas, sel)
+}
+
+// ExecAt parses a bare SELECT over base tables, plans it against the
+// pinned catalog version, and executes the plan through the batched
+// pipeline, returning the materialized result.
+//
+// Everything — schema resolution, predicate/projection fusing, and the
+// pipelined evaluation — happens against the one immutable version, so the
+// result is a consistent snapshot answer no matter what writers and
+// maintenance cycles do concurrently. ExecAt is safe for concurrent use.
+func ExecAt(v *db.Version, src string) (*relation.Relation, error) {
+	plan, err := PlanSelect(VersionSchemas(v), src)
+	if err != nil {
+		return nil, err
+	}
+	return algebra.PushDownScans(plan).Eval(v.Context())
+}
+
+// Exec is ExecAt against the database's current published version.
+func Exec(d *db.Database, src string) (*relation.Relation, error) {
+	return ExecAt(d.Pin(), src)
+}
+
+// ExecAtLimit is ExecAt with a materialization cap: at most limit rows
+// are retained (cloned out of their pipeline batches); the rest of the
+// stream is drained and counted without being kept, so a request that
+// only wants the first page never materializes the full result. It
+// returns the capped relation and the total number of rows the query
+// emitted. limit <= 0 means no cap.
+//
+// Pipeline breakers (joins, aggregates) still do their full work — the
+// cap bounds the output materialization, not the query's intrinsic cost.
+func ExecAtLimit(v *db.Version, src string, limit int) (*relation.Relation, int, error) {
+	cv, sel, err := Parse(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	if cv != nil {
+		return nil, 0, fmt.Errorf("svcql: expected a SELECT, got CREATE VIEW (use PlanView)")
+	}
+	return ExecSelectLimit(v, sel, limit)
+}
+
+// ExecSelectLimit is ExecAtLimit for an already-parsed SELECT — callers
+// that parsed once for routing (the svcd server) need not parse again.
+func ExecSelectLimit(v *db.Version, sel *SelectStmt, limit int) (*relation.Relation, int, error) {
+	plan, err := planSelect(VersionSchemas(v), sel)
+	if err != nil {
+		return nil, 0, err
+	}
+	if limit <= 0 {
+		rel, err := algebra.PushDownScans(plan).Eval(v.Context())
+		if err != nil {
+			return nil, 0, err
+		}
+		return rel, rel.Len(), nil
+	}
+	fused := algebra.PushDownScans(plan)
+	it := algebra.NewIterator(fused)
+	if err := it.Open(v.Context()); err != nil {
+		return nil, 0, err
+	}
+	defer it.Close()
+	out := relation.New(fused.Schema())
+	total := 0
+	for {
+		b, err := it.Next()
+		if err != nil {
+			return nil, 0, err
+		}
+		if b == nil {
+			return out, total, nil
+		}
+		rows := b.Rows()
+		total += len(rows)
+		for _, row := range rows {
+			if out.Len() >= limit {
+				break
+			}
+			// Clone: retained rows must outlive the pooled batch.
+			if _, err := out.Upsert(row.Clone()); err != nil {
+				b.Release()
+				return nil, 0, err
+			}
+		}
+		b.Release()
+	}
+}

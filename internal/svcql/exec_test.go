@@ -1,0 +1,220 @@
+package svcql
+
+// End-to-end tests for the execution half: every tpcd svcql text runs
+// through parse → plan → batched pipeline and must match the materialized
+// reference engine (algebra.EvalMaterialized) exactly, and the Figure 5
+// query texts must be semantically identical to the hand-built estimator
+// queries in tpcd/queries.go.
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sampleclean/svc/internal/algebra"
+	"github.com/sampleclean/svc/internal/db"
+	"github.com/sampleclean/svc/internal/estimator"
+	"github.com/sampleclean/svc/internal/tpcd"
+	"github.com/sampleclean/svc/internal/view"
+)
+
+func tpcdDB(t *testing.T) *db.Database {
+	t.Helper()
+	cfg := tpcd.DefaultConfig()
+	cfg.Orders = 400
+	cfg.Customers = 60
+	cfg.Suppliers = 20
+	cfg.Parts = 50
+	d, err := tpcd.NewGenerator(cfg).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestTPCDViewSQLThroughPipeline plans every tpcd CREATE VIEW text and
+// evaluates the plan both ways: through the batched pipeline (Node.Eval,
+// the production path) and through the fully materialized reference
+// engine. The two engines must produce identical relations, serial and
+// parallel, fused and unfused.
+func TestTPCDViewSQLThroughPipeline(t *testing.T) {
+	d := tpcdDB(t)
+	sqls := tpcd.ViewSQL()
+	sqls["joinView"] = tpcd.JoinViewSQL
+	for name, sql := range sqls {
+		def, err := PlanView(d, sql)
+		if err != nil {
+			t.Fatalf("%s: plan: %v", name, err)
+		}
+		if def.Name != name {
+			t.Fatalf("%s: planned name %q", name, def.Name)
+		}
+		ref, err := algebra.EvalMaterialized(def.Plan, d.Context())
+		if err != nil {
+			t.Fatalf("%s: materialized eval: %v", name, err)
+		}
+		if ref.Len() == 0 {
+			t.Fatalf("%s: empty reference result (workload too small?)", name)
+		}
+		for _, par := range []int{0, 4} {
+			for _, fuse := range []bool{false, true} {
+				plan := def.Plan
+				if fuse {
+					plan = algebra.PushDownScans(plan)
+				}
+				ctx := d.Context()
+				ctx.Parallelism = par
+				got, err := plan.Eval(ctx)
+				if err != nil {
+					t.Fatalf("%s (par=%d fuse=%v): pipeline eval: %v", name, par, fuse, err)
+				}
+				if !got.Equal(ref) {
+					t.Fatalf("%s (par=%d fuse=%v): pipeline != materialized\npipeline: %v\nmaterialized: %v",
+						name, par, fuse, got, ref)
+				}
+			}
+		}
+	}
+}
+
+// TestExecAtMatchesMaterialized runs bare SELECTs over base tables through
+// ExecAt (the svcd serving path: pin → plan → fuse → pipeline) and checks
+// them against the materialized engine on the same pinned version.
+func TestExecAtMatchesMaterialized(t *testing.T) {
+	d := tpcdDB(t)
+	queries := []string{
+		`SELECT l_orderkey, l_linenumber, l_quantity FROM lineitem WHERE l_quantity > 20`,
+		`SELECT o_orderkey, o_totalprice FROM orders WHERE o_orderdate < 100 AND o_orderpriority >= 3`,
+		`SELECT l_orderkey, l_linenumber, l_extendedprice * (1 - l_discount) AS revenue FROM lineitem`,
+		`SELECT o_orderpriority, COUNT(1) AS cnt, SUM(o_totalprice) AS total FROM orders GROUP BY o_orderpriority`,
+		`SELECT l_returnflag, AVG(l_quantity) AS avgQty FROM lineitem JOIN orders ON l_orderkey = o_orderkey WHERE o_orderdate < 200 GROUP BY l_returnflag`,
+	}
+	pin := d.Pin()
+	for _, sql := range queries {
+		got, err := ExecAt(pin, sql)
+		if err != nil {
+			t.Fatalf("%s: exec: %v", sql, err)
+		}
+		plan, err := PlanSelect(VersionSchemas(pin), sql)
+		if err != nil {
+			t.Fatalf("%s: plan: %v", sql, err)
+		}
+		ref, err := algebra.EvalMaterialized(plan, pin.Context())
+		if err != nil {
+			t.Fatalf("%s: materialized eval: %v", sql, err)
+		}
+		if got.Len() == 0 {
+			t.Fatalf("%s: empty result", sql)
+		}
+		if !got.Equal(ref) {
+			t.Fatalf("%s: pipeline != materialized\npipeline: %v\nmaterialized: %v", sql, got, ref)
+		}
+	}
+}
+
+// TestExecAtLimit checks the capped drain: the retained prefix matches
+// the uncapped result row for row, the total counts the whole stream,
+// and limit <= 0 means no cap.
+func TestExecAtLimit(t *testing.T) {
+	d := tpcdDB(t)
+	pin := d.Pin()
+	const sql = `SELECT o_orderkey, o_totalprice FROM orders WHERE o_orderdate < 200`
+	full, err := ExecAt(pin, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Len() < 10 {
+		t.Fatalf("workload too small: %d rows", full.Len())
+	}
+	for _, limit := range []int{1, 7, full.Len(), full.Len() + 50} {
+		capped, total, err := ExecAtLimit(pin, sql, limit)
+		if err != nil {
+			t.Fatalf("limit %d: %v", limit, err)
+		}
+		if total != full.Len() {
+			t.Fatalf("limit %d: total %d != %d", limit, total, full.Len())
+		}
+		want := limit
+		if want > full.Len() {
+			want = full.Len()
+		}
+		if capped.Len() != want {
+			t.Fatalf("limit %d: retained %d rows, want %d", limit, capped.Len(), want)
+		}
+		for i, row := range capped.Rows() {
+			if !row.Equal(full.Rows()[i]) {
+				t.Fatalf("limit %d: row %d differs: %v != %v", limit, i, row, full.Rows()[i])
+			}
+		}
+	}
+	uncapped, total, err := ExecAtLimit(pin, sql, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != full.Len() || !uncapped.Equal(full) {
+		t.Fatalf("limit 0 should be uncapped: total %d, equal %v", total, uncapped.Equal(full))
+	}
+}
+
+// TestExecAtErrors pins the execution half's error paths.
+func TestExecAtErrors(t *testing.T) {
+	d := tpcdDB(t)
+	pin := d.Pin()
+	for _, tc := range []struct{ sql, want string }{
+		{`CREATE VIEW x AS SELECT o_orderkey FROM orders`, "CREATE VIEW"},
+		{`SELECT o_orderkey FROM nope`, "unknown table"},
+		{`SELECT nosuchcol FROM orders`, ""}, // planner or binder error, wording varies
+	} {
+		if _, err := ExecAt(pin, tc.sql); err == nil {
+			t.Errorf("%s: expected error", tc.sql)
+		} else if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.sql, err, tc.want)
+		}
+	}
+}
+
+// TestJoinViewQuerySQLMatchesHandBuilt parses each Figure 5 query text
+// against the SQL-planned join view and checks it is the same query as
+// the hand-built tpcd.JoinViewQueries entry: same group-by, and the same
+// exact answer on the materialized view (which exercises aggregate,
+// attribute, and predicate equivalence at once).
+func TestJoinViewQuerySQLMatchesHandBuilt(t *testing.T) {
+	d := tpcdDB(t)
+	def, err := PlanView(d, tpcd.JoinViewSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := view.Materialize(d, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hand := tpcd.JoinViewQueries()
+	sqls := tpcd.JoinViewQuerySQL()
+	if len(hand) != len(sqls) {
+		t.Fatalf("%d hand-built queries vs %d SQL texts", len(hand), len(sqls))
+	}
+	for i, sql := range sqls {
+		aq, err := PlanQuery(v, sql)
+		if err != nil {
+			t.Fatalf("%s (%s): %v", hand[i].Name, sql, err)
+		}
+		if len(aq.GroupBy) != len(hand[i].GroupBy) {
+			t.Fatalf("%s: group-by %v != %v", hand[i].Name, aq.GroupBy, hand[i].GroupBy)
+		}
+		for j := range aq.GroupBy {
+			if aq.GroupBy[j] != hand[i].GroupBy[j] {
+				t.Fatalf("%s: group-by %v != %v", hand[i].Name, aq.GroupBy, hand[i].GroupBy)
+			}
+		}
+		got, err := estimator.RunExact(v.Data(), aq.Query)
+		if err != nil {
+			t.Fatalf("%s: run parsed: %v", hand[i].Name, err)
+		}
+		want, err := estimator.RunExact(v.Data(), hand[i].Query)
+		if err != nil {
+			t.Fatalf("%s: run hand-built: %v", hand[i].Name, err)
+		}
+		if got != want {
+			t.Fatalf("%s: parsed answer %v != hand-built %v", hand[i].Name, got, want)
+		}
+	}
+}

@@ -1,22 +1,3 @@
-// Package svcql implements the small SQL dialect the paper writes its
-// examples in: CREATE VIEW over select-project-join-aggregate blocks, and
-// aggregate SELECTs against a view for the estimators.
-//
-// Grammar (case-insensitive keywords):
-//
-//	create_view := CREATE VIEW ident AS select
-//	select      := SELECT item {"," item} FROM ident {join}
-//	               [WHERE expr] [GROUP BY ident {"," ident}]
-//	join        := JOIN ident ON ident "=" ident
-//	item        := expr [AS ident]
-//	             | (COUNT "(" ("*"|"1") ")" | agg "(" expr ")") [AS ident]
-//	agg         := SUM | AVG | MIN | MAX | MEDIAN
-//	expr        := disjunction of comparisons over +,-,*,/ terms;
-//	               literals, identifiers, parentheses, NOT
-//
-// Joins are equi-joins on unqualified column names; when both sides share
-// the join column's name the columns are merged (SQL USING semantics),
-// which is what gives foreign-key joins their natural key (Definition 2).
 package svcql
 
 import (

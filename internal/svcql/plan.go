@@ -13,6 +13,35 @@ import (
 	"github.com/sampleclean/svc/internal/view"
 )
 
+// SchemaSource resolves base-table schemas during planning. It abstracts
+// over the two catalogs plans are built against: the live database
+// (DBSchemas) and a pinned immutable version (VersionSchemas).
+type SchemaSource func(name string) (relation.Schema, bool)
+
+// DBSchemas resolves schemas from the live catalog.
+func DBSchemas(d *db.Database) SchemaSource {
+	return func(name string) (relation.Schema, bool) {
+		t := d.Table(name)
+		if t == nil {
+			return relation.Schema{}, false
+		}
+		return t.Schema(), true
+	}
+}
+
+// VersionSchemas resolves schemas from a pinned catalog version, so a plan
+// built for one request matches exactly the relations the request's
+// evaluation context binds.
+func VersionSchemas(v *db.Version) SchemaSource {
+	return func(name string) (relation.Schema, bool) {
+		base := v.Base(name)
+		if base == nil {
+			return relation.Schema{}, false
+		}
+		return base.Schema(), true
+	}
+}
+
 // PlanView compiles CREATE VIEW ... AS SELECT into a view definition over
 // the database's base tables.
 func PlanView(d *db.Database, src string) (view.Definition, error) {
@@ -24,7 +53,7 @@ func PlanView(d *db.Database, src string) (view.Definition, error) {
 		return view.Definition{}, fmt.Errorf("svcql: expected CREATE VIEW, got a bare SELECT (use PlanQuery for queries: %q)", firstLine(src))
 	}
 	_ = sel
-	plan, err := planSelect(d, &cv.Select)
+	plan, err := planSelect(DBSchemas(d), &cv.Select)
 	if err != nil {
 		return view.Definition{}, err
 	}
@@ -122,25 +151,25 @@ func PlanQuery(v *view.View, src string) (AggQuery, error) {
 
 // planSelect compiles a SELECT block into an algebra plan over base
 // tables.
-func planSelect(d *db.Database, sel *SelectStmt) (algebra.Node, error) {
-	t := d.Table(sel.From)
-	if t == nil {
+func planSelect(schemas SchemaSource, sel *SelectStmt) (algebra.Node, error) {
+	ts, ok := schemas(sel.From)
+	if !ok {
 		return nil, fmt.Errorf("svcql: unknown table %q", sel.From)
 	}
-	var plan algebra.Node = algebra.Scan(sel.From, t.Schema())
+	var plan algebra.Node = algebra.Scan(sel.From, ts)
 	for _, j := range sel.Joins {
-		jt := d.Table(j.Table)
-		if jt == nil {
+		js, ok := schemas(j.Table)
+		if !ok {
 			return nil, fmt.Errorf("svcql: unknown table %q", j.Table)
 		}
-		right := algebra.Scan(j.Table, jt.Schema())
+		right := algebra.Scan(j.Table, js)
 		// Orient the equality: Left must name a column of the current
 		// plan, Right a column of the joined table.
 		lcol, rcol := j.Left, j.Right
-		if !plan.Schema().HasCol(lcol) || !jt.Schema().HasCol(rcol) {
+		if !plan.Schema().HasCol(lcol) || !js.HasCol(rcol) {
 			lcol, rcol = j.Right, j.Left
 		}
-		if !plan.Schema().HasCol(lcol) || !jt.Schema().HasCol(rcol) {
+		if !plan.Schema().HasCol(lcol) || !js.HasCol(rcol) {
 			return nil, fmt.Errorf("svcql: join condition %s = %s matches neither side", j.Left, j.Right)
 		}
 		// Merge when the two sides share the column name (USING

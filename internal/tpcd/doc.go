@@ -1,0 +1,17 @@
+// Package tpcd implements the paper's synthetic workload (Section 7.1): a
+// scaled-down TPC-D-like schema with the TPCD-Skew generator's Zipfian
+// skew knob (Chaudhuri & Narasayya), the update workload (insertions and
+// updates to lineitem and orders only, per the TPC-D refresh model the
+// paper uses), the materialized views of Section 7 (the lineitem⋈orders
+// join view, the ten "complex" views V3..V22, and the Section 7.6.1 data
+// cube), the random query generator of Section 7.1, and svcql texts for
+// the views and Figure 5 queries expressible in the dialect (sql.go).
+//
+// The absolute scale is configurable; experiments run at laptop scale and
+// reproduce the paper's ratios, not its absolute numbers.
+//
+// Concurrency contract: a Generator owns RNG state and is single-threaded
+// — generate (and stage update batches) from one goroutine. The view
+// definitions, query lists, and SQL texts are immutable values, safe to
+// share; generated databases follow package db's snapshot contract.
+package tpcd

@@ -1,13 +1,3 @@
-// Package tpcd implements the paper's synthetic workload: a scaled-down
-// TPC-D-like schema with the TPCD-Skew generator's Zipfian skew knob
-// (Chaudhuri & Narasayya), the update workload (insertions and updates to
-// lineitem and orders only, per the TPC-D refresh model the paper uses),
-// the materialized views of Section 7 (the lineitem⋈orders join view, the
-// ten "complex" views V3..V22, and the Section 7.6.1 data cube), and the
-// random query generator of Section 7.1.
-//
-// The absolute scale is configurable; experiments run at laptop scale and
-// reproduce the paper's ratios, not its absolute numbers.
 package tpcd
 
 import (

@@ -1,0 +1,96 @@
+package tpcd
+
+// The workload's svcql texts. views.go builds the paper's views as algebra
+// trees directly; these are the same definitions written in the dialect,
+// used by the svcd daemon (views created from the wire) and by the
+// end-to-end parse→plan→pipeline tests, which compare what the planned SQL
+// produces against both evaluation engines.
+
+// JoinViewSQL is the Section 7.2 lineitem⋈orders join view in svcql text.
+// The dialect has no SELECT *, so every column is listed; the join keeps
+// both key columns (no USING merge), so the planned view carries
+// o_orderkey alongside l_orderkey — same rows, one redundant key column
+// more than the hand-built JoinView.
+const JoinViewSQL = `CREATE VIEW joinView AS
+SELECT l_orderkey, l_linenumber, l_partkey, l_suppkey, l_quantity,
+       l_extendedprice, l_discount, l_returnflag, l_shipdate,
+       o_orderkey, o_custkey, o_orderstatus, o_totalprice, o_orderdate,
+       o_orderpriority
+FROM lineitem JOIN orders ON l_orderkey = o_orderkey`
+
+// revenueSQL is Revenue() in the dialect.
+const revenueSQL = `l_extendedprice * (1 - l_discount)`
+
+// ViewSQL returns svcql CREATE VIEW texts for the complex views
+// expressible in the dialect, keyed by view name. V21 (nested aggregate)
+// and V22 (substr group key) are deliberately absent: the dialect has
+// neither subqueries nor string functions, exactly the shapes the paper
+// uses to defeat hash push-down.
+func ViewSQL() map[string]string {
+	return map[string]string{
+		"V3": `CREATE VIEW V3 AS
+SELECT l_orderkey, COUNT(1) AS cnt, SUM(` + revenueSQL + `) AS revenue
+FROM lineitem JOIN orders ON l_orderkey = o_orderkey
+WHERE o_orderdate < 270
+GROUP BY l_orderkey`,
+		"V4": `CREATE VIEW V4 AS
+SELECT o_orderpriority, COUNT(1) AS cnt, SUM(l_quantity) AS totalQty
+FROM lineitem JOIN orders ON l_orderkey = o_orderkey
+WHERE o_orderdate < 270
+GROUP BY o_orderpriority`,
+		"V5": `CREATE VIEW V5 AS
+SELECT n_nationkey, o_orderdate, COUNT(1) AS cnt, SUM(` + revenueSQL + `) AS revenue
+FROM lineitem
+JOIN orders ON l_orderkey = o_orderkey
+JOIN customer ON o_custkey = c_custkey
+JOIN nation ON c_nationkey = n_nationkey
+GROUP BY n_nationkey, o_orderdate`,
+		"V9": `CREATE VIEW V9 AS
+SELECT s_nationkey, o_orderdate, COUNT(1) AS cnt, SUM(` + revenueSQL + `) AS profit
+FROM lineitem
+JOIN orders ON l_orderkey = o_orderkey
+JOIN supplier ON l_suppkey = s_suppkey
+GROUP BY s_nationkey, o_orderdate`,
+		"V10": `CREATE VIEW V10 AS
+SELECT c_custkey, COUNT(1) AS cnt, SUM(` + revenueSQL + `) AS revenue
+FROM lineitem
+JOIN orders ON l_orderkey = o_orderkey
+JOIN customer ON o_custkey = c_custkey
+WHERE l_returnflag = 1
+GROUP BY c_custkey`,
+		"V13": `CREATE VIEW V13 AS
+SELECT o_custkey, COUNT(1) AS orderCount, SUM(o_totalprice) AS totalSpend
+FROM orders
+GROUP BY o_custkey`,
+		"V15i": `CREATE VIEW V15i AS
+SELECT l_suppkey, COUNT(1) AS cnt, SUM(` + revenueSQL + `) AS totalRevenue
+FROM lineitem
+WHERE l_shipdate >= 90 AND l_shipdate < 180
+GROUP BY l_suppkey`,
+		"V18": `CREATE VIEW V18 AS
+SELECT l_orderkey, COUNT(1) AS cnt, SUM(l_quantity) AS totalQty
+FROM lineitem
+GROUP BY l_orderkey`,
+	}
+}
+
+// JoinViewQuerySQL returns the 12 Figure 5 queries as svcql text against
+// the join view, index-aligned with JoinViewQueries(). Q19 spells its
+// range as BETWEEN, which the parser desugars to the same ≥/≤ pair the
+// hand-built query uses.
+func JoinViewQuerySQL() []string {
+	return []string{
+		`SELECT o_orderdate, SUM(l_extendedprice) FROM joinView WHERE o_orderdate < 180 GROUP BY o_orderdate`,
+		`SELECT o_orderpriority, COUNT(1) FROM joinView WHERE o_orderdate < 270 GROUP BY o_orderpriority`,
+		`SELECT o_orderstatus, SUM(l_extendedprice) FROM joinView GROUP BY o_orderstatus`,
+		`SELECT l_returnflag, SUM(l_extendedprice) FROM joinView WHERE l_shipdate >= 90 GROUP BY l_returnflag`,
+		`SELECT o_orderpriority, AVG(l_extendedprice) FROM joinView GROUP BY o_orderpriority`,
+		`SELECT l_suppkey, SUM(l_extendedprice) FROM joinView GROUP BY l_suppkey`,
+		`SELECT l_returnflag, SUM(l_extendedprice) FROM joinView WHERE l_returnflag = 1 GROUP BY l_returnflag`,
+		`SELECT o_orderpriority, COUNT(1) FROM joinView WHERE l_shipdate >= 180 GROUP BY o_orderpriority`,
+		`SELECT l_returnflag, SUM(l_extendedprice) FROM joinView WHERE l_shipdate >= 120 AND l_shipdate < 150 GROUP BY l_returnflag`,
+		`SELECT o_custkey, SUM(l_quantity) FROM joinView GROUP BY o_custkey`,
+		`SELECT l_returnflag, SUM(l_extendedprice) FROM joinView WHERE l_quantity BETWEEN 10 AND 30 GROUP BY l_returnflag`,
+		`SELECT o_orderstatus, COUNT(1) FROM joinView WHERE l_quantity > 25 GROUP BY o_orderstatus`,
+	}
+}

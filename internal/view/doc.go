@@ -1,0 +1,36 @@
+// Package view implements materialized views and their maintenance
+// strategies (paper Sections 3.1–3.2).
+//
+// A view is defined by a relational expression over base tables (package
+// algebra) and materialized by evaluating it. Between maintenance periods
+// the base tables accumulate staged deltas (package db) and the view is
+// stale — it has incorrect, missing, and superfluous rows in the paper's
+// terminology (Section 3.1).
+//
+// A maintenance strategy M(S, D, ∂D) is itself a relational expression
+// whose evaluation returns the up-to-date view S′. Two strategies are
+// provided:
+//
+//   - Change-table incremental maintenance (Gupta/Mumick style, the
+//     paper's Example 1): propagate signed-multiplicity deltas through the
+//     view's SPJ body, aggregate them into a change table, and merge it
+//     into the stale view with a full outer join and a coalescing
+//     projection. Applies to SPJ views and single-level aggregate views
+//     with count/sum aggregates.
+//   - Recompute: substitute (R − ∇R) ∪ ΔR for every base scan in the view
+//     definition. Fully general; used as the fallback for views the
+//     change-table rules cannot handle (outer joins, nested aggregates,
+//     avg/min/max) and as the ground truth in tests.
+//
+// Because both strategies are plain relational expressions, SVC's hash
+// push-down applies to them directly — that is the paper's central trick.
+//
+// Concurrency contract: a View's data pointer is atomic — Data() is safe
+// from any goroutine and returns whatever relation was last published.
+// Replace and the Maintainer's strategy derivation are owner-side,
+// single-writer operations (the svc serving layer serializes them under
+// its maintenance lock). MaintainAt evaluates a maintenance cycle against
+// a pinned db.Version and passed-in view data without touching live
+// state, so it runs concurrently with readers; its result is published
+// with a single Replace/ApplyVersion swap.
+package view

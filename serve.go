@@ -32,9 +32,18 @@ type Refresher struct {
 type refreshErr struct{ err error }
 
 // StartBackgroundRefresh starts (and returns) a background refresher with
-// the given interval. A previously started refresher for this view is
-// stopped first (the swap is atomic, so a concurrent restart never
-// orphans a running refresher). The interval must be positive.
+// the given interval. The interval must be positive.
+//
+// Overlapping calls are last-writer-wins: each call installs its new
+// refresher as the view's current one (Refresher) and then stops whatever
+// it displaced, waiting out any in-flight cycle, so at most one refresher
+// ever drives maintenance and no running refresher is orphaned — even
+// when two goroutines race the restart, the loser's refresher is stopped
+// by whichever call displaced it. A displaced refresher keeps its final
+// counters readable (Cycles, MaxCycleDuration, Err) but never runs
+// another cycle; callers holding an old *Refresher handle should re-read
+// StaleView.Refresher() after a restart, since the old handle's Err only
+// reflects cycles that ran before the displacement.
 func (sv *StaleView) StartBackgroundRefresh(interval time.Duration) *Refresher {
 	if interval <= 0 {
 		panic("svc: background refresh interval must be positive")
@@ -109,6 +118,9 @@ func (r *Refresher) Interval() time.Duration { return r.interval }
 // Cycles reports how many maintenance cycles have completed.
 func (r *Refresher) Cycles() uint64 { return r.cycles.Load() }
 
+// Skips reports how many ticks found no staged deltas and did nothing.
+func (r *Refresher) Skips() uint64 { return r.skips.Load() }
+
 // MaxCycleDuration reports the wall-clock time of the slowest completed
 // cycle. Comparing it with observed query latencies shows whether readers
 // ever waited out a maintenance run (under snapshot serving they do not).
@@ -125,6 +137,11 @@ func (r *Refresher) InCycle() bool { return r.inCycle.Load() }
 // Err returns the most recent cycle's error, or nil — a later successful
 // cycle clears it. A failed cycle leaves the previous publication
 // serving; the next tick retries.
+//
+// Err is per-refresher state: after an overlapping StartBackgroundRefresh
+// displaced this refresher, its Err stays frozen at the last cycle it ran
+// itself — read the view's current refresher (StaleView.Refresher) for
+// live error reporting.
 func (r *Refresher) Err() error {
 	if e, ok := r.lastErr.Load().(refreshErr); ok {
 		return e.err

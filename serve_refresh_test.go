@@ -1,0 +1,152 @@
+package svc_test
+
+// Tests for the documented last-writer-wins semantics of overlapping
+// StartBackgroundRefresh calls (see serve.go): the newest refresher is
+// the view's current one, displaced refreshers are fully stopped with
+// their counters frozen but readable, and Err stays per-refresher.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	svc "github.com/sampleclean/svc"
+)
+
+func refreshScenario(t *testing.T) (*svc.Database, *svc.Table, *svc.StaleView) {
+	t.Helper()
+	d := svc.NewDatabase()
+	logT := d.MustCreate("Log", svc.NewSchema([]svc.Column{
+		svc.Col("sessionId", svc.KindInt),
+		svc.Col("videoId", svc.KindInt),
+	}, "sessionId"))
+	for i := 0; i < 200; i++ {
+		logT.MustInsert(svc.Row{svc.Int(int64(i)), svc.Int(int64(i % 10))})
+	}
+	plan := svc.GroupByAgg(svc.Scan("Log", logT.Schema()),
+		[]string{"videoId"}, svc.CountAs("visitCount"))
+	sv, err := svc.New(d, svc.ViewDefinition{Name: "v", Plan: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sv.Close() })
+	return d, logT, sv
+}
+
+// TestRefresherLastWriterWins overlaps two StartBackgroundRefresh calls
+// and checks the documented contract.
+func TestRefresherLastWriterWins(t *testing.T) {
+	_, logT, sv := refreshScenario(t)
+
+	r1 := sv.StartBackgroundRefresh(time.Millisecond)
+	if sv.Refresher() != r1 {
+		t.Fatal("first refresher should be current")
+	}
+	r2 := sv.StartBackgroundRefresh(time.Millisecond)
+	// Last writer wins: r2 is current, and by the time the call returned
+	// r1 was fully stopped (Stop waits out in-flight cycles).
+	if sv.Refresher() != r2 {
+		t.Fatal("second refresher should displace the first")
+	}
+	if r1.InCycle() {
+		t.Fatal("displaced refresher should not be mid-cycle after the displacement")
+	}
+	frozen := r1.Cycles()
+
+	// Only r2 folds this staged update in.
+	if err := logT.StageInsert(svc.Row{svc.Int(10_000), svc.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for sv.Stale() {
+		if time.Now().After(deadline) {
+			t.Fatal("current refresher did not fold the update in")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	waitCycles := time.Now().Add(5 * time.Second)
+	for r2.Cycles() == 0 {
+		if time.Now().After(waitCycles) {
+			t.Fatal("current refresher completed no cycle")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := r1.Cycles(); got != frozen {
+		t.Fatalf("displaced refresher ran %d extra cycles", got-frozen)
+	}
+	if err := r1.Err(); err != nil {
+		t.Fatalf("displaced refresher recorded error: %v", err)
+	}
+	if err := r2.Err(); err != nil {
+		t.Fatalf("current refresher recorded error: %v", err)
+	}
+	// Stopping the displaced refresher again is an idempotent no-op.
+	r1.Stop()
+}
+
+// TestRefresherConcurrentRestarts hammers StartBackgroundRefresh from
+// many goroutines (run with -race): afterwards exactly the last-installed
+// refresher runs, every other one is stopped, and Close stops the winner.
+func TestRefresherConcurrentRestarts(t *testing.T) {
+	_, logT, sv := refreshScenario(t)
+
+	const starters = 8
+	refs := make([]*svc.Refresher, starters)
+	var wg sync.WaitGroup
+	for i := 0; i < starters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			refs[i] = sv.StartBackgroundRefresh(time.Millisecond)
+		}(i)
+	}
+	wg.Wait()
+
+	cur := sv.Refresher()
+	found := false
+	for _, r := range refs {
+		if r == cur {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("current refresher is none of the started ones")
+	}
+	// The winner still drives maintenance.
+	if err := logT.StageInsert(svc.Row{svc.Int(20_000), svc.Int(2)}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for sv.Stale() {
+		if time.Now().After(deadline) {
+			t.Fatal("winner refresher did not fold the update in")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Every loser is stopped: their cycle counters are frozen.
+	before := make([]uint64, starters)
+	for i, r := range refs {
+		if r != cur {
+			before[i] = r.Cycles()
+		}
+	}
+	if err := logT.StageInsert(svc.Row{svc.Int(20_001), svc.Int(3)}); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for sv.Stale() {
+		if time.Now().After(deadline) {
+			t.Fatal("winner refresher did not fold the second update in")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i, r := range refs {
+		if r != cur && r.Cycles() != before[i] {
+			t.Fatalf("displaced refresher %d still cycling", i)
+		}
+	}
+	sv.Close()
+	if cur.InCycle() {
+		t.Fatal("refresher mid-cycle after Close")
+	}
+}

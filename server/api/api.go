@@ -1,0 +1,147 @@
+package api
+
+// QueryRequest is the body of POST /query: one svcql statement.
+type QueryRequest struct {
+	// SQL is the svcql text: an aggregate SELECT against a served view
+	// (answered by the SVC estimators, with confidence intervals) or a
+	// SELECT over base tables (executed through the batched pipeline).
+	SQL string `json:"sql"`
+	// DeadlineMillis overrides the server's default per-query deadline.
+	// It is capped by the server's configured maximum; zero means the
+	// default.
+	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
+	// MaxRows caps the rows returned for a base-table SELECT. It is
+	// capped by the server's configured maximum; zero means the default.
+	MaxRows int `json:"max_rows,omitempty"`
+}
+
+// Estimate is an approximate answer with its uncertainty — the wire form
+// of the engine's Estimate.
+type Estimate struct {
+	Value      float64 `json:"value"`
+	Lo         float64 `json:"lo"`
+	Hi         float64 `json:"hi"`
+	Confidence float64 `json:"confidence"`
+	// TailProb is set for min/max only (Cantelli bound).
+	TailProb float64 `json:"tail_prob,omitempty"`
+	// Method names the estimator that produced the answer ("svc+aqp" or
+	// "svc+corr").
+	Method string `json:"method"`
+	// K is the number of cleaned sample rows behind the estimate.
+	K int `json:"k"`
+}
+
+// Group is one group of a GROUP BY estimate.
+type Group struct {
+	// Key is the printable group label (comma-joined group column
+	// values).
+	Key string `json:"key"`
+	Estimate
+}
+
+// QueryResponse is the body of a successful POST /query.
+type QueryResponse struct {
+	// Kind says which payload fields are set: "estimate" (aggregate
+	// against a view), "groups" (GROUP BY against a view), or "rows"
+	// (base-table SELECT).
+	Kind string `json:"kind"`
+	// View is the served view the query ran against (estimate/groups).
+	View string `json:"view,omitempty"`
+
+	// Estimate and StaleValue are set for kind "estimate": the fresh
+	// estimate and the uncorrected answer from the stale view.
+	Estimate   *Estimate `json:"estimate,omitempty"`
+	StaleValue *float64  `json:"stale_value,omitempty"`
+
+	// Groups is set for kind "groups", sorted by Key.
+	Groups []Group `json:"groups,omitempty"`
+
+	// Columns/Rows are set for kind "rows". Values are JSON natives
+	// (numbers, strings, booleans, null). RowCount is the full result
+	// size before the MaxRows cap; Truncated says the cap bit.
+	Columns   []string `json:"columns,omitempty"`
+	Rows      [][]any  `json:"rows,omitempty"`
+	RowCount  int      `json:"row_count,omitempty"`
+	Truncated bool     `json:"truncated,omitempty"`
+
+	// Staleness metadata. AsOfEpoch is the publication epoch of the
+	// pinned catalog version the answer was computed against; AppliedSeq
+	// counts the maintenance boundaries behind it; Pending reports
+	// whether staged (not yet maintained) deltas existed at that version
+	// — i.e. whether the answer is an estimate over a stale view rather
+	// than an exact read of a fresh one.
+	AsOfEpoch  uint64 `json:"as_of_epoch"`
+	AppliedSeq uint64 `json:"applied_seq"`
+	Pending    bool   `json:"pending"`
+
+	// ElapsedMillis is the server-side execution time.
+	ElapsedMillis float64 `json:"elapsed_ms"`
+}
+
+// CreateViewRequest is the body of POST /views: a svcql CREATE VIEW
+// statement materialized and served with background refresh.
+type CreateViewRequest struct {
+	SQL string `json:"sql"`
+	// SamplingRatio is the SVC sample ratio m for the new view's cleaner
+	// (zero means the server default).
+	SamplingRatio float64 `json:"sampling_ratio,omitempty"`
+}
+
+// CreateViewResponse acknowledges a materialized view.
+type CreateViewResponse struct {
+	View string `json:"view"`
+	// Rows is the materialized cardinality.
+	Rows int `json:"rows"`
+	// Strategy is the chosen maintenance strategy ("change-table" or
+	// "recompute").
+	Strategy string `json:"strategy"`
+}
+
+// ViewStats is one served view's slice of GET /stats.
+type ViewStats struct {
+	Name string `json:"name"`
+	Rows int    `json:"rows"`
+	// SampleRows is the persistent sample's cardinality.
+	SampleRows int `json:"sample_rows"`
+	// Refresher counters (zero-valued when no background refresher runs).
+	RefreshIntervalMillis float64 `json:"refresh_interval_ms,omitempty"`
+	Cycles                uint64  `json:"cycles"`
+	Skips                 uint64  `json:"skips"`
+	MaxCycleMillis        float64 `json:"max_cycle_ms"`
+	InCycle               bool    `json:"in_cycle"`
+	// LastError is the most recent failed cycle's message ("" after a
+	// later successful cycle).
+	LastError string `json:"last_error,omitempty"`
+}
+
+// StatsResponse is the body of GET /stats.
+type StatsResponse struct {
+	// Epoch is the catalog's current publication epoch; AppliedSeq counts
+	// completed maintenance boundaries; Pending reports staged deltas.
+	Epoch      uint64 `json:"epoch"`
+	AppliedSeq uint64 `json:"applied_seq"`
+	Pending    bool   `json:"pending"`
+	// MaxServedEpoch is the largest AsOfEpoch stamped on any answer this
+	// server returned; EpochLag = Epoch − MaxServedEpoch measures how far
+	// the catalog has moved past the freshest answer served.
+	MaxServedEpoch uint64 `json:"max_served_epoch"`
+	EpochLag       uint64 `json:"epoch_lag"`
+
+	// Admission-control counters. TimedOut counts per-query deadline
+	// expiries (504s); Canceled counts clients that went away before
+	// their answer (neither a timeout nor an error).
+	InFlight    int    `json:"in_flight"`
+	MaxInFlight int    `json:"max_in_flight"`
+	Served      uint64 `json:"served"`
+	Rejected    uint64 `json:"rejected"`
+	TimedOut    uint64 `json:"timed_out"`
+	Canceled    uint64 `json:"canceled"`
+	Errors      uint64 `json:"errors"`
+
+	Views []ViewStats `json:"views"`
+}
+
+// ErrorResponse is the body of any non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

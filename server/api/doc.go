@@ -1,0 +1,7 @@
+// Package api defines the JSON wire protocol of svcd, the svcql-over-HTTP
+// serving daemon. It is shared by package server (the daemon) and package
+// client (the thin Go client) and holds types only — no behavior — so
+// importing it pulls in neither side.
+//
+// All types are plain data and safe to marshal/unmarshal concurrently.
+package api

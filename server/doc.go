@@ -1,0 +1,32 @@
+// Package server implements svcd's serving core: an HTTP/JSON front door
+// that accepts svcql text and answers it from the SVC engine — the
+// network realization of the paper's premise (Krishnan et al., PVLDB
+// 2015) that a system can serve fresh-enough answers from stale
+// materialized views under load instead of blocking on maintenance.
+//
+// Three statement routes share POST /query:
+//
+//   - aggregate SELECTs whose FROM names a served view are answered by
+//     the SVC estimators (Sections 5–6): an estimate, its confidence
+//     interval, the stale baseline, and staleness metadata;
+//   - GROUP BY aggregates against a served view return per-group
+//     estimates;
+//   - SELECTs over base tables run through the batched execution pipeline
+//     against an explicitly pinned catalog version and return rows.
+//
+// Every request reads one publication epoch (the PR 2 Pin/AsOfEpoch
+// machinery), so answers are internally consistent while writers stage
+// updates and background Refreshers publish maintenance cycles. POST
+// /views materializes new views from CREATE VIEW text; GET /stats exposes
+// admission, refresh-cycle, and epoch-lag counters; see DESIGN.md
+// ("Network serving layer") for the request lifecycle.
+//
+// Concurrency contract: a Server is safe for concurrent use in every
+// exported method and handler. Admission control bounds concurrently
+// executing queries (MaxInFlight, immediate 503 beyond it) and each query
+// gets a deadline (504 on expiry; the query finishes in the background
+// and holds its admission slot until it does). Shutdown drains: it stops
+// accepting, waits for every in-flight query — including ones whose HTTP
+// requests already timed out — and only then stops the views' background
+// refreshers.
+package server

@@ -1,0 +1,560 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	svc "github.com/sampleclean/svc"
+	"github.com/sampleclean/svc/internal/relation"
+	"github.com/sampleclean/svc/internal/svcql"
+	"github.com/sampleclean/svc/server/api"
+)
+
+// Config tunes a Server. The zero value is usable: every field has a
+// default applied by New.
+type Config struct {
+	// Addr is the listen address for Start (default "127.0.0.1:7781").
+	Addr string
+	// MaxInFlight bounds concurrently executing queries; requests beyond
+	// it are rejected immediately with 503 (default 64).
+	MaxInFlight int
+	// DefaultDeadline is the per-query deadline when the request does not
+	// set one (default 5s). MaxDeadline caps what a request may ask for
+	// (default 60s).
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// MaxRows caps the rows a base-table SELECT returns when the request
+	// does not set a smaller cap (default 1000).
+	MaxRows int
+	// SamplingRatio is the SVC sample ratio for views created through
+	// POST /views when the request does not set one (default 0.10).
+	SamplingRatio float64
+	// Refresh is the background refresh interval for views created
+	// through POST /views; 0 leaves them without a refresher (the owner
+	// maintains them explicitly).
+	Refresh time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:7781"
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 5 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 60 * time.Second
+	}
+	if c.MaxRows <= 0 {
+		c.MaxRows = 1000
+	}
+	if c.SamplingRatio <= 0 {
+		c.SamplingRatio = 0.10
+	}
+	return c
+}
+
+// Server is the svcd serving core: it owns a database, a registry of
+// served StaleViews, and the HTTP front door that answers svcql text.
+//
+// Every request pins one published catalog version and answers entirely
+// from it (the estimator paths inside StaleView.Query do the pinning; the
+// base-table path pins explicitly), so an answer is always internally
+// consistent no matter what writers and background refresh cycles do
+// concurrently. Handlers, Register, CreateView, and Shutdown are safe for
+// concurrent use.
+type Server struct {
+	cfg Config
+	d   *svc.Database
+
+	mu    sync.RWMutex // guards views
+	views map[string]*svc.StaleView
+
+	sem  chan struct{}  // admission: one slot per executing query
+	work sync.WaitGroup // tracks executing queries past handler return
+
+	served, rejected, timedOut, canceled, errs atomic.Uint64
+	maxServedEpoch                             atomic.Uint64
+
+	httpSrv *http.Server
+	ln      net.Listener
+
+	// holdQuery, when set, runs inside each query's worker goroutine
+	// while its admission slot is held — a test seam for saturating
+	// admission control and exercising shutdown draining deterministically.
+	holdQuery atomic.Pointer[func()]
+}
+
+// New creates a server over the database. Views must be registered
+// (Register) or created (CreateView, POST /views) before queries can
+// target them; base-table SELECTs work immediately.
+func New(d *svc.Database, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:   cfg,
+		d:     d,
+		views: make(map[string]*svc.StaleView),
+		sem:   make(chan struct{}, cfg.MaxInFlight),
+	}
+}
+
+// Register serves an existing StaleView under its view name.
+func (s *Server) Register(sv *svc.StaleView) error {
+	name := sv.View().Name()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.views[name]; dup {
+		return fmt.Errorf("server: view %q already registered", name)
+	}
+	s.views[name] = sv
+	return nil
+}
+
+// CreateView compiles a svcql CREATE VIEW statement, materializes it over
+// the live database, registers it, and (when the server is configured
+// with a refresh interval) starts its background refresher. Extra options
+// are passed through to svc.New after the server defaults, so they win.
+func (s *Server) CreateView(sql string, opts ...svc.Option) (*svc.StaleView, error) {
+	def, err := svc.ViewFromSQL(s.d, sql)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	_, dup := s.views[def.Name]
+	s.mu.RUnlock()
+	if dup {
+		return nil, fmt.Errorf("server: view %q already registered", def.Name)
+	}
+	all := []svc.Option{svc.WithSamplingRatio(s.cfg.SamplingRatio)}
+	if s.cfg.Refresh > 0 {
+		all = append(all, svc.WithBackgroundRefresh(s.cfg.Refresh))
+	}
+	all = append(all, opts...)
+	sv, err := svc.New(s.d, def, all...)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Register(sv); err != nil {
+		// Raced with a concurrent CreateView of the same name.
+		sv.Close()
+		return nil, err
+	}
+	return sv, nil
+}
+
+// View returns the served view with the given name, or nil.
+func (s *Server) View(name string) *svc.StaleView {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.views[name]
+}
+
+// Handler returns the HTTP front door:
+//
+//	POST /query   {"sql": ...}            → api.QueryResponse
+//	POST /views   {"sql": "CREATE VIEW"}  → api.CreateViewResponse
+//	GET  /stats                           → api.StatsResponse
+//	GET  /healthz                         → 200 "ok"
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/views", s.handleCreateView)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// Start binds the configured address and serves in the background. It
+// returns once the listener is bound, so Addr is immediately usable.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.httpSrv = &http.Server{Handler: s.Handler()}
+	go func() {
+		// ErrServerClosed is the normal Shutdown signal; anything else
+		// would have surfaced to clients as failed requests already.
+		_ = s.httpSrv.Serve(ln)
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address (host:port) after Start.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown drains and stops the server in the order a serving daemon
+// needs: stop accepting connections, wait for every in-flight query to
+// finish (including queries whose HTTP request already timed out — they
+// keep running to completion in the background), and only then stop the
+// background refreshers of every served view. The context bounds the
+// wait; on expiry the refreshers are still stopped before returning.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	if s.httpSrv != nil {
+		err = s.httpSrv.Shutdown(ctx)
+	}
+	drained := make(chan struct{})
+	go func() {
+		s.work.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	s.mu.RLock()
+	views := make([]*svc.StaleView, 0, len(s.views))
+	for _, sv := range s.views {
+		views = append(views, sv)
+	}
+	s.mu.RUnlock()
+	for _, sv := range views {
+		sv.Close()
+	}
+	return err
+}
+
+// ------------------------------------------------------------- handlers
+
+type queryOutcome struct {
+	resp *api.QueryResponse
+	code int
+	err  error
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST a JSON body to /query")
+		return
+	}
+	var req api.QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		writeError(w, http.StatusBadRequest, "empty sql")
+		return
+	}
+
+	// Admission control: reject immediately when MaxInFlight queries are
+	// already executing — under overload a fast 503 beats a slow queue.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable,
+			"overloaded: %d queries in flight", cap(s.sem))
+		return
+	}
+
+	start := time.Now()
+	done := make(chan queryOutcome, 1)
+	s.work.Add(1)
+	go func() {
+		defer func() { <-s.sem; s.work.Done() }()
+		if hold := s.holdQuery.Load(); hold != nil {
+			(*hold)()
+		}
+		resp, code, err := s.execute(&req)
+		done <- queryOutcome{resp: resp, code: code, err: err}
+	}()
+
+	deadline := s.deadlineFor(req.DeadlineMillis)
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	select {
+	case out := <-done:
+		if out.err != nil {
+			s.errs.Add(1)
+			writeError(w, out.code, "%v", out.err)
+			return
+		}
+		out.resp.ElapsedMillis = float64(time.Since(start)) / float64(time.Millisecond)
+		s.served.Add(1)
+		s.noteServedEpoch(out.resp.AsOfEpoch)
+		writeJSON(w, http.StatusOK, out.resp)
+	case <-timer.C:
+		// The query keeps its admission slot until it actually finishes,
+		// so a pile-up of slow queries degrades into 503s instead of
+		// unbounded goroutine growth.
+		s.timedOut.Add(1)
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded after %v", deadline)
+	case <-r.Context().Done():
+		// The client went away (closed connection, aborted request) —
+		// not a deadline expiry, so it gets its own counter.
+		s.canceled.Add(1)
+	}
+}
+
+func (s *Server) deadlineFor(reqMillis int64) time.Duration {
+	d := s.cfg.DefaultDeadline
+	if reqMillis > 0 {
+		// Compare in milliseconds before converting: a huge request value
+		// would overflow the ms→ns conversion into a negative duration
+		// and slip past the cap as an instant expiry.
+		if reqMillis >= s.cfg.MaxDeadline.Milliseconds() {
+			return s.cfg.MaxDeadline
+		}
+		d = time.Duration(reqMillis) * time.Millisecond
+	}
+	if d > s.cfg.MaxDeadline {
+		d = s.cfg.MaxDeadline
+	}
+	return d
+}
+
+// execute routes one parsed statement: aggregate SELECTs whose FROM names
+// a served view go to the SVC estimators; SELECTs over base tables run
+// through the batched pipeline against an explicitly pinned version.
+func (s *Server) execute(req *api.QueryRequest) (*api.QueryResponse, int, error) {
+	cv, sel, err := svcql.Parse(req.SQL)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	if cv != nil {
+		return nil, http.StatusBadRequest,
+			fmt.Errorf("CREATE VIEW goes to POST /views, not /query")
+	}
+	if sv := s.View(sel.From); sv != nil {
+		return s.executeViewQuery(sv, req.SQL, len(sel.GroupBy) > 0)
+	}
+	return s.executeTableSelect(req, sel)
+}
+
+func (s *Server) executeViewQuery(sv *svc.StaleView, sql string, grouped bool) (*api.QueryResponse, int, error) {
+	resp := &api.QueryResponse{View: sv.View().Name()}
+	if grouped {
+		res, err := sv.QueryGroupsSQL(sql)
+		if err != nil {
+			return nil, planOrRuntimeStatus(err), err
+		}
+		resp.Kind = "groups"
+		for key, est := range res.Groups {
+			g := api.Group{Key: res.Labels[key], Estimate: wireEstimate(est)}
+			resp.Groups = append(resp.Groups, g)
+			if est.AsOfEpoch > resp.AsOfEpoch {
+				resp.AsOfEpoch = est.AsOfEpoch
+			}
+		}
+		sort.Slice(resp.Groups, func(i, j int) bool { return resp.Groups[i].Key < resp.Groups[j].Key })
+	} else {
+		ans, err := sv.QuerySQL(sql)
+		if err != nil {
+			return nil, planOrRuntimeStatus(err), err
+		}
+		resp.Kind = "estimate"
+		e := wireEstimate(ans.Estimate)
+		resp.Estimate = &e
+		stale := ans.StaleValue
+		resp.StaleValue = &stale
+		resp.AsOfEpoch = ans.AsOfEpoch
+	}
+	s.stampStaleness(resp)
+	return resp, 0, nil
+}
+
+func (s *Server) executeTableSelect(req *api.QueryRequest, sel *svcql.SelectStmt) (*api.QueryResponse, int, error) {
+	pin := s.d.Pin()
+	if pin.Base(sel.From) == nil {
+		return nil, http.StatusNotFound,
+			fmt.Errorf("unknown relation %q: not a served view and not a base table", sel.From)
+	}
+	maxRows := s.cfg.MaxRows
+	if req.MaxRows > 0 && req.MaxRows < maxRows {
+		maxRows = req.MaxRows
+	}
+	// The cap is pushed into the pipeline drain: at most maxRows rows are
+	// ever materialized; the rest of the stream is only counted.
+	rel, total, err := svcql.ExecSelectLimit(pin, sel, maxRows)
+	if err != nil {
+		return nil, planOrRuntimeStatus(err), err
+	}
+	resp := &api.QueryResponse{
+		Kind:       "rows",
+		Columns:    rel.Schema().Names(),
+		RowCount:   total,
+		Truncated:  total > rel.Len(),
+		AsOfEpoch:  pin.Epoch(),
+		AppliedSeq: pin.AppliedSeq(),
+		Pending:    pin.HasPending(),
+	}
+	rows := rel.Rows()
+	resp.Rows = make([][]any, len(rows))
+	for i, row := range rows {
+		out := make([]any, len(row))
+		for j, v := range row {
+			out[j] = jsonValue(v)
+		}
+		resp.Rows[i] = out
+	}
+	return resp, 0, nil
+}
+
+// stampStaleness fills the advisory staleness fields of a view answer.
+// AsOfEpoch is authoritative (stamped by the estimator from its pinned
+// version); AppliedSeq and Pending describe the current publication, which
+// can be at most one publication newer than the answer's.
+func (s *Server) stampStaleness(resp *api.QueryResponse) {
+	pin := s.d.Pin()
+	resp.AppliedSeq = pin.AppliedSeq()
+	resp.Pending = pin.HasPending()
+	if resp.AsOfEpoch == 0 {
+		// A group query over an empty view carries no per-group epochs;
+		// stamp the current publication so every answer is epoch-stamped
+		// (and per-client monotonicity still holds: the current epoch is
+		// ≥ any epoch previously served).
+		resp.AsOfEpoch = pin.Epoch()
+	}
+}
+
+func (s *Server) handleCreateView(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST a JSON body to /views")
+		return
+	}
+	var req api.CreateViewRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	var opts []svc.Option
+	if req.SamplingRatio > 0 {
+		opts = append(opts, svc.WithSamplingRatio(req.SamplingRatio))
+	}
+	sv, err := s.CreateView(req.SQL, opts...)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, &api.CreateViewResponse{
+		View:     sv.View().Name(),
+		Rows:     sv.View().Data().Len(),
+		Strategy: sv.Maintainer().Kind().String(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	pin := s.d.Pin()
+	resp := &api.StatsResponse{
+		Epoch:          pin.Epoch(),
+		AppliedSeq:     pin.AppliedSeq(),
+		Pending:        pin.HasPending(),
+		MaxServedEpoch: s.maxServedEpoch.Load(),
+		InFlight:       len(s.sem),
+		MaxInFlight:    cap(s.sem),
+		Served:         s.served.Load(),
+		Rejected:       s.rejected.Load(),
+		TimedOut:       s.timedOut.Load(),
+		Canceled:       s.canceled.Load(),
+		Errors:         s.errs.Load(),
+	}
+	if resp.MaxServedEpoch > 0 && resp.Epoch > resp.MaxServedEpoch {
+		resp.EpochLag = resp.Epoch - resp.MaxServedEpoch
+	}
+	s.mu.RLock()
+	for name, sv := range s.views {
+		vs := api.ViewStats{
+			Name:       name,
+			Rows:       sv.View().Data().Len(),
+			SampleRows: sv.Cleaner().StaleSample().Len(),
+		}
+		if ref := sv.Refresher(); ref != nil {
+			vs.RefreshIntervalMillis = float64(ref.Interval()) / float64(time.Millisecond)
+			vs.Cycles = ref.Cycles()
+			vs.Skips = ref.Skips()
+			vs.MaxCycleMillis = float64(ref.MaxCycleDuration()) / float64(time.Millisecond)
+			vs.InCycle = ref.InCycle()
+			if err := ref.Err(); err != nil {
+				vs.LastError = err.Error()
+			}
+		}
+		resp.Views = append(resp.Views, vs)
+	}
+	s.mu.RUnlock()
+	sort.Slice(resp.Views, func(i, j int) bool { return resp.Views[i].Name < resp.Views[j].Name })
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ------------------------------------------------------------- plumbing
+
+func (s *Server) noteServedEpoch(epoch uint64) {
+	for {
+		cur := s.maxServedEpoch.Load()
+		if epoch <= cur || s.maxServedEpoch.CompareAndSwap(cur, epoch) {
+			return
+		}
+	}
+}
+
+// planOrRuntimeStatus maps an execution error to an HTTP status: planner
+// and binder errors (bad SQL against a fine catalog) are the client's
+// fault, everything else is the server's.
+func planOrRuntimeStatus(err error) int {
+	if strings.Contains(err.Error(), "svcql:") {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+func wireEstimate(e svc.Estimate) api.Estimate {
+	return api.Estimate{
+		Value:      e.Value,
+		Lo:         e.Lo,
+		Hi:         e.Hi,
+		Confidence: e.Confidence,
+		TailProb:   e.TailProb,
+		Method:     e.Method,
+		K:          e.K,
+	}
+}
+
+func jsonValue(v relation.Value) any {
+	switch v.Kind() {
+	case relation.KindNull:
+		return nil
+	case relation.KindInt:
+		return v.AsInt()
+	case relation.KindFloat:
+		return v.AsFloat()
+	case relation.KindBool:
+		return v.AsBool()
+	default:
+		return v.AsString()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, payload any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(payload)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, api.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,450 @@
+package server
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	svc "github.com/sampleclean/svc"
+	"github.com/sampleclean/svc/client"
+	"github.com/sampleclean/svc/server/api"
+)
+
+// buildScenario creates the running-example database with a Log table of
+// `visits` rows over `videos` videos and returns a started server with
+// the visitView created from svcql text.
+func buildScenario(t *testing.T, videos, visits int, cfg Config) (*Server, *svc.Database, *svc.Table) {
+	t.Helper()
+	d := svc.NewDatabase()
+	video := d.MustCreate("Video", svc.NewSchema([]svc.Column{
+		svc.Col("videoId", svc.KindInt),
+		svc.Col("ownerId", svc.KindInt),
+	}, "videoId"))
+	for i := 0; i < videos; i++ {
+		video.MustInsert(svc.Row{svc.Int(int64(i)), svc.Int(int64(i % 10))})
+	}
+	logT := d.MustCreate("Log", svc.NewSchema([]svc.Column{
+		svc.Col("sessionId", svc.KindInt),
+		svc.Col("videoId", svc.KindInt),
+	}, "sessionId"))
+	for i := 0; i < visits; i++ {
+		logT.MustInsert(svc.Row{svc.Int(int64(i)), svc.Int(int64(i % videos))})
+	}
+	cfg.Addr = "127.0.0.1:0"
+	srv := New(d, cfg)
+	if _, err := srv.CreateView(`CREATE VIEW visitView AS
+SELECT videoId, ownerId, COUNT(1) AS visitCount
+FROM Log JOIN Video ON Log.videoId = Video.videoId
+GROUP BY videoId, ownerId`); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	return srv, d, logT
+}
+
+// TestServeConcurrentNoTornReads is the acceptance integration test: 8
+// HTTP clients query the view while writers stage inserts and the
+// background refresher publishes maintenance cycles every 2ms. Every
+// answer must be internally consistent (CI brackets the estimate, epoch
+// stamped and monotone per client) — a torn read (view from one
+// publication, sample from another) would break bracketing or produce a
+// value outside the plausible band. Afterwards, a full drain must account
+// for every staged row.
+func TestServeConcurrentNoTornReads(t *testing.T) {
+	const (
+		videos  = 50
+		visits  = 2000
+		clients = 8
+		writers = 2
+		ops     = 300
+	)
+	srv, _, logT := buildScenario(t, videos, visits, Config{MaxInFlight: 64})
+	sv := srv.View("visitView")
+	sv.StartBackgroundRefresh(2 * time.Millisecond)
+
+	var inserted atomic.Int64
+	var wg sync.WaitGroup
+	writersDone := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := int64(visits + 100_000*(w+1))
+			for i := 0; i < ops; i++ {
+				if err := logT.StageInsert(svc.Row{svc.Int(base + int64(i)), svc.Int(int64(i % videos))}); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				inserted.Add(1)
+				if i%16 == 15 {
+					time.Sleep(300 * time.Microsecond)
+				}
+			}
+		}(w)
+	}
+	go func() { wg.Wait(); close(writersDone) }()
+
+	var served, duringMaint atomic.Int64
+	var rg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		rg.Add(1)
+		go func(g int) {
+			defer rg.Done()
+			c := client.New(srv.Addr())
+			var lastEpoch uint64
+			for done := false; !done; {
+				select {
+				case <-writersDone:
+					done = true // one final query after writers stop
+				default:
+				}
+				sql := `SELECT SUM(visitCount) FROM visitView`
+				if g%3 == 1 {
+					sql = `SELECT ownerId, SUM(visitCount) FROM visitView GROUP BY ownerId`
+				}
+				r := sv.Refresher()
+				inBefore, cyclesBefore := r.InCycle(), r.Cycles()
+				resp, err := c.Query(sql)
+				if err != nil {
+					t.Errorf("client %d: %v", g, err)
+					return
+				}
+				if inBefore && r.InCycle() && r.Cycles() == cyclesBefore {
+					duringMaint.Add(1)
+				}
+				if resp.AsOfEpoch == 0 {
+					t.Errorf("client %d: missing AsOfEpoch", g)
+					return
+				}
+				if resp.AsOfEpoch < lastEpoch {
+					t.Errorf("client %d: epoch went backwards %d -> %d", g, lastEpoch, resp.AsOfEpoch)
+					return
+				}
+				lastEpoch = resp.AsOfEpoch
+				if resp.Estimate != nil {
+					e := resp.Estimate
+					if math.IsNaN(e.Value) || e.Lo > e.Value || e.Value > e.Hi {
+						t.Errorf("client %d: CI [%v,%v] does not bracket %v", g, e.Lo, e.Hi, e.Value)
+						return
+					}
+					// Plausible band: between the initial load and the final
+					// total; a torn read mixing publications can fall far out.
+					lo, hi := 0.5*float64(visits), 1.5*float64(visits+writers*ops)
+					if e.Value < lo || e.Value > hi {
+						t.Errorf("client %d: estimate %v outside [%v,%v]", g, e.Value, lo, hi)
+						return
+					}
+				}
+				for _, ge := range resp.Groups {
+					if math.IsNaN(ge.Value) || ge.Lo > ge.Value || ge.Value > ge.Hi {
+						t.Errorf("client %d: group %q CI [%v,%v] does not bracket %v", g, ge.Key, ge.Lo, ge.Hi, ge.Value)
+						return
+					}
+				}
+				served.Add(1)
+			}
+		}(g)
+	}
+	rg.Wait()
+	<-writersDone
+	if t.Failed() {
+		return
+	}
+
+	// Drain and account for every staged row.
+	sv.Close()
+	if err := sv.MaintainNow(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sv.ExactQuery(svc.Sum("visitCount", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(int64(visits) + inserted.Load())
+	if got != want {
+		t.Fatalf("final total %v != %v (lost updates)", got, want)
+	}
+	if sv.Refresher().Cycles() == 0 {
+		t.Fatal("no refresh cycles ran during the test")
+	}
+	t.Logf("served %d HTTP queries over %d cycles (%d completed mid-cycle)",
+		served.Load(), sv.Refresher().Cycles(), duringMaint.Load())
+}
+
+// TestAdmissionControl saturates MaxInFlight with held queries and checks
+// the next request is rejected with 503 immediately, then released
+// queries complete fine.
+func TestAdmissionControl(t *testing.T) {
+	srv, _, _ := buildScenario(t, 10, 200, Config{MaxInFlight: 2})
+	release := make(chan struct{})
+	var held atomic.Int64
+	hold := func() { held.Add(1); <-release }
+	srv.holdQuery.Store(&hold)
+
+	c := client.New(srv.Addr())
+	results := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := c.Query(`SELECT SUM(visitCount) FROM visitView`)
+			results <- err
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for held.Load() != 2 { // wait until both slots are held
+		if time.Now().After(deadline) {
+			t.Fatal("held queries never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_, err := c.Query(`SELECT SUM(visitCount) FROM visitView`)
+	if !client.IsOverloaded(err) {
+		t.Fatalf("expected 503 overloaded, got %v", err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rejected == 0 || st.InFlight != 2 || st.MaxInFlight != 2 {
+		t.Fatalf("stats should show the rejection and the held slots: %+v", st)
+	}
+	close(release) // held queries resume; later queries pass the hold instantly
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("held query should complete: %v", err)
+		}
+	}
+}
+
+// TestQueryDeadline holds a query past its deadline and checks the
+// request fails with 504 while the slot is released once the query
+// finally finishes.
+func TestQueryDeadline(t *testing.T) {
+	srv, _, _ := buildScenario(t, 10, 200, Config{MaxInFlight: 4})
+	release := make(chan struct{})
+	hold := func() { <-release }
+	srv.holdQuery.Store(&hold)
+	c := client.New(srv.Addr())
+	_, err := c.QueryDeadline(`SELECT SUM(visitCount) FROM visitView`, 30*time.Millisecond)
+	if !client.IsDeadlineExceeded(err) {
+		t.Fatalf("expected 504 deadline exceeded, got %v", err)
+	}
+	close(release)
+	// The timed-out query still finishes in the background and frees its
+	// admission slot.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(srv.sem) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("admission slot never released after timeout")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st, _ := c.Stats()
+	if st.TimedOut == 0 {
+		t.Fatalf("stats should count the timeout: %+v", st)
+	}
+}
+
+// TestDeadlineForClampsOverflow pins the deadline arithmetic: a huge
+// deadline_ms must clamp to MaxDeadline, not wrap negative past the cap
+// into an instant 504.
+func TestDeadlineForClampsOverflow(t *testing.T) {
+	s := New(svc.NewDatabase(), Config{DefaultDeadline: time.Second, MaxDeadline: 10 * time.Second})
+	for reqMillis, want := range map[int64]time.Duration{
+		0:                   time.Second, // default
+		250:                 250 * time.Millisecond,
+		10_000:              10 * time.Second, // exactly the cap
+		13_000_000_000_000:  10 * time.Second, // would overflow ms→ns
+		(1 << 62) / 1000000: 10 * time.Second,
+	} {
+		if got := s.deadlineFor(reqMillis); got != want {
+			t.Errorf("deadlineFor(%d) = %v, want %v", reqMillis, got, want)
+		}
+		if got := s.deadlineFor(reqMillis); got <= 0 {
+			t.Errorf("deadlineFor(%d) = %v is not positive", reqMillis, got)
+		}
+	}
+}
+
+// TestGracefulShutdownDrains proves the shutdown ordering: a query in
+// flight when Shutdown starts completes with a full answer, and only then
+// do the background refreshers stop.
+func TestGracefulShutdownDrains(t *testing.T) {
+	srv, _, _ := buildScenario(t, 10, 500, Config{MaxInFlight: 4})
+	sv := srv.View("visitView")
+	sv.StartBackgroundRefresh(time.Millisecond)
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	hold := func() { once.Do(func() { close(entered) }); <-release }
+	srv.holdQuery.Store(&hold)
+
+	c := client.New(srv.Addr())
+	queryErr := make(chan error, 1)
+	go func() {
+		_, err := c.QueryDeadline(`SELECT SUM(visitCount) FROM visitView`, 5*time.Second)
+		queryErr <- err
+	}()
+	<-entered
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+	// Shutdown must be blocked on the in-flight query.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("shutdown returned (%v) while a query was in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-queryErr; err != nil {
+		t.Fatalf("in-flight query should complete during graceful shutdown: %v", err)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// After Shutdown the refresher is stopped: no further cycles run.
+	cycles := sv.Refresher().Cycles()
+	time.Sleep(20 * time.Millisecond)
+	if got := sv.Refresher().Cycles(); got != cycles {
+		t.Fatalf("refresher still cycling after shutdown: %d -> %d", cycles, got)
+	}
+}
+
+// TestQueryRouting covers the three statement routes and their errors.
+func TestQueryRouting(t *testing.T) {
+	srv, _, logT := buildScenario(t, 10, 300, Config{})
+	c := client.New(srv.Addr())
+
+	// Estimator route: aggregate against the served view.
+	resp, err := c.Query(`SELECT COUNT(1) FROM visitView`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Kind != "estimate" || resp.Estimate == nil || resp.StaleValue == nil || resp.View != "visitView" {
+		t.Fatalf("bad estimate response: %+v", resp)
+	}
+	if resp.AsOfEpoch == 0 {
+		t.Fatal("estimate missing AsOfEpoch")
+	}
+
+	// Group route, sorted labels.
+	resp, err = c.Query(`SELECT ownerId, SUM(visitCount) FROM visitView GROUP BY ownerId`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Kind != "groups" || len(resp.Groups) == 0 {
+		t.Fatalf("bad groups response: %+v", resp)
+	}
+	for i := 1; i < len(resp.Groups); i++ {
+		if resp.Groups[i-1].Key > resp.Groups[i].Key {
+			t.Fatalf("groups not sorted: %q > %q", resp.Groups[i-1].Key, resp.Groups[i].Key)
+		}
+	}
+
+	// Pipeline route: base-table SELECT, with truncation metadata, pinned
+	// staleness fields.
+	if err := logT.StageInsert(svc.Row{svc.Int(10_000), svc.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = c.QueryRequest(&api.QueryRequest{SQL: `SELECT sessionId, videoId FROM Log WHERE videoId = 1`, MaxRows: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Kind != "rows" || len(resp.Rows) != 5 || !resp.Truncated || resp.RowCount <= 5 {
+		t.Fatalf("bad rows response: kind=%s rows=%d truncated=%v count=%d",
+			resp.Kind, len(resp.Rows), resp.Truncated, resp.RowCount)
+	}
+	if !resp.Pending {
+		t.Fatal("rows response should report pending staged deltas")
+	}
+	if len(resp.Columns) != 2 || resp.Columns[0] != "sessionId" {
+		t.Fatalf("bad columns: %v", resp.Columns)
+	}
+
+	// Errors: CREATE VIEW on /query; unknown relation; bad column.
+	if _, err := c.Query(`CREATE VIEW v2 AS SELECT videoId FROM Video`); !isStatus(err, http.StatusBadRequest) {
+		t.Fatalf("CREATE VIEW on /query should 400, got %v", err)
+	}
+	if _, err := c.Query(`SELECT x FROM nowhere`); !isStatus(err, http.StatusNotFound) {
+		t.Fatalf("unknown relation should 404, got %v", err)
+	}
+	if _, err := c.Query(`SELECT SUM(nosuch) FROM visitView`); !isStatus(err, http.StatusBadRequest) {
+		t.Fatalf("bad column should 400, got %v", err)
+	}
+}
+
+// TestEmptyGroupResultIsEpochStamped pins the every-answer-is-stamped
+// contract on the edge the per-group epochs can't cover: a GROUP BY
+// against an empty view has zero groups, and the answer must still carry
+// a non-zero AsOfEpoch (stamped from the current publication).
+func TestEmptyGroupResultIsEpochStamped(t *testing.T) {
+	srv, _, _ := buildScenario(t, 10, 300, Config{})
+	c := client.New(srv.Addr())
+	if _, err := c.CreateView(`CREATE VIEW empty AS
+SELECT videoId, COUNT(1) AS n FROM Log WHERE sessionId < 0 GROUP BY videoId`, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Query(`SELECT videoId, SUM(n) FROM empty GROUP BY videoId`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Kind != "groups" || len(resp.Groups) != 0 {
+		t.Fatalf("expected an empty groups answer, got %+v", resp)
+	}
+	if resp.AsOfEpoch == 0 {
+		t.Fatal("empty group answer must still be epoch-stamped")
+	}
+}
+
+func isStatus(err error, code int) bool {
+	ae, ok := err.(*client.APIError)
+	return ok && ae.StatusCode == code
+}
+
+// TestCreateViewOverWire creates a second view through POST /views and
+// queries it.
+func TestCreateViewOverWire(t *testing.T) {
+	srv, _, _ := buildScenario(t, 10, 300, Config{Refresh: 5 * time.Millisecond})
+	c := client.New(srv.Addr())
+	created, err := c.CreateView(`CREATE VIEW perVideo AS
+SELECT videoId, COUNT(1) AS n FROM Log GROUP BY videoId`, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created.View != "perVideo" || created.Rows != 10 {
+		t.Fatalf("bad create response: %+v", created)
+	}
+	resp, err := c.Query(`SELECT SUM(n) FROM perVideo`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Estimate.Value != 300 {
+		t.Fatalf("fresh view should answer exactly 300, got %v", resp.Estimate.Value)
+	}
+	// Duplicate names are rejected.
+	if _, err := c.CreateView(`CREATE VIEW perVideo AS SELECT videoId, COUNT(1) AS n FROM Log GROUP BY videoId`, 0); err == nil {
+		t.Fatal("duplicate view name should fail")
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Views) != 2 {
+		t.Fatalf("stats should list both views: %+v", st.Views)
+	}
+}
