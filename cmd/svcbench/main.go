@@ -10,6 +10,11 @@
 //	svcbench -run fig9b -csv
 //	svcbench -run fig4a-par -scale 2 -parallel 4
 //	svcbench -run pipeline -json            # machine-readable, to BENCH_pipeline.json
+//	svcbench -run pipeline -columnar=off    # row-at-a-time A/B baseline
+//
+// The pipeline experiment always records both columnar=on and
+// columnar=off rows (the row-vs-columnar A/B); -columnar sets the mode
+// every OTHER experiment's database runs with.
 //
 // Absolute numbers are machine- and substrate-dependent; the shapes (who
 // wins, by what factor, where crossovers fall) are what reproduce the
@@ -33,11 +38,21 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		list     = flag.Bool("list", false, "list available experiments")
 		parallel = flag.Int("parallel", 0, "intra-operator workers for experiment databases (0 = serial)")
+		columnar = flag.String("columnar", "on", "columnar batch path for experiment databases: on|off (the pipeline experiment A/Bs both regardless)")
 		jsonOut  = flag.Bool("json", false, "also write machine-readable results (ns/op, allocs/op, rows) to -json-file")
 		jsonFile = flag.String("json-file", "BENCH_pipeline.json", "path the -json report is written to")
 	)
 	flag.Parse()
 	bench.SetDefaultParallelism(*parallel)
+	switch *columnar {
+	case "on":
+		bench.SetDefaultColumnar(true)
+	case "off":
+		bench.SetDefaultColumnar(false)
+	default:
+		fmt.Fprintf(os.Stderr, "-columnar must be on or off, got %q\n", *columnar)
+		os.Exit(2)
+	}
 
 	if *list || *run == "" {
 		fmt.Println("available experiments:")

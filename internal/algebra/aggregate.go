@@ -212,6 +212,227 @@ func (a *AggregateNode) aggInputRows(ctx *Context) ([]relation.Row, error) {
 	return drainRows(ctx, a.child)
 }
 
+// aggDrain produces the aggregated output rows. When the child is a
+// fused chain that yields columnar batches and evaluation is serial, the
+// batches stream straight into the group table — group cells are read
+// from the column vectors and aggregate inputs evaluate vectorized, so
+// no input row is ever materialized. Otherwise (parallel evaluation,
+// NoColumnar, or a row-producing child such as a pipeline breaker or a
+// plain scan whose rows are shared for free) the partitioned row path
+// runs; it stores group representatives as indexes into the drained
+// input, which is cheaper than copying cells when input batches are not
+// recycled anyway. Both paths produce identical output.
+func (a *AggregateNode) aggDrain(ctx *Context) ([]relation.Row, error) {
+	if ctx.NoColumnar || ctx.Parallelism > 1 || !columnarChain(a.child, ctx) {
+		inRows, err := a.aggInputRows(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return a.aggRows(ctx, inRows)
+	}
+	return a.aggStream(ctx)
+}
+
+// columnarChain reports whether n is a fused streaming chain whose
+// iterator will produce columnar batches under ctx: a non-plain scan at
+// the bottom (plain scans share rows with zero copies — columnarizing
+// them would only add work) with every operator above it vectorizable.
+func columnarChain(n Node, ctx *Context) bool {
+	if ctx.NoColumnar {
+		return false
+	}
+	for {
+		switch t := n.(type) {
+		case *ScanNode:
+			return !t.plain() && (t.bound == nil || expr.CanVec(t.bound))
+		case *SelectNode:
+			if !expr.CanVec(t.bound) {
+				return false
+			}
+			n = t.child
+		case *ProjectNode:
+			if t.explicit && t.schema.HasKey() {
+				return false // asserted-key check runs on rows
+			}
+			for _, e := range t.bound {
+				if !expr.CanVec(e) {
+					return false
+				}
+			}
+			n = t.child
+		case *AliasNode:
+			n = t.child
+		case *HashFilterNode:
+			n = t.child
+		default:
+			return false
+		}
+	}
+}
+
+// aggStream folds the child pipeline's batches into groups as they
+// arrive. Row batches fold row at a time (scalar aggregate inputs);
+// columnar batches evaluate every aggregate input expression vectorized
+// over the batch and fold from the dense result vectors, reconstructing
+// only the group-by cells. Group identity is canonical-encoding equality
+// (relation.Value.KeyEqual), exactly like aggRows, and groups emit in
+// first-occurrence order, so the output is identical to the partitioned
+// row path's.
+func (a *AggregateNode) aggStream(ctx *Context) ([]relation.Row, error) {
+	it := iterNode(a.child)
+	if err := it.Open(ctx); err != nil {
+		return nil, err
+	}
+	defer it.Close()
+
+	na := len(a.aggs)
+	gW := len(a.gIdx)
+	gIdent := make([]int, gW)
+	for i := range gIdent {
+		gIdent[i] = i
+	}
+	vecOK := true
+	for _, b := range a.bound {
+		if b != nil && !expr.CanVec(b) {
+			vecOK = false
+			break
+		}
+	}
+
+	t := newHashIdx(64, nil)
+	var (
+		repVals []relation.Value // flat group-by cells, group-major
+		accs    []accumulator
+		// probeRow/probeIdx describe the current input row's group cells
+		// for the hash probe: the input row itself (row batches, no copy)
+		// or a scratch row of reconstructed cells (columnar batches).
+		probeRow relation.Row
+		probeIdx []int
+		groupRow relation.Row // scratch for the columnar path
+		inVecs   []*relation.ColVec
+	)
+	if gW > 0 {
+		groupRow = make(relation.Row, gW)
+	}
+	sameKey := func(head int32) bool {
+		rep := relation.Row(repVals[int(head)*gW : int(head)*gW+gW])
+		return probeRow.KeyEqualCols(probeIdx, rep, gIdent)
+	}
+	findOrAdd := func() int32 {
+		h := keyHash(probeRow, probeIdx)
+		g := t.first(h, sameKey)
+		if g < 0 {
+			g = int32(len(accs) / max1(na))
+			if na == 0 {
+				g = int32(len(repVals) / max1(gW))
+			}
+			for _, c := range probeIdx {
+				repVals = append(repVals, probeRow[c])
+			}
+			for k := 0; k < na; k++ {
+				accs = append(accs, accumulator{})
+			}
+			t.addGrow(h, g, sameKey)
+		}
+		return g
+	}
+
+	for {
+		b, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		ctx.RowsTouched += int64(b.Len())
+		if vecOK && b.Columnar() {
+			if inVecs == nil {
+				inVecs = make([]*relation.ColVec, na)
+				for ai := range a.bound {
+					if a.bound[ai] != nil {
+						inVecs[ai] = relation.GetVec()
+					}
+				}
+			}
+			for ai, e := range a.bound {
+				if e != nil {
+					expr.EvalVec(e, b, b.Sel(), inVecs[ai])
+				}
+			}
+			probeRow, probeIdx = groupRow, gIdent
+			n := b.Len()
+			for k := 0; k < n; k++ {
+				i := b.PhysRow(k)
+				for gi, c := range a.gIdx {
+					groupRow[gi] = b.ValueAt(i, c)
+				}
+				base := int(findOrAdd()) * na
+				for ai := range a.aggs {
+					var v relation.Value
+					if inVecs[ai] != nil {
+						v = inVecs[ai].Value(k)
+					}
+					accs[base+ai].add(a.aggs[ai].Func, v)
+				}
+			}
+			b.Release()
+			continue
+		}
+		probeIdx = a.gIdx
+		for _, row := range b.Rows() {
+			probeRow = row
+			base := int(findOrAdd()) * na
+			for ai := range a.aggs {
+				var v relation.Value
+				if a.bound[ai] != nil {
+					v = a.bound[ai].Eval(row)
+				}
+				accs[base+ai].add(a.aggs[ai].Func, v)
+			}
+		}
+		b.ReleaseUnlessOwned()
+	}
+	for _, v := range inVecs {
+		if v != nil {
+			relation.PutVec(v)
+		}
+	}
+
+	groups := len(accs) / max1(na)
+	if na == 0 {
+		groups = len(repVals) / max1(gW)
+	}
+	rows := make([]relation.Row, 0, groups+1)
+	for g := 0; g < groups; g++ {
+		out := make(relation.Row, gW+na)
+		copy(out, repVals[g*gW:(g+1)*gW])
+		base := g * na
+		for i, spec := range a.aggs {
+			out[gW+i] = accs[base+i].result(spec.Func)
+		}
+		rows = append(rows, out)
+	}
+	// A grand aggregate (no group-by) over empty input yields one row of
+	// count 0 / NULL aggregates, matching SQL (and aggRows).
+	if len(a.groupBy) == 0 && len(rows) == 0 {
+		out := make(relation.Row, na)
+		for i, spec := range a.aggs {
+			var acc accumulator
+			out[i] = acc.result(spec.Func)
+		}
+		rows = append(rows, out)
+	}
+	return rows, nil
+}
+
+func max1(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
 // aggRows folds inRows into one output row per group.
 //
 // Grouping hashes the group-by columns to 64 bits and finds each row's

@@ -26,6 +26,14 @@ type Context struct {
 	// input is large enough to amortize the fork (see parallel.go); the
 	// result is byte-identical to serial evaluation. 0 and 1 mean serial.
 	Parallelism int
+
+	// NoColumnar disables the columnar batch path: fused scans, selects,
+	// projections, hash filters, and serial aggregation fall back to the
+	// row-at-a-time pipeline. The zero value (columnar on) is the
+	// production default; the flag exists for A/B benchmarking
+	// (svcbench -columnar=off) and the columnar≡row property tests.
+	// Results are identical either way.
+	NoColumnar bool
 }
 
 // NewContext creates an evaluation context over the given named relations.

@@ -200,3 +200,50 @@ func mustBind(tb testing.TB, e expr.Expr, sch relation.Schema) expr.Expr {
 	}
 	return bound
 }
+
+// BenchmarkColumnarChainDrain measures a fused σ+Π scan chain (predicate
+// plus computed projection) drained transiently — the columnar batch
+// path's home turf — against the row-at-a-time pipeline on the same
+// plan. This is the micro-level row-vs-columnar A/B; the end-to-end one
+// is svcbench -run pipeline.
+func BenchmarkColumnarChainDrain(b *testing.B) {
+	log, video := bigFixture(100000, 5000)
+	rels := map[string]*relation.Relation{"Log": log, "Video": video}
+	plan := PushDownScans(MustProject(
+		MustSelect(Scan("Log", logSchema()),
+			expr.And(expr.Gt(expr.Col("videoId"), expr.IntLit(10)), expr.Lt(expr.Col("videoId"), expr.IntLit(4000)))),
+		[]Output{
+			OutCol("sessionId"),
+			Out("v2", expr.Mul(expr.Col("videoId"), expr.IntLit(2))),
+			Out("odd", expr.Add(expr.Mul(expr.Col("videoId"), expr.IntLit(3)), expr.Col("sessionId"))),
+		}))
+	for _, mode := range []string{"columnar", "row"} {
+		b.Run(mode, func(b *testing.B) {
+			ctx := NewContext(rels)
+			ctx.NoColumnar = mode == "row"
+			b.ReportAllocs()
+			total := 0
+			for i := 0; i < b.N; i++ {
+				it := NewIterator(plan)
+				if err := it.Open(ctx); err != nil {
+					b.Fatal(err)
+				}
+				for {
+					batch, err := it.Next()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if batch == nil {
+						break
+					}
+					total += batch.Len()
+					batch.Release()
+				}
+				it.Close()
+			}
+			if total == 0 {
+				b.Fatal("no rows drained")
+			}
+		})
+	}
+}

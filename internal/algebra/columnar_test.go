@@ -1,0 +1,183 @@
+package algebra
+
+import (
+	"testing"
+
+	"github.com/sampleclean/svc/internal/expr"
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// Columnar ≡ row ≡ materialized: every operator shape from the pipeline
+// plan table, unfused AND with scans fused by PushDownScans (the shape
+// that actually engages the columnar path), must produce the
+// materialized engine's rows with columnar on and off, serial and
+// parallel.
+func TestColumnarMatchesMaterialized(t *testing.T) {
+	for name, plan := range pipelinePlans(t) {
+		for _, fused := range []bool{false, true} {
+			p := plan
+			label := name
+			if fused {
+				p = PushDownScans(plan)
+				label += "-fused"
+			}
+			t.Run(label, func(t *testing.T) {
+				ref, err := EvalMaterialized(p, fixtureCtx())
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, par := range []int{0, 4} {
+					for _, noCol := range []bool{false, true} {
+						ctx := fixtureCtx()
+						ctx.Parallelism = par
+						ctx.NoColumnar = noCol
+						got := mustEval(t, p, ctx)
+						if !got.Equal(ref) {
+							t.Fatalf("par=%d noColumnar=%v: result diverged:\n%v\nvs\n%v",
+								par, noCol, got, ref)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// Selection-vector filtering must equal row compaction at the stream
+// level: draining a fused chain with columnar on yields batch-for-batch
+// the same rows (in order) as the row-at-a-time drain.
+func TestColumnarDrainEqualsRowDrain(t *testing.T) {
+	log, video := bigFixture(20000, 5000)
+	rels := map[string]*relation.Relation{"Log": log, "Video": video}
+	plan := PushDownScans(MustProject(
+		MustSelect(Scan("Log", logSchema()), expr.Gt(expr.Col("videoId"), expr.IntLit(7))),
+		[]Output{OutCol("sessionId"), Out("v2", expr.Mul(expr.Col("videoId"), expr.IntLit(2)))}))
+
+	drain := func(noCol bool) []relation.Row {
+		ctx := NewContext(rels)
+		ctx.NoColumnar = noCol
+		it := NewIterator(plan)
+		if err := it.Open(ctx); err != nil {
+			t.Fatal(err)
+		}
+		defer it.Close()
+		var rows []relation.Row
+		for {
+			b, err := it.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b == nil {
+				return rows
+			}
+			if b.Len() == 0 {
+				t.Fatal("iterator returned an empty batch")
+			}
+			if b.Columnar() {
+				rows = b.CopyRows(rows)
+				b.Release()
+			} else {
+				rows = append(rows, b.Rows()...)
+				b.ReleaseUnlessOwned()
+			}
+		}
+	}
+	colRows, rowRows := drain(false), drain(true)
+	if len(colRows) != len(rowRows) {
+		t.Fatalf("columnar drained %d rows, row pipeline %d", len(colRows), len(rowRows))
+	}
+	for i := range colRows {
+		if !colRows[i].Equal(rowRows[i]) {
+			t.Fatalf("row %d: columnar %v != row %v", i, colRows[i], rowRows[i])
+		}
+	}
+}
+
+// The columnar drain guard: a fused scan→σ→Π chain evaluated column-at-
+// a-time and released transiently must allocate ~0 objects per row in
+// steady state — the batch pool recycles the batch, its typed vectors,
+// its selection buffer, and the scratch vectors of EvalVec/FilterVec.
+// This is the columnar extension of TestFusedPipelineZeroAllocsPerRow.
+func TestColumnarPipelineZeroAllocsPerRow(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates and defeats sync.Pool; run without -race")
+	}
+	log, video := bigFixture(50000, 5000)
+	rels := map[string]*relation.Relation{"Log": log, "Video": video}
+	// PushDownScans fuses σ and Π into the scan, so the whole chain runs
+	// through the columnar gather → FilterVec → vector-projection path.
+	plan := PushDownScans(MustProject(
+		MustSelect(Scan("Log", logSchema()), expr.Gt(expr.Col("videoId"), expr.IntLit(10))),
+		[]Output{OutCol("sessionId"), Out("v2", expr.Mul(expr.Col("videoId"), expr.IntLit(2)))}))
+
+	drain := func() int {
+		ctx := NewContext(rels)
+		it := NewIterator(plan)
+		if err := it.Open(ctx); err != nil {
+			t.Fatal(err)
+		}
+		defer it.Close()
+		n := 0
+		sawColumnar := false
+		for {
+			b, err := it.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b == nil {
+				if !sawColumnar {
+					t.Fatal("fused chain never produced a columnar batch")
+				}
+				return n
+			}
+			if b.Columnar() {
+				sawColumnar = true
+			}
+			n += b.Len()
+			b.Release() // transient consumption: rows are only counted
+		}
+	}
+	rows := drain()
+	if rows < 40000 {
+		t.Fatalf("fixture too small: %d rows", rows)
+	}
+	allocs := testing.AllocsPerRun(5, func() { drain() })
+	perRow := allocs / float64(rows)
+	if perRow >= 0.001 {
+		t.Fatalf("columnar pipeline allocates %.4f objects/row (%.1f per drain, %d rows); want 0",
+			perRow, allocs, rows)
+	}
+}
+
+// The serial streaming aggregation over a columnar chain must match the
+// partitioned row aggregation for grouped, grand, and expression-input
+// aggregates.
+func TestColumnarAggregationMatchesRow(t *testing.T) {
+	log, video := bigFixture(8000, 300)
+	rels := map[string]*relation.Relation{"Log": log, "Video": video}
+	plans := map[string]Node{
+		"grouped": PushDownScans(MustGroupBy(
+			MustSelect(Scan("Log", logSchema()), expr.Gt(expr.Col("videoId"), expr.IntLit(3))),
+			[]string{"videoId"}, CountAs("n"), SumAs(expr.Mul(expr.Col("sessionId"), expr.IntLit(2)), "s"))),
+		"grand": PushDownScans(MustGroupBy(
+			MustSelect(Scan("Video", videoSchema()), expr.Lt(expr.Col("ownerId"), expr.IntLit(50))),
+			nil, CountAs("n"), AvgAs(expr.Col("duration"), "avg"),
+			MinAs(expr.Col("duration"), "lo"), MaxAs(expr.Col("duration"), "hi"))),
+	}
+	for name, plan := range plans {
+		t.Run(name, func(t *testing.T) {
+			ref, err := EvalMaterialized(plan, NewContext(rels))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, noCol := range []bool{false, true} {
+				ctx := NewContext(rels)
+				ctx.NoColumnar = noCol
+				got := mustEval(t, plan, ctx)
+				if !got.Equal(ref) {
+					t.Fatalf("noColumnar=%v: aggregation diverged:\n%v\nvs\n%v", noCol, got, ref)
+				}
+			}
+		})
+	}
+}

@@ -27,6 +27,7 @@ package algebra
 import (
 	"fmt"
 
+	"github.com/sampleclean/svc/internal/expr"
 	"github.com/sampleclean/svc/internal/relation"
 )
 
@@ -146,11 +147,7 @@ func drainRows(ctx *Context, n Node) ([]relation.Row, error) {
 	case *JoinNode:
 		return t.run(ctx, resolvePipelined)
 	case *AggregateNode:
-		inRows, err := t.aggInputRows(ctx)
-		if err != nil {
-			return nil, err
-		}
-		return t.aggRows(ctx, inRows)
+		return t.aggDrain(ctx)
 	}
 	if rows, ok, err := drainChainParallel(ctx, n); ok || err != nil {
 		return rows, err
@@ -169,8 +166,15 @@ func drainRows(ctx *Context, n Node) ([]relation.Row, error) {
 		if b == nil {
 			return rows, nil
 		}
-		rows = append(rows, b.Rows()...)
-		b.ReleaseUnlessOwned()
+		if b.Columnar() {
+			// Materialize once into a per-batch slab and recycle the
+			// batch so its vectors return to the pool.
+			rows = b.CopyRows(rows)
+			b.Release()
+		} else {
+			rows = append(rows, b.Rows()...)
+			b.ReleaseUnlessOwned()
+		}
 	}
 }
 
@@ -212,7 +216,7 @@ func drainChainParallel(ctx *Context, n Node) ([]relation.Row, bool, error) {
 	touched := make([]int64, w)
 	runWorkers(w, func(p int) {
 		lo, hi := chunkRange(p, w, rel.Len())
-		wctx := &Context{rels: ctx.rels, Parallelism: 1}
+		wctx := &Context{rels: ctx.rels, Parallelism: 1, NoColumnar: ctx.NoColumnar}
 		it := iterRange(n, lo, hi)
 		if err := it.Open(wctx); err != nil {
 			errs[p] = err
@@ -229,8 +233,13 @@ func drainChainParallel(ctx *Context, n Node) ([]relation.Row, bool, error) {
 			if b == nil {
 				break
 			}
-			rows = append(rows, b.Rows()...)
-			b.ReleaseUnlessOwned()
+			if b.Columnar() {
+				rows = b.CopyRows(rows)
+				b.Release()
+			} else {
+				rows = append(rows, b.Rows()...)
+				b.ReleaseUnlessOwned()
+			}
 		}
 		outs[p] = rows
 		touched[p] = wctx.RowsTouched
@@ -298,9 +307,14 @@ func EvalMaterialized(n Node, ctx *Context) (*relation.Relation, error) {
 
 // ------------------------------------------------------- streaming operators
 
-// scanIter emits the bound relation's rows as batches of row headers (no
-// copies). With a fused predicate/projection it filters and prunes in the
-// same pass; pruned rows are built in the batch arena. lo/hi restrict the
+// scanIter emits the bound relation's rows as batches. Plain scans emit
+// row headers (no copies). A fused predicate/projection normally runs
+// column-at-a-time: each morsel's predicate columns are gathered into
+// scratch vectors, the predicate evaluates vectorized into a selection
+// vector, and only the surviving rows' output columns are gathered into
+// a dense columnar batch. With ctx.NoColumnar (or a predicate the
+// vectorizer cannot handle) the row-at-a-time filter/prune pass runs
+// instead; both paths produce the identical stream. lo/hi restrict the
 // scan to one morsel ([0, -1) means all rows).
 type scanIter struct {
 	node   *ScanNode
@@ -309,6 +323,12 @@ type scanIter struct {
 	rel    *relation.Relation
 	pos    int
 	end    int
+
+	// Columnar fused-scan state (columnar == true). Selection buffers
+	// are owned by the batches (Batch.SelIdentity), not the iterator.
+	columnar bool
+	outIdx   []int              // declared-schema column indexes emitted
+	predSrc  *expr.GatherSource // predicate columns gathered per morsel
 }
 
 func (s *scanIter) Open(ctx *Context) error {
@@ -336,6 +356,17 @@ func (s *scanIter) Open(ctx *Context) error {
 	if s.hi >= 0 && s.hi < s.end {
 		s.end = s.hi
 	}
+	s.columnar = !s.node.plain() && !ctx.NoColumnar &&
+		(s.node.bound == nil || expr.CanVec(s.node.bound))
+	if s.columnar {
+		s.outIdx = s.node.cols
+		if s.outIdx == nil {
+			s.outIdx = identCols(s.node.schema.NumCols())
+		}
+		if s.node.bound != nil {
+			s.predSrc = expr.NewGatherSource(s.node.schema, s.node.bound)
+		}
+	}
 	return nil
 }
 
@@ -354,6 +385,38 @@ func (s *scanIter) Next() (*relation.Batch, error) {
 		b.AppendRows(rows[s.pos:hi])
 		s.pos = hi
 		return b, nil
+	}
+	if s.columnar {
+		for s.pos < s.end {
+			base := s.pos
+			m := s.end - base
+			if m > relation.BatchCap {
+				m = relation.BatchCap
+			}
+			s.pos += m
+			s.ctx.RowsTouched += int64(m)
+			sel := b.SelIdentity(m)
+			if n.bound != nil {
+				s.predSrc.Gather(rows, base, base+m)
+				sel = expr.FilterVec(n.bound, s.predSrc, sel)
+				if len(sel) == 0 {
+					continue
+				}
+			}
+			// Gather only the surviving rows' output columns: the batch
+			// leaves the scan dense, and downstream filters shrink its
+			// selection vector from there.
+			b.BeginColumnar(len(s.outIdx))
+			for j, c := range s.outIdx {
+				vec := b.Vec(j)
+				for _, k := range sel {
+					vec.AppendValue(rows[base+int(k)][c])
+				}
+			}
+			return b, nil
+		}
+		b.Release()
+		return nil, nil
 	}
 	for s.pos < s.end {
 		var scanned int64
@@ -382,17 +445,37 @@ func (s *scanIter) Next() (*relation.Batch, error) {
 	return nil, nil
 }
 
-func (s *scanIter) Close() {}
+func (s *scanIter) Close() {
+	if s.predSrc != nil {
+		s.predSrc.Release()
+		s.predSrc = nil
+	}
+}
 
-// selectIter filters batches in place: surviving rows are compacted to the
-// front and the batch passes through untouched otherwise.
+// identCols returns [0, n) as column indexes.
+func identCols(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// selectIter filters batches. A columnar batch keeps every cell in place
+// — the predicate evaluates vectorized and the selection vector shrinks.
+// A row batch is compacted in place: surviving rows move to the front.
 type selectIter struct {
 	node  *SelectNode
 	child Iterator
 	ctx   *Context
+	vec   bool
 }
 
-func (s *selectIter) Open(ctx *Context) error { s.ctx = ctx; return s.child.Open(ctx) }
+func (s *selectIter) Open(ctx *Context) error {
+	s.ctx = ctx
+	s.vec = !ctx.NoColumnar && expr.CanVec(s.node.bound)
+	return s.child.Open(ctx)
+}
 
 func (s *selectIter) Next() (*relation.Batch, error) {
 	for {
@@ -401,6 +484,14 @@ func (s *selectIter) Next() (*relation.Batch, error) {
 			return nil, err
 		}
 		s.ctx.RowsTouched += int64(b.Len())
+		if s.vec && b.Columnar() {
+			b.SetSel(expr.FilterVec(s.node.bound, b, b.EnsureSel()))
+			if b.Len() > 0 {
+				return b, nil
+			}
+			b.Release()
+			continue
+		}
 		rows := b.Rows()
 		kept := 0
 		for _, row := range rows {
@@ -430,6 +521,7 @@ type projectIter struct {
 	node  *ProjectNode
 	child Iterator
 	ctx   *Context
+	vec   bool // vectorize columnar input batches
 	// uniq/uniqRows implement the asserted-key check (nil when unneeded).
 	uniq     *hashIdx
 	uniqRows []relation.Row
@@ -442,6 +534,15 @@ func (p *projectIter) Open(ctx *Context) error {
 		p.uniq = newHashIdx(64, nil)
 		p.keyIdx = p.node.schema.Key()
 	}
+	p.vec = !ctx.NoColumnar && p.uniq == nil
+	if p.vec {
+		for _, e := range p.node.bound {
+			if !expr.CanVec(e) {
+				p.vec = false
+				break
+			}
+		}
+	}
 	return p.child.Open(ctx)
 }
 
@@ -452,6 +553,22 @@ func (p *projectIter) Next() (*relation.Batch, error) {
 			return nil, err
 		}
 		p.ctx.RowsTouched += int64(in.Len())
+		if p.vec && in.Columnar() {
+			// Column-at-a-time projection: every output expression
+			// evaluates vectorized over the input's selected rows into a
+			// dense output vector; no row is ever formed.
+			out := relation.GetBatch()
+			out.BeginColumnar(len(p.node.bound))
+			for i, e := range p.node.bound {
+				expr.EvalVec(e, in, in.Sel(), out.Vec(i))
+			}
+			in.Release()
+			if out.Len() > 0 {
+				return out, nil
+			}
+			out.Release()
+			continue
+		}
 		out := relation.GetBatch()
 		width := len(p.node.bound)
 		for _, row := range in.Rows() {
@@ -509,12 +626,15 @@ func (a *aliasIter) Next() (*relation.Batch, error) {
 func (a *aliasIter) Close() { a.child.Close() }
 
 // hashFilterIter applies η in place, like selectIter, encoding each key
-// into a reused buffer (no per-row allocation).
+// into a reused buffer (no per-row allocation). Columnar batches encode
+// keys straight from the column vectors (byte-identical to the row
+// encoding) and shrink the selection vector.
 type hashFilterIter struct {
 	node  *HashFilterNode
 	child Iterator
 	ctx   *Context
 	kb    relation.KeyBuf
+	buf   []byte
 }
 
 func (h *hashFilterIter) Open(ctx *Context) error { h.ctx = ctx; return h.child.Open(ctx) }
@@ -526,6 +646,22 @@ func (h *hashFilterIter) Next() (*relation.Batch, error) {
 			return nil, err
 		}
 		h.ctx.RowsTouched += int64(b.Len())
+		if b.Columnar() {
+			sel := b.EnsureSel()
+			kept := sel[:0]
+			for _, i := range sel {
+				h.buf = b.EncodeColsAt(int(i), h.node.idx, h.buf[:0])
+				if h.node.hasher.Unit(h.buf) < h.node.ratio {
+					kept = append(kept, i)
+				}
+			}
+			b.SetSel(kept)
+			if b.Len() > 0 {
+				return b, nil
+			}
+			b.Release()
+			continue
+		}
 		rows := b.Rows()
 		kept := 0
 		for _, row := range rows {
@@ -596,11 +732,7 @@ type aggIter struct {
 }
 
 func (a *aggIter) Open(ctx *Context) error {
-	inRows, err := a.node.aggInputRows(ctx)
-	if err != nil {
-		return err
-	}
-	rows, err := a.node.aggRows(ctx, inRows)
+	rows, err := a.node.aggDrain(ctx)
 	if err != nil {
 		return err
 	}

@@ -227,6 +227,8 @@ func visitScenario(s Scale, seed int64) (*db.Database, *view.View, *view.Maintai
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	d.SetParallelism(defaultParallelism)
+	d.SetColumnar(defaultColumnar)
 	def := view.Definition{Name: "visitView", Plan: algebra.MustGroupBy(
 		algebra.Scan(tpcd.Orders, tpcd.OrdersSchema()),
 		[]string{"o_custkey"},

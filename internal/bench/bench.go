@@ -183,6 +183,18 @@ func timeIt(f func() error) (time.Duration, error) {
 // onto the databases they generate (cmd/svcbench -parallel). 0 = serial.
 var defaultParallelism int
 
+// defaultColumnar is whether scenario databases run the columnar batch
+// path (the engine default). svcbench -columnar=off flips it for row-vs-
+// columnar A/B runs.
+var defaultColumnar = true
+
+// SetDefaultColumnar sets whether scenario databases use the columnar
+// batch path (svcbench -columnar).
+func SetDefaultColumnar(on bool) { defaultColumnar = on }
+
+// DefaultColumnar reports the configured columnar mode.
+func DefaultColumnar() bool { return defaultColumnar }
+
 // SetDefaultParallelism sets the worker count applied to every scenario
 // database generated by subsequent experiment runs.
 func SetDefaultParallelism(n int) { defaultParallelism = n }

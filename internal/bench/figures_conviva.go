@@ -45,6 +45,8 @@ func fig9a(s Scale) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		d.SetParallelism(defaultParallelism)
+		d.SetColumnar(defaultColumnar)
 		v, err := view.Materialize(d, def)
 		if err != nil {
 			return nil, err
@@ -97,6 +99,8 @@ func fig9b(s Scale) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		d.SetParallelism(defaultParallelism)
+		d.SetColumnar(defaultColumnar)
 		v, err := view.Materialize(d, def)
 		if err != nil {
 			return nil, err

@@ -40,6 +40,8 @@ func newCubeScenario(cfg tpcd.Config) (*cubeScenario, error) {
 	if err != nil {
 		return nil, err
 	}
+	d.SetParallelism(defaultParallelism)
+	d.SetColumnar(defaultColumnar)
 	v, err := view.Materialize(d, tpcd.DenormCubeView())
 	if err != nil {
 		return nil, err

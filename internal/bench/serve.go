@@ -58,7 +58,8 @@ func serveScenario(s Scale, seed int64) (*svc.Database, *svc.StaleView, *svc.Tab
 		svc.SumAs(svc.ColRef("duration"), "totalDuration"),
 	)
 	sv, err := svc.New(d, svc.ViewDefinition{Name: "visitView", Plan: plan},
-		svc.WithSamplingRatio(0.1), svc.WithParallelism(DefaultParallelism()))
+		svc.WithSamplingRatio(0.1), svc.WithParallelism(DefaultParallelism()),
+		svc.WithColumnar(DefaultColumnar()))
 	if err != nil {
 		return nil, nil, nil, 0, err
 	}

@@ -301,6 +301,14 @@ func (c *Cleaner) evalClean(ctx *algebra.Context, sizeHint int) (*relation.Relat
 	}
 	defer it.Close()
 	keyed := schema.HasKey()
+	store := func(row relation.Row) error {
+		if keyed {
+			_, err := out.Upsert(row)
+			return err
+		}
+		return out.Insert(row)
+	}
+	var rowBuf []relation.Row
 	for {
 		b, err := it.Next()
 		if err != nil {
@@ -309,16 +317,25 @@ func (c *Cleaner) evalClean(ctx *algebra.Context, sizeHint int) (*relation.Relat
 		if b == nil {
 			return out, nil
 		}
-		for _, row := range b.Rows() {
-			if keyed {
-				if _, err := out.Upsert(row); err != nil {
+		ctx.RowsTouched += int64(b.Len())
+		if b.Columnar() {
+			// Columnar drain: materialize the batch's selected rows into
+			// one slab (the sample retains them) and release the batch so
+			// its column vectors recycle across cleaning cycles.
+			rowBuf = b.CopyRows(rowBuf[:0])
+			for _, row := range rowBuf {
+				if err := store(row); err != nil {
 					return nil, err
 				}
-			} else if err := out.Insert(row); err != nil {
+			}
+			b.Release()
+			continue
+		}
+		for _, row := range b.Rows() {
+			if err := store(row); err != nil {
 				return nil, err
 			}
 		}
-		ctx.RowsTouched += int64(b.Len())
 		b.ReleaseUnlessOwned()
 	}
 }

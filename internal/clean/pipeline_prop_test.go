@@ -219,11 +219,19 @@ func pipeTrial(t *testing.T, seed int64, kind view.StrategyKind) {
 			t.Fatalf("seed %d %v %s: materialized eval: %v\n%s", seed, kind, name, err, algebra.Format(plan))
 		}
 		for _, par := range []int{0, 4} {
-			got, err := plan.Eval(mkCtx(par))
-			if err != nil {
-				t.Fatalf("seed %d %v %s par=%d: pipelined eval: %v\n%s", seed, kind, name, par, err, algebra.Format(plan))
+			// Both batch layouts: columnar (typed vectors + selection
+			// vectors, the default) and the row-at-a-time fallback must
+			// produce the materialized engine's rows exactly.
+			for _, noCol := range []bool{false, true} {
+				ctx := mkCtx(par)
+				ctx.NoColumnar = noCol
+				got, err := plan.Eval(ctx)
+				if err != nil {
+					t.Fatalf("seed %d %v %s par=%d noCol=%v: pipelined eval: %v\n%s",
+						seed, kind, name, par, noCol, err, algebra.Format(plan))
+				}
+				requireSameRows(t, name, ref, got)
 			}
-			requireSameRows(t, name, ref, got)
 		}
 	}
 }

@@ -197,6 +197,7 @@ type Database struct {
 	order       []string
 	fks         []ForeignKey
 	parallelism int
+	noColumnar  bool
 
 	epoch   uint64                  // publication counter (bumped per new Version)
 	applied uint64                  // maintenance-boundary counter (ApplyDeltas/ApplyVersion)
@@ -222,6 +223,7 @@ type Version struct {
 	tables      map[string]versionTable
 	fks         []ForeignKey
 	parallelism int
+	noColumnar  bool
 	payload     map[string]any
 }
 
@@ -295,6 +297,7 @@ func (v *Version) Context() *algebra.Context {
 	}
 	ctx := algebra.NewContext(rels)
 	ctx.Parallelism = v.parallelism
+	ctx.NoColumnar = v.noColumnar
 	return ctx
 }
 
@@ -311,6 +314,7 @@ func (d *Database) buildVersion() *Version {
 		tables:      make(map[string]versionTable, len(d.order)),
 		fks:         append([]ForeignKey(nil), d.fks...),
 		parallelism: d.parallelism,
+		noColumnar:  d.noColumnar,
 		payload:     d.payload,
 	}
 	prev := d.cur.Load()
@@ -429,6 +433,25 @@ func (d *Database) Parallelism() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.parallelism
+}
+
+// SetColumnar enables or disables the columnar batch path on every
+// evaluation context this database hands out (view materialization,
+// maintenance, sampled cleaning, svcql execution). Columnar is the
+// default; disabling it (the svcbench -columnar=off A/B mode) falls back
+// to the row-at-a-time pipeline with identical results.
+func (d *Database) SetColumnar(on bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.noColumnar = !on
+	d.dirty.Store(true)
+}
+
+// Columnar reports whether the columnar batch path is enabled.
+func (d *Database) Columnar() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return !d.noColumnar
 }
 
 // Table returns the named table, or nil.
@@ -671,6 +694,7 @@ func (d *Database) Snapshot() *Database {
 	}
 	nd.fks = append(nd.fks, d.fks...)
 	nd.parallelism = d.parallelism
+	nd.noColumnar = d.noColumnar
 	return nd
 }
 

@@ -87,8 +87,9 @@ func (q Query) matching(rel *relation.Relation) ([]float64, error) {
 		}
 	}
 	var vals []float64
-	for _, row := range rel.Rows() {
-		if pred != nil && !pred.Eval(row).AsBool() {
+	matches := predMatches(rel, pred)
+	for ri, row := range rel.Rows() {
+		if !matches[ri] {
 			continue
 		}
 		if q.Agg == CountQ {

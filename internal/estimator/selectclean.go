@@ -40,10 +40,12 @@ func CleanSelect(staleView *relation.Relation, s *clean.Samples, pred expr.Expr,
 	}
 	keyIdx := staleView.Schema().Key()
 
-	// Start from the stale selection.
+	// Start from the stale selection (predicate evaluated vectorized —
+	// the stale view is the largest relation this estimator touches).
 	out := relation.New(staleView.Schema())
-	for _, row := range staleView.Rows() {
-		if boundStale.Eval(row).AsBool() {
+	staleMatch := predMatches(staleView, boundStale)
+	for ri, row := range staleView.Rows() {
+		if staleMatch[ri] {
 			out.MustInsert(row)
 		}
 	}

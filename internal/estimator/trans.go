@@ -49,8 +49,9 @@ func transTable(rel *relation.Relation, q Query, m float64) ([]transRow, error) 
 	}
 	scale := 1 / m
 	rows := make([]transRow, 0, rel.Len())
-	for _, row := range rel.Rows() {
-		match := pred == nil || pred.Eval(row).AsBool()
+	matches := predMatches(rel, pred)
+	for ri, row := range rel.Rows() {
+		match := matches[ri]
 		key := row.KeyOf(keyIdx)
 		switch q.Agg {
 		case CountQ:

@@ -1,0 +1,55 @@
+package estimator
+
+import (
+	"github.com/sampleclean/svc/internal/expr"
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// Vectorized predicate evaluation for the estimator transforms. The
+// trans-table construction (Section 5.2.1), the direct AQP value
+// extraction, and the SELECT-cleaning stale pass all evaluate one bound
+// predicate over every row of a relation; predMatches batches that into
+// the columnar path — predicate columns are gathered chunk-wise into
+// pooled vectors and the predicate evaluates column-at-a-time — instead
+// of interpreting the expression tree once per row. Falls back to the
+// scalar interpreter for predicates the vectorizer does not cover; the
+// result is identical either way.
+
+// predMatches returns match[i] == bound.Eval(rel.Row(i)).AsBool() for
+// every row of rel. bound must be bound against rel's schema; a nil
+// predicate returns all-true.
+func predMatches(rel *relation.Relation, bound expr.Expr) []bool {
+	n := rel.Len()
+	match := make([]bool, n)
+	if bound == nil {
+		for i := range match {
+			match[i] = true
+		}
+		return match
+	}
+	// Below ~a quarter batch the per-query gather overhead beats the
+	// saved per-row dispatch; tiny relations stay scalar.
+	if n < 256 || !expr.CanVec(bound) {
+		for i, row := range rel.Rows() {
+			match[i] = bound.Eval(row).AsBool()
+		}
+		return match
+	}
+	src := expr.NewGatherSource(rel.Schema(), bound)
+	defer src.Release()
+	out := relation.GetVec()
+	defer relation.PutVec(out)
+	rows := rel.Rows()
+	for base := 0; base < n; base += relation.BatchCap {
+		m := n - base
+		if m > relation.BatchCap {
+			m = relation.BatchCap
+		}
+		src.Gather(rows, base, base+m)
+		expr.EvalVec(bound, src, nil, out)
+		for i := 0; i < m; i++ {
+			match[base+i] = out.Truthy(i)
+		}
+	}
+	return match
+}

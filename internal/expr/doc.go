@@ -9,8 +9,20 @@
 // bound against a schema before evaluation; Bind resolves names to column
 // indexes and returns a new, bound expression tree.
 //
+// Bound expressions evaluate two ways: Expr.Eval interprets the tree once
+// per row, and EvalVec/FilterVec (vec.go) evaluate column-at-a-time over
+// a relation.Batch's typed vectors — one tree walk per batch with tight
+// typed loops per node, falling back to per-cell Value operations for
+// mixed-kind or NULL-laden vectors. The two are exactly equivalent (the
+// scalar interpreter is the specification; TestEvalVecMatchesScalar and
+// FuzzEvalVecEquivalence pin the property down), and CanVec reports
+// whether an expression is covered by the vectorizer. FilterVec applies a
+// predicate by shrinking a selection vector — selection-vector filtering
+// ≡ row compaction — without touching any cell.
+//
 // Concurrency contract: expression trees are immutable — Bind returns a
 // new tree, Eval reads the row and the tree without mutating either — so
 // one bound expression is safely shared by concurrent evaluations (the
-// batch pipeline's morsel workers rely on this).
+// batch pipeline's morsel workers rely on this). EvalVec's scratch
+// vectors come from an internal pool and never escape a single call.
 package expr

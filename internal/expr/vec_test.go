@@ -1,0 +1,232 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// Property: EvalVec(e) cell k must equal e.Eval(row_k) for every
+// expression shape over every input — homogeneous columns, NULL-laden
+// columns, and mixed-kind columns, with and without a selection vector.
+
+// vecSchema is the test schema: enough kinds to hit every fast path.
+func vecSchema() relation.Schema {
+	return relation.NewSchema([]relation.Column{
+		{Name: "i", Type: relation.KindInt},
+		{Name: "j", Type: relation.KindInt},
+		{Name: "f", Type: relation.KindFloat},
+		{Name: "g", Type: relation.KindFloat},
+		{Name: "s", Type: relation.KindString},
+		{Name: "b", Type: relation.KindBool},
+		{Name: "m", Type: relation.KindNull}, // mixed column
+	})
+}
+
+func randValue(rng *rand.Rand, col int) relation.Value {
+	if rng.Intn(6) == 0 {
+		return relation.Null()
+	}
+	switch col {
+	case 0, 1:
+		return relation.Int(int64(rng.Intn(40) - 20))
+	case 2, 3:
+		return relation.Float(float64(rng.Intn(80))/4 - 10)
+	case 4:
+		return relation.String(string(rune('a' + rng.Intn(6))))
+	case 5:
+		return relation.Bool(rng.Intn(2) == 0)
+	default: // mixed
+		switch rng.Intn(4) {
+		case 0:
+			return relation.Int(int64(rng.Intn(10)))
+		case 1:
+			return relation.Float(float64(rng.Intn(10)) / 2)
+		case 2:
+			return relation.String("x")
+		default:
+			return relation.Bool(true)
+		}
+	}
+}
+
+// randExpr generates a random expression over vecSchema.
+func randExpr(rng *rand.Rand, depth int) Expr {
+	cols := []string{"i", "j", "f", "g", "s", "b", "m"}
+	leaf := func() Expr {
+		switch rng.Intn(4) {
+		case 0:
+			return Col(cols[rng.Intn(len(cols))])
+		case 1:
+			return IntLit(int64(rng.Intn(20) - 10))
+		case 2:
+			return FloatLit(float64(rng.Intn(20)) / 3)
+		default:
+			return StringLit(string(rune('a' + rng.Intn(6))))
+		}
+	}
+	if depth <= 0 {
+		return leaf()
+	}
+	sub := func() Expr { return randExpr(rng, depth-1) }
+	switch rng.Intn(12) {
+	case 0:
+		return Add(sub(), sub())
+	case 1:
+		return Sub(sub(), sub())
+	case 2:
+		return Mul(sub(), sub())
+	case 3:
+		return Div(sub(), sub())
+	case 4:
+		ops := []func(Expr, Expr) Expr{Eq, Ne, Lt, Le, Gt, Ge}
+		return ops[rng.Intn(len(ops))](sub(), sub())
+	case 5:
+		return And(sub(), sub())
+	case 6:
+		return Or(sub(), sub(), sub())
+	case 7:
+		return Not(sub())
+	case 8:
+		return Coalesce(sub(), sub())
+	case 9:
+		return IsNull(sub())
+	case 10:
+		return If(sub(), sub(), sub())
+	default:
+		switch rng.Intn(4) {
+		case 0:
+			return Func("abs", sub())
+		case 1:
+			return Func("mod", sub(), IntLit(int64(1+rng.Intn(5))))
+		case 2:
+			return Func("toint", sub())
+		default:
+			return Func("concat", StringLit("p"), sub())
+		}
+	}
+}
+
+// batchOf gathers rows into a columnar batch (schema order).
+func batchOf(rows []relation.Row, width int) *relation.Batch {
+	b := relation.GetBatch()
+	b.BeginColumnar(width)
+	for c := 0; c < width; c++ {
+		for _, r := range rows {
+			b.Vec(c).AppendValue(r[c])
+		}
+	}
+	return b
+}
+
+func TestEvalVecMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	sch := vecSchema()
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(150)
+		rows := make([]relation.Row, n)
+		for i := range rows {
+			rows[i] = make(relation.Row, sch.NumCols())
+			for c := range rows[i] {
+				rows[i][c] = randValue(rng, c)
+			}
+		}
+		e := randExpr(rng, 1+rng.Intn(3))
+		if !CanVec(e) {
+			t.Fatalf("generator produced a non-vectorizable expression: %s", e)
+		}
+		bound, err := e.Bind(sch)
+		if err != nil {
+			t.Fatalf("bind %s: %v", e, err)
+		}
+		b := batchOf(rows, sch.NumCols())
+
+		var sel []int32
+		if trial%2 == 0 {
+			for i := 0; i < n; i++ {
+				if rng.Intn(3) > 0 {
+					sel = append(sel, int32(i))
+				}
+			}
+		}
+		out := relation.GetVec()
+		EvalVec(bound, b, sel, out)
+		wantLen := n
+		if sel != nil {
+			wantLen = len(sel)
+		}
+		if out.Len() != wantLen {
+			t.Fatalf("%s: EvalVec produced %d cells, want %d", e, out.Len(), wantLen)
+		}
+		for k := 0; k < wantLen; k++ {
+			phys := k
+			if sel != nil {
+				phys = int(sel[k])
+			}
+			want := bound.Eval(rows[phys])
+			got := out.Value(k)
+			if got.Kind() != want.Kind() || !got.KeyEqual(want) {
+				t.Fatalf("%s row %v:\n got %v (%v)\nwant %v (%v)",
+					e, rows[phys], got, got.Kind(), want, want.Kind())
+			}
+		}
+		// FilterVec must keep exactly the rows whose scalar result is
+		// truthy (selection-vector filtering ≡ row compaction).
+		fsel := b.SelIdentity(n)
+		fsel = FilterVec(bound, b, fsel)
+		var wantKept []int32
+		for i := 0; i < n; i++ {
+			if bound.Eval(rows[i]).AsBool() {
+				wantKept = append(wantKept, int32(i))
+			}
+		}
+		if len(fsel) != len(wantKept) {
+			t.Fatalf("%s: FilterVec kept %d rows, scalar kept %d", e, len(fsel), len(wantKept))
+		}
+		for k := range fsel {
+			if fsel[k] != wantKept[k] {
+				t.Fatalf("%s: FilterVec sel[%d]=%d, scalar kept %d", e, k, fsel[k], wantKept[k])
+			}
+		}
+		relation.PutVec(out)
+		b.Release()
+	}
+}
+
+// FuzzEvalVecEquivalence drives the same property from fuzzed seeds.
+func FuzzEvalVecEquivalence(f *testing.F) {
+	for _, seed := range []int64{1, 7, 1234, 99999} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		sch := vecSchema()
+		n := 1 + rng.Intn(80)
+		rows := make([]relation.Row, n)
+		for i := range rows {
+			rows[i] = make(relation.Row, sch.NumCols())
+			for c := range rows[i] {
+				rows[i][c] = randValue(rng, c)
+			}
+		}
+		e := randExpr(rng, 2)
+		bound, err := e.Bind(sch)
+		if err != nil {
+			t.Skip()
+		}
+		b := batchOf(rows, sch.NumCols())
+		defer b.Release()
+		out := relation.GetVec()
+		defer relation.PutVec(out)
+		EvalVec(bound, b, nil, out)
+		for i := 0; i < n; i++ {
+			want := bound.Eval(rows[i])
+			got := out.Value(i)
+			if got.Kind() != want.Kind() || !got.KeyEqual(want) {
+				t.Fatalf("%s row %v: got %v (%v), want %v (%v)",
+					e, rows[i], got, got.Kind(), want, want.Kind())
+			}
+		}
+	})
+}

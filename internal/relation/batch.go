@@ -10,20 +10,36 @@ const BatchCap = 1024
 
 // Batch is the unit of data flow in the batched execution pipeline
 // (internal/algebra): a fixed-capacity chunk of rows pulled from operator
-// to operator. Producers either append row *headers* that alias storage
-// owned elsewhere (a scan aliasing its relation's rows) or build fresh
-// rows inside the batch's value arena (a projection computing new rows).
-// The Owned flag records which: rows of an owned batch live in the arena
-// and die with it, rows of an unowned batch outlive the batch.
+// to operator, in one of two layouts.
 //
-// Ownership protocol (see DESIGN.md "Batch pipeline execution"):
+// The row layout carries []Row headers: producers either append headers
+// that alias storage owned elsewhere (a scan aliasing its relation's
+// rows) or build fresh rows inside the batch's value arena (a projection
+// computing new rows). The Owned flag records which: rows of an owned
+// batch live in the arena and die with it, rows of an unowned batch
+// outlive the batch.
+//
+// The columnar layout (BeginColumnar) carries typed column vectors
+// (ColVec) plus an optional selection vector: a filter shrinks the
+// selection instead of moving any cell, and vectorized operators read
+// and write primitive payload slices directly. Rows() remains the
+// compatibility view — on a columnar batch it materializes the selected
+// rows into the arena once, so row-oriented cold paths keep working
+// unchanged; hot consumers use the columnar accessors (Vec, Sel,
+// ValueAt, CopyRows) and Release the batch so its vectors recycle.
+//
+// Ownership protocol (see DESIGN.md "Batch pipeline execution" and
+// "Columnar batch layer"):
 //
 //   - the consumer that pulled a batch owns it and must either pass it
 //     downstream, Release it, or drop it;
-//   - Release recycles the batch (and its arena) through a pool — callers
-//     must not retain any Row of an *owned* batch past Release;
+//   - Release recycles the batch (its arena and vectors) through a pool —
+//     callers must not retain any Row of an *owned* batch, nor any
+//     vector payload slice, past Release;
 //   - a consumer retaining row headers from an owned batch simply skips
-//     Release (ReleaseUnlessOwned) and lets the GC keep the arena alive.
+//     Release (ReleaseUnlessOwned) and lets the GC keep the arena alive;
+//   - a consumer retaining columnar cells copies them out (CopyRows) and
+//     Releases the batch.
 //
 // A Batch is not safe for concurrent use; pipelines hand each batch to one
 // goroutine at a time.
@@ -32,25 +48,43 @@ type Batch struct {
 	arena  []Value
 	owned  bool
 	pinned bool
+
+	// Columnar layout. cols[:ncols] are the column vectors, one per output
+	// schema column; sel (nil = all) selects the live physical rows;
+	// rowsBuilt records that Rows() already materialized the compat view.
+	cols      []ColVec
+	ncols     int
+	sel       []int32
+	selBuf    []int32
+	columnar  bool
+	rowsBuilt bool
 }
 
 // batchPool recycles released batches. Steady-state pipelines allocate no
 // batches at all: every GetBatch after warm-up reuses a released one,
-// including its grown rows and arena capacity.
-var batchPool = sync.Pool{New: func() any { return new(Batch) }}
+// including its grown rows, arena, and column-vector capacity.
+var batchPool = sync.Pool{New: func() any {
+	poolCounters.batchNews.Add(1)
+	return new(Batch)
+}}
 
 // GetBatch returns an empty batch from the pool.
 func GetBatch() *Batch {
+	poolCounters.batchGets.Add(1)
 	b := batchPool.Get().(*Batch)
 	b.owned = false
 	b.pinned = false
+	b.columnar = false
+	b.rowsBuilt = false
+	b.sel = nil
+	b.ncols = 0
 	return b
 }
 
 // Release resets the batch and returns it to the pool. The caller must not
-// use the batch, or any arena-backed row obtained from it, afterwards.
-// Releasing a pinned batch is a no-op: an upstream operator retained rows
-// from it and the GC, not the pool, reclaims it.
+// use the batch, any arena-backed row, or any vector payload obtained from
+// it afterwards. Releasing a pinned batch is a no-op: an upstream operator
+// retained rows from it and the GC, not the pool, reclaims it.
 func (b *Batch) Release() {
 	if b.pinned {
 		return
@@ -58,6 +92,15 @@ func (b *Batch) Release() {
 	b.rows = b.rows[:0]
 	b.arena = b.arena[:0]
 	b.owned = false
+	if b.columnar {
+		for i := 0; i < b.ncols; i++ {
+			b.cols[i].Reset()
+		}
+		b.columnar = false
+		b.rowsBuilt = false
+		b.sel = nil
+		b.ncols = 0
+	}
 	batchPool.Put(b)
 }
 
@@ -79,17 +122,52 @@ func (b *Batch) ReleaseUnlessOwned() {
 }
 
 // Owned reports whether the batch's rows are backed by its own arena.
+// Columnar batches become owned when Rows() materializes the compat view.
 func (b *Batch) Owned() bool { return b.owned }
 
-// Len reports the number of rows in the batch.
-func (b *Batch) Len() int { return len(b.rows) }
+// Len reports the number of live rows in the batch: the selected count
+// for a columnar batch, the row-header count otherwise.
+func (b *Batch) Len() int {
+	if b.columnar && !b.rowsBuilt {
+		if b.sel != nil {
+			return len(b.sel)
+		}
+		return b.NumPhys()
+	}
+	return len(b.rows)
+}
 
 // Full reports whether the batch reached BatchCap rows.
-func (b *Batch) Full() bool { return len(b.rows) >= BatchCap }
+func (b *Batch) Full() bool {
+	if b.columnar {
+		return b.NumPhys() >= BatchCap
+	}
+	return len(b.rows) >= BatchCap
+}
 
 // Rows returns the batch's row slice. Callers may reorder or truncate it
 // via Truncate (in-place filtering) but must not grow it directly.
-func (b *Batch) Rows() []Row { return b.rows }
+//
+// On a columnar batch this is the compatibility view: the selected rows
+// are materialized into the batch arena once (marking the batch owned)
+// and returned. Hot columnar consumers avoid it — they read vectors
+// directly or CopyRows and Release — but any row-oriented consumer that
+// calls Rows()/ReleaseUnlessOwned keeps working unchanged.
+func (b *Batch) Rows() []Row {
+	if b.columnar && !b.rowsBuilt {
+		n, width := b.Len(), b.ncols
+		b.rows = b.rows[:0]
+		for k := 0; k < n; k++ {
+			i := b.PhysRow(k)
+			row := b.Alloc(width)
+			for c := 0; c < width; c++ {
+				row[c] = b.cols[c].Value(i)
+			}
+		}
+		b.rowsBuilt = true
+	}
+	return b.rows
+}
 
 // Row returns the i-th row.
 func (b *Batch) Row(i int) Row { return b.rows[i] }
@@ -136,4 +214,120 @@ func (b *Batch) Alloc(width int) Row {
 	row := Row(b.arena[start : start+width : start+width])
 	b.rows = append(b.rows, row)
 	return row
+}
+
+// ------------------------------------------------------- columnar layout
+
+// BeginColumnar switches the batch to the columnar layout with width
+// empty column vectors, reusing vector capacity from previous pool
+// cycles. The producer appends cells to Vec(i) column by column (all
+// vectors must end up the same length) and optionally installs a
+// selection vector.
+func (b *Batch) BeginColumnar(width int) {
+	b.columnar = true
+	b.rowsBuilt = false
+	b.sel = nil
+	b.rows = b.rows[:0]
+	b.arena = b.arena[:0]
+	b.owned = false
+	if cap(b.cols) < width {
+		b.cols = append(b.cols[:cap(b.cols)], make([]ColVec, width-cap(b.cols))...)
+	}
+	b.cols = b.cols[:width]
+	b.ncols = width
+	for i := 0; i < width; i++ {
+		b.cols[i].Reset()
+	}
+}
+
+// Columnar reports whether the batch is in the columnar layout.
+func (b *Batch) Columnar() bool { return b.columnar && !b.rowsBuilt }
+
+// Width reports the number of column vectors of a columnar batch.
+func (b *Batch) Width() int { return b.ncols }
+
+// Vec returns the col-th column vector (implements expr.VecSource).
+func (b *Batch) Vec(col int) *ColVec { return &b.cols[col] }
+
+// NumPhys reports the physical (pre-selection) row count of a columnar
+// batch (implements expr.VecSource).
+func (b *Batch) NumPhys() int {
+	if b.ncols == 0 {
+		return 0
+	}
+	return b.cols[0].Len()
+}
+
+// Sel returns the selection vector: the physical row indexes that are
+// live, in order. nil means every physical row is selected.
+func (b *Batch) Sel() []int32 { return b.sel }
+
+// SetSel installs a selection vector. Filters shrink the selection (in
+// place, via EnsureSel + compaction) instead of moving cells; the slice
+// is typically the batch's own selection buffer.
+func (b *Batch) SetSel(sel []int32) { b.sel = sel }
+
+// EnsureSel materializes the identity selection when none is installed,
+// so a filter can compact it in place, and returns the current selection.
+func (b *Batch) EnsureSel() []int32 {
+	if b.sel == nil {
+		b.sel = b.SelIdentity(b.NumPhys())
+	}
+	return b.sel
+}
+
+// SelIdentity returns the batch-owned selection buffer filled with the
+// identity selection [0, n). The buffer is reused across pool cycles.
+func (b *Batch) SelIdentity(n int) []int32 {
+	if cap(b.selBuf) < n {
+		b.selBuf = make([]int32, n)
+	}
+	b.selBuf = b.selBuf[:n]
+	for i := range b.selBuf {
+		b.selBuf[i] = int32(i)
+	}
+	return b.selBuf
+}
+
+// PhysRow maps the k-th selected row to its physical index.
+func (b *Batch) PhysRow(k int) int {
+	if b.sel != nil {
+		return int(b.sel[k])
+	}
+	return k
+}
+
+// ValueAt reconstructs the cell at physical row i, column col.
+func (b *Batch) ValueAt(i, col int) Value { return b.cols[col].Value(i) }
+
+// EncodeColsAt appends the canonical encoding of the idx columns of
+// physical row i to dst — the columnar form of Row.EncodeCols, producing
+// byte-identical keys.
+func (b *Batch) EncodeColsAt(i int, idx []int, dst []byte) []byte {
+	for _, c := range idx {
+		dst = b.cols[c].appendEncoded(i, dst)
+	}
+	return dst
+}
+
+// CopyRows materializes the selected rows of a columnar batch into a
+// freshly allocated value slab (one slab per batch, like the row
+// pipeline's projection arena) and appends their headers to rows. The
+// returned rows are independent of the batch, so the caller can Release
+// it and let its vectors recycle.
+func (b *Batch) CopyRows(rows []Row) []Row {
+	n, width := b.Len(), b.ncols
+	if n == 0 {
+		return rows
+	}
+	slab := make([]Value, n*width)
+	for k := 0; k < n; k++ {
+		i := b.PhysRow(k)
+		row := Row(slab[k*width : (k+1)*width : (k+1)*width])
+		for c := 0; c < width; c++ {
+			row[c] = b.cols[c].Value(i)
+		}
+		rows = append(rows, row)
+	}
+	return rows
 }

@@ -1,0 +1,430 @@
+package relation
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ColVec is a typed column vector: the cells of one attribute across the
+// rows of a columnar Batch, stored kind-major instead of row-major. A
+// vector adopts the kind of its first non-NULL cell and keeps that kind's
+// payloads in a flat typed slice (int64 for ints and bools, float64 for
+// floats, string headers for strings) with NULLs recorded in a bitmap, so
+// vectorized operators (expr.EvalVec) run tight loops over primitive
+// slices instead of switching on a 40-byte Value per cell.
+//
+// Cells of a second kind demote the vector to the mixed representation —
+// a plain []Value — which every accessor honors; typed fast paths check
+// Mixed() first. The zero ColVec is an empty vector; Reset empties a
+// vector while keeping every payload's capacity, which is what lets the
+// batch pool recycle vectors across pipeline drains with no per-cycle
+// allocations.
+//
+// A ColVec is not safe for concurrent mutation; pipelines hand each
+// batch (and its vectors) to one goroutine at a time.
+type ColVec struct {
+	kind    Kind // kind of non-null cells; KindNull until the first one
+	n       int
+	hasNull bool
+	nulls   []uint64 // bitmap (1 = NULL); tracked only once hasNull
+	ints    []int64  // KindInt / KindBool payloads
+	floats  []float64
+	strs    []string
+	mixed   bool
+	vals    []Value // mixed fallback; authoritative when mixed
+}
+
+// Reset empties the vector, keeping payload capacity for reuse.
+func (v *ColVec) Reset() {
+	v.kind = KindNull
+	v.n = 0
+	v.hasNull = false
+	v.mixed = false
+	v.nulls = v.nulls[:0]
+	v.ints = v.ints[:0]
+	v.floats = v.floats[:0]
+	v.strs = v.strs[:0]
+	v.vals = v.vals[:0]
+}
+
+// Len reports the number of cells.
+func (v *ColVec) Len() int { return v.n }
+
+// Kind reports the adopted cell kind: KindNull while the vector is empty
+// or all-NULL, otherwise the kind of its non-null cells. Meaningless when
+// Mixed.
+func (v *ColVec) Kind() Kind { return v.kind }
+
+// Mixed reports whether the vector fell back to per-cell Values because
+// it holds more than one non-null kind.
+func (v *ColVec) Mixed() bool { return v.mixed }
+
+// HasNulls reports whether any cell is NULL.
+func (v *ColVec) HasNulls() bool {
+	if v.mixed {
+		for _, val := range v.vals {
+			if val.IsNull() {
+				return true
+			}
+		}
+		return false
+	}
+	return v.hasNull || (v.kind == KindNull && v.n > 0)
+}
+
+// IsNull reports whether cell i is NULL.
+func (v *ColVec) IsNull(i int) bool {
+	if v.mixed {
+		return v.vals[i].IsNull()
+	}
+	if v.kind == KindNull {
+		return true
+	}
+	return v.hasNull && v.nulls[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Int64s returns the int64 payload slice, valid when Kind is KindInt or
+// KindBool and not Mixed; NULL slots hold zeroes (check IsNull).
+func (v *ColVec) Int64s() []int64 { return v.ints }
+
+// Float64s returns the float64 payload slice (Kind == KindFloat, not
+// Mixed); NULL slots hold zeroes.
+func (v *ColVec) Float64s() []float64 { return v.floats }
+
+// Strings returns the string payload slice (Kind == KindString, not
+// Mixed); NULL slots hold empty strings.
+func (v *ColVec) Strings() []string { return v.strs }
+
+// Value reconstructs cell i as a scalar Value — the codec between the
+// columnar and the row representation. Round-tripping any Value through
+// AppendValue and Value(i) is exact for every kind including NULL (the
+// codec property test fuzzes this).
+func (v *ColVec) Value(i int) Value {
+	if v.mixed {
+		return v.vals[i]
+	}
+	if v.kind == KindNull || (v.hasNull && v.nulls[i>>6]&(1<<(uint(i)&63)) != 0) {
+		return Value{}
+	}
+	switch v.kind {
+	case KindInt, KindBool:
+		return Value{kind: v.kind, i: v.ints[i]}
+	case KindFloat:
+		return Value{kind: KindFloat, f: v.floats[i]}
+	default: // KindString
+		return Value{kind: KindString, s: v.strs[i]}
+	}
+}
+
+// AppendValue appends one cell, adopting the vector's kind from the first
+// non-null cell and demoting to mixed when kinds disagree.
+func (v *ColVec) AppendValue(val Value) {
+	if v.mixed {
+		v.vals = append(v.vals, val)
+		v.n++
+		return
+	}
+	k := val.kind
+	if k == KindNull {
+		if v.kind == KindNull {
+			v.n++ // still the all-NULL prefix: no payload storage yet
+			return
+		}
+		v.appendTypedNull()
+		return
+	}
+	if v.kind == KindNull {
+		v.adoptKind(k)
+	} else if k != v.kind {
+		v.demoteMixed()
+		v.vals = append(v.vals, val)
+		v.n++
+		return
+	}
+	switch k {
+	case KindInt, KindBool:
+		v.ints = append(v.ints, val.i)
+	case KindFloat:
+		v.floats = append(v.floats, val.f)
+	default: // KindString
+		v.strs = append(v.strs, val.s)
+	}
+	if v.hasNull {
+		v.growNulls()
+	}
+	v.n++
+}
+
+// AppendNull appends a NULL cell.
+func (v *ColVec) AppendNull() { v.AppendValue(Value{}) }
+
+// AppendInt64 appends a non-null KindInt cell. The vector must be empty,
+// all-NULL, or already of kind KindInt (vectorized producers guarantee
+// this; AppendValue handles the general case).
+func (v *ColVec) AppendInt64(x int64) {
+	if v.mixed || (v.kind != KindNull && v.kind != KindInt) {
+		v.AppendValue(Value{kind: KindInt, i: x})
+		return
+	}
+	if v.kind == KindNull {
+		v.adoptKind(KindInt)
+	}
+	v.ints = append(v.ints, x)
+	if v.hasNull {
+		v.growNulls()
+	}
+	v.n++
+}
+
+// AppendFloat64 appends a non-null KindFloat cell (see AppendInt64).
+func (v *ColVec) AppendFloat64(x float64) {
+	if v.mixed || (v.kind != KindNull && v.kind != KindFloat) {
+		v.AppendValue(Value{kind: KindFloat, f: x})
+		return
+	}
+	if v.kind == KindNull {
+		v.adoptKind(KindFloat)
+	}
+	v.floats = append(v.floats, x)
+	if v.hasNull {
+		v.growNulls()
+	}
+	v.n++
+}
+
+// AppendBool appends a non-null KindBool cell (see AppendInt64).
+func (v *ColVec) AppendBool(b bool) {
+	var i int64
+	if b {
+		i = 1
+	}
+	if v.mixed || (v.kind != KindNull && v.kind != KindBool) {
+		v.AppendValue(Value{kind: KindBool, i: i})
+		return
+	}
+	if v.kind == KindNull {
+		v.adoptKind(KindBool)
+	}
+	v.ints = append(v.ints, i)
+	if v.hasNull {
+		v.growNulls()
+	}
+	v.n++
+}
+
+// Truthy reports cell i's truthiness with Value.AsBool semantics (NULL is
+// false) — the predicate-result read used by selection-vector filtering.
+func (v *ColVec) Truthy(i int) bool {
+	if v.mixed {
+		return v.vals[i].AsBool()
+	}
+	if v.kind == KindNull || (v.hasNull && v.nulls[i>>6]&(1<<(uint(i)&63)) != 0) {
+		return false
+	}
+	switch v.kind {
+	case KindInt, KindBool:
+		return v.ints[i] != 0
+	case KindFloat:
+		return v.floats[i] != 0
+	default:
+		return false
+	}
+}
+
+// CopyFrom resets v and copies all of src's cells with typed bulk copies.
+func (v *ColVec) CopyFrom(src *ColVec) {
+	v.Reset()
+	if src.mixed {
+		v.mixed = true
+		v.vals = append(v.vals, src.vals...)
+		v.n = src.n
+		return
+	}
+	v.kind = src.kind
+	v.n = src.n
+	v.hasNull = src.hasNull
+	v.nulls = append(v.nulls, src.nulls...)
+	v.ints = append(v.ints, src.ints...)
+	v.floats = append(v.floats, src.floats...)
+	v.strs = append(v.strs, src.strs...)
+}
+
+// GatherFrom resets v and copies src's cells at the selected physical
+// positions, producing a dense vector of len(sel) cells.
+func (v *ColVec) GatherFrom(src *ColVec, sel []int32) {
+	v.Reset()
+	if src.mixed {
+		v.mixed = true
+		for _, i := range sel {
+			v.vals = append(v.vals, src.vals[int(i)])
+		}
+		v.n = len(sel)
+		return
+	}
+	if src.kind == KindNull {
+		v.n = len(sel)
+		return
+	}
+	if !src.hasNull {
+		v.kind = src.kind
+		switch src.kind {
+		case KindInt, KindBool:
+			for _, i := range sel {
+				v.ints = append(v.ints, src.ints[int(i)])
+			}
+		case KindFloat:
+			for _, i := range sel {
+				v.floats = append(v.floats, src.floats[int(i)])
+			}
+		default:
+			for _, i := range sel {
+				v.strs = append(v.strs, src.strs[int(i)])
+			}
+		}
+		v.n = len(sel)
+		return
+	}
+	for _, i := range sel {
+		v.AppendValue(src.Value(int(i)))
+	}
+}
+
+// appendEncoded appends the canonical encoding of cell i to dst (the same
+// injective codec as Value.appendEncoded, so columnar key construction is
+// byte-identical to the row pipeline's).
+func (v *ColVec) appendEncoded(i int, dst []byte) []byte {
+	return v.Value(i).appendEncoded(dst)
+}
+
+// appendTypedNull appends a NULL to a typed (non-empty-kind) vector.
+func (v *ColVec) appendTypedNull() {
+	if !v.hasNull {
+		v.hasNull = true
+		v.nulls = v.nulls[:0]
+		for w := 0; w*64 < v.n; w++ {
+			v.nulls = append(v.nulls, 0)
+		}
+	}
+	switch v.kind {
+	case KindInt, KindBool:
+		v.ints = append(v.ints, 0)
+	case KindFloat:
+		v.floats = append(v.floats, 0)
+	default:
+		v.strs = append(v.strs, "")
+	}
+	v.growNulls()
+	v.nulls[v.n>>6] |= 1 << (uint(v.n) & 63)
+	v.n++
+}
+
+// adoptKind turns an empty or all-NULL vector into a typed one of kind k,
+// backfilling payload zeroes and NULL bits for the existing prefix.
+func (v *ColVec) adoptKind(k Kind) {
+	v.kind = k
+	for i := 0; i < v.n; i++ {
+		switch k {
+		case KindInt, KindBool:
+			v.ints = append(v.ints, 0)
+		case KindFloat:
+			v.floats = append(v.floats, 0)
+		default:
+			v.strs = append(v.strs, "")
+		}
+	}
+	if v.n > 0 {
+		v.hasNull = true
+		v.nulls = v.nulls[:0]
+		for w := 0; w*64 < v.n; w++ {
+			v.nulls = append(v.nulls, 0)
+		}
+		for i := 0; i < v.n; i++ {
+			v.nulls[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+}
+
+// demoteMixed converts the vector to the per-cell Value representation.
+func (v *ColVec) demoteMixed() {
+	v.vals = v.vals[:0]
+	for i := 0; i < v.n; i++ {
+		v.vals = append(v.vals, v.Value(i))
+	}
+	v.mixed = true
+}
+
+// growNulls keeps the bitmap covering n+1 cells (call before n++).
+func (v *ColVec) growNulls() {
+	if len(v.nulls)*64 < v.n+1 {
+		v.nulls = append(v.nulls, 0)
+	}
+}
+
+// ----------------------------------------------------------- scratch pool
+
+// vecPool recycles scratch vectors used by vectorized expression
+// evaluation (expr.EvalVec intermediates). Batch-owned vectors are pooled
+// with their batch instead.
+var vecPool = sync.Pool{New: func() any {
+	poolCounters.vecNews.Add(1)
+	return new(ColVec)
+}}
+
+// GetVec returns an empty scratch vector from the pool.
+func GetVec() *ColVec {
+	poolCounters.vecGets.Add(1)
+	v := vecPool.Get().(*ColVec)
+	v.Reset()
+	return v
+}
+
+// PutVec returns a scratch vector to the pool. The caller must not use it
+// afterwards.
+func PutVec(v *ColVec) { vecPool.Put(v) }
+
+// ----------------------------------------------------------- pool gauges
+
+// poolCounters tracks pooling effectiveness for the serving /stats
+// endpoint: a hit rate that decays means steady-state drains started
+// allocating again (a pooling regression).
+var poolCounters struct {
+	batchGets atomic.Uint64
+	batchNews atomic.Uint64
+	vecGets   atomic.Uint64
+	vecNews   atomic.Uint64
+}
+
+// PoolCounters is a snapshot of the batch/vector pool counters.
+type PoolCounters struct {
+	// BatchGets counts GetBatch calls; BatchNews counts the subset that
+	// had to allocate a fresh Batch (pool miss). Hit rate = 1 - News/Gets.
+	BatchGets, BatchNews uint64
+	// VecGets/VecNews are the same for scratch column vectors (GetVec).
+	VecGets, VecNews uint64
+}
+
+// BatchHitRate returns the batch pool hit rate in [0, 1] (1 when idle).
+func (p PoolCounters) BatchHitRate() float64 { return hitRate(p.BatchGets, p.BatchNews) }
+
+// VecHitRate returns the scratch-vector pool hit rate in [0, 1].
+func (p PoolCounters) VecHitRate() float64 { return hitRate(p.VecGets, p.VecNews) }
+
+func hitRate(gets, news uint64) float64 {
+	if gets == 0 {
+		return 1
+	}
+	if news > gets {
+		news = gets
+	}
+	return 1 - float64(news)/float64(gets)
+}
+
+// ReadPoolCounters returns a snapshot of the pool counters.
+func ReadPoolCounters() PoolCounters {
+	return PoolCounters{
+		BatchGets: poolCounters.batchGets.Load(),
+		BatchNews: poolCounters.batchNews.Load(),
+		VecGets:   poolCounters.vecGets.Load(),
+		VecNews:   poolCounters.vecNews.Load(),
+	}
+}

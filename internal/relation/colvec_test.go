@@ -1,0 +1,286 @@
+package relation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// codecValues covers every kind, NULL, and awkward payloads (NaN, ±0.0,
+// huge ints past float53 precision, NUL-bearing strings).
+func codecValues() []Value {
+	return []Value{
+		Null(),
+		Int(0), Int(1), Int(-1), Int(math.MaxInt64), Int(math.MinInt64),
+		Int(1<<53 + 1),
+		Float(0), Float(math.Copysign(0, -1)), Float(1.5), Float(-2.25),
+		Float(math.NaN()), Float(math.Inf(1)), Float(math.Inf(-1)),
+		String(""), String("a"), String("hello world"), String("x\x00y\x01z"),
+		Bool(true), Bool(false),
+	}
+}
+
+// The vector cell codec must round-trip every Value exactly: same kind,
+// same canonical encoding (KeyEqual), same payload — for homogeneous,
+// NULL-interleaved, and mixed-kind vectors alike.
+func TestColVecRoundTrip(t *testing.T) {
+	vals := codecValues()
+	// Homogeneous-per-kind vectors with interleaved NULLs.
+	byKind := map[Kind][]Value{}
+	for _, v := range vals {
+		byKind[v.Kind()] = append(byKind[v.Kind()], v)
+	}
+	for kind, kv := range byKind {
+		var vec ColVec
+		var want []Value
+		for i, v := range kv {
+			if i%2 == 1 {
+				vec.AppendNull()
+				want = append(want, Null())
+			}
+			vec.AppendValue(v)
+			want = append(want, v)
+		}
+		if vec.Mixed() {
+			t.Errorf("kind %v: homogeneous vector went mixed", kind)
+		}
+		checkRoundTrip(t, &vec, want)
+	}
+	// One mixed vector holding everything.
+	var vec ColVec
+	vec.AppendValue(vals[1]) // start typed so the demotion path runs
+	want := []Value{vals[1]}
+	for _, v := range vals {
+		vec.AppendValue(v)
+		want = append(want, v)
+	}
+	if !vec.Mixed() {
+		t.Fatal("kind-spanning vector should be mixed")
+	}
+	checkRoundTrip(t, &vec, want)
+}
+
+func checkRoundTrip(t *testing.T, vec *ColVec, want []Value) {
+	t.Helper()
+	if vec.Len() != len(want) {
+		t.Fatalf("Len %d != %d", vec.Len(), len(want))
+	}
+	for i, w := range want {
+		got := vec.Value(i)
+		if got.Kind() != w.Kind() || !got.KeyEqual(w) {
+			t.Fatalf("cell %d: got %v (%v), want %v (%v)", i, got, got.Kind(), w, w.Kind())
+		}
+		if string(got.Encode()) != string(w.Encode()) {
+			t.Fatalf("cell %d: encoding drift: %q vs %q", i, got.Encode(), w.Encode())
+		}
+		if vec.IsNull(i) != w.IsNull() {
+			t.Fatalf("cell %d: IsNull %v, want %v", i, vec.IsNull(i), w.IsNull())
+		}
+	}
+}
+
+// All-NULL prefixes must backfill correctly when the vector later adopts
+// a kind.
+func TestColVecNullPrefix(t *testing.T) {
+	for _, first := range []Value{Int(7), Float(1.5), String("s"), Bool(true)} {
+		var vec ColVec
+		vec.AppendNull()
+		vec.AppendNull()
+		vec.AppendValue(first)
+		vec.AppendNull()
+		want := []Value{Null(), Null(), first, Null()}
+		checkRoundTrip(t, &vec, want)
+	}
+}
+
+// GatherFrom must equal per-cell Value round-trips at selected positions.
+func TestColVecGather(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := codecValues()
+	for trial := 0; trial < 50; trial++ {
+		var src ColVec
+		n := 1 + rng.Intn(64)
+		mixed := rng.Intn(2) == 0
+		base := vals[rng.Intn(len(vals))]
+		for i := 0; i < n; i++ {
+			if mixed {
+				src.AppendValue(vals[rng.Intn(len(vals))])
+			} else if rng.Intn(4) == 0 {
+				src.AppendNull()
+			} else {
+				src.AppendValue(base)
+			}
+		}
+		var sel []int32
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				sel = append(sel, int32(i))
+			}
+		}
+		var dst ColVec
+		dst.GatherFrom(&src, sel)
+		if dst.Len() != len(sel) {
+			t.Fatalf("gather len %d != %d", dst.Len(), len(sel))
+		}
+		for k, i := range sel {
+			if g, w := dst.Value(k), src.Value(int(i)); g.Kind() != w.Kind() || !g.KeyEqual(w) {
+				t.Fatalf("gather cell %d: %v != %v", k, g, w)
+			}
+		}
+	}
+}
+
+// Selection-vector filtering on a columnar batch must equal row
+// compaction: materializing a batch restricted by a selection yields
+// exactly the rows a row-at-a-time filter would have kept.
+func TestBatchSelectionEqualsCompaction(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	vals := codecValues()
+	for trial := 0; trial < 50; trial++ {
+		width := 1 + rng.Intn(4)
+		n := 1 + rng.Intn(200)
+		rows := make([]Row, n)
+		for i := range rows {
+			rows[i] = make(Row, width)
+			for c := range rows[i] {
+				// Column-homogeneous base kind with occasional NULLs, the
+				// common shape; trial%2 flips to fully random cells.
+				if trial%2 == 0 {
+					rows[i][c] = vals[(c*3+1)%len(vals)]
+					if rng.Intn(5) == 0 {
+						rows[i][c] = Null()
+					}
+				} else {
+					rows[i][c] = vals[rng.Intn(len(vals))]
+				}
+			}
+		}
+		b := GetBatch()
+		b.BeginColumnar(width)
+		for c := 0; c < width; c++ {
+			for i := 0; i < n; i++ {
+				b.Vec(c).AppendValue(rows[i][c])
+			}
+		}
+		keepRow := func(i int) bool { return i%3 != trial%3 }
+		sel := b.SelIdentity(n)[:0]
+		var compacted []Row
+		for i := 0; i < n; i++ {
+			if keepRow(i) {
+				sel = append(sel, int32(i))
+				compacted = append(compacted, rows[i])
+			}
+		}
+		b.SetSel(sel)
+		if b.Len() != len(compacted) {
+			t.Fatalf("selected %d rows, compaction kept %d", b.Len(), len(compacted))
+		}
+		// Three readers must agree with the compaction: ValueAt, CopyRows,
+		// and the Rows() compatibility view.
+		allIdx := make([]int, width)
+		for c := range allIdx {
+			allIdx[c] = c
+		}
+		// KeyEqualCols (canonical-encoding identity) rather than Equal:
+		// the codec must be exact even for NaN, which float == rejects.
+		copied := b.CopyRows(nil)
+		for k, want := range compacted {
+			phys := b.PhysRow(k)
+			for c := 0; c < width; c++ {
+				if g := b.ValueAt(phys, c); g.Kind() != want[c].Kind() || !g.KeyEqual(want[c]) {
+					t.Fatalf("ValueAt(%d,%d) = %v, want %v", phys, c, g, want[c])
+				}
+			}
+			if !copied[k].KeyEqualCols(allIdx, want, allIdx) {
+				t.Fatalf("CopyRows row %d = %v, want %v", k, copied[k], want)
+			}
+		}
+		view := b.Rows()
+		if len(view) != len(compacted) {
+			t.Fatalf("Rows() view has %d rows, want %d", len(view), len(compacted))
+		}
+		for k, want := range compacted {
+			if !view[k].KeyEqualCols(allIdx, want, allIdx) {
+				t.Fatalf("Rows() row %d = %v, want %v", k, view[k], want)
+			}
+		}
+		// The compat view marks the batch owned; dropping it is legal.
+		b.ReleaseUnlessOwned()
+	}
+}
+
+// EncodeColsAt must produce byte-identical keys to Row.EncodeCols.
+func TestBatchEncodeColsMatchesRow(t *testing.T) {
+	vals := codecValues()
+	width := 3
+	b := GetBatch()
+	defer b.Release()
+	b.BeginColumnar(width)
+	var rows []Row
+	for i := 0; i < len(vals); i++ {
+		row := Row{vals[i], vals[(i+5)%len(vals)], vals[(i*7)%len(vals)]}
+		rows = append(rows, row)
+		for c := 0; c < width; c++ {
+			b.Vec(c).AppendValue(row[c])
+		}
+	}
+	idx := []int{2, 0}
+	for i, row := range rows {
+		got := b.EncodeColsAt(i, idx, nil)
+		want := row.EncodeCols(idx, nil)
+		if string(got) != string(want) {
+			t.Fatalf("row %d: columnar key %q != row key %q", i, got, want)
+		}
+	}
+}
+
+// FuzzValueColVecRoundTrip lets the fuzzer hunt for a Value whose trip
+// through a column vector (typed or mixed, NULL-adjacent) is not exact.
+func FuzzValueColVecRoundTrip(f *testing.F) {
+	f.Add(uint8(1), int64(42), 3.14, "s", true)
+	f.Add(uint8(0), int64(0), 0.0, "", false)
+	f.Add(uint8(2), int64(1<<53+1), math.Inf(-1), "\x00\x01", true)
+	f.Add(uint8(4), int64(-9), math.NaN(), "κλειδί", false)
+	f.Fuzz(func(t *testing.T, kind uint8, i int64, fv float64, s string, null bool) {
+		var v Value
+		switch Kind(kind % 5) {
+		case KindNull:
+			v = Null()
+		case KindInt:
+			v = Int(i)
+		case KindFloat:
+			v = Float(fv)
+		case KindString:
+			v = String(s)
+		default:
+			v = Bool(i%2 == 0)
+		}
+		check := func(vec *ColVec, at int) {
+			got := vec.Value(at)
+			if got.Kind() != v.Kind() || !got.KeyEqual(v) {
+				t.Fatalf("round trip: got %v (%v), want %v (%v)", got, got.Kind(), v, v.Kind())
+			}
+			if string(got.Encode()) != string(v.Encode()) {
+				t.Fatalf("encoding drift: %q vs %q", got.Encode(), v.Encode())
+			}
+		}
+		// Typed vector, optionally with a NULL prefix/suffix.
+		var typed ColVec
+		if null {
+			typed.AppendNull()
+		}
+		typed.AppendValue(v)
+		typed.AppendNull()
+		at := 0
+		if null {
+			at = 1
+		}
+		check(&typed, at)
+		// Mixed vector: force demotion with a foreign kind first.
+		var mixed ColVec
+		mixed.AppendValue(Int(1))
+		mixed.AppendValue(String("force-mixed"))
+		mixed.AppendValue(v)
+		check(&mixed, 2)
+	})
+}

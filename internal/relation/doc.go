@@ -6,6 +6,19 @@
 // execution") and the zero-allocation encoded-key machinery (KeyBuf,
 // ProbeBytes) behind hash joins and sampling.
 //
+// Batches carry one of two layouts. The row layout streams []Row headers
+// (aliasing storage owned elsewhere, or built in the batch's value
+// arena). The columnar layout (DESIGN.md "Columnar batch layer") stores
+// typed column vectors — ColVec: one flat int64/float64/string payload
+// slice per attribute with a NULL bitmap, demoting to per-cell Values
+// only for mixed-kind columns — plus a selection vector, so filters
+// shrink the selection instead of moving cells and vectorized operators
+// (expr.EvalVec) run tight loops over primitive slices. Rows() remains
+// the row-compatibility view of a columnar batch, and the Value↔vector
+// cell codec is exact for every kind including NULL (fuzzed by
+// FuzzValueColVecRoundTrip). ReadPoolCounters exposes batch/vector pool
+// hit rates for the serving layer's /stats gauges.
+//
 // The terminology follows the paper: tuples of base relations are "records"
 // and tuples of derived relations are "rows"; both are represented by Row.
 //
@@ -17,5 +30,6 @@
 // storage (see DESIGN.md "Snapshot serving layer"). Batches come from a
 // global pool and follow a strict ownership protocol (the consumer that
 // pulled a batch owns it; Release/ReleaseUnlessOwned/Pin) documented on
-// the Batch type; a batch is owned by one goroutine at a time.
+// the Batch type; a batch is owned by one goroutine at a time, and its
+// column vectors and selection buffer are recycled with it.
 package relation

@@ -101,9 +101,28 @@ func ExecSelectLimit(v *db.Version, sel *SelectStmt, limit int) (*relation.Relat
 		if b == nil {
 			return out, total, nil
 		}
-		rows := b.Rows()
-		total += len(rows)
-		for _, row := range rows {
+		total += b.Len()
+		if b.Columnar() {
+			// Columnar drain: rows under the cap are reconstructed
+			// cell-by-cell from the column vectors (already independent of
+			// the pooled batch, so no extra clone); rows past the cap are
+			// only counted.
+			width := b.Width()
+			for k, n := 0, b.Len(); k < n && out.Len() < limit; k++ {
+				phys := b.PhysRow(k)
+				row := make(relation.Row, width)
+				for c := 0; c < width; c++ {
+					row[c] = b.ValueAt(phys, c)
+				}
+				if _, err := out.Upsert(row); err != nil {
+					b.Release()
+					return nil, 0, err
+				}
+			}
+			b.Release()
+			continue
+		}
+		for _, row := range b.Rows() {
 			if out.Len() >= limit {
 				break
 			}

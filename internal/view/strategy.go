@@ -145,6 +145,17 @@ func (m *Maintainer) MaintainAt(pin *db.Version, stale *relation.Relation) (*rel
 		return fail(err)
 	}
 	defer it.Close()
+	width := target.NumCols()
+	store := func(conv relation.Row) error {
+		// Upsert, not Insert: the pre-pipeline evaluation deduplicated
+		// by key at the expression root before coercing; streaming
+		// keeps that semantics at the single materialization point.
+		if target.HasKey() {
+			_, err := out.Upsert(conv)
+			return err
+		}
+		return out.Insert(conv)
+	}
 	for {
 		b, err := it.Next()
 		if err != nil {
@@ -153,10 +164,33 @@ func (m *Maintainer) MaintainAt(pin *db.Version, stale *relation.Relation) (*rel
 		if b == nil {
 			break
 		}
+		ctx.RowsTouched += int64(b.Len())
+		if b.Columnar() {
+			// Columnar drain: coerce straight out of the column vectors
+			// into the slab — no intermediate row view is built, and the
+			// released batch returns its vectors to the pool for the next
+			// cycle (no per-cycle vector reallocations).
+			if b.Width() != width {
+				return fail(fmt.Errorf("row arity %d != view arity %d", b.Width(), width))
+			}
+			n := b.Len()
+			slab := make([]relation.Value, n*width)
+			for k := 0; k < n; k++ {
+				phys := b.PhysRow(k)
+				conv := relation.Row(slab[k*width : (k+1)*width : (k+1)*width])
+				for i := 0; i < width; i++ {
+					conv[i] = coerceValue(target.Col(i).Type, b.ValueAt(phys, i))
+				}
+				if err := store(conv); err != nil {
+					return fail(err)
+				}
+			}
+			b.Release()
+			continue
+		}
 		// One slab per batch: the coerced rows are retained by the output
 		// relation, so slicing them out of a shared slab turns N row
 		// allocations into one.
-		width := target.NumCols()
 		slab := make([]relation.Value, len(b.Rows())*width)
 		for r, row := range b.Rows() {
 			if len(row) != width {
@@ -166,18 +200,10 @@ func (m *Maintainer) MaintainAt(pin *db.Version, stale *relation.Relation) (*rel
 			for i, val := range row {
 				conv[i] = coerceValue(target.Col(i).Type, val)
 			}
-			// Upsert, not Insert: the pre-pipeline evaluation deduplicated
-			// by key at the expression root before coercing; streaming
-			// keeps that semantics at the single materialization point.
-			if target.HasKey() {
-				if _, err := out.Upsert(conv); err != nil {
-					return fail(err)
-				}
-			} else if err := out.Insert(conv); err != nil {
+			if err := store(conv); err != nil {
 				return fail(err)
 			}
 		}
-		ctx.RowsTouched += int64(b.Len())
 		b.Release()
 	}
 	return out, MaintainStats{RowsTouched: ctx.RowsTouched, OutputRows: out.Len()}, nil

@@ -138,7 +138,26 @@ type StatsResponse struct {
 	Canceled    uint64 `json:"canceled"`
 	Errors      uint64 `json:"errors"`
 
+	// Pools gauges the engine's batch/vector pooling effectiveness. A hit
+	// rate that decays under steady serving load means pipeline drains
+	// started allocating per cycle again — a pooling regression that would
+	// otherwise only show up in offline allocs/op benchmarks.
+	Pools PoolStats `json:"pools"`
+
 	Views []ViewStats `json:"views"`
+}
+
+// PoolStats gauges the columnar engine's batch and scratch-vector pools
+// (relation.ReadPoolCounters). Gets counts pool checkouts; News counts
+// the subset that had to allocate (pool miss). HitRate = 1 - News/Gets,
+// and 1.0 when idle.
+type PoolStats struct {
+	BatchGets    uint64  `json:"batch_gets"`
+	BatchNews    uint64  `json:"batch_news"`
+	BatchHitRate float64 `json:"batch_hit_rate"`
+	VecGets      uint64  `json:"vec_gets"`
+	VecNews      uint64  `json:"vec_news"`
+	VecHitRate   float64 `json:"vec_hit_rate"`
 }
 
 // ErrorResponse is the body of any non-2xx response.

@@ -473,6 +473,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		TimedOut:       s.timedOut.Load(),
 		Canceled:       s.canceled.Load(),
 		Errors:         s.errs.Load(),
+		Pools:          poolStats(),
 	}
 	if resp.MaxServedEpoch > 0 && resp.Epoch > resp.MaxServedEpoch {
 		resp.EpochLag = resp.Epoch - resp.MaxServedEpoch
@@ -499,6 +500,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.RUnlock()
 	sort.Slice(resp.Views, func(i, j int) bool { return resp.Views[i].Name < resp.Views[j].Name })
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// poolStats snapshots the engine's batch/vector pool counters into the
+// wire gauge (see api.PoolStats).
+func poolStats() api.PoolStats {
+	pc := relation.ReadPoolCounters()
+	return api.PoolStats{
+		BatchGets:    pc.BatchGets,
+		BatchNews:    pc.BatchNews,
+		BatchHitRate: pc.BatchHitRate(),
+		VecGets:      pc.VecGets,
+		VecNews:      pc.VecNews,
+		VecHitRate:   pc.VecHitRate(),
+	}
 }
 
 // ------------------------------------------------------------- plumbing

@@ -447,4 +447,15 @@ SELECT videoId, COUNT(1) AS n FROM Log GROUP BY videoId`, 0.5)
 	if len(st.Views) != 2 {
 		t.Fatalf("stats should list both views: %+v", st.Views)
 	}
+	// The batch/vector pool gauges must be live: this server has run
+	// materializations and queries, so the batch pool has been hit, and
+	// the hit rates must be well-formed fractions.
+	if st.Pools.BatchGets == 0 {
+		t.Fatalf("stats should gauge batch pool traffic: %+v", st.Pools)
+	}
+	for _, r := range []float64{st.Pools.BatchHitRate, st.Pools.VecHitRate} {
+		if r < 0 || r > 1 {
+			t.Fatalf("pool hit rate %v outside [0,1]: %+v", r, st.Pools)
+		}
+	}
 }

@@ -67,6 +67,7 @@ type config struct {
 	mode       Mode
 	outliers   *outlierSpec
 	parallel   int
+	columnar   *bool
 	refresh    time.Duration
 }
 
@@ -97,6 +98,15 @@ func WithMode(m Mode) Option { return func(c *config) { c.mode = m } }
 // partitions hash-join build/probe and aggregation by key hash and
 // produces results identical to serial evaluation; 0 and 1 mean serial.
 func WithParallelism(n int) Option { return func(c *config) { c.parallel = n } }
+
+// WithColumnar enables or disables the columnar batch path for every
+// evaluation this view triggers (materialization, maintenance, sampled
+// cleaning, svcql execution). Like WithParallelism, the setting lives on
+// the shared database engine (Database.SetColumnar). Columnar execution
+// is the default and produces results identical to the row-at-a-time
+// pipeline; turning it off exists for A/B benchmarking (svcbench
+// -columnar=off) and debugging.
+func WithColumnar(on bool) Option { return func(c *config) { c.columnar = &on } }
 
 // WithOutlierIndex attaches a Section 6 outlier index on table.attr,
 // keeping the top `limit` records above an adaptive top-k threshold.
@@ -253,6 +263,9 @@ func New(d *Database, def ViewDefinition, opts ...Option) (*StaleView, error) {
 	}
 	if cfg.parallel > 0 {
 		d.SetParallelism(cfg.parallel)
+	}
+	if cfg.columnar != nil {
+		d.SetColumnar(*cfg.columnar)
 	}
 	v, err := view.Materialize(d, def)
 	if err != nil {
