@@ -96,6 +96,30 @@ func (c *Client) CreateView(sql string, ratio float64) (*api.CreateViewResponse,
 	return &resp, nil
 }
 
+// Ingest streams a batch of staged mutations into a base table. Ops are
+// applied in order; when the server runs with a durable log (svcd
+// -wal-dir), every op is on disk before the call returns, and the
+// response carries the log's synced frontier. A 503 (IsOverloaded) means
+// the log's backpressure bound was hit and nothing was staged — retry
+// after a pause. Other errors name the failing op's index; ops before it
+// remain staged.
+func (c *Client) Ingest(table string, ops []api.IngestOp) (*api.IngestResponse, error) {
+	var resp api.IngestResponse
+	if err := c.post("/ingest", &api.IngestRequest{Table: table, Ops: ops}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// InsertOp / UpdateOp / DeleteOp build one ingest mutation.
+func InsertOp(row ...any) api.IngestOp { return api.IngestOp{Op: "insert", Row: row} }
+
+// UpdateOp stages an upsert of the full row.
+func UpdateOp(row ...any) api.IngestOp { return api.IngestOp{Op: "update", Row: row} }
+
+// DeleteOp stages a delete by primary-key values.
+func DeleteOp(key ...any) api.IngestOp { return api.IngestOp{Op: "delete", Key: key} }
+
 // Stats fetches the server's serving and refresh counters.
 func (c *Client) Stats() (*api.StatsResponse, error) {
 	var resp api.StatsResponse

@@ -7,14 +7,22 @@
 //	svcd                                # videolog dataset on 127.0.0.1:7781
 //	svcd -dataset tpcd -scale 0.5
 //	svcd -addr :8080 -churn 500        # stage ~500 updates/sec while serving
+//	svcd -wal-dir /var/lib/svcd/wal    # durable ingest: crash-safe staging
 //
 // Then:
 //
 //	curl -s localhost:7781/query -d '{"sql":"SELECT SUM(visitCount) FROM visitView"}'
+//	curl -s localhost:7781/ingest -d '{"table":"Log","ops":[{"op":"insert","row":[99000001,5]}]}'
 //	curl -s localhost:7781/stats
 //
-// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight queries
-// drain before the background refreshers stop.
+// With -wal-dir, every staged mutation (HTTP /ingest and the -churn
+// writer alike) is written ahead and fsynced before it acknowledges; a
+// crashed daemon replays the un-retired log suffix at startup, so
+// acknowledged-but-unmaintained deltas survive kill -9.
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: the churn writer
+// stops, in-flight queries drain, the background refreshers stop, and
+// the durable log closes last.
 package main
 
 import (
@@ -28,8 +36,10 @@ import (
 	"time"
 
 	svc "github.com/sampleclean/svc"
+	"github.com/sampleclean/svc/client"
 	"github.com/sampleclean/svc/internal/tpcd"
 	"github.com/sampleclean/svc/server"
+	"github.com/sampleclean/svc/server/api"
 )
 
 func main() {
@@ -44,6 +54,8 @@ func main() {
 		parallel = flag.Int("parallel", 0, "intra-operator workers (0 = serial)")
 		ratio    = flag.Float64("ratio", 0.1, "SVC sampling ratio for served views")
 		churn    = flag.Int("churn", 0, "staged updates per second while serving (0 = none)")
+		walDir   = flag.String("wal-dir", "", "directory for the durable maintenance log (empty = no durability)")
+		walSync  = flag.Duration("wal-sync", 0, "group-commit sync interval (0 = default 2ms; negative = fsync every commit)")
 	)
 	flag.Parse()
 
@@ -59,7 +71,7 @@ func main() {
 	var (
 		d        *svc.Database
 		viewSQL  []string
-		churnFn  func() error
+		churnFn  func(cl *client.Client) error
 		examples []string
 	)
 	switch *dataset {
@@ -83,6 +95,25 @@ func main() {
 		d.SetParallelism(*parallel)
 	}
 
+	// The durable log attaches after the dataset load (loads are recreated
+	// deterministically, not logged) and before views materialize, so a
+	// previous run's acknowledged-but-unmaintained deltas are already
+	// staged when the views and their samples come up.
+	var durable *svc.DurableLog
+	if *walDir != "" {
+		opt := svc.DurableLogOptions{SyncInterval: *walSync}
+		if *walSync < 0 {
+			opt.SyncInterval = svc.SyncEachCommit
+		}
+		lg, rs, err := svc.AttachDurableLog(d, *walDir, opt)
+		if err != nil {
+			log.Fatalf("durable log: %v", err)
+		}
+		durable = lg
+		log.Printf("durable log %s: recovered %d records across %d boundaries (%d re-staged as pending, applied_seq=%d, checkpoint=%d)",
+			*walDir, rs.Records, rs.Boundaries, rs.PendingRecords, rs.AppliedSeq, rs.CheckpointSeq)
+	}
+
 	srv := server.New(d, cfg)
 	for _, sql := range viewSQL {
 		sv, err := srv.CreateView(sql)
@@ -95,12 +126,17 @@ func main() {
 	if err := srv.Start(); err != nil {
 		log.Fatalf("listen: %v", err)
 	}
-	log.Printf("svcd listening on http://%s (dataset=%s scale=%g refresh=%v)",
-		srv.Addr(), *dataset, *scale, *refresh)
+	log.Printf("svcd listening on http://%s (dataset=%s scale=%g refresh=%v durable=%v)",
+		srv.Addr(), *dataset, *scale, *refresh, durable != nil)
 	for _, ex := range examples {
 		log.Printf("  try: curl -s %s/query -d '%s'", srv.Addr(), ex)
 	}
 
+	// The churn writer is a first-class ingest client: it stops on
+	// shutdown, and every staging error is surfaced (logged with a
+	// sampled rate, counted, and reported at exit) instead of silently
+	// dropped. Videolog churn goes through POST /ingest on the daemon's
+	// own front door, so with -wal-dir it is durable end to end.
 	stopChurn := make(chan struct{})
 	churnDone := make(chan struct{})
 	go func() {
@@ -108,17 +144,30 @@ func main() {
 		if *churn <= 0 || churnFn == nil {
 			return
 		}
+		cl := client.New("http://" + srv.Addr())
 		tick := time.NewTicker(time.Second / time.Duration(*churn))
 		defer tick.Stop()
+		var sent, failed uint64
 		for {
 			select {
 			case <-stopChurn:
+				if failed > 0 {
+					log.Printf("churn: stopped after %d staged, %d FAILED", sent, failed)
+				} else {
+					log.Printf("churn: stopped after %d staged", sent)
+				}
 				return
 			case <-tick.C:
-				if err := churnFn(); err != nil {
-					log.Printf("churn: %v", err)
-					return
+				if err := churnFn(cl); err != nil {
+					failed++
+					// First failure and every 100th after it: enough to
+					// surface a poisoned log without drowning the console.
+					if failed == 1 || failed%100 == 0 {
+						log.Printf("churn: %d failures, latest: %v", failed, err)
+					}
+					continue
 				}
+				sent++
 			}
 		}
 	}()
@@ -126,7 +175,7 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	log.Printf("shutting down: draining in-flight queries, then stopping refreshers")
+	log.Printf("shutting down: stopping churn, draining in-flight queries, then stopping refreshers")
 	close(stopChurn)
 	<-churnDone
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -134,13 +183,21 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("shutdown: %v", err)
 	}
+	if durable != nil {
+		// Writers are quiesced (churn stopped, HTTP drained); a clean
+		// close flushes the tail so the next start replays nothing torn.
+		if err := durable.Close(); err != nil {
+			log.Printf("durable log close: %v", err)
+		}
+	}
 	log.Printf("bye")
 }
 
 // videolog builds the paper's running example: a Video catalog, a visit
 // Log, and the visit-count view — defined in svcql, so the whole serving
-// path exercises the dialect.
-func videolog(scale float64) (*svc.Database, []string, func() error) {
+// path exercises the dialect. Churn streams new visits through the
+// daemon's own POST /ingest.
+func videolog(scale float64) (*svc.Database, []string, func(cl *client.Client) error) {
 	videos := scaled(scale, 400)
 	visits := scaled(scale, 30_000)
 	rng := rand.New(rand.NewSource(1))
@@ -161,9 +218,12 @@ func videolog(scale float64) (*svc.Database, []string, func() error) {
 		logT.MustInsert(svc.Row{svc.Int(int64(i)), svc.Int(rng.Int63n(int64(videos)))})
 	}
 	next := int64(visits + 1_000_000)
-	churn := func() error {
+	churn := func(cl *client.Client) error {
 		next++
-		return logT.StageInsert(svc.Row{svc.Int(next), svc.Int(next % int64(videos))})
+		_, err := cl.Ingest("Log", []api.IngestOp{
+			client.InsertOp(next, next%int64(videos)),
+		})
+		return err
 	}
 	viewSQL := `CREATE VIEW visitView AS
 SELECT videoId, ownerId, COUNT(1) AS visitCount, SUM(duration) AS totalDuration
@@ -173,8 +233,11 @@ GROUP BY videoId, ownerId`
 }
 
 // tpcdDataset generates the scaled TPC-D-like substrate and serves the
-// Section 7.2 join view from its svcql text.
-func tpcdDataset(scale float64) (*svc.Database, []string, func() error) {
+// Section 7.2 join view from its svcql text. Churn stages refresh batches
+// directly through the generator (it owns the refresh-stream state); with
+// -wal-dir those stagings are still durable, since the write-ahead hook
+// sits in the database layer under every transport.
+func tpcdDataset(scale float64) (*svc.Database, []string, func(cl *client.Client) error) {
 	cfg := tpcd.DefaultConfig()
 	cfg.Orders = scaled(scale, cfg.Orders)
 	cfg.Customers = scaled(scale, cfg.Customers)
@@ -185,7 +248,7 @@ func tpcdDataset(scale float64) (*svc.Database, []string, func() error) {
 	if err != nil {
 		log.Fatalf("tpcd generate: %v", err)
 	}
-	churn := func() error {
+	churn := func(*client.Client) error {
 		// Stage a small refresh batch (TPC-D refresh model: new orders
 		// plus lineitem updates).
 		return g.StageUpdates(d, 0.0005)

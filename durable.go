@@ -1,0 +1,67 @@
+package svc
+
+import (
+	"github.com/sampleclean/svc/internal/wal"
+)
+
+// This file is the public face of the durable maintenance log (package
+// internal/wal): attach a write-ahead log to a Database and every
+// StageInsert/StageUpdate/StageDelete is on disk before it acknowledges,
+// every maintenance boundary (ApplyVersion) is recorded, and a restart
+// replays the un-retired suffix so acknowledged-but-unmaintained deltas
+// survive a crash.
+
+type (
+	// DurableLog is the write-ahead maintenance log. Obtain one with
+	// AttachDurableLog (or svc.New + WithDurableLog) and close it after
+	// the database's writers have quiesced.
+	DurableLog = wal.Log
+	// DurableLogOptions tunes group commit, segmentation, checkpointing,
+	// and backpressure. The zero value is production-ready.
+	DurableLogOptions = wal.Options
+	// DurableLogStats is the log's gauge/counter snapshot (DurableLog.Stats).
+	DurableLogStats = wal.Stats
+	// RecoveryStats summarizes one crash-recovery replay.
+	RecoveryStats = wal.RecoveryStats
+)
+
+// SyncEachCommit, as DurableLogOptions.SyncInterval, fsyncs every commit
+// individually instead of group-committing on an interval.
+const SyncEachCommit = wal.SyncEachCommit
+
+// AttachDurableLog opens (or creates) the write-ahead log in dir, replays
+// its un-retired suffix into d — the catalog must already hold the same
+// base dataset the previous run loaded, since table creation is not
+// logged — and attaches it so every subsequent staging call and
+// maintenance boundary is logged and fsynced before acknowledging.
+//
+// Call it after loading the dataset and before materializing views or
+// accepting writes. The returned RecoveryStats say what the replay did
+// (zero-valued on a fresh directory).
+func AttachDurableLog(d *Database, dir string, opt DurableLogOptions) (*DurableLog, RecoveryStats, error) {
+	l, err := wal.Open(dir, opt)
+	if err != nil {
+		return nil, RecoveryStats{}, err
+	}
+	rs, err := l.Recover(d)
+	if err != nil {
+		l.Close()
+		return nil, rs, err
+	}
+	l.Attach(d)
+	return l, rs, nil
+}
+
+// DurableLogOf returns the durable log attached to d, or nil.
+func DurableLogOf(d *Database) *DurableLog {
+	l, _ := d.DeltaLog().(*wal.Log)
+	return l
+}
+
+// WithDurableLog attaches a write-ahead maintenance log in dir (default
+// options) before the view is materialized, recovering any suffix a
+// previous run left behind. A no-op when the database already has a log
+// attached, so multiple views over one database can all pass it. The log
+// is owned by the database, not the view: StaleView.Close leaves it
+// running; close it with DurableLogOf(d).Close() at process shutdown.
+func WithDurableLog(dir string) Option { return func(c *config) { c.durableDir = dir } }

@@ -17,7 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig8a", "fig8b", "fig9a", "fig9b", "fig10a", "fig10b",
 		"fig11", "fig12", "fig13", "fig14a", "fig14b", "fig15", "fig16",
 		"ablate-hash", "ablate-pushdown", "ablate-advisor", "ablate-nonunique",
-		"serve", "serve-http", "pipeline",
+		"serve", "serve-http", "pipeline", "ingest",
 	}
 	have := map[string]bool{}
 	for _, id := range List() {

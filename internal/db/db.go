@@ -77,7 +77,7 @@ func (t *Table) write(fn func() error) error {
 // Insert adds a row directly to the base table (initial load, before any
 // view is materialized).
 func (t *Table) Insert(row relation.Row) error {
-	return t.write(func() error {
+	return t.loggedWrite(OpBase, row, func() error {
 		if err := t.base.Insert(row); err != nil {
 			return err
 		}
@@ -101,7 +101,7 @@ func (t *Table) MustInsert(row relation.Row) {
 // StageInsert stages a new record into ΔR. The key must not exist in the
 // base table (use StageUpdate for updates).
 func (t *Table) StageInsert(row relation.Row) error {
-	return t.write(func() error { return t.stageInsert(row) })
+	return t.loggedWrite(OpInsert, row, func() error { return t.stageInsert(row) })
 }
 
 func (t *Table) stageInsert(row relation.Row) error {
@@ -119,7 +119,7 @@ func (t *Table) stageInsert(row relation.Row) error {
 // full old row is recorded in ∇R so maintenance can subtract its
 // contribution from aggregates.
 func (t *Table) StageDelete(key ...relation.Value) error {
-	return t.write(func() error { return t.stageDelete(key...) })
+	return t.loggedWrite(OpDelete, relation.Row(key), func() error { return t.stageDelete(key...) })
 }
 
 func (t *Table) stageDelete(key ...relation.Value) error {
@@ -147,7 +147,7 @@ func (t *Table) stageDelete(key ...relation.Value) error {
 // StageUpdate stages an update of an existing record: the paper models it
 // as a deletion of the old row followed by an insertion of the new one.
 func (t *Table) StageUpdate(row relation.Row) error {
-	return t.write(func() error { return t.stageUpdate(row) })
+	return t.loggedWrite(OpUpdate, row, func() error { return t.stageUpdate(row) })
 }
 
 func (t *Table) stageUpdate(row relation.Row) error {
@@ -204,6 +204,7 @@ type Database struct {
 	dirty   atomic.Bool             // mutations since cur was built
 	cur     atomic.Pointer[Version] // last published version
 	payload map[string]any          // serving attachments carried by versions
+	dlog    dlogField               // attached durable maintenance log (see log.go)
 }
 
 // New creates an empty database.
@@ -225,6 +226,7 @@ type Version struct {
 	parallelism int
 	noColumnar  bool
 	payload     map[string]any
+	walSeq      uint64 // last durable-log sequence captured by this version
 }
 
 type versionTable struct {
@@ -316,6 +318,11 @@ func (d *Database) buildVersion() *Version {
 		parallelism: d.parallelism,
 		noColumnar:  d.noColumnar,
 		payload:     d.payload,
+	}
+	if lg := d.DeltaLog(); lg != nil {
+		// Appends happen under d.mu, so this is a consistent cut: the
+		// version captures exactly the mutations of records ≤ walSeq.
+		v.walSeq = lg.SeqNow()
 	}
 	prev := d.cur.Load()
 	for _, name := range d.order {
@@ -592,8 +599,8 @@ func (d *Database) ApplyVersion(v *Version, atts map[string]any) error {
 	// publish. Readers pinning during this section wait at most for the
 	// retirement walk, never for the fold or index builds.
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if v.applied != d.applied {
+		d.mu.Unlock()
 		return superseded(d.applied)
 	}
 	// Pre-validate EVERY table before mutating any: phase 2 must be
@@ -603,12 +610,14 @@ func (d *Database) ApplyVersion(v *Version, atts map[string]any) error {
 	for _, name := range v.order {
 		t := d.tables[name]
 		if t == nil {
+			d.mu.Unlock()
 			return fmt.Errorf("db: apply version: table %q no longer exists", name)
 		}
 		if _, touched := newBases[name]; touched && t.baseGen != v.tables[name].baseGen {
 			// Direct (unstaged) base inserts since the pin would vanish
 			// in the swap; reject the pin instead — the caller re-pins
 			// and retries with those rows included.
+			d.mu.Unlock()
 			return fmt.Errorf("db: apply version: table %q had direct base inserts since the pin; re-pin and retry", name)
 		}
 	}
@@ -673,7 +682,27 @@ func (d *Database) ApplyVersion(v *Version, atts map[string]any) error {
 		d.attachLocked(atts)
 	}
 	d.dirty.Store(true)
-	d.buildVersion()
+	nv := d.buildVersion()
+	// Record the maintenance boundary in the durable log: every logged
+	// record with seq ≤ the pin's cut is now folded into the base tables,
+	// so recovery replays only the suffix. The record is buffered under
+	// the lock (keeping log order = boundary order) and synced after
+	// release; the just-published version rides along so the log can
+	// checkpoint it off-lock when enough segments become retirable.
+	var commit func() error
+	if lg := d.DeltaLog(); lg != nil && applyErr == nil {
+		var logErr error
+		commit, logErr = lg.Boundary(d.applied, v.walSeq, nv)
+		if logErr != nil {
+			applyErr = logErr
+		}
+	}
+	d.mu.Unlock()
+	if commit != nil {
+		if err := commit(); err != nil && applyErr == nil {
+			applyErr = err
+		}
+	}
 	return applyErr
 }
 

@@ -1,0 +1,212 @@
+package db
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// DeltaOp identifies one logged catalog mutation, mirroring the Table
+// mutators one-to-one.
+type DeltaOp uint8
+
+// Delta operations. OpDelete rows hold the key values only (the full old
+// row lives in the base table and is re-derived on replay); the others
+// hold the full row.
+const (
+	OpInsert DeltaOp = iota + 1 // StageInsert
+	OpUpdate                    // StageUpdate
+	OpDelete                    // StageDelete (row = key values)
+	OpBase                      // direct base Insert
+)
+
+// DeltaLog is the catalog's durable-log attach point (package wal provides
+// the implementation). The contract splits each write into a buffered
+// append and a durability wait so the catalog's writer lock is never held
+// across I/O:
+//
+//   - Admit is called with no locks held before a mutation; it may block
+//     (backpressure) until the log drains below its depth bounds.
+//   - Append is called under the catalog writer lock after the mutation
+//     validated and applied; it must only buffer (no I/O) and returns a
+//     commit func the mutator invokes after releasing the lock. Commit
+//     blocks until the record is durable (group commit), so a staging call
+//     that returns nil has its record on disk: acknowledged means durable.
+//   - Boundary is called under the writer lock at the end of a successful
+//     ApplyVersion with the new maintenance-boundary counter, the log
+//     sequence cut the fold retired (every logged record with seq ≤ cut is
+//     now folded into the base tables), and the just-published version —
+//     an immutable snapshot the log may serialize into a checkpoint off
+//     the lock. Same buffer/commit split as Append.
+//   - SeqNow is called under the writer lock and returns the sequence
+//     number of the last appended record, giving version builds a
+//     consistent cut.
+//
+// The window between a mutation becoming visible (lock release) and its
+// commit returning is the group-commit window: a crash inside it loses
+// the record, but the caller never acknowledged it, so "lost" equals
+// "never accepted". See internal/wal/doc.go for the full contract.
+type DeltaLog interface {
+	Admit() error
+	Append(table string, op DeltaOp, row relation.Row) (commit func() error, err error)
+	Boundary(applied, cut uint64, snap *Version) (commit func() error, err error)
+	SeqNow() uint64
+}
+
+// deltaLogHolder wraps the interface so an atomic pointer can hold it.
+type deltaLogHolder struct{ l DeltaLog }
+
+// SetDeltaLog attaches (or, with nil, detaches) a durable log. Attach
+// after recovery and before accepting writes: mutations staged while no
+// log is attached are not recorded.
+func (d *Database) SetDeltaLog(l DeltaLog) {
+	if l == nil {
+		d.dlog.Store(nil)
+		return
+	}
+	d.dlog.Store(&deltaLogHolder{l: l})
+}
+
+// DeltaLog returns the attached durable log, or nil.
+func (d *Database) DeltaLog() DeltaLog {
+	if h := d.dlog.Load(); h != nil {
+		return h.l
+	}
+	return nil
+}
+
+// loggedWrite is Table.write plus write-ahead logging: admit (no locks,
+// may block on backpressure), mutate under the writer lock, buffer the
+// log record while still holding it (so log order equals lock order),
+// then wait for group commit after releasing it.
+func (t *Table) loggedWrite(op DeltaOp, row relation.Row, fn func() error) error {
+	lg := t.owner.DeltaLog()
+	if lg == nil {
+		return t.write(fn)
+	}
+	if err := lg.Admit(); err != nil {
+		return err
+	}
+	var commit func() error
+	t.owner.mu.Lock()
+	err := fn()
+	if err == nil {
+		// The mutation is in: the published version must go stale even if
+		// the append below fails (a poisoned log reports the error, but
+		// readers still need to see the live state).
+		t.owner.dirty.Store(true)
+		t.changed = true
+		commit, err = lg.Append(t.name, op, row)
+	}
+	t.owner.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return commit()
+}
+
+// RecoverStage re-stages one logged mutation during crash recovery. It is
+// the relaxed-precondition counterpart of the Stage mutators: the strict
+// preconditions (insert key must be new, update key must exist) were
+// checked when the record was first accepted, but replay sees the base
+// tables mid-stream — a maintenance boundary later in the log may already
+// have folded a record's own earlier neighbors in, so an insert's key can
+// exist by now and an update's key can be pending rather than applied.
+// Each case maps onto the same ΔR/∇R shape ApplyVersion's retirement
+// protocol produces for the equivalent live interleaving:
+//
+//   - OpInsert with the key already in base stages as an update (the base
+//     row is the old version);
+//   - OpUpdate with the key absent from base stages the new row only;
+//   - OpDelete of a key in neither base nor ΔR is a no-op (its target was
+//     un-staged by the same replay);
+//   - OpBase upserts the base row directly.
+//
+// Callers must not have a DeltaLog attached (recovery precedes attach),
+// so nothing is re-logged.
+func (t *Table) RecoverStage(op DeltaOp, row relation.Row) error {
+	return t.write(func() error {
+		switch op {
+		case OpInsert, OpUpdate:
+			if !t.base.Schema().HasKey() {
+				_, err := t.ins.Upsert(row)
+				return err
+			}
+			k := row.KeyOf(t.base.Schema().Key())
+			old, inBase := t.base.GetByEncodedKey(k)
+			if _, err := t.ins.Upsert(row); err != nil {
+				return err
+			}
+			if inBase {
+				if _, exists := t.del.GetByEncodedKey(k); !exists {
+					return t.del.Insert(old.Clone())
+				}
+			}
+			return nil
+		case OpDelete:
+			k := relation.Row(row).KeyOf(intRange(len(row)))
+			old, inBase := t.base.GetByEncodedKey(k)
+			if !inBase {
+				t.ins.DeleteByEncodedKey(k)
+				return nil
+			}
+			if _, exists := t.del.GetByEncodedKey(k); !exists {
+				if err := t.del.Insert(old.Clone()); err != nil {
+					return err
+				}
+			}
+			t.ins.DeleteByEncodedKey(k)
+			return nil
+		case OpBase:
+			if _, err := t.base.Upsert(row); err != nil {
+				return err
+			}
+			t.baseGen++
+			return nil
+		default:
+			return fmt.Errorf("db: recover: unknown delta op %d", op)
+		}
+	})
+}
+
+// RecoverApply replays one logged maintenance boundary: fold everything
+// currently staged into the base tables and force the boundary counter to
+// the logged value, so the recovered catalog reports the same applied_seq
+// the crashed process acknowledged.
+func (d *Database) RecoverApply(applied uint64) error {
+	err := d.ApplyDeltas()
+	d.ForceAppliedSeq(applied)
+	return err
+}
+
+// ForceAppliedSeq overrides the maintenance-boundary counter (checkpoint
+// and boundary-record restore paths only).
+func (d *Database) ForceAppliedSeq(n uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.applied = n
+	d.dirty.Store(true)
+	d.buildVersion()
+}
+
+// RestoreBase replaces the table's base content wholesale from a
+// checkpoint image, clearing staged deltas and rebuilding registered
+// indexes. The image's schema must match the table's.
+func (t *Table) RestoreBase(rows *relation.Relation) error {
+	return t.write(func() error {
+		if !rows.Schema().Equal(t.base.Schema()) {
+			return fmt.Errorf("db: restore %s: schema mismatch: have %s, checkpoint %s",
+				t.name, t.base.Schema(), rows.Schema())
+		}
+		t.base = rows
+		t.baseGen++
+		t.clearDeltas()
+		t.rebuildIndexes()
+		return nil
+	})
+}
+
+// Holder for the attached DeltaLog; lives here (not db.go) beside the
+// rest of the logging seam.
+type dlogField = atomic.Pointer[deltaLogHolder]

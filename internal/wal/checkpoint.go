@@ -1,0 +1,327 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"github.com/sampleclean/svc/internal/db"
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// Checkpoint file layout: 8-byte magic, a body (applied counter, sequence
+// cut, and every base table of the boundary's published version), and a
+// trailing CRC-32C of the body. A checkpoint at cut C makes every segment
+// whose records are all ≤ C droppable: recovery restores the images and
+// replays only records with seq > C.
+//
+// Checkpoints serialize an immutable db.Version, so the syncer writes
+// them off every lock while staging and maintenance continue.
+const ckptMagic = "SVCCKPT1"
+
+// kindToWire maps a declared column kind onto the stable wire enum
+// (record.go); wireToKind inverts it.
+func kindToWire(k relation.Kind) uint8 {
+	switch k {
+	case relation.KindInt:
+		return wireInt
+	case relation.KindFloat:
+		return wireFloat
+	case relation.KindString:
+		return wireString
+	case relation.KindBool:
+		return wireBool
+	default:
+		return wireNull
+	}
+}
+
+func wireToKind(w uint8) (relation.Kind, error) {
+	switch w {
+	case wireInt:
+		return relation.KindInt, nil
+	case wireFloat:
+		return relation.KindFloat, nil
+	case wireString:
+		return relation.KindString, nil
+	case wireBool:
+		return relation.KindBool, nil
+	case wireNull:
+		return relation.KindNull, nil
+	default:
+		return relation.KindNull, fmt.Errorf("wal: unknown column kind %d", w)
+	}
+}
+
+// encodeCheckpoint serializes the base tables of v.
+func encodeCheckpoint(v *db.Version, applied, cut uint64) []byte {
+	buf := make([]byte, 0, 1<<16)
+	buf = append(buf, ckptMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, applied)
+	buf = binary.LittleEndian.AppendUint64(buf, cut)
+	tables := v.Tables()
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(tables)))
+	for _, name := range tables {
+		base := v.Base(name)
+		sch := base.Schema()
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(name)))
+		buf = append(buf, name...)
+		cols := sch.Cols()
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(cols)))
+		for _, c := range cols {
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(len(c.Name)))
+			buf = append(buf, c.Name...)
+			buf = append(buf, kindToWire(c.Type))
+		}
+		key := sch.Key()
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(key)))
+		for _, k := range key {
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(k))
+		}
+		rows := base.Rows()
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rows)))
+		for _, row := range rows {
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(len(row)))
+			for _, val := range row {
+				buf = appendValue(buf, val)
+			}
+		}
+	}
+	body := buf[len(ckptMagic):]
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(body, crcTable))
+}
+
+// ckptMeta is the header of a validated checkpoint file.
+type ckptMeta struct {
+	applied, cut uint64
+	bytes        int
+}
+
+// ckptTable is one restored base-table image.
+type ckptTable struct {
+	name string
+	rows *relation.Relation
+}
+
+// ckptCursor walks a checkpoint body with torn-safe bounds checks.
+type ckptCursor struct{ b []byte }
+
+func (c *ckptCursor) take(n int) ([]byte, error) {
+	if len(c.b) < n {
+		return nil, fmt.Errorf("wal: checkpoint truncated")
+	}
+	out := c.b[:n]
+	c.b = c.b[n:]
+	return out, nil
+}
+
+func (c *ckptCursor) u16() (int, error) {
+	b, err := c.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return int(binary.LittleEndian.Uint16(b)), nil
+}
+
+func (c *ckptCursor) u32() (int, error) {
+	b, err := c.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return int(binary.LittleEndian.Uint32(b)), nil
+}
+
+func (c *ckptCursor) u64() (uint64, error) {
+	b, err := c.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (c *ckptCursor) str() (string, error) {
+	n, err := c.u16()
+	if err != nil {
+		return "", err
+	}
+	b, err := c.take(n)
+	return string(b), err
+}
+
+// decodeCheckpoint validates and decodes a checkpoint file's contents.
+func decodeCheckpoint(data []byte) (ckptMeta, []ckptTable, error) {
+	var meta ckptMeta
+	if len(data) < len(ckptMagic)+4 || string(data[:len(ckptMagic)]) != ckptMagic {
+		return meta, nil, fmt.Errorf("wal: not a checkpoint file")
+	}
+	body := data[len(ckptMagic) : len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, crcTable) != want {
+		return meta, nil, fmt.Errorf("wal: checkpoint checksum mismatch")
+	}
+	meta.bytes = len(data)
+	c := &ckptCursor{b: body}
+	var err error
+	if meta.applied, err = c.u64(); err != nil {
+		return meta, nil, err
+	}
+	if meta.cut, err = c.u64(); err != nil {
+		return meta, nil, err
+	}
+	ntables, err := c.u32()
+	if err != nil {
+		return meta, nil, err
+	}
+	tables := make([]ckptTable, 0, ntables)
+	for i := 0; i < ntables; i++ {
+		name, err := c.str()
+		if err != nil {
+			return meta, nil, err
+		}
+		ncols, err := c.u16()
+		if err != nil {
+			return meta, nil, err
+		}
+		cols := make([]relation.Column, ncols)
+		for j := range cols {
+			cname, err := c.str()
+			if err != nil {
+				return meta, nil, err
+			}
+			kb, err := c.take(1)
+			if err != nil {
+				return meta, nil, err
+			}
+			kind, err := wireToKind(kb[0])
+			if err != nil {
+				return meta, nil, err
+			}
+			cols[j] = relation.Column{Name: cname, Type: kind}
+		}
+		nkey, err := c.u16()
+		if err != nil {
+			return meta, nil, err
+		}
+		keyNames := make([]string, nkey)
+		for j := range keyNames {
+			idx, err := c.u16()
+			if err != nil {
+				return meta, nil, err
+			}
+			if idx >= len(cols) {
+				return meta, nil, fmt.Errorf("wal: checkpoint key index %d out of range", idx)
+			}
+			keyNames[j] = cols[idx].Name
+		}
+		rel := relation.New(relation.NewSchema(cols, keyNames...))
+		nrows, err := c.u32()
+		if err != nil {
+			return meta, nil, err
+		}
+		for j := 0; j < nrows; j++ {
+			nvals, err := c.u16()
+			if err != nil {
+				return meta, nil, err
+			}
+			row := make(relation.Row, 0, nvals)
+			for k := 0; k < nvals; k++ {
+				v, n, err := decodeValue(c.b)
+				if err != nil {
+					return meta, nil, err
+				}
+				row = append(row, v)
+				c.b = c.b[n:]
+			}
+			if err := rel.Insert(row); err != nil {
+				return meta, nil, fmt.Errorf("wal: checkpoint table %s: %w", name, err)
+			}
+		}
+		tables = append(tables, ckptTable{name: name, rows: rel})
+	}
+	if len(c.b) != 0 {
+		return meta, nil, fmt.Errorf("wal: %d trailing checkpoint bytes", len(c.b))
+	}
+	return meta, tables, nil
+}
+
+// readCheckpointMeta validates a checkpoint file and returns its header.
+func readCheckpointMeta(fs FS, path string) (ckptMeta, error) {
+	data, err := readAll(fs, path)
+	if err != nil {
+		return ckptMeta{}, err
+	}
+	meta, _, err := decodeCheckpoint(data)
+	return meta, err
+}
+
+// checkpoint writes the claimed boundary snapshot durably (temp file,
+// fsync, rename, directory sync) and then compacts: segments wholly at or
+// below the checkpoint's cut, and the superseded checkpoint, are removed.
+// Runs on the syncer goroutine.
+func (l *Log) checkpoint(ck *boundarySnap) {
+	final := ckptName(l.dir, ck.cut)
+	tmp := final + tmpSuffix
+	data := encodeCheckpoint(ck.v, ck.applied, ck.cut)
+	f, err := l.fs.Create(tmp)
+	if err == nil {
+		_, err = f.Write(data)
+		if err == nil {
+			err = f.Sync()
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err == nil {
+		err = l.fs.Rename(tmp, final)
+	}
+	if err == nil {
+		err = l.fs.SyncDir(l.dir)
+	}
+	if err != nil {
+		l.fail(fmt.Errorf("wal: checkpoint: %w", err))
+		return
+	}
+
+	l.mu.Lock()
+	prev := l.ckptName
+	l.ckptName = final
+	l.ckptCut = ck.cut
+	l.ckptApplied = ck.applied
+	l.ckptBytes = len(data)
+	l.checkpoints++
+	var drop []string
+	kept := l.segs[:0]
+	for _, s := range l.segs {
+		if s.last > 0 && s.last <= ck.cut {
+			drop = append(drop, s.name)
+		} else {
+			kept = append(kept, s)
+		}
+	}
+	l.segs = kept
+	l.mu.Unlock()
+
+	// The new checkpoint is durable; retired segments and the superseded
+	// checkpoint are now pure redundancy. A crash mid-removal leaves
+	// debris that the next Open drops (superseded names sort below the
+	// newest valid checkpoint).
+	if prev != "" && prev != final {
+		drop = append(drop, prev)
+	}
+	for _, name := range drop {
+		if err := l.fs.Remove(name); err != nil {
+			l.fail(fmt.Errorf("wal: compact: %w", err))
+			return
+		}
+	}
+	if len(drop) > 0 {
+		if err := l.fs.SyncDir(l.dir); err != nil {
+			l.fail(fmt.Errorf("wal: compact: %w", err))
+			return
+		}
+		l.mu.Lock()
+		l.compactions++
+		l.mu.Unlock()
+	}
+}

@@ -1,0 +1,50 @@
+// Package wal is the durable maintenance log: an append-only, segmented,
+// checksummed write-ahead record of every staged delta and maintenance
+// boundary, with group commit, crash recovery, checkpoint compaction, and
+// backpressure.
+//
+// # Paper correspondence
+//
+// The paper's estimators (Section 2.2) are defined over a maintenance
+// log: the set of insert/update/delete records accumulated since the view
+// was last refreshed, from which the sample-clean machinery computes how
+// far the stale view has drifted. The in-memory reproduction keeps that
+// log as the ΔR/∇R change tables of package db — which a process crash
+// silently discards, turning every "stale + pending" answer served since
+// the last refresh into a lie. This package makes the maintenance log a
+// real log: each record is written (write-ahead, CRC-32C framed) and
+// fsynced before the staging call acknowledges, each ApplyVersion
+// (Section 2.1's refresh boundary) appends a boundary record marking the
+// sequence cut it folded into the base tables, and recovery replays the
+// un-retired suffix so the catalog resumes with exactly the pending set
+// and applied counter it had acknowledged before dying.
+//
+// # Durability contract
+//
+// Acknowledged means durable: when StageInsert/StageUpdate/StageDelete
+// returns nil, the record is on disk (its group-commit fsync completed
+// and, for the first record of a segment, the directory entry was synced
+// first). The converse window is explicitly weak — a mutation becomes
+// visible to concurrent pins when the catalog writer lock releases,
+// before its fsync returns — so a crash can lose the newest unacked
+// records but never an acknowledged one, and never tears one (the framed
+// CRC turns a torn tail into a clean end-of-log). Replay is exact for
+// every acknowledged record: boundary records carry the cut their fold
+// covered, so recovery folds precisely the records the live run folded,
+// and re-stages the rest. The log starts recording at Attach; state
+// created before Attach (the loaded dataset) is the caller's to recreate,
+// or a checkpoint's to restore. A failed write or fsync poisons the log
+// sticky-fashion: nothing later pretends to be durable.
+//
+// # Concurrency
+//
+// Writers buffer records under the catalog writer lock (log order =
+// lock order = visibility order) and then wait, lock-free, on a single
+// syncer goroutine that coalesces all records in a sync interval into
+// one write+fsync (group commit). The syncer is the only goroutine that
+// touches segment files; checkpoints serialize an immutable db.Version
+// off every lock. Admit blocks producers — and Shed tells the HTTP
+// ingest path to 503 — while unsynced or unapplied depth exceeds its
+// bound, so sustained churn faster than the apply rate is throttled at
+// the boundary instead of growing memory and replay time without limit.
+package wal

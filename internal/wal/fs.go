@@ -1,0 +1,97 @@
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the filesystem seam the log writes through. Every durability
+// boundary the WAL depends on — record writes, fsyncs, segment creation,
+// checkpoint renames, compaction removals, directory syncs — goes through
+// this interface, so the fault-injection filesystem (MemFS) can error or
+// crash at each one and the recovery tests can prove no boundary is
+// load-bearing without a sync.
+//
+// Paths are passed through verbatim; implementations may interpret them
+// relative to their own root.
+type FS interface {
+	// MkdirAll creates the log directory (and parents).
+	MkdirAll(dir string) error
+	// Create opens a new file for writing, truncating any existing one.
+	Create(name string) (File, error)
+	// Open opens an existing file for reading.
+	Open(name string) (File, error)
+	// ReadDir lists the file names (not paths) inside dir, sorted.
+	ReadDir(dir string) ([]string, error)
+	// Remove deletes a file. The deletion is durable only after SyncDir.
+	Remove(name string) error
+	// Rename atomically replaces newpath with oldpath. Durable only after
+	// SyncDir.
+	Rename(oldpath, newpath string) error
+	// SyncDir makes the directory's entries (creates, renames, removals)
+	// durable.
+	SyncDir(dir string) error
+}
+
+// File is one log file: sequential reads or writes plus an explicit
+// durability point.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync makes all written bytes durable (fsync).
+	Sync() error
+}
+
+// OSFS is the production FS: thin wrappers over package os. Directory
+// syncs open the directory and fsync it, which is how POSIX makes entry
+// operations (create/rename/remove) durable.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// Create implements FS.
+func (OSFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+}
+
+// Open implements FS.
+func (OSFS) Open(name string) (File, error) { return os.Open(name) }
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// Rename implements FS.
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// SyncDir implements FS.
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

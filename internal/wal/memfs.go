@@ -1,0 +1,255 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MemFS is the fault-injection filesystem: an in-memory FS that models
+// POSIX durability precisely enough to test crash recovery. Every file
+// tracks how many of its bytes have been fsynced, and the directory tracks
+// which entry operations (create/rename/remove) have been made durable by
+// SyncDir. CrashClone materializes "what the disk would hold if the
+// process died right now": only durable entries, each truncated to its
+// synced length.
+//
+// Failpoints: every mutating operation (Create, Write, Sync, Rename,
+// Remove, SyncDir) increments an operation counter; FailAt makes the n-th
+// operation return an injected error, and OnOp observes each operation
+// (before it takes effect) so tests can snapshot the durable state at
+// every boundary. MemFS is safe for concurrent use.
+type MemFS struct {
+	mu      sync.Mutex
+	files   map[string]*memFile // live directory view
+	durable map[string]*memFile // entries a crash would preserve
+	ops     int
+	failAt  map[int]error
+	onOp    func(n int, op string)
+}
+
+type memFile struct {
+	data      []byte
+	syncedLen int
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{
+		files:   make(map[string]*memFile),
+		durable: make(map[string]*memFile),
+		failAt:  make(map[int]error),
+	}
+}
+
+// FailAt injects err as the result of the n-th mutating operation
+// (1-based). The operation does not take effect.
+func (m *MemFS) FailAt(n int, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.failAt[n] = err
+}
+
+// OnOp registers an observer called before each mutating operation with
+// its 1-based index and a description. The observer runs without the FS
+// lock held, so it may call CrashClone to snapshot the durable state as
+// of just before the operation.
+func (m *MemFS) OnOp(fn func(n int, op string)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onOp = fn
+}
+
+// Ops reports how many mutating operations have run.
+func (m *MemFS) Ops() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ops
+}
+
+// CrashClone returns a new MemFS holding exactly the state a crash at
+// this instant would leave on disk: durable directory entries only, each
+// truncated to its fsynced length.
+func (m *MemFS) CrashClone() *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := NewMemFS()
+	for name, f := range m.durable {
+		data := append([]byte(nil), f.data[:f.syncedLen]...)
+		nf := &memFile{data: data, syncedLen: len(data)}
+		c.files[name] = nf
+		c.durable[name] = nf
+	}
+	return c
+}
+
+// op counts a mutating operation, runs the observer, and returns any
+// injected failure.
+func (m *MemFS) op(desc string) error {
+	m.mu.Lock()
+	m.ops++
+	n := m.ops
+	err := m.failAt[n]
+	hook := m.onOp
+	m.mu.Unlock()
+	if hook != nil {
+		hook(n, desc)
+	}
+	return err
+}
+
+// MkdirAll implements FS. Directories are implicit; this is a no-op.
+func (m *MemFS) MkdirAll(dir string) error { return nil }
+
+// Create implements FS.
+func (m *MemFS) Create(name string) (File, error) {
+	if err := m.op("create " + name); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := &memFile{}
+	m.files[name] = f
+	return &memHandle{fs: m, name: name, f: f, writable: true}, nil
+}
+
+// Open implements FS.
+func (m *MemFS) Open(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("memfs: open %s: no such file", name)
+	}
+	return &memHandle{fs: m, name: name, f: f}, nil
+}
+
+// ReadDir implements FS: names of live entries under dir, sorted.
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prefix := strings.TrimSuffix(dir, "/") + "/"
+	var names []string
+	for name := range m.files {
+		if strings.HasPrefix(name, prefix) && !strings.Contains(name[len(prefix):], "/") {
+			names = append(names, name[len(prefix):])
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Remove implements FS. The removal becomes durable at the next SyncDir.
+func (m *MemFS) Remove(name string) error {
+	if err := m.op("remove " + name); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return fmt.Errorf("memfs: remove %s: no such file", name)
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// Rename implements FS. The rename becomes durable at the next SyncDir.
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	if err := m.op("rename " + oldpath + " -> " + newpath); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[oldpath]
+	if !ok {
+		return fmt.Errorf("memfs: rename %s: no such file", oldpath)
+	}
+	delete(m.files, oldpath)
+	m.files[newpath] = f
+	return nil
+}
+
+// SyncDir implements FS: the live entry set under dir becomes the durable
+// entry set (file contents stay gated by their own Sync).
+func (m *MemFS) SyncDir(dir string) error {
+	if err := m.op("syncdir " + dir); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prefix := strings.TrimSuffix(dir, "/") + "/"
+	for name := range m.durable {
+		if strings.HasPrefix(name, prefix) {
+			if _, live := m.files[name]; !live {
+				delete(m.durable, name)
+			}
+		}
+	}
+	for name, f := range m.files {
+		if strings.HasPrefix(name, prefix) {
+			m.durable[name] = f
+		}
+	}
+	return nil
+}
+
+type memHandle struct {
+	fs       *MemFS
+	name     string
+	f        *memFile
+	pos      int
+	writable bool
+	closed   bool
+}
+
+func (h *memHandle) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, fmt.Errorf("memfs: read %s: closed", h.name)
+	}
+	if h.pos >= len(h.f.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[h.pos:])
+	h.pos += n
+	return n, nil
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	if !h.writable {
+		return 0, fmt.Errorf("memfs: write %s: read-only", h.name)
+	}
+	if err := h.fs.op(fmt.Sprintf("write %s (%dB)", h.name, len(p))); err != nil {
+		return 0, err
+	}
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, fmt.Errorf("memfs: write %s: closed", h.name)
+	}
+	h.f.data = append(h.f.data, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	if !h.writable {
+		return nil
+	}
+	if err := h.fs.op("sync " + h.name); err != nil {
+		return err
+	}
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.f.syncedLen = len(h.f.data)
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.closed = true
+	return nil
+}

@@ -1,0 +1,234 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// Record types. Stage records mirror the db mutators one-to-one; boundary
+// records mark a completed ApplyVersion (maintenance boundary) and carry
+// the sequence cut it retired.
+const (
+	recInsert   uint8 = iota + 1 // StageInsert: full new row
+	recUpdate                    // StageUpdate: full new row
+	recDelete                    // StageDelete: key values only
+	recBase                      // direct base Insert (load-time rows after attach)
+	recBoundary                  // ApplyVersion: {cut, applied}
+)
+
+// record is one decoded log entry.
+type record struct {
+	typ     uint8
+	seq     uint64
+	table   string       // stage/base records
+	row     relation.Row // stage/base records; delete records hold key values
+	cut     uint64       // boundary: highest stage seq folded into the base tables
+	applied uint64       // boundary: the catalog's applied counter after the fold
+}
+
+// Framing: u32 body length | u32 CRC-32C of body | body. The body starts
+// with the record type and sequence number; a torn tail (short frame or
+// CRC mismatch) is detected, never mis-decoded.
+const frameHeader = 8
+
+// maxBody guards decoding against absurd lengths from corrupt frames.
+const maxBody = 64 << 20
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// errTorn marks an incomplete or corrupt record at the end of a segment —
+// the expected shape of a crash mid-write, tolerated at the log tail.
+var errTorn = errors.New("wal: torn record")
+
+// Value wire kinds (independent of relation.Kind numbering so the on-disk
+// format is stable even if the in-memory enum changes).
+const (
+	wireNull uint8 = iota
+	wireInt
+	wireFloat
+	wireString
+	wireBool
+)
+
+// appendValue appends the exact binary encoding of v. Floats are encoded
+// by bit pattern, so NaN payloads and -0.0 round-trip unchanged.
+func appendValue(dst []byte, v relation.Value) []byte {
+	switch v.Kind() {
+	case relation.KindNull:
+		return append(dst, wireNull)
+	case relation.KindInt:
+		dst = append(dst, wireInt)
+		return binary.LittleEndian.AppendUint64(dst, uint64(v.AsInt()))
+	case relation.KindFloat:
+		dst = append(dst, wireFloat)
+		return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.AsFloat()))
+	case relation.KindString:
+		s := v.AsString()
+		dst = append(dst, wireString)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s)))
+		return append(dst, s...)
+	case relation.KindBool:
+		b := byte(0)
+		if v.AsBool() {
+			b = 1
+		}
+		return append(dst, wireBool, b)
+	default:
+		// Unreachable for values built through the relation constructors;
+		// encode as NULL rather than corrupting the frame.
+		return append(dst, wireNull)
+	}
+}
+
+// decodeValue decodes one value from b, returning the value and the bytes
+// consumed, or errTorn when b is too short to hold it.
+func decodeValue(b []byte) (relation.Value, int, error) {
+	if len(b) < 1 {
+		return relation.Value{}, 0, errTorn
+	}
+	switch b[0] {
+	case wireNull:
+		return relation.Null(), 1, nil
+	case wireInt:
+		if len(b) < 9 {
+			return relation.Value{}, 0, errTorn
+		}
+		return relation.Int(int64(binary.LittleEndian.Uint64(b[1:]))), 9, nil
+	case wireFloat:
+		if len(b) < 9 {
+			return relation.Value{}, 0, errTorn
+		}
+		return relation.Float(math.Float64frombits(binary.LittleEndian.Uint64(b[1:]))), 9, nil
+	case wireString:
+		if len(b) < 5 {
+			return relation.Value{}, 0, errTorn
+		}
+		n := int(binary.LittleEndian.Uint32(b[1:]))
+		if n < 0 || len(b) < 5+n {
+			return relation.Value{}, 0, errTorn
+		}
+		return relation.String(string(b[5 : 5+n])), 5 + n, nil
+	case wireBool:
+		if len(b) < 2 {
+			return relation.Value{}, 0, errTorn
+		}
+		return relation.Bool(b[1] != 0), 2, nil
+	default:
+		return relation.Value{}, 0, fmt.Errorf("wal: unknown value kind %d", b[0])
+	}
+}
+
+// appendBody appends the record body (without framing).
+func appendBody(dst []byte, r *record) []byte {
+	dst = append(dst, r.typ)
+	dst = binary.LittleEndian.AppendUint64(dst, r.seq)
+	switch r.typ {
+	case recBoundary:
+		dst = binary.LittleEndian.AppendUint64(dst, r.cut)
+		dst = binary.LittleEndian.AppendUint64(dst, r.applied)
+	default:
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(r.table)))
+		dst = append(dst, r.table...)
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(r.row)))
+		for _, v := range r.row {
+			dst = appendValue(dst, v)
+		}
+	}
+	return dst
+}
+
+// appendRecord appends the framed, checksummed encoding of r.
+func appendRecord(dst []byte, r *record) []byte {
+	start := len(dst)
+	// Reserve the frame header, then encode the body in place.
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
+	dst = appendBody(dst, r)
+	body := dst[start+frameHeader:]
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.Checksum(body, crcTable))
+	return dst
+}
+
+// decodeBody decodes a verified record body.
+func decodeBody(body []byte) (record, error) {
+	var r record
+	if len(body) < 9 {
+		return r, errTorn
+	}
+	r.typ = body[0]
+	r.seq = binary.LittleEndian.Uint64(body[1:])
+	rest := body[9:]
+	switch r.typ {
+	case recBoundary:
+		if len(rest) < 16 {
+			return r, errTorn
+		}
+		r.cut = binary.LittleEndian.Uint64(rest)
+		r.applied = binary.LittleEndian.Uint64(rest[8:])
+		return r, nil
+	case recInsert, recUpdate, recDelete, recBase:
+		if len(rest) < 2 {
+			return r, errTorn
+		}
+		tn := int(binary.LittleEndian.Uint16(rest))
+		rest = rest[2:]
+		if len(rest) < tn {
+			return r, errTorn
+		}
+		r.table = string(rest[:tn])
+		rest = rest[tn:]
+		if len(rest) < 2 {
+			return r, errTorn
+		}
+		nv := int(binary.LittleEndian.Uint16(rest))
+		rest = rest[2:]
+		r.row = make(relation.Row, 0, nv)
+		for i := 0; i < nv; i++ {
+			v, n, err := decodeValue(rest)
+			if err != nil {
+				return r, err
+			}
+			r.row = append(r.row, v)
+			rest = rest[n:]
+		}
+		if len(rest) != 0 {
+			return r, fmt.Errorf("wal: %d trailing bytes in record body", len(rest))
+		}
+		return r, nil
+	default:
+		return r, fmt.Errorf("wal: unknown record type %d", r.typ)
+	}
+}
+
+// decodeRecord decodes one framed record from the front of b, returning
+// the record and the bytes consumed. A short or checksum-mismatched frame
+// returns errTorn: the caller treats it as the log tail.
+func decodeRecord(b []byte) (record, int, error) {
+	if len(b) < frameHeader {
+		return record{}, 0, errTorn
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	if n < 9 || n > maxBody {
+		return record{}, 0, errTorn
+	}
+	if len(b) < frameHeader+n {
+		return record{}, 0, errTorn
+	}
+	body := b[frameHeader : frameHeader+n]
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(b[4:]) {
+		return record{}, 0, errTorn
+	}
+	r, err := decodeBody(body)
+	if err != nil {
+		// A body that passed its checksum but fails structural decoding is
+		// real corruption, not a torn tail — but for tail-tolerance both
+		// stop the scan; keep the distinction in the error.
+		return record{}, 0, err
+	}
+	return r, frameHeader + n, nil
+}

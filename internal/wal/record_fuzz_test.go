@@ -1,0 +1,130 @@
+package wal
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// recordFromScript deterministically builds a record from fuzzer bytes,
+// exercising every value kind the codec supports — including NULL, NaN
+// (arbitrary payload bits), and negative zero.
+func recordFromScript(data []byte) record {
+	take := func(n int) []byte {
+		if len(data) < n {
+			pad := make([]byte, n)
+			copy(pad, data)
+			data = nil
+			return pad
+		}
+		b := data[:n]
+		data = data[n:]
+		return b
+	}
+	r := record{typ: recInsert + take(1)[0]%3, seq: binary.LittleEndian.Uint64(take(8))}
+	if take(1)[0]%5 == 0 {
+		r.typ = recBoundary
+		r.cut = binary.LittleEndian.Uint64(take(8))
+		r.applied = binary.LittleEndian.Uint64(take(8))
+		return r
+	}
+	nameLen := int(take(1)[0]) % 64
+	r.table = string(take(nameLen))
+	nvals := int(take(1)[0]) % 16
+	for i := 0; i < nvals; i++ {
+		switch take(1)[0] % 7 {
+		case 0:
+			r.row = append(r.row, relation.Null())
+		case 1:
+			r.row = append(r.row, relation.Int(int64(binary.LittleEndian.Uint64(take(8)))))
+		case 2:
+			r.row = append(r.row, relation.Float(math.Float64frombits(binary.LittleEndian.Uint64(take(8)))))
+		case 3:
+			r.row = append(r.row, relation.Float(math.NaN()))
+		case 4:
+			r.row = append(r.row, relation.Float(math.Copysign(0, -1)))
+		case 5:
+			r.row = append(r.row, relation.String(string(take(int(take(1)[0])))))
+		case 6:
+			r.row = append(r.row, relation.Bool(take(1)[0]%2 == 0))
+		}
+	}
+	return r
+}
+
+func sameValueBits(a, b relation.Value) bool {
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	if a.Kind() == relation.KindFloat {
+		// Bitwise, not ==: NaN payloads and −0.0 must survive the trip.
+		return math.Float64bits(a.AsFloat()) == math.Float64bits(b.AsFloat())
+	}
+	return a.Equal(b)
+}
+
+// FuzzRecordRoundTrip fuzzes the WAL record codec three ways: decoding
+// arbitrary bytes must never panic and only ever yield whole records;
+// a record built from the input must round-trip bit for bit; and every
+// proper prefix of its encoding must read as a torn tail, never as a
+// record and never as garbage.
+func FuzzRecordRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte("SVCWAL01 some trailing junk"))
+	{
+		r := record{typ: recUpdate, seq: 7, table: "kv", row: relation.Row{
+			relation.Int(-1), relation.Null(), relation.Float(math.NaN()),
+			relation.Float(math.Copysign(0, -1)), relation.String("x"), relation.Bool(true),
+		}}
+		f.Add(appendRecord(nil, &r))
+	}
+	{
+		r := record{typ: recBoundary, seq: 12, cut: 9, applied: 3}
+		f.Add(append(appendRecord(nil, &r), 0xde, 0xad))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// (1) Arbitrary bytes: no panics, forward progress, whole records only.
+		rest := data
+		for {
+			_, n, err := decodeRecord(rest)
+			if err != nil {
+				break
+			}
+			if n <= frameHeader || n > len(rest) {
+				t.Fatalf("decodeRecord claimed %d bytes of %d", n, len(rest))
+			}
+			rest = rest[n:]
+		}
+
+		// (2) Exact round trip of a scripted record.
+		r := recordFromScript(data)
+		enc := appendRecord(nil, &r)
+		got, n, err := decodeRecord(enc)
+		if err != nil {
+			t.Fatalf("round trip: %v", err)
+		}
+		if n != len(enc) {
+			t.Fatalf("round trip consumed %d of %d bytes", n, len(enc))
+		}
+		if got.typ != r.typ || got.seq != r.seq || got.table != r.table ||
+			got.cut != r.cut || got.applied != r.applied || len(got.row) != len(r.row) {
+			t.Fatalf("round trip mismatch: %+v != %+v", got, r)
+		}
+		for i := range r.row {
+			if !sameValueBits(got.row[i], r.row[i]) {
+				t.Fatalf("value %d mismatch: %v != %v", i, got.row[i], r.row[i])
+			}
+		}
+
+		// (3) Every truncation of a valid frame is a torn tail, not a record.
+		for cut := 0; cut < len(enc); cut++ {
+			if _, _, err := decodeRecord(enc[:cut]); err == nil {
+				t.Fatalf("truncated frame (%d of %d bytes) decoded as a record", cut, len(enc))
+			}
+		}
+	})
+}

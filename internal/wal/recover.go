@@ -1,0 +1,164 @@
+package wal
+
+import (
+	"fmt"
+
+	"github.com/sampleclean/svc/internal/db"
+)
+
+// RecoveryStats summarizes one Recover pass.
+type RecoveryStats struct {
+	// CheckpointSeq/CheckpointApplied identify the restored checkpoint
+	// (zero when the log had none and replay started from the caller's
+	// catalog as-is).
+	CheckpointSeq     uint64
+	CheckpointApplied uint64
+	// TablesRestored counts base-table images loaded from the checkpoint.
+	TablesRestored int
+	// Records counts replayed stage/base records; Boundaries counts
+	// replayed maintenance boundaries (each one an ApplyDeltas fold).
+	Records    int
+	Boundaries int
+	// PendingRecords counts records past the last boundary: they are
+	// re-staged and will be folded by the next maintenance cycle, exactly
+	// as they were pending when the process died.
+	PendingRecords int
+	// AppliedSeq is the catalog's maintenance-boundary counter after
+	// recovery — equal to what the crashed process last acknowledged.
+	AppliedSeq uint64
+}
+
+// Recover replays the log into d: restore the newest checkpoint's base
+// images (if any), then stream the record suffix in sequence order,
+// re-staging mutations and re-folding each maintenance boundary at the
+// same cut the original ApplyVersion used. Replay is idempotent by
+// construction — records at or below the checkpoint cut are skipped, and
+// each boundary folds exactly the records its cut covers — so the
+// recovered catalog's applied counter, pending deltas, and base tables
+// match the crashed process's last acknowledged state.
+//
+// Call Recover after creating the schema (table creation is not logged:
+// the caller recreates its tables, typically by reloading a deterministic
+// dataset, before replay) and before attaching the log or staging new
+// writes. d must not have a DeltaLog attached, so replayed mutations are
+// not re-logged.
+func (l *Log) Recover(d *db.Database) (RecoveryStats, error) {
+	var st RecoveryStats
+	if d.DeltaLog() != nil {
+		return st, fmt.Errorf("wal: recover: detach the delta log first (replay must not re-log)")
+	}
+	l.mu.Lock()
+	if err := l.usableLocked(); err != nil {
+		l.mu.Unlock()
+		return st, err
+	}
+	ckpt := l.ckptName
+	skip := l.ckptCut
+	segs := append([]segment(nil), l.segs...)
+	l.mu.Unlock()
+
+	if ckpt != "" {
+		data, err := readAll(l.fs, ckpt)
+		if err != nil {
+			return st, fmt.Errorf("wal: recover: %w", err)
+		}
+		meta, tables, err := decodeCheckpoint(data)
+		if err != nil {
+			return st, fmt.Errorf("wal: recover %s: %w", ckpt, err)
+		}
+		for _, ct := range tables {
+			t := d.Table(ct.name)
+			if t == nil {
+				if t, err = d.Create(ct.name, ct.rows.Schema()); err != nil {
+					return st, fmt.Errorf("wal: recover: %w", err)
+				}
+			}
+			if err := t.RestoreBase(ct.rows); err != nil {
+				return st, fmt.Errorf("wal: recover: %w", err)
+			}
+		}
+		d.ForceAppliedSeq(meta.applied)
+		st.CheckpointSeq = meta.cut
+		st.CheckpointApplied = meta.applied
+		st.TablesRestored = len(tables)
+	}
+
+	// Stream the suffix. Stage/base records buffer until a boundary says
+	// which of them the original fold covered: those (seq ≤ cut) are
+	// staged and folded; the rest stay buffered for a later boundary or,
+	// at the log's end, are re-staged as the pending set.
+	var buffered []record
+	stage := func(rs []record) error {
+		for i := range rs {
+			if err := replayStage(d, &rs[i]); err != nil {
+				return err
+			}
+		}
+		st.Records += len(rs)
+		return nil
+	}
+	for _, seg := range segs {
+		err := l.forEachSegRecord(seg, func(r record) error {
+			if r.seq <= skip {
+				return nil
+			}
+			if r.typ != recBoundary {
+				buffered = append(buffered, r)
+				return nil
+			}
+			covered := 0
+			for covered < len(buffered) && buffered[covered].seq <= r.cut {
+				covered++
+			}
+			if err := stage(buffered[:covered]); err != nil {
+				return err
+			}
+			buffered = buffered[covered:]
+			if err := d.RecoverApply(r.applied); err != nil {
+				return err
+			}
+			st.Boundaries++
+			return nil
+		})
+		if err != nil {
+			return st, err
+		}
+	}
+	if err := stage(buffered); err != nil {
+		return st, err
+	}
+	st.PendingRecords = len(buffered)
+	st.AppliedSeq = d.Pin().AppliedSeq()
+	return st, nil
+}
+
+// replayStage re-stages one logged record (see db.Table.RecoverStage for
+// the relaxed replay semantics).
+func replayStage(d *db.Database, r *record) error {
+	t := d.Table(r.table)
+	if t == nil {
+		return fmt.Errorf("wal: recover seq %d: unknown table %q (recreate the schema before replay)", r.seq, r.table)
+	}
+	var op db.DeltaOp
+	switch r.typ {
+	case recInsert:
+		op = db.OpInsert
+	case recUpdate:
+		op = db.OpUpdate
+	case recDelete:
+		op = db.OpDelete
+	case recBase:
+		op = db.OpBase
+	default:
+		return fmt.Errorf("wal: recover seq %d: unknown record type %d", r.seq, r.typ)
+	}
+	if err := t.RecoverStage(op, r.row); err != nil {
+		return fmt.Errorf("wal: recover seq %d (%s): %w", r.seq, r.table, err)
+	}
+	return nil
+}
+
+// Attach connects the log to the catalog: every later StageInsert/
+// StageUpdate/StageDelete/Insert records through it before acknowledging,
+// and every ApplyVersion logs its boundary. Attach after Recover.
+func (l *Log) Attach(d *db.Database) { d.SetDeltaLog(l) }

@@ -1,0 +1,886 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/sampleclean/svc/internal/db"
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// SyncEachCommit, as Options.SyncInterval, makes every commit wait for
+// its own fsync instead of a group-commit window — maximum durability
+// granularity, minimum throughput.
+const SyncEachCommit = -1 * time.Nanosecond
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// ErrKilled is returned to commits in flight when Kill crash-stops the
+// log (tests).
+var ErrKilled = errors.New("wal: log killed")
+
+// Options configure a Log. Zero values select the defaults noted on each
+// field; negative values disable the corresponding bound.
+type Options struct {
+	// SyncInterval is the group-commit window: the syncer goroutine
+	// coalesces all records buffered within one interval into a single
+	// write+fsync. 0 means 2ms; SyncEachCommit syncs every record.
+	SyncInterval time.Duration
+	// SyncBytes nudges the syncer early once this many unsynced bytes
+	// are buffered, bounding the burst a slow interval could accumulate.
+	// 0 means 256 KiB.
+	SyncBytes int
+	// SegmentBytes rotates to a new segment file once the active one
+	// exceeds this size (checked at flush granularity, so a soft bound).
+	// 0 means 16 MiB.
+	SegmentBytes int
+	// CheckpointBytes triggers a checkpoint (and compaction of retired
+	// segments) once that many closed-segment bytes are wholly retired by
+	// maintenance boundaries. 0 means 64 MiB.
+	CheckpointBytes int
+	// MaxUnsyncedBytes is the backpressure bound on buffered-not-yet-
+	// synced bytes; Admit blocks (and Shed reports true) above it.
+	// 0 means 16 MiB.
+	MaxUnsyncedBytes int
+	// MaxUnappliedBytes is the backpressure bound on logged-but-not-yet-
+	// retired bytes — the log depth a recovery would replay. 0 means
+	// 256 MiB.
+	MaxUnappliedBytes int
+	// FS is the filesystem seam; nil means the real one (OSFS).
+	FS FS
+}
+
+func (o Options) withDefaults() Options {
+	if o.SyncInterval == 0 {
+		o.SyncInterval = 2 * time.Millisecond
+	}
+	if o.SyncBytes == 0 {
+		o.SyncBytes = 256 << 10
+	}
+	if o.SegmentBytes == 0 {
+		o.SegmentBytes = 16 << 20
+	}
+	if o.CheckpointBytes == 0 {
+		o.CheckpointBytes = 64 << 20
+	}
+	if o.MaxUnsyncedBytes == 0 {
+		o.MaxUnsyncedBytes = 16 << 20
+	}
+	if o.MaxUnappliedBytes == 0 {
+		o.MaxUnappliedBytes = 256 << 20
+	}
+	if o.FS == nil {
+		o.FS = OSFS{}
+	}
+	return o
+}
+
+// Segment file layout: 8-byte magic, u64 first sequence number, then
+// framed records (record.go).
+const (
+	segMagic     = "SVCWAL01"
+	segHeaderLen = 16
+	segSuffix    = ".wal"
+	ckptSuffix   = ".ckpt"
+	tmpSuffix    = ".tmp"
+)
+
+// segment is one closed (no longer written) log file.
+type segment struct {
+	name  string // full path
+	first uint64 // header: sequence of the first record
+	last  uint64 // sequence of the last valid record (0 when empty)
+	bytes int    // valid byte length (header + intact frames)
+}
+
+// seqSize tracks one unretired record for the backpressure depth gauge.
+type seqSize struct {
+	seq  uint64
+	size int
+}
+
+// pendingBoundary is an appended, not-yet-synced boundary record.
+type pendingBoundary struct {
+	seq, cut, applied uint64
+}
+
+// boundarySnap is the latest boundary's published version, retained until
+// the checkpoint threshold trips.
+type boundarySnap struct {
+	v            *db.Version
+	cut, applied uint64
+}
+
+// Log is the durable maintenance log. It implements db.DeltaLog; see
+// doc.go for the durability contract and package db's DeltaLog for the
+// locking protocol. All methods are safe for concurrent use.
+type Log struct {
+	dir string
+	fs  FS
+	opt Options
+
+	mu         sync.Mutex
+	commitCond *sync.Cond // syncedSeq advanced (or the log failed/closed)
+	admitCond  *sync.Cond // depth dropped (or the log failed/closed)
+
+	seq       uint64 // last assigned sequence number
+	syncedSeq uint64 // last sequence covered by an fsync
+	buf       []byte // encoded frames awaiting flush
+	swap      []byte // double buffer: reused as buf at each flush
+	bufFirst  uint64 // sequence of the first record in buf
+	unsynced  int    // bytes in buf
+
+	pending  []pendingBoundary
+	lastSnap *boundarySnap
+
+	unapplied      []seqSize // stage/base records past the last synced boundary cut
+	unappliedBytes int
+	retiredCut     uint64 // last synced boundary's cut
+	retiredApplied uint64 // last synced boundary's applied counter
+
+	active      File // syncer-owned; metadata below guarded by mu
+	activeName  string
+	activeFirst uint64
+	activeLast  uint64
+	activeBytes int
+	segs        []segment
+
+	ckptName    string
+	ckptCut     uint64
+	ckptApplied uint64
+	ckptBytes   int
+
+	closed bool
+	failed error
+
+	appends, syncs, boundaries uint64
+	checkpoints, compactions   uint64
+	stalls                     uint64
+	syncTotal, syncMax         time.Duration
+	syncRing                   [256]time.Duration
+	syncRingN                  uint64
+
+	nudgeC   chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// Open validates and opens (creating if absent) the log directory: it
+// removes crash debris, picks the newest intact checkpoint, scans every
+// segment's intact record prefix (a torn tail is tolerated only where a
+// crash can produce one — after the last valid record in the log), and
+// resumes sequence numbering past everything found. The returned log
+// accepts appends immediately, but callers that want the logged state
+// replayed must call Recover first (appends move the log past the
+// recovered suffix).
+func Open(dir string, opt Options) (*Log, error) {
+	opt = opt.withDefaults()
+	l := &Log{
+		dir:    dir,
+		fs:     opt.FS,
+		opt:    opt,
+		nudgeC: make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+	l.commitCond = sync.NewCond(&l.mu)
+	l.admitCond = sync.NewCond(&l.mu)
+	if err := l.fs.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", dir, err)
+	}
+	if err := l.load(); err != nil {
+		return nil, err
+	}
+	l.wg.Add(1)
+	go l.run()
+	return l, nil
+}
+
+// load scans the directory and rebuilds the log's metadata.
+func (l *Log) load() error {
+	names, err := l.fs.ReadDir(l.dir)
+	if err != nil {
+		return fmt.Errorf("wal: open %s: %w", l.dir, err)
+	}
+	var segNames, ckptNames []string
+	for _, name := range names {
+		switch {
+		case strings.HasSuffix(name, tmpSuffix):
+			// Interrupted checkpoint write; never referenced.
+			_ = l.fs.Remove(filepath.Join(l.dir, name))
+		case strings.HasSuffix(name, segSuffix):
+			segNames = append(segNames, name)
+		case strings.HasSuffix(name, ckptSuffix):
+			ckptNames = append(ckptNames, name)
+		}
+	}
+
+	// Newest intact checkpoint wins; invalid or superseded ones are crash
+	// debris (the compactor removes old checkpoints only after the new
+	// one is durable, so an invalid newest never strands us).
+	sort.Sort(sort.Reverse(sort.StringSlice(ckptNames)))
+	for _, name := range ckptNames {
+		path := filepath.Join(l.dir, name)
+		ck, err := readCheckpointMeta(l.fs, path)
+		if err == nil && l.ckptName == "" {
+			l.ckptName = path
+			l.ckptCut = ck.cut
+			l.ckptApplied = ck.applied
+			l.ckptBytes = ck.bytes
+			continue
+		}
+		_ = l.fs.Remove(path)
+	}
+
+	// Scan segments in sequence order.
+	sort.Strings(segNames)
+	type scanned struct {
+		seg  segment
+		ok   bool // header valid
+		torn bool
+	}
+	var scans []scanned
+	for _, name := range segNames {
+		path := filepath.Join(l.dir, name)
+		data, err := readAll(l.fs, path)
+		if err != nil {
+			return fmt.Errorf("wal: open %s: %w", path, err)
+		}
+		sc := scanned{seg: segment{name: path}}
+		if len(data) >= segHeaderLen && string(data[:8]) == segMagic {
+			sc.ok = true
+			sc.seg.first = binary.LittleEndian.Uint64(data[8:])
+			sc.seg.bytes = segHeaderLen
+			rest := data[segHeaderLen:]
+			for len(rest) > 0 {
+				r, n, err := decodeRecord(rest)
+				if errors.Is(err, errTorn) {
+					sc.torn = true
+					break
+				}
+				if err != nil {
+					return fmt.Errorf("wal: open %s: corrupt record after seq %d: %w", path, sc.seg.last, err)
+				}
+				sc.seg.last = r.seq
+				sc.seg.bytes += n
+				rest = rest[n:]
+			}
+		}
+		scans = append(scans, sc)
+	}
+	// A torn tail (or an unreadable header) is the expected shape of a
+	// crash, but only at the end of the log: find the last segment with
+	// any valid record; anything damaged before it is real corruption,
+	// anything after it is header-only/torn debris from a crashed
+	// rotation, safely removed (its records were never acknowledged).
+	tail := -1
+	for i, sc := range scans {
+		if sc.seg.last > 0 {
+			tail = i
+		}
+	}
+	for i, sc := range scans {
+		switch {
+		case i < tail && (!sc.ok || sc.torn):
+			return fmt.Errorf("wal: open %s: damaged before log tail (segment %s)", l.dir, sc.seg.name)
+		case i > tail || sc.seg.last == 0:
+			_ = l.fs.Remove(sc.seg.name)
+		default:
+			l.segs = append(l.segs, sc.seg)
+		}
+	}
+
+	// Rebuild sequence numbering and the retirement gauge from the
+	// surviving records.
+	l.seq = l.ckptCut
+	l.retiredCut = l.ckptCut
+	l.retiredApplied = l.ckptApplied
+	for _, seg := range l.segs {
+		if err := l.forEachSegRecord(seg, func(r record) error {
+			if r.seq > l.seq {
+				l.seq = r.seq
+			}
+			switch r.typ {
+			case recBoundary:
+				if r.cut > l.retiredCut {
+					l.retiredCut = r.cut
+					l.retiredApplied = r.applied
+				}
+			default:
+				l.unapplied = append(l.unapplied, seqSize{seq: r.seq, size: rowWeight(r)})
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	kept := l.unapplied[:0]
+	for _, e := range l.unapplied {
+		if e.seq > l.retiredCut {
+			kept = append(kept, e)
+			l.unappliedBytes += e.size
+		}
+	}
+	l.unapplied = kept
+	l.syncedSeq = l.seq
+	return nil
+}
+
+// rowWeight approximates a record's contribution to log depth.
+func rowWeight(r record) int {
+	n := frameHeader + 9 + len(r.table) + 2
+	for _, v := range r.row {
+		switch v.Kind() {
+		case relation.KindString:
+			n += 5 + len(v.AsString())
+		case relation.KindNull:
+			n++
+		case relation.KindBool:
+			n += 2
+		default:
+			n += 9
+		}
+	}
+	return n
+}
+
+// forEachSegRecord streams the intact records of one segment.
+func (l *Log) forEachSegRecord(seg segment, fn func(record) error) error {
+	data, err := readAll(l.fs, seg.name)
+	if err != nil {
+		return fmt.Errorf("wal: read %s: %w", seg.name, err)
+	}
+	if len(data) < segHeaderLen {
+		return fmt.Errorf("wal: read %s: truncated header", seg.name)
+	}
+	rest := data[segHeaderLen:]
+	for len(rest) > 0 {
+		r, n, err := decodeRecord(rest)
+		if err != nil {
+			// Torn tail past the validated prefix; Open already vetted
+			// where tears are allowed.
+			return nil
+		}
+		if err := fn(r); err != nil {
+			return err
+		}
+		rest = rest[n:]
+	}
+	return nil
+}
+
+func readAll(fs FS, path string) ([]byte, error) {
+	f, err := fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return data, err
+}
+
+func segName(dir string, first uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%016x%s", first, segSuffix))
+}
+
+func ckptName(dir string, cut uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%016x%s", cut, ckptSuffix))
+}
+
+// parseHexName extracts the leading hex counter of a log file name.
+func parseHexName(name, suffix string) (uint64, bool) {
+	base := strings.TrimSuffix(filepath.Base(name), suffix)
+	n, err := strconv.ParseUint(base, 16, 64)
+	return n, err == nil
+}
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.dir }
+
+// nudge wakes the syncer without blocking.
+func (l *Log) nudge() {
+	select {
+	case l.nudgeC <- struct{}{}:
+	default:
+	}
+}
+
+// Admit implements db.DeltaLog: it blocks while either depth bound is
+// exceeded, forcing producers down to the sync/apply rate instead of
+// growing the buffer and the replayable suffix without limit. Call with
+// no locks held.
+func (l *Log) Admit() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	stalled := false
+	for {
+		if l.failed != nil {
+			return l.failed
+		}
+		if l.closed {
+			return ErrClosed
+		}
+		if !l.overLimitLocked() {
+			return nil
+		}
+		if !stalled {
+			stalled = true
+			l.stalls++
+		}
+		l.nudge()
+		l.admitCond.Wait()
+	}
+}
+
+func (l *Log) overLimitLocked() bool {
+	if l.opt.MaxUnsyncedBytes > 0 && l.unsynced > l.opt.MaxUnsyncedBytes {
+		return true
+	}
+	if l.opt.MaxUnappliedBytes > 0 && l.unappliedBytes > l.opt.MaxUnappliedBytes {
+		return true
+	}
+	return false
+}
+
+// Shed reports whether a load-shedding caller (the HTTP ingest path)
+// should reject now rather than block in Admit.
+func (l *Log) Shed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failed == nil && !l.closed && l.overLimitLocked()
+}
+
+// Append implements db.DeltaLog: buffer one mutation record, assign its
+// sequence number, and return the commit wait. Called under the catalog
+// writer lock; does no I/O.
+func (l *Log) Append(table string, op db.DeltaOp, row relation.Row) (func() error, error) {
+	var typ uint8
+	switch op {
+	case db.OpInsert:
+		typ = recInsert
+	case db.OpUpdate:
+		typ = recUpdate
+	case db.OpDelete:
+		typ = recDelete
+	case db.OpBase:
+		typ = recBase
+	default:
+		return nil, fmt.Errorf("wal: unknown delta op %d", op)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.usableLocked(); err != nil {
+		return nil, err
+	}
+	l.seq++
+	r := record{typ: typ, seq: l.seq, table: table, row: row}
+	seq, size := l.bufferLocked(&r)
+	l.appends++
+	l.unapplied = append(l.unapplied, seqSize{seq: seq, size: size})
+	l.unappliedBytes += size
+	return l.commitFn(seq), nil
+}
+
+// Boundary implements db.DeltaLog: buffer a maintenance-boundary record
+// and retain the published version for checkpointing. Called under the
+// catalog writer lock at the end of ApplyVersion.
+func (l *Log) Boundary(applied, cut uint64, snap *db.Version) (func() error, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.usableLocked(); err != nil {
+		return nil, err
+	}
+	l.seq++
+	r := record{typ: recBoundary, seq: l.seq, cut: cut, applied: applied}
+	seq, _ := l.bufferLocked(&r)
+	l.boundaries++
+	l.pending = append(l.pending, pendingBoundary{seq: seq, cut: cut, applied: applied})
+	l.lastSnap = &boundarySnap{v: snap, cut: cut, applied: applied}
+	return l.commitFn(seq), nil
+}
+
+// SeqNow implements db.DeltaLog.
+func (l *Log) SeqNow() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+func (l *Log) usableLocked() error {
+	if l.failed != nil {
+		return l.failed
+	}
+	if l.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// bufferLocked encodes r into the append buffer and returns its sequence
+// and encoded size.
+func (l *Log) bufferLocked(r *record) (uint64, int) {
+	if len(l.buf) == 0 {
+		l.bufFirst = r.seq
+	}
+	before := len(l.buf)
+	l.buf = appendRecord(l.buf, r)
+	size := len(l.buf) - before
+	l.unsynced += size
+	if l.opt.SyncInterval < 0 || l.unsynced >= l.opt.SyncBytes {
+		l.nudge()
+	}
+	return r.seq, size
+}
+
+// commitFn returns the group-commit wait for seq: the caller blocks until
+// the syncer's next window (interval tick, byte-threshold nudge, or — in
+// SyncEachCommit mode — the append's own nudge) covers it, so one fsync
+// acknowledges every record buffered in the window.
+func (l *Log) commitFn(seq uint64) func() error {
+	return func() error {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		for l.syncedSeq < seq && l.failed == nil && !l.closed {
+			l.commitCond.Wait()
+		}
+		if l.syncedSeq >= seq {
+			return nil
+		}
+		if l.failed != nil {
+			return l.failed
+		}
+		return ErrClosed
+	}
+}
+
+// run is the syncer goroutine: the only writer of segment files. It
+// wakes on the group-commit ticker or an early nudge and flushes the
+// buffer with one write+fsync.
+func (l *Log) run() {
+	defer l.wg.Done()
+	var tickC <-chan time.Time
+	if l.opt.SyncInterval > 0 {
+		tick := time.NewTicker(l.opt.SyncInterval)
+		defer tick.Stop()
+		tickC = tick.C
+	}
+	for {
+		select {
+		case <-l.done:
+			return
+		case <-l.nudgeC:
+		case <-tickC:
+		}
+		l.flush()
+	}
+}
+
+// flush drains the buffer to the active segment (rotating first when
+// full), fsyncs, and publishes the new durable frontier. Runs on the
+// syncer goroutine (or on Close after the syncer stopped) — never
+// concurrently with itself.
+func (l *Log) flush() {
+	l.mu.Lock()
+	if l.failed != nil {
+		l.mu.Unlock()
+		return
+	}
+	if len(l.buf) == 0 {
+		ck := l.dueCheckpointLocked()
+		l.mu.Unlock()
+		if ck != nil {
+			l.checkpoint(ck)
+		}
+		return
+	}
+	chunk := l.buf
+	l.buf = l.swap[:0]
+	l.swap = nil
+	first := l.bufFirst
+	last := l.seq
+	bounds := l.pending
+	l.pending = nil
+	rotate := l.active == nil ||
+		(l.opt.SegmentBytes > 0 && l.activeBytes > segHeaderLen && l.activeBytes+len(chunk) > l.opt.SegmentBytes)
+	l.mu.Unlock()
+
+	start := time.Now()
+	var err error
+	if rotate {
+		err = l.openSegment(first)
+	}
+	if err == nil {
+		_, err = l.active.Write(chunk)
+	}
+	if err == nil {
+		err = l.active.Sync()
+	}
+	dur := time.Since(start)
+	if err != nil {
+		l.fail(err)
+		return
+	}
+
+	l.mu.Lock()
+	l.activeBytes += len(chunk)
+	l.activeLast = last
+	l.syncedSeq = last
+	l.unsynced -= len(chunk)
+	l.swap = chunk[:0]
+	l.syncs++
+	l.syncTotal += dur
+	if dur > l.syncMax {
+		l.syncMax = dur
+	}
+	l.syncRing[l.syncRingN%uint64(len(l.syncRing))] = dur
+	l.syncRingN++
+	for _, b := range bounds {
+		l.retireLocked(b)
+	}
+	ck := l.dueCheckpointLocked()
+	l.commitCond.Broadcast()
+	l.admitCond.Broadcast()
+	l.mu.Unlock()
+	if ck != nil {
+		l.checkpoint(ck)
+	}
+}
+
+// retireLocked advances the retirement frontier past one synced boundary:
+// every stage record with seq ≤ cut is folded into the base tables and no
+// longer counts toward the replayable depth.
+func (l *Log) retireLocked(b pendingBoundary) {
+	i := 0
+	for i < len(l.unapplied) && l.unapplied[i].seq <= b.cut {
+		l.unappliedBytes -= l.unapplied[i].size
+		i++
+	}
+	l.unapplied = l.unapplied[i:]
+	l.retiredCut = b.cut
+	l.retiredApplied = b.applied
+}
+
+// dueCheckpointLocked claims the retained boundary snapshot when enough
+// closed-segment bytes are wholly retired to be worth compacting.
+func (l *Log) dueCheckpointLocked() *boundarySnap {
+	if l.lastSnap == nil || l.opt.CheckpointBytes <= 0 {
+		return nil
+	}
+	if l.lastSnap.cut > l.retiredCut {
+		// Not durable yet; wait for the boundary record's own sync.
+		return nil
+	}
+	retirable := 0
+	for _, s := range l.segs {
+		if s.last > 0 && s.last <= l.lastSnap.cut {
+			retirable += s.bytes
+		}
+	}
+	if retirable < l.opt.CheckpointBytes {
+		return nil
+	}
+	ck := l.lastSnap
+	l.lastSnap = nil
+	return ck
+}
+
+// openSegment rotates to a fresh segment whose first record is seq. The
+// directory entry is synced before any record lands in the file, so a
+// record's own fsync is the last durability step before its commit
+// returns.
+func (l *Log) openSegment(seq uint64) error {
+	if l.active != nil {
+		closedSeg := segment{name: l.activeName, first: l.activeFirst, last: l.activeLast, bytes: l.activeBytes}
+		err := l.active.Close()
+		l.active = nil
+		if err != nil {
+			return err
+		}
+		l.mu.Lock()
+		l.segs = append(l.segs, closedSeg)
+		l.mu.Unlock()
+	}
+	name := segName(l.dir, seq)
+	f, err := l.fs.Create(name)
+	if err != nil {
+		return err
+	}
+	hdr := make([]byte, segHeaderLen)
+	copy(hdr, segMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], seq)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return err
+	}
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.active = f
+	l.mu.Lock()
+	l.activeName = name
+	l.activeFirst = seq
+	l.activeLast = 0
+	l.activeBytes = segHeaderLen
+	l.mu.Unlock()
+	return nil
+}
+
+// fail poisons the log: a write or fsync error means records may be lost,
+// so every later Admit/Append/commit reports it rather than pretending to
+// be durable.
+func (l *Log) fail(err error) {
+	l.mu.Lock()
+	if l.failed == nil {
+		l.failed = err
+	}
+	l.commitCond.Broadcast()
+	l.admitCond.Broadcast()
+	l.mu.Unlock()
+}
+
+// Close flushes and fsyncs everything buffered, stops the syncer, and
+// closes the active segment. Callers should quiesce writers first:
+// records appended concurrently with Close may be reported ErrClosed.
+func (l *Log) Close() error {
+	l.stopOnce.Do(func() { close(l.done) })
+	l.wg.Wait()
+	l.flush()
+	l.mu.Lock()
+	if l.closed {
+		err := l.failed
+		l.mu.Unlock()
+		return err
+	}
+	l.closed = true
+	err := l.failed
+	active := l.active
+	l.active = nil
+	l.commitCond.Broadcast()
+	l.admitCond.Broadcast()
+	l.mu.Unlock()
+	if active != nil {
+		if cerr := active.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Kill crash-stops the log: no final flush, no fsync — buffered records
+// die exactly as they would in a process crash. In-flight and later
+// commits report ErrKilled. Tests use Kill plus a reopen of the same
+// directory to exercise recovery in-process.
+func (l *Log) Kill() {
+	l.stopOnce.Do(func() { close(l.done) })
+	l.wg.Wait()
+	l.mu.Lock()
+	l.closed = true
+	if l.failed == nil {
+		l.failed = ErrKilled
+	}
+	active := l.active
+	l.active = nil
+	l.commitCond.Broadcast()
+	l.admitCond.Broadcast()
+	l.mu.Unlock()
+	if active != nil {
+		active.Close()
+	}
+}
+
+// Stats is a point-in-time gauge of the log (GET /stats).
+type Stats struct {
+	Dir            string
+	LastSeq        uint64 // last assigned sequence
+	SyncedSeq      uint64 // durable frontier
+	RetiredCut     uint64 // last synced maintenance boundary's cut
+	RetiredApplied uint64 // that boundary's applied counter
+	CheckpointSeq  uint64 // newest durable checkpoint's cut (0: none)
+
+	UnsyncedBytes    int // buffered, not yet fsynced
+	UnappliedRecords int // records a recovery right now would replay
+	UnappliedBytes   int
+	Segments         int   // segment files, including the active one
+	DiskBytes        int64 // segments + checkpoint
+
+	Appends     uint64
+	Boundaries  uint64
+	Syncs       uint64
+	Checkpoints uint64
+	Compactions uint64 // compaction passes (each drops ≥1 retired segment)
+	Stalls      uint64 // Admit calls that blocked on a depth bound
+
+	MeanSyncMillis float64
+	MaxSyncMillis  float64
+	P99SyncMillis  float64 // over the last 256 syncs
+
+	LastError string // sticky failure, "" while healthy
+}
+
+// Stats returns current gauges and counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := Stats{
+		Dir:              l.dir,
+		LastSeq:          l.seq,
+		SyncedSeq:        l.syncedSeq,
+		RetiredCut:       l.retiredCut,
+		RetiredApplied:   l.retiredApplied,
+		CheckpointSeq:    l.ckptCut,
+		UnsyncedBytes:    l.unsynced,
+		UnappliedRecords: len(l.unapplied),
+		UnappliedBytes:   l.unappliedBytes,
+		Appends:          l.appends,
+		Boundaries:       l.boundaries,
+		Syncs:            l.syncs,
+		Checkpoints:      l.checkpoints,
+		Compactions:      l.compactions,
+		Stalls:           l.stalls,
+	}
+	for _, seg := range l.segs {
+		s.DiskBytes += int64(seg.bytes)
+	}
+	s.Segments = len(l.segs)
+	// The active-file handle is syncer-owned; gauge it via the mu-guarded
+	// metadata only.
+	if l.activeBytes > 0 {
+		s.Segments++
+		s.DiskBytes += int64(l.activeBytes)
+	}
+	s.DiskBytes += int64(l.ckptBytes)
+	if l.syncs > 0 {
+		s.MeanSyncMillis = float64(l.syncTotal.Microseconds()) / float64(l.syncs) / 1000
+		s.MaxSyncMillis = float64(l.syncMax.Microseconds()) / 1000
+	}
+	n := int(l.syncRingN)
+	if n > len(l.syncRing) {
+		n = len(l.syncRing)
+	}
+	if n > 0 {
+		durs := make([]time.Duration, n)
+		copy(durs, l.syncRing[:n])
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		idx := (n*99 + 99) / 100
+		if idx > n {
+			idx = n
+		}
+		s.P99SyncMillis = float64(durs[idx-1].Microseconds()) / 1000
+	}
+	if l.failed != nil {
+		s.LastError = l.failed.Error()
+	}
+	return s
+}

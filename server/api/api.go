@@ -144,7 +144,88 @@ type StatsResponse struct {
 	// otherwise only show up in offline allocs/op benchmarks.
 	Pools PoolStats `json:"pools"`
 
+	// Ingest-path counters. Ingested counts staged ops acknowledged via
+	// POST /ingest; IngestShed counts requests rejected with 503 because
+	// the durable log's backpressure bound was exceeded.
+	Ingested   uint64 `json:"ingested"`
+	IngestShed uint64 `json:"ingest_shed"`
+
+	// WAL is present when the database has a durable maintenance log
+	// attached (svcd -wal-dir).
+	WAL *WALStats `json:"wal,omitempty"`
+
 	Views []ViewStats `json:"views"`
+}
+
+// WALStats is the durable maintenance log's slice of GET /stats: depth
+// gauges (how much a crash right now would replay), sync latency, and
+// segment/checkpoint/backpressure counters.
+type WALStats struct {
+	Dir string `json:"dir"`
+	// LastSeq is the last assigned record sequence; SyncedSeq is the
+	// durable frontier (acknowledged ⇒ seq ≤ SyncedSeq); RetiredCut is
+	// the last maintenance boundary's cut; CheckpointSeq the newest
+	// checkpoint's (0 = none yet).
+	LastSeq       uint64 `json:"last_seq"`
+	SyncedSeq     uint64 `json:"synced_seq"`
+	RetiredCut    uint64 `json:"retired_cut"`
+	CheckpointSeq uint64 `json:"checkpoint_seq"`
+
+	// Depth gauges: bytes buffered ahead of the next fsync, and the
+	// records/bytes a recovery right now would replay.
+	UnsyncedBytes    int   `json:"unsynced_bytes"`
+	UnappliedRecords int   `json:"unapplied_records"`
+	UnappliedBytes   int   `json:"unapplied_bytes"`
+	Segments         int   `json:"segments"`
+	DiskBytes        int64 `json:"disk_bytes"`
+
+	Appends     uint64 `json:"appends"`
+	Boundaries  uint64 `json:"boundaries"`
+	Syncs       uint64 `json:"syncs"`
+	Checkpoints uint64 `json:"checkpoints"`
+	Compactions uint64 `json:"compactions"`
+	// Stalls counts staging calls that blocked on a backpressure bound.
+	Stalls uint64 `json:"stalls"`
+
+	MeanSyncMillis float64 `json:"mean_sync_ms"`
+	MaxSyncMillis  float64 `json:"max_sync_ms"`
+	P99SyncMillis  float64 `json:"p99_sync_ms"`
+
+	// LastError is the sticky I/O failure poisoning the log ("" while
+	// healthy).
+	LastError string `json:"last_error,omitempty"`
+}
+
+// IngestOp is one streamed mutation of POST /ingest.
+type IngestOp struct {
+	// Op is "insert", "update", or "delete".
+	Op string `json:"op"`
+	// Row is the full row in schema column order (insert/update). JSON
+	// numbers are coerced to the column's kind; null maps to NULL.
+	Row []any `json:"row,omitempty"`
+	// Key holds the primary-key values in key order (delete).
+	Key []any `json:"key,omitempty"`
+}
+
+// IngestRequest is the body of POST /ingest: a batch of staged mutations
+// against one base table. Ops are applied in order; when the database has
+// a durable log, each op is fsynced (group commit) before the response.
+type IngestRequest struct {
+	Table string     `json:"table"`
+	Ops   []IngestOp `json:"ops"`
+}
+
+// IngestResponse acknowledges a fully staged batch.
+type IngestResponse struct {
+	// Staged is the number of ops applied (= len(Ops) on success; an
+	// error response reports the failing op's index in its message, and
+	// ops before it remain staged).
+	Staged int `json:"staged"`
+	// Durable reports whether a write-ahead log covered the batch; when
+	// true, DurableSeq is the log's synced frontier after the batch — at
+	// least every op in it.
+	Durable    bool   `json:"durable"`
+	DurableSeq uint64 `json:"durable_seq,omitempty"`
 }
 
 // PoolStats gauges the columnar engine's batch and scratch-vector pools

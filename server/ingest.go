@@ -1,0 +1,189 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+
+	svc "github.com/sampleclean/svc"
+	"github.com/sampleclean/svc/internal/relation"
+	"github.com/sampleclean/svc/server/api"
+)
+
+// handleIngest is POST /ingest: stream staged mutations into a base
+// table. Each op goes through the same staging calls the embedded API
+// uses, so when the database has a durable log attached the op is on disk
+// (group-committed and fsynced) before the response acknowledges it.
+//
+// Backpressure: when the durable log's unsynced/unapplied depth exceeds
+// its bound, the whole batch is shed with 503 + Retry-After before any op
+// is staged — a fast retryable rejection instead of a stalled connection.
+// A batch admitted past that check may still block briefly inside a
+// staging call (the log's Admit gate); that is the intended throttle for
+// moderate overload.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST a JSON body to /ingest")
+		return
+	}
+	var req api.IngestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	t := s.d.Table(req.Table)
+	if t == nil {
+		writeError(w, http.StatusNotFound, "unknown table %q", req.Table)
+		return
+	}
+	if len(req.Ops) == 0 {
+		writeError(w, http.StatusBadRequest, "empty ops")
+		return
+	}
+	lg := svc.DurableLogOf(s.d)
+	if lg != nil && lg.Shed() {
+		s.ingestShed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable,
+			"durable log over its depth bound; retry after maintenance catches up")
+		return
+	}
+
+	schema := t.Schema()
+	staged := 0
+	for i, op := range req.Ops {
+		if err := stageOne(t, schema, op); err != nil {
+			s.ingested.Add(uint64(staged))
+			writeError(w, ingestStatus(err), "op %d: %v (%d earlier ops staged)", i, err, staged)
+			return
+		}
+		staged++
+	}
+	s.ingested.Add(uint64(staged))
+	resp := &api.IngestResponse{Staged: staged}
+	if lg != nil {
+		resp.Durable = true
+		resp.DurableSeq = lg.Stats().SyncedSeq
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// stageOne validates, coerces, and stages one mutation.
+func stageOne(t *svc.Table, schema relation.Schema, op api.IngestOp) error {
+	switch op.Op {
+	case "insert", "update":
+		row, err := coerceRow(schema.Cols(), op.Row)
+		if err != nil {
+			return err
+		}
+		if op.Op == "insert" {
+			return t.StageInsert(row)
+		}
+		return t.StageUpdate(row)
+	case "delete":
+		keyIdx := schema.Key()
+		if len(op.Key) != len(keyIdx) {
+			return fmt.Errorf("key has %d values, primary key has %d columns", len(op.Key), len(keyIdx))
+		}
+		key := make([]relation.Value, len(keyIdx))
+		for i, idx := range keyIdx {
+			v, err := coerceValue(schema.Cols()[idx], op.Key[i])
+			if err != nil {
+				return err
+			}
+			key[i] = v
+		}
+		return t.StageDelete(key...)
+	default:
+		return fmt.Errorf("unknown op %q (want insert, update, or delete)", op.Op)
+	}
+}
+
+func coerceRow(cols []relation.Column, vals []any) (relation.Row, error) {
+	if len(vals) != len(cols) {
+		return nil, fmt.Errorf("row has %d values, schema has %d columns", len(vals), len(cols))
+	}
+	row := make(relation.Row, len(cols))
+	for i, c := range cols {
+		v, err := coerceValue(c, vals[i])
+		if err != nil {
+			return nil, err
+		}
+		row[i] = v
+	}
+	return row, nil
+}
+
+// coerceValue maps a decoded JSON value (float64, string, bool, nil) to
+// the column's kind. Integer columns accept any integral JSON number.
+func coerceValue(col relation.Column, v any) (relation.Value, error) {
+	if v == nil {
+		return relation.Null(), nil
+	}
+	switch col.Type {
+	case relation.KindInt:
+		f, ok := v.(float64)
+		if !ok || f != math.Trunc(f) || math.Abs(f) >= 1<<53 {
+			return relation.Value{}, fmt.Errorf("column %q wants an integer, got %v", col.Name, v)
+		}
+		return relation.Int(int64(f)), nil
+	case relation.KindFloat:
+		f, ok := v.(float64)
+		if !ok {
+			return relation.Value{}, fmt.Errorf("column %q wants a number, got %v", col.Name, v)
+		}
+		return relation.Float(f), nil
+	case relation.KindString:
+		s, ok := v.(string)
+		if !ok {
+			return relation.Value{}, fmt.Errorf("column %q wants a string, got %v", col.Name, v)
+		}
+		return relation.String(s), nil
+	case relation.KindBool:
+		b, ok := v.(bool)
+		if !ok {
+			return relation.Value{}, fmt.Errorf("column %q wants a boolean, got %v", col.Name, v)
+		}
+		return relation.Bool(b), nil
+	default:
+		return relation.Value{}, fmt.Errorf("column %q has unsupported kind", col.Name)
+	}
+}
+
+// wireWALStats converts the durable log's snapshot to the wire gauge.
+func wireWALStats(s svc.DurableLogStats) *api.WALStats {
+	return &api.WALStats{
+		Dir:              s.Dir,
+		LastSeq:          s.LastSeq,
+		SyncedSeq:        s.SyncedSeq,
+		RetiredCut:       s.RetiredCut,
+		CheckpointSeq:    s.CheckpointSeq,
+		UnsyncedBytes:    s.UnsyncedBytes,
+		UnappliedRecords: s.UnappliedRecords,
+		UnappliedBytes:   s.UnappliedBytes,
+		Segments:         s.Segments,
+		DiskBytes:        s.DiskBytes,
+		Appends:          s.Appends,
+		Boundaries:       s.Boundaries,
+		Syncs:            s.Syncs,
+		Checkpoints:      s.Checkpoints,
+		Compactions:      s.Compactions,
+		Stalls:           s.Stalls,
+		MeanSyncMillis:   s.MeanSyncMillis,
+		MaxSyncMillis:    s.MaxSyncMillis,
+		P99SyncMillis:    s.P99SyncMillis,
+		LastError:        s.LastError,
+	}
+}
+
+// ingestStatus maps a staging error to HTTP: validation problems (arity,
+// type, unknown op — anything raised before the write-ahead append) are
+// the client's fault; a durable-log I/O failure is the server's.
+func ingestStatus(err error) int {
+	if strings.Contains(err.Error(), "wal:") {
+		return http.StatusInternalServerError
+	}
+	return http.StatusBadRequest
+}

@@ -1,0 +1,218 @@
+package server
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	svc "github.com/sampleclean/svc"
+	"github.com/sampleclean/svc/client"
+	"github.com/sampleclean/svc/server/api"
+)
+
+// ingestDB builds the running-example dataset deterministically — the
+// same way twice, which is what durable recovery relies on (the dataset
+// load is recreated, the log replays the staged suffix on top).
+func ingestDB(t *testing.T, videos, visits int) *svc.Database {
+	t.Helper()
+	d := svc.NewDatabase()
+	video := d.MustCreate("Video", svc.NewSchema([]svc.Column{
+		svc.Col("videoId", svc.KindInt),
+		svc.Col("ownerId", svc.KindInt),
+	}, "videoId"))
+	for i := 0; i < videos; i++ {
+		video.MustInsert(svc.Row{svc.Int(int64(i)), svc.Int(int64(i % 10))})
+	}
+	logT := d.MustCreate("Log", svc.NewSchema([]svc.Column{
+		svc.Col("sessionId", svc.KindInt),
+		svc.Col("videoId", svc.KindInt),
+	}, "sessionId"))
+	for i := 0; i < visits; i++ {
+		logT.MustInsert(svc.Row{svc.Int(int64(i)), svc.Int(int64(i % videos))})
+	}
+	return d
+}
+
+func startServer(t *testing.T, d *svc.Database, cfg Config) (*Server, *client.Client) {
+	t.Helper()
+	cfg.Addr = "127.0.0.1:0"
+	srv := New(d, cfg)
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	return srv, client.New("http://" + srv.Addr())
+}
+
+func TestIngestEndpoint(t *testing.T) {
+	d := ingestDB(t, 10, 100)
+	_, cl := startServer(t, d, Config{})
+
+	resp, err := cl.Ingest("Log", []api.IngestOp{
+		client.InsertOp(1000, 3),
+		client.InsertOp(1001, 4),
+		client.UpdateOp(5, 9),
+		client.DeleteOp(6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Staged != 4 || resp.Durable {
+		t.Fatalf("resp = %+v, want 4 staged, not durable", resp)
+	}
+	ins, del := d.Table("Log").PendingSize()
+	if ins != 3 || del != 2 {
+		// update = upsert ΔR + old row in ∇R; delete adds to ∇R.
+		t.Fatalf("pending (ins,del) = (%d,%d), want (3,2)", ins, del)
+	}
+
+	// Validation: unknown tables are 404, a bad op inside a batch names
+	// its index, and ops before it stay staged.
+	if _, err := cl.Ingest("Nope", []api.IngestOp{client.InsertOp(1)}); err == nil {
+		t.Fatal("ingest into unknown table succeeded")
+	} else if ae, ok := err.(*client.APIError); !ok || ae.StatusCode != 404 {
+		t.Fatalf("unknown table error = %v, want 404", err)
+	}
+	_, err = cl.Ingest("Log", []api.IngestOp{
+		client.InsertOp(2000, 1),
+		{Op: "bogus"},
+	})
+	ae, ok := err.(*client.APIError)
+	if !ok || ae.StatusCode != 400 {
+		t.Fatalf("bad op error = %v, want 400", err)
+	}
+	if want := "op 1"; !strings.Contains(ae.Message, want) {
+		t.Fatalf("error %q does not name the failing op index", ae.Message)
+	}
+	if _, err := cl.Ingest("Log", []api.IngestOp{client.InsertOp("not-an-int", 1)}); err == nil {
+		t.Fatal("type-mismatched insert succeeded")
+	}
+	if _, err := cl.Ingest("Log", []api.IngestOp{client.InsertOp(1)}); err == nil {
+		t.Fatal("arity-mismatched insert succeeded")
+	}
+}
+
+// TestIngestDurableCrashRestart is the end-to-end crash test: ingest over
+// HTTP with a durable log, crash-stop the log (as kill -9 would), restart
+// against a freshly re-loaded dataset, and require every acknowledged op
+// to come back — staged exactly once.
+func TestIngestDurableCrashRestart(t *testing.T) {
+	dir := t.TempDir()
+	d := ingestDB(t, 10, 100)
+	lg, rs, err := svc.AttachDurableLog(d, dir, svc.DurableLogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Records != 0 {
+		t.Fatalf("fresh dir recovered %d records", rs.Records)
+	}
+	srv, cl := startServer(t, d, Config{})
+
+	resp, err := cl.Ingest("Log", []api.IngestOp{
+		client.InsertOp(5000, 1),
+		client.InsertOp(5001, 2),
+		client.DeleteOp(7),
+		client.UpdateOp(8, 9),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Durable || resp.DurableSeq < 4 {
+		t.Fatalf("resp = %+v, want durable with synced seq ≥ 4", resp)
+	}
+
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WAL == nil {
+		t.Fatal("stats missing WAL block despite attached log")
+	}
+	if st.WAL.SyncedSeq < 4 || st.WAL.Appends < 4 || st.WAL.UnappliedRecords < 4 {
+		t.Fatalf("WAL stats = %+v, want ≥ 4 synced appends pending replay", st.WAL)
+	}
+	if st.Ingested != 4 {
+		t.Fatalf("Ingested = %d, want 4", st.Ingested)
+	}
+
+	wantIns, wantDel := d.Table("Log").PendingSize()
+
+	// Crash: no flush, no goodbye. Then a clean server shutdown of the
+	// orphaned process state.
+	lg.Kill()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
+
+	// Restart: same dataset load, fresh log open, replay.
+	d2 := ingestDB(t, 10, 100)
+	lg2, rs2, err := svc.AttachDurableLog(d2, dir, svc.DurableLogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lg2.Close()
+	if rs2.Records != 4 || rs2.PendingRecords != 4 {
+		t.Fatalf("recovery = %+v, want 4 records all pending", rs2)
+	}
+	ins, del := d2.Table("Log").PendingSize()
+	if ins != wantIns || del != wantDel {
+		t.Fatalf("recovered pending (ins,del) = (%d,%d), want (%d,%d)", ins, del, wantIns, wantDel)
+	}
+	for _, id := range []int64{5000, 5001} {
+		if _, ok := d2.Table("Log").Insertions().Get(svc.Int(id)); !ok {
+			t.Fatalf("acknowledged insert %d lost across crash", id)
+		}
+	}
+	// Maintenance after recovery folds the replayed deltas exactly once.
+	if err := d2.ApplyDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d2.Table("Log").Rows().Get(svc.Int(5000)); !ok {
+		t.Fatal("replayed insert did not fold into the base table")
+	}
+	if _, ok := d2.Table("Log").Rows().Get(svc.Int(7)); ok {
+		t.Fatal("replayed delete did not fold into the base table")
+	}
+}
+
+// TestIngestBackpressureShed drives the log past a tiny unapplied-depth
+// bound and requires the ingest path to shed with 503 (retryable, nothing
+// staged) until maintenance retires the backlog.
+func TestIngestBackpressureShed(t *testing.T) {
+	dir := t.TempDir()
+	d := ingestDB(t, 10, 100)
+	lg, _, err := svc.AttachDurableLog(d, dir, svc.DurableLogOptions{MaxUnappliedBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lg.Close()
+	_, cl := startServer(t, d, Config{})
+
+	if _, err := cl.Ingest("Log", []api.IngestOp{client.InsertOp(9000, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = cl.Ingest("Log", []api.IngestOp{client.InsertOp(9001, 1)})
+	if !client.IsOverloaded(err) {
+		t.Fatalf("ingest over the depth bound = %v, want 503 overloaded", err)
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IngestShed < 1 {
+		t.Fatalf("IngestShed = %d, want ≥ 1", st.IngestShed)
+	}
+
+	// A maintenance boundary retires the backlog; ingest resumes.
+	if err := d.ApplyDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Ingest("Log", []api.IngestOp{client.InsertOp(9002, 1)}); err != nil {
+		t.Fatalf("ingest after apply: %v", err)
+	}
+}

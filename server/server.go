@@ -85,6 +85,7 @@ type Server struct {
 	work sync.WaitGroup // tracks executing queries past handler return
 
 	served, rejected, timedOut, canceled, errs atomic.Uint64
+	ingested, ingestShed                       atomic.Uint64
 	maxServedEpoch                             atomic.Uint64
 
 	httpSrv *http.Server
@@ -164,12 +165,14 @@ func (s *Server) View(name string) *svc.StaleView {
 //
 //	POST /query   {"sql": ...}            → api.QueryResponse
 //	POST /views   {"sql": "CREATE VIEW"}  → api.CreateViewResponse
+//	POST /ingest  {"table", "ops": [...]} → api.IngestResponse
 //	GET  /stats                           → api.StatsResponse
 //	GET  /healthz                         → 200 "ok"
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/views", s.handleCreateView)
+	mux.HandleFunc("/ingest", s.handleIngest)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -473,7 +476,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		TimedOut:       s.timedOut.Load(),
 		Canceled:       s.canceled.Load(),
 		Errors:         s.errs.Load(),
+		Ingested:       s.ingested.Load(),
+		IngestShed:     s.ingestShed.Load(),
 		Pools:          poolStats(),
+	}
+	if lg := svc.DurableLogOf(s.d); lg != nil {
+		resp.WAL = wireWALStats(lg.Stats())
 	}
 	if resp.MaxServedEpoch > 0 && resp.Epoch > resp.MaxServedEpoch {
 		resp.EpochLag = resp.Epoch - resp.MaxServedEpoch

@@ -69,6 +69,7 @@ type config struct {
 	parallel   int
 	columnar   *bool
 	refresh    time.Duration
+	durableDir string
 }
 
 type outlierSpec struct {
@@ -266,6 +267,13 @@ func New(d *Database, def ViewDefinition, opts ...Option) (*StaleView, error) {
 	}
 	if cfg.columnar != nil {
 		d.SetColumnar(*cfg.columnar)
+	}
+	if cfg.durableDir != "" && DurableLogOf(d) == nil {
+		// Attach (and recover) before materializing, so the view's initial
+		// contents already include any deltas a previous run staged durably.
+		if _, _, err := AttachDurableLog(d, cfg.durableDir, DurableLogOptions{}); err != nil {
+			return nil, err
+		}
 	}
 	v, err := view.Materialize(d, def)
 	if err != nil {
