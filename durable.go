@@ -1,6 +1,8 @@
 package svc
 
 import (
+	"errors"
+
 	"github.com/sampleclean/svc/internal/wal"
 )
 
@@ -28,6 +30,24 @@ type (
 // SyncEachCommit, as DurableLogOptions.SyncInterval, fsyncs every commit
 // individually instead of group-committing on an interval.
 const SyncEachCommit = wal.SyncEachCommit
+
+// Durable-log sentinel errors, matchable with errors.Is on any error a
+// staging call returns once a log is attached.
+var (
+	// ErrDurableLogClosed: the log was closed (orderly shutdown).
+	ErrDurableLogClosed = wal.ErrClosed
+	// ErrDurableLogFailed: a write, fsync, or checkpoint failure poisoned
+	// the log; the wrapped cause is in the error chain.
+	ErrDurableLogFailed = wal.ErrFailed
+)
+
+// IsDurabilityError reports whether err came from the durable log's
+// write/sync machinery — closed, crash-stopped, or poisoned by an I/O
+// failure — rather than from validating the mutation itself. HTTP servers
+// use it to split client mistakes (400) from lost durability (500).
+func IsDurabilityError(err error) bool {
+	return errors.Is(err, wal.ErrClosed) || errors.Is(err, wal.ErrKilled) || errors.Is(err, wal.ErrFailed)
+}
 
 // AttachDurableLog opens (or creates) the write-ahead log in dir, replays
 // its un-retired suffix into d — the catalog must already hold the same

@@ -28,7 +28,9 @@
 // visible to concurrent pins when the catalog writer lock releases,
 // before its fsync returns — so a crash can lose the newest unacked
 // records but never an acknowledged one, and never tears one (the framed
-// CRC turns a torn tail into a clean end-of-log). Replay is exact for
+// CRC turns a torn tail into a clean end-of-log, and Open truncates the
+// torn bytes away so a later restart cannot mistake them for mid-log
+// corruption). Replay is exact for
 // every acknowledged record: boundary records carry the cut their fold
 // covered, so recovery folds precisely the records the live run folded,
 // and re-stages the rest. The log starts recording at Attach; state

@@ -114,6 +114,119 @@ func TestCrashMatrixRecovery(t *testing.T) {
 	}
 }
 
+// TestCrashMatrixTornTailDoubleRestart re-runs crash snapshots on a disk
+// that persisted part of the unsynced tail (CrashCloneTorn: the tear lands
+// mid-frame, not on a record boundary), then takes every snapshot through
+// a full second generation: recover, append, crash again, recover again.
+// The first Open must tolerate — and truncate — the torn bytes; the second
+// must still succeed (torn bytes left in place would sit before the new
+// generation's segment and read as mid-log corruption) with the appended
+// record intact. Recovered state may run AHEAD of the acked count (the
+// disk persisted frames the process never saw fsync'd: durable-but-unacked
+// is allowed) but never behind it, and always lands on a whole-action
+// boundary.
+func TestCrashMatrixTornTailDoubleRestart(t *testing.T) {
+	fs := NewMemFS()
+	var snapMu sync.Mutex
+	type tornSnap struct {
+		fs *MemFS
+		op int // FS op counter the crash precedes
+	}
+	var snaps []tornSnap
+	fs.OnOp(func(n int, op string) {
+		snapMu.Lock()
+		defer snapMu.Unlock()
+		for _, extra := range []int{1, 7, 16} {
+			snaps = append(snaps, tornSnap{fs: fs.CrashCloneTorn(extra), op: n})
+		}
+	})
+	opt := Options{SyncInterval: SyncEachCommit, SegmentBytes: 200, FS: fs}
+	l, err := Open("wal", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := seedDB(t)
+	if _, err := l.Recover(d); err != nil {
+		t.Fatal(err)
+	}
+	l.Attach(d)
+	kv := d.Table("kv")
+
+	states := []string{fingerprint(d)}
+	var ackedAt []int
+	act := func(fn func() error) {
+		t.Helper()
+		if err := fn(); err != nil {
+			t.Fatal(err)
+		}
+		ackedAt = append(ackedAt, fs.Ops())
+		states = append(states, fingerprint(d))
+	}
+	for i := 0; i < 3; i++ {
+		i := i
+		act(func() error { return kv.StageInsert(kvRow(int64(200+i), fmt.Sprintf("t%d", i), float64(i))) })
+	}
+	act(d.ApplyDeltas)
+	act(func() error { return kv.StageUpdate(kvRow(1, "torn2", -1)) })
+	act(func() error { return kv.StageDelete(relation.Int(2)) })
+	act(func() error { return kv.StageInsert(kvRow(210, "torn2b", 2.5)) })
+	act(d.ApplyDeltas)
+	act(func() error { return kv.StageInsert(kvRow(220, "tail", 9)) })
+
+	l.Kill()
+	fs.OnOp(nil)
+	snapMu.Lock()
+	crashes := snaps
+	snapMu.Unlock()
+
+	for _, sn := range crashes {
+		k := 0
+		for k < len(ackedAt) && ackedAt[k] < sn.op {
+			k++
+		}
+		l2, err := Open("wal", Options{SyncInterval: SyncEachCommit, FS: sn.fs})
+		if err != nil {
+			t.Fatalf("crash before op %d: torn reopen: %v", sn.op, err)
+		}
+		d2 := seedDB(t)
+		if _, err := l2.Recover(d2); err != nil {
+			t.Fatalf("crash before op %d: recover: %v", sn.op, err)
+		}
+		got := fingerprint(d2)
+		idx := -1
+		for j, s := range states {
+			if s == got {
+				idx = j
+				break
+			}
+		}
+		if idx < k {
+			t.Fatalf("crash before op %d: recovered state matches %d acked actions, want ≥ %d\nrecovered:\n%s",
+				sn.op, idx, k, got)
+		}
+		// Second generation: append past the (truncated) tear, crash, and
+		// reopen — the regression shape that used to brick the log.
+		l2.Attach(d2)
+		if err := d2.Table("kv").StageInsert(kvRow(990, "second-gen", 1)); err != nil {
+			t.Fatalf("crash before op %d: second-generation append: %v", sn.op, err)
+		}
+		want := fingerprint(d2)
+		l2.Kill()
+		l3, err := Open("wal", Options{SyncInterval: SyncEachCommit, FS: sn.fs.CrashClone()})
+		if err != nil {
+			t.Fatalf("crash before op %d: reopen after second generation: %v", sn.op, err)
+		}
+		d3 := seedDB(t)
+		if _, err := l3.Recover(d3); err != nil {
+			t.Fatalf("crash before op %d: second recover: %v", sn.op, err)
+		}
+		if got := fingerprint(d3); got != want {
+			t.Fatalf("crash before op %d: second recovery diverged\nlive:\n%s\nrecovered:\n%s", sn.op, want, got)
+		}
+		l3.Close()
+	}
+}
+
 // TestFailpointErrorsSurface walks injected I/O failures across each
 // distinct operation kind and checks the failure always surfaces to the
 // writer (no silent ack) and poisons the log.

@@ -72,12 +72,26 @@ func (m *MemFS) Ops() int {
 // CrashClone returns a new MemFS holding exactly the state a crash at
 // this instant would leave on disk: durable directory entries only, each
 // truncated to its fsynced length.
-func (m *MemFS) CrashClone() *MemFS {
+func (m *MemFS) CrashClone() *MemFS { return m.CrashCloneTorn(0) }
+
+// CrashCloneTorn is CrashClone for a less forgiving disk: each durable
+// file additionally retains up to extra bytes of its unsynced suffix,
+// modeling hardware that persisted part of an in-flight write the process
+// never fsynced — the tear can land mid-frame, not just on record
+// boundaries. extra ≤ 0 is exactly CrashClone.
+func (m *MemFS) CrashCloneTorn(extra int) *MemFS {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	c := NewMemFS()
 	for name, f := range m.durable {
-		data := append([]byte(nil), f.data[:f.syncedLen]...)
+		keep := f.syncedLen
+		if extra > 0 {
+			keep += extra
+			if keep > len(f.data) {
+				keep = len(f.data)
+			}
+		}
+		data := append([]byte(nil), f.data[:keep]...)
 		nf := &memFile{data: data, syncedLen: len(data)}
 		c.files[name] = nf
 		c.durable[name] = nf

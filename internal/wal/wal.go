@@ -28,6 +28,12 @@ var ErrClosed = errors.New("wal: log closed")
 // log (tests).
 var ErrKilled = errors.New("wal: log killed")
 
+// ErrFailed marks the sticky poisoned state: a write, fsync, or checkpoint
+// failure means durability was already lost, so every later operation
+// reports an error wrapping ErrFailed (and the root cause) instead of
+// pretending. Match with errors.Is.
+var ErrFailed = errors.New("wal: log failed")
+
 // Options configure a Log. Zero values select the defaults noted on each
 // field; negative values disable the corresponding bound.
 type Options struct {
@@ -178,8 +184,10 @@ type Log struct {
 // Open validates and opens (creating if absent) the log directory: it
 // removes crash debris, picks the newest intact checkpoint, scans every
 // segment's intact record prefix (a torn tail is tolerated only where a
-// crash can produce one — after the last valid record in the log), and
-// resumes sequence numbering past everything found. The returned log
+// crash can produce one — after the last valid record in the log — and is
+// truncated away so it cannot sit before the tail once later appends open
+// a new segment), and resumes sequence numbering past everything found.
+// The returned log
 // accepts appends immediately, but callers that want the logged state
 // replayed must call Recover first (appends move the log past the
 // recovered suffix).
@@ -295,6 +303,15 @@ func (l *Log) load() error {
 		case i > tail || sc.seg.last == 0:
 			_ = l.fs.Remove(sc.seg.name)
 		default:
+			if sc.torn {
+				// Truncate the torn bytes now, while they are still at the
+				// log tail: new appends go to a later segment, and a tear
+				// left in place would read as mid-log corruption on every
+				// subsequent Open.
+				if err := l.truncateTornTail(sc.seg); err != nil {
+					return err
+				}
+			}
 			l.segs = append(l.segs, sc.seg)
 		}
 	}
@@ -332,6 +349,43 @@ func (l *Log) load() error {
 	}
 	l.unapplied = kept
 	l.syncedSeq = l.seq
+	return nil
+}
+
+// truncateTornTail rewrites the tail segment down to its validated prefix
+// (temp file, fsync, rename, directory sync), discarding the torn bytes a
+// crash left past the last intact record. The write-to-temp shape keeps
+// every acknowledged record safe at each step: a crash before the rename
+// leaves the original file (with its tolerable tear) in place, a crash
+// after it leaves the clean rewrite.
+func (l *Log) truncateTornTail(seg segment) error {
+	data, err := readAll(l.fs, seg.name)
+	if err != nil {
+		return fmt.Errorf("wal: open %s: %w", seg.name, err)
+	}
+	if len(data) <= seg.bytes {
+		return nil
+	}
+	tmp := seg.name + tmpSuffix
+	f, err := l.fs.Create(tmp)
+	if err == nil {
+		_, err = f.Write(data[:seg.bytes])
+		if err == nil {
+			err = f.Sync()
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err == nil {
+		err = l.fs.Rename(tmp, seg.name)
+	}
+	if err == nil {
+		err = l.fs.SyncDir(l.dir)
+	}
+	if err != nil {
+		return fmt.Errorf("wal: open %s: truncate torn tail: %w", seg.name, err)
+	}
 	return nil
 }
 
@@ -739,11 +793,12 @@ func (l *Log) openSegment(seq uint64) error {
 
 // fail poisons the log: a write or fsync error means records may be lost,
 // so every later Admit/Append/commit reports it rather than pretending to
-// be durable.
+// be durable. The sticky error wraps ErrFailed so callers can classify it
+// without string matching.
 func (l *Log) fail(err error) {
 	l.mu.Lock()
 	if l.failed == nil {
-		l.failed = err
+		l.failed = fmt.Errorf("%w: %w", ErrFailed, err)
 	}
 	l.commitCond.Broadcast()
 	l.admitCond.Broadcast()

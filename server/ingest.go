@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 	"net/http"
-	"strings"
 
 	svc "github.com/sampleclean/svc"
 	"github.com/sampleclean/svc/internal/relation"
@@ -180,9 +179,13 @@ func wireWALStats(s svc.DurableLogStats) *api.WALStats {
 
 // ingestStatus maps a staging error to HTTP: validation problems (arity,
 // type, unknown op — anything raised before the write-ahead append) are
-// the client's fault; a durable-log I/O failure is the server's.
+// the client's fault; a durable-log failure (closed, crash-stopped, or
+// poisoned by an I/O error) is the server's. Classification is by the
+// exported wal sentinels, not message text, so a validation message that
+// happens to mention "wal:" stays a 400 and renamed prefixes cannot
+// silently downgrade real log failures.
 func ingestStatus(err error) int {
-	if strings.Contains(err.Error(), "wal:") {
+	if svc.IsDurabilityError(err) {
 		return http.StatusInternalServerError
 	}
 	return http.StatusBadRequest

@@ -92,6 +92,12 @@ func TestIngestEndpoint(t *testing.T) {
 	if _, err := cl.Ingest("Log", []api.IngestOp{client.InsertOp("not-an-int", 1)}); err == nil {
 		t.Fatal("type-mismatched insert succeeded")
 	}
+	// A bad value whose text mentions "wal:" is still the client's fault:
+	// status classification goes by error identity, not message substrings.
+	_, err = cl.Ingest("Log", []api.IngestOp{client.InsertOp("wal: not-an-int", 1)})
+	if ae, ok := err.(*client.APIError); !ok || ae.StatusCode != 400 {
+		t.Fatalf("validation error misclassified: %v, want 400", err)
+	}
 	if _, err := cl.Ingest("Log", []api.IngestOp{client.InsertOp(1)}); err == nil {
 		t.Fatal("arity-mismatched insert succeeded")
 	}
@@ -145,6 +151,12 @@ func TestIngestDurableCrashRestart(t *testing.T) {
 	// Crash: no flush, no goodbye. Then a clean server shutdown of the
 	// orphaned process state.
 	lg.Kill()
+	// Staging against the dead log is a server-side durability failure
+	// (500), not a client error — and stages nothing.
+	_, err = cl.Ingest("Log", []api.IngestOp{client.InsertOp(6000, 1)})
+	if ae, ok := err.(*client.APIError); !ok || ae.StatusCode != 500 {
+		t.Fatalf("ingest on killed log = %v, want 500", err)
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	_ = srv.Shutdown(ctx)
