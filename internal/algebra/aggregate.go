@@ -212,25 +212,34 @@ func (a *AggregateNode) aggInputRows(ctx *Context) ([]relation.Row, error) {
 	return drainRows(ctx, a.child)
 }
 
-// aggDrain produces the aggregated output rows. When the child is a
-// fused chain that yields columnar batches and evaluation is serial, the
-// batches stream straight into the group table — group cells are read
-// from the column vectors and aggregate inputs evaluate vectorized, so
-// no input row is ever materialized. Otherwise (parallel evaluation,
-// NoColumnar, or a row-producing child such as a pipeline breaker or a
-// plain scan whose rows are shared for free) the partitioned row path
-// runs; it stores group representatives as indexes into the drained
-// input, which is cheaper than copying cells when input batches are not
-// recycled anyway. Both paths produce identical output.
+// aggDrain produces the aggregated output rows. When the child yields
+// columnar batches (a fused chain, a columnar join, or a set operator
+// over either — see columnarYields) and every aggregate input is
+// vectorizable, the columnar paths run: the serial stream fold
+// (aggStream) when the effective worker count is 1, the partitioned
+// ColSet fold (vecagg.go) otherwise. Otherwise (NoColumnar, a
+// non-vectorizable expression, or a row-producing child such as a plain
+// scan whose rows are shared for free) the partitioned row path runs; it
+// stores group representatives as indexes into the drained input, which
+// is cheaper than copying cells when input batches are not recycled
+// anyway. All paths produce identical output.
 func (a *AggregateNode) aggDrain(ctx *Context) ([]relation.Row, error) {
-	if ctx.NoColumnar || ctx.Parallelism > 1 || !columnarChain(a.child, ctx) {
-		inRows, err := a.aggInputRows(ctx)
-		if err != nil {
-			return nil, err
+	vecOK := true
+	for _, b := range a.bound {
+		if b != nil && !expr.CanVec(b) {
+			vecOK = false
+			break
 		}
-		return a.aggRows(ctx, inRows)
 	}
-	return a.aggStream(ctx)
+	if !ctx.NoColumnar && vecOK && columnarYields(a.child, ctx) {
+		return a.aggColumnar(ctx)
+	}
+	notePath("rows")
+	inRows, err := a.aggInputRows(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return a.aggRows(ctx, inRows)
 }
 
 // columnarChain reports whether n is a fused streaming chain whose

@@ -44,6 +44,20 @@ func NewContext(rels map[string]*relation.Relation) *Context {
 	return &Context{rels: rels}
 }
 
+// workerCtx derives the shadow context a parallel worker evaluates under:
+// a copy of the parent with Parallelism pinned to 1 (workers never fork
+// again) and a fresh RowsTouched counter (merged back by the caller).
+// Copying the parent is deliberate — every other knob, present or future,
+// must mean the same thing in a worker as in the serial drain, so a new
+// Context field is threaded through automatically (the reflection
+// regression test in context_test.go enforces this).
+func (c *Context) workerCtx() *Context {
+	w := *c
+	w.Parallelism = 1
+	w.RowsTouched = 0
+	return &w
+}
+
 // Bind makes rel available under name, replacing any previous binding.
 func (c *Context) Bind(name string, rel *relation.Relation) { c.rels[name] = rel }
 

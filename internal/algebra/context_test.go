@@ -1,0 +1,107 @@
+package algebra
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// workerCtx must copy the parent wholesale and then override exactly
+// {Parallelism → 1, RowsTouched → 0}. The historical bug was the inverse:
+// workers hand-rolled a fresh Context and enumerated fields, so a new
+// knob (e.g. NoColumnar) silently reset to its zero value inside parallel
+// drains only. This test walks Context by reflection: every field must be
+// either explicitly listed as an override or copied verbatim, and any
+// field added to Context later fails the test until it is classified
+// here.
+func TestWorkerCtxThreadsEveryField(t *testing.T) {
+	// Fields workerCtx deliberately overrides, with their expected values
+	// in the worker copy.
+	overrides := map[string]any{
+		"Parallelism": 1,
+		"RowsTouched": int64(0),
+	}
+	// Fields known to copy through. When this test fails with an
+	// unclassified field, decide whether the new field is an override or
+	// a plain copy and add it to the matching map — then make sure
+	// workerCtx agrees.
+	copied := map[string]bool{
+		"rels":       true,
+		"NoColumnar": true,
+	}
+
+	parent := NewContext(map[string]*relation.Relation{})
+	// Drive every field to a non-zero value so "copied" is distinguishable
+	// from "reset to zero".
+	parent.RowsTouched = 99
+	parent.Parallelism = 8
+	parent.NoColumnar = true
+
+	worker := parent.workerCtx()
+
+	pv := reflect.ValueOf(parent).Elem()
+	wv := reflect.ValueOf(worker).Elem()
+	typ := pv.Type()
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		pf, wf := pv.Field(i), wv.Field(i)
+		if want, ok := overrides[f.Name]; ok {
+			got := valueOf(wf)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("workerCtx: override field %s = %v, want %v", f.Name, got, want)
+			}
+			continue
+		}
+		if !copied[f.Name] {
+			t.Errorf("Context field %q is not classified in TestWorkerCtxThreadsEveryField: "+
+				"add it to the overrides or copied map AND thread it through workerCtx "+
+				"(copying the parent struct does this automatically)", f.Name)
+			continue
+		}
+		if !reflect.DeepEqual(valueOf(pf), valueOf(wf)) {
+			t.Errorf("workerCtx: field %s not copied: parent %v, worker %v",
+				f.Name, valueOf(pf), valueOf(wf))
+		}
+		// Non-zero check guards the test itself: a field left at its zero
+		// value in the fixture can't tell copy from reset.
+		if pf.IsZero() {
+			t.Errorf("test fixture leaves Context field %s at its zero value; "+
+				"set it non-zero above so a reset would be caught", f.Name)
+		}
+	}
+}
+
+// valueOf reads a struct field even when it is unexported.
+func valueOf(f reflect.Value) any {
+	if f.CanInterface() {
+		return f.Interface()
+	}
+	switch f.Kind() {
+	case reflect.Map:
+		return f.Pointer()
+	case reflect.Ptr, reflect.UnsafePointer:
+		return f.Pointer()
+	default:
+		return reflect.NewAt(f.Type(), nil) // unreachable for current fields
+	}
+}
+
+// The rels map is shared (workers may Bind-free read the same base
+// relations); RowsTouched is merged back by callers.
+func TestWorkerCtxSharesRelations(t *testing.T) {
+	rel := relation.New(relation.NewSchema([]relation.Column{{Name: "a"}}))
+	parent := NewContext(map[string]*relation.Relation{"R": rel})
+	worker := parent.workerCtx()
+	got, err := worker.Relation("R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != rel {
+		t.Fatal("workerCtx does not share the parent's relation bindings")
+	}
+	if worker.Parallelism != 1 || worker.RowsTouched != 0 {
+		t.Fatalf("workerCtx overrides wrong: Parallelism=%d RowsTouched=%d",
+			worker.Parallelism, worker.RowsTouched)
+	}
+}

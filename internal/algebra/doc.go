@@ -16,6 +16,17 @@
 // fuses selections and projections into base scans for the batched
 // pipeline (see pipeline.go and DESIGN.md "Batch pipeline execution").
 //
+// Evaluation is columnar end-to-end where the plan shape allows it
+// (DESIGN.md "Columnar batch layer"): fused chains stream typed column
+// vectors; equality joins build and probe hash tables directly over
+// columnar row stores and emit columnar output batches (vecjoin.go);
+// aggregations over columnar-yielding children fold group-by state
+// straight off the vectors, morsel-parallel above the worker threshold
+// (vecagg.go). Row-at-a-time execution remains the specification — the
+// columnar paths are held row-for-row equal to it by property tests —
+// and the fallback for shapes the vectorizer does not cover
+// (Context.NoColumnar forces it engine-wide).
+//
 // Concurrency contract: Node trees are immutable once built — rewriters
 // return new trees — so one plan may be evaluated by any number of
 // goroutines simultaneously, including the bound expressions it shares

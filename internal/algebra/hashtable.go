@@ -234,20 +234,7 @@ func buildRowTable(rows []relation.Row, idx []int, skipNull bool, workers int) *
 // repurposes the slot head/tail as [start, end) bounds into it. Chains
 // are walked in insertion order, so a key's span preserves row order.
 func (t *rowTable) finalizePart(p, count int) {
-	ht := t.parts[p]
-	packed := make([]int32, 0, count)
-	for s, hd := range ht.head {
-		if hd < 0 {
-			continue
-		}
-		start := int32(len(packed))
-		for id := hd; id >= 0; id = t.next[id] {
-			packed = append(packed, id)
-		}
-		ht.head[s] = start
-		ht.tail[s] = int32(len(packed))
-	}
-	t.packed[p] = packed
+	t.packed[p] = packChains(t.parts[p], t.next, count)
 }
 
 // lookup returns the packed row positions holding probe's key (verified

@@ -216,7 +216,7 @@ func drainChainParallel(ctx *Context, n Node) ([]relation.Row, bool, error) {
 	touched := make([]int64, w)
 	runWorkers(w, func(p int) {
 		lo, hi := chunkRange(p, w, rel.Len())
-		wctx := &Context{rels: ctx.rels, Parallelism: 1, NoColumnar: ctx.NoColumnar}
+		wctx := ctx.workerCtx()
 		it := iterRange(n, lo, hi)
 		if err := it.Open(wctx); err != nil {
 			errs[p] = err
@@ -702,16 +702,34 @@ func (r *rowsIter) next() (*relation.Batch, error) {
 	return b, nil
 }
 
-// joinIter runs the join (build and probe) at Open and emits the joined
-// rows as batches. Children are materialized at this breaker boundary:
-// plain scans share the bound relation (keeping index probes working),
-// fused chains drain with zero intermediate relations.
+// joinIter runs the join (build and probe) at Open and emits the output
+// as batches. Equality joins without a residual predicate run the
+// columnar path (vecjoin.go): keyless derived inputs drain into ColSets,
+// the build/probe work straight off column vectors, and the output is
+// emitted as columnar batches gathered column-at-a-time — no output Row
+// is allocated. Cross joins, residual-predicate joins, and NoColumnar
+// contexts run the row path. Children are materialized at this breaker
+// boundary either way: plain scans share the bound relation (keeping
+// index probes working), keyed derived inputs materialize through
+// resolvePipelined.
 type joinIter struct {
-	node *JoinNode
-	out  rowsIter
+	node     *JoinNode
+	out      rowsIter
+	columnar bool
+	batches  []*relation.Batch
+	pos      int
 }
 
 func (j *joinIter) Open(ctx *Context) error {
+	if j.node.columnarJoinOK(ctx) {
+		batches, err := j.node.runColumnar(ctx)
+		if err != nil {
+			return err
+		}
+		j.columnar = true
+		j.batches = batches
+		return nil
+	}
 	rows, err := j.node.run(ctx, resolvePipelined)
 	if err != nil {
 		return err
@@ -720,8 +738,27 @@ func (j *joinIter) Open(ctx *Context) error {
 	return nil
 }
 
-func (j *joinIter) Next() (*relation.Batch, error) { return j.out.next() }
-func (j *joinIter) Close()                         {}
+func (j *joinIter) Next() (*relation.Batch, error) {
+	if j.columnar {
+		if j.pos >= len(j.batches) {
+			return nil, nil
+		}
+		b := j.batches[j.pos]
+		j.batches[j.pos] = nil
+		j.pos++
+		return b, nil
+	}
+	return j.out.next()
+}
+
+func (j *joinIter) Close() {
+	for _, b := range j.batches[j.pos:] {
+		if b != nil {
+			b.Release()
+		}
+	}
+	j.batches = nil
+}
 
 // aggIter drains its input (as bare rows — aggregation needs no index) at
 // Open, folds it with the partitioned aggregation core, and emits the

@@ -211,11 +211,16 @@ type setOpIter struct {
 	// Keyed-union left recording.
 	lRows []relation.Row
 	seen  *hashIdx
+	// probe is the scratch row for membership tests against columnar
+	// batches: only the idx cells are filled (the hash and key encoding
+	// read nothing else), so the batch's rows are never materialized.
+	probe relation.Row
 }
 
 func (s *setOpIter) Open(ctx *Context) error {
 	s.ctx = ctx
 	s.idx = identIdx(s.node.schema)
+	s.probe = make(relation.Row, s.node.schema.NumCols())
 	if s.node.kind != opUnion {
 		rRows, err := drainRows(ctx, s.node.r)
 		if err != nil {
@@ -268,6 +273,26 @@ func (s *setOpIter) Next() (*relation.Batch, error) {
 			return b, nil
 		case opIntersect, opDifference:
 			keep := s.node.kind == opIntersect
+			if b.Columnar() {
+				// Filter in place by shrinking the selection vector; the
+				// scratch probe row carries only the identity cells.
+				sel := b.EnsureSel()
+				kept := sel[:0]
+				for _, i := range sel {
+					for _, c := range s.idx {
+						s.probe[c] = b.ValueAt(int(i), c)
+					}
+					if s.build.contains(keyHash(s.probe, s.idx), s.probe, s.idx) == keep {
+						kept = append(kept, i)
+					}
+				}
+				b.SetSel(kept)
+				if b.Len() > 0 {
+					return b, nil
+				}
+				b.Release()
+				continue
+			}
 			rows := b.Rows()
 			kept := 0
 			for _, row := range rows {
@@ -296,6 +321,25 @@ func (s *setOpIter) Next() (*relation.Batch, error) {
 		var row relation.Row
 		sameKey := func(head int32) bool {
 			return s.lRows[head].KeyEqualCols(s.idx, row, s.idx)
+		}
+		if b.Columnar() {
+			row = s.probe
+			sel := b.EnsureSel()
+			kept := sel[:0]
+			for _, i := range sel {
+				for _, c := range s.idx {
+					s.probe[c] = b.ValueAt(int(i), c)
+				}
+				if s.seen.first(keyHash(s.probe, s.idx), sameKey) < 0 {
+					kept = append(kept, i)
+				}
+			}
+			b.SetSel(kept)
+			if b.Len() > 0 {
+				return b, nil
+			}
+			b.Release()
+			continue
 		}
 		rows := b.Rows()
 		kept := 0

@@ -1,0 +1,304 @@
+package algebra
+
+import (
+	"sort"
+
+	"github.com/sampleclean/svc/internal/expr"
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// Parallel columnar aggregation. aggStream (aggregate.go) folds a fused
+// chain's columnar batches serially; this file extends the columnar path
+// to parallel evaluation and to columnar pipeline breakers (joins, set
+// operators): the input drains into ColSets — per-worker morsels for a
+// fused chain, one set for a breaker-rooted stream — and a partitioned
+// fold groups straight off the column vectors. The gate is the EFFECTIVE
+// worker count (Context.workers over the actual input size), not the
+// Parallelism knob: a parallel pin over a small input stays on the serial
+// stream instead of kicking the whole aggregation back to the row path.
+
+// aggPathHook, when non-nil, observes which aggregation path aggDrain
+// chose: "rows" (partitioned row fold), "stream" (serial columnar
+// stream), or "fold" (parallel columnar fold). Test instrumentation only.
+var aggPathHook func(path string)
+
+func notePath(p string) {
+	if aggPathHook != nil {
+		aggPathHook(p)
+	}
+}
+
+// columnarYields reports whether n's iterator produces columnar batches
+// under ctx — the gate for the columnar aggregation paths. It extends
+// columnarChain through pipeline breakers: columnar joins, set operators
+// over columnar inputs, and fused chain operators stacked above either.
+func columnarYields(n Node, ctx *Context) bool {
+	if ctx.NoColumnar {
+		return false
+	}
+	switch t := n.(type) {
+	case *ScanNode:
+		// Plain scans share row headers for free; columnarizing them would
+		// only add copies (same rule as columnarChain).
+		return !t.plain() && (t.bound == nil || expr.CanVec(t.bound))
+	case *SelectNode:
+		return expr.CanVec(t.bound) && columnarYields(t.child, ctx)
+	case *ProjectNode:
+		if t.explicit && t.schema.HasKey() {
+			return false // asserted-key check runs on rows
+		}
+		for _, e := range t.bound {
+			if !expr.CanVec(e) {
+				return false
+			}
+		}
+		return columnarYields(t.child, ctx)
+	case *AliasNode:
+		return columnarYields(t.child, ctx)
+	case *HashFilterNode:
+		return columnarYields(t.child, ctx)
+	case *JoinNode:
+		return t.columnarJoinOK(ctx)
+	case *SetOpNode:
+		if t.kind == opUnion {
+			if t.schema.HasKey() {
+				return false // keyed union records/filters row headers
+			}
+			return columnarYields(t.l, ctx) && columnarYields(t.r, ctx)
+		}
+		// Difference/Intersect stream (and filter) the left side.
+		return columnarYields(t.l, ctx)
+	default:
+		return false
+	}
+}
+
+// aggColumnar evaluates the aggregation over a columnar-yielding child.
+// Fused chains drain morsel-parallel into per-worker ColSets when the
+// effective worker count warrants it (serial chains keep the streaming
+// fold, which never materializes the input at all); breaker-rooted
+// streams drain into one set. Either way the fold partitions groups by
+// key hash across workers, so the output is bit-identical to serial
+// evaluation (a group's rows fold in global stream order on one worker).
+func (a *AggregateNode) aggColumnar(ctx *Context) ([]relation.Row, error) {
+	if scan := chainScan(a.child); scan != nil {
+		rel, err := ctx.Relation(scan.name)
+		if err != nil || !rel.Schema().Compatible(scan.schema) || scan.needsRebuild(rel) {
+			// Let the serial stream surface errors / rebuild once.
+			notePath("stream")
+			return a.aggStream(ctx)
+		}
+		w := ctx.workers(rel.Len())
+		if w <= 1 {
+			// Effective-workers gate: a parallel pin over a small input
+			// stays on the serial columnar stream.
+			notePath("stream")
+			return a.aggStream(ctx)
+		}
+		sets := make([]*relation.ColSet, w)
+		errs := make([]error, w)
+		touched := make([]int64, w)
+		width := a.child.Schema().NumCols()
+		runWorkers(w, func(p int) {
+			lo, hi := chunkRange(p, w, rel.Len())
+			wctx := ctx.workerCtx()
+			sets[p], errs[p] = drainColSetIter(wctx, iterRange(a.child, lo, hi), width)
+			touched[p] = wctx.RowsTouched
+		})
+		for _, tch := range touched {
+			ctx.RowsTouched += tch
+		}
+		defer releaseSets(sets)
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		notePath("fold")
+		return a.foldColSets(ctx, sets, w)
+	}
+	// Breaker-rooted columnar stream (join, set operator, or a chain over
+	// one): drain serially into a single set; the fold still partitions.
+	set, err := drainColSet(ctx, a.child)
+	if err != nil {
+		return nil, err
+	}
+	sets := []*relation.ColSet{set}
+	defer releaseSets(sets)
+	notePath("fold")
+	return a.foldColSets(ctx, sets, ctx.workers(set.Len()))
+}
+
+func releaseSets(sets []*relation.ColSet) {
+	for _, s := range sets {
+		if s != nil {
+			s.Release()
+		}
+	}
+}
+
+// drainColSetIter drains an opened-by-us iterator into a pooled ColSet of
+// the given width.
+func drainColSetIter(ctx *Context, it Iterator, width int) (*relation.ColSet, error) {
+	set := relation.GetColSet(width)
+	if err := it.Open(ctx); err != nil {
+		set.Release()
+		return nil, err
+	}
+	defer it.Close()
+	for {
+		b, err := it.Next()
+		if err != nil {
+			set.Release()
+			return nil, err
+		}
+		if b == nil {
+			return set, nil
+		}
+		set.AppendBatch(b)
+		b.Release()
+	}
+}
+
+// foldColSets groups the concatenation of sets (in slice order — the
+// global stream order) and folds the aggregates, partitioned across w
+// workers by group-key hash. Group cells are compared via the sets'
+// vectors (dictionary columns of one set compare codes) and aggregate
+// inputs evaluate vectorized once per set; no input row is materialized.
+// Output groups emerge in first-occurrence order — identical to aggRows
+// and aggStream.
+func (a *AggregateNode) foldColSets(ctx *Context, sets []*relation.ColSet, w int) ([]relation.Row, error) {
+	na := len(a.aggs)
+	gW := len(a.gIdx)
+	total := 0
+	offs := make([]int64, len(sets))
+	for si, s := range sets {
+		offs[si] = int64(total)
+		total += s.Len()
+	}
+	ctx.RowsTouched += int64(total)
+
+	// Per-row group hashes (keyHash semantics: never 0) and vectorized
+	// aggregate inputs, one pass per set.
+	hashes := make([][]uint64, len(sets))
+	ins := make([][]*relation.ColVec, len(sets))
+	defer func() {
+		for _, vs := range ins {
+			for _, v := range vs {
+				if v != nil {
+					relation.PutVec(v)
+				}
+			}
+		}
+	}()
+	for si, s := range sets {
+		hs := make([]uint64, s.Len())
+		eachChunk(w, s.Len(), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				h := s.HashCols(i, a.gIdx, tableSeed)
+				if h == 0 {
+					h = 1
+				}
+				hs[i] = h
+			}
+		})
+		hashes[si] = hs
+		vs := make([]*relation.ColVec, na)
+		for ai, e := range a.bound {
+			if e != nil {
+				v := relation.GetVec()
+				expr.EvalVec(e, s, nil, v)
+				vs[ai] = v
+			}
+		}
+		ins[si] = vs
+	}
+
+	// Partitioned fold: worker p owns the groups whose hash ≡ p (mod w),
+	// walking the sets in global order so each group accumulates exactly
+	// as in serial evaluation.
+	type repRef struct{ set, row int32 }
+	reps := make([][]repRef, w)
+	accs := make([][]accumulator, w)
+	runWorkers(w, func(p int) {
+		t := newHashIdx(64, nil)
+		var rp []repRef
+		var ac []accumulator
+		var curSet, curRow int
+		sameKey := func(head int32) bool {
+			r := rp[head]
+			return sets[r.set].KeyEqualCols(int(r.row), a.gIdx, sets[curSet], curRow, a.gIdx)
+		}
+		pw := uint64(w)
+		for si, s := range sets {
+			hs := hashes[si]
+			vs := ins[si]
+			n := s.Len()
+			for i := 0; i < n; i++ {
+				h := hs[i]
+				if w > 1 && h%pw != uint64(p) {
+					continue
+				}
+				curSet, curRow = si, i
+				g := t.first(h, sameKey)
+				if g < 0 {
+					g = int32(len(rp))
+					rp = append(rp, repRef{set: int32(si), row: int32(i)})
+					for k := 0; k < na; k++ {
+						ac = append(ac, accumulator{})
+					}
+					t.addGrow(h, g, sameKey)
+				}
+				base := int(g) * na
+				for ai := range a.aggs {
+					var v relation.Value
+					if vs[ai] != nil {
+						v = vs[ai].Value(i)
+					}
+					ac[base+ai].add(a.aggs[ai].Func, v)
+				}
+			}
+		}
+		reps[p], accs[p] = rp, ac
+	})
+
+	// Merge partitions back into first-occurrence order (same scheme as
+	// aggRows, with (set, row) refs mapped to global stream positions).
+	type gref struct {
+		part  int
+		group int32
+		first int64
+	}
+	var all []gref
+	for p := range reps {
+		for g, r := range reps[p] {
+			all = append(all, gref{part: p, group: int32(g), first: offs[r.set] + int64(r.row)})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].first < all[j].first })
+
+	rows := make([]relation.Row, 0, len(all)+1)
+	for _, gr := range all {
+		r := reps[gr.part][gr.group]
+		out := make(relation.Row, gW+na)
+		for i, gi := range a.gIdx {
+			out[i] = sets[r.set].ValueAt(int(r.row), gi)
+		}
+		base := int(gr.group) * na
+		for i, spec := range a.aggs {
+			out[gW+i] = accs[gr.part][base+i].result(spec.Func)
+		}
+		rows = append(rows, out)
+	}
+	// A grand aggregate (no group-by) over empty input yields one row of
+	// count 0 / NULL aggregates, matching SQL (and aggRows/aggStream).
+	if len(a.groupBy) == 0 && len(rows) == 0 {
+		out := make(relation.Row, na)
+		for i, spec := range a.aggs {
+			var acc accumulator
+			out[i] = acc.result(spec.Func)
+		}
+		rows = append(rows, out)
+	}
+	return rows, nil
+}

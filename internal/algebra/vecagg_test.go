@@ -1,0 +1,172 @@
+package algebra
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/sampleclean/svc/internal/expr"
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// observePaths records which aggregation paths aggDrain chooses while f
+// runs. Not parallel-safe (aggPathHook is package state); tests using it
+// must not run concurrent aggregations.
+func observePaths(f func()) []string {
+	var paths []string
+	aggPathHook = func(p string) { paths = append(paths, p) }
+	defer func() { aggPathHook = nil }()
+	f()
+	return paths
+}
+
+// aggFixture returns rels with a FuzzIn relation of n rows: hostile group
+// keys (NULLs, NaN, -0.0, dictionary-friendly strings) and numeric
+// payload columns.
+func aggFixture(n int) (map[string]*relation.Relation, relation.Schema) {
+	rng := rand.New(rand.NewSource(0xA66))
+	rel := fuzzRel(rng, []string{"k", "s", "f", "x"}, []string{"int", "str", "float", "int"}, n)
+	return map[string]*relation.Relation{"FuzzIn": rel}, rel.Schema()
+}
+
+func fuzzAggPlan(sch relation.Schema) Node {
+	// A vectorizable select keeps the chain columnar; the group-by spans a
+	// dictionary-encodable string and aggregates cover every function.
+	// PushDownScans fuses the select into the scan — the form production
+	// callers (view.Materialize, MaintainAt) evaluate, and the one the
+	// columnar gate sees.
+	child := MustSelect(Scan("FuzzIn", sch), expr.Ne(expr.Col("x"), expr.IntLit(-1)))
+	return PushDownScans(MustGroupBy(child, []string{"k", "s"},
+		CountAs("n"), SumAs(expr.Col("f"), "sum"), AvgAs(expr.Col("f"), "avg"),
+		MinAs(expr.Col("x"), "min"), MaxAs(expr.Col("x"), "max")))
+}
+
+// The parallel columnar fold must produce bit-identical output (exact
+// float equality via canonical encodings) to the serial stream, the row
+// path, and the materialized oracle — including over breaker-rooted
+// children (aggregation over a columnar join).
+func TestAggColumnarFoldMatchesAllPaths(t *testing.T) {
+	rels, sch := aggFixture(30000)
+	agg := fuzzAggPlan(sch)
+	width := agg.Schema().NumCols()
+	oracle, err := EvalMaterialized(agg, NewContext(rels))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{0, 2, 4, 7} {
+		for _, noCol := range []bool{false, true} {
+			ctx := NewContext(rels)
+			ctx.Parallelism = par
+			ctx.NoColumnar = noCol
+			got := drainIter(t, ctx, agg)
+			requireSameRows(t, fmt.Sprintf("par=%d noCol=%v", par, noCol),
+				got, oracle.Rows(), width)
+		}
+	}
+}
+
+// Aggregation over a columnar join (GroupBy over Join over keyless
+// derived inputs) must run the ColSet fold and match the oracle.
+func TestAggOverColumnarJoinFold(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xBEEF))
+	left := fuzzRel(rng, []string{"k", "s", "f"}, []string{"int", "str", "float"}, 4000)
+	right := fuzzRel(rng, []string{"rk", "w"}, []string{"int", "int"}, 3000)
+	rels := map[string]*relation.Relation{"L": left, "R": right}
+	join := MustJoin(
+		MustSelect(Scan("L", left.Schema()), expr.Ne(expr.Col("k"), expr.IntLit(-1))),
+		MustSelect(Scan("R", right.Schema()), expr.Ne(expr.Col("w"), expr.IntLit(-1))),
+		JoinSpec{On: On("k", "rk")})
+	agg := MustGroupBy(join, []string{"s"}, CountAs("n"), SumAs(expr.Col("w"), "wsum"))
+	width := agg.Schema().NumCols()
+	oracle, err := EvalMaterialized(agg, NewContext(rels))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []relation.Row
+	paths := observePaths(func() {
+		ctx := NewContext(rels)
+		ctx.Parallelism = 4
+		got = drainIter(t, ctx, agg)
+	})
+	requireSameRows(t, "agg over join", got, oracle.Rows(), width)
+	if len(paths) != 1 || paths[0] != "fold" {
+		t.Fatalf("aggregation over a columnar join took paths %v, want [fold]", paths)
+	}
+}
+
+// The columnar-vs-parallel gate is the EFFECTIVE worker count: a parallel
+// pin over a small input must stay on the serial columnar stream instead
+// of falling back to the row path, and a large input under the same pin
+// must take the parallel fold.
+func TestAggParallelPinSmallInputStaysColumnar(t *testing.T) {
+	smallRels, smallSch := aggFixture(parallelMinRows / 2)
+	bigRels, bigSch := aggFixture(parallelMinRows * 16)
+
+	run := func(rels map[string]*relation.Relation, sch relation.Schema) []string {
+		return observePaths(func() {
+			ctx := NewContext(rels)
+			ctx.Parallelism = 8
+			drainIter(t, ctx, fuzzAggPlan(sch))
+		})
+	}
+	if paths := run(smallRels, smallSch); len(paths) != 1 || paths[0] != "stream" {
+		t.Fatalf("small input under Parallelism=8 took paths %v, want [stream]", paths)
+	}
+	if paths := run(bigRels, bigSch); len(paths) != 1 || paths[0] != "fold" {
+		t.Fatalf("large input under Parallelism=8 took paths %v, want [fold]", paths)
+	}
+	// NoColumnar still forces the row path.
+	paths := observePaths(func() {
+		ctx := NewContext(bigRels)
+		ctx.Parallelism = 8
+		ctx.NoColumnar = true
+		drainIter(t, ctx, fuzzAggPlan(bigSch))
+	})
+	if len(paths) != 1 || paths[0] != "rows" {
+		t.Fatalf("NoColumnar took paths %v, want [rows]", paths)
+	}
+}
+
+// RowsTouched accounting must agree between the columnar fold and the
+// row path (the maintenance-cost experiments compare strategies by it).
+func TestAggColumnarFoldRowsTouchedParity(t *testing.T) {
+	rels, sch := aggFixture(20000)
+	agg := fuzzAggPlan(sch)
+	colCtx := NewContext(rels)
+	colCtx.Parallelism = 4
+	drainIter(t, colCtx, agg)
+	rowCtx := NewContext(rels)
+	rowCtx.Parallelism = 4
+	rowCtx.NoColumnar = true
+	drainIter(t, rowCtx, agg)
+	if colCtx.RowsTouched != rowCtx.RowsTouched {
+		t.Fatalf("columnar fold RowsTouched %d != row path %d", colCtx.RowsTouched, rowCtx.RowsTouched)
+	}
+}
+
+// A grand aggregate (no group-by) over an empty columnar stream must
+// yield the SQL one-row result on the fold path too. A breaker-rooted
+// child (join) forces the ColSet fold even at zero rows.
+func TestAggColumnarGrandAggregateEmptyInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xE0))
+	left := fuzzRel(rng, []string{"k", "f"}, []string{"int", "float"}, 0)
+	right := fuzzRel(rng, []string{"rk"}, []string{"int"}, 0)
+	rels := map[string]*relation.Relation{"L": left, "R": right}
+	join := MustJoin(
+		MustSelect(Scan("L", left.Schema()), expr.Ne(expr.Col("k"), expr.IntLit(-1))),
+		MustSelect(Scan("R", right.Schema()), expr.Ne(expr.Col("rk"), expr.IntLit(-1))),
+		JoinSpec{On: On("k", "rk")})
+	agg := MustGroupBy(join, nil, CountAs("n"), SumAs(expr.Col("f"), "sum"))
+	ctx := NewContext(rels)
+	var got []relation.Row
+	paths := observePaths(func() { got = drainIter(t, ctx, agg) })
+	if len(paths) != 1 || paths[0] != "fold" {
+		t.Fatalf("breaker-rooted grand aggregate took paths %v, want [fold]", paths)
+	}
+	if len(got) != 1 {
+		t.Fatalf("grand aggregate over empty input: %d rows, want 1", len(got))
+	}
+	if !got[0][0].Equal(relation.Int(0)) || !got[0][1].IsNull() {
+		t.Fatalf("grand aggregate row = %v, want [0 NULL]", got[0])
+	}
+}

@@ -1,0 +1,536 @@
+package algebra
+
+import (
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// Columnar join execution. The row-path JoinNode.run materializes both
+// inputs as relations and allocates one Row per output tuple (combine).
+// The columnar path keeps non-plain keyless inputs in ColSets (typed
+// column vectors, dictionary-encoded strings), builds and probes the hash
+// table directly over those vectors, and emits columnar output batches —
+// so a delta join's output flows into the downstream fused projections
+// and the aggregation fold without a single row ever being formed.
+//
+// Strategy parity: the columnar path resolves exactly the inputs the row
+// path would index (plain scans and keyed derived inputs become
+// relations, preserving index probes, upsert dedup, and the empty-side
+// short-circuit) and replicates the drive-side decisions, so its output
+// row order is identical to run()'s. The equivalence property tests
+// (vecjoin_test.go, pipeline_prop_test.go) pin this against
+// EvalMaterialized.
+
+// columnarJoinOK reports whether this join can run the columnar path
+// under ctx: an equality join (cross joins have no key to build on) with
+// no residual predicate (extra predicates evaluate over combined rows).
+func (j *JoinNode) columnarJoinOK(ctx *Context) bool {
+	return !ctx.NoColumnar && len(j.on) > 0 && j.boundExtra == nil
+}
+
+// joinSide is one resolved columnar-join input: a relation (plain scans
+// and keyed derived inputs — index probes and key dedup keep working) or
+// a ColSet (keyless derived inputs, drained without materializing rows).
+type joinSide struct {
+	rel  *relation.Relation
+	rows []relation.Row
+	set  *relation.ColSet
+}
+
+func (s *joinSide) length() int {
+	if s.set != nil {
+		return s.set.Len()
+	}
+	return len(s.rows)
+}
+
+// hashJoin returns the 64-bit join hash of row i's idx columns: 0 when
+// any key column is NULL (SQL join semantics), never 0 otherwise —
+// bit-identical to the row path's joinHash.
+func (s *joinSide) hashJoin(i int, idx []int) uint64 {
+	if s.set != nil {
+		if s.set.HasNullAt(i, idx) {
+			return 0
+		}
+		h := s.set.HashCols(i, idx, tableSeed)
+		if h == 0 {
+			h = 1
+		}
+		return h
+	}
+	return joinHash(s.rows[i], idx)
+}
+
+// keyEqual reports encoding equality of s's row i (idx columns) and o's
+// row j (oidx columns), across any representation pair.
+func (s *joinSide) keyEqual(i int, idx []int, o *joinSide, j int, oidx []int) bool {
+	switch {
+	case s.set != nil && o.set != nil:
+		return s.set.KeyEqualCols(i, idx, o.set, j, oidx)
+	case s.set != nil:
+		return s.set.KeyEqualRow(i, idx, o.rows[j], oidx)
+	case o.set != nil:
+		return o.set.KeyEqualRow(j, oidx, s.rows[i], idx)
+	default:
+		return s.rows[i].KeyEqualCols(idx, o.rows[j], oidx)
+	}
+}
+
+// value reconstructs the cell at row i, column c.
+func (s *joinSide) value(i, c int) relation.Value {
+	if s.set != nil {
+		return s.set.ValueAt(i, c)
+	}
+	return s.rows[i][c]
+}
+
+// encode appends the canonical key encoding of row i's idx columns.
+func (s *joinSide) encode(i int, idx []int, dst []byte) []byte {
+	if s.set != nil {
+		return s.set.EncodeCols(i, idx, dst)
+	}
+	return s.rows[i].EncodeCols(idx, dst)
+}
+
+// hasNullKey reports whether any of row i's idx columns is NULL.
+func (s *joinSide) hasNullKey(i int, idx []int) bool {
+	if s.set != nil {
+		return s.set.HasNullAt(i, idx)
+	}
+	return rowHasNullKey(s.rows[i], idx)
+}
+
+func (s *joinSide) release() {
+	if s != nil && s.set != nil {
+		s.set.Release()
+		s.set = nil
+	}
+}
+
+// resolveSide materializes one join input for the columnar path. Plain
+// scans share the bound relation (index probes keep working); keyed
+// derived inputs materialize through resolvePipelined (identical upsert
+// dedup and ordering to the row path); keyless derived inputs drain into
+// a ColSet — the case the row path paid a full row materialization for.
+func resolveSide(ctx *Context, n Node) (*joinSide, error) {
+	if s, ok := n.(*ScanNode); ok && s.plain() {
+		rel, err := s.evalMat(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &joinSide{rel: rel, rows: rel.Rows()}, nil
+	}
+	if n.Schema().HasKey() {
+		rel, err := resolvePipelined(n, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &joinSide{rel: rel, rows: rel.Rows()}, nil
+	}
+	set, err := drainColSet(ctx, n)
+	if err != nil {
+		return nil, err
+	}
+	// Parity with the row path's materialization charge (output()).
+	ctx.RowsTouched += int64(set.Len())
+	return &joinSide{set: set}, nil
+}
+
+// drainColSet drains the pipeline below n into a pooled ColSet.
+func drainColSet(ctx *Context, n Node) (*relation.ColSet, error) {
+	set := relation.GetColSet(n.Schema().NumCols())
+	it := iterNode(n)
+	if err := it.Open(ctx); err != nil {
+		set.Release()
+		return nil, err
+	}
+	defer it.Close()
+	for {
+		b, err := it.Next()
+		if err != nil {
+			set.Release()
+			return nil, err
+		}
+		if b == nil {
+			return set, nil
+		}
+		set.AppendBatch(b)
+		b.Release()
+	}
+}
+
+// sideTable is the columnar build table: the rowTable layout (partitioned
+// open-addressed slots, CSR-packed chains) keyed straight off a
+// joinSide's storage — no Row is ever formed on the build side.
+type sideTable struct {
+	side   *joinSide
+	idx    []int
+	hashes []uint64 // 0 = excluded (NULL join key)
+	parts  []*hashIdx
+	next   []int32
+	packed [][]int32
+}
+
+// buildSideTable hashes and places every build-side row, partitioned by
+// hash like buildRowTable (identical chains and in-key row order).
+func buildSideTable(side *joinSide, idx []int, workers int) *sideTable {
+	n := side.length()
+	t := &sideTable{
+		side:   side,
+		idx:    idx,
+		hashes: make([]uint64, n),
+		next:   make([]int32, n),
+		parts:  make([]*hashIdx, workers),
+		packed: make([][]int32, workers),
+	}
+	eachChunk(workers, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t.hashes[i] = side.hashJoin(i, idx)
+		}
+	})
+	parts := uint64(workers)
+	runWorkers(workers, func(p int) {
+		ht := newHashIdx(n/workers+1, t.next)
+		var id int32
+		count := 0
+		sameKey := func(head int32) bool {
+			return side.keyEqual(int(head), idx, side, int(id), idx)
+		}
+		for i, h := range t.hashes {
+			if h != 0 && (workers == 1 || h%parts == uint64(p)) {
+				id = int32(i)
+				ht.add(h, id, sameKey)
+				count++
+			}
+		}
+		t.parts[p] = ht
+		t.packed[p] = packChains(ht, t.next, count)
+	})
+	return t
+}
+
+// packChains packs a built hashIdx's chains into a contiguous ids array
+// (CSR layout), repurposing head/tail as span bounds — shared by the row
+// and columnar build tables.
+func packChains(ht *hashIdx, next []int32, count int) []int32 {
+	packed := make([]int32, 0, count)
+	for s, hd := range ht.head {
+		if hd < 0 {
+			continue
+		}
+		start := int32(len(packed))
+		for id := hd; id >= 0; id = next[id] {
+			packed = append(packed, id)
+		}
+		ht.head[s] = start
+		ht.tail[s] = int32(len(packed))
+	}
+	return packed
+}
+
+// lookup returns the packed build positions matching probe row i of the
+// probing side (full-key verified once), or nil.
+func (t *sideTable) lookup(h uint64, probe *joinSide, i int, probeIdx []int) []int32 {
+	if h == 0 {
+		return nil
+	}
+	p := h % uint64(len(t.parts))
+	part := t.parts[p]
+	packed := t.packed[p]
+	s := h & part.mask
+	for {
+		if part.head[s] < 0 {
+			return nil
+		}
+		if part.hash[s] == h {
+			span := packed[part.head[s]:part.tail[s]]
+			if t.side.keyEqual(int(span[0]), t.idx, probe, i, probeIdx) {
+				return span
+			}
+		}
+		s = (s + 1) & part.mask
+	}
+}
+
+// joinEmitter accumulates (left, right) match pairs (-1 = outer-null
+// side) and flushes them as columnar output batches: each output column
+// is gathered column-at-a-time from the owning side, so no output Row is
+// allocated. Merged columns (USING semantics) coalesce exactly like
+// combine(): the left cell when the left row is present, the right join
+// cell otherwise.
+type joinEmitter struct {
+	j           *JoinNode
+	left, right *joinSide
+	mergedK     []int // left col index -> position in j.on, -1 when not merged
+	li, ri      []int32
+	out         []*relation.Batch
+	pairs       int64 // total pairs emitted (all flushes)
+}
+
+func newJoinEmitter(j *JoinNode, left, right *joinSide) *joinEmitter {
+	nl := j.left.Schema().NumCols()
+	mergedK := make([]int, nl)
+	for c := range mergedK {
+		mergedK[c] = -1
+	}
+	if j.merge {
+		for k, pos := range j.mergedPos {
+			mergedK[pos] = k
+		}
+	}
+	return &joinEmitter{j: j, left: left, right: right, mergedK: mergedK}
+}
+
+func (e *joinEmitter) add(l, r int32) {
+	e.li = append(e.li, l)
+	e.ri = append(e.ri, r)
+	if len(e.li) >= relation.BatchCap {
+		e.flush()
+	}
+}
+
+func (e *joinEmitter) flush() {
+	n := len(e.li)
+	if n == 0 {
+		return
+	}
+	e.pairs += int64(n)
+	nl := len(e.mergedK)
+	b := relation.GetBatch()
+	b.BeginColumnar(nl + len(e.j.rKeep))
+	lOuter, rOuter := false, false
+	for _, l := range e.li {
+		if l < 0 {
+			lOuter = true
+			break
+		}
+	}
+	for _, r := range e.ri {
+		if r < 0 {
+			rOuter = true
+			break
+		}
+	}
+	for c := 0; c < nl; c++ {
+		vec := b.Vec(c)
+		if !lOuter && e.left.set != nil {
+			// Dense typed gather straight from the side's column vector.
+			vec.AppendGather(e.left.set.Vec(c), e.li)
+			continue
+		}
+		k := e.mergedK[c]
+		for p, l := range e.li {
+			switch {
+			case l >= 0:
+				vec.AppendValue(e.left.value(int(l), c))
+			case k >= 0:
+				// Right-outer row of a merged join: the left-named join
+				// column carries the right join cell (coalesce).
+				vec.AppendValue(e.right.value(int(e.ri[p]), e.j.rJoin[k]))
+			default:
+				vec.AppendNull()
+			}
+		}
+	}
+	for ki, rc := range e.j.rKeep {
+		vec := b.Vec(nl + ki)
+		if !rOuter && e.right.set != nil {
+			vec.AppendGather(e.right.set.Vec(rc), e.ri)
+			continue
+		}
+		for _, r := range e.ri {
+			if r >= 0 {
+				vec.AppendValue(e.right.value(int(r), rc))
+			} else {
+				vec.AppendNull()
+			}
+		}
+	}
+	e.out = append(e.out, b)
+	e.li = e.li[:0]
+	e.ri = e.ri[:0]
+}
+
+// runColumnar evaluates the join on the columnar path, returning the
+// output as columnar batches in the row path's exact output order. The
+// caller owns the batches.
+func (j *JoinNode) runColumnar(ctx *Context) ([]*relation.Batch, error) {
+	var left, right *joinSide
+	var err error
+	if j.typ == Inner {
+		if right, err = resolveSide(ctx, j.right); err != nil {
+			return nil, err
+		}
+		if right.length() == 0 {
+			right.release()
+			return nil, nil
+		}
+		if left, err = resolveSide(ctx, j.left); err != nil {
+			right.release()
+			return nil, err
+		}
+		if left.length() == 0 {
+			left.release()
+			right.release()
+			return nil, nil
+		}
+	} else {
+		if left, err = resolveSide(ctx, j.left); err != nil {
+			return nil, err
+		}
+		if right, err = resolveSide(ctx, j.right); err != nil {
+			left.release()
+			return nil, err
+		}
+	}
+	defer left.release()
+	defer right.release()
+
+	// Index probe: mirror run()'s decision exactly — only relation-backed
+	// sides can carry an index, and both keyed derived inputs and plain
+	// scans are relation-backed here just as in the row path.
+	if j.typ == Inner {
+		var rIdx, lIdx relation.Index
+		var rOk, lOk bool
+		if right.rel != nil {
+			rIdx, rOk = right.rel.LookupIndex(j.rJoin)
+		}
+		if left.rel != nil {
+			lIdx, lOk = left.rel.LookupIndex(j.lJoin)
+		}
+		driveLeft := rOk && (!lOk || left.length() <= right.length())
+		driveRight := lOk && !driveLeft
+		switch {
+		case driveLeft:
+			ctx.RowsTouched += int64(left.length())
+			return j.probeIndexedColumnar(ctx, left, j.lJoin, right, rIdx, true), nil
+		case driveRight:
+			ctx.RowsTouched += int64(right.length())
+			return j.probeIndexedColumnar(ctx, right, j.rJoin, left, lIdx, false), nil
+		}
+	}
+
+	// Hash join: build on the right, probe with the left, chunked in
+	// parallel with in-order concatenation (output order == serial ==
+	// row path).
+	ctx.RowsTouched += int64(left.length()) + int64(right.length())
+	build := buildSideTable(right, j.rJoin, ctx.workers(right.length()))
+	needRM := j.typ == RightOuter || j.typ == FullOuter
+	nProbe := left.length()
+	pw := ctx.workers(nProbe)
+
+	var out []*relation.Batch
+	var rMatched []bool
+	if pw == 1 {
+		if needRM {
+			rMatched = make([]bool, right.length())
+		}
+		em := newJoinEmitter(j, left, right)
+		j.probeColumnarChunk(build, left, 0, nProbe, rMatched, em)
+		em.flush()
+		out = em.out
+	} else {
+		emitters := make([]*joinEmitter, pw)
+		marks := make([][]bool, pw)
+		runWorkers(pw, func(p int) {
+			lo, hi := chunkRange(p, pw, nProbe)
+			var rm []bool
+			if needRM {
+				rm = make([]bool, right.length())
+			}
+			em := newJoinEmitter(j, left, right)
+			j.probeColumnarChunk(build, left, lo, hi, rm, em)
+			em.flush()
+			emitters[p] = em
+			marks[p] = rm
+		})
+		for _, em := range emitters {
+			out = append(out, em.out...)
+		}
+		if needRM {
+			rMatched = make([]bool, right.length())
+			for _, rm := range marks {
+				for i, m := range rm {
+					if m {
+						rMatched[i] = true
+					}
+				}
+			}
+		}
+	}
+	if needRM {
+		em := newJoinEmitter(j, left, right)
+		for i := range rMatched {
+			if !rMatched[i] {
+				em.add(-1, int32(i))
+			}
+		}
+		em.flush()
+		out = append(out, em.out...)
+	}
+	return out, nil
+}
+
+// probeColumnarChunk probes the build table with left rows [lo, hi),
+// emitting match pairs in probe order (the row path's probeChunk order).
+func (j *JoinNode) probeColumnarChunk(build *sideTable, probe *joinSide, lo, hi int, rMatched []bool, em *joinEmitter) {
+	leftOuter := j.typ == LeftOuter || j.typ == FullOuter
+	for i := lo; i < hi; i++ {
+		h := probe.hashJoin(i, j.lJoin)
+		span := build.lookup(h, probe, i, j.lJoin)
+		if len(span) == 0 {
+			if leftOuter {
+				em.add(int32(i), -1)
+			}
+			continue
+		}
+		for _, id := range span {
+			em.add(int32(i), id)
+			if rMatched != nil {
+				rMatched[id] = true
+			}
+		}
+	}
+}
+
+// probeIndexedColumnar drives an inner join from a probing side against
+// an indexed relation, encoding keys from the probing side's vectors
+// (byte-identical to row probes) and emitting columnar batches in probe
+// order. Mirrors probeIndexed, including its parallel chunking.
+func (j *JoinNode) probeIndexedColumnar(ctx *Context, probe *joinSide, probeIdx []int, indexed *joinSide, ix relation.Index, leftDrives bool) []*relation.Batch {
+	n := probe.length()
+	w := ctx.workers(n)
+	emitters := make([]*joinEmitter, w)
+	runWorkers(w, func(p int) {
+		lo, hi := chunkRange(p, w, n)
+		var buf []byte
+		var hits []int
+		var em *joinEmitter
+		if leftDrives {
+			em = newJoinEmitter(j, probe, indexed)
+		} else {
+			em = newJoinEmitter(j, indexed, probe)
+		}
+		for i := lo; i < hi; i++ {
+			if probe.hasNullKey(i, probeIdx) {
+				continue
+			}
+			buf = probe.encode(i, probeIdx, buf[:0])
+			hits = ix.ProbeBytes(buf, hits[:0])
+			for _, pos := range hits {
+				if leftDrives {
+					em.add(int32(i), int32(pos))
+				} else {
+					em.add(int32(pos), int32(i))
+				}
+			}
+		}
+		em.flush()
+		emitters[p] = em
+	})
+	var out []*relation.Batch
+	for _, em := range emitters {
+		out = append(out, em.out...)
+		ctx.RowsTouched += em.pairs
+	}
+	return out
+}

@@ -1,0 +1,364 @@
+package algebra
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/sampleclean/svc/internal/expr"
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// Fuzz fixtures for the columnar join: relations with hostile key
+// material — NULLs, NaN, -0.0 vs 0.0, empty strings, low-cardinality
+// strings (dictionary-friendly) next to unique ones — exercised through
+// every join type, serial and parallel, against the row path and the
+// materialized oracle.
+
+// fuzzValue draws one value of the column class c ("int", "str", "float").
+func fuzzValue(rng *rand.Rand, c string) relation.Value {
+	if rng.Intn(10) == 0 {
+		return relation.Null()
+	}
+	switch c {
+	case "int":
+		return relation.Int(int64(rng.Intn(8)))
+	case "str":
+		switch rng.Intn(8) {
+		case 0:
+			return relation.String("")
+		case 1:
+			return relation.String(fmt.Sprintf("unique-%d", rng.Int63()))
+		default:
+			return relation.String([]string{"red", "green", "blue", "cyan"}[rng.Intn(4)])
+		}
+	default: // float
+		switch rng.Intn(8) {
+		case 0:
+			return relation.Float(math.NaN())
+		case 1:
+			return relation.Float(math.Copysign(0, -1))
+		case 2:
+			return relation.Float(0)
+		default:
+			return relation.Float(float64(rng.Intn(5)))
+		}
+	}
+}
+
+// fuzzRel builds a keyless relation of n rows whose columns follow the
+// given classes.
+func fuzzRel(rng *rand.Rand, names []string, classes []string, n int) *relation.Relation {
+	cols := make([]relation.Column, len(names))
+	for i, name := range names {
+		cols[i] = relation.Column{Name: name}
+	}
+	rel := relation.New(relation.NewSchema(cols))
+	for i := 0; i < n; i++ {
+		row := make(relation.Row, len(names))
+		for c := range row {
+			row[c] = fuzzValue(rng, classes[c])
+		}
+		rel.MustInsert(row)
+	}
+	return rel
+}
+
+// drainIter drains n's iterator into decoupled rows (columnar batches are
+// slab-copied, so released vectors cannot alias the result).
+func drainIter(t *testing.T, ctx *Context, n Node) []relation.Row {
+	t.Helper()
+	it := NewIterator(n)
+	if err := it.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	var rows []relation.Row
+	for {
+		b, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			return rows
+		}
+		if b.Len() == 0 {
+			t.Fatal("iterator returned an empty batch")
+		}
+		if b.Columnar() {
+			rows = b.CopyRows(rows)
+			b.Release()
+		} else {
+			rows = append(rows, b.Rows()...)
+			b.ReleaseUnlessOwned()
+		}
+	}
+}
+
+// encRows renders rows as canonical key encodings — injective, so NaN
+// equals NaN and -0.0 differs from 0.0 (Value.Equal would misjudge both).
+func encRows(rows []relation.Row, width int) []string {
+	idx := allIdx(width)
+	var kb relation.KeyBuf
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = string(kb.Row(r, idx))
+	}
+	return out
+}
+
+// requireSameRows asserts got and want are identical row for row.
+func requireSameRows(t *testing.T, label string, got, want []relation.Row, width int) {
+	t.Helper()
+	ge, we := encRows(got, width), encRows(want, width)
+	if len(ge) != len(we) {
+		t.Fatalf("%s: %d rows, want %d", label, len(ge), len(we))
+	}
+	for i := range ge {
+		if ge[i] != we[i] {
+			t.Fatalf("%s: row %d differs:\n  got  %v\n  want %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestColumnarJoinMatchesRowJoin is the core equivalence suite: for every
+// join type × merge × input shape (keyless derived sides that drain into
+// ColSets, plain indexed scans that trigger index probes from columnar
+// probe sides, and mixes), the columnar join's output stream must equal
+// the row path's and the materialized oracle's, serially and in parallel,
+// with identical RowsTouched accounting.
+func TestColumnarJoinMatchesRowJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xC01A))
+	left := fuzzRel(rng, []string{"k", "s", "f", "a"}, []string{"int", "str", "float", "int"}, 3000)
+	right := fuzzRel(rng, []string{"rk", "rs", "rf", "b"}, []string{"int", "str", "float", "int"}, 2500)
+	rels := map[string]*relation.Relation{"L": left, "R": right}
+	lSch, rSch := left.Schema(), right.Schema()
+
+	// Derived keyless children: a vectorizable select forces the ColSet
+	// drain (a plain scan would stay relation-backed).
+	derivedL := func() Node {
+		return MustSelect(Scan("L", lSch), expr.Ne(expr.Col("a"), expr.IntLit(-1)))
+	}
+	derivedR := func() Node {
+		return MustSelect(Scan("R", rSch), expr.Ne(expr.Col("b"), expr.IntLit(-1)))
+	}
+	plainL := func() Node { return Scan("L", lSch) }
+	plainR := func() Node { return Scan("R", rSch) }
+
+	shapes := map[string]func() (Node, Node){
+		"bag-bag":     func() (Node, Node) { return derivedL(), derivedR() },
+		"bag-plain":   func() (Node, Node) { return derivedL(), plainR() },
+		"plain-bag":   func() (Node, Node) { return plainL(), derivedR() },
+		"plain-plain": func() (Node, Node) { return plainL(), plainR() },
+	}
+	on := []EqPair{{Left: "k", Right: "rk"}, {Left: "s", Right: "rs"}}
+	for shape, mk := range shapes {
+		for _, typ := range []JoinType{Inner, LeftOuter, RightOuter, FullOuter} {
+			for _, merge := range []bool{false, true} {
+				name := fmt.Sprintf("%s/%s/merge=%v", shape, typ, merge)
+				t.Run(name, func(t *testing.T) {
+					l, r := mk()
+					j := MustJoin(l, r, JoinSpec{Type: typ, On: on, Merge: merge})
+					width := j.Schema().NumCols()
+					oracle, err := EvalMaterialized(j, NewContext(rels))
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, par := range []int{0, 4} {
+						rowCtx := NewContext(rels)
+						rowCtx.Parallelism = par
+						rowCtx.NoColumnar = true
+						rowRows := drainIter(t, rowCtx, j)
+						requireSameRows(t, fmt.Sprintf("par=%d row-vs-oracle", par), rowRows, oracle.Rows(), width)
+
+						colCtx := NewContext(rels)
+						colCtx.Parallelism = par
+						colRows := drainIter(t, colCtx, j)
+						requireSameRows(t, fmt.Sprintf("par=%d columnar-vs-row", par), colRows, rowRows, width)
+						if colCtx.RowsTouched != rowCtx.RowsTouched {
+							t.Errorf("par=%d: columnar RowsTouched %d != row %d",
+								par, colCtx.RowsTouched, rowCtx.RowsTouched)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// Joins on a float column: NaN keys must match NaN (bit-pattern key
+// equality) and -0.0 must not match 0.0, identically on both paths.
+func TestColumnarJoinFloatKeySemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xF10A7))
+	left := fuzzRel(rng, []string{"f", "a"}, []string{"float", "int"}, 800)
+	right := fuzzRel(rng, []string{"rf", "b"}, []string{"float", "int"}, 700)
+	rels := map[string]*relation.Relation{"L": left, "R": right}
+	j := MustJoin(
+		MustSelect(Scan("L", left.Schema()), expr.Ne(expr.Col("a"), expr.IntLit(-1))),
+		MustSelect(Scan("R", right.Schema()), expr.Ne(expr.Col("b"), expr.IntLit(-1))),
+		JoinSpec{Type: FullOuter, On: On("f", "rf"), Merge: true})
+	width := j.Schema().NumCols()
+
+	rowCtx := NewContext(rels)
+	rowCtx.NoColumnar = true
+	rowRows := drainIter(t, rowCtx, j)
+	colRows := drainIter(t, NewContext(rels), j)
+	requireSameRows(t, "float keys", colRows, rowRows, width)
+
+	// Sanity: the fixture actually produced NaN matches (NaN never
+	// matching would silently weaken the test).
+	nan := 0
+	for _, r := range rowRows {
+		if v := r[0]; !v.IsNull() && math.IsNaN(v.AsFloat()) {
+			nan++
+		}
+	}
+	if nan == 0 {
+		t.Fatal("fixture produced no NaN join keys; regenerate")
+	}
+}
+
+// The columnar join must resolve keyed derived children through the same
+// materialization as the row path, preserving upsert dedup and giving the
+// derived relation a probeable primary-key index.
+func TestColumnarJoinKeyedDerivedChild(t *testing.T) {
+	ctx := fixtureCtx()
+	// ProjectKeyed over Video: a keyed derived child (not a plain scan).
+	keyed := MustProjectKeyed(Scan("Video", videoSchema()),
+		[]Output{OutCol("videoId"), OutCol("duration")}, "videoId")
+	j := MustJoin(
+		MustSelect(Scan("Log", logSchema()), expr.Gt(expr.Col("sessionId"), expr.IntLit(0))),
+		keyed, JoinSpec{On: On("videoId", "videoId"), Merge: true})
+	width := j.Schema().NumCols()
+	oracle, err := EvalMaterialized(j, fixtureCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drainIter(t, ctx, j)
+	requireSameRows(t, "keyed derived", got, oracle.Rows(), width)
+}
+
+// An inner columnar join must keep the empty-side short-circuit: when the
+// right side is empty, the left child is never evaluated.
+func TestColumnarJoinEmptySideShortCircuit(t *testing.T) {
+	empty := relation.New(videoSchema())
+	log := fixtureCtx()
+	rels := map[string]*relation.Relation{"Video": empty}
+	lrel, _ := log.Relation("Log")
+	rels["Log"] = lrel
+	ctx := NewContext(rels)
+	j := MustJoin(
+		MustSelect(Scan("Log", logSchema()), expr.Gt(expr.Col("sessionId"), expr.IntLit(0))),
+		MustSelect(Scan("Video", videoSchema()), expr.Gt(expr.Col("videoId"), expr.IntLit(0))),
+		JoinSpec{On: On("videoId", "videoId"), Merge: true})
+	rows := drainIter(t, ctx, j)
+	if len(rows) != 0 {
+		t.Fatalf("join over empty right side produced %d rows", len(rows))
+	}
+	// Only the right side's scan may have been touched.
+	if ctx.RowsTouched != 0 {
+		t.Fatalf("RowsTouched = %d; the left side should never run", ctx.RowsTouched)
+	}
+}
+
+// Columnar set operators (Difference/Intersect left-stream filtering and
+// keyed-union right filtering) must match the materialized oracle over
+// hostile values, columnar and row, serial and parallel.
+func TestColumnarSetOpsMatchMaterialized(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5E70))
+	// Overlapping fixtures: draw from the same distribution so Intersect
+	// and Difference both have work to do.
+	a := fuzzRel(rng, []string{"k", "s", "f"}, []string{"int", "str", "float"}, 2600)
+	b := fuzzRel(rng, []string{"k", "s", "f"}, []string{"int", "str", "float"}, 2400)
+	rels := map[string]*relation.Relation{"A": a, "B": b}
+	derived := func(name string, rel *relation.Relation) Node {
+		return MustSelect(Scan(name, rel.Schema()), expr.Ne(expr.Col("k"), expr.IntLit(-99)))
+	}
+	mk := map[string]func() Node{
+		"difference": func() Node { return MustDifference(derived("A", a), derived("B", b)) },
+		"intersect":  func() Node { return MustIntersect(derived("A", a), derived("B", b)) },
+		"bag-union":  func() Node { return MustUnion(derived("A", a), derived("B", b)) },
+	}
+	for name, build := range mk {
+		t.Run(name, func(t *testing.T) {
+			plan := build()
+			width := plan.Schema().NumCols()
+			oracle, err := EvalMaterialized(plan, NewContext(rels))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, par := range []int{0, 4} {
+				for _, noCol := range []bool{false, true} {
+					ctx := NewContext(rels)
+					ctx.Parallelism = par
+					ctx.NoColumnar = noCol
+					got := drainIter(t, ctx, plan)
+					requireSameRows(t, fmt.Sprintf("par=%d noCol=%v", par, noCol),
+						got, oracle.Rows(), width)
+				}
+			}
+		})
+	}
+}
+
+// The columnar join must allocate O(1) objects per drain, not O(rows):
+// ColSets, vectors, dictionaries, and output batches recycle through the
+// pools, and the per-drain scratch (hash arrays, CSR chains, match-pair
+// buffers) is a bounded number of slice allocations. A per-row allocation
+// regression multiplies this by tens of thousands and fails loudly.
+func TestColumnarJoinConstantAllocsPerDrain(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates and defeats sync.Pool; run without -race")
+	}
+	// Keyless inputs: keyed derived sides deliberately materialize through
+	// resolvePipelined (upsert dedup), which allocates per row; the O(1)
+	// contract is for the ColSet-drained bag sides the delta pipelines use.
+	logSch := relation.NewSchema([]relation.Column{
+		{Name: "sessionId", Type: relation.KindInt}, {Name: "videoId", Type: relation.KindInt}})
+	vidSch := relation.NewSchema([]relation.Column{
+		{Name: "vid", Type: relation.KindInt}, {Name: "ownerId", Type: relation.KindInt}})
+	log, video := relation.New(logSch), relation.New(vidSch)
+	for i := 0; i < 50000; i++ {
+		log.MustInsert(relation.Row{relation.Int(int64(i)), relation.Int(int64(i * 7 % 5600))})
+	}
+	for i := 0; i < 5000; i++ {
+		video.MustInsert(relation.Row{relation.Int(int64(i)), relation.Int(int64(i % 97))})
+	}
+	rels := map[string]*relation.Relation{"Log": log, "Video": video}
+	plan := MustJoin(
+		MustSelect(Scan("Log", logSch), expr.Gt(expr.Col("videoId"), expr.IntLit(10))),
+		MustSelect(Scan("Video", vidSch), expr.Gt(expr.Col("vid"), expr.IntLit(-1))),
+		JoinSpec{On: []EqPair{{Left: "videoId", Right: "vid"}}})
+	drain := func() int {
+		ctx := NewContext(rels)
+		it := NewIterator(plan)
+		if err := it.Open(ctx); err != nil {
+			t.Fatal(err)
+		}
+		defer it.Close()
+		n := 0
+		for {
+			b, err := it.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b == nil {
+				return n
+			}
+			n += b.Len()
+			b.Release()
+		}
+	}
+	rows := drain()
+	if rows < 40000 {
+		t.Fatalf("fixture too small: %d rows", rows)
+	}
+	allocs := testing.AllocsPerRun(5, func() { drain() })
+	// ~dozens of bounded scratch slices per drain; 2000 leaves headroom
+	// while still catching any per-row allocation (which would be ≥40000).
+	if allocs >= 2000 {
+		t.Fatalf("columnar join allocates %.0f objects per drain of %d rows; want O(1) scratch only",
+			allocs, rows)
+	}
+}

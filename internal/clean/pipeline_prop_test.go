@@ -67,7 +67,7 @@ func (g *planGen) gen(depth int) algebra.Node {
 	}
 	child := g.gen(depth - 1)
 	sch := child.Schema()
-	switch g.rng.Intn(6) {
+	switch g.rng.Intn(7) {
 	case 0: // select on a random numeric column
 		nums := numericCols(sch)
 		if len(nums) == 0 {
@@ -124,7 +124,40 @@ func (g *planGen) gen(depth int) algebra.Node {
 			return child
 		}
 		return n
-	case 4: // group-by over one column, uniquely named aggregates
+	case 4: // hash join with a random base relation (columnar join path)
+		name := g.names[g.rng.Intn(len(g.names))]
+		rsch := g.rels[name]
+		// Skip shapes the algebra rejects (duplicate output columns) and
+		// key-less equality candidates.
+		for i := 0; i < rsch.NumCols(); i++ {
+			if sch.ColIndex(rsch.Col(i).Name) >= 0 {
+				return child
+			}
+		}
+		lNums, rNums := numericCols(sch), numericCols(rsch)
+		if len(lNums) == 0 || len(rNums) == 0 {
+			return child
+		}
+		var right algebra.Node = algebra.Scan(name, rsch)
+		if g.rng.Intn(2) == 0 { // derived right side half the time
+			col := rsch.Col(rNums[g.rng.Intn(len(rNums))]).Name
+			right = algebra.MustSelect(right, expr.Ne(expr.Col(col), expr.IntLit(-1)))
+		}
+		spec := algebra.JoinSpec{
+			Type: []algebra.JoinType{
+				algebra.Inner, algebra.LeftOuter, algebra.RightOuter, algebra.FullOuter,
+			}[g.rng.Intn(4)],
+			On: []algebra.EqPair{{
+				Left:  sch.Col(lNums[g.rng.Intn(len(lNums))]).Name,
+				Right: rsch.Col(rNums[g.rng.Intn(len(rNums))]).Name,
+			}},
+		}
+		n, err := algebra.Join(child, right, spec)
+		if err != nil {
+			return child
+		}
+		return n
+	case 5: // group-by over one column, uniquely named aggregates
 		if sch.NumCols() < 2 {
 			return child
 		}

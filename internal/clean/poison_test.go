@@ -1,0 +1,110 @@
+package clean_test
+
+// Recycled-storage retention test. The columnar pipeline recycles batch
+// vectors, string payload slabs, and dictionaries through pools; any
+// consumer that keeps a reference into pooled storage past Release (a row
+// header aliasing a payload slab, a cell read from a dictionary after its
+// ColSet went back to the pool) silently reads someone else's data on the
+// next cycle. With relation.SetPoisonRecycled on, every recycled string
+// slot is overwritten with relation.PoisonString first — so a retained
+// reference becomes a loud, deterministic failure here instead of a
+// heisenbug in production.
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sampleclean/svc/internal/algebra"
+	"github.com/sampleclean/svc/internal/clean"
+	"github.com/sampleclean/svc/internal/relation"
+	"github.com/sampleclean/svc/internal/tpcd"
+	"github.com/sampleclean/svc/internal/view"
+)
+
+// requireNoPoison scans every cell of rel for the poison sentinel.
+func requireNoPoison(t *testing.T, label string, rel *relation.Relation) {
+	t.Helper()
+	sch := rel.Schema()
+	for i := 0; i < rel.Len(); i++ {
+		row := rel.Row(i)
+		for c, v := range row {
+			if v.Kind() != relation.KindString {
+				continue
+			}
+			if strings.Contains(v.AsString(), relation.PoisonString) {
+				t.Fatalf("%s: row %d col %s retained recycled pooled storage (poison sentinel)",
+					label, i, sch.Col(c).Name)
+			}
+		}
+	}
+}
+
+// TestNoPooledStorageRetention runs repeated maintain+clean cycles over a
+// string-bearing join view (lineitem⋈orders⋈customer carries c_phone
+// through the join, exercising dictionary-encoded vectors) with poisoning
+// enabled, serially and with 4 workers. No view, sample, or cleaned
+// output cell may ever observe the sentinel.
+func TestNoPooledStorageRetention(t *testing.T) {
+	prev := relation.SetPoisonRecycled(true)
+	defer relation.SetPoisonRecycled(prev)
+
+	for _, par := range []int{0, 4} {
+		g := tpcd.NewGenerator(tpcd.Config{
+			Orders: 200, MaxLines: 3, Customers: 40, Suppliers: 10, Parts: 30,
+			Z: 2, Days: 90, Seed: 11,
+		})
+		d, err := g.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.SetParallelism(par)
+		// lineitem⋈orders⋈customer: the customer side contributes c_phone,
+		// so string vectors (dictionary-encoded in ColSets) flow through
+		// the columnar join and into every downstream consumer.
+		plan := algebra.MustJoin(
+			algebra.MustJoin(
+				algebra.Scan(tpcd.Lineitem, tpcd.LineitemSchema()),
+				algebra.Scan(tpcd.Orders, tpcd.OrdersSchema()),
+				algebra.JoinSpec{Type: algebra.Inner,
+					On: []algebra.EqPair{{Left: "l_orderkey", Right: "o_orderkey"}}},
+			),
+			algebra.Scan(tpcd.Customer, tpcd.CustomerSchema()),
+			algebra.JoinSpec{Type: algebra.Inner,
+				On: []algebra.EqPair{{Left: "o_custkey", Right: "c_custkey"}}},
+		)
+		v, err := view.Materialize(d, view.Definition{Name: "phoneView", Plan: plan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := view.NewMaintainer(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := clean.New(m, 0.3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireNoPoison(t, "initial view", v.Data())
+		requireNoPoison(t, "initial sample", c.StaleSample())
+
+		for cycle := int64(0); cycle < 3; cycle++ {
+			stageRandomBatch(t, g, d, 11+cycle)
+			samples, err := c.Clean(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireNoPoison(t, "cleaned sample", samples.Fresh)
+			if _, err := m.Maintain(d); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.ApplyDeltas(); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Adopt(samples); err != nil {
+				t.Fatal(err)
+			}
+			requireNoPoison(t, "maintained view", v.Data())
+			requireNoPoison(t, "adopted sample", c.StaleSample())
+		}
+	}
+}

@@ -352,8 +352,39 @@ func evalCompareVec(op CmpOp, l, r *relation.ColVec, out *relation.ColVec) {
 			}
 			out.AppendBool(cmpHolds(op, cmp))
 		}
+	case !l.Mixed() && !r.Mixed() && lk == relation.KindString && rk == relation.KindString &&
+		l.IsDict() && l.Dict() == r.Dict() && (op == OpEq || op == OpNe):
+		// Shared dictionary: interning is injective, so string equality is
+		// code equality — one integer comparison per cell.
+		lNull, rNull := l.HasNulls(), r.HasNulls()
+		lc, rc := l.DictCodes(), r.DictCodes()
+		for i := 0; i < n; i++ {
+			if (lNull && l.IsNull(i)) || (rNull && r.IsNull(i)) {
+				out.AppendBool(false)
+				continue
+			}
+			out.AppendBool((lc[i] == rc[i]) == (op == OpEq))
+		}
 	case !l.Mixed() && !r.Mixed() && lk == relation.KindString && rk == relation.KindString:
 		lNull, rNull := l.HasNulls(), r.HasNulls()
+		if l.IsDict() || r.IsDict() {
+			// Mismatched or one-sided dictionaries: decode per cell.
+			for i := 0; i < n; i++ {
+				if (lNull && l.IsNull(i)) || (rNull && r.IsNull(i)) {
+					out.AppendBool(false)
+					continue
+				}
+				a, b := l.StringAt(i), r.StringAt(i)
+				cmp := 0
+				if a < b {
+					cmp = -1
+				} else if a > b {
+					cmp = 1
+				}
+				out.AppendBool(cmpHolds(op, cmp))
+			}
+			break
+		}
 		ls, rs := l.Strings(), r.Strings()
 		for i := 0; i < n; i++ {
 			if (lNull && l.IsNull(i)) || (rNull && r.IsNull(i)) {

@@ -1,0 +1,207 @@
+package relation
+
+import (
+	"sync"
+
+	"github.com/sampleclean/svc/internal/hashing"
+)
+
+// ColSet is a growable columnar row store — the breaker-side counterpart
+// of a []Row drain. Where a fixed-capacity Batch carries one morsel
+// between operators, a ColSet accumulates an entire pipeline input (a
+// hash-join build side, the rows under an aggregation) column-major, so
+// breaker algorithms hash, compare, and gather from typed payload slices
+// instead of materializing row slabs.
+//
+// String columns are dictionary-encoded on first contact: the set owns
+// one pooled Dict per string column and interns every appended cell, so
+// repeated strings are stored once and same-column equality compares
+// int64 codes. Release returns the set's vectors and dictionaries to
+// their pools — the caller must be done with every cell (values handed
+// downstream are decoded copies, never dictionary aliases).
+//
+// A ColSet is single-writer; concurrent readers of a set that is no
+// longer growing are safe (the parallel fold and probe paths rely on
+// this).
+type ColSet struct {
+	cols  []ColVec
+	dicts []*Dict // per-column owned dictionary, nil until first string
+	n     int
+}
+
+// colSetPool recycles ColSets (and their vectors' capacity) across
+// pipeline drains, like batchPool.
+var colSetPool = sync.Pool{New: func() any {
+	poolCounters.setNews.Add(1)
+	return new(ColSet)
+}}
+
+// GetColSet returns an empty set of the given width from the pool.
+func GetColSet(width int) *ColSet {
+	poolCounters.setGets.Add(1)
+	s := colSetPool.Get().(*ColSet)
+	if cap(s.cols) < width {
+		s.cols = append(s.cols[:cap(s.cols)], make([]ColVec, width-cap(s.cols))...)
+	}
+	s.cols = s.cols[:width]
+	for i := range s.cols {
+		s.cols[i].Reset()
+	}
+	if cap(s.dicts) < width {
+		s.dicts = make([]*Dict, width)
+	}
+	s.dicts = s.dicts[:width]
+	s.n = 0
+	return s
+}
+
+// Release returns the set's dictionaries and the set itself to their
+// pools. No cell, vector, or dictionary of the set may be used afterwards.
+func (s *ColSet) Release() {
+	for i := range s.cols {
+		s.cols[i].Reset() // drops dict references (and poisons when enabled)
+	}
+	for i, d := range s.dicts {
+		if d != nil {
+			PutDict(d)
+			s.dicts[i] = nil
+		}
+	}
+	s.n = 0
+	colSetPool.Put(s)
+}
+
+// Len reports the number of rows in the set.
+func (s *ColSet) Len() int { return s.n }
+
+// Width reports the number of columns.
+func (s *ColSet) Width() int { return len(s.cols) }
+
+// Vec returns column c (implements expr.VecSource).
+func (s *ColSet) Vec(c int) *ColVec { return &s.cols[c] }
+
+// NumPhys reports the row count (implements expr.VecSource; a ColSet is
+// always dense — no selection vector).
+func (s *ColSet) NumPhys() int { return s.n }
+
+// ensureDict switches column c to dictionary encoding when it is about to
+// receive its first string cell.
+func (s *ColSet) ensureDict(c int) {
+	v := &s.cols[c]
+	if v.dict != nil || v.mixed || v.kind != KindNull {
+		return
+	}
+	if s.dicts[c] == nil {
+		s.dicts[c] = GetDict()
+	}
+	v.EnableDict(s.dicts[c])
+}
+
+// AppendRow appends one row cell-wise (row batches, oracle inputs).
+func (s *ColSet) AppendRow(r Row) {
+	for c := range s.cols {
+		if r[c].kind == KindString {
+			s.ensureDict(c)
+		}
+		s.cols[c].AppendValue(r[c])
+	}
+	s.n++
+}
+
+// AppendRows appends a row slice.
+func (s *ColSet) AppendRows(rows []Row) {
+	for _, r := range rows {
+		s.AppendRow(r)
+	}
+}
+
+// AppendBatch appends the selected rows of a batch. Columnar batches copy
+// column-at-a-time with typed bulk appends (string columns intern into
+// the set's dictionaries); row batches append cell-wise. The caller still
+// owns (and releases) the batch.
+func (s *ColSet) AppendBatch(b *Batch) {
+	if !b.Columnar() {
+		s.AppendRows(b.Rows())
+		return
+	}
+	sel := b.Sel()
+	count := b.Len()
+	if count == 0 {
+		return
+	}
+	for c := range s.cols {
+		src := b.Vec(c)
+		if !src.Mixed() && src.Kind() == KindString {
+			s.ensureDict(c)
+		}
+		s.cols[c].AppendGather(src, sel)
+	}
+	s.n += count
+}
+
+// ValueAt reconstructs the cell at row i, column c.
+func (s *ColSet) ValueAt(i, c int) Value { return s.cols[c].Value(i) }
+
+// IsNullAt reports whether the cell at row i, column c is NULL.
+func (s *ColSet) IsNullAt(i, c int) bool { return s.cols[c].IsNull(i) }
+
+// HashCols returns the seeded 64-bit key hash of row i's idx columns —
+// bit-identical to Row.HashCols on the reconstructed row.
+func (s *ColSet) HashCols(i int, idx []int, seed uint64) uint64 {
+	h := hashing.Init64(seed)
+	for _, c := range idx {
+		h = s.cols[c].AddHash64At(i, h)
+	}
+	return hashing.Finish64(h)
+}
+
+// HasNullAt reports whether any of row i's idx columns is NULL (SQL join
+// key semantics).
+func (s *ColSet) HasNullAt(i int, idx []int) bool {
+	for _, c := range idx {
+		if s.cols[c].IsNull(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// KeyEqualCols reports encoding equality of s's row i and o's row j over
+// the respective column index lists (len(idx) == len(oidx)). Columns
+// sharing a dictionary (always true when s == o) compare codes.
+func (s *ColSet) KeyEqualCols(i int, idx []int, o *ColSet, j int, oidx []int) bool {
+	for k := range idx {
+		if !s.cols[idx[k]].KeyEqualAt(i, &o.cols[oidx[k]], j) {
+			return false
+		}
+	}
+	return true
+}
+
+// KeyEqualRow reports encoding equality of s's row i (idx columns)
+// against a Row's ridx columns.
+func (s *ColSet) KeyEqualRow(i int, idx []int, r Row, ridx []int) bool {
+	for k := range idx {
+		if !s.cols[idx[k]].Value(i).KeyEqual(r[ridx[k]]) {
+			return false
+		}
+	}
+	return true
+}
+
+// EncodeCols appends the canonical encoding of row i's idx columns to dst
+// — byte-identical to Row.EncodeCols on the reconstructed row, so index
+// probes from a ColSet hit exactly like row probes.
+func (s *ColSet) EncodeCols(i int, idx []int, dst []byte) []byte {
+	for _, c := range idx {
+		dst = s.cols[c].appendEncoded(i, dst)
+	}
+	return dst
+}
+
+// CopyRowTo reconstructs row i into dst (len(dst) == Width).
+func (s *ColSet) CopyRowTo(i int, dst Row) {
+	for c := range s.cols {
+		dst[c] = s.cols[c].Value(i)
+	}
+}

@@ -1,0 +1,222 @@
+package relation
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// fuzzSetRows builds n rows over every kind, with NULLs, NaN/−0.0, and a
+// small string pool (so dictionaries actually dedupe).
+func fuzzSetRows(rng *rand.Rand, n int) []Row {
+	pool := codecValues()
+	strs := []Value{String(""), String("red"), String("green"), String("blue"), String("x\x00y")}
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = Row{
+			pool[rng.Intn(len(pool))],
+			strs[rng.Intn(len(strs))],
+			pool[rng.Intn(len(pool))],
+		}
+	}
+	return rows
+}
+
+// Every per-row ColSet accessor must agree with the Row-level operation on
+// the reconstructed row: same hash, same canonical encoding, same
+// equality, same cells — the contract the columnar join and fold build on.
+func TestColSetMatchesRowSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5E7))
+	rows := fuzzSetRows(rng, 500)
+	s := GetColSet(3)
+	defer s.Release()
+	s.AppendRows(rows)
+	if s.Len() != len(rows) || s.Width() != 3 {
+		t.Fatalf("Len/Width = %d/%d, want %d/3", s.Len(), s.Width(), len(rows))
+	}
+	if s.Vec(1).Dict() == nil {
+		t.Fatal("string column did not dictionary-encode")
+	}
+	idxSets := [][]int{{0}, {1}, {2}, {0, 1}, {1, 2}, {0, 1, 2}}
+	const seed = 0x1234
+	scratch := make(Row, 3)
+	for i, r := range rows {
+		for _, idx := range idxSets {
+			if got, want := s.HashCols(i, idx, seed), r.HashCols(idx, seed); got != want {
+				t.Fatalf("row %d idx %v: HashCols %x != Row.HashCols %x", i, idx, got, want)
+			}
+			if got, want := s.EncodeCols(i, idx, nil), r.EncodeCols(idx, nil); !bytes.Equal(got, want) {
+				t.Fatalf("row %d idx %v: EncodeCols %x != Row.EncodeCols %x", i, idx, got, want)
+			}
+			if !s.KeyEqualRow(i, idx, r, idx) {
+				t.Fatalf("row %d idx %v: KeyEqualRow false against own row", i, idx)
+			}
+			hasNull := false
+			for _, c := range idx {
+				hasNull = hasNull || r[c].IsNull()
+			}
+			if s.HasNullAt(i, idx) != hasNull {
+				t.Fatalf("row %d idx %v: HasNullAt %v, want %v", i, idx, s.HasNullAt(i, idx), hasNull)
+			}
+		}
+		for c := range r {
+			if got := s.ValueAt(i, c); got.Kind() != r[c].Kind() || !got.KeyEqual(r[c]) {
+				t.Fatalf("row %d col %d: ValueAt %v, want %v", i, c, got, r[c])
+			}
+			if s.IsNullAt(i, c) != r[c].IsNull() {
+				t.Fatalf("row %d col %d: IsNullAt mismatch", i, c)
+			}
+		}
+		s.CopyRowTo(i, scratch)
+		if !scratch.KeyEqualCols([]int{0, 1, 2}, rows[i], []int{0, 1, 2}) {
+			t.Fatalf("row %d: CopyRowTo %v, want %v", i, scratch, rows[i])
+		}
+	}
+	// Cross-row equality (same set ⇒ same dict ⇒ code compare) must equal
+	// Row equality over the encodings.
+	for trial := 0; trial < 2000; trial++ {
+		i, j := rng.Intn(len(rows)), rng.Intn(len(rows))
+		idx := idxSets[rng.Intn(len(idxSets))]
+		want := rows[i].KeyEqualCols(idx, rows[j], idx)
+		if got := s.KeyEqualCols(i, idx, s, j, idx); got != want {
+			t.Fatalf("rows %d,%d idx %v: KeyEqualCols %v, want %v", i, j, idx, got, want)
+		}
+	}
+}
+
+// AppendBatch must land the same cells whether the source batch is
+// columnar (typed bulk gather, with or without a selection vector, dict
+// or plain strings) or a row batch — and a second ColSet fed row-wise is
+// the reference.
+func TestColSetAppendBatchEqualsAppendRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xAB5))
+	rows := fuzzSetRows(rng, 300)
+
+	mkColumnar := func(sel []int32) *Batch {
+		b := GetBatch()
+		b.BeginColumnar(3)
+		for _, r := range rows {
+			for c, v := range r {
+				b.Vec(c).AppendValue(v)
+			}
+		}
+		if sel != nil {
+			b.SetSel(sel)
+		}
+		return b
+	}
+	var sel []int32
+	for i := range rows {
+		if i%3 != 1 {
+			sel = append(sel, int32(i))
+		}
+	}
+	keptRows := make([]Row, 0, len(sel))
+	for _, i := range sel {
+		keptRows = append(keptRows, rows[i])
+	}
+
+	cases := []struct {
+		name string
+		feed func(s *ColSet)
+		want []Row
+	}{
+		{"columnar-dense", func(s *ColSet) {
+			b := mkColumnar(nil)
+			s.AppendBatch(b)
+			b.Release()
+		}, rows},
+		{"columnar-sel", func(s *ColSet) {
+			b := mkColumnar(sel)
+			s.AppendBatch(b)
+			b.Release()
+		}, keptRows},
+		{"row-batch", func(s *ColSet) {
+			b := GetBatch()
+			b.AppendRows(rows)
+			s.AppendBatch(b)
+			b.Release()
+		}, rows},
+		{"two-batches", func(s *ColSet) {
+			b1, b2 := mkColumnar(nil), mkColumnar(sel)
+			s.AppendBatch(b1)
+			s.AppendBatch(b2)
+			b1.Release()
+			b2.Release()
+		}, append(append([]Row(nil), rows...), keptRows...)},
+	}
+	allIdx := []int{0, 1, 2}
+	for _, tc := range cases {
+		s := GetColSet(3)
+		ref := GetColSet(3)
+		tc.feed(s)
+		ref.AppendRows(tc.want)
+		if s.Len() != ref.Len() {
+			t.Fatalf("%s: %d rows, want %d", tc.name, s.Len(), ref.Len())
+		}
+		for i := 0; i < ref.Len(); i++ {
+			if got, want := s.EncodeCols(i, allIdx, nil), ref.EncodeCols(i, allIdx, nil); !bytes.Equal(got, want) {
+				t.Fatalf("%s: row %d: %x != %x", tc.name, i, got, want)
+			}
+		}
+		s.Release()
+		ref.Release()
+	}
+}
+
+// Released sets recycle their dictionaries; with poisoning on, a string
+// read BEFORE Release must stay intact afterwards (decoded cells copy the
+// header, never alias pooled dictionary state), while the recycled dict's
+// storage is observably poisoned through a retained *Dict alias.
+func TestColSetDictRecyclePoison(t *testing.T) {
+	prev := SetPoisonRecycled(true)
+	defer SetPoisonRecycled(prev)
+
+	s := GetColSet(1)
+	s.AppendRow(Row{String("alpha")})
+	s.AppendRow(Row{String("beta")})
+	s.AppendRow(Row{String("alpha")}) // interned: dict holds 2 entries
+	d := s.Vec(0).Dict()
+	if d == nil {
+		t.Fatal("expected dictionary encoding")
+	}
+	if d.Len() != 2 {
+		t.Fatalf("dict has %d entries, want 2 (interning)", d.Len())
+	}
+	v := s.ValueAt(0, 0)
+	retained := d.strs // simulated retention bug: aliasing pooled storage
+	s.Release()
+	if got := v.AsString(); got != "alpha" {
+		t.Fatalf("decoded cell changed after Release: %q", got)
+	}
+	// The retained slice aliases the recycled dictionary's backing array;
+	// poisoning makes the use-after-release deterministic instead of
+	// silently reading the next drain's strings.
+	for i, got := range retained {
+		if got != PoisonString {
+			t.Fatalf("recycled dict slot %d = %q, want the poison sentinel", i, got)
+		}
+	}
+}
+
+// GetColSet must reuse pooled sets and dictionaries instead of
+// allocating fresh ones each drain.
+func TestColSetPoolRecycling(t *testing.T) {
+	before := ReadPoolCounters()
+	for i := 0; i < 64; i++ {
+		s := GetColSet(2)
+		s.AppendRow(Row{Int(int64(i)), String("s")})
+		s.Release()
+	}
+	after := ReadPoolCounters()
+	gets := after.SetGets - before.SetGets
+	news := after.SetNews - before.SetNews
+	if gets != 64 {
+		t.Fatalf("SetGets delta %d, want 64", gets)
+	}
+	// sync.Pool may shed a few entries under GC pressure, but steady-state
+	// reuse must dominate.
+	if news > gets/2 {
+		t.Fatalf("SetNews delta %d of %d gets — pool not recycling", news, gets)
+	}
+}

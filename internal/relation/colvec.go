@@ -1,8 +1,11 @@
 package relation
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
+
+	"github.com/sampleclean/svc/internal/hashing"
 )
 
 // ColVec is a typed column vector: the cells of one attribute across the
@@ -20,6 +23,12 @@ import (
 // batch pool recycle vectors across pipeline drains with no per-cycle
 // allocations.
 //
+// A string vector may additionally be dictionary-encoded (EnableDict):
+// its kind stays KindString but cells are stored as int64 codes into a
+// shared Dict instead of string headers, so repeated values are stored
+// once and same-dictionary equality is an integer comparison. The vector
+// does not own the dictionary — see Dict for the lifetime rules.
+//
 // A ColVec is not safe for concurrent mutation; pipelines hand each
 // batch (and its vectors) to one goroutine at a time.
 type ColVec struct {
@@ -27,19 +36,33 @@ type ColVec struct {
 	n       int
 	hasNull bool
 	nulls   []uint64 // bitmap (1 = NULL); tracked only once hasNull
-	ints    []int64  // KindInt / KindBool payloads
+	ints    []int64  // KindInt / KindBool payloads; dict codes when dict != nil
 	floats  []float64
 	strs    []string
+	dict    *Dict // non-nil = dictionary-encoded strings (kind == KindString)
 	mixed   bool
 	vals    []Value // mixed fallback; authoritative when mixed
 }
 
-// Reset empties the vector, keeping payload capacity for reuse.
+// Reset empties the vector, keeping payload capacity for reuse. The
+// dictionary reference is dropped, not recycled — the vector never owns
+// it.
 func (v *ColVec) Reset() {
+	if poisonRecycled.Load() {
+		for i := range v.strs {
+			v.strs[i] = PoisonString
+		}
+		for i := range v.vals {
+			if v.vals[i].kind == KindString {
+				v.vals[i].s = PoisonString
+			}
+		}
+	}
 	v.kind = KindNull
 	v.n = 0
 	v.hasNull = false
 	v.mixed = false
+	v.dict = nil
 	v.nulls = v.nulls[:0]
 	v.ints = v.ints[:0]
 	v.floats = v.floats[:0]
@@ -92,8 +115,58 @@ func (v *ColVec) Int64s() []int64 { return v.ints }
 func (v *ColVec) Float64s() []float64 { return v.floats }
 
 // Strings returns the string payload slice (Kind == KindString, not
-// Mixed); NULL slots hold empty strings.
+// Mixed, not IsDict); NULL slots hold empty strings. Dict-encoded vectors
+// keep codes, not headers — callers must check IsDict first (StringAt
+// reads either representation).
 func (v *ColVec) Strings() []string { return v.strs }
+
+// IsDict reports whether the vector is dictionary-encoded.
+func (v *ColVec) IsDict() bool { return v.dict != nil }
+
+// Dict returns the shared dictionary of a dict-encoded vector (nil
+// otherwise).
+func (v *ColVec) Dict() *Dict { return v.dict }
+
+// DictCodes returns the per-cell dictionary codes (IsDict only); NULL
+// slots hold code 0.
+func (v *ColVec) DictCodes() []int64 { return v.ints }
+
+// StringAt returns cell i's string under either string representation
+// (plain headers or dictionary codes). Valid when Kind is KindString, the
+// vector is not Mixed, and the cell is non-NULL.
+func (v *ColVec) StringAt(i int) string {
+	if v.dict != nil {
+		return v.dict.At(v.ints[i])
+	}
+	return v.strs[i]
+}
+
+// EnableDict turns an empty or all-NULL vector into a dict-encoded string
+// vector interning into d. Cells appended afterwards (AppendValue with
+// string values, AppendGather from string vectors) are stored as codes.
+func (v *ColVec) EnableDict(d *Dict) {
+	if v.mixed || (v.kind != KindNull && v.kind != KindString) || len(v.strs) > 0 {
+		panic("relation: EnableDict on a non-empty non-string vector")
+	}
+	v.dict = d
+	if v.kind == KindNull {
+		// Adopt like adoptKind, but with code payloads.
+		v.kind = KindString
+		for i := 0; i < v.n; i++ {
+			v.ints = append(v.ints, 0)
+		}
+		if v.n > 0 {
+			v.hasNull = true
+			v.nulls = v.nulls[:0]
+			for w := 0; w*64 < v.n; w++ {
+				v.nulls = append(v.nulls, 0)
+			}
+			for i := 0; i < v.n; i++ {
+				v.nulls[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+	}
+}
 
 // Value reconstructs cell i as a scalar Value — the codec between the
 // columnar and the row representation. Round-tripping any Value through
@@ -112,6 +185,9 @@ func (v *ColVec) Value(i int) Value {
 	case KindFloat:
 		return Value{kind: KindFloat, f: v.floats[i]}
 	default: // KindString
+		if v.dict != nil {
+			return Value{kind: KindString, s: v.dict.At(v.ints[i])}
+		}
 		return Value{kind: KindString, s: v.strs[i]}
 	}
 }
@@ -147,7 +223,11 @@ func (v *ColVec) AppendValue(val Value) {
 	case KindFloat:
 		v.floats = append(v.floats, val.f)
 	default: // KindString
-		v.strs = append(v.strs, val.s)
+		if v.dict != nil {
+			v.ints = append(v.ints, v.dict.Intern(val.s))
+		} else {
+			v.strs = append(v.strs, val.s)
+		}
 	}
 	if v.hasNull {
 		v.growNulls()
@@ -232,6 +312,8 @@ func (v *ColVec) Truthy(i int) bool {
 }
 
 // CopyFrom resets v and copies all of src's cells with typed bulk copies.
+// A dict-encoded source is shared by pointer (codes copy, dictionary does
+// not) — see Dict for the lifetime rules.
 func (v *ColVec) CopyFrom(src *ColVec) {
 	v.Reset()
 	if src.mixed {
@@ -241,6 +323,7 @@ func (v *ColVec) CopyFrom(src *ColVec) {
 		return
 	}
 	v.kind = src.kind
+	v.dict = src.dict
 	v.n = src.n
 	v.hasNull = src.hasNull
 	v.nulls = append(v.nulls, src.nulls...)
@@ -250,7 +333,8 @@ func (v *ColVec) CopyFrom(src *ColVec) {
 }
 
 // GatherFrom resets v and copies src's cells at the selected physical
-// positions, producing a dense vector of len(sel) cells.
+// positions, producing a dense vector of len(sel) cells. Dict-encoded
+// sources gather codes and share the dictionary by pointer.
 func (v *ColVec) GatherFrom(src *ColVec, sel []int32) {
 	v.Reset()
 	if src.mixed {
@@ -262,6 +346,18 @@ func (v *ColVec) GatherFrom(src *ColVec, sel []int32) {
 		return
 	}
 	if src.kind == KindNull {
+		v.n = len(sel)
+		return
+	}
+	if src.dict != nil {
+		v.kind = KindString
+		v.dict = src.dict
+		for _, i := range sel {
+			v.ints = append(v.ints, src.ints[int(i)])
+		}
+		if src.hasNull {
+			v.gatherNulls(src, sel)
+		}
 		v.n = len(sel)
 		return
 	}
@@ -289,11 +385,187 @@ func (v *ColVec) GatherFrom(src *ColVec, sel []int32) {
 	}
 }
 
+// gatherNulls rebuilds the null bitmap for a typed gather of sel from src.
+// v.n must not yet include the gathered cells (bits are set at positions
+// [0, len(sel))); callers gather payloads first, then call this, then set n.
+func (v *ColVec) gatherNulls(src *ColVec, sel []int32) {
+	hasAny := false
+	for k, i := range sel {
+		if src.nulls[int(i)>>6]&(1<<(uint(i)&63)) != 0 {
+			if !hasAny {
+				hasAny = true
+				v.hasNull = true
+				v.nulls = v.nulls[:0]
+				for w := 0; w*64 < len(sel); w++ {
+					v.nulls = append(v.nulls, 0)
+				}
+			}
+			v.nulls[k>>6] |= 1 << (uint(k) & 63)
+		}
+	}
+}
+
 // appendEncoded appends the canonical encoding of cell i to dst (the same
 // injective codec as Value.appendEncoded, so columnar key construction is
 // byte-identical to the row pipeline's).
 func (v *ColVec) appendEncoded(i int, dst []byte) []byte {
 	return v.Value(i).appendEncoded(dst)
+}
+
+// AddHash64At folds cell i into a streaming 64-bit hash state, reading
+// the typed payload directly. The fold is identical to Value.addHash64 on
+// the reconstructed cell (dictionary cells hash their decoded string), so
+// columnar key hashing matches Row.HashCols bit for bit.
+func (v *ColVec) AddHash64At(i int, h uint64) uint64 {
+	if v.mixed {
+		return v.vals[i].addHash64(h)
+	}
+	if v.kind == KindNull || (v.hasNull && v.nulls[i>>6]&(1<<(uint(i)&63)) != 0) {
+		return hashing.AddByte64(h, byte(KindNull))
+	}
+	h = hashing.AddByte64(h, byte(v.kind))
+	switch v.kind {
+	case KindInt, KindBool:
+		return hashing.AddUint64(h, uint64(v.ints[i]))
+	case KindFloat:
+		return hashing.AddUint64(h, math.Float64bits(v.floats[i]))
+	default: // KindString
+		var s string
+		if v.dict != nil {
+			s = v.dict.At(v.ints[i])
+		} else {
+			s = v.strs[i]
+		}
+		h = hashing.AddUint64(h, uint64(len(s)))
+		return hashing.AddString64(h, s)
+	}
+}
+
+// KeyEqualAt reports encoding equality (Value.KeyEqual) of v's cell i and
+// o's cell j. Cells of vectors sharing a dictionary compare by code —
+// one integer comparison instead of a string compare.
+func (v *ColVec) KeyEqualAt(i int, o *ColVec, j int) bool {
+	if !v.mixed && !o.mixed && v.dict != nil && v.dict == o.dict {
+		vn, on := v.IsNull(i), o.IsNull(j)
+		if vn || on {
+			return vn && on
+		}
+		return v.ints[i] == o.ints[j]
+	}
+	return v.Value(i).KeyEqual(o.Value(j))
+}
+
+// AppendGather appends src's cells at the selected physical positions
+// (sel nil = all) — the append-mode counterpart of GatherFrom, used to
+// accumulate many batches into one growing vector. A dict-encoded
+// destination interns incoming strings (sharing codes when src uses the
+// same dictionary); a plain destination receiving dict-encoded cells
+// appends decoded string headers, so the result never aliases a
+// dictionary it does not control.
+func (v *ColVec) AppendGather(src *ColVec, sel []int32) {
+	count := src.n
+	if sel != nil {
+		count = len(sel)
+	}
+	if count == 0 {
+		return
+	}
+	if v.mixed || src.mixed || src.kind == KindNull || src.hasNull || v.hasNull ||
+		(v.n > 0 && v.kind != src.kind) || (v.n == 0 && v.dict == nil && v.kind != KindNull && v.kind != src.kind) {
+		v.appendGatherSlow(src, sel)
+		return
+	}
+	switch {
+	case v.dict != nil:
+		if src.kind != KindString {
+			v.appendGatherSlow(src, sel)
+			return
+		}
+		switch {
+		case src.dict == v.dict:
+			if sel == nil {
+				v.ints = append(v.ints, src.ints...)
+			} else {
+				for _, i := range sel {
+					v.ints = append(v.ints, src.ints[int(i)])
+				}
+			}
+		case src.dict != nil:
+			if sel == nil {
+				for i := 0; i < src.n; i++ {
+					v.ints = append(v.ints, v.dict.Intern(src.dict.At(src.ints[i])))
+				}
+			} else {
+				for _, i := range sel {
+					v.ints = append(v.ints, v.dict.Intern(src.dict.At(src.ints[int(i)])))
+				}
+			}
+		default:
+			if sel == nil {
+				for i := 0; i < src.n; i++ {
+					v.ints = append(v.ints, v.dict.Intern(src.strs[i]))
+				}
+			} else {
+				for _, i := range sel {
+					v.ints = append(v.ints, v.dict.Intern(src.strs[int(i)]))
+				}
+			}
+		}
+	case src.dict != nil: // plain destination ← dict source: decode
+		v.kind = KindString
+		if sel == nil {
+			for i := 0; i < src.n; i++ {
+				v.strs = append(v.strs, src.dict.At(src.ints[i]))
+			}
+		} else {
+			for _, i := range sel {
+				v.strs = append(v.strs, src.dict.At(src.ints[int(i)]))
+			}
+		}
+	default:
+		v.kind = src.kind
+		switch src.kind {
+		case KindInt, KindBool:
+			if sel == nil {
+				v.ints = append(v.ints, src.ints...)
+			} else {
+				for _, i := range sel {
+					v.ints = append(v.ints, src.ints[int(i)])
+				}
+			}
+		case KindFloat:
+			if sel == nil {
+				v.floats = append(v.floats, src.floats...)
+			} else {
+				for _, i := range sel {
+					v.floats = append(v.floats, src.floats[int(i)])
+				}
+			}
+		default:
+			if sel == nil {
+				v.strs = append(v.strs, src.strs...)
+			} else {
+				for _, i := range sel {
+					v.strs = append(v.strs, src.strs[int(i)])
+				}
+			}
+		}
+	}
+	v.n += count
+}
+
+// appendGatherSlow is the per-cell fallback covering mixed sources, NULL
+// bitmaps, kind clashes, and dictionary interning via AppendValue.
+func (v *ColVec) appendGatherSlow(src *ColVec, sel []int32) {
+	if sel == nil {
+		for i := 0; i < src.n; i++ {
+			v.AppendValue(src.Value(i))
+		}
+		return
+	}
+	for _, i := range sel {
+		v.AppendValue(src.Value(int(i)))
+	}
 }
 
 // appendTypedNull appends a NULL to a typed (non-empty-kind) vector.
@@ -311,7 +583,11 @@ func (v *ColVec) appendTypedNull() {
 	case KindFloat:
 		v.floats = append(v.floats, 0)
 	default:
-		v.strs = append(v.strs, "")
+		if v.dict != nil {
+			v.ints = append(v.ints, 0)
+		} else {
+			v.strs = append(v.strs, "")
+		}
 	}
 	v.growNulls()
 	v.nulls[v.n>>6] |= 1 << (uint(v.n) & 63)
@@ -344,13 +620,15 @@ func (v *ColVec) adoptKind(k Kind) {
 	}
 }
 
-// demoteMixed converts the vector to the per-cell Value representation.
+// demoteMixed converts the vector to the per-cell Value representation
+// (decoding dictionary cells — mixed vectors never carry codes).
 func (v *ColVec) demoteMixed() {
 	v.vals = v.vals[:0]
 	for i := 0; i < v.n; i++ {
 		v.vals = append(v.vals, v.Value(i))
 	}
 	v.mixed = true
+	v.dict = nil
 }
 
 // growNulls keeps the bitmap covering n+1 cells (call before n++).
@@ -392,6 +670,10 @@ var poolCounters struct {
 	batchNews atomic.Uint64
 	vecGets   atomic.Uint64
 	vecNews   atomic.Uint64
+	dictGets  atomic.Uint64
+	dictNews  atomic.Uint64
+	setGets   atomic.Uint64
+	setNews   atomic.Uint64
 }
 
 // PoolCounters is a snapshot of the batch/vector pool counters.
@@ -401,6 +683,10 @@ type PoolCounters struct {
 	BatchGets, BatchNews uint64
 	// VecGets/VecNews are the same for scratch column vectors (GetVec).
 	VecGets, VecNews uint64
+	// DictGets/DictNews are the same for string dictionaries (GetDict).
+	DictGets, DictNews uint64
+	// SetGets/SetNews are the same for columnar row stores (GetColSet).
+	SetGets, SetNews uint64
 }
 
 // BatchHitRate returns the batch pool hit rate in [0, 1] (1 when idle).
@@ -408,6 +694,12 @@ func (p PoolCounters) BatchHitRate() float64 { return hitRate(p.BatchGets, p.Bat
 
 // VecHitRate returns the scratch-vector pool hit rate in [0, 1].
 func (p PoolCounters) VecHitRate() float64 { return hitRate(p.VecGets, p.VecNews) }
+
+// DictHitRate returns the dictionary pool hit rate in [0, 1].
+func (p PoolCounters) DictHitRate() float64 { return hitRate(p.DictGets, p.DictNews) }
+
+// SetHitRate returns the ColSet pool hit rate in [0, 1].
+func (p PoolCounters) SetHitRate() float64 { return hitRate(p.SetGets, p.SetNews) }
 
 func hitRate(gets, news uint64) float64 {
 	if gets == 0 {
@@ -426,5 +718,9 @@ func ReadPoolCounters() PoolCounters {
 		BatchNews: poolCounters.batchNews.Load(),
 		VecGets:   poolCounters.vecGets.Load(),
 		VecNews:   poolCounters.vecNews.Load(),
+		DictGets:  poolCounters.dictGets.Load(),
+		DictNews:  poolCounters.dictNews.Load(),
+		SetGets:   poolCounters.setGets.Load(),
+		SetNews:   poolCounters.setNews.Load(),
 	}
 }

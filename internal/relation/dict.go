@@ -1,0 +1,77 @@
+package relation
+
+import "sync"
+
+// Dict is a string dictionary backing dictionary-encoded string vectors: a
+// dense code → string table plus the reverse index used to intern. A
+// dict-encoded ColVec stores one int64 code per cell instead of a 16-byte
+// string header, so repeated values (flags, statuses, priorities — the
+// low-cardinality string columns of analytic schemas) are stored once, and
+// equality between cells of the same dictionary is an integer comparison.
+//
+// Dictionaries are owned by the structure that interns into them (a ColSet
+// accumulating breaker-side rows) and are recycled through a pool exactly
+// like batches and scratch vectors. Vectors produced by GatherFrom/CopyFrom
+// share the owner's dictionary by pointer; the owner must outlive every
+// sharing vector, which the pipeline guarantees by releasing a ColSet only
+// after its consumers are done (emitted batches decode dict cells to plain
+// strings, so nothing downstream ever aliases a pooled dictionary).
+//
+// A Dict is not safe for concurrent interning; concurrent readers (At) of a
+// dictionary that is no longer growing are fine.
+type Dict struct {
+	strs  []string
+	index map[string]int32
+}
+
+// Len reports the number of distinct interned strings.
+func (d *Dict) Len() int { return len(d.strs) }
+
+// At returns the string for code (codes are dense, starting at 0).
+func (d *Dict) At(code int64) string { return d.strs[code] }
+
+// Intern returns the code for s, assigning the next code on first sight.
+func (d *Dict) Intern(s string) int64 {
+	if c, ok := d.index[s]; ok {
+		return int64(c)
+	}
+	c := int32(len(d.strs))
+	d.strs = append(d.strs, s)
+	if d.index == nil {
+		d.index = make(map[string]int32)
+	}
+	d.index[s] = c
+	return int64(c)
+}
+
+// Reset empties the dictionary, keeping capacity for reuse.
+func (d *Dict) Reset() {
+	if poisonRecycled.Load() {
+		for i := range d.strs {
+			d.strs[i] = PoisonString
+		}
+	}
+	d.strs = d.strs[:0]
+	clear(d.index)
+}
+
+// dictPool recycles dictionaries across pipeline drains, like vecPool.
+var dictPool = sync.Pool{New: func() any {
+	poolCounters.dictNews.Add(1)
+	return new(Dict)
+}}
+
+// GetDict returns an empty dictionary from the pool.
+func GetDict() *Dict {
+	poolCounters.dictGets.Add(1)
+	d := dictPool.Get().(*Dict)
+	d.Reset()
+	return d
+}
+
+// PutDict returns a dictionary to the pool. The caller must ensure no
+// vector still references it (see Dict).
+func PutDict(d *Dict) {
+	d.Reset()
+	dictPool.Put(d)
+}

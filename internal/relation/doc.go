@@ -19,6 +19,18 @@
 // FuzzValueColVecRoundTrip). ReadPoolCounters exposes batch/vector pool
 // hit rates for the serving layer's /stats gauges.
 //
+// String vectors may be dictionary-encoded (Dict): distinct strings are
+// interned once, cells store int64 codes, and same-dictionary equality
+// is an integer compare. ColSet is the breaker-side columnar row store —
+// a growable set of vectors (one pooled dictionary per string column)
+// that accumulates a whole pipeline input for the columnar join and the
+// parallel aggregation fold, exposing the same canonical-key surface as
+// Row (HashCols/EncodeCols/KeyEqualCols, bit- and byte-identical).
+// Dictionaries and sets recycle through pools like batches;
+// SetPoisonRecycled overwrites recycled string storage with a sentinel
+// so any consumer retaining a reference past Release fails
+// deterministically in tests.
+//
 // The terminology follows the paper: tuples of base relations are "records"
 // and tuples of derived relations are "rows"; both are represented by Row.
 //

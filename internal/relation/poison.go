@@ -1,0 +1,28 @@
+package relation
+
+import "sync/atomic"
+
+// Recycled-storage poisoning, a test hook for the batch/vector/dictionary
+// pools. Pool recycling is only safe if no consumer retains a reference
+// into pooled storage past Release: a row copied out of a columnar batch
+// (Batch.CopyRows) must hold its own string headers, never the batch
+// vector's payload slice, and nothing may read a pooled dictionary after
+// its owning ColSet is released.
+//
+// With poisoning enabled, every Reset of a string payload or dictionary
+// overwrites the dead slots with PoisonString before truncating. A
+// consumer that (incorrectly) kept the slice or the vector alive then
+// observes PoisonString instead of its data, which the retention tests
+// assert never happens on any pipeline output. Go strings are immutable,
+// so a correctly copied header keeps pointing at the original bytes and
+// is unaffected.
+
+// PoisonString is the sentinel written into recycled string and
+// dictionary slots while poisoning is enabled.
+const PoisonString = "\x00☠poisoned-recycled-storage☠\x00"
+
+var poisonRecycled atomic.Bool
+
+// SetPoisonRecycled toggles recycled-storage poisoning (test hook).
+// Returns the previous setting.
+func SetPoisonRecycled(on bool) bool { return poisonRecycled.Swap(on) }
