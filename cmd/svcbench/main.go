@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	svcbench -list
+//	svcbench -list                          # or: svcbench -run list
 //	svcbench -run fig4a,fig5
 //	svcbench -run all -scale 1.0
 //	svcbench -run fig9b -csv
@@ -24,6 +24,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -54,11 +55,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *list || *run == "" {
-		fmt.Println("available experiments:")
-		for _, id := range bench.List() {
-			fmt.Printf("  %-16s %s\n", id, bench.Describe(id))
-		}
+	if *list || *run == "" || *run == "list" {
+		printExperiments(os.Stdout)
 		if *run == "" {
 			fmt.Println("\nrun with: svcbench -run <id>[,<id>...] [-scale 1.0] [-csv]")
 		}
@@ -69,7 +67,22 @@ func main() {
 	if *run == "all" {
 		ids = bench.List()
 	} else {
-		ids = strings.Split(*run, ",")
+		for _, id := range strings.Split(*run, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+	// Reject unknown IDs up front — a typo should fail loudly with the
+	// menu, not run half the list and bury one error line in the output.
+	unknown := false
+	for _, id := range ids {
+		if !bench.Known(id) {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+			unknown = true
+		}
+	}
+	if unknown {
+		printExperiments(os.Stderr)
+		os.Exit(2)
 	}
 
 	report := &bench.JSONReport{
@@ -79,7 +92,6 @@ func main() {
 	}
 	failed := 0
 	for _, id := range ids {
-		id = strings.TrimSpace(id)
 		start := time.Now()
 		table, err := bench.Run(id, bench.Scale(*scale))
 		if err != nil {
@@ -105,5 +117,12 @@ func main() {
 	}
 	if failed > 0 {
 		os.Exit(1)
+	}
+}
+
+func printExperiments(w io.Writer) {
+	fmt.Fprintln(w, "available experiments:")
+	for _, id := range bench.List() {
+		fmt.Fprintf(w, "  %-16s %s\n", id, bench.Describe(id))
 	}
 }

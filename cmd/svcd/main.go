@@ -56,6 +56,8 @@ func main() {
 		churn    = flag.Int("churn", 0, "staged updates per second while serving (0 = none)")
 		walDir   = flag.String("wal-dir", "", "directory for the durable maintenance log (empty = no durability)")
 		walSync  = flag.Duration("wal-sync", 0, "group-commit sync interval (0 = default 2ms; negative = fsync every commit)")
+		schedInt = flag.Duration("sched-interval", 0, "error-budget refresh scheduler tick (0 = per-view refreshers only)")
+		schedBud = flag.Int("sched-budget", 1, "views maintained per scheduler tick (starvation-forced views ride free)")
 	)
 	flag.Parse()
 
@@ -66,6 +68,8 @@ func main() {
 		MaxRows:         *maxRows,
 		SamplingRatio:   *ratio,
 		Refresh:         *refresh,
+		SchedInterval:   *schedInt,
+		SchedBudget:     *schedBud,
 	}
 
 	var (

@@ -34,6 +34,17 @@ type Context struct {
 	// (svcbench -columnar=off) and the columnar≡row property tests.
 	// Results are identical either way.
 	NoColumnar bool
+
+	// Epoch identifies the catalog version whose bindings this context
+	// reads (db.Version.Context stamps it). 0 means unversioned; a
+	// SubplanCache only ever serves contexts whose Epoch matches its own,
+	// so cached subtree outputs cannot cross catalog versions.
+	Epoch uint64
+
+	// Subplans is the per-cycle shared-subplan cache consulted by
+	// CachedNode (nil disables sharing; see cached.go). Set by the group
+	// maintenance cycle, never by single-view evaluation.
+	Subplans *SubplanCache
 }
 
 // NewContext creates an evaluation context over the given named relations.

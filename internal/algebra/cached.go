@@ -1,0 +1,297 @@
+package algebra
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// SubplanCache holds the materialized outputs of shared maintenance
+// subplans for exactly one catalog epoch. The group maintenance cycle
+// creates one cache per cycle, pinned to the epoch of the catalog version
+// being maintained; every CachedNode evaluated under a context carrying
+// the cache first checks that the context's epoch matches, so a cache can
+// never serve rows computed against one catalog version to an evaluation
+// of another (a stale cache silently degrades to pass-through). Results
+// are stored as pooled columnar ColSets and returned to their pools by
+// Release at the end of the cycle.
+type SubplanCache struct {
+	epoch uint64
+
+	mu      sync.Mutex
+	entries map[uint64]*subplanEntry
+
+	hits      uint64
+	misses    uint64
+	rowsSaved int64 // rows the hit evaluations did not have to touch
+}
+
+type subplanEntry struct {
+	canon string
+	set   *relation.ColSet
+	cost  int64 // RowsTouched by the evaluation that filled the entry
+}
+
+// NewSubplanCache creates an empty cache pinned to the given catalog
+// epoch. Epoch 0 means "unversioned" and never matches (see usable).
+func NewSubplanCache(epoch uint64) *SubplanCache {
+	return &SubplanCache{epoch: epoch, entries: make(map[uint64]*subplanEntry)}
+}
+
+// Epoch returns the catalog epoch this cache is pinned to.
+func (c *SubplanCache) Epoch() uint64 { return c.epoch }
+
+// usable reports whether the cache may serve ctx: the context must be
+// evaluating the exact catalog version the cache was built for.
+func (c *SubplanCache) usable(ctx *Context) bool {
+	return c != nil && ctx.Epoch != 0 && c.epoch == ctx.Epoch
+}
+
+// lookup returns the entry for (fp, canon), verifying the canonical
+// encoding so a fingerprint collision reads as a miss.
+func (c *SubplanCache) lookup(fp uint64, canon string) *subplanEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[fp]
+	if e == nil || e.canon != canon {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	c.rowsSaved += e.cost
+	return e
+}
+
+// store publishes a computed entry. When two evaluations race on the same
+// miss the first store wins and the loser's set is released — both sets
+// hold identical rows, so either is valid.
+func (c *SubplanCache) store(fp uint64, canon string, set *relation.ColSet, cost int64) *relation.ColSet {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e := c.entries[fp]; e != nil && e.canon == canon {
+		set.Release()
+		return e.set
+	}
+	c.entries[fp] = &subplanEntry{canon: canon, set: set, cost: cost}
+	return set
+}
+
+// Stats returns the cache counters: hits, misses, and the total rows the
+// hit evaluations avoided touching.
+func (c *SubplanCache) Stats() (hits, misses uint64, rowsSaved int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.rowsSaved
+}
+
+// Entries returns the number of distinct subplans cached.
+func (c *SubplanCache) Entries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Release returns every cached ColSet to its pool and empties the cache.
+// Callers must not use the cache (or batches gathered from it) afterwards.
+func (c *SubplanCache) Release() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for fp, e := range c.entries {
+		e.set.Release()
+		delete(c.entries, fp)
+	}
+}
+
+// CachedNode marks a subtree whose output may be shared across the
+// maintenance plans of several views within one cycle. Evaluation is
+// transparent: under a context carrying a usable SubplanCache the node
+// serves the cached columnar result (computing and publishing it on first
+// use); otherwise it passes its child's stream through untouched. The
+// CacheSubplans rewriter inserts these nodes; plans without them are
+// unaffected.
+type CachedNode struct {
+	child Node
+	fp    uint64
+	canon string
+}
+
+// Cached wraps child in a CachedNode, fingerprinting its subtree.
+func Cached(child Node) *CachedNode {
+	canon := CanonicalString(child)
+	return &CachedNode{child: child, fp: FingerprintString(canon), canon: canon}
+}
+
+// Fingerprint returns the 64-bit fingerprint of the wrapped subtree.
+func (n *CachedNode) Fingerprint() uint64 { return n.fp }
+
+// Schema implements Node.
+func (n *CachedNode) Schema() relation.Schema { return n.child.Schema() }
+
+// Eval implements Node (the pipeline shim; see pipeline.go).
+func (n *CachedNode) Eval(ctx *Context) (*relation.Relation, error) {
+	return evalPipelined(ctx, n)
+}
+
+// Children implements Node.
+func (n *CachedNode) Children() []Node { return []Node{n.child} }
+
+// WithChildren implements Node.
+func (n *CachedNode) WithChildren(ch []Node) Node {
+	if len(ch) != 1 {
+		panic("algebra: Cached takes one child")
+	}
+	return Cached(ch[0])
+}
+
+// String implements Node.
+func (n *CachedNode) String() string { return fmt.Sprintf("Cached(%016x)", n.fp) }
+
+// cachedIter evaluates a CachedNode. With a usable cache it serves the
+// subtree's materialized ColSet — filling it on the first evaluation of
+// the fingerprint this cycle — as dense columnar batches (ValueAt decodes
+// dictionary cells, so emitted batches never alias pooled storage).
+// Without one it is a transparent pass-through over the child's iterator.
+type cachedIter struct {
+	node  *CachedNode
+	ctx   *Context
+	inner Iterator // pass-through mode; nil when serving the cache
+	set   *relation.ColSet
+	pos   int
+	// hit marks that set came from another consumer's evaluation: emitted
+	// rows are then charged to RowsTouched (reading cached rows is work,
+	// like a scan). A miss charges nothing on emission — the child's own
+	// evaluation already paid, exactly as in the uncached pipeline.
+	hit bool
+}
+
+func (ci *cachedIter) Open(ctx *Context) error {
+	ci.ctx = ctx
+	cache := ctx.Subplans
+	if !cache.usable(ctx) {
+		ci.inner = iterNode(ci.node.child)
+		return ci.inner.Open(ctx)
+	}
+	if e := cache.lookup(ci.node.fp, ci.node.canon); e != nil {
+		ci.set = e.set
+		ci.hit = true
+		return nil
+	}
+	// First evaluation of this subplan in the cycle: drain the child into
+	// a fresh ColSet and publish it. Nested CachedNodes inside the child
+	// consult the same cache, so sharing composes at every granularity.
+	before := ctx.RowsTouched
+	set, err := drainColSet(ctx, ci.node.child)
+	if err != nil {
+		return err
+	}
+	cost := ctx.RowsTouched - before
+	ci.set = cache.store(ci.node.fp, ci.node.canon, set, cost)
+	return nil
+}
+
+func (ci *cachedIter) Next() (*relation.Batch, error) {
+	if ci.inner != nil {
+		return ci.inner.Next()
+	}
+	if ci.pos >= ci.set.Len() {
+		return nil, nil
+	}
+	m := ci.set.Len() - ci.pos
+	if m > relation.BatchCap {
+		m = relation.BatchCap
+	}
+	w := ci.set.Width()
+	b := relation.GetBatch()
+	b.BeginColumnar(w)
+	for j := 0; j < w; j++ {
+		vec := b.Vec(j)
+		for i := ci.pos; i < ci.pos+m; i++ {
+			vec.AppendValue(ci.set.ValueAt(i, j))
+		}
+	}
+	ci.pos += m
+	if ci.hit {
+		ci.ctx.RowsTouched += int64(m)
+	}
+	return b, nil
+}
+
+func (ci *cachedIter) Close() {
+	if ci.inner != nil {
+		ci.inner.Close()
+	}
+	ci.set = nil // owned by the cache; released by SubplanCache.Release
+}
+
+// CachePolicy tells CacheSubplans which scans make a subtree shareable.
+// Both predicates see the binding name a ScanNode reads.
+type CachePolicy struct {
+	// Stable reports that the binding is immutable for the whole cycle —
+	// base tables and delta relations pinned by a catalog version qualify;
+	// the per-view stale-view binding does not.
+	Stable func(name string) bool
+	// Delta reports that the binding is a delta relation. Only subtrees
+	// reading at least one delta are worth caching: those are the inputs
+	// every view's maintenance plan re-scans.
+	Delta func(name string) bool
+}
+
+// CacheSubplans rewrites n for shared-subplan maintenance: every pipeline
+// breaker (join, aggregate, set operator) whose subtree reads only stable
+// bindings, at least one of them a delta, is wrapped in a CachedNode.
+// Wrapping is bottom-up, so sharing is available at every granularity —
+// e.g. a delta-scan union is cached even when the join above it differs
+// between views. Streaming chain operators are never wrapped: they fuse
+// with their scan, and caching them would break that fusion for no saved
+// work. The rewrite is semantics-preserving whether or not a cache is
+// present at evaluation time.
+func CacheSubplans(n Node, pol CachePolicy) Node {
+	ch := n.Children()
+	if len(ch) > 0 {
+		nch := make([]Node, len(ch))
+		changed := false
+		for i, c := range ch {
+			nch[i] = CacheSubplans(c, pol)
+			changed = changed || nch[i] != c
+		}
+		if changed {
+			n = n.WithChildren(nch)
+		}
+	}
+	switch n.(type) {
+	case *JoinNode, *AggregateNode, *SetOpNode:
+		if cacheable(n, pol) {
+			return Cached(n)
+		}
+	}
+	return n
+}
+
+// cacheable reports whether the subtree under n reads only stable
+// bindings, touches at least one delta, and contains only operators whose
+// canonical encoding fully determines their output (fingerprint safety).
+func cacheable(n Node, pol CachePolicy) bool {
+	if pol.Stable == nil || pol.Delta == nil {
+		return false
+	}
+	ok, hasDelta := true, false
+	Walk(n, func(c Node) {
+		switch t := c.(type) {
+		case *ScanNode:
+			if !pol.Stable(t.name) {
+				ok = false
+			}
+			if pol.Delta(t.name) {
+				hasDelta = true
+			}
+		case *SelectNode, *ProjectNode, *AliasNode, *JoinNode, *AggregateNode, *SetOpNode, *CachedNode:
+			// Canonically encodable operators.
+		default:
+			// HashFilter (its hasher is not part of the encoding) and any
+			// future operator are conservatively uncacheable.
+			ok = false
+		}
+	})
+	return ok && hasDelta
+}

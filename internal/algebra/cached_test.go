@@ -1,0 +1,194 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sampleclean/svc/internal/expr"
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// Fixtures mimic a maintenance plan's delta inputs: ΔLog/∇Log are keyless
+// bags of inserted/deleted log rows, and deltaUnion is the signed-
+// multiplicity union every view's plan re-scans.
+
+func deltaCtx(epoch uint64) *Context {
+	ins := relation.New(relation.NewSchema([]relation.Column{
+		{Name: "sessionId", Type: relation.KindInt},
+		{Name: "videoId", Type: relation.KindInt},
+	}))
+	for i := 0; i < 40; i++ {
+		ins.MustInsert(relation.Row{relation.Int(int64(1000 + i)), relation.Int(int64(i % 5))})
+	}
+	del := relation.New(ins.Schema())
+	for i := 0; i < 10; i++ {
+		del.MustInsert(relation.Row{relation.Int(int64(1000 + i)), relation.Int(int64(i % 5))})
+	}
+	ctx := NewContext(map[string]*relation.Relation{"ΔLog": ins, "∇Log": del})
+	ctx.Epoch = epoch
+	return ctx
+}
+
+func deltaUnion() Node {
+	schema := relation.NewSchema([]relation.Column{
+		{Name: "sessionId", Type: relation.KindInt},
+		{Name: "videoId", Type: relation.KindInt},
+	})
+	side := func(name string, mult int64) Node {
+		return MustProject(Scan(name, schema), []Output{
+			Out("sessionId", expr.Col("sessionId")),
+			Out("videoId", expr.Col("videoId")),
+			Out("__mult", expr.IntLit(mult)),
+		})
+	}
+	return MustUnion(side("ΔLog", 1), side("∇Log", -1))
+}
+
+func testPolicy() CachePolicy {
+	return CachePolicy{
+		Stable: func(string) bool { return true },
+		Delta: func(name string) bool {
+			return strings.HasPrefix(name, "Δ") || strings.HasPrefix(name, "∇")
+		},
+	}
+}
+
+func TestFingerprintCanonical(t *testing.T) {
+	a, b := deltaUnion(), deltaUnion()
+	if CanonicalString(a) != CanonicalString(b) {
+		t.Fatalf("structurally identical plans encode differently:\n%s\n%s",
+			CanonicalString(a), CanonicalString(b))
+	}
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Fatal("identical encodings hash differently")
+	}
+	// A differing predicate must change the encoding.
+	c := MustSelect(deltaUnion(), expr.Gt(expr.Col("videoId"), expr.IntLit(2)))
+	d := MustSelect(deltaUnion(), expr.Gt(expr.Col("videoId"), expr.IntLit(3)))
+	if CanonicalString(c) == CanonicalString(d) {
+		t.Fatal("different predicates share a canonical encoding")
+	}
+}
+
+func TestCacheSubplansWrapsDeltaBreakers(t *testing.T) {
+	plan := MustGroupBy(deltaUnion(), []string{"videoId"},
+		SumAs(expr.Col("__mult"), "m"))
+	shared := CacheSubplans(plan, testPolicy())
+	cachedCount := 0
+	Walk(shared, func(n Node) {
+		if _, ok := n.(*CachedNode); ok {
+			cachedCount++
+		}
+	})
+	if cachedCount != 2 { // the union and the group-by above it
+		t.Fatalf("want 2 CachedNodes (union + group-by), got %d:\n%s", cachedCount, Format(shared))
+	}
+	// A plan reading an unstable binding (the stale view) must not wrap it.
+	stale := MustDifference(
+		Scan("§V", relation.NewSchema([]relation.Column{{Name: "videoId", Type: relation.KindInt}}, "videoId")),
+		MustProject(deltaUnion(), []Output{Out("videoId", expr.Col("videoId"))}))
+	pol := testPolicy()
+	pol.Stable = func(name string) bool { return !strings.HasPrefix(name, "§") }
+	rewritten := CacheSubplans(stale, pol)
+	if _, ok := rewritten.(*CachedNode); ok {
+		t.Fatal("subtree reading the stale view must not be cached")
+	}
+}
+
+// Shared-cache evaluation must (1) produce rows identical to plain
+// evaluation, (2) register hits on the second consumer, and (3) touch
+// fewer rows on the hit than on the miss.
+func TestSharedSubplanEquivalenceAndHits(t *testing.T) {
+	for _, noCol := range []bool{false, true} {
+		viewA := MustGroupBy(deltaUnion(), []string{"videoId"}, SumAs(expr.Col("__mult"), "m"))
+		viewB := MustGroupBy(deltaUnion(), []string{"videoId"}, SumAs(expr.Col("__mult"), "n"), CountAs("c"))
+
+		sharedA := CacheSubplans(viewA, testPolicy())
+		sharedB := CacheSubplans(viewB, testPolicy())
+
+		plainCtx := deltaCtx(0)
+		plainCtx.NoColumnar = noCol
+		wantA := mustEval(t, viewA, plainCtx)
+		wantB := mustEval(t, viewB, plainCtx)
+
+		cache := NewSubplanCache(7)
+		ctx := deltaCtx(7)
+		ctx.NoColumnar = noCol
+		ctx.Subplans = cache
+		gotA := mustEval(t, sharedA, ctx)
+		missTouched := ctx.RowsTouched
+		gotB := mustEval(t, sharedB, ctx)
+		hitTouched := ctx.RowsTouched - missTouched
+
+		for _, p := range []struct{ want, got *relation.Relation }{{wantA, gotA}, {wantB, gotB}} {
+			p.want.SortByKey()
+			p.got.SortByKey()
+			if !p.want.Equal(p.got) {
+				t.Fatalf("noColumnar=%v: shared evaluation differs:\nwant\n%v\ngot\n%v",
+					noCol, p.want, p.got)
+			}
+		}
+		hits, misses, saved := cache.Stats()
+		if hits == 0 {
+			t.Fatalf("noColumnar=%v: second consumer registered no cache hits (misses=%d)", noCol, misses)
+		}
+		if saved <= 0 {
+			t.Fatalf("noColumnar=%v: rowsSaved = %d, want > 0", noCol, saved)
+		}
+		if hitTouched >= missTouched {
+			t.Fatalf("noColumnar=%v: hit evaluation touched %d rows, miss touched %d — no work saved",
+				noCol, hitTouched, missTouched)
+		}
+		cache.Release()
+	}
+}
+
+// A cache built for one catalog epoch must never serve a context pinned to
+// another: evaluation silently degrades to pass-through and recomputes.
+func TestStaleEpochCacheBypassed(t *testing.T) {
+	view := MustGroupBy(deltaUnion(), []string{"videoId"}, SumAs(expr.Col("__mult"), "m"))
+	shared := CacheSubplans(view, testPolicy())
+
+	cache := NewSubplanCache(7)
+	warm := deltaCtx(7)
+	warm.Subplans = cache
+	mustEval(t, shared, warm)
+
+	// New epoch: bindings changed, cache is stale.
+	ctx := deltaCtx(8)
+	ctx.Subplans = cache
+	got := mustEval(t, shared, ctx)
+	want := mustEval(t, view, deltaCtx(0))
+	want.SortByKey()
+	got.SortByKey()
+	if !want.Equal(got) {
+		t.Fatalf("stale-epoch evaluation differs:\nwant\n%v\ngot\n%v", want, got)
+	}
+	hits, _, _ := cache.Stats()
+	if hits != 0 {
+		t.Fatalf("stale cache served %d hits across epochs", hits)
+	}
+	// Unversioned contexts (Epoch 0) must bypass too.
+	unversioned := deltaCtx(0)
+	unversioned.Subplans = cache
+	mustEval(t, shared, unversioned)
+	if h, _, _ := cache.Stats(); h != 0 {
+		t.Fatalf("unversioned context served %d hits", h)
+	}
+	cache.Release()
+}
+
+// A fingerprint collision (same hash, different canonical encoding) must
+// read as a miss, never serve the colliding entry.
+func TestFingerprintCollisionIsMiss(t *testing.T) {
+	cache := NewSubplanCache(1)
+	set := relation.GetColSet(1)
+	cache.store(42, "plan-a", set, 0)
+	if e := cache.lookup(42, "plan-b"); e != nil {
+		t.Fatal("colliding canonical encodings must miss")
+	}
+	if e := cache.lookup(42, "plan-a"); e == nil {
+		t.Fatal("exact encoding must hit")
+	}
+	cache.Release()
+}

@@ -29,6 +29,8 @@ func TestWorkerCtxThreadsEveryField(t *testing.T) {
 	copied := map[string]bool{
 		"rels":       true,
 		"NoColumnar": true,
+		"Epoch":      true,
+		"Subplans":   true,
 	}
 
 	parent := NewContext(map[string]*relation.Relation{})
@@ -37,6 +39,8 @@ func TestWorkerCtxThreadsEveryField(t *testing.T) {
 	parent.RowsTouched = 99
 	parent.Parallelism = 8
 	parent.NoColumnar = true
+	parent.Epoch = 7
+	parent.Subplans = NewSubplanCache(7)
 
 	worker := parent.workerCtx()
 

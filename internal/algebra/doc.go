@@ -27,6 +27,17 @@
 // and the fallback for shapes the vectorizer does not cover
 // (Context.NoColumnar forces it engine-wide).
 //
+// For multi-view maintenance cycles, fingerprint.go + cached.go add
+// cross-plan subplan sharing: Fingerprint canonically encodes a
+// scan/select/project/join subtree, SubplanCache memoizes its pooled
+// columnar result keyed on (fingerprint, catalog epoch), and CachedNode
+// splices the cached ColSet back into any consumer plan. CacheSubplans
+// wraps the cacheable frontier of a maintenance plan so K views sharing
+// delta scans evaluate them once per cycle (DESIGN.md "Multi-view
+// maintenance optimizer"). The cache is mutex-guarded and verifies the
+// canonical encoding on every hit, so a 64-bit collision degrades to a
+// miss, never a wrong answer; epoch mismatches refuse at construction.
+//
 // Concurrency contract: Node trees are immutable once built — rewriters
 // return new trees — so one plan may be evaluated by any number of
 // goroutines simultaneously, including the bound expressions it shares

@@ -1,0 +1,60 @@
+package algebra
+
+import (
+	"strings"
+
+	"github.com/sampleclean/svc/internal/hashing"
+)
+
+// Plan fingerprinting for the multi-view maintenance optimizer.
+//
+// Two maintenance plans that scan, filter, and project the same delta
+// relations the same way contain structurally identical subtrees. The
+// optimizer detects them by a canonical encoding of the subtree — every
+// operator's one-line description plus its full output schema (the schema
+// carries the key assertion, which String alone omits for Project and the
+// set operators) composed over the children in order — and keys the
+// shared-subplan cache by the encoding's 64-bit hash. The hash is the fast
+// path; cache lookups always verify the canonical string too, so a hash
+// collision degrades to a miss, never to wrong rows (the same
+// hash-then-verify convention as the key substrate in internal/hashing).
+
+// subplanSeed salts plan fingerprints away from the row-key hash domain.
+const subplanSeed = 0x9e3779b97f4a7c15
+
+// CanonicalString renders n's subtree as a canonical encoding: operator
+// descriptions and output schemas composed in child order. Equal encodings
+// mean equal output relations for any binding of the referenced names.
+func CanonicalString(n Node) string {
+	var b strings.Builder
+	writeCanonical(&b, n)
+	return b.String()
+}
+
+func writeCanonical(b *strings.Builder, n Node) {
+	b.WriteString(n.String())
+	b.WriteByte('#')
+	b.WriteString(n.Schema().String())
+	ch := n.Children()
+	if len(ch) == 0 {
+		return
+	}
+	b.WriteByte('(')
+	for i, c := range ch {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		writeCanonical(b, c)
+	}
+	b.WriteByte(')')
+}
+
+// Fingerprint returns the 64-bit hash of n's canonical encoding.
+func Fingerprint(n Node) uint64 {
+	return FingerprintString(CanonicalString(n))
+}
+
+// FingerprintString hashes an already-rendered canonical encoding.
+func FingerprintString(canon string) uint64 {
+	return hashing.Finish64(hashing.AddString64(hashing.Init64(subplanSeed), canon))
+}

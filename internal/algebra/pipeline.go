@@ -64,6 +64,8 @@ func iterNode(n Node) Iterator {
 		return &aggIter{node: t}
 	case *SetOpNode:
 		return &setOpIter{node: t}
+	case *CachedNode:
+		return &cachedIter{node: t}
 	default:
 		// Unknown operators evaluate the old way and emit the result.
 		return &evalIter{node: n}

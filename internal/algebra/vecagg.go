@@ -68,6 +68,13 @@ func columnarYields(n Node, ctx *Context) bool {
 		}
 		// Difference/Intersect stream (and filter) the left side.
 		return columnarYields(t.l, ctx)
+	case *CachedNode:
+		// Serving the cache emits dense columnar batches; pass-through
+		// yields whatever the child yields.
+		if ctx.Subplans.usable(ctx) {
+			return true
+		}
+		return columnarYields(t.child, ctx)
 	default:
 		return false
 	}

@@ -172,6 +172,9 @@ func List() []string {
 // Describe returns the one-line description of an experiment.
 func Describe(id string) string { return descriptions[id] }
 
+// Known reports whether an experiment ID is registered.
+func Known(id string) bool { _, ok := registry[id]; return ok }
+
 // timeIt measures the wall-clock duration of f.
 func timeIt(f func() error) (time.Duration, error) {
 	start := time.Now()

@@ -17,7 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig8a", "fig8b", "fig9a", "fig9b", "fig10a", "fig10b",
 		"fig11", "fig12", "fig13", "fig14a", "fig14b", "fig15", "fig16",
 		"ablate-hash", "ablate-pushdown", "ablate-advisor", "ablate-nonunique",
-		"serve", "serve-http", "pipeline", "ingest",
+		"serve", "serve-http", "pipeline", "ingest", "refresh-sched",
 	}
 	have := map[string]bool{}
 	for _, id := range List() {
@@ -290,5 +290,31 @@ func TestServeShape(t *testing.T) {
 	// robust at tiny test scales).
 	if duringMaint <= 0 {
 		t.Errorf("no query ever completed during a maintenance cycle — readers look blocked\n%s", tb.Render())
+	}
+}
+
+func TestRefreshSchedShape(t *testing.T) {
+	tb := runAndCheck(t, "refresh-sched", 8)
+	m := map[string]float64{}
+	for _, row := range tb.Rows {
+		m[row[1]] = parse(t, row[2])
+	}
+	// Win 1: one group cycle over K views sharing a base table must not
+	// touch more rows than K independent cycles, and the saving must come
+	// from real cache hits.
+	if m["shared_rows"] > m["independent_rows"] {
+		t.Errorf("shared cycle touched %v rows, independent %v\n%s",
+			m["shared_rows"], m["independent_rows"], tb.Render())
+	}
+	if m["shared_hits"] <= 0 || m["rows_saved"] <= 0 {
+		t.Errorf("no subplan sharing happened (hits=%v saved=%v)\n%s",
+			m["shared_hits"], m["rows_saved"], tb.Render())
+	}
+	// Win 2: at the same per-tick maintenance budget, the error-budget
+	// scheduler must serve a mean CI width no wider than fixed-interval
+	// round-robin under the skewed mix.
+	if m["sched_mean_ci_width"] > m["fixed_mean_ci_width"] {
+		t.Errorf("scheduler mean CI width %v wider than fixed-interval %v\n%s",
+			m["sched_mean_ci_width"], m["fixed_mean_ci_width"], tb.Render())
 	}
 }

@@ -5,7 +5,10 @@
 // them and bench_test.go wraps them in testing.B benchmarks. The serving
 // experiments ("serve", "serve-http") go beyond the paper: they measure
 // reader throughput while maintenance cycles run, in-process and through
-// the svcd HTTP daemon respectively.
+// the svcd HTTP daemon respectively. "refresh-sched" gates the multi-view
+// maintenance optimizer: shared group cycles must beat K independent
+// cycles on rows touched, and the error-budget scheduler must beat
+// fixed-interval refresh on mean CI width under a skewed query mix.
 //
 // Concurrency contract: each experiment builds its own database and view
 // and may spawn internal writer/reader goroutines, but the harness itself

@@ -300,7 +300,28 @@ func (v *Version) Context() *algebra.Context {
 	ctx := algebra.NewContext(rels)
 	ctx.Parallelism = v.parallelism
 	ctx.NoColumnar = v.noColumnar
+	ctx.Epoch = v.epoch
 	return ctx
+}
+
+// PendingRows counts the staged delta rows (insertions plus deletions)
+// pinned by this version for the named tables — all tables when none are
+// given. It is the staleness mass a maintenance cycle over those tables
+// would fold in, the quantity the refresh scheduler weighs views by.
+func (v *Version) PendingRows(tables ...string) int {
+	total := 0
+	if len(tables) == 0 {
+		for _, vt := range v.tables {
+			total += vt.ins.Len() + vt.del.Len()
+		}
+		return total
+	}
+	for _, name := range tables {
+		if vt, ok := v.tables[name]; ok {
+			total += vt.ins.Len() + vt.del.Len()
+		}
+	}
+	return total
 }
 
 // buildVersion publishes a fresh Version from the live catalog. The caller
@@ -540,6 +561,35 @@ func (d *Database) ApplyDeltas() error {
 // reader pinning the resulting version sees the new base tables, only the
 // deltas staged after v, and the new attachments — never a mix.
 func (d *Database) ApplyVersion(v *Version, atts map[string]any) error {
+	return d.applyVersion(v, atts, nil)
+}
+
+// ApplyVersionTables is ApplyVersion restricted to a subset of tables:
+// only the named tables' pinned deltas are folded and retired; every
+// other table keeps its base AND its pending deltas untouched, so views
+// over the excluded tables still see their full change sets at the next
+// maintenance. This is what makes staleness-driven scheduling sound on a
+// shared catalog — deferring a view must not let another view's boundary
+// silently fold (and retire) the deferred view's deltas out from under
+// it.
+//
+// Table names absent from the catalog are ignored. The attachments are
+// published exactly as in ApplyVersion. A partial boundary does not
+// advance the durable log's replay cut (excluded tables' logged records
+// are not yet folded), so recovery after a crash simply re-stages the
+// partially folded deltas — a recomputation, never a loss.
+func (d *Database) ApplyVersionTables(v *Version, atts map[string]any, tables []string) error {
+	only := make(map[string]bool, len(tables))
+	for _, t := range tables {
+		only[t] = true
+	}
+	return d.applyVersion(v, atts, only)
+}
+
+// applyVersion implements ApplyVersion; a nil `only` folds every table,
+// otherwise exactly the tables in the set.
+func (d *Database) applyVersion(v *Version, atts map[string]any, only map[string]bool) error {
+	folds := func(name string) bool { return only == nil || only[name] }
 	// The retirement protocol is only sound relative to the base tables v
 	// was pinned against: re-folding a pin that predates another boundary
 	// would mis-record already-applied rows as pending changes. Reject
@@ -575,7 +625,7 @@ func (d *Database) ApplyVersion(v *Version, atts map[string]any) error {
 	newBases := make(map[string]*relation.Relation)
 	for _, name := range v.order {
 		vt := v.tables[name]
-		if vt.ins.Len() == 0 && vt.del.Len() == 0 {
+		if !folds(name) || (vt.ins.Len() == 0 && vt.del.Len() == 0) {
 			continue
 		}
 		nb := vt.base.Clone()
@@ -646,6 +696,12 @@ func (d *Database) ApplyVersion(v *Version, atts map[string]any) error {
 				}
 			}
 		}
+		if !folds(name) {
+			// Excluded from this (partial) boundary: the base was not
+			// folded, so the pinned deltas must stay pending verbatim for
+			// the table's own next maintenance boundary.
+			continue
+		}
 		// Retire the applied deltas from the live pending sets. ∇R rows
 		// are write-once per key, so an identical row means "applied".
 		for _, row := range vt.del.Rows() {
@@ -689,8 +745,13 @@ func (d *Database) ApplyVersion(v *Version, atts map[string]any) error {
 	// the lock (keeping log order = boundary order) and synced after
 	// release; the just-published version rides along so the log can
 	// checkpoint it off-lock when enough segments become retirable.
+	// A partial boundary skips the record: excluded tables' logged
+	// records are not folded yet, so the replay cut must not move past
+	// them. Recovery then re-stages the partially folded rows too — the
+	// folded tables' next full boundary re-nets them (recompute, not
+	// loss).
 	var commit func() error
-	if lg := d.DeltaLog(); lg != nil && applyErr == nil {
+	if lg := d.DeltaLog(); lg != nil && applyErr == nil && only == nil {
 		var logErr error
 		commit, logErr = lg.Boundary(d.applied, v.walSeq, nv)
 		if logErr != nil {

@@ -10,7 +10,13 @@
 // deltas. ApplyDeltas folds them into the base tables (the "maintenance
 // period" boundary); ApplyVersion is its concurrent-serving form, folding
 // exactly a pinned version's deltas while re-basing updates staged
-// mid-cycle.
+// mid-cycle. ApplyVersionTables is the partial fold used by group
+// maintenance cycles: it folds only the named tables' pinned deltas and
+// leaves every other table's base and pending deltas untouched, so a
+// scheduler can maintain a subset of views without retiring deltas their
+// siblings have not seen. Partial folds do not advance the durable log's
+// replay cut (the boundary record is skipped), trading a little replay
+// work after a crash for never losing an unfolded record.
 //
 // Concurrency contract: all mutators (Create, Insert, the Stage* family,
 // ApplyDeltas/ApplyVersion, SetAttachment, EnsureIndex) serialize on the

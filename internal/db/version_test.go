@@ -349,3 +349,71 @@ func TestApplyVersionStalePinRejected(t *testing.T) {
 		t.Fatal("applied insert was deleted by a stale re-base")
 	}
 }
+
+// TestApplyVersionTablesPartialFold: a partial boundary folds only the
+// named tables; every other table keeps its base AND its pending deltas,
+// so a view deferred by a refresh scheduler never has its change set
+// retired out from under it.
+func TestApplyVersionTablesPartialFold(t *testing.T) {
+	d := New()
+	ta := d.MustCreate("A", vSchema())
+	tb := d.MustCreate("B", vSchema())
+	for i := 0; i < 4; i++ {
+		ta.MustInsert(vRow(i, i))
+		tb.MustInsert(vRow(i, 10*i))
+	}
+	if err := ta.StageInsert(vRow(100, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ta.StageDelete(relation.Int(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.StageInsert(vRow(200, 200)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.StageUpdate(vRow(1, -1)); err != nil {
+		t.Fatal(err)
+	}
+	pin := d.Pin()
+
+	if err := d.ApplyVersionTables(pin, nil, []string{"A"}); err != nil {
+		t.Fatal(err)
+	}
+	// A folded: base updated, deltas retired.
+	if ta.Len() != 4 {
+		t.Fatalf("A has %d rows, want 4", ta.Len())
+	}
+	if _, ok := ta.Rows().Get(relation.Int(100)); !ok {
+		t.Fatal("A's applied insert missing from base")
+	}
+	if ins, del := ta.PendingSize(); ins != 0 || del != 0 {
+		t.Fatalf("A pending ins=%d del=%d, want 0/0", ins, del)
+	}
+	// B untouched: base as loaded, deltas still pending verbatim.
+	if tb.Len() != 4 {
+		t.Fatalf("B has %d rows, want 4", tb.Len())
+	}
+	if _, ok := tb.Rows().Get(relation.Int(200)); ok {
+		t.Fatal("B's pending insert leaked into base")
+	}
+	if ins, del := tb.PendingSize(); ins != 2 || del != 1 {
+		t.Fatalf("B pending ins=%d del=%d, want 2/1", ins, del)
+	}
+	// The partial boundary is a real boundary: old pins are superseded.
+	if err := d.ApplyVersion(pin, nil); err == nil {
+		t.Fatal("pin from before the partial boundary should be superseded")
+	}
+	// B's own boundary still lands its full change set.
+	if err := d.ApplyVersion(d.Pin(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 5 {
+		t.Fatalf("after B's fold: %d rows, want 5", tb.Len())
+	}
+	if got, ok := tb.Rows().Get(relation.Int(1)); !ok || got[1].AsInt() != -1 {
+		t.Fatalf("B's staged update lost: got %v ok=%v", got, ok)
+	}
+	if d.HasPending() {
+		t.Fatal("all deltas should be folded now")
+	}
+}

@@ -24,6 +24,12 @@
 //
 // Because both strategies are plain relational expressions, SVC's hash
 // push-down applies to them directly — that is the paper's central trick.
+// And because they are plain expressions, they compose with the subplan
+// cache too: MaintainAtShared evaluates a cycle with the delta-reading
+// frontier of the strategy routed through an algebra.SubplanCache, so
+// views sharing base tables evaluate each shared delta subtree once per
+// group cycle (BaseTables reports which tables a view's strategy reads;
+// SharedExpression is the cache-wrapped strategy body).
 //
 // Concurrency contract: a View's data pointer is atomic — Data() is safe
 // from any goroutine and returns whatever relation was last published.

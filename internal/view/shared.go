@@ -1,0 +1,69 @@
+package view
+
+import (
+	"strings"
+
+	"github.com/sampleclean/svc/internal/algebra"
+	"github.com/sampleclean/svc/internal/db"
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// Shared-subplan maintenance: the multi-view optimizer's view-layer half.
+//
+// Every view's maintenance expression re-reads the same staged deltas
+// (Scan ΔR / ∇R) and often filters and nets them identically — K views
+// over one base table pay K delta scans per cycle. MaintainAtShared
+// evaluates the maintenance expression with its shareable subtrees wrapped
+// in algebra.CachedNode, so a group cycle that passes one SubplanCache to
+// every view evaluates each shared subtree once and fans the columnar
+// result out. Which subtrees are shareable is a pure naming question here:
+// base tables and their pinned deltas are immutable for the whole cycle,
+// while the per-view stale binding (§view) differs per consumer.
+
+// maintenancePolicy classifies scan bindings for algebra.CacheSubplans:
+// everything a pinned catalog version binds is stable except the per-view
+// stale-view relation; the delta bindings are the Δ/∇ relations.
+func maintenancePolicy() algebra.CachePolicy {
+	staleMark := StaleName("")
+	insMark, delMark := db.InsOf(""), db.DelOf("")
+	return algebra.CachePolicy{
+		Stable: func(name string) bool { return !strings.HasPrefix(name, staleMark) },
+		Delta: func(name string) bool {
+			return strings.HasPrefix(name, insMark) || strings.HasPrefix(name, delMark)
+		},
+	}
+}
+
+// SharedExpression returns the execution-form maintenance expression with
+// CachedNodes marking the shareable subtrees. Without a cache in the
+// context it evaluates identically to the regular execution plan.
+func (m *Maintainer) SharedExpression() algebra.Node { return m.sharedExpr }
+
+// MaintainAtShared is MaintainAt with shared-subplan caching: the
+// evaluation context carries cache, so every CachedNode subtree is
+// computed once per cycle across all views maintained with the same
+// cache. The cache must be pinned to pin's epoch (algebra.SubplanCache
+// bypasses itself otherwise — correct, but with nothing shared). The
+// caller owns the cache and must Release it after the last view of the
+// cycle; the returned relation holds no cache-owned storage.
+func (m *Maintainer) MaintainAtShared(pin *db.Version, stale *relation.Relation, cache *algebra.SubplanCache) (*relation.Relation, MaintainStats, error) {
+	ctx := pin.Context()
+	ctx.Subplans = cache
+	return m.maintainExpr(ctx, stale, m.sharedExpr)
+}
+
+// BaseTables returns the distinct base tables the view definition reads,
+// in first-appearance order. The refresh scheduler uses them to weigh a
+// view's staleness by the delta rows pending against exactly the tables
+// that feed it.
+func (v *View) BaseTables() []string {
+	var names []string
+	seen := make(map[string]bool)
+	algebra.Walk(v.def.Plan, func(n algebra.Node) {
+		if s, ok := n.(*algebra.ScanNode); ok && !seen[s.Name()] {
+			seen[s.Name()] = true
+			names = append(names, s.Name())
+		}
+	})
+	return names
+}

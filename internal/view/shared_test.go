@@ -1,0 +1,142 @@
+package view_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/sampleclean/svc/internal/algebra"
+	"github.com/sampleclean/svc/internal/db"
+	"github.com/sampleclean/svc/internal/expr"
+	"github.com/sampleclean/svc/internal/relation"
+	"github.com/sampleclean/svc/internal/tpcd"
+	"github.com/sampleclean/svc/internal/view"
+)
+
+// Shared-subplan maintenance must be pure optimization: for every view,
+// MaintainAtShared with a group cache produces exactly the rows MaintainAt
+// produces, for both strategies, serial and parallel, columnar on and off
+// — while the group as a whole touches fewer rows than independent
+// maintenance.
+
+func sharedTestDB(t *testing.T) *db.Database {
+	t.Helper()
+	gen := tpcd.NewGenerator(tpcd.Config{
+		Orders: 400, MaxLines: 3, Customers: 60, Suppliers: 12, Parts: 40,
+		Z: 2, Days: 365, Seed: 7,
+	})
+	d, err := gen.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gen.StageUpdates(d, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// sharedTestViews returns the Figure 4a join view plus two aggregate
+// views derived from the same join — the aggregates share their entire
+// delta-propagation subtrees, the join view shares the delta scans.
+func sharedTestViews() []view.Definition {
+	join := func() algebra.Node {
+		return algebra.MustJoin(
+			algebra.Scan(tpcd.Lineitem, tpcd.LineitemSchema()),
+			algebra.Scan(tpcd.Orders, tpcd.OrdersSchema()),
+			algebra.JoinSpec{
+				Type:  algebra.Inner,
+				On:    []algebra.EqPair{{Left: "l_orderkey", Right: "o_orderkey"}},
+				Merge: true,
+			},
+		)
+	}
+	windowed := func() algebra.Node {
+		return algebra.MustSelect(join(), expr.Lt(expr.Col("o_orderdate"), expr.IntLit(270)))
+	}
+	return []view.Definition{
+		tpcd.JoinView(),
+		{Name: "revByOrder", Plan: algebra.MustGroupBy(windowed(),
+			[]string{"l_orderkey"},
+			algebra.CountAs("cnt"),
+			algebra.SumAs(tpcd.Revenue(), "revenue"),
+		)},
+		{Name: "qtyByPriority", Plan: algebra.MustGroupBy(windowed(),
+			[]string{"o_orderpriority"},
+			algebra.CountAs("cnt"),
+			algebra.SumAs(expr.Col("l_quantity"), "totalQty"),
+		)},
+	}
+}
+
+func TestSharedMaintenanceEquivalence(t *testing.T) {
+	d := sharedTestDB(t)
+	defs := sharedTestViews()
+
+	for _, kind := range []view.StrategyKind{view.ChangeTable, view.Recompute} {
+		views := make([]*view.View, len(defs))
+		maints := make([]*view.Maintainer, len(defs))
+		for i, def := range defs {
+			def.Name = fmt.Sprintf("%s_%s", def.Name, kind)
+			v, err := view.Materialize(d, def)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := view.NewMaintainerWithStrategy(v, kind)
+			if err != nil {
+				t.Fatalf("%s: %s strategy: %v", def.Name, kind, err)
+			}
+			views[i] = v
+			maints[i] = m
+		}
+		for _, par := range []int{1, 4} {
+			for _, columnar := range []bool{true, false} {
+				name := fmt.Sprintf("%s/par=%d/columnar=%v", kind, par, columnar)
+				t.Run(name, func(t *testing.T) {
+					d.SetParallelism(par)
+					d.SetColumnar(columnar)
+					pin := d.Pin()
+
+					// Independent: each view maintained alone.
+					var indepRows int64
+					indep := make([]*relation.Relation, len(views))
+					for i, m := range maints {
+						out, stats, err := m.MaintainAt(pin, views[i].Data())
+						if err != nil {
+							t.Fatal(err)
+						}
+						indepRows += stats.RowsTouched
+						indep[i] = out
+					}
+
+					// Shared: the same cycle with one group cache.
+					cache := algebra.NewSubplanCache(pin.Epoch())
+					defer cache.Release()
+					var sharedRows int64
+					for i, m := range maints {
+						out, stats, err := m.MaintainAtShared(pin, views[i].Data(), cache)
+						if err != nil {
+							t.Fatal(err)
+						}
+						sharedRows += stats.RowsTouched
+						out.SortByKey()
+						indep[i].SortByKey()
+						if !out.Equal(indep[i]) {
+							t.Errorf("%s: shared maintenance diverges from independent:\nshared %v\nindep  %v",
+								views[i].Name(), out, indep[i])
+						}
+					}
+					hits, misses, saved := cache.Stats()
+					if hits == 0 {
+						t.Errorf("no shared-subplan hits across %d views (misses=%d)", len(views), misses)
+					}
+					if saved <= 0 {
+						t.Errorf("rowsSaved=%d, want > 0", saved)
+					}
+					if sharedRows >= indepRows {
+						t.Errorf("shared cycle touched %d rows, independent %d — sharing saved nothing",
+							sharedRows, indepRows)
+					}
+				})
+			}
+		}
+	}
+}

@@ -45,10 +45,21 @@ type Maintainer struct {
 	// (PushDownHash, the sample-scan substitution) pattern-match the
 	// unfused operator shapes.
 	evalExpr algebra.Node
+	// sharedExpr is evalExpr with CachedNodes wrapped around the subtrees
+	// a multi-view cycle may share (see MaintainAtShared). Evaluating it
+	// without a cache is identical to evalExpr, so it is built eagerly.
+	sharedExpr algebra.Node
 }
 
 func newMaintainer(v *View, kind StrategyKind, expr algebra.Node) *Maintainer {
-	return &Maintainer{view: v, kind: kind, expr: expr, evalExpr: algebra.PushDownScans(expr)}
+	evalExpr := algebra.PushDownScans(expr)
+	return &Maintainer{
+		view:       v,
+		kind:       kind,
+		expr:       expr,
+		evalExpr:   evalExpr,
+		sharedExpr: algebra.CacheSubplans(evalExpr, maintenancePolicy()),
+	}
 }
 
 // NewMaintainer builds the maintenance expression for the view, choosing
@@ -133,14 +144,20 @@ func (m *Maintainer) Maintain(d *db.Database) (MaintainStats, error) {
 // schema as they arrive, so no intermediate relation exists between the
 // expression's operators and the maintained result.
 func (m *Maintainer) MaintainAt(pin *db.Version, stale *relation.Relation) (*relation.Relation, MaintainStats, error) {
-	ctx := pin.Context()
+	return m.maintainExpr(pin.Context(), stale, m.evalExpr)
+}
+
+// maintainExpr is the shared evaluation core of MaintainAt and
+// MaintainAtShared: drain the given maintenance expression against ctx
+// (with the stale view bound) and coerce the stream into the view schema.
+func (m *Maintainer) maintainExpr(ctx *algebra.Context, stale *relation.Relation, root algebra.Node) (*relation.Relation, MaintainStats, error) {
 	ctx.Bind(StaleName(m.view.Name()), stale)
 	fail := func(err error) (*relation.Relation, MaintainStats, error) {
 		return nil, MaintainStats{}, fmt.Errorf("view: maintain %s: %w", m.view.Name(), err)
 	}
 	target := m.view.Schema()
 	out := relation.NewSized(target, stale.Len())
-	it := algebra.NewIterator(m.evalExpr)
+	it := algebra.NewIterator(root)
 	if err := it.Open(ctx); err != nil {
 		return fail(err)
 	}

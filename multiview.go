@@ -1,0 +1,157 @@
+package svc
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/sampleclean/svc/internal/algebra"
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// Multi-view group maintenance: one catalog-wide cycle instead of V
+// independent ones.
+//
+// Independent MaintainNow calls over views sharing a database each pin,
+// evaluate, and publish separately — every cycle re-scans the same staged
+// deltas, and the first publication folds the deltas the later views were
+// about to read (correct, but each view pays a full cycle). MaintainViews
+// instead maintains K views against ONE pinned version with ONE shared
+// subplan cache and publishes all K results in a single version swap:
+// every shared delta subtree is evaluated once, and all views land on the
+// same maintenance boundary.
+
+// GroupStats reports the cost of one group maintenance cycle.
+type GroupStats struct {
+	// Views is the number of views maintained in the cycle.
+	Views int
+	// RowsTouched sums the per-view maintenance evaluation costs (rows
+	// scanned plus rows materialized), after shared-subplan savings.
+	RowsTouched int64
+	// SharedHits / SharedMisses count shared-subplan cache lookups across
+	// the cycle; RowsSaved totals the evaluation rows the hits avoided.
+	SharedHits, SharedMisses uint64
+	RowsSaved                int64
+	// Subplans is the number of distinct shared subtrees materialized.
+	Subplans int
+}
+
+// MaintainViews runs one maintenance cycle over all the given views, which
+// must share a database. The cycle pins one catalog version, maintains
+// every view against it with a shared subplan cache (delta subtrees common
+// to several views are evaluated once), and publishes every maintained
+// view, its rolled-forward sample, and the delta fold in one version swap.
+// On error nothing is published.
+//
+// MaintainViews serializes with each view's MaintainNow; concurrent group
+// cycles over overlapping view sets serialize too (locks are taken in
+// view-name order, so they cannot deadlock).
+func MaintainViews(views ...*StaleView) (GroupStats, error) {
+	if len(views) == 0 {
+		return GroupStats{}, nil
+	}
+	d := views[0].db
+	for _, sv := range views[1:] {
+		if sv.db != d {
+			return GroupStats{}, fmt.Errorf("svc: MaintainViews across databases")
+		}
+	}
+	ordered := append([]*StaleView(nil), views...)
+	sort.Slice(ordered, func(i, j int) bool {
+		return ordered[i].view.Name() < ordered[j].view.Name()
+	})
+	for i, sv := range ordered {
+		if i > 0 && sv == ordered[i-1] {
+			return GroupStats{}, fmt.Errorf("svc: MaintainViews: view %q listed twice", sv.view.Name())
+		}
+	}
+	for _, sv := range ordered {
+		sv.maintMu.Lock()
+	}
+	defer func() {
+		for _, sv := range ordered {
+			sv.maintMu.Unlock()
+		}
+	}()
+
+	// Bring every view's serving attachment up to date (republishing is a
+	// no-op on the normal path), then pin once: the final version carries
+	// all K attachments, so the whole cycle reads one consistent cut.
+	for _, sv := range ordered {
+		sv.pinServingLocked()
+	}
+	pin := d.Pin()
+	cache := algebra.NewSubplanCache(pin.Epoch())
+	defer cache.Release()
+
+	var stats GroupStats
+	atts := make(map[string]any, len(ordered))
+	type published struct {
+		sv                 *StaleView
+		maintained, sample *relation.Relation
+	}
+	outs := make([]published, 0, len(ordered))
+	for _, sv := range ordered {
+		st, ok := pin.Attachment(sv.key).(*servingState)
+		if !ok {
+			return GroupStats{}, fmt.Errorf("svc: view %q has no serving state on the pinned version", sv.view.Name())
+		}
+		samples, err := sv.cleanPinned(pin, st)
+		if err != nil {
+			return GroupStats{}, err
+		}
+		newSample, err := sv.cleaner.CoerceSample(samples)
+		if err != nil {
+			return GroupStats{}, err
+		}
+		maintained, mstats, err := sv.maint.MaintainAtShared(pin, st.view, cache)
+		if err != nil {
+			return GroupStats{}, err
+		}
+		stats.RowsTouched += mstats.RowsTouched
+		atts[sv.key] = &servingState{view: maintained, sample: newSample}
+		outs = append(outs, published{sv: sv, maintained: maintained, sample: newSample})
+	}
+	stats.Views = len(ordered)
+	stats.SharedHits, stats.SharedMisses, stats.RowsSaved = cache.Stats()
+	stats.Subplans = cache.Entries()
+
+	// Fold only the tables the group actually reads: a partial boundary
+	// keeps every other table's deltas pending, so views outside the
+	// group (e.g. ones a Scheduler deferred this tick) are never silently
+	// starved of their change sets. When the group covers every table
+	// with pending deltas the fold is full anyway — run it as a full
+	// boundary so the durable log's replay cut advances too.
+	foldSet := make(map[string]bool)
+	var foldTables []string
+	for _, sv := range ordered {
+		for _, t := range sv.view.BaseTables() {
+			if !foldSet[t] {
+				foldSet[t] = true
+				foldTables = append(foldTables, t)
+			}
+		}
+	}
+	full := true
+	for _, t := range pin.Tables() {
+		if !foldSet[t] && pin.PendingRows(t) > 0 {
+			full = false
+			break
+		}
+	}
+	var applyErr error
+	if full {
+		applyErr = d.ApplyVersion(pin, atts)
+	} else {
+		applyErr = d.ApplyVersionTables(pin, atts, foldTables)
+	}
+	if applyErr != nil {
+		return GroupStats{}, applyErr
+	}
+	for _, o := range outs {
+		if err := o.sv.view.Replace(o.maintained); err != nil {
+			return GroupStats{}, err
+		}
+		o.sv.cleaner.AdoptRelation(o.sample)
+	}
+	return stats, nil
+}

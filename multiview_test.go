@@ -1,0 +1,213 @@
+package svc_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	svc "github.com/sampleclean/svc"
+	"github.com/sampleclean/svc/internal/view"
+)
+
+// Multi-view group maintenance: one cycle over K views must produce
+// exactly what K independent cycles produce, at lower total cost, and the
+// shared-subplan cache must never leak results across catalog versions —
+// the concurrent test drives staging, querying, and group cycles together
+// under -race.
+
+// buildPair creates two aggregate views over the same Log⋈Video join on
+// one database; their maintenance plans share the whole delta-propagation
+// subtree, so a group cycle evaluates it once.
+func buildPair(t testing.TB) (*svc.Database, *svc.Table, *svc.StaleView, *svc.StaleView) {
+	t.Helper()
+	d := svc.NewDatabase()
+	video := d.MustCreate("Video", svc.NewSchema([]svc.Column{
+		svc.Col("videoId", svc.KindInt),
+		svc.Col("ownerId", svc.KindInt),
+		svc.Col("duration", svc.KindFloat),
+	}, "videoId"))
+	for i := 0; i < 50; i++ {
+		video.MustInsert(svc.Row{svc.Int(int64(i)), svc.Int(int64(i % 7)), svc.Float(float64(i) / 10)})
+	}
+	logT := d.MustCreate("Log", svc.NewSchema([]svc.Column{
+		svc.Col("sessionId", svc.KindInt),
+		svc.Col("videoId", svc.KindInt),
+	}, "sessionId"))
+	for i := 0; i < 2000; i++ {
+		logT.MustInsert(svc.Row{svc.Int(int64(i)), svc.Int(int64(i % 50))})
+	}
+	join := func() svc.Node {
+		return svc.Join(
+			svc.Scan("Log", logT.Schema()),
+			svc.Scan("Video", video.Schema()),
+			svc.JoinSpec{Type: svc.Inner, On: svc.On("videoId", "videoId"), Merge: true},
+		)
+	}
+	a, err := svc.New(d, svc.ViewDefinition{Name: "visitView", Plan: svc.GroupByAgg(
+		join(), []string{"videoId", "ownerId"},
+		svc.CountAs("visitCount"),
+		svc.SumAs(svc.ColRef("duration"), "totalDuration"),
+	)}, svc.WithSamplingRatio(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := svc.New(d, svc.ViewDefinition{Name: "ownerView", Plan: svc.GroupByAgg(
+		join(), []string{"ownerId"},
+		svc.CountAs("visits"),
+		svc.SumAs(svc.ColRef("duration"), "watched"),
+	)}, svc.WithSamplingRatio(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, logT, a, b
+}
+
+// truthCheck rematerializes the view's definition against the (folded)
+// base tables and compares with the served contents.
+func truthCheck(t *testing.T, d *svc.Database, sv *svc.StaleView) {
+	t.Helper()
+	def := sv.View().Definition()
+	truth, err := view.Materialize(d, view.Definition{Name: def.Name + "·truth", Plan: def.Plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sv.View().Data().Clone()
+	want := truth.Data().Clone()
+	got.SortByKey()
+	want.SortByKey()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: served %d rows, truth %d", def.Name, got.Len(), want.Len())
+	}
+	for i, row := range got.Rows() {
+		wrow := want.Rows()[i]
+		for j := range row {
+			if row[j].Equal(wrow[j]) {
+				continue
+			}
+			// Incremental maintenance sums floats in a different order than
+			// recomputation; allow ulp-scale drift on numeric cells.
+			g, w := row[j].AsFloat(), wrow[j].AsFloat()
+			if math.Abs(g-w) > 1e-9*math.Max(1, math.Abs(w)) {
+				t.Fatalf("%s: row %d col %d: served %v, truth %v", def.Name, i, j, row, wrow)
+			}
+		}
+	}
+}
+
+func TestMaintainViewsSharedEquivalence(t *testing.T) {
+	d, logT, a, b := buildPair(t)
+	for i := 0; i < 600; i++ {
+		if err := logT.StageInsert(svc.Row{svc.Int(int64(10_000 + i)), svc.Int(int64(i % 50))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Independent control: the same cycle view-by-view on the same pin,
+	// without publishing.
+	pin := d.Pin()
+	var indepRows int64
+	for _, sv := range []*svc.StaleView{a, b} {
+		_, stats, err := sv.Maintainer().MaintainAt(pin, sv.View().Data())
+		if err != nil {
+			t.Fatal(err)
+		}
+		indepRows += stats.RowsTouched
+	}
+
+	stats, err := svc.MaintainViews(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Views != 2 {
+		t.Fatalf("group stats views=%d, want 2", stats.Views)
+	}
+	if stats.SharedHits == 0 || stats.Subplans == 0 {
+		t.Fatalf("no sharing in group cycle: %+v", stats)
+	}
+	if stats.RowsSaved <= 0 {
+		t.Fatalf("rowsSaved=%d, want > 0", stats.RowsSaved)
+	}
+	if stats.RowsTouched >= indepRows {
+		t.Fatalf("group cycle touched %d rows, independent cycles %d — sharing saved nothing",
+			stats.RowsTouched, indepRows)
+	}
+	// Both views cover every table with deltas, so the fold was full and
+	// rematerializing from the bases gives ground truth.
+	if d.HasPending() {
+		t.Fatal("group cycle over all views should fold all deltas")
+	}
+	truthCheck(t, d, a)
+	truthCheck(t, d, b)
+
+	// Duplicate views and cross-database groups are rejected.
+	if _, err := svc.MaintainViews(a, a); err == nil {
+		t.Fatal("duplicate view in group should error")
+	}
+}
+
+// TestMaintainViewsConcurrent churns staged inserts and queries while
+// group cycles run: every cycle must stay consistent (the shared cache is
+// epoch-keyed, so a cached subtree never crosses a catalog version), and
+// after quiescing the served contents must equal a fresh materialization.
+func TestMaintainViewsConcurrent(t *testing.T) {
+	d, logT, a, b := buildPair(t)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	// Churn: keep staging fresh log rows.
+	go func() {
+		defer wg.Done()
+		// Bounded churn keeps the race-instrumented run fast while still
+		// overlapping staging with every group cycle below.
+		for next := int64(100_000); next < 112_000; next++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = logT.StageInsert(svc.Row{svc.Int(next), svc.Int(next % 50)})
+		}
+	}()
+	// Queries against both views while cycles publish.
+	errCh := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, sv := range []*svc.StaleView{a, b} {
+				if _, err := sv.Query(svc.Count(nil)); err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+			}
+		}
+	}()
+
+	for i := 0; i < 12; i++ {
+		if _, err := svc.MaintainViews(a, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatalf("concurrent query failed: %v", err)
+	default:
+	}
+
+	// Quiesce: one final cycle folds everything staged before it.
+	if _, err := svc.MaintainViews(a, b); err != nil {
+		t.Fatal(err)
+	}
+	truthCheck(t, d, a)
+	truthCheck(t, d, b)
+}

@@ -1,0 +1,486 @@
+package svc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Error-budget refresh scheduling: spend the maintenance budget where the
+// expected query error is highest.
+//
+// The fixed-interval Refresher treats every view alike; under a skewed
+// query mix most of its cycles refresh views nobody is asking about while
+// the hot view accumulates staleness between its turns. The Scheduler
+// instead ranks views by expected-error reduction per unit maintenance
+// cost: a view's staleness (pending delta rows against its base tables ×
+// time since its last maintenance) weighted by the probability the next
+// query hits it, divided by the EWMA cost of maintaining it. The hit
+// probability comes from a Markov model of the query mix — observed
+// query-to-query transitions form a transition matrix whose stationary
+// distribution (damped power iteration) predicts where queries go next;
+// until enough transitions accumulate, observed query frequencies stand
+// in. Each tick the top-scoring stale views (up to Budget, plus any view
+// past the MaxAge starvation bound) are maintained together in ONE group
+// cycle (MaintainViews), so views sharing delta subplans share their
+// evaluation too.
+type Scheduler struct {
+	d   *Database
+	cfg SchedulerConfig
+	now func() time.Time
+
+	mu       sync.Mutex
+	views    map[string]*schedView
+	trans    map[string]map[string]uint64 // query-mix transition counts
+	transCnt uint64
+	lastHit  string // previously queried view, the transition source
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+	started  atomic.Bool
+
+	ticks       atomic.Uint64
+	groupCycles atomic.Uint64
+	maintained  atomic.Uint64
+	deferred    atomic.Uint64
+	sharedHits  atomic.Uint64
+	sharedMiss  atomic.Uint64
+	rowsSaved   atomic.Int64
+	lastErr     atomic.Value // refreshErr
+}
+
+// schedView is the per-view scheduling state.
+type schedView struct {
+	sv           *StaleView
+	baseTables   []string
+	lastMaintain time.Time
+	costEWMA     float64 // rows touched per maintenance cycle
+	cycles       uint64
+	deferred     uint64
+}
+
+// SchedulerConfig parameterizes a Scheduler.
+type SchedulerConfig struct {
+	// Interval is the tick period of the background goroutine (Start).
+	// TickNow ignores it, so deterministic tests drive ticks directly.
+	Interval time.Duration
+	// Budget caps how many views one tick maintains (≤ 0 means 1). Views
+	// forced by the starvation bound do not count against it.
+	Budget int
+	// MaxAge is the starvation bound: a stale view not maintained for
+	// MaxAge is maintained on the next tick regardless of its score.
+	// 0 defaults to 10×Interval (no bound when Interval is 0 too).
+	MaxAge time.Duration
+	// Now overrides the clock (tests use a fake clock for deterministic
+	// staleness ages). nil means time.Now.
+	Now func() time.Time
+}
+
+// NewScheduler creates a scheduler over the database's views. Register
+// views with the WithScheduler option (or Register), then Start it or
+// drive ticks explicitly with TickNow.
+func NewScheduler(d *Database, cfg SchedulerConfig) *Scheduler {
+	if cfg.Budget <= 0 {
+		cfg.Budget = 1
+	}
+	if cfg.MaxAge == 0 && cfg.Interval > 0 {
+		cfg.MaxAge = 10 * cfg.Interval
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	return &Scheduler{
+		d:     d,
+		cfg:   cfg,
+		now:   now,
+		views: make(map[string]*schedView),
+		trans: make(map[string]map[string]uint64),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+// Register places a view under this scheduler's control. The view's
+// queries start feeding the scheduler's query-mix model, and background
+// Refreshers on the view defer to the scheduler (Refresher.SkipsDeferred).
+func (s *Scheduler) Register(sv *StaleView) error {
+	if sv.db != s.d {
+		return fmt.Errorf("svc: scheduler and view %q use different databases", sv.view.Name())
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	name := sv.view.Name()
+	if _, dup := s.views[name]; dup {
+		return fmt.Errorf("svc: view %q already scheduled", name)
+	}
+	s.views[name] = &schedView{
+		sv:           sv,
+		baseTables:   sv.view.BaseTables(),
+		lastMaintain: s.now(),
+	}
+	sv.sched.Store(s)
+	return nil
+}
+
+// noteQuery records a query against the named view: a count and a
+// transition from the previously queried view (the Markov edge).
+func (s *Scheduler) noteQuery(name string) {
+	s.mu.Lock()
+	if s.lastHit != "" {
+		row := s.trans[s.lastHit]
+		if row == nil {
+			row = make(map[string]uint64)
+			s.trans[s.lastHit] = row
+		}
+		row[name]++
+		s.transCnt++
+	}
+	s.lastHit = name
+	s.mu.Unlock()
+}
+
+// hitProbsLocked returns each registered view's probability of receiving
+// the next query. With enough observed transitions it is the stationary
+// distribution of the query-mix transition matrix (damped power iteration,
+// so reducible mixes still converge); before that, observed query
+// frequencies; with no queries at all, uniform. Caller holds s.mu.
+func (s *Scheduler) hitProbsLocked() map[string]float64 {
+	names := make([]string, 0, len(s.views))
+	for n := range s.views {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	probs := make(map[string]float64, len(names))
+	n := len(names)
+	if n == 0 {
+		return probs
+	}
+	var totalQueries uint64
+	counts := make(map[string]uint64, n)
+	for _, name := range names {
+		q := s.views[name].sv.queries.Load()
+		counts[name] = q
+		totalQueries += q
+	}
+	if s.transCnt < uint64(n) {
+		// Too few transitions for a meaningful chain: frequency fallback.
+		for _, name := range names {
+			if totalQueries == 0 {
+				probs[name] = 1 / float64(n)
+			} else {
+				probs[name] = float64(counts[name]) / float64(totalQueries)
+			}
+		}
+		return probs
+	}
+	const damping = 0.85
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	for i := range cur {
+		cur[i] = 1 / float64(n)
+	}
+	idx := make(map[string]int, n)
+	for i, name := range names {
+		idx[name] = i
+	}
+	for iter := 0; iter < 64; iter++ {
+		for j := range next {
+			next[j] = (1 - damping) / float64(n)
+		}
+		for from, row := range s.trans {
+			i, ok := idx[from]
+			if !ok {
+				continue
+			}
+			var out uint64
+			for _, c := range row {
+				out += c
+			}
+			if out == 0 {
+				continue
+			}
+			for to, c := range row {
+				if j, ok := idx[to]; ok {
+					next[j] += damping * cur[i] * float64(c) / float64(out)
+				}
+			}
+		}
+		cur, next = next, cur
+	}
+	var sum float64
+	for _, p := range cur {
+		sum += p
+	}
+	for i, name := range names {
+		probs[name] = cur[i] / sum
+	}
+	return probs
+}
+
+// TickNow runs one scheduling decision synchronously: score every stale
+// view, maintain the top Budget of them (plus starvation-bound forces) in
+// one group cycle, and count the rest as deferred. It returns the group
+// cycle's stats (zero when nothing was stale). The background goroutine
+// calls exactly this once per Interval.
+func (s *Scheduler) TickNow() (GroupStats, error) {
+	s.ticks.Add(1)
+	now := s.now()
+	pin := s.d.Pin()
+
+	type scored struct {
+		v      *schedView
+		score  float64
+		forced bool
+	}
+	s.mu.Lock()
+	probs := s.hitProbsLocked()
+	cands := make([]scored, 0, len(s.views))
+	for name, v := range s.views {
+		pending := pin.PendingRows(v.baseTables...)
+		if pending == 0 {
+			continue
+		}
+		age := now.Sub(v.lastMaintain)
+		if age <= 0 {
+			age = time.Millisecond
+		}
+		// Expected-error reduction per unit cost: staleness mass × hit
+		// probability ÷ maintenance cost. The small probability floor keeps
+		// never-queried views rankable (the MaxAge bound is the real
+		// starvation guard; this just avoids hard zeros). The cost floor is
+		// what a cycle must at least do — read the pending deltas and merge
+		// the stale contents — so a never-maintained view's unknown EWMA
+		// does not make it look artificially cheap.
+		hp := probs[name]
+		if hp < 1e-6 {
+			hp = 1e-6
+		}
+		costFloor := float64(pending + v.sv.view.Data().Len())
+		score := float64(pending) * age.Seconds() * hp / math.Max(v.costEWMA, costFloor)
+		forced := s.cfg.MaxAge > 0 && age >= s.cfg.MaxAge
+		cands = append(cands, scored{v: v, score: score, forced: forced})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].forced != cands[j].forced {
+			return cands[i].forced
+		}
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].v.sv.view.Name() < cands[j].v.sv.view.Name()
+	})
+	var group []*schedView
+	inGroup := make(map[*schedView]bool)
+	budgetUsed := 0
+	for _, c := range cands {
+		// Starvation-forced views ride along without consuming a budget
+		// slot; the budget picks the top scorers among the rest.
+		if c.forced {
+			group = append(group, c.v)
+			inGroup[c.v] = true
+			continue
+		}
+		if budgetUsed < s.cfg.Budget {
+			group = append(group, c.v)
+			inGroup[c.v] = true
+			budgetUsed++
+		}
+	}
+	if len(group) > 0 {
+		// Close the group over shared base tables. The group cycle folds
+		// its members' tables, and folding a table retires its deltas for
+		// EVERY view that reads it — so any registered view sharing a
+		// table with the group must ride along (it shares the delta
+		// subplans too, so the marginal cost is small) rather than have
+		// its change set folded out from under it. Membership cannot
+		// depend on the view being stale right now: deltas staged between
+		// this tick's pin and the group cycle's own pin would still be
+		// folded. Iterate to a fixpoint since each adoption can widen the
+		// fold set.
+		foldSet := make(map[string]bool)
+		for _, v := range group {
+			for _, t := range v.baseTables {
+				foldSet[t] = true
+			}
+		}
+		names := make([]string, 0, len(s.views))
+		for n := range s.views {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for changed := true; changed; {
+			changed = false
+			for _, name := range names {
+				v := s.views[name]
+				if inGroup[v] {
+					continue
+				}
+				shares := false
+				for _, t := range v.baseTables {
+					if foldSet[t] {
+						shares = true
+						break
+					}
+				}
+				if !shares {
+					continue
+				}
+				group = append(group, v)
+				inGroup[v] = true
+				for _, t := range v.baseTables {
+					foldSet[t] = true
+				}
+				changed = true
+			}
+		}
+	}
+	for _, c := range cands {
+		if !inGroup[c.v] {
+			c.v.deferred++
+			s.deferred.Add(1)
+		}
+	}
+	s.mu.Unlock()
+
+	if len(group) == 0 {
+		return GroupStats{}, nil
+	}
+	svs := make([]*StaleView, len(group))
+	for i, v := range group {
+		svs[i] = v.sv
+	}
+	stats, err := MaintainViews(svs...)
+	if err != nil {
+		s.lastErr.Store(refreshErr{err})
+		return GroupStats{}, err
+	}
+	s.lastErr.Store(refreshErr{nil})
+	s.groupCycles.Add(1)
+	s.maintained.Add(uint64(len(group)))
+	s.sharedHits.Add(stats.SharedHits)
+	s.sharedMiss.Add(stats.SharedMisses)
+	s.rowsSaved.Add(stats.RowsSaved)
+
+	perView := float64(stats.RowsTouched) / float64(len(group))
+	s.mu.Lock()
+	for _, v := range group {
+		v.lastMaintain = now
+		v.cycles++
+		// EWMA with α = 0.5: responsive to shifting delta volumes but not
+		// jittery tick to tick.
+		if v.costEWMA == 0 {
+			v.costEWMA = perView
+		} else {
+			v.costEWMA = 0.5*v.costEWMA + 0.5*perView
+		}
+	}
+	s.mu.Unlock()
+	return stats, nil
+}
+
+// Start launches the background scheduling goroutine (one TickNow per
+// Interval). It panics without a positive Interval and is idempotent per
+// scheduler; stop it with Stop.
+func (s *Scheduler) Start() {
+	if s.cfg.Interval <= 0 {
+		panic("svc: scheduler Start needs a positive Interval")
+	}
+	if !s.started.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer close(s.done)
+		ticker := time.NewTicker(s.cfg.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-ticker.C:
+				_, _ = s.TickNow() // Err() keeps the last failure readable
+			}
+		}
+	}()
+}
+
+// Stop halts the background goroutine and waits for an in-flight tick.
+// Stop is idempotent and safe to call even if Start never ran.
+func (s *Scheduler) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	if s.started.Load() {
+		<-s.done
+	}
+}
+
+// Err returns the most recent group cycle's error, or nil — a later
+// successful cycle clears it.
+func (s *Scheduler) Err() error {
+	if e, ok := s.lastErr.Load().(refreshErr); ok {
+		return e.err
+	}
+	return nil
+}
+
+// SchedulerViewStat is the per-view slice of a scheduler snapshot.
+type SchedulerViewStat struct {
+	Name        string
+	Queries     uint64  // queries answered by the view
+	HitProb     float64 // modeled probability the next query hits it
+	PendingRows int     // staged delta rows against its base tables
+	AgeMillis   int64   // time since its last maintenance
+	Cycles      uint64  // maintenance cycles the scheduler ran for it
+	Deferred    uint64  // ticks it was stale but out-scored
+}
+
+// SchedulerStats is a point-in-time snapshot of the scheduler.
+type SchedulerStats struct {
+	Ticks       uint64
+	GroupCycles uint64
+	Maintained  uint64 // views maintained, summed over group cycles
+	Deferred    uint64
+	SharedHits  uint64
+	SharedMiss  uint64
+	RowsSaved   int64
+	Views       []SchedulerViewStat // sorted by name
+}
+
+// Stats snapshots the scheduler's counters and per-view state.
+func (s *Scheduler) Stats() SchedulerStats {
+	st := SchedulerStats{
+		Ticks:       s.ticks.Load(),
+		GroupCycles: s.groupCycles.Load(),
+		Maintained:  s.maintained.Load(),
+		Deferred:    s.deferred.Load(),
+		SharedHits:  s.sharedHits.Load(),
+		SharedMiss:  s.sharedMiss.Load(),
+		RowsSaved:   s.rowsSaved.Load(),
+	}
+	now := s.now()
+	pin := s.d.Pin()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	probs := s.hitProbsLocked()
+	names := make([]string, 0, len(s.views))
+	for n := range s.views {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v := s.views[name]
+		st.Views = append(st.Views, SchedulerViewStat{
+			Name:        name,
+			Queries:     v.sv.queries.Load(),
+			HitProb:     probs[name],
+			PendingRows: pin.PendingRows(v.baseTables...),
+			AgeMillis:   now.Sub(v.lastMaintain).Milliseconds(),
+			Cycles:      v.cycles,
+			Deferred:    v.deferred,
+		})
+	}
+	return st
+}

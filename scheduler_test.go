@@ -1,0 +1,261 @@
+package svc_test
+
+import (
+	"testing"
+	"time"
+
+	svc "github.com/sampleclean/svc"
+)
+
+// Error-budget scheduler tests: a skewed query mix must keep the hot
+// view's staleness bounded while the cold view is deferred, and the
+// MaxAge starvation bound must force the cold view through anyway. The
+// clock is a test-owned variable, so every staleness age is exact and the
+// ticks are fully deterministic (TickNow, never the background goroutine).
+
+type schedScenario struct {
+	d          *svc.Database
+	hotT, cold *svc.Table
+	hot, cld   *svc.StaleView
+	s          *svc.Scheduler
+	now        time.Time
+}
+
+func newSchedScenario(t *testing.T, cfg svc.SchedulerConfig) *schedScenario {
+	t.Helper()
+	sc := &schedScenario{now: time.Unix(1_000_000, 0)}
+	sc.d = svc.NewDatabase()
+	mk := func(name string, rows int) *svc.Table {
+		tb := sc.d.MustCreate(name, svc.NewSchema([]svc.Column{
+			svc.Col("id", svc.KindInt),
+			svc.Col("grp", svc.KindInt),
+			svc.Col("val", svc.KindFloat),
+		}, "id"))
+		for i := 0; i < rows; i++ {
+			tb.MustInsert(svc.Row{svc.Int(int64(i)), svc.Int(int64(i % 8)), svc.Float(float64(i))})
+		}
+		return tb
+	}
+	sc.hotT = mk("Hot", 800)
+	sc.cold = mk("Cold", 200)
+	cfg.Now = func() time.Time { return sc.now }
+	sc.s = svc.NewScheduler(sc.d, cfg)
+	view := func(name, table string, tb *svc.Table) *svc.StaleView {
+		sv, err := svc.New(sc.d, svc.ViewDefinition{Name: name, Plan: svc.GroupByAgg(
+			svc.Scan(table, tb.Schema()),
+			[]string{"grp"},
+			svc.CountAs("cnt"),
+			svc.SumAs(svc.ColRef("val"), "total"),
+		)}, svc.WithSamplingRatio(0.5), svc.WithScheduler(sc.s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sv
+	}
+	sc.hot = view("hotView", "Hot", sc.hotT)
+	sc.cld = view("coldView", "Cold", sc.cold)
+	return sc
+}
+
+// stage puts n fresh rows into a table (keys advance monotonically).
+func (sc *schedScenario) stage(t *testing.T, tb *svc.Table, base *int64, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		*base++
+		if err := tb.StageInsert(svc.Row{svc.Int(*base), svc.Int(*base % 8), svc.Float(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// skewedQueries drives the query mix: 50 hot queries for each cold one.
+func (sc *schedScenario) skewedQueries(t *testing.T) {
+	t.Helper()
+	for i := 0; i < 50; i++ {
+		if _, err := sc.hot.Query(svc.Count(nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sc.cld.Query(svc.Count(nil)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchedulerSkewedMixDefersCold(t *testing.T) {
+	sc := newSchedScenario(t, svc.SchedulerConfig{Budget: 1})
+	if !sc.hot.Scheduled() || sc.hot.Scheduler() != sc.s {
+		t.Fatal("WithScheduler should register the view")
+	}
+	hotKey, coldKey := int64(10_000), int64(50_000)
+	sc.skewedQueries(t)
+	const ticks = 5
+	for tick := 1; tick <= ticks; tick++ {
+		sc.stage(t, sc.hotT, &hotKey, 500)
+		sc.stage(t, sc.cold, &coldKey, 1)
+		sc.now = sc.now.Add(time.Second)
+		stats, err := sc.s.TickNow()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Views != 1 {
+			t.Fatalf("tick %d: maintained %d views, want 1 (budget)", tick, stats.Views)
+		}
+		pin := sc.d.Pin()
+		if p := pin.PendingRows("Hot"); p != 0 {
+			t.Fatalf("tick %d: hot view left %d pending rows — staleness not bounded", tick, p)
+		}
+		if p := pin.PendingRows("Cold"); p != tick {
+			t.Fatalf("tick %d: cold pending %d rows, want %d (deferred with deltas intact)", tick, p, tick)
+		}
+		sc.skewedQueries(t)
+	}
+	st := sc.s.Stats()
+	if st.Ticks != ticks || st.GroupCycles != ticks {
+		t.Fatalf("ticks=%d cycles=%d, want %d each", st.Ticks, st.GroupCycles, ticks)
+	}
+	byName := map[string]svc.SchedulerViewStat{}
+	for _, v := range st.Views {
+		byName[v.Name] = v
+	}
+	if c := byName["hotView"].Cycles; c != ticks {
+		t.Fatalf("hot view maintained %d times, want every tick (%d)", c, ticks)
+	}
+	if d := byName["coldView"].Deferred; d != ticks {
+		t.Fatalf("cold view deferred %d times, want %d", d, ticks)
+	}
+	if byName["hotView"].HitProb <= byName["coldView"].HitProb {
+		t.Fatalf("query-mix model inverted: hot %v, cold %v",
+			byName["hotView"].HitProb, byName["coldView"].HitProb)
+	}
+}
+
+func TestSchedulerStarvationBound(t *testing.T) {
+	maxAge := 3 * time.Second
+	sc := newSchedScenario(t, svc.SchedulerConfig{Budget: 1, MaxAge: maxAge})
+	hotKey, coldKey := int64(10_000), int64(50_000)
+	sc.skewedQueries(t)
+	const ticks = 12
+	for tick := 1; tick <= ticks; tick++ {
+		sc.stage(t, sc.hotT, &hotKey, 500)
+		sc.stage(t, sc.cold, &coldKey, 1)
+		sc.now = sc.now.Add(time.Second)
+		if _, err := sc.s.TickNow(); err != nil {
+			t.Fatal(err)
+		}
+		// The starvation guard: after any tick, no stale view's age may
+		// reach MaxAge — a view that old was forced into this very cycle.
+		for _, v := range sc.s.Stats().Views {
+			if v.PendingRows > 0 && v.AgeMillis >= maxAge.Milliseconds() {
+				t.Fatalf("tick %d: %s stale for %dms, starvation bound %v violated",
+					tick, v.Name, v.AgeMillis, maxAge)
+			}
+		}
+		sc.skewedQueries(t)
+	}
+	st := sc.s.Stats()
+	byName := map[string]svc.SchedulerViewStat{}
+	for _, v := range st.Views {
+		byName[v.Name] = v
+	}
+	// Forced cycles ride along without consuming the budget, so the hot
+	// view still lands every tick while cold is maintained every MaxAge.
+	if c := byName["hotView"].Cycles; c != ticks {
+		t.Fatalf("hot view maintained %d times, want %d", c, ticks)
+	}
+	if c := byName["coldView"].Cycles; c < ticks/4 || c >= ticks {
+		t.Fatalf("cold view maintained %d times, want ~every %v (≥%d, <%d)",
+			c, maxAge, ticks/4, ticks)
+	}
+}
+
+// TestSchedulerSharedTableClosure: two views reading the SAME table can
+// never be split by the budget — folding the table for one view would
+// retire the other's deltas unseen, so the scheduler must pull the
+// sibling into the same group cycle.
+func TestSchedulerSharedTableClosure(t *testing.T) {
+	sc := newSchedScenario(t, svc.SchedulerConfig{Budget: 1})
+	sibling, err := svc.New(sc.d, svc.ViewDefinition{Name: "hotTwin", Plan: svc.GroupByAgg(
+		svc.Scan("Hot", sc.hotT.Schema()),
+		[]string{"grp"},
+		svc.CountAs("n"),
+	)}, svc.WithSamplingRatio(0.5), svc.WithScheduler(sc.s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotKey := int64(10_000)
+	sc.skewedQueries(t)
+	sc.stage(t, sc.hotT, &hotKey, 300)
+	sc.now = sc.now.Add(time.Second)
+	stats, err := sc.s.TickNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget is 1, but the twin shares table Hot: both must be in the
+	// group (and the cold view, on its own table, must not be).
+	if stats.Views != 2 {
+		t.Fatalf("group maintained %d views, want 2 (budget seed + shared-table sibling)", stats.Views)
+	}
+	for _, v := range sc.s.Stats().Views {
+		if (v.Name == "hotView" || v.Name == "hotTwin") && v.Cycles != 1 {
+			t.Fatalf("%s: cycles=%d, want 1", v.Name, v.Cycles)
+		}
+	}
+	// The twin serves the folded rows: its contents match a direct count.
+	exact, err := sibling.ExactQuery(svc.Sum("n", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(exact) != 800+300 {
+		t.Fatalf("twin serves %v rows counted, want %d", exact, 800+300)
+	}
+}
+
+// TestRefresherDefersToScheduler: a background refresher on a scheduled
+// view stands down (SkipsDeferred) instead of running its own cycles.
+func TestRefresherDefersToScheduler(t *testing.T) {
+	sc := newSchedScenario(t, svc.SchedulerConfig{Budget: 1})
+	r := sc.hot.StartBackgroundRefresh(time.Millisecond)
+	defer sc.hot.Close()
+	key := int64(10_000)
+	sc.stage(t, sc.hotT, &key, 10)
+	deadline := time.Now().Add(5 * time.Second)
+	for r.SkipsDeferred() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("refresher never deferred: skips=%d (idle %d, deferred %d)",
+				r.Skips(), r.SkipsIdle(), r.SkipsDeferred())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if r.Cycles() != 0 {
+		t.Fatalf("deferred refresher ran %d cycles, want 0", r.Cycles())
+	}
+	if r.Skips() != r.SkipsIdle()+r.SkipsDeferred() {
+		t.Fatal("Skips() must be the sum of the idle and deferred splits")
+	}
+	if r.LastCycleDuration() != 0 {
+		t.Fatal("no cycle ran; LastCycleDuration should be zero")
+	}
+}
+
+// TestRefresherLastCycleDuration: the live cost signal reports the most
+// recent cycle and never exceeds the max.
+func TestRefresherLastCycleDuration(t *testing.T) {
+	_, logT, sv := refreshScenario(t)
+	r := sv.StartBackgroundRefresh(time.Millisecond)
+	if err := logT.StageInsert(svc.Row{svc.Int(10_000), svc.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Cycles() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no refresh cycle completed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if r.LastCycleDuration() <= 0 {
+		t.Fatalf("LastCycleDuration=%v after a completed cycle", r.LastCycleDuration())
+	}
+	if r.LastCycleDuration() > r.MaxCycleDuration() {
+		t.Fatalf("last cycle %v exceeds max %v", r.LastCycleDuration(), r.MaxCycleDuration())
+	}
+}

@@ -21,10 +21,17 @@ type Refresher struct {
 	done     chan struct{}
 	stopOnce sync.Once
 	cycles   atomic.Uint64
-	skips    atomic.Uint64
-	maxCycle atomic.Int64 // slowest cycle, ns
-	inCycle  atomic.Bool
-	lastErr  atomic.Value // refreshErr wrapper: atomic.Value needs one concrete type
+	// Skipped ticks split by cause: idle (no staged deltas — nothing to
+	// do) vs deferred (the view is under a Scheduler, which owns the
+	// maintenance decision). /stats epoch-lag is interpretable only with
+	// the split: a deferred skip can leave real staleness behind, an idle
+	// skip cannot.
+	skipsIdle     atomic.Uint64
+	skipsDeferred atomic.Uint64
+	maxCycle      atomic.Int64 // slowest cycle, ns
+	lastCycle     atomic.Int64 // most recent cycle, ns
+	inCycle       atomic.Bool
+	lastErr       atomic.Value // refreshErr wrapper: atomic.Value needs one concrete type
 }
 
 // refreshErr wraps cycle errors so lastErr always stores one concrete
@@ -84,8 +91,14 @@ func (r *Refresher) run() {
 		case <-r.stop:
 			return
 		case <-ticker.C:
+			if r.sv.Scheduled() {
+				// A Scheduler owns this view's maintenance budget; running
+				// our own cycle would double-spend it.
+				r.skipsDeferred.Add(1)
+				continue
+			}
 			if !r.sv.Stale() {
-				r.skips.Add(1)
+				r.skipsIdle.Add(1)
 				continue
 			}
 			start := time.Now()
@@ -96,7 +109,9 @@ func (r *Refresher) run() {
 				r.lastErr.Store(refreshErr{err})
 				continue
 			}
-			if d := int64(time.Since(start)); d > r.maxCycle.Load() {
+			d := int64(time.Since(start))
+			r.lastCycle.Store(d)
+			if d > r.maxCycle.Load() {
 				r.maxCycle.Store(d)
 			}
 			r.lastErr.Store(refreshErr{nil}) // recovered: Err reports the most recent cycle
@@ -118,8 +133,25 @@ func (r *Refresher) Interval() time.Duration { return r.interval }
 // Cycles reports how many maintenance cycles have completed.
 func (r *Refresher) Cycles() uint64 { return r.cycles.Load() }
 
-// Skips reports how many ticks found no staged deltas and did nothing.
-func (r *Refresher) Skips() uint64 { return r.skips.Load() }
+// Skips reports the total ticks that ran no cycle, for any reason — the
+// sum of SkipsIdle and SkipsDeferred.
+func (r *Refresher) Skips() uint64 { return r.skipsIdle.Load() + r.skipsDeferred.Load() }
+
+// SkipsIdle reports ticks that found no staged deltas and did nothing.
+func (r *Refresher) SkipsIdle() uint64 { return r.skipsIdle.Load() }
+
+// SkipsDeferred reports ticks skipped because a Scheduler manages the
+// view: the refresher stood down rather than double-spending the
+// maintenance budget. Nonzero SkipsDeferred with growing epoch lag points
+// at the scheduler's policy, not at a stuck refresher.
+func (r *Refresher) SkipsDeferred() uint64 { return r.skipsDeferred.Load() }
+
+// LastCycleDuration reports the wall-clock time of the most recently
+// completed cycle (0 before the first one). Under budgeted refresh it is
+// the live cost signal — MaxCycleDuration only ratchets up.
+func (r *Refresher) LastCycleDuration() time.Duration {
+	return time.Duration(r.lastCycle.Load())
+}
 
 // MaxCycleDuration reports the wall-clock time of the slowest completed
 // cycle. Comparing it with observed query latencies shows whether readers

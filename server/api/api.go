@@ -103,11 +103,20 @@ type ViewStats struct {
 	Rows int    `json:"rows"`
 	// SampleRows is the persistent sample's cardinality.
 	SampleRows int `json:"sample_rows"`
+	// Queries counts estimator queries answered by the view; Scheduled
+	// reports that an error-budget scheduler owns its maintenance.
+	Queries   uint64 `json:"queries"`
+	Scheduled bool   `json:"scheduled,omitempty"`
 	// Refresher counters (zero-valued when no background refresher runs).
+	// Skips = SkipsIdle + SkipsDeferred: idle ticks found nothing staged,
+	// deferred ticks stood down because a scheduler owns the view.
 	RefreshIntervalMillis float64 `json:"refresh_interval_ms,omitempty"`
 	Cycles                uint64  `json:"cycles"`
 	Skips                 uint64  `json:"skips"`
+	SkipsIdle             uint64  `json:"skips_idle"`
+	SkipsDeferred         uint64  `json:"skips_deferred"`
 	MaxCycleMillis        float64 `json:"max_cycle_ms"`
+	LastCycleMillis       float64 `json:"last_cycle_ms"`
 	InCycle               bool    `json:"in_cycle"`
 	// LastError is the most recent failed cycle's message ("" after a
 	// later successful cycle).
@@ -154,7 +163,46 @@ type StatsResponse struct {
 	// attached (svcd -wal-dir).
 	WAL *WALStats `json:"wal,omitempty"`
 
+	// Sched is present when the server runs the error-budget refresh
+	// scheduler (svcd -sched-interval).
+	Sched *SchedStats `json:"sched,omitempty"`
+
 	Views []ViewStats `json:"views"`
+}
+
+// SchedStats is the refresh scheduler's slice of GET /stats: how the
+// maintenance budget was spent (group cycles, views maintained vs
+// deferred) and what the shared-subplan cache saved.
+type SchedStats struct {
+	Ticks       uint64 `json:"ticks"`
+	GroupCycles uint64 `json:"group_cycles"`
+	// Maintained counts views maintained summed over group cycles;
+	// Deferred counts stale views a tick skipped as out-scored.
+	Maintained uint64 `json:"maintained"`
+	Deferred   uint64 `json:"deferred"`
+	// Shared-subplan gauges, accumulated over all group cycles: cache
+	// hits/misses and the evaluation rows the hits avoided.
+	SharedHits   uint64 `json:"shared_hits"`
+	SharedMisses uint64 `json:"shared_misses"`
+	RowsSaved    int64  `json:"rows_saved"`
+
+	Views []SchedViewStats `json:"views"`
+}
+
+// SchedViewStats is one scheduled view's slice of SchedStats.
+type SchedViewStats struct {
+	Name string `json:"name"`
+	// HitProb is the modeled probability the next query hits this view
+	// (stationary distribution of the query-mix Markov chain).
+	HitProb float64 `json:"hit_prob"`
+	// PendingRows is the view's staleness mass: staged delta rows against
+	// its base tables. AgeMillis is the time since its last maintenance.
+	PendingRows int   `json:"pending_rows"`
+	AgeMillis   int64 `json:"age_ms"`
+	// Cycles counts scheduler-run maintenance cycles for the view;
+	// Deferred counts ticks it was stale but out-scored.
+	Cycles   uint64 `json:"cycles"`
+	Deferred uint64 `json:"deferred"`
 }
 
 // WALStats is the durable maintenance log's slice of GET /stats: depth

@@ -41,6 +41,14 @@ type Config struct {
 	// through POST /views; 0 leaves them without a refresher (the owner
 	// maintains them explicitly).
 	Refresh time.Duration
+	// SchedInterval, when positive, runs the error-budget refresh
+	// scheduler: views created through POST /views are registered with
+	// one svc.Scheduler that ranks stale views by expected-error
+	// reduction per unit maintenance cost and maintains the top ones in
+	// shared group cycles. Per-view refreshers (Refresh) then defer to
+	// it. SchedBudget caps views maintained per tick (default 1).
+	SchedInterval time.Duration
+	SchedBudget   int
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +92,11 @@ type Server struct {
 	sem  chan struct{}  // admission: one slot per executing query
 	work sync.WaitGroup // tracks executing queries past handler return
 
+	// sched is the error-budget refresh scheduler (nil unless
+	// Config.SchedInterval is set). Views created via CreateView are
+	// registered with it.
+	sched *svc.Scheduler
+
 	served, rejected, timedOut, canceled, errs atomic.Uint64
 	ingested, ingestShed                       atomic.Uint64
 	maxServedEpoch                             atomic.Uint64
@@ -102,13 +115,25 @@ type Server struct {
 // target them; base-table SELECTs work immediately.
 func New(d *svc.Database, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		cfg:   cfg,
 		d:     d,
 		views: make(map[string]*svc.StaleView),
 		sem:   make(chan struct{}, cfg.MaxInFlight),
 	}
+	if cfg.SchedInterval > 0 {
+		s.sched = svc.NewScheduler(d, svc.SchedulerConfig{
+			Interval: cfg.SchedInterval,
+			Budget:   cfg.SchedBudget,
+		})
+		s.sched.Start()
+	}
+	return s
 }
+
+// Scheduler returns the server's error-budget refresh scheduler, or nil
+// when Config.SchedInterval is unset.
+func (s *Server) Scheduler() *svc.Scheduler { return s.sched }
 
 // Register serves an existing StaleView under its view name.
 func (s *Server) Register(sv *svc.StaleView) error {
@@ -140,6 +165,9 @@ func (s *Server) CreateView(sql string, opts ...svc.Option) (*svc.StaleView, err
 	all := []svc.Option{svc.WithSamplingRatio(s.cfg.SamplingRatio)}
 	if s.cfg.Refresh > 0 {
 		all = append(all, svc.WithBackgroundRefresh(s.cfg.Refresh))
+	}
+	if s.sched != nil {
+		all = append(all, svc.WithScheduler(s.sched))
 	}
 	all = append(all, opts...)
 	sv, err := svc.New(s.d, def, all...)
@@ -237,6 +265,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.RUnlock()
 	for _, sv := range views {
 		sv.Close()
+	}
+	if s.sched != nil {
+		s.sched.Stop()
 	}
 	return err
 }
@@ -483,6 +514,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if lg := svc.DurableLogOf(s.d); lg != nil {
 		resp.WAL = wireWALStats(lg.Stats())
 	}
+	if s.sched != nil {
+		resp.Sched = wireSchedStats(s.sched.Stats())
+	}
 	if resp.MaxServedEpoch > 0 && resp.Epoch > resp.MaxServedEpoch {
 		resp.EpochLag = resp.Epoch - resp.MaxServedEpoch
 	}
@@ -492,12 +526,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Name:       name,
 			Rows:       sv.View().Data().Len(),
 			SampleRows: sv.Cleaner().StaleSample().Len(),
+			Queries:    sv.Queries(),
+			Scheduled:  sv.Scheduled(),
 		}
 		if ref := sv.Refresher(); ref != nil {
 			vs.RefreshIntervalMillis = float64(ref.Interval()) / float64(time.Millisecond)
 			vs.Cycles = ref.Cycles()
 			vs.Skips = ref.Skips()
+			vs.SkipsIdle = ref.SkipsIdle()
+			vs.SkipsDeferred = ref.SkipsDeferred()
 			vs.MaxCycleMillis = float64(ref.MaxCycleDuration()) / float64(time.Millisecond)
+			vs.LastCycleMillis = float64(ref.LastCycleDuration()) / float64(time.Millisecond)
 			vs.InCycle = ref.InCycle()
 			if err := ref.Err(); err != nil {
 				vs.LastError = err.Error()
@@ -508,6 +547,30 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.RUnlock()
 	sort.Slice(resp.Views, func(i, j int) bool { return resp.Views[i].Name < resp.Views[j].Name })
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// wireSchedStats converts the scheduler's snapshot to the wire gauge.
+func wireSchedStats(st svc.SchedulerStats) *api.SchedStats {
+	out := &api.SchedStats{
+		Ticks:        st.Ticks,
+		GroupCycles:  st.GroupCycles,
+		Maintained:   st.Maintained,
+		Deferred:     st.Deferred,
+		SharedHits:   st.SharedHits,
+		SharedMisses: st.SharedMiss,
+		RowsSaved:    st.RowsSaved,
+	}
+	for _, v := range st.Views {
+		out.Views = append(out.Views, api.SchedViewStats{
+			Name:        v.Name,
+			HitProb:     v.HitProb,
+			PendingRows: v.PendingRows,
+			AgeMillis:   v.AgeMillis,
+			Cycles:      v.Cycles,
+			Deferred:    v.Deferred,
+		})
+	}
+	return out
 }
 
 // poolStats snapshots the engine's batch/vector pool counters into the

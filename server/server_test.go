@@ -459,3 +459,72 @@ SELECT videoId, COUNT(1) AS n FROM Log GROUP BY videoId`, 0.5)
 		}
 	}
 }
+
+// TestSchedulerStatsOverWire: a server configured with the error-budget
+// scheduler exposes scheduler and shared-scan gauges in GET /stats, and
+// the per-view refresher reports its deferred skips.
+func TestSchedulerStatsOverWire(t *testing.T) {
+	srv, _, logT := buildScenario(t, 30, 1000, Config{
+		Refresh:       2 * time.Millisecond,
+		SchedInterval: 2 * time.Millisecond,
+		SchedBudget:   2,
+	})
+	if srv.Scheduler() == nil {
+		t.Fatal("SchedInterval should construct a scheduler")
+	}
+	c := client.New("http://" + srv.Addr())
+	// A second view sharing the Log table: the scheduler must maintain
+	// both in one group cycle (shared-table closure) with subplan hits.
+	if _, err := srv.CreateView(`CREATE VIEW sessionView AS
+SELECT videoId, COUNT(1) AS sessions
+FROM Log JOIN Video ON Log.videoId = Video.videoId
+GROUP BY videoId`); err != nil {
+		t.Fatal(err)
+	}
+	// Drive queries so the query-mix model has mass, then stage updates
+	// and wait for the scheduler to run cycles.
+	for i := 0; i < 5; i++ {
+		if _, err := c.Query(`SELECT SUM(visitCount) FROM visitView`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		if err := logT.StageInsert(svc.Row{svc.Int(int64(100_000 + i)), svc.Int(int64(i % 30))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := c.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Sched == nil {
+			t.Fatal("stats response missing sched block")
+		}
+		if st.Sched.GroupCycles > 0 && st.Sched.SharedHits > 0 {
+			if len(st.Sched.Views) != 2 {
+				t.Fatalf("sched views=%d, want 2", len(st.Sched.Views))
+			}
+			for _, vs := range st.Views {
+				if !vs.Scheduled {
+					t.Fatalf("view %s not marked scheduled", vs.Name)
+				}
+				if vs.Name == "visitView" && vs.Queries == 0 {
+					t.Fatal("query counter not surfaced")
+				}
+				// The refresher defers to the scheduler; its split must
+				// sum to the total.
+				if vs.Skips != vs.SkipsIdle+vs.SkipsDeferred {
+					t.Fatalf("%s: skips=%d != idle %d + deferred %d",
+						vs.Name, vs.Skips, vs.SkipsIdle, vs.SkipsDeferred)
+				}
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("scheduler never ran a sharing cycle: %+v", st.Sched)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -16,6 +16,15 @@
 // maintenance strategies, the estimators of Section 5, and the outlier
 // machinery of Section 6.
 //
+// Beyond per-view serving, the package plans maintenance across the whole
+// catalog: MaintainViews runs one group cycle over several views — one
+// pinned version, one subplan cache so shared delta scans evaluate once,
+// one partial fold covering exactly the group's base tables — and
+// Scheduler (NewScheduler, WithScheduler) decides each tick which views
+// that cycle should cover, ranking them by expected error reduction per
+// unit maintenance cost under the observed query mix, with a starvation
+// bound. See DESIGN.md "Multi-view maintenance optimizer".
+//
 // Quickstart:
 //
 //	d := svc.NewDatabase()
@@ -70,6 +79,7 @@ type config struct {
 	columnar   *bool
 	refresh    time.Duration
 	durableDir string
+	sched      *Scheduler
 }
 
 type outlierSpec struct {
@@ -124,6 +134,15 @@ func WithBackgroundRefresh(interval time.Duration) Option {
 	return func(c *config) { c.refresh = interval }
 }
 
+// WithScheduler registers the view with an error-budget refresh scheduler
+// (see Scheduler) instead of a fixed-interval refresher: the scheduler
+// decides each tick whether this view's expected query error justifies a
+// maintenance cycle, and batches it with other views sharing delta
+// subplans. Combine with WithBackgroundRefresh only if you want the
+// refresher as a fallback — it defers to the scheduler while registered
+// (Refresher.SkipsDeferred counts those ticks).
+func WithScheduler(s *Scheduler) Option { return func(c *config) { c.sched = s } }
+
 // WithOutlierSigmaThreshold switches the outlier threshold policy to
 // mean + sigma·stdev (Section 6.1's alternative policy).
 func WithOutlierSigmaThreshold(table, attr string, limit int, sigma float64) Option {
@@ -164,7 +183,32 @@ type StaleView struct {
 	outlierCache epochCache[*estimator.OutlierSet]
 
 	refresher atomic.Pointer[Refresher]
+
+	// queries counts answered queries (Query/QueryGroups/CleanSelect);
+	// sched points at the Scheduler managing this view, when one does.
+	// Together they feed the error-budget refresh scheduler's query-mix
+	// model (scheduler.go).
+	queries atomic.Uint64
+	sched   atomic.Pointer[Scheduler]
 }
+
+// noteQuery feeds one answered query into the scheduling model.
+func (sv *StaleView) noteQuery() {
+	sv.queries.Add(1)
+	if s := sv.sched.Load(); s != nil {
+		s.noteQuery(sv.view.Name())
+	}
+}
+
+// Queries reports how many queries this view has answered.
+func (sv *StaleView) Queries() uint64 { return sv.queries.Load() }
+
+// Scheduled reports whether an error-budget Scheduler manages this view's
+// maintenance. Background Refreshers defer their cycles while it does.
+func (sv *StaleView) Scheduled() bool { return sv.sched.Load() != nil }
+
+// Scheduler returns the Scheduler managing this view, or nil.
+func (sv *StaleView) Scheduler() *Scheduler { return sv.sched.Load() }
 
 // epochCache shares one computed value per publication epoch among
 // concurrent readers. The cache check is a short lock; the computation
@@ -309,6 +353,11 @@ func New(d *Database, def ViewDefinition, opts ...Option) (*StaleView, error) {
 		pin, st := sv.pinServing()
 		return pin, st.view, st.sample
 	})
+	if cfg.sched != nil {
+		if err := cfg.sched.Register(sv); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.refresh > 0 {
 		sv.StartBackgroundRefresh(cfg.refresh)
 	}
@@ -384,6 +433,7 @@ type Answer struct {
 // partition, the estimate — against that version's immutable relations.
 // The answer's AsOfEpoch records which version it was.
 func (sv *StaleView) Query(q Query) (Answer, error) {
+	sv.noteQuery()
 	pin, st := sv.pinServing()
 	samples, err := sv.cleanPinned(pin, st)
 	if err != nil {
@@ -460,6 +510,7 @@ func (sv *StaleView) outlierSet(pin *db.Version, st *servingState) (*estimator.O
 // QueryGroups estimates a group-by aggregate per group. Like Query, it is
 // safe for concurrent use and evaluates against one pinned version.
 func (sv *StaleView) QueryGroups(q Query, groupBy ...string) (GroupResult, error) {
+	sv.noteQuery()
 	pin, st := sv.pinServing()
 	samples, err := sv.cleanPinned(pin, st)
 	if err != nil {
@@ -498,6 +549,7 @@ func (sv *StaleView) QueryGroups(q Query, groupBy ...string) (GroupResult, error
 // sampled superfluous rows removed, plus count estimates of each error
 // class.
 func (sv *StaleView) CleanSelect(pred Expr) (*SelectResult, error) {
+	sv.noteQuery()
 	pin, st := sv.pinServing()
 	samples, err := sv.cleanPinned(pin, st)
 	if err != nil {
