@@ -11,6 +11,7 @@
 //	svcbench -run fig4a-par -scale 2 -parallel 4
 //	svcbench -run pipeline -json            # machine-readable, to BENCH_pipeline.json
 //	svcbench -run pipeline -columnar=off    # row-at-a-time A/B baseline
+//	svcbench -run matrix                    # adversarial workload grid → WORKLOADS.md + BENCH_matrix.json
 //
 // The pipeline experiment always records both columnar=on and
 // columnar=off rows (the row-vs-columnar A/B); -columnar sets the mode

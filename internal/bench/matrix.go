@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/sampleclean/svc/internal/workload"
+)
+
+// matrix runs the generated adversarial workload grid: every scenario in
+// workload.Scenarios() × every engine config (both maintenance strategies
+// × columnar on/off × serial/parallel), measuring CI coverage, CI width,
+// relative error, and maintain/clean/query latency for the full estimator
+// suite. Besides the bench table it writes the WORKLOADS.md dashboard and
+// BENCH_matrix.json (the artifact the CI jq coverage gate reads), and —
+// when run from the repo root — freezes minimized regression fixtures
+// under internal/workload/fixtures/.
+
+func init() {
+	register("matrix",
+		"adversarial workload matrix: estimator accuracy dashboard (writes WORKLOADS.md + BENCH_matrix.json)",
+		runMatrix)
+}
+
+// matrixFixtureDir receives frozen fixtures when it exists relative to
+// the working directory (i.e. when svcbench runs from the repo root).
+const matrixFixtureDir = "internal/workload/fixtures"
+
+func runMatrix(s Scale) (*Table, error) {
+	opts := workload.Options{Scale: float64(s)}
+	if st, err := os.Stat(matrixFixtureDir); err == nil && st.IsDir() {
+		opts.FixtureDir = matrixFixtureDir
+	}
+	res, err := workload.RunMatrix(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := workload.WriteJSON("BENCH_matrix.json", res); err != nil {
+		return nil, err
+	}
+	if err := workload.WriteDashboard("WORKLOADS.md", res); err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:     "matrix",
+		Title:  "Workload matrix: estimator accuracy across generated adversarial scenarios",
+		Header: []string{"scenario", "estimator", "coverage", "relErr", "relWidth", "meanK", "gated"},
+	}
+	for _, a := range res.Aggregates {
+		cov := "—"
+		if a.Coverage != nil {
+			cov = fmt.Sprintf("%.3f", *a.Coverage)
+		}
+		t.AddRow(a.Scenario, a.Estimator, cov, a.MeanRelErr, a.MeanRelWidth, a.MeanK, a.Gated)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d scenarios × %d engine configs, %d salted trials/round, nominal CI %.0f%%",
+			len(res.Scenarios), len(workload.Configs()), res.Trials, res.Confidence*100),
+		fmt.Sprintf("%d regression triggers fired; %d fixtures frozen", len(res.Failures), len(res.Fixtures)),
+		"full dashboard: WORKLOADS.md; machine-readable: BENCH_matrix.json")
+	return t, nil
+}

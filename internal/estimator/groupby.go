@@ -169,6 +169,27 @@ func GroupErrorStats(est map[string]Estimate, truth map[string]float64) (median,
 	return stats.Median(errs), max
 }
 
+// GroupCoverage counts per-group CI hits over the union of group keys: a
+// truth group is covered when its estimate's interval contains the exact
+// answer; estimated groups with no true counterpart count as misses. The
+// workload matrix reports covered/total as informational per-group
+// coverage (the guarantee is conditional — an unsampled changed group is
+// legitimately uncovered).
+func GroupCoverage(est map[string]Estimate, truth map[string]float64) (covered, total int) {
+	for k, tv := range truth {
+		total++
+		if e, ok := est[k]; ok && e.Covers(tv) {
+			covered++
+		}
+	}
+	for k := range est {
+		if _, ok := truth[k]; !ok {
+			total++
+		}
+	}
+	return covered, total
+}
+
 // capErr saturates a relative error at 100%.
 func capErr(e float64) float64 {
 	if e > 1 {

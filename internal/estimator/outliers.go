@@ -2,6 +2,7 @@ package estimator
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/sampleclean/svc/internal/clean"
 	"github.com/sampleclean/svc/internal/relation"
@@ -15,17 +16,45 @@ type OutlierSet struct {
 	// Fresh holds the up-to-date outlier rows (deterministic, sampling
 	// ratio 1).
 	Fresh *relation.Relation
-	// Stale holds the stale view's rows for the same keys (keys absent
-	// from the stale view are simply missing here).
+	// Stale holds the stale view's rows for outlier keys (keys absent
+	// from the stale view are simply missing here). It may contain keys
+	// absent from Fresh: retired outliers whose rows left the up-to-date
+	// view entirely — their removal is handled exactly, like every other
+	// outlier correction.
 	Stale *relation.Relation
 }
 
-// Len returns the number of outlier rows.
+// Len returns the number of distinct outlier keys (fresh rows plus
+// retired stale-only rows).
 func (o *OutlierSet) Len() int {
 	if o == nil || o.Fresh == nil {
 		return 0
 	}
-	return o.Fresh.Len()
+	n := o.Fresh.Len()
+	if o.Stale != nil {
+		keyIdx := o.Stale.Schema().Key()
+		for _, row := range o.Stale.Rows() {
+			if _, ok := o.Fresh.GetByEncodedKey(row.KeyOf(keyIdx)); !ok {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// hasKey reports whether an encoded view key belongs to the outlier
+// partition — present in the fresh rows or in the (possibly retired)
+// stale rows.
+func (o *OutlierSet) hasKey(k string) bool {
+	if _, ok := o.Fresh.GetByEncodedKey(k); ok {
+		return true
+	}
+	if o.Stale != nil {
+		if _, ok := o.Stale.GetByEncodedKey(k); ok {
+			return true
+		}
+	}
+	return false
 }
 
 // splitSamples removes outlier-indexed keys from the sample pair: if a row
@@ -37,8 +66,7 @@ func splitSamples(s *clean.Samples, o *OutlierSet) *clean.Samples {
 	}
 	keyIdx := s.Fresh.Schema().Key()
 	inOutliers := func(row relation.Row) bool {
-		_, ok := o.Fresh.GetByEncodedKey(row.KeyOf(keyIdx))
-		return ok
+		return o.hasKey(row.KeyOf(keyIdx))
 	}
 	fresh := relation.New(s.Fresh.Schema())
 	for _, row := range s.Fresh.Rows() {
@@ -92,9 +120,7 @@ func AQPWithOutliers(s *clean.Samples, o *OutlierSet, q Query, confidence float6
 			return Estimate{}, fmt.Errorf("estimator: zero estimated count for avg")
 		}
 		v := sumEst.Value / cntEst.Value
-		// Propagate the sum's relative interval (the count's uncertainty
-		// is second-order for typical selectivities).
-		half := sumEst.HalfWidth() / cntEst.Value
+		half := ratioHalfWidth(v, sumEst, cntEst)
 		return Estimate{
 			Value: v, Lo: v - half, Hi: v + half,
 			Confidence: confidence, Method: "svc+aqp+outlier", K: sumEst.K,
@@ -132,7 +158,7 @@ func CorrWithOutliers(staleView *relation.Relation, s *clean.Samples, o *Outlier
 			return Estimate{}, fmt.Errorf("estimator: zero estimated count for avg")
 		}
 		v := sumEst.Value / cntEst.Value
-		half := sumEst.HalfWidth() / cntEst.Value
+		half := ratioHalfWidth(v, sumEst, cntEst)
 		return Estimate{
 			Value: v, Lo: v - half, Hi: v + half,
 			Confidence: confidence, Method: "svc+corr+outlier", K: sumEst.K,
@@ -141,12 +167,12 @@ func CorrWithOutliers(staleView *relation.Relation, s *clean.Samples, o *Outlier
 
 	rest := splitSamples(s, o)
 	// Regular part: corrected estimate over the stale view *excluding*
-	// outlier-key rows.
+	// outlier-key rows (retired keys too — their stale rows are removed
+	// here exactly, and contribute nothing to the fresh outlier part).
 	keyIdx := staleView.Schema().Key()
 	staleRest := relation.New(staleView.Schema())
 	for _, row := range staleView.Rows() {
-		k := row.KeyOf(keyIdx)
-		if _, ok := o.Fresh.GetByEncodedKey(k); ok {
+		if o.hasKey(row.KeyOf(keyIdx)) {
 			continue
 		}
 		staleRest.MustInsert(row)
@@ -164,6 +190,25 @@ func CorrWithOutliers(staleView *relation.Relation, s *clean.Samples, o *Outlier
 		Value: reg.Value + outFresh, Lo: reg.Lo + outFresh, Hi: reg.Hi + outFresh,
 		Confidence: confidence, Method: "svc+corr+outlier", K: reg.K + o.Len(),
 	}, nil
+}
+
+// ratioHalfWidth propagates CI half-widths through v = sum/count by
+// combining both relative uncertainties in quadrature. With an outlier
+// index the sum's variance collapses (the tail is exact), so the count's
+// sampling noise — negligible without the index — becomes the dominant
+// term; dropping it undercovers badly on heavy-tailed data. Sum and count
+// estimates are positively correlated, so quadrature is conservative.
+func ratioHalfWidth(v float64, sumEst, cntEst Estimate) float64 {
+	var rel2 float64
+	if sumEst.Value != 0 {
+		r := sumEst.HalfWidth() / math.Abs(sumEst.Value)
+		rel2 += r * r
+	}
+	if cntEst.Value != 0 {
+		r := cntEst.HalfWidth() / math.Abs(cntEst.Value)
+		rel2 += r * r
+	}
+	return math.Abs(v) * math.Sqrt(rel2)
 }
 
 // VarianceReduction reports the fraction of the attribute's sample

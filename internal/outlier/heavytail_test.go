@@ -1,0 +1,242 @@
+// Heavy-tail stress for the outlier index, driven by the adversarial
+// workload generator (external test package: workload itself imports
+// outlier for the matrix runner).
+package outlier_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/sampleclean/svc/internal/algebra"
+	"github.com/sampleclean/svc/internal/clean"
+	"github.com/sampleclean/svc/internal/db"
+	"github.com/sampleclean/svc/internal/estimator"
+	"github.com/sampleclean/svc/internal/hashing"
+	"github.com/sampleclean/svc/internal/outlier"
+	"github.com/sampleclean/svc/internal/relation"
+	"github.com/sampleclean/svc/internal/view"
+	"github.com/sampleclean/svc/internal/workload"
+)
+
+// TestHeavyTailScenarioIndexAbsorbsTail runs the workload matrix's
+// heavy-tail scenario and asserts the Section 6 claims the scenario exists
+// to stress: the outlier index soaks up most of the sample variance, and
+// the with-outlier CI is tighter than the plain sampled CI for the sum
+// query that the tail dominates.
+func TestHeavyTailScenarioIndexAbsorbsTail(t *testing.T) {
+	spec, ok := workload.ScenarioByName("heavy-tail")
+	if !ok {
+		t.Fatal("heavy-tail scenario missing")
+	}
+	g, err := workload.NewGenerator(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := g.DB()
+	v, err := view.Materialize(d, spec.Definition())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := view.NewMaintainerWithStrategy(v, view.ChangeTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.StageRound(0); err != nil {
+		t.Fatal(err)
+	}
+
+	thr, err := outlier.TopKThreshold(d.Table("Fact"), "val", spec.OutlierK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := outlier.NewIndex("Fact", "val", d.Table("Fact").Schema(), thr, spec.OutlierK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.BuildFromTable(d.Table("Fact")); err != nil {
+		t.Fatal(err)
+	}
+	mz, err := outlier.NewMaterializer(v, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oset, err := mz.Materialize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oset.Len() == 0 {
+		t.Fatal("heavy-tail scenario produced an empty outlier partition")
+	}
+
+	snap := d.Snapshot()
+	if err := snap.ApplyDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	tv, err := view.Materialize(snap, spec.Definition())
+	if err != nil {
+		t.Fatal(err)
+	}
+	truthRel := tv.Data()
+
+	q := estimator.Query{Agg: estimator.SumQ, Attr: spec.AggAttr()}
+	truth, err := estimator.RunExact(truthRel, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var widthPlain, widthOut float64
+	var coveredOut int
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		cl, err := clean.New(m, spec.SampleRatio, hashing.Salted{Salt: uint64(trial) + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !outlier.Eligible(cl, ix) {
+			t.Fatal("heavy-tail cleaner plan should make the index eligible")
+		}
+		samples, err := cl.Clean(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trial == 0 {
+			vr, err := estimator.VarianceReduction(samples, oset, "val")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if vr < 0.5 {
+				t.Fatalf("outlier index removed only %.0f%% of sample variance, want ≥50%% on heavy-tail data", vr*100)
+			}
+		}
+		plain, err := estimator.Corr(v.Data(), samples, q, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		withOut, err := estimator.CorrWithOutliers(v.Data(), samples, oset, q, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		widthPlain += plain.Hi - plain.Lo
+		widthOut += withOut.Hi - withOut.Lo
+		if withOut.Covers(truth) {
+			coveredOut++
+		}
+	}
+	if widthOut >= widthPlain {
+		t.Fatalf("with-outlier CI width %.3g not tighter than plain %.3g", widthOut/trials, widthPlain/trials)
+	}
+	if coveredOut < trials*7/10 {
+		t.Fatalf("with-outlier CI covered truth only %d/%d trials", coveredOut, trials)
+	}
+}
+
+// TestRetiredOutlierExactCorrection pins the fillRetired semantics: an
+// indexed-grade row REMOVED by a staged deletion is carried in
+// OutlierSet.Stale (without a Fresh counterpart), a shrink-update of an
+// indexed row stays on the sampled path, and at sampling ratio 1 the
+// with-outlier corrected estimate is exact.
+func TestRetiredOutlierExactCorrection(t *testing.T) {
+	schema := relation.NewSchema([]relation.Column{
+		{Name: "id", Type: relation.KindInt},
+		{Name: "val", Type: relation.KindFloat},
+	}, "id")
+	d := db.New()
+	tb := d.MustCreate("Fact", schema)
+	for i := 0; i < 40; i++ {
+		val := 10.0
+		switch i {
+		case 0, 1, 2:
+			val = 10_000 // indexed-grade rows
+		}
+		tb.MustInsert(relation.Row{relation.Int(int64(i)), relation.Float(val)})
+	}
+	def := view.Definition{Name: "flat", Plan: algebra.MustProjectKeyed(
+		algebra.Scan("Fact", schema), algebra.OutCols("id", "val"), "id")}
+	v, err := view.Materialize(d, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := view.NewMaintainerWithStrategy(v, view.ChangeTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Row 0: retired — deleted outright. Row 1: shrink-updated to a normal
+	// value (old huge row goes to ∇, new row to Δ). Row 2: untouched.
+	if err := tb.StageDelete(relation.Int(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.StageUpdate(relation.Row{relation.Int(1), relation.Float(12)}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Built AFTER staging: the index reflects up-to-date contents, so the
+	// deleted and shrink-updated rows are not in it — exactly the state
+	// fillRetired exists to compensate for.
+	ix, err := outlier.NewIndex("Fact", "val", schema, 1000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.BuildFromTable(tb); err != nil {
+		t.Fatal(err)
+	}
+
+	mz, err := outlier.NewMaterializer(v, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oset, err := mz.Materialize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := oset.Fresh.GetByEncodedKey(relation.Row{relation.Int(0)}.KeyOf([]int{0})); ok {
+		t.Fatal("deleted outlier key must not appear in Fresh")
+	}
+	if _, ok := oset.Stale.GetByEncodedKey(relation.Row{relation.Int(0)}.KeyOf([]int{0})); !ok {
+		t.Fatal("retired outlier's stale row missing from OutlierSet.Stale — fillRetired broken")
+	}
+	if _, ok := oset.Stale.GetByEncodedKey(relation.Row{relation.Int(1)}.KeyOf([]int{0})); ok {
+		t.Fatal("shrink-updated key was re-inserted by Δ and must stay on the sampled path")
+	}
+	if _, ok := oset.Fresh.GetByEncodedKey(relation.Row{relation.Int(2)}.KeyOf([]int{0})); !ok {
+		t.Fatal("untouched outlier missing from Fresh")
+	}
+
+	// Ratio-1 sample: the sampled remainder has zero sampling error, so
+	// with-outlier corrected answers must equal the recompute truth.
+	snap := d.Snapshot()
+	if err := snap.ApplyDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	tv, err := view.Materialize(snap, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := clean.New(m, 1.0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := cl.Clean(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []estimator.Query{
+		{Agg: estimator.SumQ, Attr: "val"},
+		{Agg: estimator.CountQ},
+		{Agg: estimator.AvgQ, Attr: "val"},
+	} {
+		truth, err := estimator.RunExact(tv.Data(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := estimator.CorrWithOutliers(v.Data(), samples, oset, q, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tol := 1e-9 * math.Max(1, math.Abs(truth))
+		if math.Abs(got.Value-truth) > tol {
+			t.Fatalf("%v: ratio-1 with-outlier estimate %.9g != truth %.9g (retired correction wrong)", q.Agg, got.Value, truth)
+		}
+	}
+}

@@ -173,6 +173,7 @@ func (mz *Materializer) MaterializeRecords(pin *db.Version, viewData, records *r
 			}
 		}
 		mz.fillStale(o, keyIdx, viewData)
+		mz.fillRetired(pin, o, viewData)
 		return o, nil
 	}
 
@@ -249,6 +250,58 @@ func (mz *Materializer) MaterializeRecords(pin *db.Version, viewData, records *r
 func (mz *Materializer) fillStale(o *estimator.OutlierSet, keyIdx []int, viewData *relation.Relation) {
 	for _, row := range o.Fresh.Rows() {
 		if st, ok := viewData.GetByEncodedKey(row.KeyOf(keyIdx)); ok {
+			_, _ = o.Stale.Upsert(st)
+		}
+	}
+}
+
+// fillRetired adds the stale view's rows for indexed-grade records that
+// left S′ entirely: staged deletions whose indexed attribute exceeds the
+// threshold (a retired outlier). Their removal is exactly the kind of
+// extreme correction the index exists to take out of the sample — left
+// unhandled, it re-enters the sampled remainder and breaks the Section 6
+// variance-reduction guarantee. Keys that a staged update re-inserts are
+// skipped (their fresh half is not in the partition, so they must stay
+// on the sampled path). Provenance is traced by column name, so this
+// applies only when the view's key columns survive unrenamed from the
+// indexed table — the eligible-SPJ case; aggregate views route retired
+// deltas through the change table instead.
+func (mz *Materializer) fillRetired(pin *db.Version, o *estimator.OutlierSet, viewData *relation.Relation) {
+	del := pin.Deletions(mz.ix.table)
+	if del == nil || del.Len() == 0 {
+		return
+	}
+	tblSchema := del.Schema()
+	attrIdx := tblSchema.ColIndex(mz.ix.attr)
+	if attrIdx < 0 {
+		return
+	}
+	viewKeyNames := mz.v.Schema().KeyNames()
+	tblKeyIdx := make([]int, len(viewKeyNames))
+	for i, name := range viewKeyNames {
+		j := tblSchema.ColIndex(name)
+		if j < 0 {
+			return
+		}
+		tblKeyIdx[i] = j
+	}
+	ins := pin.Insertions(mz.ix.table)
+	tblKey := tblSchema.Key()
+	for _, row := range del.Rows() {
+		v := row[attrIdx]
+		if v.IsNull() || v.AsFloat() <= mz.ix.Threshold() {
+			continue
+		}
+		if ins != nil {
+			if _, reinserted := ins.GetByEncodedKey(row.KeyOf(tblKey)); reinserted {
+				continue
+			}
+		}
+		k := row.KeyOf(tblKeyIdx)
+		if _, ok := o.Fresh.GetByEncodedKey(k); ok {
+			continue
+		}
+		if st, ok := viewData.GetByEncodedKey(k); ok {
 			_, _ = o.Stale.Upsert(st)
 		}
 	}

@@ -107,6 +107,19 @@ func GammaForConfidence(level float64) float64 {
 	return NormalQuantile(0.5 + level/2)
 }
 
+// BinomialCI returns a two-sided normal-approximation confidence interval
+// for a binomial proportion (hits successes out of n trials), clamped to
+// [0, 1]. The workload dashboard uses it to put error bands on measured
+// CI coverage rates; n = 0 yields the vacuous [0, 1].
+func BinomialCI(hits, n int, confidence float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	p := float64(hits) / float64(n)
+	half := GammaForConfidence(confidence) * math.Sqrt(p*(1-p)/float64(n))
+	return math.Max(0, p-half), math.Min(1, p+half)
+}
+
 // CantelliUpper bounds P(X ≥ μ + eps) ≤ var/(var + eps²) — the one-sided
 // Chebyshev (Cantelli) inequality the paper uses to bound max-query
 // corrections (Appendix 12.1.1).

@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/sampleclean/svc/internal/clean"
+	"github.com/sampleclean/svc/internal/estimator"
+	"github.com/sampleclean/svc/internal/relation"
+	"github.com/sampleclean/svc/internal/view"
+)
+
+// CheckInvariants replays a scenario under one config and asserts the
+// deterministic correctness properties every fixture and property test
+// leans on:
+//
+//  1. every SVC estimate is internally sane (Lo ≤ Value ≤ Hi, width ≥ 0);
+//  2. the maintained view equals the recompute truth row-for-row (float
+//     sums compared with relative tolerance — incremental maintenance
+//     accumulates in a different order than recomputation);
+//  3. after maintenance + fold, the SVC+CORR estimate equals the exact
+//     answer (a clean sample of a fresh view has zero correction).
+//
+// Unlike the matrix's coverage measurements these never depend on sample
+// luck, which is what keeps frozen fixtures stably green in CI.
+func CheckInvariants(spec Spec, cfg Config, confidence float64) error {
+	g, err := NewGenerator(spec)
+	if err != nil {
+		return err
+	}
+	d := g.DB()
+	d.SetParallelism(cfg.Parallel)
+	d.SetColumnar(cfg.Columnar)
+	v, err := view.Materialize(d, spec.Definition())
+	if err != nil {
+		return err
+	}
+	m, err := view.NewMaintainerWithStrategy(v, cfg.Strategy)
+	if err != nil {
+		return err
+	}
+
+	for r := 0; r < spec.Rounds; r++ {
+		if err := g.StageRound(r); err != nil {
+			return err
+		}
+
+		snap := d.Snapshot()
+		if err := snap.ApplyDeltas(); err != nil {
+			return err
+		}
+		tv, err := view.Materialize(snap, spec.Definition())
+		if err != nil {
+			return err
+		}
+		truthRel := tv.Data()
+
+		cl, err := clean.New(m, spec.SampleRatio, nil)
+		if err != nil {
+			return err
+		}
+		samples, err := cl.Clean(d)
+		if err != nil {
+			return err
+		}
+		for qi, q := range spec.QueryMix(r) {
+			for _, est := range []struct {
+				name string
+				f    func() (estimator.Estimate, error)
+			}{
+				{"svc+corr", func() (estimator.Estimate, error) {
+					return estimator.Corr(v.Data(), samples, q, confidence)
+				}},
+				{"svc+aqp", func() (estimator.Estimate, error) {
+					return estimator.AQP(samples, q, confidence)
+				}},
+			} {
+				e, err := est.f()
+				if err != nil {
+					return fmt.Errorf("%s round %d query %d %s: %w", spec.Name, r, qi, est.name, err)
+				}
+				if err := saneEstimate(e); err != nil {
+					return fmt.Errorf("%s round %d query %d %s: %w", spec.Name, r, qi, est.name, err)
+				}
+			}
+		}
+
+		pin := d.Pin()
+		maintained, _, err := m.MaintainAt(pin, v.Data())
+		if err != nil {
+			return fmt.Errorf("%s round %d maintain: %w", spec.Name, r, err)
+		}
+		if err := sameRelationByKey(maintained, truthRel); err != nil {
+			return fmt.Errorf("%s round %d maintained view != recompute truth: %w", spec.Name, r, err)
+		}
+		if err := d.ApplyVersion(pin, nil); err != nil {
+			return err
+		}
+		if err := v.Replace(maintained); err != nil {
+			return err
+		}
+
+		// Post-maintenance: the clean sample of a fresh view carries zero
+		// correction, so SVC+CORR must equal the exact answer.
+		fresh, err := clean.New(m, spec.SampleRatio, nil)
+		if err != nil {
+			return err
+		}
+		fs, err := fresh.Clean(d)
+		if err != nil {
+			return err
+		}
+		for qi, q := range spec.QueryMix(r) {
+			exact, err := estimator.RunExact(v.Data(), q)
+			if err != nil || math.IsNaN(exact) {
+				continue
+			}
+			e, err := estimator.Corr(v.Data(), fs, q, confidence)
+			if err != nil {
+				return fmt.Errorf("%s round %d post-maintain query %d: %w", spec.Name, r, qi, err)
+			}
+			tol := 1e-6 * math.Max(1, math.Abs(exact))
+			if math.Abs(e.Value-exact) > tol {
+				return fmt.Errorf("%s round %d post-maintain query %d: svc+corr %.9g != exact %.9g",
+					spec.Name, r, qi, e.Value, exact)
+			}
+		}
+	}
+	return nil
+}
+
+func saneEstimate(e estimator.Estimate) error {
+	if math.IsNaN(e.Value) || math.IsNaN(e.Lo) || math.IsNaN(e.Hi) {
+		return fmt.Errorf("estimate has NaN: value=%v lo=%v hi=%v", e.Value, e.Lo, e.Hi)
+	}
+	if e.Hi < e.Lo {
+		return fmt.Errorf("negative CI width: lo=%v hi=%v", e.Lo, e.Hi)
+	}
+	const slack = 1e-9
+	span := math.Max(1, math.Abs(e.Value))
+	if e.Value < e.Lo-slack*span || e.Value > e.Hi+slack*span {
+		return fmt.Errorf("point estimate %v outside CI [%v, %v]", e.Value, e.Lo, e.Hi)
+	}
+	return nil
+}
+
+// sameRelationByKey compares two keyed relations as multisets with float
+// tolerance. Maintenance strategies are free to order output differently
+// from a recompute, so positional comparison would be wrong.
+func sameRelationByKey(got, want *relation.Relation) error {
+	if got.Len() != want.Len() {
+		return fmt.Errorf("row count %d != %d", got.Len(), want.Len())
+	}
+	keyIdx := want.Schema().Key()
+	for i := 0; i < want.Len(); i++ {
+		w := want.Row(i)
+		g, ok := got.GetByEncodedKey(w.KeyOf(keyIdx))
+		if !ok {
+			return fmt.Errorf("missing row %v", w)
+		}
+		if !rowsAlmostEqual(g, w) {
+			return fmt.Errorf("row mismatch: got %v want %v", g, w)
+		}
+	}
+	return nil
+}
+
+func rowsAlmostEqual(a, b relation.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Kind() == relation.KindFloat || b[i].Kind() == relation.KindFloat {
+			x, y := a[i].AsFloat(), b[i].AsFloat()
+			diff := math.Abs(x - y)
+			scale := math.Max(math.Abs(x), math.Abs(y))
+			if diff > 1e-9*math.Max(scale, 1) {
+				return false
+			}
+			continue
+		}
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}

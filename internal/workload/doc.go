@@ -1,0 +1,24 @@
+// Package workload generates seeded adversarial scenarios and runs the
+// full estimator suite across them — the reproduction's accuracy matrix.
+//
+// The paper's evaluation (Section 7) validates SVC on three fixed
+// datasets; this package widens that to a generated grid: Zipf-skewed
+// update keys, correlated delete/update pairs, burst-vs-drip churn,
+// wide-vs-narrow group cardinalities, heavy-tailed outlier injection
+// (stressing the Section 6 outlier indexes), and shifting query mixes.
+// Every scenario runs under every engine config — both maintenance
+// strategies × columnar on/off × serial/parallel — and the matrix runner
+// measures CI coverage, CI width, relative error, and
+// maintain/clean/query latency, emitting WORKLOADS.md and
+// BENCH_matrix.json via `svcbench -run matrix`. Scenarios where measured
+// coverage falls below nominal or SVC loses to the stale baseline are
+// minimized and frozen as replayable fixtures.
+//
+// Generation is deterministic by construction: a Generator's op stream is
+// a pure function of its Spec, independent of engine parallelism,
+// columnar mode, and maintenance folding, so digests pin byte-identical
+// replays. A Generator itself is not safe for concurrent use; run
+// concurrent matrix cells on separate Generator instances (each owns its
+// database), which is how the runner exercises concurrency-sensitive
+// configs safely.
+package workload

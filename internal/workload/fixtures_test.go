@@ -1,0 +1,69 @@
+package workload
+
+import "testing"
+
+// TestFrozenFixturesReplay replays every committed regression fixture:
+// the minimized spec must still generate byte-identically (digest match)
+// and the deterministic correctness invariants must hold under the exact
+// engine config that tripped the trigger. Coverage triggers themselves are
+// statistical observations — what the fixture pins is the reproducible
+// scenario, so a generator or estimator change that invalidates it fails
+// loudly here instead of silently drifting the dashboard.
+func TestFrozenFixturesReplay(t *testing.T) {
+	fixtures, err := LoadFixtures("fixtures")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixtures) == 0 {
+		t.Fatal("no frozen fixtures committed under internal/workload/fixtures/ — run `svcbench -run matrix` and commit the output")
+	}
+	for _, fx := range fixtures {
+		fx := fx
+		t.Run(fx.Name, func(t *testing.T) {
+			t.Parallel()
+			got, err := Digest(fx.Spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != fx.Digest {
+				t.Fatalf("fixture digest drifted:\n got  %s\n want %s\n(generator changed — regenerate fixtures with `svcbench -run matrix`)", got, fx.Digest)
+			}
+			cfg, err := fx.Config()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := CheckInvariants(fx.Spec, cfg, fx.Confidence); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestFixtureTriggerStillFires re-runs the frozen cell for each fixture
+// and asserts the recorded trigger still fires — the fixture is a live
+// regression witness, not a stale artifact. The salted trial schedule is a
+// pure function of (spec, config), so this is deterministic.
+func TestFixtureTriggerStillFires(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replaying full cells is not short-mode work")
+	}
+	fixtures, err := LoadFixtures("fixtures")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fx := range fixtures {
+		fx := fx
+		t.Run(fx.Name, func(t *testing.T) {
+			t.Parallel()
+			cfg, err := fx.Config()
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := Options{Trials: fx.Trials, Confidence: fx.Confidence}.withDefaults()
+			if !stillFails(fx.Spec, cfg, fx.Estimator, fx.Trigger, opts) {
+				t.Fatalf("frozen trigger %s no longer fires for %s under %s — estimator behavior changed; regenerate fixtures",
+					fx.Trigger, fx.Estimator, cfg.Label())
+			}
+		})
+	}
+}

@@ -1,0 +1,229 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/sampleclean/svc/internal/view"
+)
+
+// Fixture is a frozen regression: the minimized scenario spec, the engine
+// config and estimator that tripped the trigger, what was observed, and
+// the generator digest that makes the replay byte-identical. Fixtures are
+// committed under internal/workload/fixtures/ and replayed by the fixture
+// test on every CI run.
+type Fixture struct {
+	Name       string  `json:"name"`
+	Trigger    string  `json:"trigger"`
+	Detail     string  `json:"detail"`
+	Estimator  string  `json:"estimator"`
+	Strategy   string  `json:"strategy"`
+	Columnar   bool    `json:"columnar"`
+	Parallel   int     `json:"parallel"`
+	Confidence float64 `json:"confidence"`
+	Trials     int     `json:"trials"`
+	Observed   float64 `json:"observed"`
+	Bound      float64 `json:"bound"`
+	Spec       Spec    `json:"spec"`
+	Digest     string  `json:"digest"`
+}
+
+// strategyByName resolves a fixture's recorded strategy string.
+func strategyByName(name string) (view.StrategyKind, error) {
+	for _, k := range []view.StrategyKind{view.ChangeTable, view.Recompute} {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown strategy %q", name)
+}
+
+// Config resolves the fixture's engine config.
+func (f Fixture) Config() (Config, error) {
+	k, err := strategyByName(f.Strategy)
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{Strategy: k, Columnar: f.Columnar, Parallel: f.Parallel}, nil
+}
+
+// stillFails re-runs one cell for the candidate spec and reports whether
+// the same (estimator, trigger) pair fires. The salted trial schedule is a
+// pure function of the spec, so this is deterministic.
+func stillFails(spec Spec, cfg Config, estimatorName, trigger string, opts Options) bool {
+	cr, err := runCell(spec, cfg, opts)
+	if err != nil {
+		return false
+	}
+	a, ok := cr.accs[estimatorName]
+	if !ok {
+		return false
+	}
+	for _, f := range cellFailures(spec, cfg, estimatorName, a, opts) {
+		if f.Trigger == trigger {
+			return true
+		}
+	}
+	return false
+}
+
+// Minimize shrinks a failing spec by greedy halving of BaseRows, DimRows,
+// and Rounds (respecting the generator floors) while the failure keeps
+// reproducing. Smaller fixtures replay faster in CI and localize the
+// regression.
+func Minimize(spec Spec, cfg Config, estimatorName, trigger string, opts Options) Spec {
+	type shrink struct {
+		get func(*Spec) *int
+		min int
+	}
+	knobs := []shrink{
+		{func(s *Spec) *int { return &s.BaseRows }, 600},
+		{func(s *Spec) *int { return &s.DimRows }, 60},
+		{func(s *Spec) *int { return &s.Rounds }, 1},
+	}
+	cur := spec
+	for progress := true; progress; {
+		progress = false
+		for _, k := range knobs {
+			cand := cur
+			p := k.get(&cand)
+			next := *p / 2
+			if next < k.min {
+				next = k.min
+			}
+			if next == *p {
+				continue
+			}
+			*p = next
+			if cand.Groups > cand.DimRows {
+				cand.Groups = cand.DimRows
+			}
+			if stillFails(cand, cfg, estimatorName, trigger, opts) {
+				cur = cand
+				progress = true
+			}
+		}
+	}
+	return cur
+}
+
+// fixtureFileName derives the deterministic on-disk name.
+func fixtureFileName(f Fixture) string {
+	est := strings.ReplaceAll(f.Estimator, "+", "-")
+	cfg := strings.NewReplacer("/", "_").Replace(strings.ReplaceAll(f.Strategy, "-", ""))
+	col := "row"
+	if f.Columnar {
+		col = "col"
+	}
+	return fmt.Sprintf("%s_%s_%s_p%d_%s_%s.json", f.Scenario(), cfg, col, f.Parallel, est, f.Trigger)
+}
+
+// Scenario returns the frozen spec's scenario name.
+func (f Fixture) Scenario() string { return f.Spec.Name }
+
+// FreezeFailures minimizes and writes up to MaxFixtures failures as
+// fixture files under opts.FixtureDir, returning the written paths. One
+// fixture per (scenario, estimator, trigger) — extra configs tripping the
+// same regression add no replay value.
+func FreezeFailures(failures []Failure, scaled []Spec, opts Options) ([]string, error) {
+	if err := os.MkdirAll(opts.FixtureDir, 0o755); err != nil {
+		return nil, err
+	}
+	specOf := map[string]Spec{}
+	for _, s := range scaled {
+		specOf[s.Name] = s
+	}
+	seen := map[string]bool{}
+	var written []string
+	for _, f := range failures {
+		if len(written) >= opts.MaxFixtures {
+			break
+		}
+		dedup := f.Scenario + "|" + f.Estimator + "|" + f.Trigger
+		if seen[dedup] {
+			continue
+		}
+		seen[dedup] = true
+		spec, ok := specOf[f.Scenario]
+		if !ok {
+			continue
+		}
+		cfg := Config{Columnar: f.Columnar, Parallel: f.Parallel}
+		var err error
+		if cfg.Strategy, err = strategyByName(f.Strategy); err != nil {
+			return nil, err
+		}
+		minimized := Minimize(spec, cfg, f.Estimator, f.Trigger, opts)
+		digest, err := Digest(minimized)
+		if err != nil {
+			return nil, err
+		}
+		fx := Fixture{
+			Name:       f.Scenario + "/" + f.Estimator + "/" + f.Trigger,
+			Trigger:    f.Trigger,
+			Detail:     f.Detail,
+			Estimator:  f.Estimator,
+			Strategy:   f.Strategy,
+			Columnar:   f.Columnar,
+			Parallel:   f.Parallel,
+			Confidence: opts.Confidence,
+			Trials:     opts.Trials,
+			Observed:   f.Observed,
+			Bound:      f.Bound,
+			Spec:       minimized,
+			Digest:     digest,
+		}
+		path := filepath.Join(opts.FixtureDir, fixtureFileName(fx))
+		if err := WriteFixture(path, fx); err != nil {
+			return nil, err
+		}
+		written = append(written, path)
+	}
+	sort.Strings(written)
+	return written, nil
+}
+
+// WriteFixture writes one fixture as pretty-printed JSON.
+func WriteFixture(path string, f Fixture) error {
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LoadFixtures reads every *.json fixture under dir, sorted by file name.
+// A missing directory is an empty set, not an error.
+func LoadFixtures(dir string) ([]Fixture, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	out := make([]Fixture, 0, len(names))
+	for _, n := range names {
+		b, err := os.ReadFile(filepath.Join(dir, n))
+		if err != nil {
+			return nil, err
+		}
+		var f Fixture
+		if err := json.Unmarshal(b, &f); err != nil {
+			return nil, fmt.Errorf("workload: fixture %s: %w", n, err)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"github.com/sampleclean/svc/internal/clean"
+	"github.com/sampleclean/svc/internal/estimator"
+	"github.com/sampleclean/svc/internal/view"
+)
+
+// FuzzScenarioInvariants drives the generator across the scenario parameter
+// space and asserts the estimator invariants that must hold for EVERY
+// reachable workload, not just the committed matrix:
+//
+//   - every estimate's CI contains its point value and has non-negative
+//     width (saneEstimate);
+//   - per-group truth partitions the total exactly, and per-group sampled
+//     sum estimates partition the total sum estimate (both are linear in
+//     the same sample);
+//   - the maintained view equals the recompute truth.
+//
+// CI runs this with a ~30s budget (-fuzz=FuzzScenarioInvariants
+// -fuzztime=30s); the seed corpus alone runs in the regular test suite.
+func FuzzScenarioInvariants(f *testing.F) {
+	f.Add(int64(1), 0.0, 0.25, 20, 0.0, false)
+	f.Add(int64(42), 2.0, 0.4, 5, 0.0, false)
+	f.Add(int64(7), 1.2, 0.1, 50, 0.02, true)
+	f.Add(int64(-3), 4.0, 0.9, 1, 0.1, true)
+	f.Fuzz(func(t *testing.T, seed int64, skew, churn float64, groups int, outlierRate float64, flat bool) {
+		// Clamp fuzzed parameters into the generator's domain instead of
+		// rejecting: the interesting inputs are the extremes.
+		if math.IsNaN(skew) || math.IsInf(skew, 0) || skew < 0 {
+			skew = 0
+		}
+		if skew > 8 {
+			skew = 8
+		}
+		if math.IsNaN(churn) || math.IsInf(churn, 0) || churn < 0 {
+			churn = 0
+		}
+		if churn > 1 {
+			churn = 1
+		}
+		if math.IsNaN(outlierRate) || math.IsInf(outlierRate, 0) || outlierRate < 0 {
+			outlierRate = 0
+		}
+		if outlierRate > 0.5 {
+			outlierRate = 0.5
+		}
+		if groups < 1 {
+			groups = 1
+		}
+		if groups > 60 {
+			groups = 60
+		}
+		spec := Spec{
+			Name: "fuzz", Seed: seed,
+			BaseRows: 600, DimRows: 60, Groups: groups,
+			Rounds: 1, ChurnRate: churn, DeleteFrac: 0.2, UpdateFrac: 0.3,
+			Skew: skew, OutlierRate: outlierRate, OutlierScale: 40,
+			View: Grouped, SampleRatio: 0.3,
+		}
+		if flat {
+			spec.View = Flat
+		}
+
+		g, err := NewGenerator(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := g.DB()
+		v, err := view.Materialize(d, spec.Definition())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := view.NewMaintainerWithStrategy(v, view.ChangeTable)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.StageRound(0); err != nil {
+			t.Fatal(err)
+		}
+
+		snap := d.Snapshot()
+		if err := snap.ApplyDeltas(); err != nil {
+			t.Fatal(err)
+		}
+		tv, err := view.Materialize(snap, spec.Definition())
+		if err != nil {
+			t.Fatal(err)
+		}
+		truthRel := tv.Data()
+
+		cl, err := clean.New(m, spec.SampleRatio, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples, err := cl.Clean(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Invariant 1: every estimate is internally sane.
+		for qi, q := range spec.QueryMix(0) {
+			if truth, err := estimator.RunExact(truthRel, q); err != nil || math.IsNaN(truth) {
+				continue
+			}
+			for _, run := range []func() (estimator.Estimate, error){
+				func() (estimator.Estimate, error) { return estimator.Corr(v.Data(), samples, q, 0.95) },
+				func() (estimator.Estimate, error) { return estimator.AQP(samples, q, 0.95) },
+			} {
+				e, err := run()
+				if err != nil {
+					continue // degenerate sample (e.g. zero count) is allowed to refuse
+				}
+				if serr := saneEstimate(e); serr != nil {
+					t.Fatalf("query %d: %v", qi, serr)
+				}
+			}
+		}
+
+		// Invariant 2: group answers partition the total — exactly for the
+		// truth, and estimate-linearly for the sampled sums (GroupAQP per
+		// group scales the same sample as the total AQP estimate).
+		sumQ := estimator.Query{Agg: estimator.SumQ, Attr: spec.AggAttr()}
+		truthGroups, _, err := estimator.GroupExact(truthRel, sumQ, []string{"grp"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		truthTotal, err := estimator.RunExact(truthRel, sumQ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var gsum float64
+		for _, v := range truthGroups {
+			gsum += v
+		}
+		tol := 1e-9 * math.Max(1, math.Abs(truthTotal))
+		if math.Abs(gsum-truthTotal) > tol {
+			t.Fatalf("truth group sums %.9g do not partition total %.9g", gsum, truthTotal)
+		}
+
+		gres, err := estimator.GroupAQP(samples, sumQ, []string{"grp"}, 0.95)
+		if err == nil {
+			totalEst, terr := estimator.AQP(samples, sumQ, 0.95)
+			if terr == nil {
+				var esum float64
+				for _, e := range gres.Groups {
+					esum += e.Value
+				}
+				etol := 1e-6 * math.Max(1, math.Abs(totalEst.Value))
+				if math.Abs(esum-totalEst.Value) > etol {
+					t.Fatalf("group sum estimates %.9g do not partition total estimate %.9g", esum, totalEst.Value)
+				}
+				for k, e := range gres.Groups {
+					if serr := saneEstimate(e); serr != nil {
+						t.Fatalf("group %s: %v", k, serr)
+					}
+				}
+			}
+		}
+
+		// Invariant 3: maintenance equals recompute.
+		pin := d.Pin()
+		maintained, _, err := m.MaintainAt(pin, v.Data())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sameRelationByKey(maintained, truthRel); err != nil {
+			t.Fatalf("maintained view != recompute truth: %v", err)
+		}
+	})
+}

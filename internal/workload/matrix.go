@@ -1,0 +1,721 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/sampleclean/svc/internal/clean"
+	"github.com/sampleclean/svc/internal/estimator"
+	"github.com/sampleclean/svc/internal/expr"
+	"github.com/sampleclean/svc/internal/hashing"
+	"github.com/sampleclean/svc/internal/outlier"
+	"github.com/sampleclean/svc/internal/relation"
+	"github.com/sampleclean/svc/internal/stats"
+	"github.com/sampleclean/svc/internal/view"
+)
+
+// Config is one engine configuration a scenario runs under: maintenance
+// strategy × columnar mode × parallelism.
+type Config struct {
+	Strategy view.StrategyKind
+	Columnar bool
+	Parallel int
+}
+
+// Label renders the config for dashboards and fixture names.
+func (c Config) Label() string {
+	col := "row"
+	if c.Columnar {
+		col = "col"
+	}
+	par := "serial"
+	if c.Parallel > 0 {
+		par = fmt.Sprintf("p%d", c.Parallel)
+	}
+	return fmt.Sprintf("%s/%s/%s", c.Strategy, col, par)
+}
+
+// Configs returns the standard strategy matrix: both maintenance
+// strategies × columnar on/off × serial vs parallel execution.
+func Configs() []Config {
+	out := make([]Config, 0, 8)
+	for _, k := range []view.StrategyKind{view.ChangeTable, view.Recompute} {
+		for _, col := range []bool{false, true} {
+			for _, par := range []int{0, 4} {
+				out = append(out, Config{Strategy: k, Columnar: col, Parallel: par})
+			}
+		}
+	}
+	return out
+}
+
+// Options configures a matrix run.
+type Options struct {
+	// Scale multiplies scenario row counts (ScaleTo floors apply).
+	Scale float64
+	// Trials is the number of independent salted sample draws per round.
+	Trials int
+	// Confidence is the nominal CI level.
+	Confidence float64
+	// Scenarios overrides the standard set (nil = Scenarios()).
+	Scenarios []Spec
+	// Configs overrides the strategy matrix (nil = Configs()).
+	Configs []Config
+	// FixtureDir, when non-empty, receives frozen regression fixtures
+	// for every failure (after minimization).
+	FixtureDir string
+	// MaxFixtures caps fixtures written per run (0 = default 4).
+	MaxFixtures int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Trials <= 0 {
+		o.Trials = 6
+	}
+	if o.Confidence <= 0 {
+		o.Confidence = 0.95
+	}
+	if o.Scenarios == nil {
+		o.Scenarios = Scenarios()
+	}
+	if o.Configs == nil {
+		o.Configs = Configs()
+	}
+	if o.MaxFixtures <= 0 {
+		o.MaxFixtures = 4
+	}
+	return o
+}
+
+// Cell is one scenario × config × estimator measurement.
+type Cell struct {
+	Scenario     string   `json:"scenario"`
+	Strategy     string   `json:"strategy"`
+	Columnar     bool     `json:"columnar"`
+	Parallel     int      `json:"parallel"`
+	Estimator    string   `json:"estimator"`
+	Nominal      float64  `json:"nominal"`
+	CoverageHits int      `json:"coverage_hits"`
+	CoverageN    int      `json:"coverage_n"`
+	Coverage     *float64 `json:"coverage,omitempty"`
+	MeanRelErr   float64  `json:"mean_rel_err"`
+	MeanRelWidth float64  `json:"mean_rel_width,omitempty"`
+	MeanK        float64  `json:"mean_k,omitempty"`
+	CleanMS      float64  `json:"clean_ms"`
+	MaintainMS   float64  `json:"maintain_ms"`
+	QueryUS      float64  `json:"query_us,omitempty"`
+	Errors       int      `json:"errors,omitempty"`
+}
+
+// Aggregate pools a scenario × estimator across every config. The jq CI
+// gate keys on Gated rows: svc estimators measured in their CLT working
+// regime (mean sample size ≥ gateMinK over ≥ gateMinN coverage trials).
+type Aggregate struct {
+	Scenario     string   `json:"scenario"`
+	Estimator    string   `json:"estimator"`
+	Nominal      float64  `json:"nominal"`
+	CoverageHits int      `json:"coverage_hits"`
+	CoverageN    int      `json:"coverage_n"`
+	Coverage     *float64 `json:"coverage,omitempty"`
+	CoverageLo   float64  `json:"coverage_lo,omitempty"`
+	CoverageHi   float64  `json:"coverage_hi,omitempty"`
+	MeanRelErr   float64  `json:"mean_rel_err"`
+	MeanRelWidth float64  `json:"mean_rel_width,omitempty"`
+	MeanK        float64  `json:"mean_k,omitempty"`
+	Gated        bool     `json:"gated"`
+}
+
+// Failure is a matrix cell that tripped a regression trigger.
+type Failure struct {
+	Scenario  string  `json:"scenario"`
+	Strategy  string  `json:"strategy"`
+	Columnar  bool    `json:"columnar"`
+	Parallel  int     `json:"parallel"`
+	Estimator string  `json:"estimator"`
+	Trigger   string  `json:"trigger"`
+	Detail    string  `json:"detail"`
+	Observed  float64 `json:"observed"`
+	Bound     float64 `json:"bound"`
+}
+
+// Result is a full matrix run: the input grid plus every cell, pooled
+// aggregates, triggered failures, and fixtures frozen from them.
+type Result struct {
+	Scale      float64     `json:"scale"`
+	Trials     int         `json:"trials"`
+	Confidence float64     `json:"confidence"`
+	Scenarios  []Spec      `json:"scenarios"`
+	Cells      []Cell      `json:"cells"`
+	Aggregates []Aggregate `json:"aggregates"`
+	Failures   []Failure   `json:"failures"`
+	Fixtures   []string    `json:"fixtures,omitempty"`
+}
+
+// Gating thresholds: a pooled svc estimator is CI-gated only inside the
+// CLT working regime. Triggers use the same floors so frozen fixtures
+// never encode pure small-sample noise.
+const (
+	gateFraction = 0.9   // measured coverage must be ≥ gateFraction·nominal
+	gateMinK     = 20    // mean cleaned-sample size
+	gateMinN     = 40    // pooled coverage trials
+	cellMinN     = 30    // per-cell coverage trials before a cell can trigger
+	staleMargin  = 1.1   // svc+corr loses only if err > staleMargin·staleErr + staleFloor
+	staleFloor   = 1e-3
+	freezeZ      = 1.645 // one-sided z for "significantly under nominal" freezes
+)
+
+// Estimator display order (stable across runs — dashboards and fixture
+// names depend on it).
+var estimatorOrder = []string{
+	"svc+corr", "svc+aqp", "svc+corr+out", "svc+aqp+out",
+	"stale", "select-clean", "per-group",
+}
+
+// gatedEstimator says whether an estimator's CI coverage carries the
+// paper's guarantee for this scenario — those are the rows the jq gate
+// enforces. The guaranteed estimator is SVC+CORR; on scenarios that
+// declare an outlier index the guarantee transfers to SVC+CORR+OUT
+// (Section 6 exists precisely because plain CLT undercovers on heavy
+// tails — the bare corr/aqp rows stay informational there). AQP rows are
+// never gated: the paper's own claim is that direct AQP degrades under
+// skew and staleness, and the dashboard is where that shows.
+func gatedEstimator(spec Spec, name string) bool {
+	if spec.OutlierK > 0 {
+		return name == "svc+corr+out"
+	}
+	return name == "svc+corr"
+}
+
+// acc accumulates one estimator's measurements inside a cell.
+type acc struct {
+	hits, n        int // CI coverage bernoullis
+	errSum         float64
+	errN           int
+	widthSum       float64
+	widthN         int
+	kSum           float64
+	kN             int
+	queryNS        int64
+	calls          int
+	errors         int
+	staleErrPaired float64 // stale mean rel err over the same queries (for loss trigger)
+}
+
+func (a *acc) coverage() (float64, bool) {
+	if a.n == 0 {
+		return 0, false
+	}
+	return float64(a.hits) / float64(a.n), true
+}
+
+func (a *acc) meanErr() float64 {
+	if a.errN == 0 {
+		return 0
+	}
+	return a.errSum / float64(a.errN)
+}
+
+func (a *acc) meanWidth() float64 {
+	if a.widthN == 0 {
+		return 0
+	}
+	return a.widthSum / float64(a.widthN)
+}
+
+func (a *acc) meanK() float64 {
+	if a.kN == 0 {
+		return 0
+	}
+	return a.kSum / float64(a.kN)
+}
+
+// recordEstimate folds one CI estimate against the truth.
+func (a *acc) recordEstimate(e estimator.Estimate, truth float64) {
+	if e.Covers(truth) {
+		a.hits++
+	}
+	a.n++
+	a.errSum += estimator.RelativeError(e.Value, truth)
+	a.errN++
+	denom := math.Max(math.Abs(truth), 1e-9)
+	a.widthSum += (e.Hi - e.Lo) / denom
+	a.widthN++
+}
+
+// cellRun is runCell's raw output, keyed by estimator name.
+type cellRun struct {
+	accs       map[string]*acc
+	cleanNS    int64
+	cleanN     int
+	maintainNS int64
+	maintainN  int
+}
+
+func (cr *cellRun) acc(name string) *acc {
+	a := cr.accs[name]
+	if a == nil {
+		a = &acc{}
+		cr.accs[name] = a
+	}
+	return a
+}
+
+func saltFor(seed int64, round, trial int) uint64 {
+	return uint64(seed)<<20 ^ uint64(round)<<10 ^ uint64(trial) ^ 0x5bd1e995
+}
+
+// cfgSalt decorrelates sample draws across engine configs. Without it
+// every config would reuse the same Trials hash salts, so pooled coverage
+// would count each draw len(Configs()) times — a bad draw then looks like
+// a systematic failure.
+func cfgSalt(cfg Config) uint64 {
+	v := uint64(cfg.Strategy) << 9
+	if cfg.Columnar {
+		v |= 1 << 8
+	}
+	return (v | uint64(cfg.Parallel&0xff)) * 0x9E3779B9
+}
+
+// runCell executes one scenario under one config: per round it stages the
+// generated deltas, snapshots the recompute truth, draws Trials
+// independent salted samples, runs the full estimator suite against the
+// truth, and finally maintains the view and folds the round — so later
+// rounds measure the estimators on a freshly maintained view with new
+// staleness, which is exactly the serving cycle of the paper.
+func runCell(spec Spec, cfg Config, opts Options) (*cellRun, error) {
+	g, err := NewGenerator(spec)
+	if err != nil {
+		return nil, err
+	}
+	d := g.DB()
+	d.SetParallelism(cfg.Parallel)
+	d.SetColumnar(cfg.Columnar)
+	v, err := view.Materialize(d, spec.Definition())
+	if err != nil {
+		return nil, fmt.Errorf("workload: materialize %s: %w", spec.Name, err)
+	}
+	m, err := view.NewMaintainerWithStrategy(v, cfg.Strategy)
+	if err != nil {
+		return nil, fmt.Errorf("workload: maintainer %s: %w", spec.Name, err)
+	}
+
+	cr := &cellRun{accs: map[string]*acc{}}
+	groupBy := []string{"grp"}
+
+	for r := 0; r < spec.Rounds; r++ {
+		if err := g.StageRound(r); err != nil {
+			return nil, err
+		}
+
+		// Recompute truth: fold a snapshot's deltas and materialize fresh.
+		snap := d.Snapshot()
+		if err := snap.ApplyDeltas(); err != nil {
+			return nil, fmt.Errorf("workload: %s truth fold: %w", spec.Name, err)
+		}
+		tv, err := view.Materialize(snap, spec.Definition())
+		if err != nil {
+			return nil, fmt.Errorf("workload: %s truth view: %w", spec.Name, err)
+		}
+		truthRel := tv.Data()
+
+		// Heavy-tail scenarios: build the outlier index over the fact
+		// table (Section 6) once per round; its partition is
+		// deterministic, only the sampled remainder varies per trial.
+		var oset *estimator.OutlierSet
+		var ix *outlier.Index
+		if spec.OutlierK > 0 && spec.View == Flat {
+			thr, err := outlier.TopKThreshold(d.Table("Fact"), "val", spec.OutlierK)
+			if err == nil {
+				ix, err = outlier.NewIndex("Fact", "val", factSchema(), thr, spec.OutlierK)
+				if err == nil {
+					if err := ix.BuildFromTable(d.Table("Fact")); err == nil {
+						if mz, err := outlier.NewMaterializer(v, ix); err == nil {
+							oset, _ = mz.Materialize(d)
+						}
+					}
+				}
+			}
+		}
+
+		queries := spec.QueryMix(r)
+		pred := spec.SelectPred()
+
+		for trial := 0; trial < opts.Trials; trial++ {
+			hasher := hashing.Salted{Salt: saltFor(spec.Seed, r, trial) ^ cfgSalt(cfg)}
+			cl, err := clean.New(m, spec.SampleRatio, hasher)
+			if err != nil {
+				return nil, fmt.Errorf("workload: %s cleaner: %w", spec.Name, err)
+			}
+			t0 := time.Now()
+			samples, err := cl.Clean(d)
+			if err != nil {
+				return nil, fmt.Errorf("workload: %s clean: %w", spec.Name, err)
+			}
+			cr.cleanNS += time.Since(t0).Nanoseconds()
+			cr.cleanN++
+
+			useOutliers := oset != nil && ix != nil && outlier.Eligible(cl, ix)
+			k := float64(samples.Fresh.Len())
+
+			for _, q := range queries {
+				truth, err := estimator.RunExact(truthRel, q)
+				if err != nil || math.IsNaN(truth) {
+					continue
+				}
+				if trial == 0 {
+					a := cr.acc("stale")
+					tq := time.Now()
+					staleVal, err := estimator.RunExact(v.Data(), q)
+					a.queryNS += time.Since(tq).Nanoseconds()
+					a.calls++
+					if err == nil && !math.IsNaN(staleVal) {
+						a.errSum += estimator.RelativeError(staleVal, truth)
+						a.errN++
+					}
+				}
+				staleVal, staleErr := estimator.RunExact(v.Data(), q)
+
+				run := func(name string, f func() (estimator.Estimate, error)) {
+					a := cr.acc(name)
+					tq := time.Now()
+					e, err := f()
+					a.queryNS += time.Since(tq).Nanoseconds()
+					a.calls++
+					if err != nil {
+						a.errors++
+						return
+					}
+					a.recordEstimate(e, truth)
+					a.kSum += k
+					a.kN++
+					if staleErr == nil && !math.IsNaN(staleVal) {
+						a.staleErrPaired += estimator.RelativeError(staleVal, truth)
+					}
+				}
+				run("svc+corr", func() (estimator.Estimate, error) {
+					return estimator.Corr(v.Data(), samples, q, opts.Confidence)
+				})
+				run("svc+aqp", func() (estimator.Estimate, error) {
+					return estimator.AQP(samples, q, opts.Confidence)
+				})
+				if useOutliers {
+					run("svc+corr+out", func() (estimator.Estimate, error) {
+						return estimator.CorrWithOutliers(v.Data(), samples, oset, q, opts.Confidence)
+					})
+					run("svc+aqp+out", func() (estimator.Estimate, error) {
+						return estimator.AQPWithOutliers(samples, oset, q, opts.Confidence)
+					})
+				}
+			}
+
+			// Per-group answers: group the view by its dimension key and
+			// compare each group's corrected estimate to the exact
+			// recompute. Coverage here is informational (unsampled
+			// changed groups are legitimately uncovered — the paper's
+			// per-group guarantee is conditional on the group being hit).
+			{
+				a := cr.acc("per-group")
+				q := estimator.Sum(spec.AggAttr(), nil)
+				tq := time.Now()
+				gr, err := estimator.GroupCorr(v.Data(), samples, q, groupBy, opts.Confidence)
+				a.queryNS += time.Since(tq).Nanoseconds()
+				a.calls++
+				if err != nil {
+					a.errors++
+				} else if truthGroups, _, err := estimator.GroupExact(truthRel, q, groupBy); err == nil {
+					covered, total := estimator.GroupCoverage(gr.Groups, truthGroups)
+					a.hits += covered
+					a.n += total
+					med, _ := estimator.GroupErrorStats(gr.Groups, truthGroups)
+					a.errSum += med
+					a.errN++
+					a.kSum += k
+					a.kN++
+				}
+			}
+
+			// Select-clean: corrected SELECT * WHERE pred, with CIs on the
+			// updated/added/removed row counts (Appendix 12.1.2).
+			{
+				a := cr.acc("select-clean")
+				tq := time.Now()
+				res, err := estimator.CleanSelect(v.Data(), samples, pred, opts.Confidence)
+				a.queryNS += time.Since(tq).Nanoseconds()
+				a.calls++
+				if err != nil {
+					a.errors++
+				} else if upd, add, rem, err := selectTruthCounts(v.Data(), truthRel, pred); err == nil {
+					for _, pair := range []struct {
+						e     estimator.Estimate
+						truth int
+					}{{res.Updated, upd}, {res.Added, add}, {res.Removed, rem}} {
+						a.recordEstimate(pair.e, float64(pair.truth))
+					}
+					a.kSum += k
+					a.kN++
+				}
+			}
+		}
+
+		// Maintain + fold: the next round's estimators run against the
+		// freshly maintained view with brand-new staleness.
+		t0 := time.Now()
+		pin := d.Pin()
+		maintained, _, err := m.MaintainAt(pin, v.Data())
+		if err != nil {
+			return nil, fmt.Errorf("workload: %s maintain: %w", spec.Name, err)
+		}
+		cr.maintainNS += time.Since(t0).Nanoseconds()
+		cr.maintainN++
+		if err := d.ApplyVersion(pin, nil); err != nil {
+			return nil, fmt.Errorf("workload: %s fold: %w", spec.Name, err)
+		}
+		if err := v.Replace(maintained); err != nil {
+			return nil, fmt.Errorf("workload: %s replace: %w", spec.Name, err)
+		}
+	}
+	return cr, nil
+}
+
+// selectTruthCounts mirrors CleanSelect's updated/added/removed counting
+// at sampling ratio 1: the ground truth the scaled estimates should cover.
+func selectTruthCounts(stale, fresh *relation.Relation, pred expr.Expr) (updated, added, removed int, err error) {
+	bs, err := pred.Bind(stale.Schema())
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	bf, err := pred.Bind(fresh.Schema())
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	keyIdx := stale.Schema().Key()
+	for _, fr := range fresh.Rows() {
+		k := fr.KeyOf(keyIdx)
+		matches := bf.Eval(fr).AsBool()
+		stRow, inStale := stale.GetByEncodedKey(k)
+		switch {
+		case matches && inStale:
+			if !fr.Equal(stRow) {
+				updated++
+			}
+			if !bs.Eval(stRow).AsBool() {
+				added++ // entered the selection due to updated values
+			}
+		case matches && !inStale:
+			added++
+		case !matches && inStale:
+			if bs.Eval(stRow).AsBool() {
+				removed++
+			}
+		}
+	}
+	for _, st := range stale.Rows() {
+		if !bs.Eval(st).AsBool() {
+			continue
+		}
+		if _, inFresh := fresh.GetByEncodedKey(st.KeyOf(keyIdx)); !inFresh {
+			removed++
+		}
+	}
+	return updated, added, removed, nil
+}
+
+// RunMatrix executes every scenario × config cell, pools per-scenario
+// aggregates, evaluates the regression triggers, and (when FixtureDir is
+// set) minimizes and freezes each failure as a replayable fixture.
+func RunMatrix(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	scaled := make([]Spec, len(opts.Scenarios))
+	for i, s := range opts.Scenarios {
+		scaled[i] = s.ScaleTo(opts.Scale)
+	}
+
+	res := &Result{
+		Scale:      opts.Scale,
+		Trials:     opts.Trials,
+		Confidence: opts.Confidence,
+		Scenarios:  scaled,
+	}
+
+	type aggKey struct{ scenario, estimator string }
+	pool := map[aggKey]*acc{}
+	var aggKeys []aggKey
+	specOf := map[string]Spec{}
+	for _, s := range scaled {
+		specOf[s.Name] = s
+	}
+
+	for _, spec := range scaled {
+		for _, cfg := range opts.Configs {
+			cr, err := runCell(spec, cfg, opts)
+			if err != nil {
+				return nil, err
+			}
+			cleanMS := float64(cr.cleanNS) / 1e6 / math.Max(1, float64(cr.cleanN))
+			maintainMS := float64(cr.maintainNS) / 1e6 / math.Max(1, float64(cr.maintainN))
+
+			for _, name := range estimatorOrder {
+				a, ok := cr.accs[name]
+				if !ok {
+					continue
+				}
+				cell := Cell{
+					Scenario:  spec.Name,
+					Strategy:  cfg.Strategy.String(),
+					Columnar:  cfg.Columnar,
+					Parallel:  cfg.Parallel,
+					Estimator: name,
+					Nominal:   opts.Confidence,
+
+					CoverageHits: a.hits,
+					CoverageN:    a.n,
+					MeanRelErr:   a.meanErr(),
+					MeanRelWidth: a.meanWidth(),
+					MeanK:        a.meanK(),
+					CleanMS:      cleanMS,
+					MaintainMS:   maintainMS,
+					Errors:       a.errors,
+				}
+				if cov, ok := a.coverage(); ok {
+					c := cov
+					cell.Coverage = &c
+				}
+				if a.calls > 0 {
+					cell.QueryUS = float64(a.queryNS) / 1e3 / float64(a.calls)
+				}
+				res.Cells = append(res.Cells, cell)
+
+				k := aggKey{spec.Name, name}
+				p := pool[k]
+				if p == nil {
+					p = &acc{}
+					pool[k] = p
+					aggKeys = append(aggKeys, k)
+				}
+				p.hits += a.hits
+				p.n += a.n
+				p.errSum += a.errSum
+				p.errN += a.errN
+				p.widthSum += a.widthSum
+				p.widthN += a.widthN
+				p.kSum += a.kSum
+				p.kN += a.kN
+				p.errors += a.errors
+
+				// Regression triggers are cell-level: a single config
+				// regressing must not hide behind the pool.
+				res.Failures = append(res.Failures, cellFailures(spec, cfg, name, a, opts)...)
+			}
+		}
+	}
+
+	for _, k := range aggKeys {
+		p := pool[k]
+		agg := Aggregate{
+			Scenario:     k.scenario,
+			Estimator:    k.estimator,
+			Nominal:      opts.Confidence,
+			CoverageHits: p.hits,
+			CoverageN:    p.n,
+			MeanRelErr:   p.meanErr(),
+			MeanRelWidth: p.meanWidth(),
+			MeanK:        p.meanK(),
+		}
+		if cov, ok := p.coverage(); ok {
+			c := cov
+			agg.Coverage = &c
+			agg.CoverageLo, agg.CoverageHi = stats.BinomialCI(p.hits, p.n, opts.Confidence)
+		}
+		agg.Gated = gatedEstimator(specOf[k.scenario], k.estimator) && p.meanK() >= gateMinK && p.n >= gateMinN
+		res.Aggregates = append(res.Aggregates, agg)
+	}
+
+	sortFailures(res.Failures)
+	if opts.FixtureDir != "" && len(res.Failures) > 0 {
+		frozen, err := FreezeFailures(res.Failures, scaled, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Fixtures = frozen
+	}
+	return res, nil
+}
+
+// cellFailures evaluates the regression triggers for one cell.
+func cellFailures(spec Spec, cfg Config, name string, a *acc, opts Options) []Failure {
+	var out []Failure
+	mk := func(trigger, detail string, observed, bound float64) {
+		out = append(out, Failure{
+			Scenario:  spec.Name,
+			Strategy:  cfg.Strategy.String(),
+			Columnar:  cfg.Columnar,
+			Parallel:  cfg.Parallel,
+			Estimator: name,
+			Trigger:   trigger,
+			Detail:    detail,
+			Observed:  observed,
+			Bound:     bound,
+		})
+	}
+	if gatedEstimator(spec, name) && a.meanK() >= gateMinK && a.n >= cellMinN {
+		if cov, ok := a.coverage(); ok {
+			// Freeze only statistically significant undercoverage: the
+			// one-sided upper bound of the measured rate must clear the
+			// nominal level. A raw `cov < nominal` would freeze half of
+			// all well-behaved cells on sample luck.
+			sd := math.Sqrt(math.Max(cov*(1-cov), 1e-4) / float64(a.n))
+			if cov+freezeZ*sd < opts.Confidence {
+				mk("coverage-below-nominal",
+					fmt.Sprintf("measured CI coverage %.3f (+%.1fσ = %.3f) below nominal %.2f over %d trials",
+						cov, freezeZ, cov+freezeZ*sd, opts.Confidence, a.n),
+					cov, opts.Confidence)
+			}
+		}
+	}
+	if name == "svc+corr" && a.errN > 0 {
+		svcErr := a.meanErr()
+		staleErr := a.staleErrPaired / float64(a.errN)
+		if bound := staleErr*staleMargin + staleFloor; svcErr > bound {
+			mk("svc-loses-to-stale",
+				fmt.Sprintf("mean rel err %.4f exceeds stale baseline %.4f (bound %.4f): cleaning noise outweighs staleness",
+					svcErr, staleErr, bound),
+				svcErr, bound)
+		}
+	}
+	return out
+}
+
+// sortFailures orders failures deterministically: stale losses first (they
+// freeze the paper's most interesting adversarial regime), then by
+// scenario/estimator/config.
+func sortFailures(fs []Failure) {
+	rank := func(f Failure) int {
+		if f.Trigger == "svc-loses-to-stale" {
+			return 0
+		}
+		return 1
+	}
+	sort.SliceStable(fs, func(i, j int) bool {
+		if rank(fs[i]) != rank(fs[j]) {
+			return rank(fs[i]) < rank(fs[j])
+		}
+		if fs[i].Scenario != fs[j].Scenario {
+			return fs[i].Scenario < fs[j].Scenario
+		}
+		if fs[i].Estimator != fs[j].Estimator {
+			return fs[i].Estimator < fs[j].Estimator
+		}
+		if fs[i].Strategy != fs[j].Strategy {
+			return fs[i].Strategy < fs[j].Strategy
+		}
+		if fs[i].Columnar != fs[j].Columnar {
+			return !fs[i].Columnar
+		}
+		return fs[i].Parallel < fs[j].Parallel
+	})
+}

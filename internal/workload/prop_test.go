@@ -1,0 +1,60 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/sampleclean/svc/internal/view"
+)
+
+// TestMaintainedViewEqualsRecomputeTruth is the workload-level oracle
+// property (same pattern as the pipeline property tests): for every
+// standard scenario and both maintenance strategies, the incrementally
+// maintained view must equal a from-scratch recompute after every round,
+// every SVC estimate must be internally sane, and a clean sample of the
+// freshly maintained view must carry zero correction (SVC+CORR == exact).
+// Runs under -race in CI.
+func TestMaintainedViewEqualsRecomputeTruth(t *testing.T) {
+	scale := 0.5
+	if testing.Short() {
+		scale = 0.25
+	}
+	for _, spec := range Scenarios() {
+		spec := spec.ScaleTo(scale)
+		for _, strat := range []view.StrategyKind{view.ChangeTable, view.Recompute} {
+			strat := strat
+			t.Run(spec.Name+"/"+string(strat), func(t *testing.T) {
+				t.Parallel()
+				cfg := Config{Strategy: strat}
+				if err := CheckInvariants(spec, cfg, 0.95); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestInvariantsUnderColumnarParallel spot-checks the other engine axes on
+// a representative subset so the full grid stays in the matrix benchmark
+// rather than the unit suite.
+func TestInvariantsUnderColumnarParallel(t *testing.T) {
+	for _, name := range []string{"uniform-drip", "heavy-tail", "wide-groups"} {
+		spec, ok := ScenarioByName(name)
+		if !ok {
+			t.Fatalf("scenario %q missing", name)
+		}
+		spec = spec.ScaleTo(0.5)
+		for _, cfg := range []Config{
+			{Strategy: view.ChangeTable, Columnar: true, Parallel: 0},
+			{Strategy: view.ChangeTable, Columnar: true, Parallel: 4},
+			{Strategy: view.Recompute, Columnar: false, Parallel: 4},
+		} {
+			spec, cfg := spec, cfg
+			t.Run(spec.Name+"/"+cfg.Label(), func(t *testing.T) {
+				t.Parallel()
+				if err := CheckInvariants(spec, cfg, 0.95); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,487 @@
+package workload
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+
+	"github.com/sampleclean/svc/internal/algebra"
+	"github.com/sampleclean/svc/internal/db"
+	"github.com/sampleclean/svc/internal/estimator"
+	"github.com/sampleclean/svc/internal/expr"
+	"github.com/sampleclean/svc/internal/relation"
+	"github.com/sampleclean/svc/internal/stats"
+	"github.com/sampleclean/svc/internal/view"
+)
+
+// ChurnShape selects how a scenario's update volume is spread across
+// staging rounds.
+type ChurnShape uint8
+
+// Churn schedules.
+const (
+	// Drip spreads the scenario's churn evenly over all rounds.
+	Drip ChurnShape = iota
+	// Burst front-loads ~70% of the churn into round 0, modeling a bulk
+	// load or upstream backfill that lands between maintenance cycles.
+	Burst
+)
+
+// String names the shape for dashboards.
+func (c ChurnShape) String() string {
+	if c == Burst {
+		return "burst"
+	}
+	return "drip"
+}
+
+// ViewShape selects the materialized view a scenario serves.
+type ViewShape uint8
+
+// View shapes.
+const (
+	// Grouped is γ_grp(Fact ⋈ Dim): one view row per group, the shape
+	// whose cardinality the Groups knob controls.
+	Grouped ViewShape = iota
+	// Flat is Π_{id,grp,val}(Fact ⋈ Dim): one view row per fact, keyed by
+	// fact id — the shape outlier indexes are eligible on (Definition 5:
+	// the cleaner's pushed-down sample covers the Fact relation).
+	Flat
+)
+
+// String names the shape for dashboards.
+func (v ViewShape) String() string {
+	if v == Flat {
+		return "flat"
+	}
+	return "grouped"
+}
+
+// Spec is one generated adversarial scenario: a seeded, fully
+// deterministic description of base data, churn, value distribution, and
+// query mix. Two generators built from equal Specs produce byte-identical
+// databases and delta streams regardless of engine settings (parallelism,
+// columnar mode) — that is what makes frozen fixtures replayable.
+type Spec struct {
+	Name string `json:"name"`
+	Seed int64  `json:"seed"`
+
+	// Base data.
+	BaseRows int `json:"base_rows"` // Fact rows at Build time
+	DimRows  int `json:"dim_rows"`  // Dim rows (join fan-in)
+	Groups   int `json:"groups"`    // group-key cardinality (wide vs narrow)
+
+	// Churn.
+	Rounds     int        `json:"rounds"`      // staging rounds
+	ChurnRate  float64    `json:"churn_rate"`  // total ops ≈ ChurnRate·BaseRows
+	Shape      ChurnShape `json:"shape"`       // drip vs burst
+	DeleteFrac float64    `json:"delete_frac"` // fraction of ops that delete
+	UpdateFrac float64    `json:"update_frac"` // fraction of ops that update in place
+	Skew       float64    `json:"skew"`        // Zipf z over update/delete keys (0 = uniform)
+	Correlated bool       `json:"correlated"`  // pair each update with a delete of a hot sibling
+
+	// Value distribution.
+	OutlierRate  float64 `json:"outlier_rate"`  // heavy-tail injection probability per value
+	OutlierScale float64 `json:"outlier_scale"` // tail magnitude multiplier
+
+	// Serving.
+	View        ViewShape `json:"view"`         // grouped vs flat
+	SampleRatio float64   `json:"sample_ratio"` // cleaner ratio m
+	MixShift    bool      `json:"mix_shift"`    // query mix changes phase round to round
+	OutlierK    int       `json:"outlier_k"`    // outlier-index capacity (0 = no index)
+}
+
+// ViewName is the name every scenario's materialized view is created
+// under.
+const ViewName = "wkView"
+
+// AggAttr returns the view attribute aggregate queries run over.
+func (s Spec) AggAttr() string {
+	if s.View == Flat {
+		return "val"
+	}
+	return "total"
+}
+
+// ScaleTo returns a copy with row counts multiplied by f (floors keep the
+// CLT estimators in their working regime at bench smoke scales).
+func (s Spec) ScaleTo(f float64) Spec {
+	out := s
+	clamp := func(v, lo int) int {
+		if v < lo {
+			return lo
+		}
+		return v
+	}
+	out.BaseRows = clamp(int(float64(s.BaseRows)*f), 600)
+	out.DimRows = clamp(int(float64(s.DimRows)*f), 60)
+	if out.Groups > out.DimRows {
+		out.Groups = out.DimRows
+	}
+	return out
+}
+
+// Definition returns the scenario's view definition over the generated
+// schema.
+func (s Spec) Definition() view.Definition {
+	join := algebra.MustJoin(
+		algebra.Scan("Fact", factSchema()),
+		algebra.Scan("Dim", dimSchema()),
+		algebra.JoinSpec{Type: algebra.Inner, On: algebra.On("dimId", "dimKey")},
+	)
+	if s.View == Flat {
+		return view.Definition{Name: ViewName, Plan: algebra.MustProjectKeyed(join, algebra.OutCols("id", "grp", "val"), "id")}
+	}
+	return view.Definition{Name: ViewName, Plan: algebra.MustGroupBy(join,
+		[]string{"grp"},
+		algebra.CountAs("cnt"),
+		algebra.SumAs(expr.Col("val"), "total"),
+	)}
+}
+
+func factSchema() relation.Schema {
+	return relation.NewSchema([]relation.Column{
+		{Name: "id", Type: relation.KindInt},
+		{Name: "dimId", Type: relation.KindInt},
+		{Name: "val", Type: relation.KindFloat},
+	}, "id")
+}
+
+func dimSchema() relation.Schema {
+	return relation.NewSchema([]relation.Column{
+		{Name: "dimKey", Type: relation.KindInt},
+		{Name: "grp", Type: relation.KindInt},
+	}, "dimKey")
+}
+
+// Generator stages a Spec's delta stream into a database. Its op stream is
+// a pure function of (Spec, round sequence): it never reads database or
+// engine state, so staging is identical whether or not maintenance folds
+// run between rounds and under any Parallelism/Columnar setting.
+type Generator struct {
+	spec Spec
+	d    *db.Database
+	fact *db.Table
+	dim  *db.Table
+
+	// live tracks Fact ids that existed at Build time and have not been
+	// staged for deletion; updates and deletes target only these, so the
+	// stream cannot depend on whether earlier rounds were folded.
+	live   []int64
+	nextID int64
+	zipfU  *stats.Zipf // update/delete key skew (nil until first use)
+	zipfD  *stats.Zipf // dim skew for inserted rows
+}
+
+// NewGenerator builds the base database for the scenario. The returned
+// generator is positioned before round 0.
+func NewGenerator(spec Spec) (*Generator, error) {
+	if spec.BaseRows <= 0 || spec.DimRows <= 0 || spec.Groups <= 0 || spec.Rounds <= 0 {
+		return nil, fmt.Errorf("workload: spec %q needs positive BaseRows/DimRows/Groups/Rounds", spec.Name)
+	}
+	g := &Generator{spec: spec, d: db.New(), nextID: int64(spec.BaseRows)}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	g.zipfD = stats.NewZipf(spec.DimRows, spec.Skew)
+	var err error
+	if g.dim, err = g.d.Create("Dim", dimSchema()); err != nil {
+		return nil, err
+	}
+	for i := 0; i < spec.DimRows; i++ {
+		if err := g.dim.Insert(relation.Row{relation.Int(int64(i)), relation.Int(int64(i % spec.Groups))}); err != nil {
+			return nil, err
+		}
+	}
+	if g.fact, err = g.d.Create("Fact", factSchema()); err != nil {
+		return nil, err
+	}
+	g.live = make([]int64, 0, spec.BaseRows)
+	for i := 0; i < spec.BaseRows; i++ {
+		// Base facts spread uniformly over dims: the scenario Skew knob
+		// shapes the CHURN (update/delete key choice and inserted rows'
+		// dims), not the starting population — per the matrix's charter of
+		// Zipf-skewed update keys hammering hot rows of an evenly built
+		// view.
+		id := int64(i)
+		row := relation.Row{relation.Int(id), relation.Int(int64(rng.Intn(spec.DimRows))), relation.Float(g.value(rng))}
+		if err := g.fact.Insert(row); err != nil {
+			return nil, err
+		}
+		g.live = append(g.live, id)
+	}
+	return g, nil
+}
+
+// DB returns the generated database.
+func (g *Generator) DB() *db.Database { return g.d }
+
+// Spec returns the generating spec.
+func (g *Generator) Spec() Spec { return g.spec }
+
+// value draws one measure value; with probability OutlierRate it lands in
+// the injected heavy tail (exponential excess scaled by OutlierScale).
+func (g *Generator) value(rng *rand.Rand) float64 {
+	v := 1 + 99*rng.Float64()
+	if g.spec.OutlierRate > 0 && rng.Float64() < g.spec.OutlierRate {
+		scale := g.spec.OutlierScale
+		if scale <= 0 {
+			scale = 20
+		}
+		v *= scale * (1 + rng.ExpFloat64())
+	}
+	return v
+}
+
+// opsForRound returns how many staged operations round r receives under
+// the churn schedule.
+func (g *Generator) opsForRound(r int) int {
+	total := int(g.spec.ChurnRate * float64(g.spec.BaseRows))
+	if total <= 0 || r < 0 || r >= g.spec.Rounds {
+		return 0
+	}
+	if g.spec.Shape == Burst {
+		head := total * 7 / 10
+		if r == 0 {
+			return head
+		}
+		if g.spec.Rounds == 1 {
+			return total
+		}
+		return (total - head) / (g.spec.Rounds - 1)
+	}
+	return total / g.spec.Rounds
+}
+
+// pickLive draws a live Fact id by Zipf rank (rank 0 = hottest) and
+// removes it from the live set when remove is set. The live ordering is
+// part of the deterministic generator state: swap-removal keeps every
+// subsequent draw reproducible.
+func (g *Generator) pickLive(rng *rand.Rand, remove bool) (int64, bool) {
+	n := len(g.live)
+	if n == 0 {
+		return 0, false
+	}
+	if g.zipfU == nil || g.zipfU.N() != n {
+		g.zipfU = stats.NewZipf(n, g.spec.Skew)
+	}
+	i := g.zipfU.Rank(rng)
+	id := g.live[i]
+	if remove {
+		g.live[i] = g.live[n-1]
+		g.live = g.live[:n-1]
+		g.zipfU = nil
+	}
+	return id, true
+}
+
+// StageRound stages round r's delta batch. Rounds must be staged in
+// order (0, 1, …, Rounds−1); each call reseeds its own rng so the batch
+// depends only on the spec, the round number, and the deletes staged by
+// earlier rounds.
+func (g *Generator) StageRound(r int) error {
+	rng := rand.New(rand.NewSource(g.spec.Seed ^ int64(uint64(r+1)*0x9E3779B97F4A7C15)))
+	ops := g.opsForRound(r)
+	for i := 0; i < ops; i++ {
+		u := rng.Float64()
+		switch {
+		case u < g.spec.DeleteFrac:
+			id, ok := g.pickLive(rng, true)
+			if !ok {
+				continue
+			}
+			if err := g.fact.StageDelete(relation.Int(id)); err != nil {
+				return fmt.Errorf("workload: %s round %d delete: %w", g.spec.Name, r, err)
+			}
+		case u < g.spec.DeleteFrac+g.spec.UpdateFrac:
+			id, ok := g.pickLive(rng, false)
+			if !ok {
+				continue
+			}
+			row := relation.Row{relation.Int(id), relation.Int(int64(g.zipfD.Rank(rng))), relation.Float(g.value(rng))}
+			if err := g.fact.StageUpdate(row); err != nil {
+				return fmt.Errorf("workload: %s round %d update: %w", g.spec.Name, r, err)
+			}
+			if g.spec.Correlated {
+				// Correlated churn: the update's hot key drags a sibling
+				// deletion with it (paired write-then-retire traffic).
+				if did, ok := g.pickLive(rng, true); ok {
+					if err := g.fact.StageDelete(relation.Int(did)); err != nil {
+						return fmt.Errorf("workload: %s round %d paired delete: %w", g.spec.Name, r, err)
+					}
+				}
+			}
+		default:
+			id := g.nextID
+			g.nextID++
+			row := relation.Row{relation.Int(id), relation.Int(int64(g.zipfD.Rank(rng))), relation.Float(g.value(rng))}
+			if err := g.fact.StageInsert(row); err != nil {
+				return fmt.Errorf("workload: %s round %d insert: %w", g.spec.Name, r, err)
+			}
+		}
+	}
+	return nil
+}
+
+// QueryMix returns round r's aggregate queries over the scenario view.
+// With MixShift set the mix rotates phase: sums, then counts/avg, then
+// predicated slices — so the hot query keeps moving, which is what
+// stresses hit-probability scheduling.
+func (s Spec) QueryMix(r int) []estimator.Query {
+	attr := s.AggAttr()
+	half := expr.Gt(expr.Col("grp"), expr.IntLit(int64(s.Groups/2)))
+	low := expr.Le(expr.Col("grp"), expr.IntLit(int64(s.Groups/2)))
+	full := []estimator.Query{
+		estimator.Sum(attr, nil),
+		estimator.Count(nil),
+		estimator.Avg(attr, nil),
+		estimator.Sum(attr, half),
+		estimator.Count(low),
+	}
+	if !s.MixShift {
+		return full
+	}
+	switch r % 3 {
+	case 0:
+		return []estimator.Query{estimator.Sum(attr, nil), estimator.Sum(attr, half)}
+	case 1:
+		return []estimator.Query{estimator.Count(nil), estimator.Avg(attr, nil)}
+	default:
+		return []estimator.Query{estimator.Count(low), estimator.Avg(attr, nil), estimator.Sum(attr, low)}
+	}
+}
+
+// SelectPred returns the scenario's CleanSelect predicate (a value slice
+// of the view, so staged updates move rows across the boundary).
+func (s Spec) SelectPred() expr.Expr {
+	if s.View == Flat {
+		return expr.Gt(expr.Col("val"), expr.FloatLit(60))
+	}
+	return expr.Gt(expr.Col("total"), expr.FloatLit(120))
+}
+
+// ShiftingMix returns a query schedule for driving a multi-view scheduler:
+// phase p of `phases` sends perPhase queries to view (p mod views) and one
+// query to every other view. It is the cross-view analogue of MixShift —
+// the hot view keeps moving, so a scheduler ranking on a stale mix model
+// keeps maintaining yesterday's hot view.
+func ShiftingMix(phases, views, perPhase int) [][]int {
+	out := make([][]int, phases)
+	for p := range out {
+		row := make([]int, views)
+		for v := range row {
+			row[v] = 1
+		}
+		row[p%views] = perPhase
+		out[p] = row
+	}
+	return out
+}
+
+// Digest generates the scenario end to end — base build plus every
+// round's staged deltas, with no maintenance in between — and returns a
+// SHA-256 over the canonical row stream. Equal digests mean byte-identical
+// generation; the seed-stability tests pin these as goldens and the frozen
+// fixtures carry them so replayability breaks loudly.
+func Digest(spec Spec) (string, error) {
+	g, err := NewGenerator(spec)
+	if err != nil {
+		return "", err
+	}
+	for r := 0; r < spec.Rounds; r++ {
+		if err := g.StageRound(r); err != nil {
+			return "", err
+		}
+	}
+	return DigestDatabase(g.d), nil
+}
+
+// DigestDatabase hashes every base table's rows plus its staged delta
+// relations in catalog order.
+func DigestDatabase(d *db.Database) string {
+	h := sha256.New()
+	pin := d.Pin()
+	for _, name := range pin.Tables() {
+		for _, rel := range []*relation.Relation{pin.Base(name), pin.Insertions(name), pin.Deletions(name)} {
+			fmt.Fprintf(h, "#%s/%d\n", name, rel.Len())
+			for i := 0; i < rel.Len(); i++ {
+				fmt.Fprintln(h, rel.Row(i))
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Scenarios returns the standard adversarial matrix: every estimator in
+// the suite is cross-validated against every one of these the way the
+// paper's evaluation runs videolog/tpcd/conviva. Names are stable — CI
+// gates and frozen fixtures key on them.
+func Scenarios() []Spec {
+	base := Spec{
+		BaseRows: 4000, DimRows: 200, Groups: 100,
+		Rounds: 3, ChurnRate: 0.25, DeleteFrac: 0.15, UpdateFrac: 0.25,
+		View: Grouped, SampleRatio: 0.3,
+	}
+	mk := func(name string, seed int64, mut func(*Spec)) Spec {
+		s := base
+		s.Name, s.Seed = name, seed
+		if mut != nil {
+			mut(&s)
+		}
+		return s
+	}
+	return []Spec{
+		mk("uniform-drip", 101, nil),
+		mk("light-drip", 102, func(s *Spec) {
+			// Near-fresh regime: churn so small that sampling noise can
+			// rival staleness — the adversarial case for the paper's
+			// "always clean" claim and the usual svc-vs-stale fixture.
+			s.ChurnRate = 0.02
+		}),
+		// Higher sample ratio: skewed churn concentrates corrections on a
+		// few hot keys, so the correction distribution is heavy-tailed and
+		// needs a larger k for the CLT intervals to hold their level.
+		mk("zipf-hot-keys", 103, func(s *Spec) { s.Skew = 2; s.SampleRatio = 0.45 }),
+		mk("burst-churn", 104, func(s *Spec) { s.Shape = Burst; s.ChurnRate = 0.4 }),
+		mk("correlated-pairs", 105, func(s *Spec) { s.Correlated = true; s.Skew = 1.2 }),
+		mk("wide-groups", 106, func(s *Spec) { s.Groups = 200; s.DimRows = 400; s.SampleRatio = 0.4 }),
+		mk("narrow-groups", 107, func(s *Spec) { s.Groups = 60; s.DimRows = 120; s.SampleRatio = 0.5 }),
+		mk("heavy-tail", 108, func(s *Spec) {
+			// Append-heavy telemetry with retention deletes: heavy values
+			// arrive by insert and leave by delete, so every extreme delta
+			// carries its extreme value and the outlier index can absorb
+			// it. (In-place shrink-updates would hide a huge delta behind a
+			// small current value — outside any value-threshold index, by
+			// construction; see the svc+corr rows of this scenario for how
+			// badly plain CLT fares even on the indexable stream.)
+			s.View = Flat
+			s.UpdateFrac = 0
+			s.DeleteFrac = 0.2
+			s.OutlierRate = 0.02
+			s.OutlierScale = 50
+			s.OutlierK = 100
+			s.SampleRatio = 0.2
+		}),
+		mk("shifting-mix", 109, func(s *Spec) { s.MixShift = true; s.Rounds = 6; s.ChurnRate = 0.3 }),
+		mk("adversarial-blend", 110, func(s *Spec) {
+			// Everything at once except heavy tails (heavy-tail isolates
+			// those): extreme key skew, bursty arrival, correlated
+			// delete/update pairs, high churn, thin sampling.
+			s.View = Flat
+			s.Skew = 3
+			s.Shape = Burst
+			s.Correlated = true
+			s.ChurnRate = 0.35
+			s.SampleRatio = 0.2
+		}),
+	}
+}
+
+// ScenarioByName finds a standard scenario.
+func ScenarioByName(name string) (Spec, bool) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}

@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sampleclean/svc/internal/view"
+)
+
+// goldenDigests pins byte-identical generation per scenario. A change here
+// is a deliberate generator change: recompute with Digest and update, and
+// expect every frozen fixture under fixtures/ to need regeneration too
+// (they carry the digest of their minimized spec).
+var goldenDigests = map[string]string{
+	"uniform-drip":      "1b42202b6c2f8eac335c72e1f5080e8d450f0bcf87fe3612c53332146f3bcf02",
+	"light-drip":        "5acfe7f85811a1e16bf25568db291d38fe8c3b05f6f64f43eb496cefd751b040",
+	"zipf-hot-keys":     "babd2c6959ba76950d9bc4473833711ed26ede480446220b8a565d0f1273bb22",
+	"burst-churn":       "ee8d4f1272cb45690539f41591bb038bad011509b46bbb8dc1382835f061659c",
+	"correlated-pairs":  "58eb30056d48699a8e7965031201deff21a4270738fb54216ec9e4bbcb8da1fa",
+	"wide-groups":       "a7574635b3ed8f6e9bc5fd27717bcaad474e0a1668879f57e36c3d217f81bff2",
+	"narrow-groups":     "beb7367b1fd58c3dbf856a5580038710e06cd39be211336f88982a04d1761f74",
+	"heavy-tail":        "4a3cd1b703deef0f16d8ed181e734220193a8424f0a5e19c0b4cd377da79f311",
+	"shifting-mix":      "d9a9cb0bc05065c0d55c24020382b99c6510242b97c9866d2f86e9e09665e326",
+	"adversarial-blend": "09ec57e45cd955df9d5629b57571670a03ca17f4328010a756ca55febfa297f1",
+}
+
+// TestScenarioDigestsGolden asserts every standard scenario generates
+// byte-identically run over run: the digest covers every base row and every
+// staged delta of every round.
+func TestScenarioDigestsGolden(t *testing.T) {
+	scenarios := Scenarios()
+	if len(scenarios) != len(goldenDigests) {
+		t.Fatalf("scenario count %d != golden count %d — update goldenDigests", len(scenarios), len(goldenDigests))
+	}
+	for _, spec := range scenarios {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			want, ok := goldenDigests[spec.Name]
+			if !ok {
+				t.Fatalf("no golden digest for scenario %q — add one", spec.Name)
+			}
+			got, err := Digest(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("digest drifted:\n got  %s\n want %s", got, want)
+			}
+		})
+	}
+}
+
+// TestDigestStableAcrossRuns generates the same spec twice from scratch and
+// once more with a fresh Generator instance staged round by round —
+// all three must agree.
+func TestDigestStableAcrossRuns(t *testing.T) {
+	spec, ok := ScenarioByName("burst-churn")
+	if !ok {
+		t.Fatal("burst-churn scenario missing")
+	}
+	a, err := Digest(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Digest(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same spec digested differently across runs: %s vs %s", a, b)
+	}
+	g, err := NewGenerator(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < spec.Rounds; r++ {
+		if err := g.StageRound(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c := DigestDatabase(g.DB()); c != a {
+		t.Fatalf("manual staging digested differently: %s vs %s", c, a)
+	}
+}
+
+// TestDigestIndependentOfEngineConfig runs a full generate → maintain →
+// fold cycle under every engine config and digests the resulting database.
+// Generation is a pure function of the spec, and applying staged deltas is
+// deterministic, so columnar mode, parallelism, and maintenance strategy
+// must not leak into the stored rows.
+func TestDigestIndependentOfEngineConfig(t *testing.T) {
+	spec, ok := ScenarioByName("uniform-drip")
+	if !ok {
+		t.Fatal("uniform-drip scenario missing")
+	}
+	var want string
+	var wantLabel string
+	for _, cfg := range Configs() {
+		g, err := NewGenerator(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := g.DB()
+		d.SetParallelism(cfg.Parallel)
+		d.SetColumnar(cfg.Columnar)
+		v, err := view.Materialize(d, spec.Definition())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := view.NewMaintainerWithStrategy(v, cfg.Strategy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < spec.Rounds; r++ {
+			if err := g.StageRound(r); err != nil {
+				t.Fatal(err)
+			}
+			pin := d.Pin()
+			maintained, _, err := m.MaintainAt(pin, v.Data())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d.ApplyVersion(pin, nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := v.Replace(maintained); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := DigestDatabase(d)
+		if want == "" {
+			want, wantLabel = got, cfg.Label()
+			continue
+		}
+		if got != want {
+			t.Errorf("config %s digested %s, config %s digested %s — engine config leaked into generation",
+				cfg.Label(), got, wantLabel, want)
+		}
+	}
+}
+
+// TestScenarioNamesAndSeedsUnique guards the fixture/CI keying contract:
+// scenario names and seeds are identifiers.
+func TestScenarioNamesAndSeedsUnique(t *testing.T) {
+	names := map[string]bool{}
+	seeds := map[int64]bool{}
+	for _, s := range Scenarios() {
+		if names[s.Name] {
+			t.Errorf("duplicate scenario name %q", s.Name)
+		}
+		if seeds[s.Seed] {
+			t.Errorf("duplicate scenario seed %d (%s)", s.Seed, s.Name)
+		}
+		names[s.Name] = true
+		seeds[s.Seed] = true
+		if strings.ContainsAny(s.Name, " /\\") {
+			t.Errorf("scenario name %q not filename-safe", s.Name)
+		}
+		if _, ok := ScenarioByName(s.Name); !ok {
+			t.Errorf("ScenarioByName(%q) missed", s.Name)
+		}
+	}
+	if len(names) < 8 {
+		t.Fatalf("matrix needs ≥8 scenarios, have %d", len(names))
+	}
+}

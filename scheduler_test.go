@@ -1,10 +1,12 @@
 package svc_test
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
 	svc "github.com/sampleclean/svc"
+	"github.com/sampleclean/svc/internal/workload"
 )
 
 // Error-budget scheduler tests: a skewed query mix must keep the hot
@@ -257,5 +259,162 @@ func TestRefresherLastCycleDuration(t *testing.T) {
 	}
 	if r.LastCycleDuration() > r.MaxCycleDuration() {
 		t.Fatalf("last cycle %v exceeds max %v", r.LastCycleDuration(), r.MaxCycleDuration())
+	}
+}
+
+// Scheduler-under-shift: the workload package's ShiftingMix schedule moves
+// the hot view every phase. The scheduler's query-mix model must re-rank —
+// each phase's budgeted maintenance slot should follow the newly hot view —
+// and the starvation bound must keep every cold view's staleness capped
+// while the mix churns. The fake clock makes every age exact.
+
+type shiftScenario struct {
+	d      *svc.Database
+	tables []*svc.Table
+	views  []*svc.StaleView
+	s      *svc.Scheduler
+	now    time.Time
+	nextID []int64
+}
+
+func newShiftScenario(t *testing.T, n int, cfg svc.SchedulerConfig) *shiftScenario {
+	t.Helper()
+	sc := &shiftScenario{now: time.Unix(2_000_000, 0), nextID: make([]int64, n)}
+	sc.d = svc.NewDatabase()
+	cfg.Now = func() time.Time { return sc.now }
+	sc.s = svc.NewScheduler(sc.d, cfg)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("T%d", i)
+		tb := sc.d.MustCreate(name, svc.NewSchema([]svc.Column{
+			svc.Col("id", svc.KindInt),
+			svc.Col("grp", svc.KindInt),
+			svc.Col("val", svc.KindFloat),
+		}, "id"))
+		for r := 0; r < 300; r++ {
+			sc.nextID[i]++
+			tb.MustInsert(svc.Row{svc.Int(sc.nextID[i]), svc.Int(sc.nextID[i] % 8), svc.Float(1)})
+		}
+		sv, err := svc.New(sc.d, svc.ViewDefinition{Name: fmt.Sprintf("view%d", i), Plan: svc.GroupByAgg(
+			svc.Scan(name, tb.Schema()),
+			[]string{"grp"},
+			svc.CountAs("cnt"),
+			svc.SumAs(svc.ColRef("val"), "total"),
+		)}, svc.WithSamplingRatio(0.5), svc.WithScheduler(sc.s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.tables = append(sc.tables, tb)
+		sc.views = append(sc.views, sv)
+	}
+	return sc
+}
+
+func (sc *shiftScenario) stageAll(t *testing.T, n int) {
+	t.Helper()
+	for i, tb := range sc.tables {
+		for r := 0; r < n; r++ {
+			sc.nextID[i]++
+			if err := tb.StageInsert(svc.Row{svc.Int(sc.nextID[i]), svc.Int(sc.nextID[i] % 8), svc.Float(1)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func (sc *shiftScenario) cyclesByView(t *testing.T) []uint64 {
+	t.Helper()
+	st := sc.s.Stats()
+	out := make([]uint64, len(sc.views))
+	for _, v := range st.Views {
+		var i int
+		if _, err := fmt.Sscanf(v.Name, "view%d", &i); err != nil {
+			t.Fatalf("unexpected view name %q", v.Name)
+		}
+		out[i] = v.Cycles
+	}
+	return out
+}
+
+// TestSchedulerFollowsShiftingMix drives workload.ShiftingMix phase by
+// phase. Query volume grows geometrically per phase so each newly hot view
+// dominates the cumulative mix model — exactly the regime where a
+// frequency- or Markov-ranked scheduler must re-rank. With equal pending
+// deltas and a budget of one, the maintenance slot must land on the
+// phase's hot view every phase.
+func TestSchedulerFollowsShiftingMix(t *testing.T) {
+	const nViews, phases = 3, 6
+	sc := newShiftScenario(t, nViews, svc.SchedulerConfig{Budget: 1, MaxAge: time.Hour})
+	mix := workload.ShiftingMix(phases, nViews, 40)
+	reps := 1
+	for p, row := range mix {
+		hot := p % nViews
+		for rep := 0; rep < reps; rep++ {
+			for vi, q := range row {
+				for k := 0; k < q; k++ {
+					if _, err := sc.views[vi].Query(svc.Count(nil)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		reps *= 3 // each phase outweighs the sum of all earlier ones
+
+		before := sc.cyclesByView(t)
+		sc.stageAll(t, 50)
+		sc.now = sc.now.Add(time.Second)
+		stats, err := sc.s.TickNow()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Views != 1 {
+			t.Fatalf("phase %d: maintained %d views, want 1 (budget)", p, stats.Views)
+		}
+		after := sc.cyclesByView(t)
+		for vi := range after {
+			got := after[vi] - before[vi]
+			want := uint64(0)
+			if vi == hot {
+				want = 1
+			}
+			if got != want {
+				t.Fatalf("phase %d (hot=view%d): view%d maintained %d times this tick, want %d — re-ranking did not follow the shift",
+					p, hot, vi, got, want)
+			}
+		}
+	}
+}
+
+// TestSchedulerShiftStarvationBound keeps the shifting mix running with a
+// tight MaxAge: however hard the hot view hogs the budget, no stale view
+// may ever be observed older than the bound after a tick.
+func TestSchedulerShiftStarvationBound(t *testing.T) {
+	const nViews = 3
+	maxAge := 3 * time.Second
+	sc := newShiftScenario(t, nViews, svc.SchedulerConfig{Budget: 1, MaxAge: maxAge})
+	mix := workload.ShiftingMix(12, nViews, 40)
+	for p, row := range mix {
+		for vi, q := range row {
+			for k := 0; k < q; k++ {
+				if _, err := sc.views[vi].Query(svc.Count(nil)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		sc.stageAll(t, 20)
+		sc.now = sc.now.Add(time.Second)
+		if _, err := sc.s.TickNow(); err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range sc.s.Stats().Views {
+			if v.PendingRows > 0 && v.AgeMillis >= maxAge.Milliseconds() {
+				t.Fatalf("phase %d: %s stale for %dms under shifting mix, starvation bound %v violated",
+					p, v.Name, v.AgeMillis, maxAge)
+			}
+		}
+	}
+	for vi, c := range sc.cyclesByView(t) {
+		if c == 0 {
+			t.Fatalf("view%d never maintained across 12 shifting phases", vi)
+		}
 	}
 }
