@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -15,8 +16,9 @@ import (
 // Client talks to one svcd server. It is a thin wrapper over net/http and
 // the api wire types; methods are safe for concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry retryPolicy
 }
 
 // Option configures New.
@@ -43,6 +45,9 @@ func New(baseURL string, opts ...Option) *Client {
 type APIError struct {
 	StatusCode int
 	Message    string
+	// RetryAfter is the server's Retry-After hint (zero when absent) —
+	// set on 503 shed responses; WithRetry honors it as a backoff floor.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -147,19 +152,23 @@ func (c *Client) post(path string, body, out any) error {
 	if err != nil {
 		return err
 	}
-	res, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(payload))
-	if err != nil {
-		return err
-	}
-	return decode(res, out)
+	return c.withRetry(func() error {
+		res, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		return decode(res, out)
+	})
 }
 
 func (c *Client) get(path string, out any) error {
-	res, err := c.hc.Get(c.base + path)
-	if err != nil {
-		return err
-	}
-	return decode(res, out)
+	return c.withRetry(func() error {
+		res, err := c.hc.Get(c.base + path)
+		if err != nil {
+			return err
+		}
+		return decode(res, out)
+	})
 }
 
 func decode(res *http.Response, out any) error {
@@ -170,7 +179,11 @@ func decode(res *http.Response, out any) error {
 		if json.Unmarshal(raw, &apiErr) != nil || apiErr.Error == "" {
 			apiErr.Error = strings.TrimSpace(string(raw))
 		}
-		return &APIError{StatusCode: res.StatusCode, Message: apiErr.Error}
+		e := &APIError{StatusCode: res.StatusCode, Message: apiErr.Error}
+		if secs, err := strconv.Atoi(strings.TrimSpace(res.Header.Get("Retry-After"))); err == nil && secs >= 0 {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return e
 	}
 	return json.NewDecoder(res.Body).Decode(out)
 }

@@ -1,0 +1,83 @@
+package client
+
+import (
+	"math/rand"
+	"time"
+)
+
+// retryPolicy shapes the client's reaction to 503 shed responses:
+// capped exponential backoff with jitter, honoring the server's
+// Retry-After hint. Zero attempts disables retrying (the default).
+type retryPolicy struct {
+	attempts int           // total tries including the first
+	base     time.Duration // first backoff step
+	max      time.Duration // backoff cap
+	sleep    func(time.Duration)
+	rng      func(int64) int64 // test seam for the jitter draw
+}
+
+// WithRetry makes the client retry 503 (overload / ingest backpressure)
+// responses up to attempts total tries, sleeping between tries with
+// capped exponential backoff plus jitter. The server's Retry-After hint
+// raises the backoff floor when it exceeds the computed step; the cap
+// still bounds every sleep. Only 503s are retried: the server sheds them
+// before doing any work, so a retry never duplicates effects.
+func WithRetry(attempts int) Option {
+	return WithRetryPolicy(attempts, 50*time.Millisecond, 2*time.Second)
+}
+
+// WithRetryPolicy is WithRetry with explicit backoff shape.
+func WithRetryPolicy(attempts int, base, max time.Duration) Option {
+	return func(c *Client) {
+		if base <= 0 {
+			base = 50 * time.Millisecond
+		}
+		if max < base {
+			max = base
+		}
+		c.retry = retryPolicy{
+			attempts: attempts,
+			base:     base,
+			max:      max,
+			sleep:    time.Sleep,
+			rng:      rand.Int63n,
+		}
+	}
+}
+
+// backoff computes the sleep before retry number i (0-based): the
+// exponential step, floored by the server's Retry-After hint, capped,
+// then jittered to d/2 + uniform(0, d/2] so a thundering herd of shed
+// clients decorrelates.
+func (p retryPolicy) backoff(i int, err error) time.Duration {
+	d := p.base << uint(i)
+	if d <= 0 || d > p.max { // shift overflow or past the cap
+		d = p.max
+	}
+	if ae, ok := err.(*APIError); ok && ae.RetryAfter > d {
+		d = ae.RetryAfter
+		if d > p.max {
+			d = p.max
+		}
+	}
+	return d/2 + time.Duration(p.rng(int64(d/2)+1))
+}
+
+// withRetry runs fn under the policy, retrying overload rejections.
+func (c *Client) withRetry(fn func() error) error {
+	if c.retry.attempts <= 1 {
+		return fn()
+	}
+	var err error
+	for i := 0; i < c.retry.attempts; i++ {
+		err = fn()
+		if err == nil || !IsOverloaded(err) {
+			return err
+		}
+		if i == c.retry.attempts-1 {
+			break
+		}
+		c.retry.sleep(c.retry.backoff(i, err))
+	}
+	return err
+}

@@ -1,0 +1,159 @@
+package client
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBackoffShape: exponential steps, Retry-After floor, cap, and the
+// d/2 + (0, d/2] jitter band.
+func TestBackoffShape(t *testing.T) {
+	p := retryPolicy{base: 50 * time.Millisecond, max: 2 * time.Second, rng: func(n int64) int64 { return 0 }}
+	// rng=0 makes the jitter draw its minimum: backoff == d/2.
+	cases := []struct {
+		i    int
+		want time.Duration // expected un-jittered step d
+	}{
+		{0, 50 * time.Millisecond},
+		{1, 100 * time.Millisecond},
+		{2, 200 * time.Millisecond},
+		{5, 1600 * time.Millisecond},
+		{6, 2 * time.Second},  // capped
+		{40, 2 * time.Second}, // shift overflow → cap
+	}
+	for _, c := range cases {
+		if got := p.backoff(c.i, nil); got != c.want/2 {
+			t.Errorf("backoff(%d) = %v, want %v (d=%v at min jitter)", c.i, got, c.want/2, c.want)
+		}
+	}
+	// Max jitter draw lands at d/2 + d/2 = d.
+	p.rng = func(n int64) int64 { return n - 1 }
+	if got := p.backoff(0, nil); got != 50*time.Millisecond {
+		t.Errorf("max jitter backoff(0) = %v, want 50ms", got)
+	}
+	// The server's Retry-After raises the floor past the computed step...
+	p.rng = func(n int64) int64 { return 0 }
+	err := &APIError{StatusCode: 503, RetryAfter: time.Second}
+	if got := p.backoff(0, err); got != 500*time.Millisecond {
+		t.Errorf("Retry-After floor: got %v, want 500ms (d=1s at min jitter)", got)
+	}
+	// ...but never past the cap.
+	err.RetryAfter = time.Minute
+	if got := p.backoff(0, err); got != time.Second {
+		t.Errorf("Retry-After cap: got %v, want 1s (d=2s cap at min jitter)", got)
+	}
+}
+
+// TestRetryOn503: the client retries overload sheds (honoring
+// Retry-After) until the server admits the request, and surfaces the
+// final error when attempts run out.
+func TestRetryOn503(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) < 3 {
+			w.Header().Set("Retry-After", "7")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]string{"error": "overloaded"})
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{"kind": "estimate"})
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	c := New(srv.URL, WithRetry(5))
+	c.retry.sleep = func(d time.Duration) { slept = append(slept, d) }
+	c.retry.rng = func(n int64) int64 { return 0 }
+
+	resp, err := c.Query("SELECT COUNT(1) FROM v")
+	if err != nil {
+		t.Fatalf("should succeed on attempt 3: %v", err)
+	}
+	if resp.Kind != "estimate" {
+		t.Fatalf("unexpected response %+v", resp)
+	}
+	if hits.Load() != 3 {
+		t.Fatalf("want 3 attempts, got %d", hits.Load())
+	}
+	if len(slept) != 2 {
+		t.Fatalf("want 2 backoff sleeps, got %v", slept)
+	}
+	// Retry-After (7s) floors every step but the 2s cap bounds it: both
+	// sleeps are cap/2 at the minimum jitter draw.
+	for i, d := range slept {
+		if d != time.Second {
+			t.Errorf("sleep %d = %v, want 1s (2s cap at min jitter)", i, d)
+		}
+	}
+}
+
+// TestRetryGivesUp: attempts exhausted → the last 503 surfaces, with its
+// Retry-After parsed for the caller.
+func TestRetryGivesUp(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Retry-After", "2")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{"error": "overloaded"})
+	}))
+	defer srv.Close()
+	c := New(srv.URL, WithRetryPolicy(3, 10*time.Millisecond, 50*time.Millisecond))
+	c.retry.sleep = func(time.Duration) {}
+	_, err := c.Query("SELECT COUNT(1) FROM v")
+	if !IsOverloaded(err) {
+		t.Fatalf("want the final 503, got %v", err)
+	}
+	if hits.Load() != 3 {
+		t.Fatalf("want exactly 3 attempts, got %d", hits.Load())
+	}
+	ae := err.(*APIError)
+	if ae.RetryAfter != 2*time.Second {
+		t.Fatalf("Retry-After not parsed: %+v", ae)
+	}
+}
+
+// TestNoRetryOnOtherErrors: only 503 sheds are retried — a 400 is the
+// caller's fault and a 504 may have done work server-side.
+func TestNoRetryOnOtherErrors(t *testing.T) {
+	for _, code := range []int{400, 404, 500, 504} {
+		var hits atomic.Int32
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hits.Add(1)
+			w.WriteHeader(code)
+			json.NewEncoder(w).Encode(map[string]string{"error": "nope"})
+		}))
+		c := New(srv.URL, WithRetry(5))
+		c.retry.sleep = func(time.Duration) {}
+		_, err := c.Query("SELECT COUNT(1) FROM v")
+		srv.Close()
+		if err == nil {
+			t.Fatalf("code %d: want error", code)
+		}
+		if hits.Load() != 1 {
+			t.Fatalf("code %d: %d attempts, want 1 (no retry)", code, hits.Load())
+		}
+	}
+}
+
+// TestRetryDisabledByDefault: a client without WithRetry sends exactly
+// one request.
+func TestRetryDisabledByDefault(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	c := New(srv.URL)
+	if _, err := c.Query("SELECT COUNT(1) FROM v"); !IsOverloaded(err) {
+		t.Fatalf("want 503, got %v", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("default client retried: %d attempts", hits.Load())
+	}
+}

@@ -37,6 +37,7 @@ import (
 
 	svc "github.com/sampleclean/svc"
 	"github.com/sampleclean/svc/client"
+	"github.com/sampleclean/svc/internal/shard"
 	"github.com/sampleclean/svc/internal/tpcd"
 	"github.com/sampleclean/svc/server"
 	"github.com/sampleclean/svc/server/api"
@@ -58,8 +59,26 @@ func main() {
 		walSync  = flag.Duration("wal-sync", 0, "group-commit sync interval (0 = default 2ms; negative = fsync every commit)")
 		schedInt = flag.Duration("sched-interval", 0, "error-budget refresh scheduler tick (0 = per-view refreshers only)")
 		schedBud = flag.Int("sched-budget", 1, "views maintained per scheduler tick (starvation-forced views ride free)")
+		shardID  = flag.Int("shard-id", 0, "this process's shard id in a sharded fleet (with -shard-count)")
+		shardCnt = flag.Int("shard-count", 0, "fleet size; >1 loads only this shard's hash partition of the dataset (0/1 = unsharded)")
+		peers    = flag.String("peers", "", "comma-separated base URLs of the fleet in shard-id order (informational; the router owns topology)")
 	)
 	flag.Parse()
+
+	// Sharded mode: this daemon is one member of a hash-partitioned fleet.
+	// The placement contract is pure data derived from (dataset, count), so
+	// every shard and every router independently agree on who owns what.
+	var pl *shard.Placement
+	if *shardCnt > 1 {
+		if *shardID < 0 || *shardID >= *shardCnt {
+			log.Fatalf("-shard-id %d out of range for -shard-count %d", *shardID, *shardCnt)
+		}
+		p, err := shard.ByDataset(*dataset, *shardCnt)
+		if err != nil {
+			log.Fatalf("%v", err)
+		}
+		pl = &p
+	}
 
 	cfg := server.Config{
 		Addr:            *addr,
@@ -80,14 +99,14 @@ func main() {
 	)
 	switch *dataset {
 	case "videolog":
-		d, viewSQL, churnFn = videolog(*scale)
+		d, viewSQL, churnFn = videolog(*scale, pl, *shardID)
 		examples = []string{
 			`{"sql":"SELECT SUM(visitCount) FROM visitView"}`,
 			`{"sql":"SELECT ownerId, SUM(visitCount) FROM visitView GROUP BY ownerId"}`,
 			`{"sql":"SELECT videoId, duration FROM Video WHERE duration > 2.5"}`,
 		}
 	case "tpcd":
-		d, viewSQL, churnFn = tpcdDataset(*scale)
+		d, viewSQL, churnFn = tpcdDataset(*scale, pl, *shardID)
 		examples = []string{
 			`{"sql":"SELECT SUM(l_extendedprice) FROM joinView WHERE o_orderdate < 180"}`,
 			`{"sql":"SELECT o_orderpriority, COUNT(1) FROM joinView GROUP BY o_orderpriority"}`,
@@ -130,8 +149,13 @@ func main() {
 	if err := srv.Start(); err != nil {
 		log.Fatalf("listen: %v", err)
 	}
-	log.Printf("svcd listening on http://%s (dataset=%s scale=%g refresh=%v durable=%v)",
-		srv.Addr(), *dataset, *scale, *refresh, durable != nil)
+	if pl != nil {
+		log.Printf("svcd shard %d/%d listening on http://%s (dataset=%s scale=%g refresh=%v durable=%v peers=%s)",
+			*shardID, *shardCnt, srv.Addr(), *dataset, *scale, *refresh, durable != nil, *peers)
+	} else {
+		log.Printf("svcd listening on http://%s (dataset=%s scale=%g refresh=%v durable=%v)",
+			srv.Addr(), *dataset, *scale, *refresh, durable != nil)
+	}
 	for _, ex := range examples {
 		log.Printf("  try: curl -s %s/query -d '%s'", srv.Addr(), ex)
 	}
@@ -201,9 +225,17 @@ func main() {
 // Log, and the visit-count view — defined in svcql, so the whole serving
 // path exercises the dialect. Churn streams new visits through the
 // daemon's own POST /ingest.
-func videolog(scale float64) (*svc.Database, []string, func(cl *client.Client) error) {
+//
+// In sharded mode (pl non-nil), the same deterministic generation runs on
+// every shard but only the rows this shard owns are loaded: the fleet
+// holds exactly the unsharded dataset, hash-partitioned by videoId, with
+// no placement state stored anywhere. Churn stages only owned rows.
+func videolog(scale float64, pl *shard.Placement, shardID int) (*svc.Database, []string, func(cl *client.Client) error) {
 	videos := scaled(scale, 400)
 	visits := scaled(scale, 30_000)
+	owns := func(table string, row svc.Row) bool {
+		return pl == nil || pl.Owns(table, row, shardID)
+	}
 	rng := rand.New(rand.NewSource(1))
 	d := svc.NewDatabase()
 	video := d.MustCreate("Video", svc.NewSchema([]svc.Column{
@@ -212,18 +244,27 @@ func videolog(scale float64) (*svc.Database, []string, func(cl *client.Client) e
 		svc.Col("duration", svc.KindFloat),
 	}, "videoId"))
 	for i := 0; i < videos; i++ {
-		video.MustInsert(svc.Row{svc.Int(int64(i)), svc.Int(rng.Int63n(50)), svc.Float(rng.Float64() * 3)})
+		row := svc.Row{svc.Int(int64(i)), svc.Int(rng.Int63n(50)), svc.Float(rng.Float64() * 3)}
+		if owns("Video", row) {
+			video.MustInsert(row)
+		}
 	}
 	logT := d.MustCreate("Log", svc.NewSchema([]svc.Column{
 		svc.Col("sessionId", svc.KindInt),
 		svc.Col("videoId", svc.KindInt),
 	}, "sessionId"))
 	for i := 0; i < visits; i++ {
-		logT.MustInsert(svc.Row{svc.Int(int64(i)), svc.Int(rng.Int63n(int64(videos)))})
+		row := svc.Row{svc.Int(int64(i)), svc.Int(rng.Int63n(int64(videos)))}
+		if owns("Log", row) {
+			logT.MustInsert(row)
+		}
 	}
 	next := int64(visits + 1_000_000)
 	churn := func(cl *client.Client) error {
 		next++
+		for !owns("Log", svc.Row{svc.Int(next), svc.Int(next % int64(videos))}) {
+			next++
+		}
 		_, err := cl.Ingest("Log", []api.IngestOp{
 			client.InsertOp(next, next%int64(videos)),
 		})
@@ -241,7 +282,7 @@ GROUP BY videoId, ownerId`
 // directly through the generator (it owns the refresh-stream state); with
 // -wal-dir those stagings are still durable, since the write-ahead hook
 // sits in the database layer under every transport.
-func tpcdDataset(scale float64) (*svc.Database, []string, func(cl *client.Client) error) {
+func tpcdDataset(scale float64, pl *shard.Placement, shardID int) (*svc.Database, []string, func(cl *client.Client) error) {
 	cfg := tpcd.DefaultConfig()
 	cfg.Orders = scaled(scale, cfg.Orders)
 	cfg.Customers = scaled(scale, cfg.Customers)
@@ -256,6 +297,25 @@ func tpcdDataset(scale float64) (*svc.Database, []string, func(cl *client.Client
 		// Stage a small refresh batch (TPC-D refresh model: new orders
 		// plus lineitem updates).
 		return g.StageUpdates(d, 0.0005)
+	}
+	if pl != nil {
+		// Shave the full deterministic generation down to this shard's
+		// partition before anything snapshots it (no log, no views yet).
+		// Dimension tables stay replicated; lineitem/orders keep only the
+		// order keys this shard owns.
+		for name := range pl.Tables {
+			t := d.Table(name)
+			if t == nil {
+				continue
+			}
+			t.Rows().DeleteWhere(func(row svc.Row) bool {
+				return !pl.Owns(name, row, shardID)
+			})
+		}
+		// The generator's refresh stream spans all shards; per-shard churn
+		// would stage rows this shard does not own. Fleet churn goes
+		// through the router instead.
+		churn = nil
 	}
 	return d, []string{tpcd.JoinViewSQL}, churn
 }

@@ -1,0 +1,329 @@
+// Command svctool operates a sharded svcd fleet: it brings up N svcd
+// child processes holding hash partitions of one dataset, fronts them
+// with the stateless scatter-gather router, and benchmarks the tier.
+//
+// Usage:
+//
+//	svctool up -shards 2                    # 2-shard fleet + router on 127.0.0.1:7780
+//	svctool up -shards 4 -dataset tpcd -scale 0.5 -compose compose.yml
+//	svctool route -shards http://h0:7781,http://h1:7781 -dataset videolog
+//	svctool bench                            # cluster experiment → BENCH_cluster.json
+//
+// `up` spawns the shards (svcd -shard-id i -shard-count N), waits for
+// every health check, starts the router in-process, and emits a
+// docker-compose manifest describing the equivalent containerized fleet
+// (shard services run svcd; the router service runs `svctool route`).
+// Shard processes are supervised loosely on purpose: a shard that dies
+// is left dead so the router's failure semantics (502 naming the shard,
+// or degraded answers with -degrade) stay observable; svctool itself
+// keeps serving through the survivors.
+//
+// `route` runs only the router over an existing fleet — the container
+// entrypoint for the manifest `up` emits.
+//
+// `bench` runs the in-process cluster scaling experiment (router qps at
+// 1, 2, 4 shards) and writes the machine-readable report.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/sampleclean/svc/client"
+	"github.com/sampleclean/svc/internal/bench"
+	"github.com/sampleclean/svc/internal/shard"
+	"github.com/sampleclean/svc/server"
+)
+
+func main() {
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "up":
+		err = cmdUp(os.Args[2:])
+	case "route":
+		err = cmdRoute(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "svctool: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatalf("svctool %s: %v", os.Args[1], err)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `svctool — operate a sharded svcd fleet
+
+commands:
+  up     spawn N svcd shard processes + the scatter-gather router
+  route  run only the router over an existing fleet
+  bench  run the cluster scaling experiment, write BENCH_cluster.json
+
+run "svctool <command> -h" for flags.
+`)
+}
+
+// cmdUp spawns the shard fleet as svcd child processes, fronts it with
+// an in-process router, and blocks until SIGINT/SIGTERM.
+func cmdUp(args []string) error {
+	fs := flag.NewFlagSet("up", flag.ExitOnError)
+	var (
+		shards   = fs.Int("shards", 2, "fleet size")
+		dataset  = fs.String("dataset", "videolog", "dataset every shard loads its partition of: videolog | tpcd")
+		scale    = fs.Float64("scale", 1.0, "dataset scale factor passed to each shard")
+		addr     = fs.String("addr", "127.0.0.1:7780", "router listen address")
+		basePort = fs.Int("base-port", 7791, "first shard port; shard i listens on base-port+i")
+		svcdBin  = fs.String("svcd", "", "path to the svcd binary (default: svcd on PATH, else go run ./cmd/svcd)")
+		degrade  = fs.Bool("degrade", false, "answer view queries from surviving shards (wider CIs) instead of 502 when a shard is down")
+		deadline = fs.Duration("shard-deadline", 5*time.Second, "per-shard call deadline")
+		compose  = fs.String("compose", "docker-compose.cluster.yml", "path the docker-compose manifest is written to (empty = skip)")
+		healthT  = fs.Duration("health-timeout", 60*time.Second, "how long to wait for every shard's health check")
+		walRoot  = fs.String("wal-root", "", "directory for per-shard durable logs (shard i logs to wal-root/shard-i; empty = no durability)")
+		refresh  = fs.Duration("refresh", 0, "per-shard background refresh interval (0 = svcd default)")
+	)
+	fs.Parse(args)
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be >= 1, got %d", *shards)
+	}
+	pl, err := shard.ByDataset(*dataset, *shards)
+	if err != nil {
+		return err
+	}
+
+	peers := make([]string, *shards)
+	for i := range peers {
+		peers[i] = fmt.Sprintf("http://127.0.0.1:%d", *basePort+i)
+	}
+	peerList := strings.Join(peers, ",")
+
+	if *compose != "" {
+		manifest := composeManifest(*shards, *dataset, *scale, *degrade)
+		if err := os.WriteFile(*compose, []byte(manifest), 0o644); err != nil {
+			return fmt.Errorf("write compose manifest: %w", err)
+		}
+		log.Printf("wrote %s (containerized equivalent of this fleet)", *compose)
+	}
+
+	cmds := make([]*exec.Cmd, *shards)
+	defer func() {
+		for _, cmd := range cmds {
+			if cmd != nil && cmd.Process != nil {
+				cmd.Process.Signal(syscall.SIGTERM)
+			}
+		}
+		for _, cmd := range cmds {
+			if cmd != nil && cmd.Process != nil {
+				cmd.Wait()
+			}
+		}
+	}()
+	for i := 0; i < *shards; i++ {
+		shardArgs := []string{
+			"-addr", fmt.Sprintf("127.0.0.1:%d", *basePort+i),
+			"-dataset", *dataset,
+			"-scale", fmt.Sprintf("%g", *scale),
+			"-shard-id", fmt.Sprint(i),
+			"-shard-count", fmt.Sprint(*shards),
+			"-peers", peerList,
+		}
+		if *walRoot != "" {
+			shardArgs = append(shardArgs, "-wal-dir", fmt.Sprintf("%s/shard-%d", *walRoot, i))
+		}
+		if *refresh > 0 {
+			shardArgs = append(shardArgs, "-refresh", refresh.String())
+		}
+		cmd := svcdCommand(*svcdBin, shardArgs)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("start shard %d: %w", i, err)
+		}
+		cmds[i] = cmd
+		log.Printf("shard %d/%d: pid %d on %s", i, *shards, cmd.Process.Pid, peers[i])
+	}
+
+	if err := waitHealthy(peers, *healthT); err != nil {
+		return err
+	}
+	log.Printf("all %d shards healthy", *shards)
+
+	rt, err := server.NewRouter(server.RouterConfig{
+		Addr:          *addr,
+		Shards:        peers,
+		Placement:     pl,
+		Degrade:       *degrade,
+		ShardDeadline: *deadline,
+	})
+	if err != nil {
+		return err
+	}
+	if err := rt.Start(); err != nil {
+		return err
+	}
+	log.Printf("router listening on http://%s (shards=%d dataset=%s degrade=%v)", rt.Addr(), *shards, *dataset, *degrade)
+	log.Printf("  try: curl -s %s/query -d '{\"sql\":\"SELECT SUM(visitCount) FROM visitView\"}'", rt.Addr())
+	log.Printf("  try: curl -s %s/stats", rt.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down: router first, then the fleet")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := rt.Shutdown(ctx); err != nil {
+		log.Printf("router shutdown: %v", err)
+	}
+	return nil // deferred cleanup TERMs and reaps the shard processes
+}
+
+// svcdCommand builds the shard child-process invocation: an explicit
+// -svcd path, else svcd on PATH, else `go run ./cmd/svcd` so a source
+// checkout works with no build step.
+func svcdCommand(bin string, args []string) *exec.Cmd {
+	if bin == "" {
+		if found, err := exec.LookPath("svcd"); err == nil {
+			bin = found
+		}
+	}
+	if bin != "" {
+		return exec.Command(bin, args...)
+	}
+	return exec.Command("go", append([]string{"run", "./cmd/svcd"}, args...)...)
+}
+
+// waitHealthy polls every shard's /healthz until all answer or the
+// deadline expires.
+func waitHealthy(peers []string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for _, p := range peers {
+		cl := client.New(p)
+		for {
+			if err := cl.Healthy(); err == nil {
+				break
+			} else if time.Now().After(deadline) {
+				return fmt.Errorf("shard at %s not healthy after %v: %w", p, timeout, err)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// cmdRoute runs only the router over an already-running fleet.
+func cmdRoute(args []string) error {
+	fs := flag.NewFlagSet("route", flag.ExitOnError)
+	var (
+		shardList = fs.String("shards", "", "comma-separated shard base URLs in shard-id order (required)")
+		dataset   = fs.String("dataset", "videolog", "dataset the fleet serves (fixes the placement): videolog | tpcd")
+		addr      = fs.String("addr", "127.0.0.1:7780", "router listen address")
+		degrade   = fs.Bool("degrade", false, "answer view queries from surviving shards (wider CIs) instead of 502 when a shard is down")
+		deadline  = fs.Duration("shard-deadline", 5*time.Second, "per-shard call deadline")
+	)
+	fs.Parse(args)
+	if *shardList == "" {
+		return fmt.Errorf("-shards is required (comma-separated shard URLs in shard-id order)")
+	}
+	peers := strings.Split(*shardList, ",")
+	pl, err := shard.ByDataset(*dataset, len(peers))
+	if err != nil {
+		return err
+	}
+	rt, err := server.NewRouter(server.RouterConfig{
+		Addr:          *addr,
+		Shards:        peers,
+		Placement:     pl,
+		Degrade:       *degrade,
+		ShardDeadline: *deadline,
+	})
+	if err != nil {
+		return err
+	}
+	if err := rt.Start(); err != nil {
+		return err
+	}
+	log.Printf("router listening on http://%s (shards=%d dataset=%s degrade=%v)", rt.Addr(), len(peers), *dataset, *degrade)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return rt.Shutdown(ctx)
+}
+
+// cmdBench runs the cluster scaling experiment and writes the report.
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	var (
+		scale = fs.Float64("scale", 1.0, "workload scale factor")
+		out   = fs.String("out", "BENCH_cluster.json", "machine-readable report path")
+	)
+	fs.Parse(args)
+	start := time.Now()
+	table, err := bench.Run("cluster", bench.Scale(*scale))
+	if err != nil {
+		return err
+	}
+	fmt.Println(table.Render())
+	report := &bench.JSONReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Scale:       *scale,
+	}
+	report.Experiments = append(report.Experiments, bench.JSONResultOf(table, time.Since(start)))
+	if err := bench.WriteJSON(*out, report); err != nil {
+		return err
+	}
+	log.Printf("wrote %s", *out)
+	return nil
+}
+
+// composeManifest renders the docker-compose equivalent of the fleet:
+// one service per shard running svcd, plus the router running
+// `svctool route` against the shard services by DNS name. The image is a
+// placeholder — any image with the two binaries on PATH works.
+func composeManifest(shards int, dataset string, scale float64, degrade bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Generated by `svctool up -shards %d -dataset %s -scale %g`.\n", shards, dataset, scale)
+	b.WriteString("# One service per hash partition plus the stateless router; placement is\n")
+	b.WriteString("# pure data derived from (dataset, shard count), so no coordinator exists.\n")
+	b.WriteString("services:\n")
+	peers := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		peers[i] = fmt.Sprintf("http://svcd-%d:7781", i)
+	}
+	peerList := strings.Join(peers, ",")
+	for i := 0; i < shards; i++ {
+		fmt.Fprintf(&b, "  svcd-%d:\n", i)
+		b.WriteString("    image: svc:latest\n")
+		fmt.Fprintf(&b, "    command: [\"svcd\", \"-addr\", \":7781\", \"-dataset\", %q, \"-scale\", \"%g\", \"-shard-id\", \"%d\", \"-shard-count\", \"%d\", \"-peers\", %q]\n",
+			dataset, scale, i, shards, peerList)
+	}
+	b.WriteString("  router:\n")
+	b.WriteString("    image: svc:latest\n")
+	fmt.Fprintf(&b, "    command: [\"svctool\", \"route\", \"-addr\", \":7780\", \"-dataset\", %q, \"-shards\", %q, \"-degrade=%v\"]\n",
+		dataset, peerList, degrade)
+	b.WriteString("    ports:\n")
+	b.WriteString("      - \"7780:7780\"\n")
+	b.WriteString("    depends_on:\n")
+	for i := 0; i < shards; i++ {
+		fmt.Fprintf(&b, "      - svcd-%d\n", i)
+	}
+	return b.String()
+}

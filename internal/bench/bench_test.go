@@ -18,7 +18,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig11", "fig12", "fig13", "fig14a", "fig14b", "fig15", "fig16",
 		"ablate-hash", "ablate-pushdown", "ablate-advisor", "ablate-nonunique",
 		"serve", "serve-http", "pipeline", "ingest", "refresh-sched",
-		"matrix",
+		"matrix", "cluster",
 	}
 	have := map[string]bool{}
 	for _, id := range List() {

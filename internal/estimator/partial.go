@@ -1,0 +1,352 @@
+package estimator
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/sampleclean/svc/internal/clean"
+	"github.com/sampleclean/svc/internal/relation"
+	"github.com/sampleclean/svc/internal/stats"
+)
+
+// Partial is the mergeable sufficient-statistics form of a CLT estimate.
+//
+// The SVC estimators for sum and count are sums of per-row terms — trans
+// values for SVC+AQP (Section 5.2.1), correspondence differences for
+// SVC+CORR (Definition 4) — with Horvitz–Thompson plug-in variance
+// (1−m)·Σ term². Both the point estimate and the variance are therefore
+// algebraically composable across any disjoint partition of the view
+// keys: partial sums add, partial sums-of-squares add, and the stale
+// baseline (a sum over the partitioned stale view) adds. A fleet of
+// shards each holding a hash partition of the view can answer one query
+// with a single statistically-correct global confidence interval by
+// exchanging Partials instead of estimates.
+//
+// avg is handled as the ratio of a sum statistic and a count statistic,
+// each composed independently, with the interval recombined in
+// quadrature (ratioHalfWidth) — ratios do not decompose into per-row
+// sums, but their numerator and denominator do.
+//
+// min/max/median/percentile are not mergeable in this form (extremes
+// lose their tail bound under composition, quantiles are not sums);
+// PartialAQP and PartialCorr reject them.
+type Partial struct {
+	// Agg is the query's aggregate (SumQ, CountQ, or AvgQ).
+	Agg Agg
+	// Method names the estimator the statistics belong to ("svc+aqp" or
+	// "svc+corr"). Partials of different methods do not merge.
+	Method string
+	// Ratio is the Bernoulli sampling ratio m. All merged partials must
+	// share it (shards are configured identically).
+	Ratio float64
+
+	// Primary statistic: the trans/diff moments of the sum or count
+	// query (for avg, of the sum numerator). K counts the rows behind
+	// it; Stale is the shard's exact stale answer q(S) (0 for AQP);
+	// Sum and SumSq are Σ term and Σ term².
+	K     int
+	Stale float64
+	Sum   float64
+	SumSq float64
+
+	// Denominator statistic, set only for Agg == AvgQ: the count query's
+	// moments, composed the same way and recombined as sum/count.
+	CntK     int
+	CntStale float64
+	CntSum   float64
+	CntSumSq float64
+}
+
+// mergeable reports why a partial cannot merge with p, or nil.
+func (p Partial) mergeable(o Partial) error {
+	if p.Agg != o.Agg {
+		return fmt.Errorf("estimator: cannot merge partials of different aggregates (%v vs %v)", p.Agg, o.Agg)
+	}
+	if p.Method != o.Method {
+		return fmt.Errorf("estimator: cannot merge partials of different methods (%s vs %s)", p.Method, o.Method)
+	}
+	if p.Ratio != o.Ratio {
+		return fmt.Errorf("estimator: cannot merge partials with different sampling ratios (%g vs %g)", p.Ratio, o.Ratio)
+	}
+	return nil
+}
+
+// MergePartials composes per-shard partials into one: sums add, variance
+// terms add, stale baselines add. It requires at least one partial and a
+// consistent (Agg, Method, Ratio) across all of them. Empty-shard
+// partials (zero rows) are valid identities.
+func MergePartials(ps ...Partial) (Partial, error) {
+	if len(ps) == 0 {
+		return Partial{}, fmt.Errorf("estimator: no partials to merge")
+	}
+	out := ps[0]
+	for _, p := range ps[1:] {
+		if err := out.mergeable(p); err != nil {
+			return Partial{}, err
+		}
+		out.K += p.K
+		out.Stale += p.Stale
+		out.Sum += p.Sum
+		out.SumSq += p.SumSq
+		out.CntK += p.CntK
+		out.CntStale += p.CntStale
+		out.CntSum += p.CntSum
+		out.CntSumSq += p.CntSumSq
+	}
+	return out, nil
+}
+
+// cltEstimate finalizes one composed sum/count statistic: value is the
+// (stale-baseline-shifted) sum, the interval is the Horvitz–Thompson CLT
+// half-width gamma·sqrt((1−m)·Σ term²) — identical to aqpCLT/corrCLT on
+// the unpartitioned sample.
+func cltEstimate(stale, sum, sumsq float64, k int, ratio, confidence float64, method string) Estimate {
+	value := stale + sum
+	half := 0.0
+	if k > 0 {
+		half = stats.GammaForConfidence(confidence) * math.Sqrt((1-ratio)*sumsq)
+	}
+	return Estimate{
+		Value: value, Lo: value - half, Hi: value + half,
+		Confidence: confidence, Method: method, K: k,
+	}
+}
+
+// Finalize turns a (possibly merged) partial into an estimate at the
+// given confidence. For avg, the sum and count statistics recombine as a
+// ratio with their relative half-widths composed in quadrature.
+func (p Partial) Finalize(confidence float64) (Estimate, error) {
+	switch p.Agg {
+	case SumQ, CountQ:
+		return cltEstimate(p.Stale, p.Sum, p.SumSq, p.K, p.Ratio, confidence, p.Method), nil
+	case AvgQ:
+		sumEst := cltEstimate(p.Stale, p.Sum, p.SumSq, p.K, p.Ratio, confidence, p.Method)
+		cntEst := cltEstimate(p.CntStale, p.CntSum, p.CntSumSq, p.CntK, p.Ratio, confidence, p.Method)
+		if cntEst.Value == 0 {
+			return Estimate{}, fmt.Errorf("estimator: zero estimated count for avg")
+		}
+		v := sumEst.Value / cntEst.Value
+		half := ratioHalfWidth(v, sumEst, cntEst)
+		return Estimate{
+			Value: v, Lo: v - half, Hi: v + half,
+			Confidence: confidence, Method: p.Method, K: p.K,
+		}, nil
+	default:
+		return Estimate{}, fmt.Errorf("estimator: aggregate %v is not mergeable", p.Agg)
+	}
+}
+
+// Mergeable reports whether the aggregate has a partial form.
+func Mergeable(agg Agg) bool {
+	return agg == SumQ || agg == CountQ || agg == AvgQ
+}
+
+// aqpMoments accumulates the trans-table moments of one sum/count query.
+func aqpMoments(s *clean.Samples, q Query) (k int, sum, sumsq float64, err error) {
+	trans, err := transTable(s.Fresh, q, s.Ratio)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	for _, r := range trans {
+		sum += r.val
+		sumsq += r.val * r.val
+	}
+	return len(trans), sum, sumsq, nil
+}
+
+// PartialAQP computes the mergeable SVC+AQP statistics of one shard's
+// clean sample for a sum/count/avg query. avg is decomposed into its
+// sum and count statistics (both HT-scaled, so the 1/m factors cancel
+// in the final ratio).
+func PartialAQP(s *clean.Samples, q Query) (Partial, error) {
+	p := Partial{Agg: q.Agg, Method: "svc+aqp", Ratio: s.Ratio}
+	switch q.Agg {
+	case SumQ, CountQ:
+		k, sum, sumsq, err := aqpMoments(s, q)
+		if err != nil {
+			return Partial{}, err
+		}
+		p.K, p.Sum, p.SumSq = k, sum, sumsq
+		return p, nil
+	case AvgQ:
+		k, sum, sumsq, err := aqpMoments(s, Query{Agg: SumQ, Attr: q.Attr, Pred: q.Pred})
+		if err != nil {
+			return Partial{}, err
+		}
+		ck, csum, csumsq, err := aqpMoments(s, Query{Agg: CountQ, Pred: q.Pred})
+		if err != nil {
+			return Partial{}, err
+		}
+		p.K, p.Sum, p.SumSq = k, sum, sumsq
+		p.CntK, p.CntSum, p.CntSumSq = ck, csum, csumsq
+		return p, nil
+	default:
+		return Partial{}, fmt.Errorf("estimator: aggregate %v is not mergeable", q.Agg)
+	}
+}
+
+// corrMoments accumulates the correspondence-difference moments of one
+// sum/count query plus the shard's exact stale answer.
+func corrMoments(staleView *relation.Relation, s *clean.Samples, q Query) (stale float64, k int, sum, sumsq float64, err error) {
+	stale, err = RunExact(staleView, q)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	freshT, err := transTable(s.Fresh, q, s.Ratio)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	staleT, err := transTable(s.Stale, q, s.Ratio)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	for _, d := range correspondenceSubtract(freshT, staleT) {
+		sum += d
+		sumsq += d * d
+		k++
+	}
+	return stale, k, sum, sumsq, nil
+}
+
+// PartialCorr computes the mergeable SVC+CORR statistics of one shard:
+// the exact local stale answer plus the correction's moments. avg is
+// decomposed into corrected sum and corrected count (the sharded avg is
+// their ratio with a quadrature interval, not the single-process
+// bootstrap — see DESIGN.md "Sharded serving tier").
+func PartialCorr(staleView *relation.Relation, s *clean.Samples, q Query) (Partial, error) {
+	p := Partial{Agg: q.Agg, Method: "svc+corr", Ratio: s.Ratio}
+	switch q.Agg {
+	case SumQ, CountQ:
+		stale, k, sum, sumsq, err := corrMoments(staleView, s, q)
+		if err != nil {
+			return Partial{}, err
+		}
+		p.Stale, p.K, p.Sum, p.SumSq = stale, k, sum, sumsq
+		return p, nil
+	case AvgQ:
+		stale, k, sum, sumsq, err := corrMoments(staleView, s, Query{Agg: SumQ, Attr: q.Attr, Pred: q.Pred})
+		if err != nil {
+			return Partial{}, err
+		}
+		cstale, ck, csum, csumsq, err := corrMoments(staleView, s, Query{Agg: CountQ, Pred: q.Pred})
+		if err != nil {
+			return Partial{}, err
+		}
+		p.Stale, p.K, p.Sum, p.SumSq = stale, k, sum, sumsq
+		p.CntStale, p.CntK, p.CntSum, p.CntSumSq = cstale, ck, csum, csumsq
+		return p, nil
+	default:
+		return Partial{}, fmt.Errorf("estimator: aggregate %v is not mergeable", q.Agg)
+	}
+}
+
+// GroupPartialResult holds per-group partials keyed by the encoded group
+// values, plus printable labels — the mergeable form of GroupResult.
+type GroupPartialResult struct {
+	Groups map[string]Partial
+	Labels map[string]string
+}
+
+// GroupPartialAQP computes per-group SVC+AQP partials. Groups absent
+// from the shard's sample produce no entry; merging unions group keys,
+// so a group that exists on only one shard survives composition.
+func GroupPartialAQP(s *clean.Samples, q Query, groupBy []string) (GroupPartialResult, error) {
+	parts, labels, err := groupPartition(s.Fresh, groupBy)
+	if err != nil {
+		return GroupPartialResult{}, err
+	}
+	res := GroupPartialResult{Groups: map[string]Partial{}, Labels: labels}
+	for k, rows := range parts {
+		sub := &clean.Samples{Fresh: subRelation(s.Fresh, rows), Stale: s.Stale, Ratio: s.Ratio}
+		p, err := PartialAQP(sub, q)
+		if err != nil {
+			return GroupPartialResult{}, err
+		}
+		res.Groups[k] = p
+	}
+	return res, nil
+}
+
+// GroupPartialCorr computes per-group SVC+CORR partials over the union
+// of group keys present in the shard's stale view and samples.
+func GroupPartialCorr(staleView *relation.Relation, s *clean.Samples, q Query, groupBy []string) (GroupPartialResult, error) {
+	staleParts, staleLabels, err := groupPartition(staleView, groupBy)
+	if err != nil {
+		return GroupPartialResult{}, err
+	}
+	freshParts, freshLabels, err := groupPartition(s.Fresh, groupBy)
+	if err != nil {
+		return GroupPartialResult{}, err
+	}
+	sampleStaleParts, sampleStaleLabels, err := groupPartition(s.Stale, groupBy)
+	if err != nil {
+		return GroupPartialResult{}, err
+	}
+	keys := map[string]bool{}
+	labels := map[string]string{}
+	note := func(parts map[string][]relation.Row, lbl map[string]string) {
+		for k := range parts {
+			keys[k] = true
+			if _, ok := labels[k]; !ok {
+				labels[k] = lbl[k]
+			}
+		}
+	}
+	note(staleParts, staleLabels)
+	note(freshParts, freshLabels)
+	note(sampleStaleParts, sampleStaleLabels)
+	res := GroupPartialResult{Groups: map[string]Partial{}, Labels: labels}
+	for k := range keys {
+		sub := &clean.Samples{
+			Fresh: subRelation(s.Fresh, freshParts[k]),
+			Stale: subRelation(s.Stale, sampleStaleParts[k]),
+			Ratio: s.Ratio,
+		}
+		p, err := PartialCorr(subRelation(staleView, staleParts[k]), sub, q)
+		if err != nil {
+			return GroupPartialResult{}, err
+		}
+		res.Groups[k] = p
+	}
+	return res, nil
+}
+
+// MergeGroupPartials composes per-shard group partials by group key:
+// keys union, and a key present on several shards merges its partials.
+func MergeGroupPartials(rs ...GroupPartialResult) (GroupPartialResult, error) {
+	out := GroupPartialResult{Groups: map[string]Partial{}, Labels: map[string]string{}}
+	for _, r := range rs {
+		for k, p := range r.Groups {
+			if prev, ok := out.Groups[k]; ok {
+				merged, err := MergePartials(prev, p)
+				if err != nil {
+					return GroupPartialResult{}, err
+				}
+				out.Groups[k] = merged
+			} else {
+				out.Groups[k] = p
+			}
+		}
+		for k, l := range r.Labels {
+			if _, ok := out.Labels[k]; !ok {
+				out.Labels[k] = l
+			}
+		}
+	}
+	return out, nil
+}
+
+// Finalize turns every group's partial into an estimate. Groups whose
+// finalization fails (e.g. zero estimated count for avg) are dropped,
+// matching GroupAQP/GroupCorr's skip of unusable groups.
+func (r GroupPartialResult) Finalize(confidence float64) (GroupResult, error) {
+	out := GroupResult{Groups: map[string]Estimate{}, Labels: r.Labels}
+	for k, p := range r.Groups {
+		est, err := p.Finalize(confidence)
+		if err != nil {
+			continue
+		}
+		out.Groups[k] = est
+	}
+	return out, nil
+}

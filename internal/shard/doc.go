@@ -1,0 +1,26 @@
+// Package shard defines the deterministic placement contract of a
+// sharded svcd fleet: base tables, views, cleaned samples, and the WAL
+// partition by a seeded hash of the view key (reusing the
+// internal/hashing hash64 substrate), so every view key lives on
+// exactly one shard and per-shard SVC estimates compose into one
+// statistically-correct global answer (see internal/estimator.Partial).
+//
+// Placement is pure data plus pure functions — no placement state is
+// stored or gossiped. Any process holding the same Placement (shard
+// daemons filtering their dataset load, the stateless router fanning
+// out ingest ops and pruning single-key queries) derives the same
+// owner for the same key, across processes and restarts, because the
+// hash seed is a package constant.
+//
+// Canonical hashing: HashValues (engine-side relation.Value tuples) and
+// HashJSON (wire-side JSON tuples) produce identical hashes for values
+// that coerce to each other — an integral JSON number routes to the
+// same shard as the Int column value it becomes. Everything here is
+// immutable after construction and safe for concurrent use.
+//
+// Paper correspondence: sharding is an engineering extension beyond the
+// paper (Stale View Cleaning, VLDB 2015); its statistical soundness
+// rests on the Section 4–5 estimators being sums of per-row terms over
+// a Bernoulli sample keyed by view key, which hash-disjoint partitions
+// preserve exactly.
+package shard

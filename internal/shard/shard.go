@@ -1,0 +1,195 @@
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/sampleclean/svc/internal/hashing"
+	"github.com/sampleclean/svc/internal/relation"
+)
+
+// Seed is the fixed seed of the placement hash. It is part of the
+// cluster's wire contract: every shard and every router must derive the
+// same shard for the same key, across processes and restarts, so the
+// seed is a constant rather than per-process.
+const Seed uint64 = 0x5ca1ab1e_0ddba11
+
+// Key names the placement columns of one relation: where they sit in a
+// full row (RowIdx) and, when the placement key is a prefix of the
+// primary key, where they sit in the primary-key tuple (KeyIdx) so
+// deletes carrying only key values can still be routed. KeyIdx nil
+// means deletes against this table are not routable by the router.
+type Key struct {
+	Cols   []string
+	RowIdx []int
+	KeyIdx []int
+}
+
+// Placement is the deterministic partitioning contract of a fleet:
+// which base tables partition (and by which columns), which views they
+// produce, and how many shards there are. Tables absent from Tables are
+// replicated on every shard (dimension tables small enough to copy).
+//
+// The invariant the estimator merge relies on: every view key lives on
+// exactly one shard. Base tables co-partition by a common prefix of the
+// view key, so each shard's view, cleaned sample, and WAL hold a
+// disjoint slice of the global view — per-shard estimates then compose
+// by summing means and variances (see internal/estimator.Partial).
+type Placement struct {
+	Count  int
+	Tables map[string]Key
+	Views  map[string]Key
+}
+
+// ShardOf maps a placement hash to a shard id.
+func (p Placement) ShardOf(h uint64) int {
+	if p.Count <= 1 {
+		return 0
+	}
+	return int(h % uint64(p.Count))
+}
+
+// HashValues computes the placement hash of a key tuple. The encoding
+// is canonical across value representations: an integral float hashes
+// identically to the same integer, so a JSON-decoded 5 (float64) and an
+// engine-side Int(5) agree — see HashJSON.
+func HashValues(vals ...relation.Value) uint64 {
+	h := hashing.Init64(Seed)
+	for _, v := range vals {
+		h = addValue(h, v)
+	}
+	return hashing.Finish64(h)
+}
+
+func addValue(h uint64, v relation.Value) uint64 {
+	switch v.Kind() {
+	case relation.KindNull:
+		return hashing.AddByte64(h, 'n')
+	case relation.KindInt:
+		return addInt(h, v.AsInt())
+	case relation.KindFloat:
+		return addFloat(h, v.AsFloat())
+	case relation.KindBool:
+		b := byte(0)
+		if v.AsBool() {
+			b = 1
+		}
+		return hashing.AddByte64(hashing.AddByte64(h, 'b'), b)
+	default:
+		return hashing.AddString64(hashing.AddByte64(h, 's'), v.AsString())
+	}
+}
+
+func addInt(h uint64, i int64) uint64 {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(i))
+	return hashing.AddBytes64(hashing.AddByte64(h, 'i'), buf[:])
+}
+
+func addFloat(h uint64, f float64) uint64 {
+	// Integral floats canonicalize to the integer encoding: JSON has only
+	// one number type, so a routed op's 5 must land where Int(5) lives.
+	if f == math.Trunc(f) && math.Abs(f) < 1<<53 {
+		return addInt(h, int64(f))
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+	return hashing.AddBytes64(hashing.AddByte64(h, 'f'), buf[:])
+}
+
+// HashJSON computes the placement hash of a JSON-decoded key tuple
+// (float64, string, bool, nil), canonically equal to HashValues over
+// the engine-side values the tuple coerces to.
+func HashJSON(vals []any) (uint64, error) {
+	h := hashing.Init64(Seed)
+	for _, v := range vals {
+		switch x := v.(type) {
+		case nil:
+			h = hashing.AddByte64(h, 'n')
+		case float64:
+			h = addFloat(h, x)
+		case string:
+			h = hashing.AddString64(hashing.AddByte64(h, 's'), x)
+		case bool:
+			b := byte(0)
+			if x {
+				b = 1
+			}
+			h = hashing.AddByte64(hashing.AddByte64(h, 'b'), b)
+		default:
+			return 0, fmt.Errorf("shard: unhashable placement value %T", v)
+		}
+	}
+	return hashing.Finish64(h), nil
+}
+
+// RowShard returns the shard owning a full row of the table, or ok=false
+// when the table is replicated (every shard owns a copy).
+func (p Placement) RowShard(table string, row relation.Row) (int, bool) {
+	k, ok := p.Tables[table]
+	if !ok {
+		return 0, false
+	}
+	vals := make([]relation.Value, len(k.RowIdx))
+	for i, idx := range k.RowIdx {
+		vals[i] = row[idx]
+	}
+	return p.ShardOf(HashValues(vals...)), true
+}
+
+// Owns reports whether shard id holds this row: the owning shard for a
+// partitioned table, every shard for a replicated one. Dataset loaders
+// filter with it, so placement is re-derivable from (Placement, row)
+// alone — no placement state is stored anywhere.
+func (p Placement) Owns(table string, row relation.Row, id int) bool {
+	s, partitioned := p.RowShard(table, row)
+	return !partitioned || s == id
+}
+
+// Videolog is the videolog dataset's placement: Log and Video
+// co-partition by videoId (the view-key prefix of visitView), so every
+// (videoId, ownerId) view key lives on exactly one shard. Log's primary
+// key is sessionId, which does not determine placement — deletes by key
+// are not routable (KeyIdx nil).
+func Videolog(count int) Placement {
+	return Placement{
+		Count: count,
+		Tables: map[string]Key{
+			"Log":   {Cols: []string{"videoId"}, RowIdx: []int{1}},
+			"Video": {Cols: []string{"videoId"}, RowIdx: []int{0}, KeyIdx: []int{0}},
+		},
+		Views: map[string]Key{
+			"visitView": {Cols: []string{"videoId"}},
+		},
+	}
+}
+
+// TPCD is the TPC-D dataset's placement: lineitem and orders
+// co-partition by order key (the join view's key prefix); the dimension
+// tables (customer, supplier, part, nation, region) are replicated.
+func TPCD(count int) Placement {
+	return Placement{
+		Count: count,
+		Tables: map[string]Key{
+			"lineitem": {Cols: []string{"l_orderkey"}, RowIdx: []int{0}, KeyIdx: []int{0}},
+			"orders":   {Cols: []string{"o_orderkey"}, RowIdx: []int{0}, KeyIdx: []int{0}},
+		},
+		Views: map[string]Key{
+			"joinView": {Cols: []string{"l_orderkey"}},
+		},
+	}
+}
+
+// ByDataset returns the named dataset's placement, or an error listing
+// the known ones.
+func ByDataset(name string, count int) (Placement, error) {
+	switch name {
+	case "videolog":
+		return Videolog(count), nil
+	case "tpcd":
+		return TPCD(count), nil
+	default:
+		return Placement{}, fmt.Errorf("shard: no placement for dataset %q (want videolog or tpcd)", name)
+	}
+}

@@ -147,11 +147,13 @@ func MaintainViews(views ...*StaleView) (GroupStats, error) {
 	if applyErr != nil {
 		return GroupStats{}, applyErr
 	}
+	applied := d.Pin().AppliedSeq()
 	for _, o := range outs {
 		if err := o.sv.view.Replace(o.maintained); err != nil {
 			return GroupStats{}, err
 		}
 		o.sv.cleaner.AdoptRelation(o.sample)
+		o.sv.appliedSeq.Store(applied)
 	}
 	return stats, nil
 }

@@ -1,0 +1,145 @@
+package svc
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/sampleclean/svc/internal/estimator"
+	"github.com/sampleclean/svc/internal/svcql"
+)
+
+// Aggregate identifies a query's aggregate function.
+type Aggregate = estimator.Agg
+
+// Aggregate constants with a partial (mergeable) form. The full set of
+// aggregates is built through the query constructors (Sum, Count, ...);
+// these constants exist so callers handling Partials can switch on
+// Partial.Agg without importing internals.
+const (
+	SumAgg   = estimator.SumQ
+	CountAgg = estimator.CountQ
+	AvgAgg   = estimator.AvgQ
+)
+
+// ErrNotMergeable is returned by the partial query paths for aggregates
+// without a partial form (min/max/median/percentile): extremes lose
+// their tail bound under composition and quantiles are not sums.
+var ErrNotMergeable = errors.New("svc: aggregate is not mergeable across shards")
+
+// MergeableAgg reports whether the aggregate has a partial form.
+var MergeableAgg = estimator.Mergeable
+
+// Partial is the mergeable sufficient-statistics form of an estimate —
+// see internal/estimator.Partial. A sharded fleet exchanges Partials
+// instead of finished estimates so one global CLT interval can be
+// composed from per-shard moments.
+type Partial = estimator.Partial
+
+// GroupPartials is the mergeable form of a group-by answer.
+type GroupPartials = estimator.GroupPartialResult
+
+// MergePartials composes per-shard partials; see estimator.MergePartials.
+var MergePartials = estimator.MergePartials
+
+// MergeGroupPartials composes per-shard group partials by group key.
+var MergeGroupPartials = estimator.MergeGroupPartials
+
+// PartialAnswer is one shard's contribution to a fleet-wide query: the
+// local sufficient statistics plus the epoch they were computed at.
+type PartialAnswer struct {
+	Partial Partial
+	// AsOfEpoch is the pinned catalog epoch the statistics evaluate
+	// against — per-shard, since shards maintain independently.
+	AsOfEpoch uint64
+}
+
+// GroupPartialAnswer is the group-by form of PartialAnswer.
+type GroupPartialAnswer struct {
+	Groups    GroupPartials
+	AsOfEpoch uint64
+}
+
+// partialMode resolves the estimator for the sharded partial path. Auto
+// resolves to Corr deterministically rather than via Advise: Advise
+// inspects the local sample, so shards could disagree and produce
+// unmergeable partials (Method mismatch). Corr is the safe fixed choice
+// — it dominates AQP whenever the stale view carries signal and equals
+// it when the view is empty.
+func (sv *StaleView) partialMode() Mode {
+	if sv.mode == AQP {
+		return AQP
+	}
+	return Corr
+}
+
+// QueryPartial computes this shard's mergeable statistics for an
+// aggregate query: the local trans/diff moments and stale baseline,
+// evaluated against one pinned catalog version like Query. Only
+// sum/count/avg have a partial form; outlier indexes are not folded in
+// (the sharded path serves the fleet datasets, which do not attach one).
+func (sv *StaleView) QueryPartial(q Query) (PartialAnswer, error) {
+	if !estimator.Mergeable(q.Agg) {
+		return PartialAnswer{}, fmt.Errorf("%w (got %v)", ErrNotMergeable, q.Agg)
+	}
+	sv.noteQuery()
+	pin, st := sv.pinServing()
+	samples, err := sv.cleanPinned(pin, st)
+	if err != nil {
+		return PartialAnswer{}, err
+	}
+	var p Partial
+	if sv.partialMode() == Corr {
+		p, err = estimator.PartialCorr(st.view, samples, q)
+	} else {
+		p, err = estimator.PartialAQP(samples, q)
+	}
+	if err != nil {
+		return PartialAnswer{}, err
+	}
+	return PartialAnswer{Partial: p, AsOfEpoch: pin.Epoch()}, nil
+}
+
+// QueryGroupsPartial computes per-group mergeable statistics. Groups
+// absent from this shard produce no entry; the merge unions group keys.
+func (sv *StaleView) QueryGroupsPartial(q Query, groupBy ...string) (GroupPartialAnswer, error) {
+	if !estimator.Mergeable(q.Agg) {
+		return GroupPartialAnswer{}, fmt.Errorf("%w (got %v)", ErrNotMergeable, q.Agg)
+	}
+	sv.noteQuery()
+	pin, st := sv.pinServing()
+	samples, err := sv.cleanPinned(pin, st)
+	if err != nil {
+		return GroupPartialAnswer{}, err
+	}
+	var g GroupPartials
+	if sv.partialMode() == Corr {
+		g, err = estimator.GroupPartialCorr(st.view, samples, q, groupBy)
+	} else {
+		g, err = estimator.GroupPartialAQP(samples, q, groupBy)
+	}
+	if err != nil {
+		return GroupPartialAnswer{}, err
+	}
+	return GroupPartialAnswer{Groups: g, AsOfEpoch: pin.Epoch()}, nil
+}
+
+// QueryPartialSQL is QueryPartial over the paper's SQL dialect.
+func (sv *StaleView) QueryPartialSQL(sql string) (PartialAnswer, error) {
+	aq, err := svcql.PlanQuery(sv.view, sql)
+	if err != nil {
+		return PartialAnswer{}, err
+	}
+	if len(aq.GroupBy) > 0 {
+		return PartialAnswer{}, fmt.Errorf("svc: query has GROUP BY; use QueryGroupsPartialSQL")
+	}
+	return sv.QueryPartial(aq.Query)
+}
+
+// QueryGroupsPartialSQL is QueryGroupsPartial over SQL.
+func (sv *StaleView) QueryGroupsPartialSQL(sql string) (GroupPartialAnswer, error) {
+	aq, err := svcql.PlanQuery(sv.view, sql)
+	if err != nil {
+		return GroupPartialAnswer{}, err
+	}
+	return sv.QueryGroupsPartial(aq.Query, aq.GroupBy...)
+}

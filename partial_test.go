@@ -1,0 +1,418 @@
+package svc_test
+
+// The sharded merge property: per-shard partials composed with
+// MergePartials must reproduce the single-process answer. With
+// integer-valued attributes and a power-of-two sampling ratio every
+// per-row term (trans value v/m, correspondence diff d/m, stale baseline)
+// is exactly representable, so floating-point addition is exact and the
+// merged mean must be BIT-IDENTICAL to the single-process one — over any
+// partition of the view keys, in any merge order, including empty shards,
+// single-row shards, and groups living on one shard. The variance moments
+// are sums of exact squares and must match within 1 ulp (bit-identical in
+// practice; avg recombines in quadrature and is allowed the ulp).
+//
+// The key-hash sampler is what makes this strong property testable end to
+// end: a view key's sample membership depends only on its key, so each
+// shard's sample is exactly the restriction of the single-process sample
+// to its partition — even with pending deltas staged (the corrections are
+// live, not zero).
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	svc "github.com/sampleclean/svc"
+	"github.com/sampleclean/svc/internal/shard"
+	"github.com/sampleclean/svc/internal/tpcd"
+)
+
+// intVideolog builds the running example with integer durations on the
+// tables whose videoIds pass keep (nil = all), then stages `updates`
+// pending log inserts plus a few deletes the same way on every database
+// that owns them. All moments stay integral.
+type shardedScenario struct {
+	full   *svc.StaleView
+	shards []*svc.StaleView
+}
+
+func buildSharded(t *testing.T, seed int64, nShards, videos, visits, updates int, mode svc.Mode, assign func(videoID int64) int) *shardedScenario {
+	t.Helper()
+	type op struct {
+		kind    byte // 'L' log insert, 'V' video insert (with a log row), 'D' log delete
+		session int64
+		video   int64
+		owner   int64
+		dur     int64
+	}
+	rng := rand.New(rand.NewSource(seed))
+	owners := make([]int64, videos)
+	durs := make([]int64, videos)
+	for i := range owners {
+		owners[i] = rng.Int63n(7)
+		durs[i] = 1 + rng.Int63n(900)
+	}
+	sessions := make([]int64, visits) // session i watched video sessions[i]
+	for i := range sessions {
+		sessions[i] = rng.Int63n(int64(videos))
+	}
+	var ops []op
+	nextVideo := int64(videos)
+	for i := 0; i < updates; i++ {
+		switch rng.Intn(10) {
+		case 0:
+			ops = append(ops, op{kind: 'V', session: int64(visits + i), video: nextVideo,
+				owner: rng.Int63n(7), dur: 1 + rng.Int63n(900)})
+			nextVideo++
+		case 1:
+			ops = append(ops, op{kind: 'D', session: rng.Int63n(int64(visits))})
+		default:
+			ops = append(ops, op{kind: 'L', session: int64(visits + i), video: rng.Int63n(int64(videos))})
+		}
+	}
+
+	build := func(keep func(videoID int64) bool) *svc.StaleView {
+		d := svc.NewDatabase()
+		video := d.MustCreate("Video", svc.NewSchema([]svc.Column{
+			svc.Col("videoId", svc.KindInt),
+			svc.Col("ownerId", svc.KindInt),
+			svc.Col("duration", svc.KindInt),
+		}, "videoId"))
+		for i := 0; i < videos; i++ {
+			if keep == nil || keep(int64(i)) {
+				video.MustInsert(svc.Row{svc.Int(int64(i)), svc.Int(owners[i]), svc.Int(durs[i])})
+			}
+		}
+		logT := d.MustCreate("Log", svc.NewSchema([]svc.Column{
+			svc.Col("sessionId", svc.KindInt),
+			svc.Col("videoId", svc.KindInt),
+		}, "sessionId"))
+		for i, vid := range sessions {
+			if keep == nil || keep(vid) {
+				logT.MustInsert(svc.Row{svc.Int(int64(i)), svc.Int(vid)})
+			}
+		}
+		sv, err := svc.New(d, svc.ViewDefinition{Name: "visitView", Plan: svc.GroupByAgg(
+			svc.Join(svc.Scan("Log", logT.Schema()), svc.Scan("Video", video.Schema()),
+				svc.JoinSpec{Type: svc.Inner, On: svc.On("videoId", "videoId"), Merge: true}),
+			[]string{"videoId", "ownerId"},
+			svc.CountAs("visitCount"),
+			svc.SumAs(svc.ColRef("duration"), "totalDuration"),
+		)}, svc.WithSamplingRatio(0.25), svc.WithMode(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Pending deltas, staged identically on every owner.
+		for _, o := range ops {
+			switch o.kind {
+			case 'V':
+				if keep == nil || keep(o.video) {
+					if err := video.StageInsert(svc.Row{svc.Int(o.video), svc.Int(o.owner), svc.Int(o.dur)}); err != nil {
+						t.Fatal(err)
+					}
+					if err := logT.StageInsert(svc.Row{svc.Int(o.session), svc.Int(o.video)}); err != nil {
+						t.Fatal(err)
+					}
+				}
+			case 'D':
+				if keep == nil || keep(sessions[o.session]) {
+					if err := logT.StageDelete(svc.Int(o.session)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			default:
+				if keep == nil || keep(o.video) {
+					if err := logT.StageInsert(svc.Row{svc.Int(o.session), svc.Int(o.video)}); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		return sv
+	}
+
+	sc := &shardedScenario{full: build(nil)}
+	for s := 0; s < nShards; s++ {
+		s := s
+		sc.shards = append(sc.shards, build(func(v int64) bool { return assign(v) == s }))
+	}
+	return sc
+}
+
+// mergeShards computes each shard's partial and merges them in a
+// shuffled order (the algebra must be order-independent).
+func mergeShards(t *testing.T, sc *shardedScenario, rng *rand.Rand, q svc.Query) svc.Partial {
+	t.Helper()
+	parts := make([]svc.Partial, 0, len(sc.shards))
+	for _, sv := range sc.shards {
+		pa, err := sv.QueryPartial(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, pa.Partial)
+	}
+	rng.Shuffle(len(parts), func(i, j int) { parts[i], parts[j] = parts[j], parts[i] })
+	merged, err := svc.MergePartials(parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return merged
+}
+
+func ulpsApart(a, b float64) int {
+	if a == b {
+		return 0
+	}
+	ia, ib := int64(math.Float64bits(a)), int64(math.Float64bits(b))
+	d := ia - ib
+	if d < 0 {
+		d = -d
+	}
+	if d > 1<<20 {
+		return 1 << 20
+	}
+	return int(d)
+}
+
+func checkMergedEstimate(t *testing.T, name string, merged, full svc.Partial, conf float64) {
+	t.Helper()
+	if merged != full {
+		t.Fatalf("%s: merged partial %+v differs from single-process %+v", name, merged, full)
+	}
+	me, err := merged.Finalize(conf)
+	if err != nil {
+		t.Fatalf("%s: finalize merged: %v", name, err)
+	}
+	fe, err := full.Finalize(conf)
+	if err != nil {
+		t.Fatalf("%s: finalize full: %v", name, err)
+	}
+	if me.Value != fe.Value {
+		t.Fatalf("%s: merged mean %v not bit-identical to single-process %v", name, me.Value, fe.Value)
+	}
+	if u := ulpsApart(me.Hi-me.Value, fe.Hi-fe.Value); u > 1 {
+		t.Fatalf("%s: merged half-width %v vs %v: %d ulps apart", name, me.Hi-me.Value, fe.Hi-fe.Value, u)
+	}
+}
+
+func TestPartialMergeMatchesSingleProcess(t *testing.T) {
+	queries := []struct {
+		name string
+		q    svc.Query
+	}{
+		{"sum", svc.Sum("totalDuration", nil)},
+		{"count", svc.Count(nil)},
+		{"avg", svc.Avg("totalDuration", nil)},
+	}
+	for _, mode := range []svc.Mode{svc.Corr, svc.AQP, svc.Auto} {
+		for seed := int64(0); seed < 4; seed++ {
+			nShards := 2 + int(seed)%4 // 2..5
+			rng := rand.New(rand.NewSource(1000 + seed))
+			// Random partition of videoIds across the shards; some shards
+			// may own nothing at small sizes.
+			assignment := map[int64]int{}
+			assign := func(v int64) int {
+				s, ok := assignment[v]
+				if !ok {
+					s = rng.Intn(nShards)
+					assignment[v] = s
+				}
+				return s
+			}
+			sc := buildSharded(t, seed, nShards, 40, 600, 120, mode, assign)
+			for _, q := range queries {
+				merged := mergeShards(t, sc, rng, q.q)
+				fullP, err := sc.full.QueryPartial(q.q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkMergedEstimate(t, q.name, merged, fullP.Partial, 0.95)
+				// For sum/count the partial path must also agree with the
+				// production non-partial estimate on the mean (same exact
+				// arithmetic, different code path). avg is excluded: the
+				// single-process estimators (difference of sample means for
+				// corr, mean of trans values for aqp) are different
+				// consistent estimators than the partial ratio-of-HT-sums.
+				if mode != svc.Auto && q.q.Agg != svc.AvgAgg { // Auto may Advise differently per query
+					ans, err := sc.full.Query(q.q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					me, _ := merged.Finalize(0.95)
+					if me.Value != ans.Value {
+						t.Fatalf("%s mode %v: merged value %v != single-process Query value %v",
+							q.name, mode, me.Value, ans.Value)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPartialMergeDegenerateShards pins the edge shapes: every key on one
+// shard (all others empty) and a single-row shard alone with one view key.
+func TestPartialMergeDegenerateShards(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	t.Run("all-on-one-shard", func(t *testing.T) {
+		sc := buildSharded(t, 5, 4, 30, 400, 80, svc.Corr, func(v int64) int { return 0 })
+		for _, q := range []svc.Query{svc.Sum("totalDuration", nil), svc.Count(nil), svc.Avg("totalDuration", nil)} {
+			merged := mergeShards(t, sc, rng, q)
+			fullP, err := sc.full.QueryPartial(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkMergedEstimate(t, "all-on-one", merged, fullP.Partial, 0.95)
+		}
+	})
+	t.Run("single-key-shard", func(t *testing.T) {
+		// Video 0 is alone on shard 1; everything else on shard 0.
+		sc := buildSharded(t, 6, 3, 30, 400, 80, svc.Corr, func(v int64) int {
+			if v == 0 {
+				return 1
+			}
+			return 0
+		})
+		merged := mergeShards(t, sc, rng, svc.Sum("totalDuration", nil))
+		fullP, err := sc.full.QueryPartial(svc.Sum("totalDuration", nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkMergedEstimate(t, "single-key", merged, fullP.Partial, 0.95)
+	})
+}
+
+// TestGroupPartialMerge checks the group-by union-merge: grouping by
+// ownerId makes most groups span shards; grouping by videoId puts every
+// group on exactly one shard. Both must reproduce the single-process
+// per-group partials exactly.
+func TestGroupPartialMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	assignment := map[int64]int{}
+	assign := func(v int64) int {
+		s, ok := assignment[v]
+		if !ok {
+			s = rng.Intn(3)
+			assignment[v] = s
+		}
+		return s
+	}
+	sc := buildSharded(t, 11, 3, 40, 600, 120, svc.Corr, assign)
+	for _, groupBy := range [][]string{{"ownerId"}, {"videoId"}} {
+		q := svc.Sum("totalDuration", nil)
+		var parts []svc.GroupPartials
+		for _, sv := range sc.shards {
+			ga, err := sv.QueryGroupsPartial(q, groupBy...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parts = append(parts, ga.Groups)
+		}
+		rng.Shuffle(len(parts), func(i, j int) { parts[i], parts[j] = parts[j], parts[i] })
+		merged, err := svc.MergeGroupPartials(parts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fullG, err := sc.full.QueryGroupsPartial(q, groupBy...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(merged.Groups) != len(fullG.Groups.Groups) {
+			t.Fatalf("group by %v: merged has %d groups, single-process %d",
+				groupBy, len(merged.Groups), len(fullG.Groups.Groups))
+		}
+		for k, fp := range fullG.Groups.Groups {
+			mp, ok := merged.Groups[k]
+			if !ok {
+				t.Fatalf("group by %v: merged lost group %q (%s)", groupBy, k, fullG.Groups.Labels[k])
+			}
+			checkMergedEstimate(t, "group "+fullG.Groups.Labels[k], mp, fp, 0.95)
+		}
+	}
+}
+
+// TestPartialMergeTPCD runs the merge property over the TPC-D substrate
+// partitioned by the production placement (hash of l_orderkey/o_orderkey).
+// Counts are integral and must merge bit-identically; extended-price sums
+// are floats whose addition order differs between the partitioned and
+// single-process runs, so they get a relative tolerance instead.
+func TestPartialMergeTPCD(t *testing.T) {
+	const nShards = 3
+	pl := shard.TPCD(nShards)
+	build := func(shardID int) *svc.StaleView {
+		cfg := tpcd.DefaultConfig()
+		cfg.Orders = 300
+		cfg.Customers = 60
+		cfg.Suppliers = 20
+		cfg.Parts = 50
+		g := tpcd.NewGenerator(cfg)
+		d, err := g.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shardID >= 0 {
+			for name := range pl.Tables {
+				tb := d.Table(name)
+				if tb == nil {
+					continue
+				}
+				tb.Rows().DeleteWhere(func(row svc.Row) bool {
+					return !pl.Owns(name, row, shardID)
+				})
+			}
+		}
+		def, err := svc.ViewFromSQL(d, tpcd.JoinViewSQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sv, err := svc.New(d, def, svc.WithSamplingRatio(0.25), svc.WithMode(svc.Corr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sv
+	}
+	full := build(-1)
+	var shards []*svc.StaleView
+	for s := 0; s < nShards; s++ {
+		shards = append(shards, build(s))
+	}
+	sc := &shardedScenario{full: full, shards: shards}
+	rng := rand.New(rand.NewSource(3))
+
+	mergedCnt := mergeShards(t, sc, rng, svc.Count(nil))
+	fullCnt, err := full.QueryPartial(svc.Count(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMergedEstimate(t, "tpcd count", mergedCnt, fullCnt.Partial, 0.95)
+
+	mergedSum := mergeShards(t, sc, rng, svc.Sum("l_extendedprice", nil))
+	fullSum, err := full.QueryPartial(svc.Sum("l_extendedprice", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	me, err := mergedSum.Finalize(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := fullSum.Partial.Finalize(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(me.Value-fe.Value) / math.Abs(fe.Value); rel > 1e-12 {
+		t.Fatalf("tpcd sum: merged %v vs single-process %v (rel err %g)", me.Value, fe.Value, rel)
+	}
+}
+
+// TestPartialRejectsNonMergeable: extremes and quantiles have no partial
+// form and must fail with the sentinel, not a garbage merge.
+func TestPartialRejectsNonMergeable(t *testing.T) {
+	sc := buildSharded(t, 21, 2, 10, 100, 0, svc.Corr, func(v int64) int { return int(v) % 2 })
+	for _, q := range []svc.Query{svc.MinQ("totalDuration", nil), svc.MaxQ("totalDuration", nil), svc.MedianQ("totalDuration", nil)} {
+		if _, err := sc.full.QueryPartial(q); err == nil {
+			t.Fatalf("QueryPartial(%v) should reject non-mergeable aggregate", q.Agg)
+		} else if !errors.Is(err, svc.ErrNotMergeable) {
+			t.Fatalf("QueryPartial(%v): want ErrNotMergeable, got %v", q.Agg, err)
+		}
+	}
+}

@@ -13,6 +13,51 @@ type QueryRequest struct {
 	// MaxRows caps the rows returned for a base-table SELECT. It is
 	// capped by the server's configured maximum; zero means the default.
 	MaxRows int `json:"max_rows,omitempty"`
+	// Partial asks for the mergeable sufficient-statistics form of a view
+	// aggregate instead of a finished estimate — the shard-side half of
+	// the scatter-gather protocol. Routers set it; end clients normally
+	// don't. Only sum/count/avg aggregates have a partial form.
+	Partial bool `json:"partial,omitempty"`
+}
+
+// PartialEstimate is the wire form of one shard's mergeable estimate
+// statistics (internal/estimator.Partial): the trans/diff moments whose
+// sums compose across shards into one global CLT interval. For avg, the
+// Cnt* fields carry the denominator count statistic.
+type PartialEstimate struct {
+	// Agg is "sum", "count", or "avg" — the only mergeable aggregates.
+	Agg    string  `json:"agg"`
+	Method string  `json:"method"`
+	Ratio  float64 `json:"ratio"`
+
+	K     int     `json:"k"`
+	Stale float64 `json:"stale"`
+	Sum   float64 `json:"sum"`
+	SumSq float64 `json:"sumsq"`
+
+	CntK     int     `json:"cnt_k,omitempty"`
+	CntStale float64 `json:"cnt_stale,omitempty"`
+	CntSum   float64 `json:"cnt_sum,omitempty"`
+	CntSumSq float64 `json:"cnt_sumsq,omitempty"`
+}
+
+// GroupPartial is one group's partial statistics. Key is the encoded
+// group key (the merge identity across shards); Label is the printable
+// comma-joined form shown to clients.
+type GroupPartial struct {
+	Key   string `json:"group_key"`
+	Label string `json:"label"`
+	PartialEstimate
+}
+
+// ShardStamp is one shard's provenance on a router-merged answer: which
+// shard contributed, at what epoch, and (for concatenated base-table
+// SELECTs) how many rows.
+type ShardStamp struct {
+	Shard      int    `json:"shard"`
+	AsOfEpoch  uint64 `json:"as_of_epoch"`
+	AppliedSeq uint64 `json:"applied_seq,omitempty"`
+	Rows       int    `json:"rows,omitempty"`
 }
 
 // Estimate is an approximate answer with its uncertainty — the wire form
@@ -55,6 +100,18 @@ type QueryResponse struct {
 
 	// Groups is set for kind "groups", sorted by Key.
 	Groups []Group `json:"groups,omitempty"`
+
+	// Partial is set for kind "partial" (QueryRequest.Partial against a
+	// view aggregate); GroupPartials for kind "group_partials".
+	Partial       *PartialEstimate `json:"partial,omitempty"`
+	GroupPartials []GroupPartial   `json:"group_partials,omitempty"`
+
+	// Shards carries per-shard provenance on router-merged answers (absent
+	// on single-process answers). Degraded marks an answer extrapolated
+	// from a partial fleet (router -degrade): the value is scaled by
+	// N/healthy and the interval widened accordingly.
+	Shards   []ShardStamp `json:"shards,omitempty"`
+	Degraded bool         `json:"degraded,omitempty"`
 
 	// Columns/Rows are set for kind "rows". Values are JSON natives
 	// (numbers, strings, booleans, null). RowCount is the full result
@@ -103,6 +160,11 @@ type ViewStats struct {
 	Rows int    `json:"rows"`
 	// SampleRows is the persistent sample's cardinality.
 	SampleRows int `json:"sample_rows"`
+	// AppliedSeq is the catalog's maintenance-boundary counter as of this
+	// view's last maintenance publication (0 before the first cycle) —
+	// paired with the catalog-level Epoch/AppliedSeq it gives per-view
+	// lag, which a router aggregates into max-lag-across-shards.
+	AppliedSeq uint64 `json:"applied_seq"`
 	// Queries counts estimator queries answered by the view; Scheduled
 	// reports that an error-budget scheduler owns its maintenance.
 	Queries   uint64 `json:"queries"`
@@ -271,7 +333,21 @@ type IngestResponse struct {
 	Staged int `json:"staged"`
 	// Durable reports whether a write-ahead log covered the batch; when
 	// true, DurableSeq is the log's synced frontier after the batch — at
-	// least every op in it.
+	// least every op in it. On a router-merged ack, Durable is the AND
+	// over shards and DurableSeq is meaningless (frontiers are per-shard —
+	// see Shards).
+	Durable    bool   `json:"durable"`
+	DurableSeq uint64 `json:"durable_seq,omitempty"`
+	// Shards carries the per-shard acks of a router fan-out: each shard's
+	// staged count and durable frontier (monotone per shard across
+	// batches).
+	Shards []IngestShardAck `json:"shards,omitempty"`
+}
+
+// IngestShardAck is one shard's slice of a fanned-out ingest batch.
+type IngestShardAck struct {
+	Shard      int    `json:"shard"`
+	Staged     int    `json:"staged"`
 	Durable    bool   `json:"durable"`
 	DurableSeq uint64 `json:"durable_seq,omitempty"`
 }
@@ -287,6 +363,59 @@ type PoolStats struct {
 	VecGets      uint64  `json:"vec_gets"`
 	VecNews      uint64  `json:"vec_news"`
 	VecHitRate   float64 `json:"vec_hit_rate"`
+}
+
+// ClusterStatsResponse is the body of the router's GET /stats: the
+// fleet-wide envelope (epoch/lag spread across shards) plus each shard's
+// key gauges. Unreachable shards appear with Error set and zero gauges.
+type ClusterStatsResponse struct {
+	Shards  int `json:"shards"`
+	Healthy int `json:"healthy"`
+
+	// Epoch/maintenance envelope over healthy shards. MaxEpochLag is the
+	// largest per-shard EpochLag — how far any shard's catalog has moved
+	// past the freshest answer it served.
+	MinEpoch      uint64 `json:"min_epoch"`
+	MaxEpoch      uint64 `json:"max_epoch"`
+	MinAppliedSeq uint64 `json:"min_applied_seq"`
+	MaxAppliedSeq uint64 `json:"max_applied_seq"`
+	MinEpochLag   uint64 `json:"min_epoch_lag"`
+	MaxEpochLag   uint64 `json:"max_epoch_lag"`
+
+	// Summed serving counters across healthy shards.
+	Served     uint64 `json:"served"`
+	Rejected   uint64 `json:"rejected"`
+	TimedOut   uint64 `json:"timed_out"`
+	Errors     uint64 `json:"errors"`
+	Ingested   uint64 `json:"ingested"`
+	IngestShed uint64 `json:"ingest_shed"`
+
+	// Pools is the merged pool gauge: gets/news summed, hit rates
+	// recomputed over the sums.
+	Pools PoolStats `json:"pools"`
+
+	PerShard []ShardStats `json:"per_shard"`
+}
+
+// ShardStats is one shard's row in the router's cluster stats.
+type ShardStats struct {
+	Shard int    `json:"shard"`
+	Addr  string `json:"addr"`
+	// Error is set when the shard did not answer /stats; the remaining
+	// fields are then zero.
+	Error string `json:"error,omitempty"`
+
+	Epoch      uint64 `json:"epoch"`
+	AppliedSeq uint64 `json:"applied_seq"`
+	EpochLag   uint64 `json:"epoch_lag"`
+	InFlight   int    `json:"in_flight"`
+	Served     uint64 `json:"served"`
+
+	// WAL depth gauges (zero when the shard runs without a durable log):
+	// what a crash right now would replay.
+	WALUnappliedRecords int   `json:"wal_unapplied_records"`
+	WALUnappliedBytes   int   `json:"wal_unapplied_bytes"`
+	WALDiskBytes        int64 `json:"wal_disk_bytes"`
 }
 
 // ErrorResponse is the body of any non-2xx response.

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+
+	svc "github.com/sampleclean/svc"
+	"github.com/sampleclean/svc/server/api"
+)
+
+// wirePartial converts engine partial statistics to the wire form.
+func wirePartial(p svc.Partial) api.PartialEstimate {
+	return api.PartialEstimate{
+		Agg:    p.Agg.String(),
+		Method: p.Method,
+		Ratio:  p.Ratio,
+		K:      p.K, Stale: p.Stale, Sum: p.Sum, SumSq: p.SumSq,
+		CntK: p.CntK, CntStale: p.CntStale, CntSum: p.CntSum, CntSumSq: p.CntSumSq,
+	}
+}
+
+// partialFromWire converts a shard's wire statistics back into the
+// engine form the merge algebra operates on.
+func partialFromWire(w api.PartialEstimate) (svc.Partial, error) {
+	var agg svc.Aggregate
+	switch w.Agg {
+	case "sum":
+		agg = svc.SumAgg
+	case "count":
+		agg = svc.CountAgg
+	case "avg":
+		agg = svc.AvgAgg
+	default:
+		return svc.Partial{}, fmt.Errorf("server: partial has non-mergeable aggregate %q", w.Agg)
+	}
+	return svc.Partial{
+		Agg:    agg,
+		Method: w.Method,
+		Ratio:  w.Ratio,
+		K:      w.K, Stale: w.Stale, Sum: w.Sum, SumSq: w.SumSq,
+		CntK: w.CntK, CntStale: w.CntStale, CntSum: w.CntSum, CntSumSq: w.CntSumSq,
+	}, nil
+}
+
+// executeViewPartial answers the shard-side half of scatter-gather: the
+// mergeable sufficient statistics of a view aggregate instead of a
+// finished estimate. Group keys go on the wire hex-encoded — the binary
+// composite-key encoding is the merge identity and must survive JSON
+// (which would mangle non-UTF-8 bytes).
+func (s *Server) executeViewPartial(sv *svc.StaleView, sql string, grouped bool) (*api.QueryResponse, int, error) {
+	resp := &api.QueryResponse{View: sv.View().Name()}
+	if grouped {
+		pa, err := sv.QueryGroupsPartialSQL(sql)
+		if err != nil {
+			return nil, partialStatus(err), err
+		}
+		resp.Kind = "group_partials"
+		for key, p := range pa.Groups.Groups {
+			resp.GroupPartials = append(resp.GroupPartials, api.GroupPartial{
+				Key:             fmt.Sprintf("%x", key),
+				Label:           pa.Groups.Labels[key],
+				PartialEstimate: wirePartial(p),
+			})
+		}
+		sort.Slice(resp.GroupPartials, func(i, j int) bool {
+			return resp.GroupPartials[i].Key < resp.GroupPartials[j].Key
+		})
+		resp.AsOfEpoch = pa.AsOfEpoch
+	} else {
+		pa, err := sv.QueryPartialSQL(sql)
+		if err != nil {
+			return nil, partialStatus(err), err
+		}
+		resp.Kind = "partial"
+		w := wirePartial(pa.Partial)
+		resp.Partial = &w
+		resp.AsOfEpoch = pa.AsOfEpoch
+	}
+	s.stampStaleness(resp)
+	return resp, 0, nil
+}
+
+// partialStatus maps partial-path errors: a non-mergeable aggregate is
+// the caller's problem (a router should not have scattered it), bad SQL
+// likewise, anything else is the server's.
+func partialStatus(err error) int {
+	if errors.Is(err, svc.ErrNotMergeable) {
+		return http.StatusBadRequest
+	}
+	return planOrRuntimeStatus(err)
+}

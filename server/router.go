@@ -1,0 +1,877 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	svc "github.com/sampleclean/svc"
+	"github.com/sampleclean/svc/client"
+	"github.com/sampleclean/svc/internal/shard"
+	"github.com/sampleclean/svc/internal/svcql"
+	"github.com/sampleclean/svc/server/api"
+)
+
+// RouterConfig tunes a Router. Shards lists the fleet's base URLs in
+// shard-id order; its length must equal Placement.Count.
+type RouterConfig struct {
+	// Addr is the router's listen address for Start (default
+	// "127.0.0.1:7780").
+	Addr      string
+	Shards    []string
+	Placement shard.Placement
+	// Confidence is the CI level merged estimates are finalized at
+	// (default 0.95) — shards ship sufficient statistics, not intervals,
+	// so the router owns the confidence level.
+	Confidence float64
+	// ShardDeadline bounds each shard call (default 5s). Hedge is the
+	// delay before a straggling shard call is raced with a second attempt
+	// (default ShardDeadline/8; hedging retries reads only — ingest is
+	// never hedged, since re-staging is not idempotent).
+	ShardDeadline time.Duration
+	Hedge         time.Duration
+	// Degrade answers scatter queries from the surviving shards when some
+	// are down: values extrapolate by fleet/healthy with correspondingly
+	// wider intervals, and the answer is marked Degraded. Off (the
+	// default), any shard failure is a 502 naming the shard.
+	Degrade bool
+	// MaxRows caps concatenated base-table SELECT results when the
+	// request does not set a smaller cap (default 1000).
+	MaxRows int
+}
+
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:7780"
+	}
+	if c.Confidence <= 0 || c.Confidence >= 1 {
+		c.Confidence = 0.95
+	}
+	if c.ShardDeadline <= 0 {
+		c.ShardDeadline = 5 * time.Second
+	}
+	if c.Hedge <= 0 {
+		c.Hedge = c.ShardDeadline / 8
+	}
+	if c.MaxRows <= 0 {
+		c.MaxRows = 1000
+	}
+	return c
+}
+
+// Router is the stateless scatter-gather front door of a sharded svcd
+// fleet. It holds no data and no durable state — only the placement
+// contract and the shard addresses — so any number of interchangeable
+// routers can front the same fleet.
+//
+// Query routing: an aggregate whose WHERE pins every placement column of
+// the view by equality goes to the single owning shard (the common
+// single-key case pays one shard's work, which is how a fleet scales on
+// per-key workloads); anything else scatters, collecting per-shard
+// sufficient statistics that merge by the CLT composition algebra
+// (svc.MergePartials) into one global interval. Base-table SELECTs
+// concatenate per-shard rows with per-shard epoch stamps. Ingest batches
+// split by placement hash and fan out with per-shard durable acks.
+type Router struct {
+	cfg    RouterConfig
+	shards []*routerShard
+	rr     atomic.Uint64 // round-robin cursor for replicated-table reads
+
+	httpSrv *http.Server
+	ln      net.Listener
+}
+
+// routerShard is one fleet member as the router sees it.
+type routerShard struct {
+	id   int
+	addr string
+	c    *client.Client
+}
+
+// NewRouter validates the placement contract against the shard list.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("server: router needs at least one shard")
+	}
+	if cfg.Placement.Count != len(cfg.Shards) {
+		return nil, fmt.Errorf("server: placement count %d != %d shard addresses",
+			cfg.Placement.Count, len(cfg.Shards))
+	}
+	r := &Router{cfg: cfg}
+	for i, addr := range cfg.Shards {
+		r.shards = append(r.shards, &routerShard{
+			id:   i,
+			addr: addr,
+			c: client.New(addr,
+				// The transport timeout backstops the per-request deadline
+				// the shard enforces server-side (504 before this fires).
+				client.WithHTTPClient(&http.Client{Timeout: cfg.ShardDeadline + time.Second}),
+				// 503 sheds are safe to retry: the shard rejected before
+				// doing any work. Short and capped — the hedge and the
+				// shard deadline bound total latency.
+				client.WithRetryPolicy(3, 25*time.Millisecond, 250*time.Millisecond)),
+		})
+	}
+	return r, nil
+}
+
+// Handler returns the router's HTTP front door, wire-compatible with a
+// single svcd for /query and /ingest; /stats serves the fleet-wide
+// aggregate (api.ClusterStatsResponse).
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", r.handleQuery)
+	mux.HandleFunc("/ingest", r.handleIngest)
+	mux.HandleFunc("/stats", r.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// Start binds the configured address and serves in the background.
+func (r *Router) Start() error {
+	ln, err := net.Listen("tcp", r.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	r.ln = ln
+	r.httpSrv = &http.Server{Handler: r.Handler()}
+	go func() { _ = r.httpSrv.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound listen address after Start.
+func (r *Router) Addr() string {
+	if r.ln == nil {
+		return ""
+	}
+	return r.ln.Addr().String()
+}
+
+// Shutdown stops the router. It owns no views or data, so there is
+// nothing to drain beyond the HTTP server itself.
+func (r *Router) Shutdown(ctx context.Context) error {
+	if r.httpSrv == nil {
+		return nil
+	}
+	return r.httpSrv.Shutdown(ctx)
+}
+
+// shardError wraps a failed shard call with the shard's identity — the
+// error classification contract: clients of a fleet always learn which
+// member failed.
+type shardError struct {
+	shard int
+	addr  string
+	err   error
+}
+
+func (e *shardError) Error() string {
+	return fmt.Sprintf("shard %d (%s): %v", e.shard, e.addr, e.err)
+}
+
+func (e *shardError) Unwrap() error { return e.err }
+
+// shardStatus maps a failed shard call to the router's response code:
+// a shard's own 4xx (bad SQL, bad row) passes through as the client's
+// fault; everything else — transport errors, shard 5xx — is a 502, the
+// "a fleet member is down/broken" signal, distinct from the router's
+// own 4xx validation errors.
+func shardStatus(err error) int {
+	var ae *client.APIError
+	if errors.As(err, &ae) && ae.StatusCode >= 400 && ae.StatusCode < 500 {
+		return ae.StatusCode
+	}
+	return http.StatusBadGateway
+}
+
+// hedged races a straggling call with one retry: the second attempt
+// launches when the first is slow (the hedge delay) or failed; the first
+// success wins. Reads only — the caller must not hedge non-idempotent
+// operations.
+func hedged[T any](delay time.Duration, call func() (T, error)) (T, error) {
+	type outcome struct {
+		v   T
+		err error
+	}
+	ch := make(chan outcome, 2)
+	run := func() {
+		v, err := call()
+		ch <- outcome{v, err}
+	}
+	go run()
+	launched, inflight := 1, 1
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	var firstErr error
+	for {
+		select {
+		case o := <-ch:
+			inflight--
+			if o.err == nil {
+				return o.v, nil
+			}
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			if launched < 2 {
+				launched++
+				inflight++
+				go run()
+				continue
+			}
+			if inflight == 0 {
+				var zero T
+				return zero, firstErr
+			}
+		case <-timer.C:
+			if launched < 2 {
+				launched++
+				inflight++
+				go run()
+			}
+		}
+	}
+}
+
+// scatter runs one call against every shard concurrently (hedged) and
+// returns the per-shard results with any per-shard errors wrapped in
+// shardError.
+func scatter[T any](r *Router, call func(s *routerShard) (T, error)) ([]T, []error) {
+	results := make([]T, len(r.shards))
+	errs := make([]error, len(r.shards))
+	var wg sync.WaitGroup
+	for i, s := range r.shards {
+		wg.Add(1)
+		go func(i int, s *routerShard) {
+			defer wg.Done()
+			v, err := hedged(r.cfg.Hedge, func() (T, error) { return call(s) })
+			if err != nil {
+				errs[i] = &shardError{shard: s.id, addr: s.addr, err: err}
+				return
+			}
+			results[i] = v
+		}(i, s)
+	}
+	wg.Wait()
+	return results, errs
+}
+
+// firstError returns the first non-nil error and how many shards
+// succeeded.
+func firstError(errs []error) (error, int) {
+	healthy := 0
+	var first error
+	for _, e := range errs {
+		if e == nil {
+			healthy++
+		} else if first == nil {
+			first = e
+		}
+	}
+	return first, healthy
+}
+
+// ------------------------------------------------------------ /query
+
+func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST a JSON body to /query")
+		return
+	}
+	var qr api.QueryRequest
+	if err := json.NewDecoder(req.Body).Decode(&qr); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	cv, sel, err := svcql.Parse(qr.SQL)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if cv != nil {
+		writeError(w, http.StatusBadRequest, "CREATE VIEW is per-shard (svcd startup), not routable")
+		return
+	}
+	qr.Partial = false // routers merge; clients of the router get finished answers
+	if key, ok := r.cfg.Placement.Views[sel.From]; ok {
+		r.routeViewQuery(w, &qr, sel, key)
+		return
+	}
+	r.routeTableSelect(w, &qr, sel)
+}
+
+// routeViewQuery answers an aggregate against a partitioned view: pruned
+// to the owning shard when the placement key is pinned, otherwise
+// scattered and merged.
+func (r *Router) routeViewQuery(w http.ResponseWriter, qr *api.QueryRequest, sel *svcql.SelectStmt, key shard.Key) {
+	if len(sel.GroupBy) == 0 {
+		if id, ok := r.pruneToShard(sel, key); ok {
+			r.forwardPinned(w, qr, id)
+			return
+		}
+	}
+	agg := ""
+	for _, it := range sel.Items {
+		if it.Agg != "" {
+			agg = strings.ToUpper(it.Agg)
+			break
+		}
+	}
+	switch agg {
+	case "COUNT", "SUM", "AVG":
+	default:
+		writeError(w, http.StatusNotImplemented,
+			"%s does not merge across shards; pin the placement key (%s) with an equality predicate to route to one shard",
+			agg, strings.Join(key.Cols, ","))
+		return
+	}
+	if len(sel.GroupBy) > 0 {
+		r.scatterGroups(w, qr)
+		return
+	}
+	r.scatterEstimate(w, qr)
+}
+
+// pruneToShard inspects the WHERE clause for equality literals pinning
+// every placement column; when they do, the query's rows live on exactly
+// one shard and the whole query routes there.
+func (r *Router) pruneToShard(sel *svcql.SelectStmt, key shard.Key) (int, bool) {
+	bind := equalityBindings(sel.Where)
+	vals := make([]any, len(key.Cols))
+	for i, col := range key.Cols {
+		v, ok := bind[col]
+		if !ok {
+			return 0, false
+		}
+		vals[i] = v
+	}
+	h, err := shard.HashJSON(vals)
+	if err != nil {
+		return 0, false
+	}
+	return r.cfg.Placement.ShardOf(h), true
+}
+
+// equalityBindings walks the top-level AND conjuncts collecting
+// column = literal bindings. Anything under an OR (or any non-AND
+// connective) is skipped — those do not pin a value.
+func equalityBindings(e *svcql.ExprNode) map[string]any {
+	out := map[string]any{}
+	var walk func(n *svcql.ExprNode)
+	walk = func(n *svcql.ExprNode) {
+		if n == nil || n.Kind != "binary" {
+			return
+		}
+		if n.Op == "AND" {
+			walk(n.L)
+			walk(n.R)
+			return
+		}
+		if n.Op != "=" {
+			return
+		}
+		if n.L.Kind == "ident" {
+			if v, ok := literalValue(n.R); ok {
+				out[n.L.Text] = v
+			}
+		} else if n.R.Kind == "ident" {
+			if v, ok := literalValue(n.L); ok {
+				out[n.R.Text] = v
+			}
+		}
+	}
+	walk(e)
+	return out
+}
+
+func literalValue(n *svcql.ExprNode) (any, bool) {
+	if n == nil {
+		return nil, false
+	}
+	switch n.Kind {
+	case "number":
+		f, err := strconv.ParseFloat(n.Text, 64)
+		if err != nil {
+			return nil, false
+		}
+		return f, true
+	case "string":
+		return n.Text, true
+	case "null":
+		return nil, true
+	}
+	return nil, false
+}
+
+// forwardPinned sends the whole query to the single owning shard and
+// relays its finished answer, stamped with the shard's identity.
+func (r *Router) forwardPinned(w http.ResponseWriter, qr *api.QueryRequest, id int) {
+	s := r.shards[id]
+	resp, err := hedged(r.cfg.Hedge, func() (*api.QueryResponse, error) {
+		return s.c.QueryRequest(qr)
+	})
+	if err != nil {
+		se := &shardError{shard: s.id, addr: s.addr, err: err}
+		writeError(w, shardStatus(err), "%v", se)
+		return
+	}
+	resp.Shards = []api.ShardStamp{{Shard: s.id, AsOfEpoch: resp.AsOfEpoch, AppliedSeq: resp.AppliedSeq}}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// scatterEstimate fans a mergeable aggregate out as partial-statistics
+// requests and finalizes the composed statistics into one answer.
+func (r *Router) scatterEstimate(w http.ResponseWriter, qr *api.QueryRequest) {
+	preq := *qr
+	preq.Partial = true
+	resps, errs := scatter(r, func(s *routerShard) (*api.QueryResponse, error) {
+		return s.c.QueryRequest(&preq)
+	})
+	resps, stamps, degraded, ok := r.gatherOrFail(w, resps, errs)
+	if !ok {
+		return
+	}
+	parts := make([]svc.Partial, 0, len(resps))
+	for _, sr := range resps {
+		if sr.Partial == nil {
+			writeError(w, http.StatusBadGateway, "shard returned %q, want partial statistics", sr.Kind)
+			return
+		}
+		p, err := partialFromWire(*sr.Partial)
+		if err != nil {
+			writeError(w, http.StatusBadGateway, "%v", err)
+			return
+		}
+		parts = append(parts, p)
+	}
+	merged, err := svc.MergePartials(parts...)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "merge: %v", err)
+		return
+	}
+	if degraded {
+		merged = extrapolatePartial(merged, len(r.shards), len(resps))
+	}
+	est, err := merged.Finalize(r.cfg.Confidence)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "finalize: %v", err)
+		return
+	}
+	out := &api.QueryResponse{
+		Kind:     "estimate",
+		View:     resps[0].View,
+		Shards:   stamps,
+		Degraded: degraded,
+	}
+	e := wireEstimate(est)
+	out.Estimate = &e
+	if merged.Method == "svc+corr" {
+		// The per-shard stale baselines sum to the global stale answer
+		// (avg: the ratio of summed stale sum and count).
+		stale := merged.Stale
+		if merged.Agg == svc.AvgAgg {
+			if merged.CntStale == 0 {
+				stale = 0
+			} else {
+				stale = merged.Stale / merged.CntStale
+			}
+		}
+		out.StaleValue = &stale
+	}
+	r.stampMerged(out, resps)
+	writeJSON(w, http.StatusOK, out)
+}
+
+// scatterGroups is scatterEstimate for GROUP BY: per-shard group
+// partials merge by encoded group key, groups union.
+func (r *Router) scatterGroups(w http.ResponseWriter, qr *api.QueryRequest) {
+	preq := *qr
+	preq.Partial = true
+	resps, errs := scatter(r, func(s *routerShard) (*api.QueryResponse, error) {
+		return s.c.QueryRequest(&preq)
+	})
+	resps, stamps, degraded, ok := r.gatherOrFail(w, resps, errs)
+	if !ok {
+		return
+	}
+	sets := make([]svc.GroupPartials, 0, len(resps))
+	for _, sr := range resps {
+		set := svc.GroupPartials{Groups: map[string]svc.Partial{}, Labels: map[string]string{}}
+		for _, gp := range sr.GroupPartials {
+			p, err := partialFromWire(gp.PartialEstimate)
+			if err != nil {
+				writeError(w, http.StatusBadGateway, "group %q: %v", gp.Label, err)
+				return
+			}
+			set.Groups[gp.Key] = p
+			set.Labels[gp.Key] = gp.Label
+		}
+		sets = append(sets, set)
+	}
+	merged, err := svc.MergeGroupPartials(sets...)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "merge: %v", err)
+		return
+	}
+	if degraded {
+		for k, p := range merged.Groups {
+			merged.Groups[k] = extrapolatePartial(p, len(r.shards), len(resps))
+		}
+	}
+	res, err := merged.Finalize(r.cfg.Confidence)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "finalize: %v", err)
+		return
+	}
+	out := &api.QueryResponse{
+		Kind:     "groups",
+		View:     resps[0].View,
+		Shards:   stamps,
+		Degraded: degraded,
+	}
+	for key, est := range res.Groups {
+		out.Groups = append(out.Groups, api.Group{Key: res.Labels[key], Estimate: wireEstimate(est)})
+	}
+	sort.Slice(out.Groups, func(i, j int) bool { return out.Groups[i].Key < out.Groups[j].Key })
+	r.stampMerged(out, resps)
+	writeJSON(w, http.StatusOK, out)
+}
+
+// routeTableSelect answers a base-table SELECT: partitioned tables
+// scatter and concatenate (each shard holds a disjoint slice);
+// replicated tables read one shard, failing over across the fleet.
+func (r *Router) routeTableSelect(w http.ResponseWriter, qr *api.QueryRequest, sel *svcql.SelectStmt) {
+	if _, partitioned := r.cfg.Placement.Tables[sel.From]; !partitioned {
+		// Replicated (or unknown — the shard's own 404 passes through).
+		start := int(r.rr.Add(1))
+		var lastErr error
+		for i := 0; i < len(r.shards); i++ {
+			s := r.shards[(start+i)%len(r.shards)]
+			resp, err := hedged(r.cfg.Hedge, func() (*api.QueryResponse, error) {
+				return s.c.QueryRequest(qr)
+			})
+			if err == nil {
+				resp.Shards = []api.ShardStamp{{Shard: s.id, AsOfEpoch: resp.AsOfEpoch, AppliedSeq: resp.AppliedSeq, Rows: len(resp.Rows)}}
+				writeJSON(w, http.StatusOK, resp)
+				return
+			}
+			lastErr = &shardError{shard: s.id, addr: s.addr, err: err}
+			// A shard answering with a 4xx would answer the same everywhere
+			// (replicas are identical) — pass it through instead of
+			// retrying the whole fleet.
+			if shardStatus(err) != http.StatusBadGateway {
+				break
+			}
+		}
+		writeError(w, shardStatus(lastErr), "%v", lastErr)
+		return
+	}
+
+	maxRows := r.cfg.MaxRows
+	if qr.MaxRows > 0 && qr.MaxRows < maxRows {
+		maxRows = qr.MaxRows
+	}
+	resps, errs := scatter(r, func(s *routerShard) (*api.QueryResponse, error) {
+		return s.c.QueryRequest(qr)
+	})
+	resps, stamps, degraded, ok := r.gatherOrFail(w, resps, errs)
+	if !ok {
+		return
+	}
+	out := &api.QueryResponse{
+		Kind:     "rows",
+		Columns:  resps[0].Columns,
+		Shards:   stamps,
+		Degraded: degraded,
+	}
+	for i, sr := range resps {
+		out.RowCount += sr.RowCount
+		out.Truncated = out.Truncated || sr.Truncated
+		out.Rows = append(out.Rows, sr.Rows...)
+		out.Shards[i].Rows = len(sr.Rows)
+	}
+	if len(out.Rows) > maxRows {
+		out.Rows = out.Rows[:maxRows]
+		out.Truncated = true
+	}
+	r.stampMerged(out, resps)
+	writeJSON(w, http.StatusOK, out)
+}
+
+// gatherOrFail applies the fleet failure policy to scatter results: all
+// healthy → proceed; some down → 502 naming the first failed shard, or
+// (Degrade) proceed on the survivors with degraded=true. The returned
+// slice holds only healthy responses; stamps carry their identities.
+func (r *Router) gatherOrFail(w http.ResponseWriter, resps []*api.QueryResponse, errs []error) ([]*api.QueryResponse, []api.ShardStamp, bool, bool) {
+	first, healthy := firstError(errs)
+	if first != nil && (!r.cfg.Degrade || healthy == 0) {
+		writeError(w, shardStatus(first), "%v", first)
+		return nil, nil, false, false
+	}
+	var ok []*api.QueryResponse
+	var stamps []api.ShardStamp
+	for i, sr := range resps {
+		if errs[i] != nil {
+			continue
+		}
+		ok = append(ok, sr)
+		stamps = append(stamps, api.ShardStamp{Shard: i, AsOfEpoch: sr.AsOfEpoch, AppliedSeq: sr.AppliedSeq})
+	}
+	return ok, stamps, first != nil, true
+}
+
+// extrapolatePartial scales surviving-shard statistics up to the fleet:
+// with hash placement the shards are statistically exchangeable, so the
+// missing shards' contribution is estimated by the survivors' mean. The
+// point statistics scale by fleet/healthy and the variance terms by its
+// square, widening the interval by the same factor — a flag-gated
+// degraded answer, marked as such, never silently served.
+func extrapolatePartial(p svc.Partial, fleet, healthy int) svc.Partial {
+	if healthy <= 0 || healthy >= fleet {
+		return p
+	}
+	f := float64(fleet) / float64(healthy)
+	p.Stale *= f
+	p.Sum *= f
+	p.SumSq *= f * f
+	p.CntStale *= f
+	p.CntSum *= f
+	p.CntSumSq *= f * f
+	return p
+}
+
+// stampMerged sets the answer-level staleness fields from the healthy
+// shard responses: the merged answer is only as fresh as its laggiest
+// contributor, so the minima are advertised.
+func (r *Router) stampMerged(out *api.QueryResponse, resps []*api.QueryResponse) {
+	for i, sr := range resps {
+		if i == 0 || sr.AsOfEpoch < out.AsOfEpoch {
+			out.AsOfEpoch = sr.AsOfEpoch
+		}
+		if i == 0 || sr.AppliedSeq < out.AppliedSeq {
+			out.AppliedSeq = sr.AppliedSeq
+		}
+		out.Pending = out.Pending || sr.Pending
+	}
+}
+
+// ------------------------------------------------------------ /ingest
+
+func (r *Router) handleIngest(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST a JSON body to /ingest")
+		return
+	}
+	var ir api.IngestRequest
+	if err := json.NewDecoder(req.Body).Decode(&ir); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(ir.Ops) == 0 {
+		writeError(w, http.StatusBadRequest, "empty ops")
+		return
+	}
+	key, partitioned := r.cfg.Placement.Tables[ir.Table]
+	if !partitioned {
+		// Replicated table: every shard holds a copy, so the whole batch
+		// broadcasts and all shards must ack.
+		r.ingestFanout(w, &ir, broadcastBatches(&ir, len(r.shards)))
+		return
+	}
+	batches := make([][]api.IngestOp, len(r.shards))
+	for i, op := range ir.Ops {
+		id, err := r.opShard(key, op)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "op %d: %v", i, err)
+			return
+		}
+		batches[id] = append(batches[id], op)
+	}
+	r.ingestFanout(w, &ir, batches)
+}
+
+func broadcastBatches(ir *api.IngestRequest, n int) [][]api.IngestOp {
+	batches := make([][]api.IngestOp, n)
+	for i := range batches {
+		batches[i] = ir.Ops
+	}
+	return batches
+}
+
+// opShard derives one op's owning shard from the placement contract.
+// Inserts and updates carry the full row; deletes carry only the primary
+// key and are routable only when the placement columns are part of it
+// (Key.KeyIdx) — otherwise the owner cannot be derived and the op is
+// rejected (broadcasting a delete would fail on every non-owner, whose
+// staging layer rejects deletes of absent keys).
+func (r *Router) opShard(key shard.Key, op api.IngestOp) (int, error) {
+	switch op.Op {
+	case "insert", "update":
+		vals := make([]any, len(key.RowIdx))
+		for i, idx := range key.RowIdx {
+			if idx >= len(op.Row) {
+				return 0, fmt.Errorf("row has %d values, placement needs column %d", len(op.Row), idx)
+			}
+			vals[i] = op.Row[idx]
+		}
+		h, err := shard.HashJSON(vals)
+		if err != nil {
+			return 0, err
+		}
+		return r.cfg.Placement.ShardOf(h), nil
+	case "delete":
+		if key.KeyIdx == nil {
+			return 0, fmt.Errorf("deletes against this table are not routable: placement columns (%s) are not part of the primary key",
+				strings.Join(key.Cols, ","))
+		}
+		vals := make([]any, len(key.KeyIdx))
+		for i, idx := range key.KeyIdx {
+			if idx >= len(op.Key) {
+				return 0, fmt.Errorf("key has %d values, placement needs key column %d", len(op.Key), idx)
+			}
+			vals[i] = op.Key[idx]
+		}
+		h, err := shard.HashJSON(vals)
+		if err != nil {
+			return 0, err
+		}
+		return r.cfg.Placement.ShardOf(h), nil
+	default:
+		return 0, fmt.Errorf("unknown op %q (want insert, update, or delete)", op.Op)
+	}
+}
+
+// ingestFanout sends each shard its batch concurrently (no hedging —
+// staging is not idempotent) and merges the acks. Any shard failure
+// fails the request; ops already staged on other shards stay staged
+// (ingest is at-least-once under router retries, and staging upserts
+// absorb replays).
+func (r *Router) ingestFanout(w http.ResponseWriter, ir *api.IngestRequest, batches [][]api.IngestOp) {
+	acks := make([]*api.IngestResponse, len(r.shards))
+	errs := make([]error, len(r.shards))
+	var wg sync.WaitGroup
+	for i, s := range r.shards {
+		if len(batches[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, s *routerShard) {
+			defer wg.Done()
+			resp, err := s.c.Ingest(ir.Table, batches[i])
+			if err != nil {
+				errs[i] = &shardError{shard: s.id, addr: s.addr, err: err}
+				return
+			}
+			acks[i] = resp
+		}(i, s)
+	}
+	wg.Wait()
+	if first, _ := firstError(errs); first != nil {
+		writeError(w, shardStatus(first), "%v", first)
+		return
+	}
+	out := &api.IngestResponse{Durable: true}
+	touched := 0
+	for i, ack := range acks {
+		if ack == nil {
+			continue
+		}
+		touched++
+		out.Staged += ack.Staged
+		out.Durable = out.Durable && ack.Durable
+		out.Shards = append(out.Shards, api.IngestShardAck{
+			Shard: i, Staged: ack.Staged, Durable: ack.Durable, DurableSeq: ack.DurableSeq,
+		})
+	}
+	if touched == 0 {
+		writeError(w, http.StatusBadRequest, "no ops to stage")
+		return
+	}
+	out.Durable = out.Durable && touched > 0
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ------------------------------------------------------------- /stats
+
+func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
+	stats, errs := scatter(r, func(s *routerShard) (*api.StatsResponse, error) {
+		return s.c.Stats()
+	})
+	out := &api.ClusterStatsResponse{Shards: len(r.shards)}
+	var gets, news [2]uint64
+	for i, st := range stats {
+		row := api.ShardStats{Shard: i, Addr: r.shards[i].addr}
+		if errs[i] != nil {
+			row.Error = errs[i].Error()
+			out.PerShard = append(out.PerShard, row)
+			continue
+		}
+		first := out.Healthy == 0
+		out.Healthy++
+		row.Epoch = st.Epoch
+		row.AppliedSeq = st.AppliedSeq
+		row.EpochLag = st.EpochLag
+		row.InFlight = st.InFlight
+		row.Served = st.Served
+		if st.WAL != nil {
+			row.WALUnappliedRecords = st.WAL.UnappliedRecords
+			row.WALUnappliedBytes = st.WAL.UnappliedBytes
+			row.WALDiskBytes = st.WAL.DiskBytes
+		}
+		out.PerShard = append(out.PerShard, row)
+
+		if first || st.Epoch < out.MinEpoch {
+			out.MinEpoch = st.Epoch
+		}
+		if st.Epoch > out.MaxEpoch {
+			out.MaxEpoch = st.Epoch
+		}
+		if first || st.AppliedSeq < out.MinAppliedSeq {
+			out.MinAppliedSeq = st.AppliedSeq
+		}
+		if st.AppliedSeq > out.MaxAppliedSeq {
+			out.MaxAppliedSeq = st.AppliedSeq
+		}
+		if first || st.EpochLag < out.MinEpochLag {
+			out.MinEpochLag = st.EpochLag
+		}
+		if st.EpochLag > out.MaxEpochLag {
+			out.MaxEpochLag = st.EpochLag
+		}
+		out.Served += st.Served
+		out.Rejected += st.Rejected
+		out.TimedOut += st.TimedOut
+		out.Errors += st.Errors
+		out.Ingested += st.Ingested
+		out.IngestShed += st.IngestShed
+		gets[0] += st.Pools.BatchGets
+		news[0] += st.Pools.BatchNews
+		gets[1] += st.Pools.VecGets
+		news[1] += st.Pools.VecNews
+	}
+	out.Pools = api.PoolStats{
+		BatchGets: gets[0], BatchNews: news[0], BatchHitRate: hitRate(gets[0], news[0]),
+		VecGets: gets[1], VecNews: news[1], VecHitRate: hitRate(gets[1], news[1]),
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func hitRate(gets, news uint64) float64 {
+	if gets == 0 {
+		return 1.0
+	}
+	return 1 - float64(news)/float64(gets)
+}

@@ -376,6 +376,9 @@ func (s *Server) execute(req *api.QueryRequest) (*api.QueryResponse, int, error)
 			fmt.Errorf("CREATE VIEW goes to POST /views, not /query")
 	}
 	if sv := s.View(sel.From); sv != nil {
+		if req.Partial {
+			return s.executeViewPartial(sv, req.SQL, len(sel.GroupBy) > 0)
+		}
 		return s.executeViewQuery(sv, req.SQL, len(sel.GroupBy) > 0)
 	}
 	return s.executeTableSelect(req, sel)
@@ -526,6 +529,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Name:       name,
 			Rows:       sv.View().Data().Len(),
 			SampleRows: sv.Cleaner().StaleSample().Len(),
+			AppliedSeq: sv.AppliedSeq(),
 			Queries:    sv.Queries(),
 			Scheduled:  sv.Scheduled(),
 		}

@@ -190,7 +190,18 @@ type StaleView struct {
 	// model (scheduler.go).
 	queries atomic.Uint64
 	sched   atomic.Pointer[Scheduler]
+
+	// appliedSeq records the catalog's maintenance-boundary counter as of
+	// this view's last publication — how far maintenance has actually
+	// carried this view, as opposed to the catalog-wide epoch which also
+	// advances on staging. Stats readers pair it with the epoch to compute
+	// per-view lag.
+	appliedSeq atomic.Uint64
 }
+
+// AppliedSeq reports the catalog's maintenance-boundary counter as of
+// this view's last maintenance publication (0 before the first cycle).
+func (sv *StaleView) AppliedSeq() uint64 { return sv.appliedSeq.Load() }
 
 // noteQuery feeds one answered query into the scheduling model.
 func (sv *StaleView) noteQuery() {
@@ -603,6 +614,7 @@ func (sv *StaleView) MaintainNow() error {
 		return err
 	}
 	sv.cleaner.AdoptRelation(newSample)
+	sv.appliedSeq.Store(sv.db.Pin().AppliedSeq())
 	return nil
 }
 
